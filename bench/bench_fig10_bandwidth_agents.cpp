@@ -1,0 +1,75 @@
+// Fig. 10: bandwidth per software agent on each device type, per provider.
+// Paper highlights: Amazon mobile/TV native apps stay below 3 Mbit/s while
+// PC browsers run higher (Mac above Windows); Netflix on non-Safari PC
+// browsers stays below 2 Mbit/s.
+#include "bench/campus_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace vpscope;
+using fingerprint::Agent;
+using fingerprint::Os;
+using fingerprint::Provider;
+
+void report() {
+  const auto& store = bench::campus_store();
+  for (Provider provider : fingerprint::all_providers()) {
+    print_banner(std::cout, "Fig. 10: bandwidth per (OS, agent), " +
+                                to_string(provider) + " (Mbit/s)");
+    TextTable table({"OS", "Agent", "Q1", "Median", "Q3", "#"});
+    for (const auto& platform : fingerprint::all_platforms()) {
+      if (!fingerprint::supports(platform, provider)) continue;
+      const auto samples = store.bandwidth_mbps(
+          [provider, &platform](const telemetry::SessionRecord& r) {
+            return r.provider == provider && r.device == platform.os &&
+                   r.agent == platform.agent;
+          });
+      if (samples.size() < 5) continue;
+      const BoxSummary box = box_summary(samples);
+      table.add_row({to_string(platform.os), to_string(platform.agent),
+                     TextTable::num(box.q1, 1), TextTable::num(box.median, 1),
+                     TextTable::num(box.q3, 1), std::to_string(box.count)});
+    }
+    table.print(std::cout);
+  }
+
+  // Headline checks.
+  auto median_of = [&](Provider p, Os os, Agent agent) {
+    return box_summary(store.bandwidth_mbps(
+                           [=](const telemetry::SessionRecord& r) {
+                             return r.provider == p && r.device == os &&
+                                    r.agent == agent;
+                           }))
+        .median;
+  };
+  std::cout << "\nNetflix Windows Chrome median: "
+            << TextTable::num(median_of(Provider::Netflix, Os::Windows,
+                                        Agent::Chrome),
+                              1)
+            << " Mbit/s (paper: < 2)\n"
+            << "Netflix macOS Safari median: "
+            << TextTable::num(
+                   median_of(Provider::Netflix, Os::MacOS, Agent::Safari), 1)
+            << " Mbit/s (paper: higher than other browsers)\n"
+            << "Amazon iOS app median: "
+            << TextTable::num(
+                   median_of(Provider::Amazon, Os::IOS, Agent::NativeApp), 1)
+            << " Mbit/s (paper: < 3)\n";
+}
+
+void BM_PerAgentBandwidth(benchmark::State& state) {
+  const auto& store = bench::campus_store();
+  for (auto _ : state) {
+    auto samples =
+        store.bandwidth_mbps([](const vpscope::telemetry::SessionRecord& r) {
+          return r.device == Os::MacOS && r.agent == Agent::Safari;
+        });
+    benchmark::DoNotOptimize(samples.size());
+  }
+}
+BENCHMARK(BM_PerAgentBandwidth)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

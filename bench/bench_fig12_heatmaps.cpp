@@ -1,0 +1,92 @@
+// Fig. 12 (appendix): heatmaps of handshake field values for YouTube flows.
+// Each cell (field x platform) is the two-tuple (x, y) the paper plots:
+//   x = median of the field's 1:1 integer-mapped value, normalized to [0,1]
+//   y = number of distinct values the field takes for that platform
+// Rendered for both QUIC (12 platforms) and TCP (14 platforms).
+#include <algorithm>
+#include <map>
+
+#include "bench/common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace vpscope;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+void heatmap(const eval::ScenarioData& scenario, const std::string& title) {
+  print_banner(std::cout, title);
+  const auto& catalog = core::attribute_catalog();
+
+  // Platform columns in catalog order.
+  std::vector<fingerprint::PlatformId> platforms;
+  for (const auto& p : fingerprint::all_platforms())
+    if (scenario.class_id(p, eval::Objective::UserPlatform) >= 0)
+      platforms.push_back(p);
+
+  std::vector<std::string> header = {"Field"};
+  for (const auto& p : platforms) header.push_back(to_string(p));
+  TextTable table(std::move(header));
+
+  // Per attribute: 1:1 value mapping over the whole scenario, then per
+  // platform the (median normalized value, #unique values) tuple.
+  const std::size_t n = scenario.size();
+  for (int attr : scenario.encoder().attributes()) {
+    const auto& info = catalog[static_cast<std::size_t>(attr)];
+    std::map<std::string, int> ids;
+    std::vector<int> mapped(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto raw = core::extract_raw_attributes(scenario.handshakes()[i]);
+      const std::string sig = core::attribute_signature(
+          raw[static_cast<std::size_t>(attr)], info.type);
+      mapped[i] = ids.try_emplace(sig, static_cast<int>(ids.size()) + 1)
+                      .first->second;
+    }
+    const double max_id = static_cast<double>(ids.size());
+
+    std::vector<std::string> row = {info.field_name};
+    for (const auto& platform : platforms) {
+      std::vector<double> values;
+      std::map<int, int> uniq;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!(scenario.labels()[i] == platform)) continue;
+        values.push_back(static_cast<double>(mapped[i]));
+        uniq[mapped[i]]++;
+      }
+      const double med = median(values) / std::max(1.0, max_id);
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "(%.2f,%zu)", med, uniq.size());
+      row.push_back(cell);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void report() {
+  heatmap(bench::scenario(Provider::YouTube, Transport::Quic),
+          "Fig. 12(a): YouTube over QUIC — (median normalized value, "
+          "#unique) per field x platform");
+  heatmap(bench::scenario(Provider::YouTube, Transport::Tcp),
+          "Fig. 12(b): YouTube over TCP — (median normalized value, "
+          "#unique) per field x platform");
+}
+
+void BM_HeatmapYoutubeQuic(benchmark::State& state) {
+  const auto& scenario = bench::scenario(Provider::YouTube, Transport::Quic);
+  for (auto _ : state) {
+    // The expensive inner step: raw attribute extraction over the scenario.
+    std::size_t total = 0;
+    for (const auto& h : scenario.handshakes()) {
+      const auto raw = core::extract_raw_attributes(h);
+      total += raw.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_HeatmapYoutubeQuic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

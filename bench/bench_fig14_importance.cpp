@@ -1,0 +1,70 @@
+// Fig. 14 (appendix): attribute importance for the TCP-only providers
+// (Netflix, Disney+, Amazon Prime Video), three objectives each — including
+// the paper's observation that an attribute's importance differs across
+// providers.
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace vpscope;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+void report() {
+  std::map<std::string, std::array<double, 3>> platform_gain_by_provider;
+  const Provider providers[] = {Provider::Netflix, Provider::Disney,
+                                Provider::Amazon};
+  for (int pi = 0; pi < 3; ++pi) {
+    const Provider provider = providers[pi];
+    print_banner(std::cout, "Fig. 14: attribute importance, " +
+                                to_string(provider) + " over TCP");
+    const auto stats =
+        eval::attribute_stats(bench::scenario(provider, Transport::Tcp));
+    TextTable table({"Attr", "Field", "Platform", "Device", "Agent"});
+    for (const auto& s : stats) {
+      table.add_row({s.label, s.field_name,
+                     TextTable::num(s.norm_platform, 3),
+                     TextTable::num(s.norm_device, 3),
+                     TextTable::num(s.norm_agent, 3)});
+      platform_gain_by_provider[s.label][static_cast<std::size_t>(pi)] =
+          s.norm_platform;
+    }
+    table.print(std::cout);
+  }
+
+  // The paper's cross-provider observation: importance of one attribute
+  // varies by provider. Report the attributes with the largest spread.
+  print_banner(std::cout,
+               "Cross-provider importance spread (paper §C observation)");
+  TextTable spread({"Attr", "NF", "DN", "AP", "max-min"});
+  std::vector<std::pair<double, std::string>> ranked;
+  for (const auto& [label, gains] : platform_gain_by_provider) {
+    const double lo = std::min({gains[0], gains[1], gains[2]});
+    const double hi = std::max({gains[0], gains[1], gains[2]});
+    ranked.emplace_back(hi - lo, label);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (std::size_t i = 0; i < 8 && i < ranked.size(); ++i) {
+    const auto& gains = platform_gain_by_provider[ranked[i].second];
+    spread.add_row({ranked[i].second, TextTable::num(gains[0], 3),
+                    TextTable::num(gains[1], 3), TextTable::num(gains[2], 3),
+                    TextTable::num(ranked[i].first, 3)});
+  }
+  spread.print(std::cout);
+}
+
+void BM_ImportanceAcrossProviders(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto provider :
+         {Provider::Netflix, Provider::Disney, Provider::Amazon}) {
+      auto stats =
+          eval::attribute_stats(bench::scenario(provider, Transport::Tcp));
+      benchmark::DoNotOptimize(stats.size());
+    }
+  }
+}
+BENCHMARK(BM_ImportanceAcrossProviders)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

@@ -1,0 +1,49 @@
+// Fig. 3: for each handshake field of YouTube flows over QUIC, the number
+// of unique values observed (the paper's blue bars, log scale) and the
+// number of user platforms whose value distribution is unique among all
+// platforms (purple bars). Fields with a single value across all platforms
+// are flagged — the paper highlights 7 such fields in red.
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace vpscope;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+void report() {
+  print_banner(std::cout,
+               "Fig. 3: handshake field value diversity, YouTube over QUIC");
+  const auto& scenario = bench::scenario(Provider::YouTube, Transport::Quic);
+  const auto stats = eval::attribute_stats(scenario);
+
+  TextTable table({"Attr", "Field", "Unique values",
+                   "Platforms w/ distinct distribution", "Single-valued"});
+  int single_valued = 0;
+  for (const auto& s : stats) {
+    const bool single = s.unique_values == 1;
+    single_valued += single;
+    table.add_row({s.label, s.field_name, std::to_string(s.unique_values),
+                   std::to_string(s.distinct_platforms),
+                   single ? "YES (useless for QUIC)" : ""});
+  }
+  table.print(std::cout);
+  std::cout << "single-valued fields over QUIC: " << single_valued
+            << " (paper: 7, incl. tls_version, compression_methods, "
+               "server_name, ec_point_formats, ALPN, session_ticket, "
+               "psk_key_exchange_modes)\n";
+}
+
+void BM_AttributeStatsYoutubeQuic(benchmark::State& state) {
+  const auto& scenario =
+      bench::scenario(Provider::YouTube, Transport::Quic);
+  for (auto _ : state) {
+    auto stats = eval::attribute_stats(scenario);
+    benchmark::DoNotOptimize(stats.size());
+  }
+}
+BENCHMARK(BM_AttributeStatsYoutubeQuic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

@@ -1,0 +1,73 @@
+// Fig. 5: attribute importance (normalized information gain) for the three
+// prediction objectives — user platform, device type, software agent — for
+// (a) YouTube over QUIC and (b) YouTube over TCP, annotated by the
+// preprocessing cost tier of each attribute.
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace vpscope;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+std::string cost_name(core::AttrCost cost) {
+  switch (cost) {
+    case core::AttrCost::Low: return "low";
+    case core::AttrCost::Medium: return "medium";
+    case core::AttrCost::High: return "high";
+  }
+  return "?";
+}
+
+std::string tier(double normalized) {
+  // The paper's thresholds: > 0.2 high, 0.1-0.2 medium, < 0.1 low.
+  if (normalized > 0.2) return "HIGH";
+  if (normalized >= 0.1) return "med";
+  return "low";
+}
+
+void importance_table(const eval::ScenarioData& scenario,
+                      const std::string& title) {
+  print_banner(std::cout, title);
+  const auto stats = eval::attribute_stats(scenario);
+  TextTable table({"Attr", "Field", "Cost", "Platform", "Device", "Agent",
+                   "Rating(P/D/A)"});
+  int high_all_three = 0, low_all_three = 0;
+  for (const auto& s : stats) {
+    table.add_row({s.label, s.field_name, cost_name(s.cost),
+                   TextTable::num(s.norm_platform, 3),
+                   TextTable::num(s.norm_device, 3),
+                   TextTable::num(s.norm_agent, 3),
+                   tier(s.norm_platform) + "/" + tier(s.norm_device) + "/" +
+                       tier(s.norm_agent)});
+    if (s.norm_platform > 0.2 && s.norm_device > 0.2 && s.norm_agent > 0.2)
+      ++high_all_three;
+    if (s.norm_platform < 0.1 && s.norm_device < 0.1 && s.norm_agent < 0.1)
+      ++low_all_three;
+  }
+  table.print(std::cout);
+  std::cout << "attributes with HIGH importance for all 3 objectives: "
+            << high_all_three << " (paper Fig. 5(a): 17)\n"
+            << "attributes with low importance for all 3 objectives:  "
+            << low_all_three << " (paper Fig. 5(a): 11)\n";
+}
+
+void report() {
+  importance_table(bench::scenario(Provider::YouTube, Transport::Quic),
+                   "Fig. 5(a): attribute importance, YouTube over QUIC");
+  importance_table(bench::scenario(Provider::YouTube, Transport::Tcp),
+                   "Fig. 5(b): attribute importance, YouTube over TCP");
+}
+
+void BM_InformationGainAllAttributes(benchmark::State& state) {
+  const auto& scenario = bench::scenario(Provider::YouTube, Transport::Quic);
+  for (auto _ : state) {
+    auto stats = eval::attribute_stats(scenario);
+    benchmark::DoNotOptimize(stats.front().info_gain_platform);
+  }
+}
+BENCHMARK(BM_InformationGainAllAttributes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

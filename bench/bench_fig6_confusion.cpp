@@ -1,0 +1,55 @@
+// Fig. 6(b)-(d): cross-validated confusion matrices for YouTube over QUIC —
+// composite user platform (12 classes), device type only, and software
+// agent only. The paper's structure: all Windows browsers and Android
+// Chrome/native at 100%, with misclassifications confined to the iOS/macOS
+// groups (<= ~6%) and iOS native <-> Android native (<= 4%).
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace vpscope;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+void confusion(const eval::ScenarioData& scenario, eval::Objective objective,
+               const std::string& title) {
+  print_banner(std::cout, title);
+  const auto data = scenario.to_ml(objective);
+  const auto cm = eval::cv_confusion(data, 5, 7, bench::eval_forest());
+  std::cout << cm.to_string(scenario.class_names(objective));
+  std::cout << "overall accuracy: " << TextTable::pct(cm.accuracy()) << "\n";
+
+  // Per-class recall summary (the diagonal the paper annotates).
+  int perfect = 0;
+  for (int c = 0; c < cm.num_classes(); ++c)
+    perfect += cm.recall(c) >= 0.995;
+  std::cout << "classes at ~100% recall: " << perfect << "/"
+            << cm.num_classes() << "\n";
+}
+
+void report() {
+  const auto& scenario = bench::scenario(Provider::YouTube, Transport::Quic);
+  confusion(scenario, eval::Objective::UserPlatform,
+            "Fig. 6(b): user-platform confusion matrix, YouTube/QUIC "
+            "(row-normalized; paper: 5/12 classes at 100%)");
+  confusion(scenario, eval::Objective::DeviceType,
+            "Fig. 6(c): device-type confusion matrix, YouTube/QUIC "
+            "(paper: >= 97% for all device types)");
+  confusion(scenario, eval::Objective::SoftwareAgent,
+            "Fig. 6(d): software-agent confusion matrix, YouTube/QUIC "
+            "(paper: >= 91% for all agents)");
+}
+
+void BM_ConfusionMatrixCv(benchmark::State& state) {
+  const auto& scenario = bench::scenario(Provider::YouTube, Transport::Quic);
+  const auto data = scenario.to_ml(eval::Objective::DeviceType);
+  for (auto _ : state) {
+    auto cm = eval::cv_confusion(data, 3, 7, bench::eval_forest());
+    benchmark::DoNotOptimize(cm.accuracy());
+  }
+}
+BENCHMARK(BM_ConfusionMatrixCv)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

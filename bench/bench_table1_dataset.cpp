@@ -1,0 +1,88 @@
+// Table 1: composition of the lab ground-truth dataset — video flows per
+// (device type, OS, software agent) x provider. Regenerates the dataset and
+// counts what the synthesizer actually produced, which must equal the
+// paper's printed cell values.
+#include "bench/common.hpp"
+#include "synth/dataset.hpp"
+
+namespace {
+
+using namespace vpscope;
+using fingerprint::Provider;
+
+void report() {
+  print_banner(std::cout, "Table 1: lab dataset composition (flows per cell)");
+
+  std::map<std::pair<int, int>, std::array<int, 4>> counts;
+  for (const auto& flow : bench::lab_dataset().flows) {
+    counts[{static_cast<int>(flow.platform.os),
+            static_cast<int>(flow.platform.agent)}]
+          [static_cast<int>(flow.provider)]++;
+  }
+
+  TextTable table({"Device", "OS", "Software agent", "YT", "NF", "DN", "AP"});
+  int total = 0;
+  for (const auto& platform : fingerprint::all_platforms()) {
+    const auto& row = counts[{static_cast<int>(platform.os),
+                              static_cast<int>(platform.agent)}];
+    std::vector<std::string> cells = {
+        to_string(platform.device()), to_string(platform.os),
+        to_string(platform.agent)};
+    for (int p = 0; p < fingerprint::kNumProviders; ++p) {
+      cells.push_back(row[static_cast<std::size_t>(p)] == 0
+                          ? "-"
+                          : std::to_string(row[static_cast<std::size_t>(p)]));
+      total += row[static_cast<std::size_t>(p)];
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+  std::cout << "total flows: " << total << " (paper: ~10,000; Table 1 sums to 10,932)\n";
+
+  // Transport split for YouTube (the QUIC/TCP coverage note of §3.1).
+  int yt_quic = 0, yt_tcp = 0;
+  for (const auto& flow : bench::lab_dataset().flows) {
+    if (flow.provider != Provider::YouTube) continue;
+    (flow.transport == fingerprint::Transport::Quic ? yt_quic : yt_tcp)++;
+  }
+  std::cout << "YouTube transport split: " << yt_tcp << " TCP / " << yt_quic
+            << " QUIC\n";
+}
+
+void BM_GenerateLabDataset(benchmark::State& state) {
+  for (auto _ : state) {
+    auto dataset = vpscope::synth::generate_lab_dataset(1, 0.05);
+    benchmark::DoNotOptimize(dataset.flows.size());
+  }
+}
+BENCHMARK(BM_GenerateLabDataset)->Unit(benchmark::kMillisecond);
+
+void BM_SynthesizeSingleTcpFlow(benchmark::State& state) {
+  vpscope::Rng rng(1);
+  vpscope::synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {fingerprint::Os::Windows, fingerprint::Agent::Chrome},
+      Provider::Netflix, fingerprint::Transport::Tcp);
+  for (auto _ : state) {
+    auto flow = synth.synthesize(profile);
+    benchmark::DoNotOptimize(flow.packets.size());
+  }
+}
+BENCHMARK(BM_SynthesizeSingleTcpFlow)->Unit(benchmark::kMicrosecond);
+
+void BM_SynthesizeSingleQuicFlow(benchmark::State& state) {
+  vpscope::Rng rng(1);
+  vpscope::synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {fingerprint::Os::Windows, fingerprint::Agent::Chrome},
+      Provider::YouTube, fingerprint::Transport::Quic);
+  for (auto _ : state) {
+    auto flow = synth.synthesize(profile);
+    benchmark::DoNotOptimize(flow.packets.size());
+  }
+}
+BENCHMARK(BM_SynthesizeSingleQuicFlow)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

@@ -1,0 +1,114 @@
+// Table 4: median classifier confidence of correct vs incorrect predictions
+// in the open-set evaluation, for every provider and objective. The paper's
+// property: correct predictions are confident (median ~89-99%), incorrect
+// ones unsure (median ~47-86%) — this is what justifies the pipeline's
+// 80%-confidence gate. Also sweeps the gate threshold (ablation, DESIGN.md
+// decision 3).
+#include "bench/common.hpp"
+#include "core/handshake.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace vpscope;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+struct ConfidenceSplit {
+  std::vector<double> correct;
+  std::vector<double> incorrect;
+};
+
+ConfidenceSplit confidences(const eval::ScenarioData& scenario,
+                            eval::Objective objective,
+                            Provider provider, Transport transport) {
+  ml::RandomForest model;
+  model.fit(scenario.to_ml(objective), bench::eval_forest());
+  ConfidenceSplit split;
+  for (const auto& flow : bench::home_dataset().flows) {
+    if (flow.provider != provider || flow.transport != transport) continue;
+    const auto handshake = core::extract_handshake(flow.packets);
+    if (!handshake) continue;
+    const auto [predicted, confidence] =
+        model.predict_with_confidence(scenario.encode(*handshake));
+    const int truth = scenario.class_id(flow.platform, objective);
+    (predicted == truth ? split.correct : split.incorrect)
+        .push_back(confidence);
+  }
+  return split;
+}
+
+void report() {
+  print_banner(std::cout,
+               "Table 4: median confidence, correct vs incorrect (open set)");
+  TextTable table({"Provider", "Objective", "Med. conf. (correct)",
+                   "Med. conf. (incorrect)", "#incorrect"});
+  const eval::Objective objectives[3] = {eval::Objective::UserPlatform,
+                                         eval::Objective::DeviceType,
+                                         eval::Objective::SoftwareAgent};
+  const char* objective_names[3] = {"User platform", "Device type",
+                                    "Software agent"};
+  ConfidenceSplit platform_split_yt_quic;
+  for (const auto& c : bench::scenario_cases()) {
+    const auto& scenario = bench::scenario(c.provider, c.transport);
+    for (int i = 0; i < 3; ++i) {
+      const auto split =
+          confidences(scenario, objectives[i], c.provider, c.transport);
+      if (i == 0 && c.transport == Transport::Quic)
+        platform_split_yt_quic = split;
+      table.add_row(
+          {i == 0 ? c.name : "", objective_names[i],
+           TextTable::pct(median(split.correct)),
+           split.incorrect.empty()
+               ? "-"
+               : TextTable::pct(median(split.incorrect)),
+           std::to_string(split.incorrect.size())});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "shape check: correct confident, incorrect unsure (paper: "
+               "correct > 88%, incorrect mostly 47-68%).\n";
+
+  // Ablation: sweep the confidence gate for YT/QUIC user platform.
+  print_banner(std::cout,
+               "Ablation: confidence-gate threshold sweep (YT/QUIC, "
+               "user platform, open set)");
+  TextTable sweep({"Threshold", "Accepted", "Accuracy among accepted"});
+  for (double threshold : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    std::size_t accepted = 0, accepted_correct = 0;
+    for (double c : platform_split_yt_quic.correct)
+      if (c >= threshold) {
+        ++accepted;
+        ++accepted_correct;
+      }
+    for (double c : platform_split_yt_quic.incorrect)
+      if (c >= threshold) ++accepted;
+    const std::size_t total = platform_split_yt_quic.correct.size() +
+                              platform_split_yt_quic.incorrect.size();
+    sweep.add_row(
+        {TextTable::num(threshold, 1),
+         TextTable::pct(static_cast<double>(accepted) /
+                        static_cast<double>(total)),
+         accepted ? TextTable::pct(static_cast<double>(accepted_correct) /
+                                   static_cast<double>(accepted))
+                  : "-"});
+  }
+  sweep.print(std::cout);
+}
+
+void BM_PredictWithConfidence(benchmark::State& state) {
+  const auto& scenario = bench::scenario(Provider::YouTube, Transport::Quic);
+  const auto data = scenario.to_ml(eval::Objective::UserPlatform);
+  ml::RandomForest model;
+  model.fit(data, bench::eval_forest());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.predict_with_confidence(data.x[i++ % data.size()]));
+  }
+}
+BENCHMARK(BM_PredictWithConfidence)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

@@ -1,0 +1,155 @@
+// Table 6: our 62-attribute method vs prior-work feature views, across the
+// five (provider, transport) scenarios, all trained with the same forest on
+// the lab dataset and evaluated on the home (open-set) dataset — the
+// paper's "Ours" row equals its Table 3, so the whole comparison is
+// open-set. Expected shape: ours leads every column; Ren-2021 collapses on
+// QUIC (the TLS record layer it reads is encrypted away); the host-level
+// methods are not adaptable.
+#include "baselines/baselines.hpp"
+#include "bench/common.hpp"
+#include "core/handshake.hpp"
+
+namespace {
+
+using namespace vpscope;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+/// Collects the home-environment flows for a scenario as handshakes+labels.
+struct HomeSet {
+  std::vector<core::FlowHandshake> handshakes;
+  std::vector<fingerprint::PlatformId> labels;
+};
+
+const HomeSet& home_set(Provider provider, Transport transport) {
+  static std::map<std::pair<int, int>, HomeSet> cache;
+  const auto key =
+      std::pair{static_cast<int>(provider), static_cast<int>(transport)};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    HomeSet set;
+    for (const auto& flow : bench::home_dataset().flows) {
+      if (flow.provider != provider || flow.transport != transport) continue;
+      auto handshake = core::extract_handshake(flow.packets);
+      if (!handshake) continue;
+      set.handshakes.push_back(std::move(*handshake));
+      set.labels.push_back(flow.platform);
+    }
+    it = cache.emplace(key, std::move(set)).first;
+  }
+  return it->second;
+}
+
+double our_accuracy(const eval::ScenarioData& scenario) {
+  ml::RandomForest model;
+  model.fit(scenario.to_ml(eval::Objective::UserPlatform),
+            bench::eval_forest());
+  const HomeSet& home = home_set(scenario.provider(), scenario.transport());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < home.handshakes.size(); ++i) {
+    const int truth =
+        scenario.class_id(home.labels[i], eval::Objective::UserPlatform);
+    correct += model.predict(scenario.encode(home.handshakes[i])) == truth;
+  }
+  return home.handshakes.empty()
+             ? 0.0
+             : static_cast<double>(correct) / home.handshakes.size();
+}
+
+double baseline_accuracy(baselines::BaselineExtractor& extractor,
+                         const eval::ScenarioData& scenario) {
+  extractor.fit(scenario.handshakes());
+  ml::Dataset train;
+  for (std::size_t i = 0; i < scenario.size(); ++i) {
+    train.x.push_back(extractor.transform(scenario.handshakes()[i]));
+    train.y.push_back(scenario.class_id(scenario.labels()[i],
+                                        eval::Objective::UserPlatform));
+  }
+  ml::RandomForest model;
+  model.fit(train, bench::eval_forest());
+
+  const HomeSet& home = home_set(scenario.provider(), scenario.transport());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < home.handshakes.size(); ++i) {
+    const int truth =
+        scenario.class_id(home.labels[i], eval::Objective::UserPlatform);
+    correct += model.predict(extractor.transform(home.handshakes[i])) ==
+               truth;
+  }
+  return home.handshakes.empty()
+             ? 0.0
+             : static_cast<double>(correct) / home.handshakes.size();
+}
+
+void report() {
+  print_banner(std::cout,
+               "Table 6: benchmarking against prior techniques "
+               "(user-platform accuracy after adaptation)");
+
+  // Paper's reported numbers for reference, per scenario column.
+  const std::map<std::string, std::array<const char*, 5>> paper = {
+      {"Ours", {"94.5%", "98.7%", "91.2%", "90.9%", "88.2%"}},
+      {"Anderson-2019 [6]", {"90.1%", "97.5%", "84.0%", "82.8%", "80.3%"}},
+      {"Fan-2019 [14]", {"94.0%", "96.8%", "86.0%", "80.1%", "84.1%"}},
+      {"Lastovicka-2020 [28]", {"68.1%", "95.1%", "82.7%", "83.1%", "79.0%"}},
+      {"Ren-2021 [53]", {"11.3%", "51.0%", "53.4%", "56.5%", "38.1%"}},
+  };
+  // Scenario column order in the paper's table: YT QUIC, YT TCP, NF, DN, AP.
+  const std::vector<std::pair<Provider, Transport>> columns = {
+      {Provider::YouTube, Transport::Quic},
+      {Provider::YouTube, Transport::Tcp},
+      {Provider::Netflix, Transport::Tcp},
+      {Provider::Disney, Transport::Tcp},
+      {Provider::Amazon, Transport::Tcp},
+  };
+
+  TextTable table({"Method", "YT(QUIC)", "YT(TCP)", "NF(TCP)", "DN(TCP)",
+                   "AP(TCP)"});
+  auto add_method =
+      [&](const std::string& name,
+          const std::function<double(const eval::ScenarioData&)>& run) {
+        std::vector<std::string> row = {name};
+        for (const auto& [provider, transport] : columns)
+          row.push_back(
+              TextTable::pct(run(bench::scenario(provider, transport))));
+        table.add_row(std::move(row));
+        std::vector<std::string> ref = {"  (paper)"};
+        for (const auto* cell : paper.at(name)) ref.push_back(cell);
+        table.add_row(std::move(ref));
+      };
+
+  add_method("Ours", our_accuracy);
+  for (const auto& make :
+       {baselines::make_anderson2019, baselines::make_fan2019,
+        baselines::make_lastovicka2020, baselines::make_ren2021}) {
+    auto extractor = make();
+    const std::string name = extractor->name();
+    add_method(name, [&extractor, &make](const eval::ScenarioData& s) {
+      auto fresh = make();  // baselines keep per-scenario dictionaries
+      return baseline_accuracy(*fresh, s);
+    });
+  }
+  table.print(std::cout);
+
+  for (const auto& name : baselines::non_adaptable_baselines())
+    std::cout << "not adaptable (host-level aggregation behind NAT): "
+              << name << "\n";
+  std::cout << "shape check: ours leads every column; Ren-2021 collapses "
+               "over QUIC.\n";
+}
+
+void BM_BaselineExtractTransform(benchmark::State& state) {
+  const auto& scenario = bench::scenario(Provider::YouTube, Transport::Tcp);
+  auto anderson = baselines::make_anderson2019();
+  anderson->fit(scenario.handshakes());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anderson->transform(
+        scenario.handshakes()[i++ % scenario.size()]));
+  }
+}
+BENCHMARK(BM_BaselineExtractTransform)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

@@ -1,0 +1,52 @@
+// Shared campus-simulation state for the Fig. 7-11 benches: trains the
+// classifier bank on the lab dataset once and runs one deployment
+// simulation, whose session store all campus figures are computed from
+// (mirroring the paper's single 4-month deployment feeding every §5 plot).
+#pragma once
+
+#include "bench/common.hpp"
+#include "campus/campus.hpp"
+
+namespace vpscope::bench {
+
+inline const pipeline::ClassifierBank& campus_bank() {
+  static const pipeline::ClassifierBank bank = [] {
+    pipeline::ClassifierBank b;
+    b.train(lab_dataset());
+    return b;
+  }();
+  return bank;
+}
+
+inline campus::CampusConfig campus_config() {
+  campus::CampusConfig config;
+  config.days = 4;  // the paper ran 4 months; shapes stabilize in days
+  config.sessions_per_day = 7000;
+  config.unknown_platform_fraction = 0.15;
+  config.seed = 2024;
+  return config;
+}
+
+inline const telemetry::SessionStore& campus_store() {
+  static const telemetry::SessionStore store = [] {
+    campus::CampusSimulator simulator(campus_config());
+    return simulator.run(campus_bank());
+  }();
+  return store;
+}
+
+/// Scale factor from the simulated deployment to the paper's campus (the
+/// paper reports absolute daily hours; shapes are what we reproduce).
+inline double hours_per_day(double total_hours) {
+  return total_hours / campus_config().days;
+}
+
+inline bool device_is(const telemetry::SessionRecord& record,
+                      fingerprint::DeviceType device) {
+  if (!record.device) return false;
+  return fingerprint::PlatformId{*record.device,
+                                 fingerprint::Agent::NativeApp}
+             .device() == device;
+}
+
+}  // namespace vpscope::bench

@@ -1,0 +1,60 @@
+// Prior-work baselines for the paper's Table 6: each method is re-implemented
+// as the *feature view* it extracts from a flow, adapted exactly as the
+// paper describes (flow-level granularity, expanded inference objective,
+// classification pipeline added where the original only produced
+// fingerprints). All views are then trained with the same random-forest
+// substrate, so Table 6 compares information content, not model quality.
+//
+//   anderson2019  [6]  "TLS Beyond the Browser": TLS ClientHello fingerprint
+//                      string components (version, ciphers, extensions,
+//                      groups, formats) -> positional features.
+//   fan2019      [14]  TCP/IP stack fingerprinting: network/transport header
+//                      fields only (TTL, window, MSS, wscale, option order,
+//                      flags); for QUIC only the IP/UDP-observable surface
+//                      plus connection-id lengths remains.
+//   lastovicka2020[28] 7 TLS ClientHello fields (server name length, TLS
+//                      version, cipher suites, compression, supported
+//                      groups, ec_point_formats, extension list).
+//   ren2021      [53]  flow metadata (packet/record lengths) plus the
+//                      TLS_message_type byte — which is encrypted away in
+//                      QUIC, collapsing its QUIC accuracy.
+//
+// Richardson-2020 [55] and Marzani-2023 [40] need per-host aggregate
+// session statistics and are not adaptable to per-flow classification
+// behind NAT (the paper marks them "not adaptable"); they are represented
+// by name only.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/handshake.hpp"
+#include "ml/dataset.hpp"
+
+namespace vpscope::baselines {
+
+/// A prior-work feature view: fit dictionaries on training handshakes, then
+/// produce numeric vectors. Mirrors core::FeatureEncoder's contract.
+class BaselineExtractor {
+ public:
+  virtual ~BaselineExtractor() = default;
+  virtual std::string name() const = 0;
+  virtual void fit(std::span<const core::FlowHandshake> handshakes) = 0;
+  virtual std::vector<double> transform(
+      const core::FlowHandshake& handshake) const = 0;
+};
+
+std::unique_ptr<BaselineExtractor> make_anderson2019();
+std::unique_ptr<BaselineExtractor> make_fan2019();
+std::unique_ptr<BaselineExtractor> make_lastovicka2020();
+std::unique_ptr<BaselineExtractor> make_ren2021();
+
+/// All four adaptable baselines, in Table 6 row order.
+std::vector<std::unique_ptr<BaselineExtractor>> all_baselines();
+
+/// Names of the two non-adaptable methods (Table 6 rows with "—").
+std::vector<std::string> non_adaptable_baselines();
+
+}  // namespace vpscope::baselines

@@ -1,0 +1,304 @@
+#include "campus/campus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vpscope::campus {
+
+using fingerprint::Agent;
+using fingerprint::DeviceType;
+using fingerprint::Os;
+using fingerprint::PlatformId;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+namespace {
+
+struct WeightRow {
+  Os os;
+  Agent agent;
+  double weight;
+};
+
+/// Watch-time platform mixes per provider, shaped after Fig. 7/8:
+/// YouTube ~40% mobile with the iOS app dominating mobile engagement and
+/// Windows Chrome the single most popular agent; subscription services
+/// PC-heavy, Safari-on-Mac popular for Netflix/Amazon, the Disney+ iOS app
+/// owning mobile, Amazon mobile tiny.
+const std::vector<WeightRow>& mix(Provider provider) {
+  static const std::vector<WeightRow> youtube = {
+      {Os::Windows, Agent::Chrome, 0.22},  {Os::Windows, Agent::Edge, 0.08},
+      {Os::Windows, Agent::Firefox, 0.07}, {Os::MacOS, Agent::Chrome, 0.08},
+      {Os::MacOS, Agent::Edge, 0.03},      {Os::MacOS, Agent::Firefox, 0.04},
+      {Os::MacOS, Agent::Safari, 0.08},    {Os::IOS, Agent::NativeApp, 0.19},
+      {Os::IOS, Agent::Safari, 0.015},     {Os::IOS, Agent::Chrome, 0.01},
+      {Os::Android, Agent::NativeApp, 0.10},
+      {Os::Android, Agent::Chrome, 0.02},
+      {Os::Android, Agent::SamsungInternet, 0.005},
+      {Os::AndroidTV, Agent::NativeApp, 0.04},
+      {Os::PlayStation, Agent::NativeApp, 0.02}};
+  static const std::vector<WeightRow> netflix = {
+      {Os::Windows, Agent::Chrome, 0.17},  {Os::Windows, Agent::Edge, 0.07},
+      {Os::Windows, Agent::Firefox, 0.06}, {Os::Windows, Agent::NativeApp, 0.08},
+      {Os::MacOS, Agent::Chrome, 0.08},    {Os::MacOS, Agent::Edge, 0.03},
+      {Os::MacOS, Agent::Firefox, 0.04},   {Os::MacOS, Agent::Safari, 0.17},
+      {Os::IOS, Agent::NativeApp, 0.10},   {Os::Android, Agent::NativeApp, 0.02},
+      {Os::AndroidTV, Agent::NativeApp, 0.12},
+      {Os::PlayStation, Agent::NativeApp, 0.06}};
+  static const std::vector<WeightRow> disney = {
+      {Os::Windows, Agent::Chrome, 0.16},  {Os::Windows, Agent::Edge, 0.06},
+      {Os::Windows, Agent::Firefox, 0.05}, {Os::Windows, Agent::NativeApp, 0.09},
+      {Os::MacOS, Agent::Chrome, 0.07},    {Os::MacOS, Agent::Edge, 0.03},
+      {Os::MacOS, Agent::Firefox, 0.04},   {Os::MacOS, Agent::Safari, 0.14},
+      {Os::IOS, Agent::NativeApp, 0.19},   {Os::Android, Agent::NativeApp, 0.02},
+      {Os::AndroidTV, Agent::NativeApp, 0.10},
+      {Os::PlayStation, Agent::NativeApp, 0.05}};
+  static const std::vector<WeightRow> amazon = {
+      {Os::Windows, Agent::Chrome, 0.15},  {Os::Windows, Agent::Edge, 0.06},
+      {Os::Windows, Agent::Firefox, 0.05}, {Os::Windows, Agent::NativeApp, 0.10},
+      {Os::MacOS, Agent::Chrome, 0.07},    {Os::MacOS, Agent::Edge, 0.03},
+      {Os::MacOS, Agent::Firefox, 0.04},   {Os::MacOS, Agent::Safari, 0.15},
+      {Os::MacOS, Agent::NativeApp, 0.10}, {Os::IOS, Agent::NativeApp, 0.06},
+      {Os::Android, Agent::NativeApp, 0.02},
+      {Os::AndroidTV, Agent::NativeApp, 0.11},
+      {Os::PlayStation, Agent::NativeApp, 0.06}};
+  switch (provider) {
+    case Provider::YouTube: return youtube;
+    case Provider::Netflix: return netflix;
+    case Provider::Disney: return disney;
+    case Provider::Amazon: return amazon;
+  }
+  return youtube;
+}
+
+}  // namespace
+
+double CampusSimulator::platform_weight(Provider provider,
+                                        const PlatformId& platform) {
+  for (const auto& row : mix(provider))
+    if (row.os == platform.os && row.agent == platform.agent)
+      return row.weight;
+  return 0.0;
+}
+
+double CampusSimulator::bandwidth_median_mbps(Provider provider,
+                                              const PlatformId& platform) {
+  const DeviceType device = platform.device();
+  switch (provider) {
+    case Provider::YouTube:
+      // Lightest demand of the four (Fig. 9, left group).
+      if (device == DeviceType::Mobile) return 2.0;
+      if (device == DeviceType::TV) return 3.0;
+      return 2.5;
+    case Provider::Netflix:
+      // Browsers other than Safari stream below 2 Mbit/s; Safari and the
+      // native apps negotiate higher-rate streams (Fig. 10(b)).
+      if (platform.agent == Agent::Chrome || platform.agent == Agent::Edge ||
+          platform.agent == Agent::Firefox)
+        return 1.8;
+      if (platform.agent == Agent::Safari) return 3.6;
+      if (device == DeviceType::Mobile) return 2.5;
+      if (device == DeviceType::TV) return 4.0;
+      return 3.8;  // Windows native app
+    case Provider::Disney:
+      if (device == DeviceType::Mobile) return 3.0;
+      if (device == DeviceType::TV) return 4.0;
+      return platform.agent == Agent::NativeApp ? 4.2 : 3.5;
+    case Provider::Amazon:
+      // The most demanding provider; Macs pull ~50% more than smart TVs
+      // (Fig. 9: 5.7 vs 3.8 Mbit/s medians).
+      if (platform.os == Os::MacOS)
+        return platform.agent == Agent::Safari ||
+                       platform.agent == Agent::NativeApp
+                   ? 5.7
+                   : 5.5;
+      if (platform.os == Os::Windows)
+        return platform.agent == Agent::NativeApp ? 4.8 : 4.6;
+      if (device == DeviceType::Mobile) return 2.6;
+      return platform.os == Os::AndroidTV ? 3.8 : 3.6;
+  }
+  return 3.0;
+}
+
+double CampusSimulator::duration_median_min(Provider provider) {
+  switch (provider) {
+    case Provider::YouTube: return 8.0;    // short-form heavy
+    case Provider::Netflix: return 38.0;   // episodic
+    case Provider::Disney: return 42.0;
+    case Provider::Amazon: return 40.0;
+  }
+  return 20.0;
+}
+
+double CampusSimulator::hourly_weight(Provider provider, DeviceType device,
+                                      int hour) {
+  // Base curves per provider (Fig. 11): YouTube holds a long 16-24 plateau,
+  // Netflix peaks sharply 20-22, Amazon/Disney+ peak 19-23.
+  auto in = [hour](int lo, int hi) { return hour >= lo && hour < hi; };
+  double w = 0.0;
+  switch (provider) {
+    case Provider::YouTube:
+      if (in(0, 2)) w = 0.5;
+      else if (in(2, 8)) w = 0.15;
+      else if (in(8, 12)) w = 0.45;
+      else if (in(12, 16)) w = 0.6;
+      else w = 1.0;  // 16-24 sustained plateau
+      break;
+    case Provider::Netflix:
+      if (in(20, 22)) w = 1.0;
+      else if (in(18, 20) || in(22, 24)) w = 0.55;
+      else if (in(12, 18)) w = 0.3;
+      else if (in(0, 1)) w = 0.25;
+      else w = 0.08;
+      break;
+    case Provider::Disney:
+      if (in(19, 23)) w = 1.0;
+      else if (in(16, 19)) w = 0.45;
+      else if (in(8, 16)) w = 0.25;
+      else if (in(23, 24)) w = 0.4;
+      else w = 0.07;
+      break;
+    case Provider::Amazon:
+      if (in(19, 23)) w = 1.0;
+      else if (in(16, 19)) w = 0.4;
+      else if (in(8, 16)) w = 0.2;
+      else if (in(23, 24)) w = 0.35;
+      else w = 0.06;
+      break;
+  }
+  // Mobile demand is flatter and extends through the day (commutes,
+  // in-between moments); the YouTube mobile plateau of Fig. 11.
+  if (device == DeviceType::Mobile) w = 0.5 * w + 0.35;
+  return w;
+}
+
+double CampusSimulator::provider_session_share(Provider provider) {
+  switch (provider) {
+    case Provider::YouTube: return 0.82;
+    case Provider::Netflix: return 0.08;
+    case Provider::Disney: return 0.05;
+    case Provider::Amazon: return 0.05;
+  }
+  return 0.25;
+}
+
+CampusSimulator::CampusSimulator(const CampusConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+SessionPlan CampusSimulator::plan_session() {
+  SessionPlan plan{};
+
+  // Provider.
+  std::vector<double> provider_weights;
+  for (Provider p : fingerprint::all_providers())
+    provider_weights.push_back(provider_session_share(p));
+  plan.provider = fingerprint::all_providers()[rng_.weighted_index(
+      provider_weights)];
+
+  // Platform (or an unknown stack).
+  plan.unknown_platform = rng_.bernoulli(config_.unknown_platform_fraction);
+  if (plan.unknown_platform) {
+    plan.unknown_variant =
+        rng_.uniform_int(0, fingerprint::num_unknown_profiles() - 1);
+    plan.transport = Transport::Tcp;
+    plan.platform = {Os::Windows, Agent::Chrome};  // placeholder label
+  } else {
+    const auto& rows = mix(plan.provider);
+    std::vector<double> weights;
+    for (const auto& row : rows) weights.push_back(row.weight);
+    const auto& row = rows[rng_.weighted_index(weights)];
+    plan.platform = {row.os, row.agent};
+    // YouTube browsers/apps default to QUIC where capable in the wild.
+    const bool quic_capable =
+        fingerprint::supports_quic(plan.platform, plan.provider);
+    const bool tcp_capable =
+        fingerprint::supports_tcp(plan.platform, plan.provider);
+    if (quic_capable && (!tcp_capable || rng_.bernoulli(0.85)))
+      plan.transport = Transport::Quic;
+    else
+      plan.transport = Transport::Tcp;
+  }
+
+  // Start time: day uniform, hour by the provider/device diurnal curve.
+  const int day = rng_.uniform_int(0, config_.days - 1);
+  std::vector<double> hour_weights;
+  const DeviceType device =
+      plan.unknown_platform ? DeviceType::PC : plan.platform.device();
+  for (int h = 0; h < 24; ++h)
+    hour_weights.push_back(hourly_weight(plan.provider, device, h));
+  const int hour = static_cast<int>(rng_.weighted_index(hour_weights));
+  plan.start_us = (static_cast<std::uint64_t>(day) * 24 + hour) * 3600ULL *
+                      1000000ULL +
+                  rng_.uniform(0, 3599999999ULL);
+
+  // Duration: lognormal around the provider median with a heavy tail.
+  const double median_s = duration_median_min(plan.provider) * 60.0;
+  plan.duration_s = median_s * std::exp(rng_.normal(0.0, 0.8));
+  plan.duration_s = std::clamp(plan.duration_s, 20.0, 4.0 * 3600.0);
+
+  // Bandwidth: lognormal around the (provider, platform) median.
+  const double median_mbps =
+      plan.unknown_platform
+          ? 2.5
+          : bandwidth_median_mbps(plan.provider, plan.platform);
+  plan.bandwidth_mbps = median_mbps * std::exp(rng_.normal(0.0, 0.35));
+  return plan;
+}
+
+telemetry::SessionStore CampusSimulator::run(
+    const pipeline::ClassifierBank& bank) {
+  telemetry::SessionStore store;
+  pipeline::VideoFlowPipeline pipe(&bank);
+  pipe.set_sink([&store](telemetry::SessionRecord record) {
+    store.insert(std::move(record));
+  });
+
+  synth::FlowSynthesizer synthesizer(rng_.fork());
+  const int total_sessions = config_.days * config_.sessions_per_day;
+
+  for (int s = 0; s < total_sessions; ++s) {
+    const SessionPlan plan = plan_session();
+
+    const fingerprint::StackProfile profile =
+        plan.unknown_platform
+            ? fingerprint::make_unknown_profile(plan.provider,
+                                                plan.unknown_variant,
+                                                plan.transport)
+            : fingerprint::make_profile(plan.platform, plan.provider,
+                                        plan.transport);
+
+    synth::FlowOptions options;
+    options.start_time_us = plan.start_us;
+    options.capture_hops = rng_.uniform_int(2, 4);  // campus border tap
+    const synth::LabeledFlow flow = synthesizer.synthesize(profile, options);
+
+    for (const auto& packet : flow.packets) pipe.on_packet(packet);
+
+    // Decimated payload accounting: one volume sample per ~10 s of playback.
+    const net::FlowKey key = net::FlowKey::canonical(
+        flow.client_ip, flow.client_port, flow.server_ip, flow.server_port,
+        plan.transport == Transport::Tcp ? net::kProtoTcp : net::kProtoUdp);
+    const double total_bytes =
+        plan.bandwidth_mbps * 1e6 / 8.0 * plan.duration_s;
+    const int samples =
+        std::max(1, static_cast<int>(plan.duration_s / 10.0));
+    const auto bytes_per_sample =
+        static_cast<std::uint64_t>(total_bytes / samples);
+    for (int i = 1; i <= samples; ++i) {
+      const std::uint64_t ts =
+          plan.start_us + static_cast<std::uint64_t>(
+                              plan.duration_s * 1e6 * i / samples);
+      pipe.on_volume_sample(key, ts, bytes_per_sample, bytes_per_sample / 40);
+    }
+    // Sessions are generated independently; evict this flow immediately to
+    // bound the flow-table footprint (its record is complete).
+    pipe.flush_idle(plan.start_us + static_cast<std::uint64_t>(
+                                        plan.duration_s * 1e6) +
+                        3600ULL * 1000000ULL * 48,
+                    1);
+  }
+  pipe.flush_all();
+  return store;
+}
+
+}  // namespace vpscope::campus

@@ -1,0 +1,80 @@
+// Campus deployment simulator (§5): a population of users streaming video
+// from the four providers over simulated days, with per-provider platform
+// mixes, diurnal demand curves, session-duration and bandwidth models. Every
+// session's connection establishment is synthesized as real packets and
+// pushed through the same VideoFlowPipeline the examples use; payload volume
+// is accounted through decimated telemetry samples (the role the paper's
+// DPDK preprocessing plays at 20 Gbps).
+//
+// The behavioural models are calibrated to the shapes of the paper's
+// Fig. 7-11: YouTube dominates watch time (~2000 h/day) with ~40% on
+// mobile; subscription services skew to PCs; Amazon demands the highest
+// bandwidth (especially on Macs, ~50% above smart TVs); Netflix non-Safari
+// browsers stream below 2 Mbit/s; Amazon/Disney+ peak 19-23h, Netflix
+// 20-22h, YouTube holds a long 16-24h plateau.
+#pragma once
+
+#include <cstdint>
+
+#include "pipeline/pipeline.hpp"
+#include "synth/flow_synthesizer.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vpscope::campus {
+
+struct CampusConfig {
+  int days = 4;
+  /// Mean number of video sessions per simulated day (all providers).
+  int sessions_per_day = 15000;
+  /// Fraction of sessions from platforms outside the training set — the
+  /// pipeline should reject most of these (paper: ~20% of campus sessions
+  /// were excluded as low-confidence/unknown).
+  double unknown_platform_fraction = 0.15;
+  std::uint64_t seed = 2024;
+};
+
+/// Per-session behavioural draw (exposed for tests).
+struct SessionPlan {
+  fingerprint::Provider provider;
+  bool unknown_platform = false;
+  int unknown_variant = 0;
+  fingerprint::PlatformId platform;  // valid when !unknown_platform
+  fingerprint::Transport transport;
+  std::uint64_t start_us = 0;     // since simulation epoch (midnight day 0)
+  double duration_s = 0;
+  double bandwidth_mbps = 0;      // mean downstream rate while streaming
+};
+
+class CampusSimulator {
+ public:
+  explicit CampusSimulator(const CampusConfig& config);
+
+  /// Draws the next session plan (deterministic for a seed).
+  SessionPlan plan_session();
+
+  /// Runs the full simulation through the pipeline; returns the populated
+  /// session store. `bank` must already be trained on the lab dataset.
+  telemetry::SessionStore run(const pipeline::ClassifierBank& bank);
+
+  // ---- behavioural model tables (exposed for tests and benches) ----
+  /// Watch-time weight of a platform within a provider (sums to ~1).
+  static double platform_weight(fingerprint::Provider provider,
+                                const fingerprint::PlatformId& platform);
+  /// Median downstream bandwidth (Mbit/s) for a (provider, platform) pair.
+  static double bandwidth_median_mbps(fingerprint::Provider provider,
+                                      const fingerprint::PlatformId& platform);
+  /// Median session duration (minutes) per provider.
+  static double duration_median_min(fingerprint::Provider provider);
+  /// Relative demand of hour-of-day [0,24) for a provider; PC and mobile
+  /// devices follow different curves (Fig. 11).
+  static double hourly_weight(fingerprint::Provider provider,
+                              fingerprint::DeviceType device, int hour);
+  /// Relative share of total sessions per provider.
+  static double provider_session_share(fingerprint::Provider provider);
+
+ private:
+  CampusConfig config_;
+  Rng rng_;
+};
+
+}  // namespace vpscope::campus

@@ -1,0 +1,346 @@
+#include "core/attributes.hpp"
+
+#include <cstdio>
+
+#include "tls/constants.hpp"
+
+namespace vpscope::core {
+
+using fingerprint::Transport;
+
+const std::array<AttributeInfo, kNumAttributes>& attribute_catalog() {
+  static const std::array<AttributeInfo, kNumAttributes> catalog = {{
+      // --- transport layer (t1..t14) ---
+      {"t1", "init_packet_size", AttrType::Numerical, true, true, 0},
+      {"t2", "ttl", AttrType::Numerical, true, true, 0},
+      {"t3", "tcp_cwr", AttrType::Presence, true, false, 0},
+      {"t4", "tcp_ece", AttrType::Presence, true, false, 0},
+      {"t5", "tcp_urg", AttrType::Presence, true, false, 0},
+      {"t6", "tcp_ack", AttrType::Presence, true, false, 0},
+      {"t7", "tcp_psh", AttrType::Presence, true, false, 0},
+      {"t8", "tcp_rst", AttrType::Presence, true, false, 0},
+      {"t9", "tcp_syn", AttrType::Presence, true, false, 0},
+      {"t10", "tcp_fin", AttrType::Presence, true, false, 0},
+      {"t11", "tcp_window_size", AttrType::Numerical, true, false, 0},
+      {"t12", "tcp_mss", AttrType::Numerical, true, false, 0},
+      {"t13", "tcp_window_scale", AttrType::Numerical, true, false, 0},
+      {"t14", "tcp_sack_permitted", AttrType::Presence, true, false, 0},
+      // --- mandatory fields (m1..m5) ---
+      {"m1", "handshake_length", AttrType::Numerical, true, true, 0},
+      {"m2", "tls_version", AttrType::Categorical, true, true, 0},
+      {"m3", "cipher_suites", AttrType::List, true, true, 24},
+      {"m4", "compression_methods", AttrType::Length, true, true, 0},
+      {"m5", "extensions_length", AttrType::Numerical, true, true, 0},
+      // --- optional extensions (o1..o23) ---
+      {"o1", "tls_extensions", AttrType::List, true, true, 24},
+      {"o2", "server_name", AttrType::Length, true, true, 0},
+      {"o3", "status_request", AttrType::Categorical, true, true, 0},
+      {"o4", "supported_groups", AttrType::List, true, true, 10},
+      {"o5", "ec_point_formats", AttrType::Categorical, true, true, 0},
+      {"o6", "signature_algorithms", AttrType::List, true, true, 16},
+      {"o7", "application_layer_protocol_negotiation", AttrType::List, true,
+       true, 4},
+      {"o8", "signed_certificate_timestamp", AttrType::Length, true, true, 0},
+      {"o9", "padding", AttrType::Length, true, true, 0},
+      {"o10", "encrypt_then_mac", AttrType::Presence, true, true, 0},
+      {"o11", "extended_master_secret", AttrType::Presence, true, true, 0},
+      {"o12", "compress_certificate", AttrType::Categorical, true, true, 0},
+      {"o13", "record_size_limit", AttrType::Numerical, true, true, 0},
+      {"o14", "delegated_credentials", AttrType::List, true, true, 8},
+      {"o15", "session_ticket", AttrType::Length, true, true, 0},
+      {"o16", "pre_shared_key", AttrType::Presence, true, true, 0},
+      {"o17", "early_data", AttrType::Length, true, true, 0},
+      {"o18", "supported_versions", AttrType::List, true, true, 5},
+      {"o19", "psk_key_exchange_modes", AttrType::Categorical, true, true, 0},
+      {"o20", "post_handshake_auth", AttrType::Presence, true, true, 0},
+      {"o21", "key_share", AttrType::List, true, true, 5},
+      {"o22", "application_settings", AttrType::List, true, true, 5},
+      {"o23", "renegotiation_info", AttrType::Presence, true, true, 0},
+      // --- QUIC parameters (q1..q20) ---
+      {"q1", "quic_parameters", AttrType::List, false, true, 24},
+      {"q2", "max_idle_timeout", AttrType::Numerical, false, true, 0},
+      {"q3", "max_udp_payload_size", AttrType::Numerical, false, true, 0},
+      {"q4", "initial_max_data", AttrType::Numerical, false, true, 0},
+      {"q5", "initial_max_stream_data_bidi_local", AttrType::Numerical, false,
+       true, 0},
+      {"q6", "initial_max_stream_data_bidi_remote", AttrType::Numerical,
+       false, true, 0},
+      {"q7", "initial_max_stream_data_uni", AttrType::Numerical, false, true,
+       0},
+      {"q8", "initial_max_streams_bidi", AttrType::Numerical, false, true, 0},
+      {"q9", "initial_max_streams_uni", AttrType::Numerical, false, true, 0},
+      {"q10", "max_ack_delay", AttrType::Numerical, false, true, 0},
+      {"q11", "disable_active_migration", AttrType::Presence, false, true, 0},
+      {"q12", "active_connection_id_limit", AttrType::Numerical, false, true,
+       0},
+      {"q13", "initial_source_connection_id", AttrType::Length, false, true,
+       0},
+      {"q14", "max_datagram_frame_size", AttrType::Numerical, false, true, 0},
+      {"q15", "grease_quic_bit", AttrType::Presence, false, true, 0},
+      {"q16", "initial_rtt", AttrType::Presence, false, true, 0},
+      {"q17", "google_connection_options", AttrType::Categorical, false, true,
+       0},
+      {"q18", "user_agent", AttrType::Categorical, false, true, 0},
+      {"q19", "google_version", AttrType::Categorical, false, true, 0},
+      {"q20", "ack_delay_exponent", AttrType::Numerical, false, true, 0},
+  }};
+  return catalog;
+}
+
+int applicable_count(Transport transport) {
+  int n = 0;
+  for (const auto& info : attribute_catalog())
+    n += transport == Transport::Tcp ? info.tcp : info.quic;
+  return n;
+}
+
+namespace {
+
+std::string u16_token(std::uint16_t v) {
+  // Faithful to the paper's §3.3.2: "a 1:1 mapping between the values
+  // contained in the fields to a unique number" — GREASE values (random per
+  // flow by design, RFC 8701) are NOT collapsed, so greasing stacks carry
+  // per-flow noise in their list attributes. Tree ensembles shrug this off;
+  // distance- and gradient-based models don't, which is part of why the
+  // paper's RF wins its model comparison.
+  return std::to_string(v);
+}
+
+RawAttr num(double v) {
+  RawAttr a;
+  a.present = true;
+  a.number = v;
+  return a;
+}
+
+RawAttr presence(bool p) {
+  RawAttr a;
+  a.present = p;
+  a.number = p ? 1.0 : 0.0;
+  return a;
+}
+
+/// Length attributes report the on-wire extension size including its 4-byte
+/// type+length header, so an *empty but present* extension (e.g. SCT,
+/// session_ticket) is distinguishable from an absent one.
+RawAttr ext_length(const tls::ClientHello& chlo, std::uint16_t type) {
+  const tls::Extension* e = chlo.find(type);
+  RawAttr a;
+  if (e) {
+    a.present = true;
+    a.number = static_cast<double>(4 + e->body.size());
+  }
+  return a;
+}
+
+RawAttr ext_presence(const tls::ClientHello& chlo, std::uint16_t type) {
+  return presence(chlo.has_extension(type));
+}
+
+RawAttr cat(bool present, std::string token) {
+  RawAttr a;
+  a.present = present;
+  if (present) a.token = std::move(token);
+  return a;
+}
+
+RawAttr list(std::vector<std::string> tokens) {
+  RawAttr a;
+  a.present = !tokens.empty();
+  a.tokens = std::move(tokens);
+  return a;
+}
+
+std::string join_u8(const std::vector<std::uint8_t>& values) {
+  std::string out;
+  for (auto v : values) {
+    if (!out.empty()) out += '-';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+std::string join_u16(const std::vector<std::uint16_t>& values) {
+  std::string out;
+  for (auto v : values) {
+    if (!out.empty()) out += '-';
+    out += u16_token(v);
+  }
+  return out;
+}
+
+std::vector<std::string> u16_tokens(const std::vector<std::uint16_t>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (auto v : values) out.push_back(u16_token(v));
+  return out;
+}
+
+}  // namespace
+
+std::array<RawAttr, kNumAttributes> extract_raw_attributes(
+    const FlowHandshake& h) {
+  std::array<RawAttr, kNumAttributes> out{};
+  const bool is_tcp = h.transport == Transport::Tcp;
+  const tls::ClientHello& chlo = h.chlo;
+  namespace ext = tls::ext;
+
+  // t1/t2
+  out[0] = num(static_cast<double>(h.init_packet_size));
+  out[1] = num(static_cast<double>(h.ttl));
+
+  if (is_tcp) {
+    out[2] = presence(h.syn_flags.cwr);
+    out[3] = presence(h.syn_flags.ece);
+    out[4] = presence(h.syn_flags.urg);
+    out[5] = presence(h.syn_flags.ack);
+    out[6] = presence(h.syn_flags.psh);
+    out[7] = presence(h.syn_flags.rst);
+    out[8] = presence(h.syn_flags.syn);
+    out[9] = presence(h.syn_flags.fin);
+    out[10] = num(h.tcp_window);
+    out[11] = num(h.tcp_mss ? *h.tcp_mss : 0.0);
+    out[12] = num(h.tcp_window_scale ? *h.tcp_window_scale : 0.0);
+    out[13] = presence(h.tcp_sack_permitted);
+  }
+
+  // m1..m5
+  out[14] = num(static_cast<double>(chlo.handshake_body_length()));
+  out[15] = cat(true, std::to_string(chlo.legacy_version));
+  out[16] = list(u16_tokens(chlo.cipher_suites));
+  out[17] = num(static_cast<double>(chlo.compression_methods.size()));
+  out[18] = num(static_cast<double>(chlo.extensions_length()));
+
+  // o1: extension type codes in wire order.
+  out[19] = list(u16_tokens(chlo.extension_types()));
+  // o2: SNI length (the name itself is matched upstream for provider
+  // detection; only the length can fingerprint the platform).
+  if (const auto sni = chlo.server_name())
+    out[20] = num(static_cast<double>(sni->size()));
+  // o3: status_request type byte.
+  if (const tls::Extension* e = chlo.find(ext::kStatusRequest))
+    out[21] = cat(true, e->body.empty() ? "empty"
+                                        : std::to_string(e->body[0]));
+  // o4
+  if (const auto groups = chlo.supported_groups())
+    out[22] = list(u16_tokens(*groups));
+  // o5
+  if (const auto formats = chlo.ec_point_formats())
+    out[23] = cat(true, join_u8(*formats));
+  // o6
+  if (const auto algs = chlo.signature_algorithms())
+    out[24] = list(u16_tokens(*algs));
+  // o7
+  if (const auto alpn = chlo.alpn_protocols()) out[25] = list(*alpn);
+  // o8/o9
+  out[26] = ext_length(chlo, ext::kSignedCertTimestamp);
+  out[27] = ext_length(chlo, ext::kPadding);
+  // o10/o11
+  out[28] = ext_presence(chlo, ext::kEncryptThenMac);
+  out[29] = ext_presence(chlo, ext::kExtendedMasterSecret);
+  // o12
+  if (const auto comp = chlo.compress_certificate())
+    out[30] = cat(true, join_u16(*comp));
+  // o13
+  if (const auto limit = chlo.record_size_limit()) out[31] = num(*limit);
+  // o14
+  if (const auto dc = chlo.delegated_credentials())
+    out[32] = list(u16_tokens(*dc));
+  // o15..o17
+  out[33] = ext_length(chlo, ext::kSessionTicket);
+  out[34] = ext_presence(chlo, ext::kPreSharedKey);
+  out[35] = ext_length(chlo, ext::kEarlyData);
+  // o18
+  if (const auto versions = chlo.supported_versions())
+    out[36] = list(u16_tokens(*versions));
+  // o19
+  if (const auto modes = chlo.psk_key_exchange_modes())
+    out[37] = cat(true, join_u8(*modes));
+  // o20
+  out[38] = ext_presence(chlo, ext::kPostHandshakeAuth);
+  // o21
+  if (const auto shares = chlo.key_share_groups())
+    out[39] = list(u16_tokens(*shares));
+  // o22: the application_settings content, prefixed by the extension code
+  // variant in use (ALPS codepoint migration distinguishes Chromium forks).
+  if (const auto settings = chlo.application_settings()) {
+    std::vector<std::string> tokens;
+    tokens.push_back(chlo.has_extension(ext::kApplicationSettingsNew)
+                         ? "alps-new"
+                         : "alps-old");
+    tokens.insert(tokens.end(), settings->begin(), settings->end());
+    out[40] = list(std::move(tokens));
+  }
+  // o23
+  out[41] = ext_presence(chlo, ext::kRenegotiationInfo);
+
+  // q1..q20
+  if (h.transport == Transport::Quic && h.quic_tp) {
+    const quic::TransportParameters& tp = *h.quic_tp;
+    {
+      std::vector<std::string> ids;
+      for (std::uint64_t id : tp.param_order)
+        ids.push_back(quic::tp::is_grease(id) ? "GREASE"
+                                              : std::to_string(id));
+      out[42] = list(std::move(ids));
+    }
+    auto opt_num = [](const std::optional<std::uint64_t>& v) {
+      RawAttr a;
+      if (v) {
+        a.present = true;
+        a.number = static_cast<double>(*v);
+      }
+      return a;
+    };
+    out[43] = opt_num(tp.max_idle_timeout);
+    out[44] = opt_num(tp.max_udp_payload_size);
+    out[45] = opt_num(tp.initial_max_data);
+    out[46] = opt_num(tp.initial_max_stream_data_bidi_local);
+    out[47] = opt_num(tp.initial_max_stream_data_bidi_remote);
+    out[48] = opt_num(tp.initial_max_stream_data_uni);
+    out[49] = opt_num(tp.initial_max_streams_bidi);
+    out[50] = opt_num(tp.initial_max_streams_uni);
+    out[51] = opt_num(tp.max_ack_delay);
+    out[52] = presence(tp.disable_active_migration);
+    out[53] = opt_num(tp.active_connection_id_limit);
+    if (tp.has_initial_source_connection_id)
+      out[54] = num(static_cast<double>(tp.initial_source_connection_id.size()));
+    out[55] = opt_num(tp.max_datagram_frame_size);
+    out[56] = presence(tp.grease_quic_bit);
+    out[57] = presence(tp.initial_rtt_us.has_value());
+    if (tp.google_connection_options)
+      out[58] = cat(true, *tp.google_connection_options);
+    if (tp.user_agent) out[59] = cat(true, *tp.user_agent);
+    if (tp.google_version)
+      out[60] = cat(true, std::to_string(*tp.google_version));
+    out[61] = opt_num(tp.ack_delay_exponent);
+  }
+
+  return out;
+}
+
+std::string attribute_signature(const RawAttr& raw, AttrType type) {
+  if (!raw.present) return "<absent>";
+  switch (type) {
+    case AttrType::Numerical:
+    case AttrType::Presence:
+    case AttrType::Length: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f", raw.number);
+      return buf;
+    }
+    case AttrType::Categorical:
+      return raw.token;
+    case AttrType::List: {
+      std::string out;
+      for (const auto& t : raw.tokens) {
+        out += t;
+        out += '|';
+      }
+      return out;
+    }
+  }
+  return "<absent>";
+}
+
+}  // namespace vpscope::core

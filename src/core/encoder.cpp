@@ -1,0 +1,105 @@
+#include "core/encoder.hpp"
+
+#include <algorithm>
+
+namespace vpscope::core {
+
+using fingerprint::Transport;
+
+FeatureEncoder::FeatureEncoder(Transport transport)
+    : transport_(transport), dicts_(kNumAttributes) {
+  const auto& catalog = attribute_catalog();
+  for (int i = 0; i < kNumAttributes; ++i) {
+    const AttributeInfo& info = catalog[static_cast<std::size_t>(i)];
+    const bool applicable = transport == Transport::Tcp ? info.tcp : info.quic;
+    if (!applicable) continue;
+    attributes_.push_back(i);
+    if (info.type == AttrType::List) {
+      for (int slot = 0; slot < info.list_slots; ++slot)
+        columns_.push_back({i, slot});
+    } else {
+      columns_.push_back({i, 0});
+    }
+  }
+}
+
+void FeatureEncoder::fit(std::span<const FlowHandshake> handshakes) {
+  const auto& catalog = attribute_catalog();
+  for (const FlowHandshake& h : handshakes) {
+    const auto raw = extract_raw_attributes(h);
+    for (int attr : attributes_) {
+      const AttributeInfo& info = catalog[static_cast<std::size_t>(attr)];
+      const RawAttr& r = raw[static_cast<std::size_t>(attr)];
+      if (!r.present) continue;
+      auto& dict = dicts_[static_cast<std::size_t>(attr)];
+      if (info.type == AttrType::Categorical) {
+        dict.try_emplace(r.token, static_cast<int>(dict.size()) + 1);
+      } else if (info.type == AttrType::List) {
+        for (const auto& token : r.tokens)
+          dict.try_emplace(token, static_cast<int>(dict.size()) + 1);
+      }
+    }
+  }
+}
+
+double FeatureEncoder::map_token(int attribute,
+                                 const std::string& token) const {
+  const auto& dict = dicts_[static_cast<std::size_t>(attribute)];
+  const auto it = dict.find(token);
+  // Unseen values land in a single dedicated bucket past every fitted id.
+  if (it == dict.end()) return static_cast<double>(dict.size() + 1);
+  return static_cast<double>(it->second);
+}
+
+std::vector<double> FeatureEncoder::transform_raw(
+    const std::array<RawAttr, kNumAttributes>& raw) const {
+  const auto& catalog = attribute_catalog();
+  std::vector<double> out;
+  out.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    const AttributeInfo& info =
+        catalog[static_cast<std::size_t>(col.attribute)];
+    const RawAttr& r = raw[static_cast<std::size_t>(col.attribute)];
+    if (!r.present) {
+      out.push_back(0.0);
+      continue;
+    }
+    switch (info.type) {
+      case AttrType::Numerical:
+      case AttrType::Presence:
+      case AttrType::Length:
+        out.push_back(r.number);
+        break;
+      case AttrType::Categorical:
+        out.push_back(map_token(col.attribute, r.token));
+        break;
+      case AttrType::List: {
+        const auto slot = static_cast<std::size_t>(col.slot);
+        if (slot < r.tokens.size())
+          out.push_back(map_token(col.attribute, r.tokens[slot]));
+        else
+          out.push_back(0.0);  // zero padding for short lists
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> FeatureEncoder::transform(
+    const FlowHandshake& handshake) const {
+  return transform_raw(extract_raw_attributes(handshake));
+}
+
+std::vector<int> FeatureEncoder::columns_for_attributes(
+    const std::vector<int>& attribute_indices) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (std::find(attribute_indices.begin(), attribute_indices.end(),
+                  columns_[i].attribute) != attribute_indices.end())
+      out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace vpscope::core

@@ -1,0 +1,66 @@
+// FeatureEncoder: turns raw attribute observations into the fixed-width
+// numeric vectors the classifiers consume (paper §4.2.1).
+//
+//   numerical / presence / length attributes -> one column, value as-is
+//   categorical attributes -> one column, value-id from a fitted dictionary
+//   list attributes -> `list_slots` positional columns, item-ids from a
+//       fitted per-attribute item dictionary, zero-padded
+//
+// Dictionaries are fitted on training data (the "value mapping process"
+// whose cost Table 2 accounts for); values first seen at inference map to a
+// dedicated unseen-id so open-set inputs stay well-defined.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/attributes.hpp"
+
+namespace vpscope::core {
+
+class FeatureEncoder {
+ public:
+  /// One output column of the encoded vector.
+  struct Column {
+    int attribute = 0;  // index into attribute_catalog()
+    int slot = 0;       // 0 for scalars; position for list attributes
+  };
+
+  explicit FeatureEncoder(fingerprint::Transport transport);
+
+  /// Learns categorical/list dictionaries from training observations.
+  void fit(std::span<const FlowHandshake> handshakes);
+
+  /// Encodes one observation; requires fit() first for categorical/list
+  /// attributes to be meaningful.
+  std::vector<double> transform(const FlowHandshake& handshake) const;
+  std::vector<double> transform_raw(
+      const std::array<RawAttr, kNumAttributes>& raw) const;
+
+  fingerprint::Transport transport() const { return transport_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t dimension() const { return columns_.size(); }
+
+  /// Attribute indices applicable to this transport, in catalog order
+  /// (50 entries for QUIC, 42 for TCP).
+  const std::vector<int>& attributes() const { return attributes_; }
+
+  /// Column positions belonging to the given attributes — used for
+  /// attribute-subset models (Table 5, Fig. 6(a)).
+  std::vector<int> columns_for_attributes(
+      const std::vector<int>& attribute_indices) const;
+
+ private:
+  double map_token(int attribute, const std::string& token) const;
+
+  fingerprint::Transport transport_;
+  std::vector<int> attributes_;
+  std::vector<Column> columns_;
+  /// Per attribute: token -> positive id (scalar dictionaries for
+  /// categorical attributes, item dictionaries for list attributes).
+  std::vector<std::map<std::string, int>> dicts_;
+};
+
+}  // namespace vpscope::core

@@ -1,0 +1,109 @@
+#include "core/handshake.hpp"
+
+#include "quic/initial.hpp"
+
+namespace vpscope::core {
+
+using fingerprint::Transport;
+
+bool HandshakeExtractor::feed(const net::DecodedPacket& packet) {
+  if (complete_ || failed_) return false;
+  if (packet.tcp) return feed_tcp(packet);
+  if (packet.udp) return feed_quic(packet);
+  return false;
+}
+
+bool HandshakeExtractor::feed_tcp(const net::DecodedPacket& packet) {
+  const net::TcpHeader& tcp = *packet.tcp;
+
+  // The client SYN opens the observation.
+  if (tcp.flags.syn && !tcp.flags.ack) {
+    if (seen_syn_) return false;  // retransmission; first one wins
+    seen_syn_ = true;
+    client_addr_ = packet.src;
+    client_port_ = tcp.src_port;
+
+    FlowHandshake h;
+    h.transport = Transport::Tcp;
+    h.init_packet_size = packet.ip_packet_size;
+    h.ttl = packet.ttl;
+    h.syn_flags = tcp.flags;
+    h.tcp_window = tcp.window;
+    h.tcp_mss = tcp.options.mss;
+    h.tcp_window_scale = tcp.options.window_scale;
+    h.tcp_sack_permitted = tcp.options.sack_permitted;
+    result_ = std::move(h);
+    return true;
+  }
+
+  if (!seen_syn_ || !client_addr_) return false;
+  // Only client-to-server payload can carry the ClientHello.
+  if (packet.src != *client_addr_ || tcp.src_port != client_port_)
+    return false;
+  if (packet.payload.empty()) return false;
+
+  tcp_stream_.insert(tcp_stream_.end(), packet.payload.begin(),
+                     packet.payload.end());
+  // A ClientHello comfortably fits the first few segments; bail out if the
+  // client sent lots of data without a parseable hello (not a TLS flow).
+  if (auto chlo = tls::ClientHello::parse_record(tcp_stream_)) {
+    finish_with_chlo(std::move(*chlo));
+    return true;
+  }
+  if (tcp_stream_.size() > 16384) failed_ = true;
+  return true;
+}
+
+bool HandshakeExtractor::feed_quic(const net::DecodedPacket& packet) {
+  if (!quic::looks_like_initial(packet.payload)) return false;
+  // Only the client's Initials decrypt with the DCID-derived client keys;
+  // server packets fail authentication and are skipped, so no explicit
+  // direction tracking is needed.
+  const auto initial = quic::unprotect_client_initial(packet.payload);
+  if (!initial) return false;
+
+  if (!seen_initial_) {
+    seen_initial_ = true;
+    FlowHandshake h;
+    h.transport = Transport::Quic;
+    h.init_packet_size = packet.ip_packet_size;
+    h.ttl = packet.ttl;
+    result_ = std::move(h);
+  }
+  reassembler_.add(*initial);
+  const Bytes stream = reassembler_.contiguous_prefix();
+  if (stream.size() < 4) return true;
+  if (auto chlo = tls::ClientHello::parse_handshake(stream)) {
+    finish_with_chlo(std::move(*chlo));
+  }
+  return true;
+}
+
+void HandshakeExtractor::finish_with_chlo(tls::ClientHello chlo) {
+  if (!result_) return;
+  if (result_->transport == Transport::Quic) {
+    if (const auto tp_body = chlo.quic_transport_parameters())
+      result_->quic_tp = quic::TransportParameters::parse(*tp_body);
+  }
+  result_->chlo = std::move(chlo);
+  complete_ = true;
+}
+
+std::string HandshakeExtractor::sni() const {
+  if (!complete_ || !result_) return {};
+  return result_->chlo.server_name().value_or("");
+}
+
+std::optional<FlowHandshake> extract_handshake(
+    std::span<const net::Packet> packets) {
+  HandshakeExtractor extractor;
+  for (const auto& packet : packets) {
+    const auto decoded = net::decode(packet);
+    if (!decoded) continue;
+    extractor.feed(*decoded);
+    if (extractor.complete()) break;
+  }
+  return extractor.complete() ? extractor.handshake() : std::nullopt;
+}
+
+}  // namespace vpscope::core

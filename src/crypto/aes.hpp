@@ -1,0 +1,63 @@
+// AES-128 block cipher (FIPS 197) with the two modes QUIC v1 Initial
+// protection needs: AES-128-GCM AEAD for the packet payload (RFC 9001 §5.3)
+// and raw single-block ECB encryption for header protection mask generation
+// (RFC 9001 §5.4.3).
+//
+// This is a portable table-free implementation (S-box lookups only). It is
+// not constant-time hardened; it protects nothing secret in this repository —
+// all traffic is synthesized — but it is byte-exact AES, validated against
+// FIPS/NIST vectors in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  explicit Aes128(ByteView key);
+
+  /// Encrypts exactly one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[kBlockSize]) const;
+
+  /// Convenience: encrypts a 16-byte block and returns the ciphertext.
+  std::array<std::uint8_t, kBlockSize> encrypt_block(
+      const std::array<std::uint8_t, kBlockSize>& block) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_;
+};
+
+/// AES-128-GCM authenticated encryption (NIST SP 800-38D) with a 12-byte
+/// nonce and 16-byte tag, the parameters TLS 1.3 / QUIC v1 use.
+class Aes128Gcm {
+ public:
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kTagSize = 16;
+
+  explicit Aes128Gcm(ByteView key);
+
+  /// Returns ciphertext || tag.
+  Bytes seal(ByteView nonce, ByteView aad, ByteView plaintext) const;
+
+  /// Input is ciphertext || tag; returns plaintext, or nullopt if the tag
+  /// does not verify.
+  std::optional<Bytes> open(ByteView nonce, ByteView aad,
+                            ByteView ciphertext_and_tag) const;
+
+ private:
+  std::array<std::uint8_t, 16> ghash(ByteView aad, ByteView ciphertext) const;
+
+  Aes128 aes_;
+  std::array<std::uint8_t, 16> h_;  // GHASH subkey = AES_K(0^128)
+};
+
+}  // namespace vpscope::crypto

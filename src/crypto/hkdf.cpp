@@ -1,0 +1,47 @@
+#include "crypto/hkdf.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace vpscope::crypto {
+
+Bytes hkdf_extract(ByteView salt, ByteView ikm) {
+  const auto prk = hmac_sha256(salt, ikm);
+  return Bytes(prk.begin(), prk.end());
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize)
+    throw std::invalid_argument("hkdf_expand: length too large");
+  Bytes okm;
+  okm.reserve(length);
+  Bytes t;  // T(i-1)
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block(t);
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    const auto digest = hmac_sha256(prk, block);
+    t.assign(digest.begin(), digest.end());
+    const std::size_t take = std::min(t.size(), length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+Bytes hkdf_expand_label(ByteView secret, std::string_view label,
+                        ByteView context, std::size_t length) {
+  // struct HkdfLabel { uint16 length; opaque label<7..255>; opaque context<0..255>; }
+  Writer info;
+  info.u16(static_cast<std::uint16_t>(length));
+  const std::string full_label = "tls13 " + std::string(label);
+  info.u8(static_cast<std::uint8_t>(full_label.size()));
+  info.raw(ByteView{reinterpret_cast<const std::uint8_t*>(full_label.data()),
+                    full_label.size()});
+  info.u8(static_cast<std::uint8_t>(context.size()));
+  info.raw(context);
+  return hkdf_expand(secret, info.data(), length);
+}
+
+}  // namespace vpscope::crypto

@@ -1,0 +1,22 @@
+// HKDF (RFC 5869) over SHA-256, plus the TLS 1.3 HKDF-Expand-Label
+// construction (RFC 8446 §7.1) that the QUIC v1 Initial key schedule
+// (RFC 9001 §5.2) is built from.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace vpscope::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derives `length` bytes of output keying material.
+/// `length` must be <= 255 * 32.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// HKDF-Expand-Label(secret, label, context, length) with the "tls13 "
+/// label prefix, as used by both TLS 1.3 and QUIC v1.
+Bytes hkdf_expand_label(ByteView secret, std::string_view label,
+                        ByteView context, std::size_t length);
+
+}  // namespace vpscope::crypto

@@ -1,0 +1,96 @@
+#include "crypto/md5.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace vpscope::crypto {
+
+namespace {
+
+constexpr std::uint32_t kS[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr std::uint32_t kT[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+inline std::uint32_t rotl(std::uint32_t x, std::uint32_t n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 16> md5(ByteView data) {
+  std::uint32_t a0 = 0x67452301, b0 = 0xefcdab89, c0 = 0x98badcfe,
+                d0 = 0x10325476;
+
+  Bytes msg(data.begin(), data.end());
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(msg.size()) * 8;
+  msg.push_back(0x80);
+  while (msg.size() % 64 != 56) msg.push_back(0x00);
+  for (int i = 0; i < 8; ++i)
+    msg.push_back(static_cast<std::uint8_t>(bit_len >> (8 * i)));
+
+  for (std::size_t chunk = 0; chunk < msg.size(); chunk += 64) {
+    std::uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+      std::memcpy(&m[i], msg.data() + chunk + static_cast<std::size_t>(i) * 4, 4);
+      // MD5 words are little-endian; this matches memcpy on LE hosts, but we
+      // normalize explicitly to stay portable.
+      const std::uint8_t* p = msg.data() + chunk + static_cast<std::size_t>(i) * 4;
+      m[i] = static_cast<std::uint32_t>(p[0]) |
+             static_cast<std::uint32_t>(p[1]) << 8 |
+             static_cast<std::uint32_t>(p[2]) << 16 |
+             static_cast<std::uint32_t>(p[3]) << 24;
+    }
+    std::uint32_t a = a0, b = b0, c = c0, d = d0;
+    for (int i = 0; i < 64; ++i) {
+      std::uint32_t f;
+      int g;
+      if (i < 16) {
+        f = (b & c) | (~b & d);
+        g = i;
+      } else if (i < 32) {
+        f = (d & b) | (~d & c);
+        g = (5 * i + 1) % 16;
+      } else if (i < 48) {
+        f = b ^ c ^ d;
+        g = (3 * i + 5) % 16;
+      } else {
+        f = c ^ (b | ~d);
+        g = (7 * i) % 16;
+      }
+      f = f + a + kT[i] + m[g];
+      a = d;
+      d = c;
+      c = b;
+      b = b + rotl(f, kS[i]);
+    }
+    a0 += a;
+    b0 += b;
+    c0 += c;
+    d0 += d;
+  }
+
+  std::array<std::uint8_t, 16> out;
+  const std::uint32_t regs[4] = {a0, b0, c0, d0};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      out[static_cast<std::size_t>(i * 4 + j)] =
+          static_cast<std::uint8_t>(regs[i] >> (8 * j));
+  return out;
+}
+
+}  // namespace vpscope::crypto

@@ -1,0 +1,14 @@
+// MD5 (RFC 1321) — present solely because the JA3 TLS-fingerprint format
+// (used by the Table 6 baseline methods) is defined as an MD5 of the
+// fingerprint string. Not used for anything security-relevant.
+#pragma once
+
+#include <array>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::crypto {
+
+std::array<std::uint8_t, 16> md5(ByteView data);
+
+}  // namespace vpscope::crypto

@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4) — the hash underpinning HKDF and the TLS 1.3 /
+// QUIC v1 Initial key schedule. Streaming interface plus one-shot helper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(ByteView data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  static std::array<std::uint8_t, kDigestSize> digest(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104).
+std::array<std::uint8_t, Sha256::kDigestSize> hmac_sha256(ByteView key,
+                                                          ByteView data);
+
+}  // namespace vpscope::crypto

@@ -1,0 +1,277 @@
+#include "eval/scenario.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ml/mutual_info.hpp"
+
+namespace vpscope::eval {
+
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+std::string to_string(Objective objective) {
+  switch (objective) {
+    case Objective::UserPlatform: return "User platform";
+    case Objective::DeviceType: return "Device type";
+    case Objective::SoftwareAgent: return "Software agent";
+  }
+  return "?";
+}
+
+ScenarioData::ScenarioData(const synth::Dataset& dataset, Provider provider,
+                           Transport transport)
+    : provider_(provider), transport_(transport), encoder_(transport) {
+  for (const auto& flow : dataset.flows) {
+    if (flow.provider != provider || flow.transport != transport) continue;
+    auto handshake = core::extract_handshake(flow.packets);
+    if (!handshake) continue;
+    handshakes_.push_back(std::move(*handshake));
+    labels_.push_back(flow.platform);
+  }
+  encoder_.fit(handshakes_);
+
+  // Stable class orderings: catalog order for platforms, enum order for
+  // device/agent — restricted to classes present in this scenario.
+  for (const auto& p : fingerprint::all_platforms())
+    if (std::find(labels_.begin(), labels_.end(), p) != labels_.end())
+      platform_classes_.push_back(p);
+  std::set<int> devices, agents;
+  for (const auto& label : labels_) {
+    devices.insert(static_cast<int>(label.os));
+    agents.insert(static_cast<int>(label.agent));
+  }
+  for (int d : devices) device_classes_.push_back(static_cast<fingerprint::Os>(d));
+  for (int a : agents) agent_classes_.push_back(static_cast<fingerprint::Agent>(a));
+}
+
+int ScenarioData::class_id(const fingerprint::PlatformId& label,
+                           Objective objective) const {
+  switch (objective) {
+    case Objective::UserPlatform: {
+      const auto it = std::find(platform_classes_.begin(),
+                                platform_classes_.end(), label);
+      return it == platform_classes_.end()
+                 ? -1
+                 : static_cast<int>(it - platform_classes_.begin());
+    }
+    case Objective::DeviceType: {
+      const auto it =
+          std::find(device_classes_.begin(), device_classes_.end(), label.os);
+      return it == device_classes_.end()
+                 ? -1
+                 : static_cast<int>(it - device_classes_.begin());
+    }
+    case Objective::SoftwareAgent: {
+      const auto it = std::find(agent_classes_.begin(), agent_classes_.end(),
+                                label.agent);
+      return it == agent_classes_.end()
+                 ? -1
+                 : static_cast<int>(it - agent_classes_.begin());
+    }
+  }
+  return -1;
+}
+
+ml::Dataset ScenarioData::to_ml(Objective objective) const {
+  ml::Dataset data;
+  data.x.reserve(handshakes_.size());
+  data.y.reserve(handshakes_.size());
+  for (std::size_t i = 0; i < handshakes_.size(); ++i) {
+    data.x.push_back(encoder_.transform(handshakes_[i]));
+    data.y.push_back(class_id(labels_[i], objective));
+  }
+  return data;
+}
+
+std::vector<double> ScenarioData::encode(
+    const core::FlowHandshake& handshake) const {
+  return encoder_.transform(handshake);
+}
+
+std::vector<std::string> ScenarioData::class_names(Objective objective) const {
+  std::vector<std::string> names;
+  switch (objective) {
+    case Objective::UserPlatform:
+      for (const auto& p : platform_classes_)
+        names.push_back(fingerprint::to_string(p));
+      break;
+    case Objective::DeviceType:
+      for (const auto& d : device_classes_)
+        names.push_back(fingerprint::to_string(d));
+      break;
+    case Objective::SoftwareAgent:
+      for (const auto& a : agent_classes_)
+        names.push_back(fingerprint::to_string(a));
+      break;
+  }
+  return names;
+}
+
+int ScenarioData::num_classes(Objective objective) const {
+  switch (objective) {
+    case Objective::UserPlatform:
+      return static_cast<int>(platform_classes_.size());
+    case Objective::DeviceType:
+      return static_cast<int>(device_classes_.size());
+    case Objective::SoftwareAgent:
+      return static_cast<int>(agent_classes_.size());
+  }
+  return 0;
+}
+
+double cross_validate(const ml::Dataset& data, int folds, std::uint64_t seed,
+                      const ModelRunner& runner) {
+  const auto fold_ids = ml::stratified_fold_ids(data.y, folds, seed);
+  std::size_t correct = 0, total = 0;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<int> train_rows, test_rows;
+    ml::split_fold(fold_ids, f, &train_rows, &test_rows);
+    const ml::Dataset train = data.subset(train_rows);
+    const ml::Dataset test = data.subset(test_rows);
+    const auto predictions = runner(train, test);
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      ++total;
+      correct += predictions[i] == test.y[i];
+    }
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total)
+               : 0.0;
+}
+
+ml::ConfusionMatrix cv_confusion(const ml::Dataset& data, int folds,
+                                 std::uint64_t seed,
+                                 const ml::ForestParams& params) {
+  ml::ConfusionMatrix cm(data.num_classes());
+  const auto fold_ids = ml::stratified_fold_ids(data.y, folds, seed);
+  for (int f = 0; f < folds; ++f) {
+    std::vector<int> train_rows, test_rows;
+    ml::split_fold(fold_ids, f, &train_rows, &test_rows);
+    const ml::Dataset train = data.subset(train_rows);
+    const ml::Dataset test = data.subset(test_rows);
+    ml::RandomForest forest;
+    ml::ForestParams fp = params;
+    fp.seed = seed + static_cast<std::uint64_t>(f) * 97;
+    forest.fit(train, fp);
+    const auto predictions = forest.predict_batch(test);
+    for (std::size_t i = 0; i < predictions.size(); ++i)
+      cm.add(test.y[i], predictions[i]);
+  }
+  return cm;
+}
+
+std::vector<AttributeStats> attribute_stats(const ScenarioData& scenario) {
+  const auto& catalog = core::attribute_catalog();
+
+  // Raw signatures per attribute per flow.
+  const std::size_t n = scenario.size();
+  std::vector<std::vector<std::string>> signatures(core::kNumAttributes);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto raw = core::extract_raw_attributes(scenario.handshakes()[i]);
+    for (int a = 0; a < core::kNumAttributes; ++a)
+      signatures[static_cast<std::size_t>(a)].push_back(
+          core::attribute_signature(raw[static_cast<std::size_t>(a)],
+                                    catalog[static_cast<std::size_t>(a)].type));
+  }
+
+  std::vector<int> platform_y(n), device_y(n), agent_y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    platform_y[i] = scenario.class_id(scenario.labels()[i],
+                                      Objective::UserPlatform);
+    device_y[i] = scenario.class_id(scenario.labels()[i],
+                                    Objective::DeviceType);
+    agent_y[i] = scenario.class_id(scenario.labels()[i],
+                                   Objective::SoftwareAgent);
+  }
+
+  std::vector<AttributeStats> stats;
+  for (int a : scenario.encoder().attributes()) {
+    const auto& info = catalog[static_cast<std::size_t>(a)];
+    const auto& sig = signatures[static_cast<std::size_t>(a)];
+    AttributeStats s;
+    s.attribute = a;
+    s.label = info.label;
+    s.field_name = info.field_name;
+    s.type = info.type;
+    s.cost = info.cost();
+    s.unique_values = ml::unique_count(sig);
+    s.info_gain_platform = ml::mutual_information(sig, platform_y);
+    s.info_gain_device = ml::mutual_information(sig, device_y);
+    s.info_gain_agent = ml::mutual_information(sig, agent_y);
+
+    // "Number of user platforms with different value distributions": count
+    // platforms whose per-platform signature multiset is unique among all
+    // platforms (the paper's Fig. 3 purple bars).
+    std::map<int, std::map<std::string, int>> per_platform;
+    for (std::size_t i = 0; i < n; ++i)
+      per_platform[platform_y[i]][sig[i]]++;
+    // Normalize each distribution to its support-set + mode shape; compare
+    // by the set of observed values (robust against count jitter).
+    std::map<int, std::set<std::string>> supports;
+    for (const auto& [cls, dist] : per_platform) {
+      std::set<std::string> support;
+      for (const auto& [value, count] : dist) support.insert(value);
+      supports[cls] = std::move(support);
+    }
+    int distinct = 0;
+    for (const auto& [cls, support] : supports) {
+      bool unique = true;
+      for (const auto& [other, other_support] : supports) {
+        if (other != cls && other_support == support) {
+          unique = false;
+          break;
+        }
+      }
+      distinct += unique;
+    }
+    s.distinct_platforms = distinct;
+    stats.push_back(std::move(s));
+  }
+
+  // Normalize info gains by the per-objective maximum, as the paper's
+  // importance plots do.
+  double max_p = 0, max_d = 0, max_a = 0;
+  for (const auto& s : stats) {
+    max_p = std::max(max_p, s.info_gain_platform);
+    max_d = std::max(max_d, s.info_gain_device);
+    max_a = std::max(max_a, s.info_gain_agent);
+  }
+  for (auto& s : stats) {
+    s.norm_platform = max_p > 0 ? s.info_gain_platform / max_p : 0.0;
+    s.norm_device = max_d > 0 ? s.info_gain_device / max_d : 0.0;
+    s.norm_agent = max_a > 0 ? s.info_gain_agent / max_a : 0.0;
+  }
+  return stats;
+}
+
+std::vector<int> attributes_by_importance(const ScenarioData& scenario) {
+  auto stats = attribute_stats(scenario);
+  std::sort(stats.begin(), stats.end(),
+            [](const AttributeStats& a, const AttributeStats& b) {
+              return a.norm_platform > b.norm_platform;
+            });
+  std::vector<int> out;
+  out.reserve(stats.size());
+  for (const auto& s : stats) out.push_back(s.attribute);
+  return out;
+}
+
+std::vector<int> prune_low_importance(const ScenarioData& scenario,
+                                      const std::vector<core::AttrCost>& costs,
+                                      double low_threshold) {
+  const auto stats = attribute_stats(scenario);
+  std::vector<int> keep;
+  for (const auto& s : stats) {
+    const bool low_importance = s.norm_platform < low_threshold &&
+                                s.norm_device < low_threshold &&
+                                s.norm_agent < low_threshold;
+    const bool cost_listed =
+        std::find(costs.begin(), costs.end(), s.cost) != costs.end();
+    if (low_importance && cost_listed) continue;  // pruned
+    keep.push_back(s.attribute);
+  }
+  return keep;
+}
+
+}  // namespace vpscope::eval

@@ -1,0 +1,115 @@
+// Evaluation harness: assembles per-(provider, transport) scenario datasets
+// from labeled flows, runs cross-validation, computes attribute-level
+// information gain, and provides the shared machinery behind every bench
+// binary (one per paper table/figure).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "ml/dataset.hpp"
+#include "ml/forest.hpp"
+#include "ml/metrics.hpp"
+#include "synth/dataset.hpp"
+
+namespace vpscope::eval {
+
+/// The paper's three prediction objectives.
+enum class Objective { UserPlatform, DeviceType, SoftwareAgent };
+std::string to_string(Objective objective);
+
+/// All handshakes + labels of one (provider, transport) scenario, with a
+/// fitted encoder. This is the unit every experiment operates on.
+class ScenarioData {
+ public:
+  /// Extracts handshakes for the scenario from a labeled dataset and fits
+  /// the encoder on them.
+  ScenarioData(const synth::Dataset& dataset, fingerprint::Provider provider,
+               fingerprint::Transport transport);
+
+  fingerprint::Provider provider() const { return provider_; }
+  fingerprint::Transport transport() const { return transport_; }
+  std::size_t size() const { return handshakes_.size(); }
+  const core::FeatureEncoder& encoder() const { return encoder_; }
+  const std::vector<core::FlowHandshake>& handshakes() const {
+    return handshakes_;
+  }
+  const std::vector<fingerprint::PlatformId>& labels() const {
+    return labels_;
+  }
+
+  /// Encoded ml::Dataset for an objective. Class ids index `class_names()`.
+  ml::Dataset to_ml(Objective objective) const;
+
+  /// Encodes an external handshake (e.g. an open-set flow) with this
+  /// scenario's fitted dictionaries.
+  std::vector<double> encode(const core::FlowHandshake& handshake) const;
+
+  /// Class id for an external label under an objective (-1 if the class was
+  /// never seen in this scenario).
+  int class_id(const fingerprint::PlatformId& label,
+               Objective objective) const;
+
+  std::vector<std::string> class_names(Objective objective) const;
+  int num_classes(Objective objective) const;
+
+ private:
+  fingerprint::Provider provider_;
+  fingerprint::Transport transport_;
+  core::FeatureEncoder encoder_;
+  std::vector<core::FlowHandshake> handshakes_;
+  std::vector<fingerprint::PlatformId> labels_;
+  std::vector<fingerprint::PlatformId> platform_classes_;
+  std::vector<fingerprint::Os> device_classes_;
+  std::vector<fingerprint::Agent> agent_classes_;
+};
+
+/// A model factory: trains on a dataset and returns a batch predictor.
+using ModelRunner = std::function<std::vector<int>(const ml::Dataset& train,
+                                                   const ml::Dataset& test)>;
+
+/// k-fold cross-validated accuracy of a model on a dataset.
+double cross_validate(const ml::Dataset& data, int folds, std::uint64_t seed,
+                      const ModelRunner& runner);
+
+/// k-fold cross-validated confusion matrix (pooled over folds) using a
+/// random forest with the given params.
+ml::ConfusionMatrix cv_confusion(const ml::Dataset& data, int folds,
+                                 std::uint64_t seed,
+                                 const ml::ForestParams& params);
+
+/// Per-attribute importance analysis (Fig. 3/5/13/14 substrate).
+struct AttributeStats {
+  int attribute = 0;          // catalog index
+  std::string label;          // "t1".."q20"
+  std::string field_name;
+  core::AttrType type{};
+  core::AttrCost cost{};
+  int unique_values = 0;      // Fig. 3 blue bars
+  int distinct_platforms = 0; // Fig. 3 purple bars
+  double info_gain_platform = 0.0;  // raw MI in bits
+  double info_gain_device = 0.0;
+  double info_gain_agent = 0.0;
+  // Normalized (divided by the max across attributes, as the paper plots).
+  double norm_platform = 0.0;
+  double norm_device = 0.0;
+  double norm_agent = 0.0;
+};
+
+std::vector<AttributeStats> attribute_stats(const ScenarioData& scenario);
+
+/// Ranks applicable attributes by normalized platform info gain, descending
+/// (used for the Fig. 6(a) "number of attributes" sweep).
+std::vector<int> attributes_by_importance(const ScenarioData& scenario);
+
+/// Attribute subsets of Table 5: all applicable attributes minus
+/// low-importance (< `low_threshold` normalized gain) attributes of the
+/// given costs.
+std::vector<int> prune_low_importance(
+    const ScenarioData& scenario, const std::vector<core::AttrCost>& costs,
+    double low_threshold = 0.1);
+
+}  // namespace vpscope::eval

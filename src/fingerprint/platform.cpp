@@ -1,0 +1,195 @@
+#include "fingerprint/platform.hpp"
+
+#include <stdexcept>
+
+namespace vpscope::fingerprint {
+
+DeviceType PlatformId::device() const {
+  switch (os) {
+    case Os::Windows:
+    case Os::MacOS:
+      return DeviceType::PC;
+    case Os::Android:
+    case Os::IOS:
+      return DeviceType::Mobile;
+    case Os::AndroidTV:
+    case Os::PlayStation:
+      return DeviceType::TV;
+  }
+  return DeviceType::PC;
+}
+
+std::string to_string(DeviceType d) {
+  switch (d) {
+    case DeviceType::PC: return "PC";
+    case DeviceType::Mobile: return "Mobile";
+    case DeviceType::TV: return "TV";
+  }
+  return "?";
+}
+
+std::string to_string(Os os) {
+  switch (os) {
+    case Os::Windows: return "Windows";
+    case Os::MacOS: return "macOS";
+    case Os::Android: return "Android";
+    case Os::IOS: return "iOS";
+    case Os::AndroidTV: return "AndroidTV";
+    case Os::PlayStation: return "PlayStation";
+  }
+  return "?";
+}
+
+std::string to_string(Agent a) {
+  switch (a) {
+    case Agent::Chrome: return "Chrome";
+    case Agent::Edge: return "Edge";
+    case Agent::Firefox: return "Firefox";
+    case Agent::Safari: return "Safari";
+    case Agent::SamsungInternet: return "SamsungInternet";
+    case Agent::NativeApp: return "NativeApp";
+  }
+  return "?";
+}
+
+std::string to_string(Provider p) {
+  switch (p) {
+    case Provider::YouTube: return "YouTube";
+    case Provider::Netflix: return "Netflix";
+    case Provider::Disney: return "Disney";
+    case Provider::Amazon: return "Amazon";
+  }
+  return "?";
+}
+
+std::string to_string(Transport t) {
+  return t == Transport::Tcp ? "TCP" : "QUIC";
+}
+
+std::string to_string(const PlatformId& p) {
+  return to_string(p.os) + "/" + to_string(p.agent);
+}
+
+const std::vector<PlatformId>& all_platforms() {
+  static const std::vector<PlatformId> platforms = {
+      // PC / Windows
+      {Os::Windows, Agent::Chrome},
+      {Os::Windows, Agent::Edge},
+      {Os::Windows, Agent::Firefox},
+      {Os::Windows, Agent::NativeApp},
+      // PC / macOS
+      {Os::MacOS, Agent::Safari},
+      {Os::MacOS, Agent::Chrome},
+      {Os::MacOS, Agent::Edge},
+      {Os::MacOS, Agent::Firefox},
+      {Os::MacOS, Agent::NativeApp},
+      // Mobile / Android
+      {Os::Android, Agent::Chrome},
+      {Os::Android, Agent::SamsungInternet},
+      {Os::Android, Agent::NativeApp},
+      // Mobile / iOS
+      {Os::IOS, Agent::Safari},
+      {Os::IOS, Agent::Chrome},
+      {Os::IOS, Agent::NativeApp},
+      // TV
+      {Os::AndroidTV, Agent::NativeApp},
+      {Os::PlayStation, Agent::NativeApp},
+  };
+  return platforms;
+}
+
+bool supports(const PlatformId& p, Provider provider) {
+  const bool yt = provider == Provider::YouTube;
+  switch (p.os) {
+    case Os::Windows:
+      // Browsers stream everything; the Windows native app exists for the
+      // three subscription services only (no YouTube desktop app).
+      if (p.agent == Agent::NativeApp) return !yt;
+      return p.agent == Agent::Chrome || p.agent == Agent::Edge ||
+             p.agent == Agent::Firefox;
+    case Os::MacOS:
+      // Safari/Chrome/Edge/Firefox stream everything; the only macOS native
+      // client in Table 1 is Amazon's.
+      if (p.agent == Agent::NativeApp) return provider == Provider::Amazon;
+      return p.agent == Agent::Safari || p.agent == Agent::Chrome ||
+             p.agent == Agent::Edge || p.agent == Agent::Firefox;
+    case Os::Android:
+      // Mobile browsers only appear for YouTube; subscription services force
+      // their native apps.
+      if (p.agent == Agent::NativeApp) return true;
+      return yt && (p.agent == Agent::Chrome ||
+                    p.agent == Agent::SamsungInternet);
+    case Os::IOS:
+      if (p.agent == Agent::NativeApp) return true;
+      return yt && (p.agent == Agent::Safari || p.agent == Agent::Chrome);
+    case Os::AndroidTV:
+    case Os::PlayStation:
+      return p.agent == Agent::NativeApp;
+  }
+  return false;
+}
+
+bool supports_quic(const PlatformId& p, Provider provider) {
+  if (provider != Provider::YouTube || !supports(p, provider)) return false;
+  // 12 QUIC-capable YouTube platforms (Fig. 6/12(a) of the paper):
+  // all Windows/macOS browsers, both iOS browsers, iOS + Android native
+  // apps, and Android Chrome. Samsung Internet, Android TV and PlayStation
+  // clients stay on TCP.
+  switch (p.os) {
+    case Os::Windows:
+    case Os::MacOS:
+      return p.agent != Agent::NativeApp;
+    case Os::Android:
+      return p.agent == Agent::Chrome || p.agent == Agent::NativeApp;
+    case Os::IOS:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool supports_tcp(const PlatformId& p, Provider provider) {
+  if (!supports(p, provider)) return false;
+  // The Android native YouTube app is modeled as QUIC-only, giving the
+  // paper's 14 TCP vs 12 QUIC YouTube platform counts.
+  if (provider == Provider::YouTube && p.os == Os::Android &&
+      p.agent == Agent::NativeApp)
+    return false;
+  return true;
+}
+
+std::vector<PlatformId> platforms_for(Provider provider, Transport transport) {
+  std::vector<PlatformId> out;
+  for (const auto& p : all_platforms()) {
+    const bool ok = transport == Transport::Quic ? supports_quic(p, provider)
+                                                 : supports_tcp(p, provider);
+    if (ok) out.push_back(p);
+  }
+  return out;
+}
+
+const std::vector<Provider>& all_providers() {
+  static const std::vector<Provider> providers = {
+      Provider::YouTube, Provider::Netflix, Provider::Disney,
+      Provider::Amazon};
+  return providers;
+}
+
+int platform_label(const PlatformId& p) {
+  const auto& all = all_platforms();
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (all[i] == p) return static_cast<int>(i);
+  throw std::invalid_argument("unknown platform " + to_string(p));
+}
+
+PlatformId platform_from_label(int label) {
+  const auto& all = all_platforms();
+  if (label < 0 || static_cast<std::size_t>(label) >= all.size())
+    throw std::invalid_argument("bad platform label");
+  return all[static_cast<std::size_t>(label)];
+}
+
+int os_label(Os os) { return static_cast<int>(os); }
+int agent_label(Agent a) { return static_cast<int>(a); }
+
+}  // namespace vpscope::fingerprint

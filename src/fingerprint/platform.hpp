@@ -1,0 +1,85 @@
+// The user-platform taxonomy of the paper: device type × OS × software
+// agent, the four content providers, and the support matrix of Table 1
+// (which platform streams which provider over which transport).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vpscope::fingerprint {
+
+enum class DeviceType : std::uint8_t { PC, Mobile, TV };
+
+enum class Os : std::uint8_t {
+  Windows,
+  MacOS,
+  Android,
+  IOS,
+  AndroidTV,
+  PlayStation,
+};
+
+enum class Agent : std::uint8_t {
+  Chrome,
+  Edge,
+  Firefox,
+  Safari,
+  SamsungInternet,
+  NativeApp,
+};
+
+enum class Provider : std::uint8_t { YouTube, Netflix, Disney, Amazon };
+inline constexpr int kNumProviders = 4;
+
+enum class Transport : std::uint8_t { Tcp, Quic };
+
+/// One user platform: the composite class the paper's first classifier
+/// predicts. Device type is implied by the OS (Table 1 pairs them 1:1).
+struct PlatformId {
+  Os os = Os::Windows;
+  Agent agent = Agent::Chrome;
+
+  DeviceType device() const;
+  bool operator==(const PlatformId&) const = default;
+  auto operator<=>(const PlatformId&) const = default;
+};
+
+std::string to_string(DeviceType d);
+std::string to_string(Os os);
+std::string to_string(Agent a);
+std::string to_string(Provider p);
+std::string to_string(Transport t);
+std::string to_string(const PlatformId& p);  // e.g. "Windows/Chrome"
+
+/// The 17 unique user platforms of Table 1, in table order.
+const std::vector<PlatformId>& all_platforms();
+
+/// Table 1 support matrix: does this provider offer a client on this
+/// platform at all?
+bool supports(const PlatformId& platform, Provider provider);
+
+/// Whether the (platform, provider) pair can stream over QUIC. Only YouTube
+/// uses QUIC at the time of the paper; of its 15 platforms, 12 are
+/// QUIC-capable. The Android native YouTube app is modeled QUIC-only.
+bool supports_quic(const PlatformId& platform, Provider provider);
+
+/// Whether the pair can stream over TCP (everything supported except the
+/// QUIC-only Android native YouTube app).
+bool supports_tcp(const PlatformId& platform, Provider provider);
+
+/// Platforms supporting a (provider, transport) pair, in stable order —
+/// these are the classifier's label sets (12 for YT/QUIC, 14 for YT/TCP...).
+std::vector<PlatformId> platforms_for(Provider provider, Transport transport);
+
+/// Providers in fixed order, for iteration.
+const std::vector<Provider>& all_providers();
+
+/// Integer label codecs for the ML layer (stable across runs).
+int platform_label(const PlatformId& p);
+PlatformId platform_from_label(int label);
+int os_label(Os os);
+int agent_label(Agent a);
+
+}  // namespace vpscope::fingerprint

@@ -1,0 +1,952 @@
+#include "fingerprint/profiles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tls/constants.hpp"
+
+namespace vpscope::fingerprint {
+
+using namespace vpscope::tls;  // suite::, group::, sigalg::, certcomp::
+namespace qtp = vpscope::quic::tp;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// TCP stack shapes per OS. TTL/window/options model the well-known defaults
+// of each kernel family (Windows TTL 128, everything else 64; Apple stacks
+// enable ECN and timestamps; Linux uses the MSS,SACK,TS,NOP,WS option order;
+// Windows uses MSS,NOP,WS,NOP,NOP,SACK and no timestamps).
+// ---------------------------------------------------------------------------
+
+TcpProfile tcp_windows() {
+  TcpProfile t;
+  t.initial_ttl = 128;
+  t.window = 64240;
+  t.mss = 1460;
+  t.window_scale = 8;
+  t.sack_permitted = true;
+  t.timestamps = false;
+  t.option_kind_order = {2, 1, 3, 1, 1, 4};
+  t.ecn_setup = false;
+  return t;
+}
+
+TcpProfile tcp_macos() {
+  TcpProfile t;
+  t.initial_ttl = 64;
+  t.window = 65535;
+  t.mss = 1460;
+  t.window_scale = 6;
+  t.sack_permitted = true;
+  t.timestamps = true;
+  t.option_kind_order = {2, 1, 3, 1, 1, 8, 4};
+  t.ecn_setup = true;
+  return t;
+}
+
+TcpProfile tcp_ios() {
+  TcpProfile t = tcp_macos();
+  t.window_scale = 7;  // the main transport-layer iOS-vs-macOS delta
+  return t;
+}
+
+TcpProfile tcp_android() {
+  TcpProfile t;
+  t.initial_ttl = 64;
+  t.window = 65535;
+  t.mss = 1460;
+  t.window_scale = 8;
+  t.sack_permitted = true;
+  t.timestamps = true;
+  t.option_kind_order = {2, 4, 8, 1, 3};  // Linux order
+  t.ecn_setup = false;
+  return t;
+}
+
+TcpProfile tcp_androidtv() {
+  TcpProfile t = tcp_android();
+  t.window_scale = 9;  // TV kernels ship larger buffers
+  t.window = 65535;
+  return t;
+}
+
+TcpProfile tcp_playstation() {
+  TcpProfile t;
+  t.initial_ttl = 64;
+  t.window = 32768;
+  t.mss = 1460;
+  t.window_scale = 5;
+  t.sack_permitted = true;
+  t.timestamps = false;
+  t.option_kind_order = {2, 1, 3, 1, 1, 4};
+  t.ecn_setup = false;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// TLS stack families.
+// ---------------------------------------------------------------------------
+
+TlsProfile boringssl_tls() {  // Chrome / Edge / Samsung Internet base
+  TlsProfile t;
+  t.grease = true;
+  t.randomize_extension_order = true;  // Chrome >= 110
+  t.cipher_suites = {
+      suite::kAes128GcmSha256,   suite::kAes256GcmSha384,
+      suite::kChaCha20Poly1305Sha256,
+      suite::kEcdheEcdsaAes128Gcm, suite::kEcdheRsaAes128Gcm,
+      suite::kEcdheEcdsaAes256Gcm, suite::kEcdheRsaAes256Gcm,
+      suite::kEcdheEcdsaChaCha20,  suite::kEcdheRsaChaCha20,
+      suite::kEcdheRsaAes128CbcSha, suite::kEcdheRsaAes256CbcSha,
+      suite::kRsaAes128Gcm, suite::kRsaAes256Gcm,
+      suite::kRsaAes128CbcSha, suite::kRsaAes256CbcSha};
+  t.groups = {group::kX25519, group::kSecp256r1, group::kSecp384r1};
+  t.sigalgs = {sigalg::kEcdsaSecp256r1Sha256, sigalg::kRsaPssRsaeSha256,
+               sigalg::kRsaPkcs1Sha256,       sigalg::kEcdsaSecp384r1Sha384,
+               sigalg::kRsaPssRsaeSha384,     sigalg::kRsaPkcs1Sha384,
+               sigalg::kRsaPssRsaeSha512,     sigalg::kRsaPkcs1Sha512};
+  t.alpn = {"h2", "http/1.1"};
+  t.supported_versions = {kVersion13, kVersion12};
+  t.key_share_groups = {group::kX25519};
+  t.psk_modes = {1};
+  t.compress_certificate = {certcomp::kBrotli};
+  t.ec_point_formats = true;
+  t.extended_master_secret = true;
+  t.renegotiation_info = true;
+  t.session_ticket = true;
+  t.session_ticket_nonempty_prob = 0.25;
+  t.status_request = true;
+  t.sct = true;
+  t.application_settings = true;
+  t.application_settings_code = ext::kApplicationSettings;
+  t.padding_to = 517;
+  return t;
+}
+
+TlsProfile nss_tls() {  // Firefox
+  TlsProfile t;
+  t.grease = false;
+  t.cipher_suites = {
+      suite::kAes128GcmSha256,     suite::kChaCha20Poly1305Sha256,
+      suite::kAes256GcmSha384,
+      suite::kEcdheEcdsaAes128Gcm, suite::kEcdheRsaAes128Gcm,
+      suite::kEcdheEcdsaChaCha20,  suite::kEcdheRsaChaCha20,
+      suite::kEcdheEcdsaAes256Gcm, suite::kEcdheRsaAes256Gcm,
+      suite::kEcdheEcdsaAes256CbcSha, suite::kEcdheEcdsaAes128CbcSha,
+      suite::kEcdheRsaAes128CbcSha,   suite::kEcdheRsaAes256CbcSha,
+      suite::kRsaAes128Gcm, suite::kRsaAes256Gcm,
+      suite::kRsaAes128CbcSha, suite::kRsaAes256CbcSha};
+  t.groups = {group::kX25519,    group::kSecp256r1, group::kSecp384r1,
+              group::kSecp521r1, group::kFfdhe2048, group::kFfdhe3072};
+  t.sigalgs = {sigalg::kEcdsaSecp256r1Sha256, sigalg::kEcdsaSecp384r1Sha384,
+               sigalg::kEcdsaSecp521r1Sha512, sigalg::kRsaPssRsaeSha256,
+               sigalg::kRsaPssRsaeSha384,     sigalg::kRsaPssRsaeSha512,
+               sigalg::kRsaPkcs1Sha256,       sigalg::kRsaPkcs1Sha384,
+               sigalg::kRsaPkcs1Sha512,       sigalg::kEcdsaSha1,
+               sigalg::kRsaPkcs1Sha1};
+  t.alpn = {"h2", "http/1.1"};
+  t.supported_versions = {kVersion13, kVersion12};
+  t.key_share_groups = {group::kX25519, group::kSecp256r1};
+  t.psk_modes = {1};
+  t.record_size_limit = 16385;  // the Firefox tell the paper calls out
+  t.delegated_credentials = {sigalg::kEcdsaSecp256r1Sha256,
+                             sigalg::kEcdsaSecp384r1Sha384,
+                             sigalg::kEcdsaSecp521r1Sha512,
+                             sigalg::kEcdsaSha1};
+  t.ec_point_formats = true;
+  t.extended_master_secret = true;
+  t.session_ticket = true;
+  t.session_ticket_nonempty_prob = 0.2;
+  t.status_request = true;
+  return t;
+}
+
+TlsProfile apple_tls() {  // Safari + every client on Apple's network stack
+  TlsProfile t;
+  t.grease = true;
+  t.cipher_suites = {
+      suite::kAes128GcmSha256, suite::kAes256GcmSha384,
+      suite::kChaCha20Poly1305Sha256,
+      suite::kEcdheEcdsaAes256Gcm, suite::kEcdheEcdsaAes128Gcm,
+      suite::kEcdheEcdsaChaCha20,
+      suite::kEcdheRsaAes256Gcm, suite::kEcdheRsaAes128Gcm,
+      suite::kEcdheRsaChaCha20,
+      suite::kEcdheEcdsaAes256CbcSha, suite::kEcdheEcdsaAes128CbcSha,
+      suite::kEcdheRsaAes256CbcSha,   suite::kEcdheRsaAes128CbcSha,
+      suite::kRsaAes256Gcm, suite::kRsaAes128Gcm,
+      suite::kRsaAes256CbcSha, suite::kRsaAes128CbcSha,
+      suite::kRsa3desEdeCbcSha};
+  t.groups = {group::kX25519, group::kSecp256r1, group::kSecp384r1,
+              group::kSecp521r1};
+  t.sigalgs = {sigalg::kEcdsaSecp256r1Sha256, sigalg::kRsaPssRsaeSha256,
+               sigalg::kRsaPkcs1Sha256,       sigalg::kEcdsaSecp384r1Sha384,
+               sigalg::kEcdsaSha1,            sigalg::kRsaPssRsaeSha384,
+               sigalg::kRsaPkcs1Sha384,       sigalg::kRsaPssRsaeSha512,
+               sigalg::kRsaPkcs1Sha512,       sigalg::kRsaPkcs1Sha1};
+  t.alpn = {"h2", "http/1.1"};
+  // Apple stacks still offer the full legacy version ladder.
+  t.supported_versions = {kVersion13, kVersion12, kVersion11, kVersion10};
+  t.key_share_groups = {group::kX25519};
+  t.psk_modes = {1};
+  t.compress_certificate = {certcomp::kZlib};
+  t.ec_point_formats = true;
+  t.extended_master_secret = true;
+  t.renegotiation_info = true;
+  t.session_ticket = false;
+  t.status_request = true;
+  t.sct = true;
+  return t;
+}
+
+TlsProfile schannel_tls() {  // Windows native store apps
+  TlsProfile t;
+  t.grease = false;
+  t.cipher_suites = {
+      suite::kAes128GcmSha256, suite::kAes256GcmSha384,
+      suite::kEcdheEcdsaAes256Gcm, suite::kEcdheEcdsaAes128Gcm,
+      suite::kEcdheRsaAes256Gcm,   suite::kEcdheRsaAes128Gcm,
+      suite::kEcdheEcdsaAes256CbcSha384, suite::kEcdheEcdsaAes128CbcSha256,
+      suite::kEcdheRsaAes256CbcSha384,   suite::kEcdheRsaAes128CbcSha256,
+      suite::kEcdheEcdsaAes256CbcSha, suite::kEcdheEcdsaAes128CbcSha,
+      suite::kEcdheRsaAes256CbcSha,   suite::kEcdheRsaAes128CbcSha,
+      suite::kRsaAes256Gcm, suite::kRsaAes128Gcm,
+      suite::kRsaAes256CbcSha256, suite::kRsaAes128CbcSha256,
+      suite::kRsaAes256CbcSha, suite::kRsaAes128CbcSha,
+      suite::kRsa3desEdeCbcSha};
+  t.groups = {group::kX25519, group::kSecp256r1, group::kSecp384r1};
+  t.sigalgs = {sigalg::kEcdsaSecp256r1Sha256, sigalg::kEcdsaSecp384r1Sha384,
+               sigalg::kEcdsaSecp521r1Sha512, sigalg::kRsaPssRsaeSha256,
+               sigalg::kRsaPssRsaeSha384,     sigalg::kRsaPssRsaeSha512,
+               sigalg::kRsaPkcs1Sha256,       sigalg::kRsaPkcs1Sha384,
+               sigalg::kRsaPkcs1Sha512,       sigalg::kRsaPkcs1Sha1};
+  t.alpn = {"h2"};
+  t.supported_versions = {kVersion13, kVersion12};
+  t.key_share_groups = {group::kX25519, group::kSecp256r1};
+  t.psk_modes = {1};
+  t.ec_point_formats = true;
+  t.extended_master_secret = true;
+  t.renegotiation_info = true;
+  t.session_ticket = true;
+  t.session_ticket_nonempty_prob = 0.3;
+  t.status_request = true;
+  t.post_handshake_auth = true;  // Schannel's distinctive habit
+  return t;
+}
+
+TlsProfile conscrypt_tls() {  // Android native apps (OkHttp over Conscrypt)
+  TlsProfile t;
+  t.grease = true;
+  t.session_id_len = 0;  // Conscrypt sends an empty legacy session id
+  t.cipher_suites = {
+      suite::kAes128GcmSha256, suite::kAes256GcmSha384,
+      suite::kChaCha20Poly1305Sha256,
+      suite::kEcdheEcdsaAes128Gcm, suite::kEcdheEcdsaAes256Gcm,
+      suite::kEcdheRsaAes128Gcm,   suite::kEcdheRsaAes256Gcm,
+      suite::kEcdheEcdsaChaCha20,  suite::kEcdheRsaChaCha20,
+      suite::kRsaAes128Gcm, suite::kRsaAes256Gcm,
+      suite::kRsaAes128CbcSha, suite::kRsaAes256CbcSha};
+  t.groups = {group::kX25519, group::kSecp256r1, group::kSecp384r1};
+  t.sigalgs = {sigalg::kEcdsaSecp256r1Sha256, sigalg::kRsaPssRsaeSha256,
+               sigalg::kRsaPkcs1Sha256,       sigalg::kEcdsaSecp384r1Sha384,
+               sigalg::kRsaPssRsaeSha384,     sigalg::kRsaPkcs1Sha384,
+               sigalg::kEcdsaSecp521r1Sha512, sigalg::kRsaPssRsaeSha512,
+               sigalg::kRsaPkcs1Sha512};
+  t.alpn = {"h2"};
+  t.supported_versions = {kVersion13, kVersion12};
+  t.key_share_groups = {group::kX25519};
+  t.psk_modes = {1};
+  t.extended_master_secret = true;
+  t.session_ticket = true;
+  t.session_ticket_nonempty_prob = 0.3;
+  t.status_request = true;
+  return t;
+}
+
+TlsProfile console_tls() {  // PlayStation (TLS 1.2-only embedded stack)
+  TlsProfile t;
+  t.grease = false;
+  t.session_id_len = 0;
+  t.cipher_suites = {
+      suite::kEcdheEcdsaAes128Gcm, suite::kEcdheRsaAes128Gcm,
+      suite::kEcdheEcdsaAes256Gcm, suite::kEcdheRsaAes256Gcm,
+      suite::kEcdheRsaAes128CbcSha, suite::kEcdheRsaAes256CbcSha,
+      suite::kRsaAes128Gcm, suite::kRsaAes256Gcm,
+      suite::kRsaAes128CbcSha, suite::kRsaAes256CbcSha,
+      suite::kRsa3desEdeCbcSha};
+  t.groups = {group::kSecp256r1, group::kSecp384r1, group::kX25519};
+  t.sigalgs = {sigalg::kRsaPkcs1Sha256, sigalg::kEcdsaSecp256r1Sha256,
+               sigalg::kRsaPkcs1Sha384, sigalg::kEcdsaSecp384r1Sha384,
+               sigalg::kRsaPkcs1Sha512, sigalg::kRsaPkcs1Sha1};
+  t.alpn = {"http/1.1"};
+  // No supported_versions / key_share / psk modes: TLS 1.2 only.
+  t.ec_point_formats = true;
+  t.extended_master_secret = true;
+  t.renegotiation_info = true;
+  t.session_ticket = true;
+  t.session_ticket_nonempty_prob = 0.5;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// QUIC stacks.
+// ---------------------------------------------------------------------------
+
+QuicProfile chromium_quic(const std::string& user_agent) {
+  QuicProfile q;
+  auto& tp = q.transport_params;
+  tp.max_idle_timeout = 30000;
+  tp.max_udp_payload_size = 1472;
+  tp.initial_max_data = 15728640;
+  tp.initial_max_stream_data_bidi_local = 6291456;
+  tp.initial_max_stream_data_bidi_remote = 6291456;
+  tp.initial_max_stream_data_uni = 6291456;
+  tp.initial_max_streams_bidi = 100;
+  tp.initial_max_streams_uni = 103;
+  tp.active_connection_id_limit = 4;
+  tp.has_initial_source_connection_id = true;
+  tp.max_datagram_frame_size = 65536;
+  tp.grease_quic_bit = true;
+  tp.user_agent = user_agent;
+  tp.google_version = 1;
+  tp.param_order = {qtp::kMaxIdleTimeout,
+                    qtp::kMaxUdpPayloadSize,
+                    qtp::kInitialMaxData,
+                    qtp::kInitialMaxStreamDataBidiLocal,
+                    qtp::kInitialMaxStreamDataBidiRemote,
+                    qtp::kInitialMaxStreamDataUni,
+                    qtp::kInitialMaxStreamsBidi,
+                    qtp::kInitialMaxStreamsUni,
+                    qtp::kActiveConnectionIdLimit,
+                    qtp::kInitialSourceConnectionId,
+                    qtp::kMaxDatagramFrameSize,
+                    qtp::kGreaseQuicBit,
+                    qtp::kUserAgent,
+                    qtp::kGoogleVersion};
+  q.dcid_len = 8;
+  q.scid_len = 0;  // Chromium clients send an empty SCID
+  q.initial_datagram_size = 1250;
+  return q;
+}
+
+QuicProfile firefox_quic() {
+  QuicProfile q;
+  auto& tp = q.transport_params;
+  tp.max_idle_timeout = 600000;
+  tp.max_udp_payload_size = 65527;  // neqo advertises the RFC maximum
+  tp.initial_max_data = 25165824;
+  tp.initial_max_stream_data_bidi_local = 12582912;
+  tp.initial_max_stream_data_bidi_remote = 1048576;
+  tp.initial_max_stream_data_uni = 1048576;
+  tp.initial_max_streams_bidi = 16;
+  tp.initial_max_streams_uni = 16;
+  tp.max_ack_delay = 20;
+  tp.active_connection_id_limit = 8;
+  tp.has_initial_source_connection_id = true;
+  tp.grease_quic_bit = true;  // the Firefox habit the paper calls out
+  tp.param_order = {qtp::kInitialMaxStreamDataBidiLocal,
+                    qtp::kInitialMaxStreamDataBidiRemote,
+                    qtp::kInitialMaxStreamDataUni,
+                    qtp::kInitialMaxData,
+                    qtp::kInitialMaxStreamsBidi,
+                    qtp::kInitialMaxStreamsUni,
+                    qtp::kMaxIdleTimeout,
+                    qtp::kMaxUdpPayloadSize,
+                    qtp::kMaxAckDelay,
+                    qtp::kActiveConnectionIdLimit,
+                    qtp::kInitialSourceConnectionId,
+                    qtp::kGreaseQuicBit};
+  q.dcid_len = 8;
+  q.scid_len = 3;
+  q.initial_datagram_size = 1357;
+  return q;
+}
+
+QuicProfile apple_quic() {
+  QuicProfile q;
+  auto& tp = q.transport_params;
+  tp.max_idle_timeout = 30000;
+  tp.max_udp_payload_size = 1452;
+  tp.initial_max_data = 2097152;
+  tp.initial_max_stream_data_bidi_local = 2097152;
+  tp.initial_max_stream_data_bidi_remote = 1048576;
+  tp.initial_max_stream_data_uni = 1048576;
+  tp.initial_max_streams_bidi = 100;
+  tp.initial_max_streams_uni = 100;
+  tp.max_ack_delay = 25;
+  tp.active_connection_id_limit = 4;
+  tp.has_initial_source_connection_id = true;
+  tp.param_order = {qtp::kMaxUdpPayloadSize,
+                    qtp::kMaxIdleTimeout,
+                    qtp::kInitialMaxData,
+                    qtp::kInitialMaxStreamDataBidiLocal,
+                    qtp::kInitialMaxStreamDataBidiRemote,
+                    qtp::kInitialMaxStreamDataUni,
+                    qtp::kInitialMaxStreamsBidi,
+                    qtp::kInitialMaxStreamsUni,
+                    qtp::kMaxAckDelay,
+                    qtp::kActiveConnectionIdLimit,
+                    qtp::kInitialSourceConnectionId};
+  q.dcid_len = 8;
+  q.scid_len = 8;
+  q.initial_datagram_size = 1280;
+  return q;
+}
+
+/// Apple's HTTP/3 stack on iOS differs from macOS in path-MTU conservatism
+/// and migration policy (cellular interfaces) — the deltas that let the
+/// paper separate iOS from macOS over QUIC.
+QuicProfile apple_quic_ios() {
+  QuicProfile q = apple_quic();
+  q.transport_params.max_udp_payload_size = 1350;
+  q.transport_params.disable_active_migration = true;
+  q.transport_params.param_order.push_back(qtp::kDisableActiveMigration);
+  q.initial_datagram_size = 1232;
+  return q;
+}
+
+QuicProfile cronet_quic(const std::string& app_user_agent) {
+  QuicProfile q = chromium_quic(app_user_agent);
+  auto& tp = q.transport_params;
+  tp.google_connection_options = "RVCM";
+  tp.initial_rtt_us = 100000;
+  // Cronet keeps the Chromium order but appends the Google extras.
+  tp.param_order.push_back(qtp::kGoogleConnectionOptions);
+  tp.param_order.push_back(qtp::kInitialRtt);
+  q.initial_datagram_size = 1250;
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Content-server SNI pools (per provider).
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> sni_pool(Provider provider) {
+  switch (provider) {
+    case Provider::YouTube:
+      return {"rr1---sn-ntqe6n7k.googlevideo.com",
+              "rr3---sn-q4flrn7r.googlevideo.com",
+              "rr5---sn-ntq7yned.googlevideo.com",
+              "rr2---sn-q4fl6nsy.googlevideo.com",
+              "rr4---sn-ntqe6n76.googlevideo.com"};
+    case Provider::Netflix:
+      return {"ipv4-c001-syd001-ix.1.oca.nflxvideo.net",
+              "ipv4-c012-syd002-ix.1.oca.nflxvideo.net",
+              "ipv4-c044-mel001-ix.1.oca.nflxvideo.net",
+              "ipv4-c103-syd001-telstra-isp.1.oca.nflxvideo.net"};
+    case Provider::Disney:
+      return {"vod-bgc-na-west-1.media.dssott.com",
+              "vod-akc-oz-east-1.media.dssott.com",
+              "disney.playback.edge.bamgrid.com",
+              "vod-l3c-oz-east-2.media.dssott.com"};
+    case Provider::Amazon:
+      return {"atv-ps.amazon.com",
+              "d25xi40x97liuc.cloudfront.net",
+              "s3-ap-southeast-2-w.amazonaws.com",
+              "avodmp4s3ww-a.akamaihd.net"};
+  }
+  return {};
+}
+
+std::string chrome_ua(Os os) {
+  switch (os) {
+    case Os::Windows:
+      return "Chrome/118.0.5993.117 Windows NT 10.0; Win64; x64";
+    case Os::MacOS:
+      return "Chrome/118.0.5993.117 Intel Mac OS X 10_15_7";
+    case Os::Android:
+      return "Chrome/118.0.5993.111 Linux; Android 13";
+    default:
+      return "Chrome/118.0.5993.117";
+  }
+}
+
+std::string edge_ua(Os os) {
+  return os == Os::Windows ? "Edg/118.0.2088.76 Windows NT 10.0; Win64; x64"
+                           : "Edg/118.0.2088.76 Intel Mac OS X 10_15_7";
+}
+
+// ---------------------------------------------------------------------------
+// Assembly + drift.
+// ---------------------------------------------------------------------------
+
+TlsProfile tls_for(const PlatformId& p) {
+  switch (p.os) {
+    case Os::Windows:
+      if (p.agent == Agent::Firefox) return nss_tls();
+      if (p.agent == Agent::NativeApp) return schannel_tls();
+      {
+        TlsProfile t = boringssl_tls();
+        if (p.agent == Agent::Edge) {
+          // Edge's Chromium fork trails Chrome: new ALPS codepoint, smaller
+          // record padding target, and a different status_request type
+          // byte. Independent distinguishers keep the lab-trained forest at
+          // 100% on Windows browsers (paper Fig. 6(b)) while letting
+          // version convergence blur a subset of them — which is what makes
+          // open-set errors come out unsure rather than confident.
+          t.application_settings_code = ext::kApplicationSettingsNew;
+          t.padding_to = 508;
+          t.status_request_type = 2;
+        }
+        return t;
+      }
+    case Os::MacOS:
+      if (p.agent == Agent::Firefox) {
+        // The macOS Firefox build config trims the ffdhe3072 group — a
+        // small cross-OS NSS delta (real builds differ per platform).
+        TlsProfile t = nss_tls();
+        t.groups.pop_back();
+        return t;
+      }
+      if (p.agent == Agent::Safari) return apple_tls();
+      if (p.agent == Agent::NativeApp) {
+        // Amazon's macOS app rides the Apple stack but its own build:
+        // session tickets on, 0-RTT resumption attempts, no SCT.
+        TlsProfile t = apple_tls();
+        t.alpn = {"h2"};
+        t.sct = false;
+        t.session_ticket = true;
+        t.session_ticket_nonempty_prob = 0.3;
+        t.early_data_prob = 0.2;
+        return t;
+      }
+      {
+        // Chromium field trials roll out per platform: the macOS builds
+        // already advertise the post-quantum hybrid group.
+        TlsProfile t = boringssl_tls();
+        t.groups.insert(t.groups.begin(), group::kX25519Kyber768);
+        if (p.agent == Agent::Edge) {
+          t.application_settings_code = ext::kApplicationSettingsNew;
+          t.padding_to = 508;
+          t.status_request_type = 2;
+        }
+        return t;
+      }
+    case Os::Android:
+      if (p.agent == Agent::NativeApp) return conscrypt_tls();
+      if (p.agent == Agent::SamsungInternet) {
+        TlsProfile t = boringssl_tls();  // Chromium fork, older base
+        t.randomize_extension_order = false;
+        t.application_settings = false;
+        t.padding_to = 508;
+        return t;
+      }
+      return boringssl_tls();  // Android Chrome
+    case Os::IOS:
+      // Every iOS browser and app uses Apple's networking stack — the root
+      // of the paper's (iOS, Safari) vs (iOS, Chrome) vs (iOS, native)
+      // confusions. Only small deltas exist.
+      if (p.agent == Agent::NativeApp) {
+        TlsProfile t = apple_tls();
+        t.alpn = {"h2"};
+        t.sct = false;
+        return t;
+      }
+      if (p.agent == Agent::Chrome) {
+        TlsProfile t = apple_tls();
+        // Chrome-on-iOS (WKWebView) differs from Safari only marginally:
+        // no SCT and a slightly different handshake length via padding.
+        t.sct = false;
+        t.padding_to = 512;
+        return t;
+      }
+      return apple_tls();  // iOS Safari
+    case Os::AndroidTV: {
+      TlsProfile t = conscrypt_tls();
+      t.session_id_len = 32;  // TV build predates the empty-session-id change
+      return t;
+    }
+    case Os::PlayStation:
+      return console_tls();
+  }
+  throw std::invalid_argument("unhandled OS");
+}
+
+TcpProfile tcp_for(Os os) {
+  switch (os) {
+    case Os::Windows: return tcp_windows();
+    case Os::MacOS: return tcp_macos();
+    case Os::IOS: return tcp_ios();
+    case Os::Android: return tcp_android();
+    case Os::AndroidTV: return tcp_androidtv();
+    case Os::PlayStation: return tcp_playstation();
+  }
+  throw std::invalid_argument("unhandled OS");
+}
+
+QuicProfile quic_for(const PlatformId& p) {
+  switch (p.os) {
+    case Os::Windows:
+    case Os::MacOS:
+      if (p.agent == Agent::Firefox) return firefox_quic();
+      if (p.agent == Agent::Edge) return chromium_quic(edge_ua(p.os));
+      if (p.agent == Agent::Safari) return apple_quic();
+      return chromium_quic(chrome_ua(p.os));
+    case Os::Android:
+      if (p.agent == Agent::NativeApp)
+        return cronet_quic(
+            "com.google.android.youtube/18.43.45 (Linux; U; Android 13)");
+      {
+        // Mobile Chrome ships smaller flow-control budgets and a cellular-
+        // conservative UDP payload cap compared to its desktop siblings.
+        QuicProfile q = chromium_quic(chrome_ua(Os::Android));
+        q.transport_params.initial_max_data = 7864320;
+        q.transport_params.initial_max_stream_data_bidi_local = 3145728;
+        q.transport_params.initial_max_stream_data_bidi_remote = 3145728;
+        q.transport_params.initial_max_stream_data_uni = 3145728;
+        q.transport_params.max_udp_payload_size = 1420;
+        return q;
+      }
+    case Os::IOS:
+      // Safari, Chrome-on-iOS and the YouTube iOS app all speak HTTP/3 via
+      // Apple's stack; the app differs only in stream limits.
+      if (p.agent == Agent::NativeApp) {
+        QuicProfile q = apple_quic_ios();
+        q.transport_params.initial_max_streams_bidi = 60;
+        q.transport_params.initial_max_streams_uni = 60;
+        return q;
+      }
+      return apple_quic_ios();
+    default:
+      throw std::invalid_argument("platform has no QUIC stack");
+  }
+}
+
+/// Adapts a TCP-oriented TLS profile for use inside a QUIC Initial:
+/// TLS 1.3 only, ALPN h3, and no TCP-era extensions. This produces the
+/// paper's Fig. 3 structure where ec_point_formats / ALPN / session_ticket /
+/// psk_key_exchange_modes stop varying across platforms over QUIC.
+void adapt_tls_for_quic(TlsProfile& t) {
+  t.alpn = {"h3"};
+  t.supported_versions = {kVersion13};
+  t.cipher_suites = {suite::kAes128GcmSha256, suite::kAes256GcmSha384,
+                     suite::kChaCha20Poly1305Sha256};
+  t.ec_point_formats = false;
+  t.session_ticket = false;
+  t.session_ticket_nonempty_prob = 0.0;
+  t.renegotiation_info = false;
+  t.extended_master_secret = false;
+  t.encrypt_then_mac = false;
+  t.status_request = false;
+  t.psk_modes = {1};  // uniform across QUIC stacks
+  t.session_id_len = 0;
+  if (t.key_share_groups.empty()) t.key_share_groups = {group::kX25519};
+}
+
+/// Builds the updated-software-build variant of a profile for the Home
+/// environment (§4.3.2 open-set evaluation). The updates are *blends*: they
+/// move a subset of a platform's distinguishing features onto a sibling
+/// platform's values (version convergence — e.g. Chrome adopting Edge's
+/// ALPS codepoint while keeping its own padding target), so drifted flows
+/// sit between training classes. That is what makes the forest's votes
+/// split: open-set errors come out with low confidence, exactly the
+/// Table 4 property.
+StackProfile build_home_variant(const StackProfile& lab) {
+  StackProfile drifted = lab;
+  TlsProfile& t = drifted.tls;
+  auto& tp = drifted.quic.transport_params;
+  const Agent agent = lab.platform.agent;
+  const Os os = lab.platform.os;
+
+  // Everyone: resumption behaviour shifts with the new build.
+  t.session_ticket_nonempty_prob =
+      std::min(1.0, t.session_ticket_nonempty_prob + 0.2);
+
+  if (agent == Agent::Chrome) {
+    // Chrome update migrates to the new ALPS codepoint — Edge's value —
+    // while keeping Chrome's padding target: half-Edge, half-Chrome.
+    t.application_settings_code = ext::kApplicationSettingsNew;
+  } else if (agent == Agent::Firefox) {
+    // NSS update: record size limit constant changed, legacy tail trimmed.
+    if (t.record_size_limit) t.record_size_limit = 16384;
+    if (t.cipher_suites.size() > 4) t.cipher_suites.pop_back();
+  } else if (agent == Agent::Safari && lab.transport == Transport::Tcp) {
+    // New Safari drops the http/1.1 ALPN fallback — colliding with the
+    // h2-only ALPN of Apple-stack native apps. (QUIC ALPN is always h3.)
+    t.alpn = {"h2"};
+  } else if (agent == Agent::Safari && lab.transport == Transport::Quic) {
+    t.sct = false;  // QUIC-side Safari update converges on the app shape
+  } else if (agent == Agent::NativeApp && os == Os::Android &&
+             lab.transport == Transport::Tcp) {
+    // Conscrypt update restores a 32-byte legacy session id — the Android
+    // TV build's value — while the TCP stack keeps the mobile window scale.
+    t.session_id_len = 32;
+  } else if (agent == Agent::NativeApp && os == Os::Windows) {
+    // Schannel build update: certificate compression lands.
+    t.compress_certificate = {certcomp::kZstd};
+  }
+  // Apple native apps: no fingerprint-surface change beyond the resumption
+  // shift above — their updates ride OS releases, which the lab already saw.
+
+  (void)tp;
+  return drifted;
+}
+
+/// The fully-converged update: the new build's fingerprint lands exactly on
+/// a sibling platform's (Chromium forks synchronizing, Safari matching the
+/// Apple-native-app shape, the Android mobile app aligning with the TV
+/// build). Flows from these builds are classified as the sibling with high
+/// confidence — the paper's Table 4 notes exactly such confidently-wrong
+/// open-set cases ("video flows from Apple's mobile iOS devices sometimes
+/// behave very similarly to Apple's desktop macOS devices").
+StackProfile build_home_converged(const StackProfile& lab) {
+  StackProfile drifted = lab;
+  TlsProfile& t = drifted.tls;
+  const Agent agent = lab.platform.agent;
+  const Os os = lab.platform.os;
+
+  if (agent == Agent::Chrome) {
+    t.application_settings_code = ext::kApplicationSettingsNew;
+    t.padding_to = 508;  // both Edge distinguishers
+    return drifted;
+  }
+  if (agent == Agent::Safari && lab.transport == Transport::Tcp) {
+    t.alpn = {"h2"};
+    t.sct = false;  // the Apple native-app shape
+    return drifted;
+  }
+  if (agent == Agent::NativeApp && os == Os::Android &&
+      lab.transport == Transport::Tcp) {
+    // Converges the TLS surface onto the TV build while the mobile kernel's
+    // window scale stays — a contradicting residual feature that splits the
+    // forest's votes (low-confidence errors, Table 4).
+    t.session_id_len = 32;
+    return drifted;
+  }
+  // No sibling to converge onto: fall back to the blend drift.
+  return build_home_variant(lab);
+}
+
+/// Attaches the per-flow stack-variant mixture that reproduces the paper's
+/// Fig. 6 confusion structure: a fraction of flows from some platforms are
+/// indistinguishable (or nearly so) from a sibling platform because the
+/// underlying build genuinely shares the sibling's stack.
+void attach_variants(StackProfile& prof) {
+  const PlatformId& p = prof.platform;
+
+  auto add = [&prof](double prob, StackProfile variant) {
+    variant.variants.clear();
+    prof.variants.push_back(
+        {prob, std::make_shared<const StackProfile>(std::move(variant))});
+  };
+
+  if (p.os == Os::IOS && p.agent == Agent::Chrome) {
+    // Chrome on iOS is WKWebView: a fifth of its flows carry pure WebKit
+    // defaults, byte-identical to Safari.
+    StackProfile alt = prof;
+    alt.tls.sct = true;
+    alt.tls.padding_to.reset();
+    // The WebKit-default share is much higher on the HTTP/3 path (Chrome
+    // UI settings do not reach Apple's QUIC stack), which is why the
+    // paper's iOS confusions concentrate in its QUIC figures.
+    add(prof.transport == Transport::Quic ? 0.35 : 0.10, std::move(alt));
+    return;
+  }
+
+  if (p.os == Os::IOS && p.agent == Agent::Safari) {
+    // A small share of Safari builds omit SCT, colliding with the
+    // Chrome-on-iOS shape (minus its padding habit).
+    StackProfile alt = prof;
+    alt.tls.sct = false;
+    add(0.05, std::move(alt));
+    return;
+  }
+
+  if (prof.provider == Provider::YouTube && p.agent == Agent::NativeApp &&
+      p.os == Os::IOS) {
+    // The YouTube iOS app ships Cronet; a few percent of its flows use the
+    // Cronet (BoringSSL/Conscrypt-family) path instead of Apple's stack —
+    // those flows look like a generic Cronet client.
+    StackProfile alt = prof;
+    alt.tls = conscrypt_tls();
+    if (prof.transport == Transport::Quic) {
+      adapt_tls_for_quic(alt.tls);
+      alt.quic = cronet_quic("");
+      alt.quic.transport_params.user_agent.reset();
+      alt.quic.transport_params.google_version.reset();
+      alt.quic.transport_params.google_connection_options.reset();
+      alt.quic.transport_params.initial_rtt_us.reset();
+    }
+    add(0.06, std::move(alt));
+    return;
+  }
+
+  if (prof.provider == Provider::YouTube && p.agent == Agent::NativeApp &&
+      p.os == Os::Android && prof.transport == Transport::Quic) {
+    // Outdated Android app builds predate the Google transport-parameter
+    // extras — generic Cronet again, ambiguous with the iOS app's Cronet
+    // mode above.
+    StackProfile alt = prof;
+    alt.quic = cronet_quic("");
+    alt.quic.transport_params.user_agent.reset();
+    alt.quic.transport_params.google_version.reset();
+    alt.quic.transport_params.google_connection_options.reset();
+    alt.quic.transport_params.initial_rtt_us.reset();
+    add(0.25, std::move(alt));
+  }
+}
+
+}  // namespace
+
+double home_rollout_fraction(Provider provider, Transport transport) {
+  // Total fraction of home flows on updated builds (converged + blend).
+  // Tuned so the open-set degradation ordering matches the paper's Table 3:
+  // YouTube drops least, Amazon most; QUIC stacks update faster than TCP.
+  switch (provider) {
+    case Provider::YouTube:
+      return transport == Transport::Quic ? 0.22 : 0.08;
+    case Provider::Netflix: return 0.42;
+    case Provider::Disney: return 0.66;
+    case Provider::Amazon: return 0.55;
+  }
+  return 0.4;
+}
+
+namespace {
+
+/// Share of the rollout that is fully converged onto a sibling fingerprint
+/// (deterministic, high-confidence open-set errors); the rest are blends
+/// (vote-splitting, low-confidence errors).
+double home_converged_fraction(Provider provider, Transport transport) {
+  switch (provider) {
+    case Provider::YouTube:
+      return transport == Transport::Quic ? 0.07 : 0.04;
+    case Provider::Netflix: return 0.26;
+    case Provider::Disney: return 0.58;
+    case Provider::Amazon: return 0.40;
+  }
+  return 0.2;
+}
+
+}  // namespace
+
+int num_unknown_profiles() { return 3; }
+
+StackProfile make_unknown_profile(Provider provider, int variant,
+                                  Transport transport) {
+  StackProfile prof;
+  prof.platform = {Os::Windows, Agent::Chrome};  // label is meaningless here
+  prof.provider = provider;
+  prof.transport = transport;
+  prof.sni_candidates = sni_pool(provider);
+
+  switch (variant % num_unknown_profiles()) {
+    case 0: {
+      // OpenSSL command-line / embedded Linux client.
+      prof.tcp = tcp_android();
+      prof.tcp.window_scale = 7;
+      prof.tcp.window = 64240;
+      TlsProfile t;
+      t.grease = false;
+      t.session_id_len = 32;
+      t.cipher_suites = {suite::kAes256GcmSha384, suite::kChaCha20Poly1305Sha256,
+                         suite::kAes128GcmSha256, suite::kEcdheEcdsaAes256Gcm,
+                         suite::kEcdheRsaAes256Gcm, suite::kDheRsaAes256CbcSha,
+                         suite::kEcdheEcdsaChaCha20, suite::kEcdheRsaChaCha20,
+                         suite::kEcdheEcdsaAes128Gcm, suite::kEcdheRsaAes128Gcm,
+                         suite::kDheRsaAes128CbcSha, suite::kRsaAes256Gcm,
+                         suite::kRsaAes128Gcm, suite::kEmptyRenegotiationScsv};
+      t.groups = {group::kX25519, group::kSecp256r1, group::kX448,
+                  group::kSecp521r1, group::kSecp384r1};
+      t.sigalgs = {sigalg::kEcdsaSecp256r1Sha256, sigalg::kEcdsaSecp384r1Sha384,
+                   sigalg::kEcdsaSecp521r1Sha512, sigalg::kRsaPssRsaeSha256,
+                   sigalg::kRsaPssRsaeSha384, sigalg::kRsaPssRsaeSha512};
+      t.alpn = {"h2", "http/1.1"};
+      t.supported_versions = {kVersion13, kVersion12};
+      t.key_share_groups = {group::kX25519};
+      t.psk_modes = {1};
+      t.ec_point_formats = true;
+      t.extended_master_secret = true;
+      t.session_ticket = true;
+      t.encrypt_then_mac = true;  // the classic OpenSSL tell
+      prof.tls = t;
+      break;
+    }
+    case 1: {
+      // WebOS/Tizen-style smart TV browser runtime.
+      prof.tcp = tcp_android();
+      prof.tcp.window = 29200;
+      prof.tcp.window_scale = 7;
+      TlsProfile t = conscrypt_tls();
+      t.grease = false;
+      t.session_id_len = 32;
+      t.cipher_suites.push_back(suite::kRsa3desEdeCbcSha);
+      t.alpn = {"h2", "http/1.1"};
+      t.sct = true;
+      prof.tls = t;
+      break;
+    }
+    default: {
+      // Older Chromium-embedded framework (CEF) build: pre-randomization,
+      // pre-TLS-1.3 — a kiosk/set-top embedded browser runtime.
+      prof.tcp = tcp_windows();
+      prof.tcp.window = 62727;
+      TlsProfile t = boringssl_tls();
+      t.randomize_extension_order = false;
+      t.application_settings = false;
+      t.sct = false;
+      t.compress_certificate.clear();
+      t.padding_to = 512;
+      t.supported_versions.clear();  // TLS 1.2 only
+      t.key_share_groups.clear();
+      t.psk_modes.clear();
+      t.cipher_suites.erase(t.cipher_suites.begin(),
+                            t.cipher_suites.begin() + 3);  // no 1.3 suites
+      prof.tls = t;
+      break;
+    }
+  }
+  if (transport == Transport::Quic) {
+    prof.quic = chromium_quic("CEF/96.0");
+    adapt_tls_for_quic(prof.tls);
+  }
+  return prof;
+}
+
+StackProfile make_profile(const PlatformId& platform, Provider provider,
+                          Transport transport, Environment env) {
+  const bool ok = transport == Transport::Quic
+                      ? supports_quic(platform, provider)
+                      : supports_tcp(platform, provider);
+  if (!ok)
+    throw std::invalid_argument("unsupported combination: " +
+                                to_string(platform) + " x " +
+                                to_string(provider) + " x " +
+                                to_string(transport));
+
+  StackProfile prof;
+  prof.platform = platform;
+  prof.provider = provider;
+  prof.transport = transport;
+  prof.tcp = tcp_for(platform.os);
+  prof.tls = tls_for(platform);
+  prof.sni_candidates = sni_pool(provider);
+
+  if (transport == Transport::Quic) {
+    prof.quic = quic_for(platform);
+    adapt_tls_for_quic(prof.tls);
+  }
+
+  attach_variants(prof);
+  if (env == Environment::Home) {
+    // The home population is a mixture: a rollout-fraction of devices run
+    // updated builds (converged or blend drift), the rest still match the
+    // lab capture.
+    const double total = home_rollout_fraction(provider, transport);
+    const double converged = home_converged_fraction(provider, transport);
+    StackProfile blend = build_home_variant(prof);
+    blend.variants.clear();
+    StackProfile conv = build_home_converged(prof);
+    conv.variants.clear();
+    prof.variants.insert(
+        prof.variants.begin(),
+        {std::max(0.0, total - converged),
+         std::make_shared<const StackProfile>(std::move(blend))});
+    prof.variants.insert(
+        prof.variants.begin(),
+        {converged, std::make_shared<const StackProfile>(std::move(conv))});
+  }
+  return prof;
+}
+
+}  // namespace vpscope::fingerprint

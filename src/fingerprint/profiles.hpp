@@ -1,0 +1,143 @@
+// Stack profiles: the per-(platform, provider, transport) description of how
+// a client establishes a video-streaming connection — TCP handshake shape,
+// TLS ClientHello composition (suite lists, extension set and order, GREASE
+// policy), and QUIC transport parameters.
+//
+// This is the substitution for the paper's gated lab dataset: instead of
+// replaying captured PCAPs, the synthesizer draws real packets from these
+// profiles. The profiles model the distinguishing structure the paper
+// reports — Apple's shared TLS stack across Safari/iOS-Chrome/native apps,
+// Firefox's record_size_limit=16385 and delegated_credentials, Chrome's
+// GREASE + extension-order randomization (version >= 110), Windows' TTL 128,
+// Schannel's conservative extension set, console stacks without TLS 1.3 —
+// so the classifier faces the same separability/confusion structure as the
+// real data did.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fingerprint/platform.hpp"
+#include "quic/transport_params.hpp"
+
+namespace vpscope::fingerprint {
+
+/// TCP SYN shape (the transport-layer attribute surface t1..t14).
+struct TcpProfile {
+  std::uint8_t initial_ttl = 64;
+  std::uint16_t window = 65535;
+  std::uint16_t mss = 1460;
+  std::optional<std::uint8_t> window_scale;
+  bool sack_permitted = true;
+  bool timestamps = false;
+  /// On-wire option kind order, NOPs included (stack signature).
+  std::vector<std::uint8_t> option_kind_order;
+  /// ECN-setup SYN (CWR+ECE set) — the paper's t3/t4 attributes.
+  bool ecn_setup = false;
+};
+
+/// TLS ClientHello composition.
+struct TlsProfile {
+  std::uint16_t legacy_version = 0x0303;
+  std::size_t session_id_len = 32;
+  bool grease = false;                     // GREASE in suites/groups/versions/extensions
+  bool randomize_extension_order = false;  // Chrome >= 110 behaviour
+  std::vector<std::uint16_t> cipher_suites;  // without the GREASE slot
+  std::vector<std::uint16_t> groups;
+  std::vector<std::uint16_t> sigalgs;
+  std::vector<std::string> alpn;
+  std::vector<std::uint16_t> supported_versions;  // empty => no TLS 1.3 ext
+  std::vector<std::uint16_t> key_share_groups;    // empty => no key_share
+  std::vector<std::uint8_t> psk_modes;            // empty => absent
+  std::vector<std::uint16_t> compress_certificate;   // empty => absent
+  std::vector<std::uint16_t> delegated_credentials;  // empty => absent
+  std::optional<std::uint16_t> record_size_limit;
+  bool ec_point_formats = false;
+  bool extended_master_secret = false;
+  bool renegotiation_info = false;
+  bool session_ticket = false;
+  double session_ticket_nonempty_prob = 0.0;  // resumed sessions carry data
+  bool status_request = false;
+  std::uint8_t status_request_type = 1;  // OCSP=1; forks vary the type byte
+  bool sct = false;
+  bool encrypt_then_mac = false;
+  bool post_handshake_auth = false;
+  bool early_data = false;
+  double early_data_prob = 0.0;  // 0-RTT offered only on some connections
+  bool application_settings = false;
+  std::uint16_t application_settings_code = 17513;
+  std::optional<std::size_t> padding_to;  // pad handshake body to this size
+};
+
+/// QUIC Initial shape (only meaningful for QUIC-capable pairs).
+struct QuicProfile {
+  quic::TransportParameters transport_params;  // includes param_order
+  std::size_t dcid_len = 8;
+  std::size_t scid_len = 8;
+  /// Typical IP datagram size of the Initial (paper: init_packet_size is a
+  /// strong attribute); the synthesizer pads the CHLO so the first Initial
+  /// datagram lands near this value.
+  std::size_t initial_datagram_size = 1250;
+};
+
+/// The full per-(platform, provider, transport) behaviour description.
+struct StackProfile {
+  PlatformId platform;
+  Provider provider = Provider::YouTube;
+  Transport transport = Transport::Tcp;
+
+  TcpProfile tcp;   // used when transport == Tcp
+  TlsProfile tls;
+  QuicProfile quic;  // used when transport == Quic
+
+  /// Content-server SNI candidates for this provider (one is drawn per flow).
+  std::vector<std::string> sni_candidates;
+
+  /// Per-flow stack-variant mixture: each flow is synthesized from the
+  /// first variant whose cumulative probability covers a uniform draw, or
+  /// from this base profile otherwise. Models the version/build diversity
+  /// inside a platform population — Chrome-on-iOS flows that are
+  /// byte-identical to Safari (WebKit defaults), the YouTube iOS app's
+  /// Cronet mode, outdated Android app builds (the paper's Fig. 6 confusion
+  /// structure), and, in the Home environment, the partially-rolled-out
+  /// software updates behind the open-set degradation of Table 3.
+  struct Variant {
+    double prob = 0.0;
+    std::shared_ptr<const StackProfile> profile;
+  };
+  std::vector<Variant> variants;
+};
+
+/// The environment a flow is synthesized in: `Lab` matches the training
+/// capture; `Home` applies version drift (different OS/app/browser versions,
+/// §4.3.2 open-set evaluation) whose magnitude grows with `drift_level`.
+enum class Environment : std::uint8_t { Lab, Home };
+
+/// Builds the profile for a supported combination; throws std::invalid_argument
+/// for pairs outside the Table 1 support matrix.
+StackProfile make_profile(const PlatformId& platform, Provider provider,
+                          Transport transport,
+                          Environment env = Environment::Lab);
+
+/// Stacks outside the 17 trained platforms (curl-style Linux tools, WebOS
+/// smart TVs, ...). The campus population contains such clients; the
+/// pipeline must reject them as unknown rather than mislabel them (the
+/// paper excluded ~20% of campus sessions as low-confidence/unknown).
+/// `variant` selects among the modeled unknown stacks.
+StackProfile make_unknown_profile(Provider provider, int variant,
+                                  Transport transport = Transport::Tcp);
+
+/// Number of distinct unknown stacks available.
+int num_unknown_profiles();
+
+/// Fraction of home flows coming from updated (drifted) software builds,
+/// per provider and transport — the rollout coverage between the lab and
+/// home captures. Tuned so the open-set degradation ordering matches
+/// Table 3 (YouTube-TCP degrades least, Amazon most; QUIC stacks iterate
+/// faster than TCP ones).
+double home_rollout_fraction(Provider provider, Transport transport);
+
+}  // namespace vpscope::fingerprint

@@ -1,0 +1,90 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace vpscope::ml {
+
+int Dataset::num_classes() const {
+  int max_label = -1;
+  for (int label : y) max_label = std::max(max_label, label);
+  return max_label + 1;
+}
+
+Dataset Dataset::subset(const std::vector<int>& rows) const {
+  Dataset out;
+  out.x.reserve(rows.size());
+  out.y.reserve(rows.size());
+  for (int r : rows) {
+    out.x.push_back(x[static_cast<std::size_t>(r)]);
+    out.y.push_back(y[static_cast<std::size_t>(r)]);
+  }
+  return out;
+}
+
+Dataset Dataset::project(const std::vector<int>& cols) const {
+  Dataset out;
+  out.y = y;
+  out.x.reserve(x.size());
+  for (const auto& row : x) {
+    std::vector<double> projected;
+    projected.reserve(cols.size());
+    for (int c : cols) projected.push_back(row[static_cast<std::size_t>(c)]);
+    out.x.push_back(std::move(projected));
+  }
+  return out;
+}
+
+std::vector<int> stratified_fold_ids(const std::vector<int>& labels, int k,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::map<int, std::vector<int>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_class[labels[i]].push_back(static_cast<int>(i));
+
+  std::vector<int> fold_ids(labels.size(), 0);
+  for (auto& [label, rows] : by_class) {
+    rng.shuffle(rows);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      fold_ids[static_cast<std::size_t>(rows[i])] =
+          static_cast<int>(i % static_cast<std::size_t>(k));
+  }
+  return fold_ids;
+}
+
+void split_fold(const std::vector<int>& fold_ids, int test_fold,
+                std::vector<int>* train_rows, std::vector<int>* test_rows) {
+  train_rows->clear();
+  test_rows->clear();
+  for (std::size_t i = 0; i < fold_ids.size(); ++i) {
+    if (fold_ids[i] == test_fold)
+      test_rows->push_back(static_cast<int>(i));
+    else
+      train_rows->push_back(static_cast<int>(i));
+  }
+}
+
+void stratified_split(const std::vector<int>& labels, double test_fraction,
+                      std::uint64_t seed, std::vector<int>* train_rows,
+                      std::vector<int>* test_rows) {
+  Rng rng(seed);
+  std::map<int, std::vector<int>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_class[labels[i]].push_back(static_cast<int>(i));
+
+  train_rows->clear();
+  test_rows->clear();
+  for (auto& [label, rows] : by_class) {
+    rng.shuffle(rows);
+    const auto n_test = static_cast<std::size_t>(
+        static_cast<double>(rows.size()) * test_fraction);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i < n_test)
+        test_rows->push_back(rows[i]);
+      else
+        train_rows->push_back(rows[i]);
+    }
+  }
+}
+
+}  // namespace vpscope::ml

@@ -1,0 +1,45 @@
+// Tabular dataset container and index utilities for the from-scratch ML
+// stack (the paper used scikit-learn; re-implemented here so the entire
+// Fig. 4 pipeline runs in-process).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vpscope::ml {
+
+struct Dataset {
+  std::vector<std::vector<double>> x;  // row-major feature matrix
+  std::vector<int> y;                  // class labels, 0-based but sparse ok
+
+  std::size_t size() const { return x.size(); }
+  std::size_t dim() const { return x.empty() ? 0 : x.front().size(); }
+
+  /// Number of distinct labels present.
+  int num_classes() const;
+
+  /// Rows selected by index.
+  Dataset subset(const std::vector<int>& rows) const;
+
+  /// Columns selected by index (feature projection for attribute-subset
+  /// models).
+  Dataset project(const std::vector<int>& cols) const;
+};
+
+/// Stratified k-fold assignment: returns fold id per row, preserving class
+/// proportions; deterministic for a seed.
+std::vector<int> stratified_fold_ids(const std::vector<int>& labels, int k,
+                                     std::uint64_t seed);
+
+/// Splits rows into (train, test) index sets for one fold id.
+void split_fold(const std::vector<int>& fold_ids, int test_fold,
+                std::vector<int>* train_rows, std::vector<int>* test_rows);
+
+/// Stratified train/test split with the given test fraction.
+void stratified_split(const std::vector<int>& labels, double test_fraction,
+                      std::uint64_t seed, std::vector<int>* train_rows,
+                      std::vector<int>* test_rows);
+
+}  // namespace vpscope::ml

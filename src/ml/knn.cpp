@@ -1,0 +1,61 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vpscope::ml {
+
+void KnnClassifier::fit(const Dataset& data, const KnnParams& params) {
+  if (data.size() == 0) throw std::invalid_argument("empty dataset");
+  train_ = data;
+  params_ = params;
+  num_classes_ = data.num_classes();
+}
+
+std::vector<double> KnnClassifier::predict_proba(
+    const std::vector<double>& x) const {
+  std::vector<std::pair<double, int>> dists;  // (squared distance, label)
+  dists.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    const auto& row = train_.x[i];
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double diff = row[j] - x[j];
+      d2 += diff * diff;
+    }
+    dists.emplace_back(d2, train_.y[i]);
+  }
+  const auto k = static_cast<std::size_t>(
+      std::min<int>(params_.k, static_cast<int>(dists.size())));
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k),
+                    dists.end());
+
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = params_.distance_weighted
+                         ? 1.0 / (std::sqrt(dists[i].first) + 1e-9)
+                         : 1.0;
+    votes[static_cast<std::size_t>(dists[i].second)] += w;
+  }
+  double total = 0.0;
+  for (double v : votes) total += v;
+  if (total > 0)
+    for (double& v : votes) v /= total;
+  return votes;
+}
+
+int KnnClassifier::predict(const std::vector<double>& x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<int> KnnClassifier::predict_batch(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (const auto& row : data.x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace vpscope::ml

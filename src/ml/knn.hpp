@@ -1,0 +1,33 @@
+// K-nearest-neighbours classifier (brute-force Euclidean), one of the two
+// alternatives the paper evaluates and rejects (§4.3.1). Deliberately
+// consumes the same unscaled attribute vectors the forest gets — the
+// scale-sensitivity of distance-based methods on raw handshake attributes
+// is part of what the paper's model comparison shows.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace vpscope::ml {
+
+struct KnnParams {
+  int k = 5;
+  /// false: majority vote; true: 1/distance-weighted vote.
+  bool distance_weighted = false;
+};
+
+class KnnClassifier {
+ public:
+  void fit(const Dataset& data, const KnnParams& params);
+  int predict(const std::vector<double>& x) const;
+  std::vector<double> predict_proba(const std::vector<double>& x) const;
+  std::vector<int> predict_batch(const Dataset& data) const;
+
+ private:
+  Dataset train_;
+  KnnParams params_;
+  int num_classes_ = 0;
+};
+
+}  // namespace vpscope::ml

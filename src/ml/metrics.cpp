@@ -1,0 +1,115 @@
+#include "ml/metrics.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vpscope::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : counts_(static_cast<std::size_t>(num_classes),
+              std::vector<std::size_t>(static_cast<std::size_t>(num_classes),
+                                       0)) {}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  counts_.at(static_cast<std::size_t>(truth))
+      .at(static_cast<std::size_t>(predicted))++;
+  ++total_;
+  if (truth == predicted) ++correct_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  return counts_.at(static_cast<std::size_t>(truth))
+      .at(static_cast<std::size_t>(predicted));
+}
+
+double ConfusionMatrix::accuracy() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(correct_) /
+                           static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const auto& row = counts_.at(static_cast<std::size_t>(cls));
+  std::size_t row_total = 0;
+  for (auto c : row) row_total += c;
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(row[static_cast<std::size_t>(cls)]) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  std::size_t col_total = 0;
+  for (const auto& row : counts_)
+    col_total += row[static_cast<std::size_t>(cls)];
+  if (col_total == 0) return 0.0;
+  return static_cast<double>(
+             counts_[static_cast<std::size_t>(cls)]
+                    [static_cast<std::size_t>(cls)]) /
+         static_cast<double>(col_total);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  int n = 0;
+  for (int c = 0; c < num_classes(); ++c) {
+    const double p = precision(c);
+    const double r = recall(c);
+    sum += (p + r) > 0 ? 2 * p * r / (p + r) : 0.0;
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+double ConfusionMatrix::normalized(int truth, int predicted) const {
+  const auto& row = counts_.at(static_cast<std::size_t>(truth));
+  std::size_t row_total = 0;
+  for (auto c : row) row_total += c;
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(row[static_cast<std::size_t>(predicted)]) /
+         static_cast<double>(row_total);
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& class_names) const {
+  std::string out;
+  std::size_t width = 8;
+  for (const auto& name : class_names) width = std::max(width, name.size() + 1);
+
+  auto pad = [&](const std::string& s) {
+    std::string cell = s;
+    cell.resize(width, ' ');
+    return cell;
+  };
+
+  out += pad("truth\\pred");
+  for (int c = 0; c < num_classes(); ++c)
+    out += pad(c < static_cast<int>(class_names.size())
+                   ? class_names[static_cast<std::size_t>(c)]
+                   : std::to_string(c));
+  out += '\n';
+  for (int t = 0; t < num_classes(); ++t) {
+    out += pad(t < static_cast<int>(class_names.size())
+                   ? class_names[static_cast<std::size_t>(t)]
+                   : std::to_string(t));
+    for (int p = 0; p < num_classes(); ++p) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f", normalized(t, p));
+      out += pad(buf);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+double accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size())
+    throw std::invalid_argument("accuracy: size mismatch");
+  if (truth.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    correct += truth[i] == predicted[i];
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace vpscope::ml

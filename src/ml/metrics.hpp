@@ -1,0 +1,43 @@
+// Classification metrics: accuracy, per-class recall/precision, and the
+// confusion matrices of the paper's Fig. 6(b)-(d).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vpscope::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int truth, int predicted);
+
+  int num_classes() const { return static_cast<int>(counts_.size()); }
+  std::size_t total() const { return total_; }
+  std::size_t count(int truth, int predicted) const;
+
+  double accuracy() const;
+  /// Recall of one class (the diagonal of the row-normalized matrix the
+  /// paper plots). Returns 0 for empty classes.
+  double recall(int cls) const;
+  double precision(int cls) const;
+  /// Unweighted mean of per-class F1 scores.
+  double macro_f1() const;
+
+  /// Row-normalized fraction: P(predicted | truth).
+  double normalized(int truth, int predicted) const;
+
+  /// Renders the row-normalized matrix with class names.
+  std::string to_string(const std::vector<std::string>& class_names) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> counts_;
+  std::size_t total_ = 0;
+  std::size_t correct_ = 0;
+};
+
+double accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted);
+
+}  // namespace vpscope::ml

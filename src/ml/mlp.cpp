@@ -1,0 +1,236 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vpscope::ml {
+
+namespace {
+
+double activate(double v, Activation a) {
+  switch (a) {
+    case Activation::Relu: return v > 0 ? v : 0.0;
+    case Activation::Tanh: return std::tanh(v);
+    case Activation::Logistic: return 1.0 / (1.0 + std::exp(-v));
+  }
+  return v;
+}
+
+double activate_grad(double out, Activation a) {
+  switch (a) {
+    case Activation::Relu: return out > 0 ? 1.0 : 0.0;
+    case Activation::Tanh: return 1.0 - out * out;
+    case Activation::Logistic: return out * (1.0 - out);
+  }
+  return 1.0;
+}
+
+void softmax_inplace(std::vector<double>& z) {
+  const double max_z = *std::max_element(z.begin(), z.end());
+  double sum = 0.0;
+  for (double& v : z) {
+    v = std::exp(v - max_z);
+    sum += v;
+  }
+  for (double& v : z) v /= sum;
+}
+
+}  // namespace
+
+void MlpClassifier::fit(const Dataset& data, const MlpParams& params) {
+  if (data.size() == 0) throw std::invalid_argument("empty dataset");
+  params_ = params;
+  adam_step_ = 0;
+  num_classes_ = data.num_classes();
+  input_dim_ = static_cast<int>(data.dim());
+
+  feature_scale_.assign(static_cast<std::size_t>(input_dim_), 1.0);
+  if (params.scale_inputs) {
+    for (const auto& row : data.x)
+      for (std::size_t j = 0; j < row.size(); ++j)
+        feature_scale_[j] = std::max(feature_scale_[j], std::abs(row[j]));
+  }
+
+  // Layer sizes: input -> hidden... -> classes.
+  std::vector<int> sizes;
+  sizes.push_back(input_dim_);
+  for (int h : params.hidden_layers) sizes.push_back(h);
+  sizes.push_back(num_classes_);
+
+  Rng rng(params.seed);
+  layers_.clear();
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    const int n_in = sizes[l];
+    const int n_out = sizes[l + 1];
+    const double scale = std::sqrt(2.0 / n_in);  // He initialization
+    layer.w.assign(static_cast<std::size_t>(n_out),
+                   std::vector<double>(static_cast<std::size_t>(n_in)));
+    layer.vw = layer.w;
+    layer.sw = layer.w;
+    for (auto& row : layer.w)
+      for (double& v : row) v = rng.normal(0.0, scale);
+    for (auto& row : layer.vw) std::fill(row.begin(), row.end(), 0.0);
+    for (auto& row : layer.sw) std::fill(row.begin(), row.end(), 0.0);
+    layer.b.assign(static_cast<std::size_t>(n_out), 0.0);
+    layer.vb = layer.b;
+    layer.sb = layer.b;
+    layers_.push_back(std::move(layer));
+  }
+
+  std::vector<int> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(params.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(params.batch_size));
+
+      // Accumulate gradients over the minibatch.
+      std::vector<Layer> grads;
+      grads.reserve(layers_.size());
+      for (const auto& layer : layers_) {
+        Layer g;
+        g.w.assign(layer.w.size(),
+                   std::vector<double>(layer.w.front().size(), 0.0));
+        g.b.assign(layer.b.size(), 0.0);
+        grads.push_back(std::move(g));
+      }
+
+      for (std::size_t oi = start; oi < end; ++oi) {
+        const std::vector<double> x =
+            scaled(data.x[static_cast<std::size_t>(order[oi])]);
+        const int label = data.y[static_cast<std::size_t>(order[oi])];
+
+        std::vector<std::vector<double>> acts;
+        std::vector<double> out = forward(x, &acts);
+
+        // delta at the output: softmax + cross entropy.
+        std::vector<double> delta = out;
+        delta[static_cast<std::size_t>(label)] -= 1.0;
+
+        for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
+          const auto& input = acts[static_cast<std::size_t>(l)];
+          auto& g = grads[static_cast<std::size_t>(l)];
+          for (std::size_t o = 0; o < delta.size(); ++o) {
+            g.b[o] += delta[o];
+            for (std::size_t i = 0; i < input.size(); ++i)
+              g.w[o][i] += delta[o] * input[i];
+          }
+          if (l == 0) break;
+          // Propagate delta to the previous layer.
+          const auto& layer = layers_[static_cast<std::size_t>(l)];
+          std::vector<double> prev_delta(input.size(), 0.0);
+          for (std::size_t i = 0; i < input.size(); ++i) {
+            double sum = 0.0;
+            for (std::size_t o = 0; o < delta.size(); ++o)
+              sum += layer.w[o][i] * delta[o];
+            prev_delta[i] =
+                sum * activate_grad(input[i], params_.activation);
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+
+      // Parameter update.
+      const double batch_n = static_cast<double>(end - start);
+      if (params.solver == Solver::Sgd) {
+        const double lr = params.learning_rate / batch_n;
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+          auto& layer = layers_[l];
+          auto& g = grads[l];
+          for (std::size_t o = 0; o < layer.w.size(); ++o) {
+            for (std::size_t i = 0; i < layer.w[o].size(); ++i) {
+              layer.vw[o][i] =
+                  params.momentum * layer.vw[o][i] - lr * g.w[o][i];
+              layer.w[o][i] += layer.vw[o][i];
+            }
+            layer.vb[o] = params.momentum * layer.vb[o] - lr * g.b[o];
+            layer.b[o] += layer.vb[o];
+          }
+        }
+      } else {
+        // Adam (beta1=0.9, beta2=0.999), bias-corrected.
+        ++adam_step_;
+        constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+        const double bc1 = 1.0 - std::pow(kBeta1, adam_step_);
+        const double bc2 = 1.0 - std::pow(kBeta2, adam_step_);
+        const double lr = params.learning_rate;
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+          auto& layer = layers_[l];
+          auto& g = grads[l];
+          auto update = [&](double& w, double& m, double& s, double grad) {
+            grad /= batch_n;
+            m = kBeta1 * m + (1.0 - kBeta1) * grad;
+            s = kBeta2 * s + (1.0 - kBeta2) * grad * grad;
+            w -= lr * (m / bc1) / (std::sqrt(s / bc2) + kEps);
+          };
+          for (std::size_t o = 0; o < layer.w.size(); ++o) {
+            for (std::size_t i = 0; i < layer.w[o].size(); ++i)
+              update(layer.w[o][i], layer.vw[o][i], layer.sw[o][i],
+                     g.w[o][i]);
+            update(layer.b[o], layer.vb[o], layer.sb[o], g.b[o]);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> MlpClassifier::forward(
+    const std::vector<double>& x,
+    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> current = x;
+  if (activations) activations->push_back(current);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.b.size());
+    for (std::size_t o = 0; o < next.size(); ++o) {
+      double sum = layer.b[o];
+      for (std::size_t i = 0; i < current.size(); ++i)
+        sum += layer.w[o][i] * current[i];
+      next[o] = sum;
+    }
+    const bool is_output = l + 1 == layers_.size();
+    if (is_output) {
+      softmax_inplace(next);
+    } else {
+      for (double& v : next) v = activate(v, params_.activation);
+    }
+    current = std::move(next);
+    if (activations && !is_output) activations->push_back(current);
+  }
+  return current;
+}
+
+std::vector<double> MlpClassifier::scaled(
+    const std::vector<double>& x) const {
+  if (!params_.scale_inputs) return x;
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) out[j] = x[j] / feature_scale_[j];
+  return out;
+}
+
+std::vector<double> MlpClassifier::predict_proba(
+    const std::vector<double>& x) const {
+  return forward(scaled(x), nullptr);
+}
+
+int MlpClassifier::predict(const std::vector<double>& x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<int> MlpClassifier::predict_batch(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (const auto& row : data.x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace vpscope::ml

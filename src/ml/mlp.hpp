@@ -1,0 +1,67 @@
+// Multi-layer perceptron (softmax output, cross-entropy loss, minibatch
+// SGD with momentum) — the neural alternative the paper evaluates (§4.3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace vpscope::ml {
+
+enum class Activation { Relu, Tanh, Logistic };
+
+enum class Solver { Sgd, Adam };
+
+struct MlpParams {
+  std::vector<int> hidden_layers = {64, 32};
+  Activation activation = Activation::Relu;
+  /// Adam mirrors scikit-learn's default solver; per-parameter step
+  /// normalization makes it usable on the raw (unscaled) handshake
+  /// attributes the paper feeds its models.
+  Solver solver = Solver::Adam;
+  int epochs = 60;
+  int batch_size = 32;
+  double learning_rate = 0.001;
+  double momentum = 0.9;  // SGD only
+  /// Per-feature max-abs scaling fitted on the training data. Off by
+  /// default: the paper feeds raw attribute values (flow-control values in
+  /// the millions next to presence bits), which saturates every activation
+  /// and is why its MLP loses to the forest by ~30 points. Turning this on
+  /// is the ablation that rescues the MLP (see bench_model_selection).
+  bool scale_inputs = false;
+  std::uint64_t seed = 1;
+};
+
+class MlpClassifier {
+ public:
+  void fit(const Dataset& data, const MlpParams& params);
+  int predict(const std::vector<double>& x) const;
+  std::vector<double> predict_proba(const std::vector<double>& x) const;
+  std::vector<int> predict_batch(const Dataset& data) const;
+
+ private:
+  struct Layer {
+    std::vector<std::vector<double>> w;  // [out][in]
+    std::vector<double> b;
+    std::vector<std::vector<double>> vw;  // momentum / Adam-m buffers
+    std::vector<double> vb;
+    std::vector<std::vector<double>> sw;  // Adam second-moment buffers
+    std::vector<double> sb;
+  };
+
+  std::vector<double> forward(const std::vector<double>& x,
+                              std::vector<std::vector<double>>* activations)
+      const;
+
+  std::vector<double> scaled(const std::vector<double>& x) const;
+
+  std::vector<Layer> layers_;
+  MlpParams params_;
+  long adam_step_ = 0;
+  std::vector<double> feature_scale_;
+  int num_classes_ = 0;
+  int input_dim_ = 0;
+};
+
+}  // namespace vpscope::ml

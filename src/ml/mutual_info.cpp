@@ -1,0 +1,73 @@
+#include "ml/mutual_info.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vpscope::ml {
+
+namespace {
+
+double entropy_from_counts(const std::map<int, int>& counts, int total) {
+  double h = 0.0;
+  for (const auto& [outcome, count] : counts) {
+    const double p = static_cast<double>(count) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double entropy(const std::vector<int>& outcomes) {
+  if (outcomes.empty()) return 0.0;
+  std::map<int, int> counts;
+  for (int o : outcomes) counts[o]++;
+  return entropy_from_counts(counts, static_cast<int>(outcomes.size()));
+}
+
+double mutual_information(const std::vector<int>& xs,
+                          const std::vector<int>& ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("mutual_information: size mismatch");
+  if (xs.empty()) return 0.0;
+
+  std::map<int, int> cx, cy;
+  std::map<std::pair<int, int>, int> cxy;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cx[xs[i]]++;
+    cy[ys[i]]++;
+    cxy[{xs[i], ys[i]}]++;
+  }
+  const int n = static_cast<int>(xs.size());
+  const double hx = entropy_from_counts(cx, n);
+  const double hy = entropy_from_counts(cy, n);
+  double hxy = 0.0;
+  for (const auto& [outcome, count] : cxy) {
+    const double p = static_cast<double>(count) / n;
+    hxy -= p * std::log2(p);
+  }
+  // Clamp tiny negative values from floating point noise.
+  return std::max(0.0, hx + hy - hxy);
+}
+
+double mutual_information(const std::vector<std::string>& xs,
+                          const std::vector<int>& ys) {
+  std::unordered_map<std::string, int> ids;
+  std::vector<int> xi;
+  xi.reserve(xs.size());
+  for (const auto& s : xs) {
+    const auto [it, inserted] = ids.try_emplace(s, static_cast<int>(ids.size()));
+    xi.push_back(it->second);
+  }
+  return mutual_information(xi, ys);
+}
+
+int unique_count(const std::vector<std::string>& xs) {
+  std::unordered_set<std::string> set(xs.begin(), xs.end());
+  return static_cast<int>(set.size());
+}
+
+}  // namespace vpscope::ml

@@ -1,0 +1,25 @@
+// Discrete mutual information / information gain (paper §4.2.2): the
+// importance metric behind Fig. 5 and Fig. 14. Computed over discrete
+// outcome signatures: I(X;Y) = H(X) + H(Y) - H(X,Y), in bits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vpscope::ml {
+
+/// Shannon entropy (bits) of a discrete sample given as outcome ids.
+double entropy(const std::vector<int>& outcomes);
+
+/// Mutual information (bits) between two aligned discrete samples.
+double mutual_information(const std::vector<int>& xs,
+                          const std::vector<int>& ys);
+
+/// Convenience for string-valued outcomes (attribute signatures).
+double mutual_information(const std::vector<std::string>& xs,
+                          const std::vector<int>& ys);
+
+/// Number of distinct outcomes.
+int unique_count(const std::vector<std::string>& xs);
+
+}  // namespace vpscope::ml

@@ -1,0 +1,58 @@
+#include "ml/serialize.hpp"
+
+#include <fstream>
+
+namespace vpscope::ml {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x56505346;  // "VPSF"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+Bytes serialize_forest(const RandomForest& forest) {
+  Writer w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(static_cast<std::uint32_t>(forest.num_classes_));
+  w.u32(static_cast<std::uint32_t>(forest.trees_.size()));
+  for (const auto& tree : forest.trees_) tree.serialize(w);
+  return std::move(w).take();
+}
+
+std::optional<RandomForest> deserialize_forest(ByteView data) {
+  Reader r(data);
+  if (r.u32() != kMagic || r.u16() != kVersion) return std::nullopt;
+  RandomForest forest;
+  forest.num_classes_ = static_cast<int>(r.u32());
+  const std::uint32_t tree_count = r.u32();
+  if (!r.ok() || forest.num_classes_ <= 0 || tree_count == 0 ||
+      tree_count > 100'000)
+    return std::nullopt;
+  forest.trees_.reserve(tree_count);
+  for (std::uint32_t i = 0; i < tree_count; ++i) {
+    auto tree = DecisionTree::deserialize(r);
+    if (!tree) return std::nullopt;
+    forest.trees_.push_back(std::move(*tree));
+  }
+  if (!r.ok() || !r.empty()) return std::nullopt;
+  return forest;
+}
+
+bool save_forest(const RandomForest& forest, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  const Bytes data = serialize_forest(forest);
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(file);
+}
+
+std::optional<RandomForest> load_forest(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  Bytes data{std::istreambuf_iterator<char>(file),
+             std::istreambuf_iterator<char>()};
+  return deserialize_forest(data);
+}
+
+}  // namespace vpscope::ml

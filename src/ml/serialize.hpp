@@ -1,0 +1,26 @@
+// Model persistence: a compact self-describing binary format for trained
+// random forests. A production deployment (paper §5.1) trains offline and
+// ships model files to the capture servers; these routines are that
+// interface. The format is versioned and endian-stable (big-endian via the
+// same Writer/Reader the protocol stack uses).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "ml/forest.hpp"
+#include "util/bytes.hpp"
+
+namespace vpscope::ml {
+
+/// Serializes a trained forest (trees, thresholds, leaf distributions).
+/// Training-only state (params, rng) is not preserved.
+Bytes serialize_forest(const RandomForest& forest);
+
+/// Restores a forest; nullopt on malformed/truncated/mismatched input.
+std::optional<RandomForest> deserialize_forest(ByteView data);
+
+bool save_forest(const RandomForest& forest, const std::string& path);
+std::optional<RandomForest> load_forest(const std::string& path);
+
+}  // namespace vpscope::ml

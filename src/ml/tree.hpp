@@ -1,0 +1,66 @@
+// CART decision tree (Gini impurity, axis-aligned threshold splits) — the
+// base learner of the random forest the paper selects for deployment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace vpscope::ml {
+
+struct TreeParams {
+  int max_depth = 20;
+  int min_samples_split = 2;
+  /// Features evaluated per split: <= 0 means "all features";
+  /// the forest passes ~sqrt(dim).
+  int max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Trains on `data` restricted to `rows` (empty rows = all). Class count
+  /// is taken from `num_classes` so probability vectors are consistent
+  /// across trees trained on bootstrap samples.
+  void fit(const Dataset& data, const std::vector<int>& rows,
+           const TreeParams& params, int num_classes, Rng rng);
+
+  int predict(const std::vector<double>& x) const;
+  /// Leaf class distribution (training-sample fractions).
+  std::vector<double> predict_proba(const std::vector<double>& x) const;
+
+  /// Gini importance per feature (impurity decrease weighted by samples),
+  /// normalized to sum to 1 (or all-zero for a stump).
+  std::vector<double> feature_importances() const;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int depth() const;
+
+  /// Appends this tree's structure to `w` (used by ml::serialize_forest).
+  void serialize(Writer& w) const;
+  /// Reads a tree previously written by serialize(); fails the reader on
+  /// malformed input.
+  static std::optional<DecisionTree> deserialize(Reader& r);
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 => leaf
+    double threshold = 0;   // go left if x[feature] <= threshold
+    int left = -1, right = -1;
+    int depth = 0;
+    std::vector<double> proba;  // filled for leaves
+  };
+
+  int build(const Dataset& data, std::vector<int>& rows, int depth,
+            const TreeParams& params, int num_classes, Rng& rng);
+  const Node& descend(const std::vector<double>& x) const;
+
+  std::vector<Node> nodes_;
+  int num_features_ = 0;
+  std::vector<double> importances_;
+};
+
+}  // namespace vpscope::ml

@@ -1,0 +1,84 @@
+// IPv4 / IPv6 header structures with parse/serialize and the internet
+// checksum. Only the fields the classification pipeline and synthesizer care
+// about are modeled as first-class members; everything else is carried with
+// correct wire encoding.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::net {
+
+/// IP protocol numbers used in this codebase.
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+/// An IPv4 or IPv6 address. IPv4 addresses occupy the first 4 bytes.
+struct IpAddr {
+  std::array<std::uint8_t, 16> bytes{};
+  bool is_v6 = false;
+
+  static IpAddr v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                   std::uint8_t d) {
+    IpAddr addr;
+    addr.bytes[0] = a;
+    addr.bytes[1] = b;
+    addr.bytes[2] = c;
+    addr.bytes[3] = d;
+    return addr;
+  }
+
+  static IpAddr v4_from_u32(std::uint32_t host_order);
+
+  std::uint32_t as_v4_u32() const;
+  std::string to_string() const;
+
+  auto operator<=>(const IpAddr&) const = default;
+};
+
+/// RFC 1071 internet checksum over a byte view (with optional seed for
+/// pseudo-header folding).
+std::uint16_t internet_checksum(ByteView data, std::uint32_t seed = 0);
+
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;  // filled by serialize when 0
+  std::uint16_t identification = 0;
+  bool dont_fragment = true;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoTcp;
+  IpAddr src;
+  IpAddr dst;
+
+  /// Serializes header + payload with computed checksum and total length.
+  Bytes serialize(ByteView payload) const;
+
+  /// Parses the header; returns nullopt on truncation/garbage. On success
+  /// `header_len` reports where the payload begins.
+  static std::optional<Ipv4Header> parse(ByteView datagram,
+                                         std::size_t* header_len);
+};
+
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;
+  std::uint8_t next_header = kProtoTcp;
+  std::uint8_t hop_limit = 64;  // plays the TTL role for the t2 attribute
+  IpAddr src;
+  IpAddr dst;
+
+  Bytes serialize(ByteView payload) const;
+  static std::optional<Ipv6Header> parse(ByteView datagram,
+                                         std::size_t* header_len);
+};
+
+}  // namespace vpscope::net

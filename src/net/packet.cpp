@@ -1,0 +1,115 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+
+namespace vpscope::net {
+
+namespace {
+std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+}  // namespace
+
+FlowKey FlowKey::canonical(const IpAddr& src, std::uint16_t sport,
+                           const IpAddr& dst, std::uint16_t dport,
+                           std::uint8_t protocol, bool* from_a_to_b) {
+  FlowKey k;
+  k.protocol = protocol;
+  const bool src_first =
+      std::tie(src.bytes, sport) <= std::tie(dst.bytes, dport);
+  if (src_first) {
+    k.addr_a = src;
+    k.port_a = sport;
+    k.addr_b = dst;
+    k.port_b = dport;
+  } else {
+    k.addr_a = dst;
+    k.port_a = dport;
+    k.addr_b = src;
+    k.port_b = sport;
+  }
+  if (from_a_to_b) *from_a_to_b = src_first;
+  return k;
+}
+
+std::size_t FlowKeyHash::operator()(const FlowKey& k) const {
+  std::size_t h = k.protocol;
+  for (int i = 0; i < 16; i += 8) {
+    std::uint64_t a = 0, b = 0;
+    for (int j = 0; j < 8; ++j) {
+      a = a << 8 | k.addr_a.bytes[static_cast<std::size_t>(i + j)];
+      b = b << 8 | k.addr_b.bytes[static_cast<std::size_t>(i + j)];
+    }
+    h = hash_combine(h, static_cast<std::size_t>(a));
+    h = hash_combine(h, static_cast<std::size_t>(b));
+  }
+  h = hash_combine(h, static_cast<std::size_t>(k.port_a) << 16 | k.port_b);
+  return h;
+}
+
+std::uint16_t DecodedPacket::src_port() const {
+  if (tcp) return tcp->src_port;
+  if (udp) return udp->src_port;
+  return 0;
+}
+
+std::uint16_t DecodedPacket::dst_port() const {
+  if (tcp) return tcp->dst_port;
+  if (udp) return udp->dst_port;
+  return 0;
+}
+
+FlowKey DecodedPacket::flow_key(bool* from_a_to_b) const {
+  return FlowKey::canonical(src, src_port(), dst, dst_port(), protocol,
+                            from_a_to_b);
+}
+
+std::optional<DecodedPacket> decode(const Packet& packet) {
+  const ByteView raw{packet.data};
+  if (raw.empty()) return std::nullopt;
+
+  DecodedPacket out;
+  out.timestamp_us = packet.timestamp_us;
+  out.ip_packet_size = raw.size();
+
+  std::size_t ip_hlen = 0;
+  const int version = raw[0] >> 4;
+  if (version == 4) {
+    const auto v4 = Ipv4Header::parse(raw, &ip_hlen);
+    if (!v4) return std::nullopt;
+    out.ttl = v4->ttl;
+    out.src = v4->src;
+    out.dst = v4->dst;
+    out.protocol = v4->protocol;
+    // Snap-length semantics: a capture may truncate the packet while the IP
+    // header still reports the original datagram length — volumetric
+    // telemetry must use the header value.
+    out.ip_packet_size = std::max<std::size_t>(raw.size(), v4->total_length);
+  } else if (version == 6) {
+    const auto v6 = Ipv6Header::parse(raw, &ip_hlen);
+    if (!v6) return std::nullopt;
+    out.is_v6 = true;
+    out.ttl = v6->hop_limit;
+    out.src = v6->src;
+    out.dst = v6->dst;
+    out.protocol = v6->next_header;
+  } else {
+    return std::nullopt;
+  }
+
+  const ByteView transport = raw.subspan(ip_hlen);
+  std::size_t t_hlen = 0;
+  if (out.protocol == kProtoTcp) {
+    out.tcp = TcpHeader::parse(transport, &t_hlen);
+    if (!out.tcp) return std::nullopt;
+  } else if (out.protocol == kProtoUdp) {
+    out.udp = UdpHeader::parse(transport, &t_hlen);
+    if (!out.udp) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  out.payload = transport.subspan(t_hlen);
+  return out;
+}
+
+}  // namespace vpscope::net

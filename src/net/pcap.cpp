@@ -1,0 +1,152 @@
+#include "net/pcap.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace vpscope::net {
+
+namespace {
+
+constexpr std::uint32_t kMagicUs = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNs = 0xa1b23c4d;
+constexpr std::uint32_t kLinkTypeRaw = 101;
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u16le(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+struct LeReader {
+  const std::uint8_t* p;
+  bool swap;
+
+  std::uint32_t u32() {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    p += 4;
+    if (swap) v = __builtin_bswap32(v);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v;
+    std::memcpy(&v, p, 2);
+    p += 2;
+    if (swap) v = __builtin_bswap16(v);
+    return v;
+  }
+};
+
+bool host_is_little_endian() {
+  const std::uint16_t probe = 1;
+  std::uint8_t first;
+  std::memcpy(&first, &probe, 1);
+  return first == 1;
+}
+
+}  // namespace
+
+bool write_pcap(std::ostream& os, const std::vector<Packet>& packets) {
+  Bytes header;
+  put_u32le(header, kMagicUs);
+  put_u16le(header, 2);   // version major
+  put_u16le(header, 4);   // version minor
+  put_u32le(header, 0);   // thiszone
+  put_u32le(header, 0);   // sigfigs
+  put_u32le(header, 65535);  // snaplen
+  put_u32le(header, kLinkTypeRaw);
+  os.write(reinterpret_cast<const char*>(header.data()),
+           static_cast<std::streamsize>(header.size()));
+
+  for (const Packet& p : packets) {
+    Bytes rec;
+    put_u32le(rec, static_cast<std::uint32_t>(p.timestamp_us / 1000000));
+    put_u32le(rec, static_cast<std::uint32_t>(p.timestamp_us % 1000000));
+    put_u32le(rec, static_cast<std::uint32_t>(p.data.size()));
+    put_u32le(rec, static_cast<std::uint32_t>(p.data.size()));
+    os.write(reinterpret_cast<const char*>(rec.data()),
+             static_cast<std::streamsize>(rec.size()));
+    os.write(reinterpret_cast<const char*>(p.data.data()),
+             static_cast<std::streamsize>(p.data.size()));
+  }
+  return static_cast<bool>(os);
+}
+
+bool write_pcap_file(const std::string& path,
+                     const std::vector<Packet>& packets) {
+  std::ofstream f(path, std::ios::binary);
+  return f && write_pcap(f, packets);
+}
+
+std::optional<std::vector<Packet>> read_pcap(std::istream& is) {
+  std::vector<char> all{std::istreambuf_iterator<char>(is),
+                        std::istreambuf_iterator<char>()};
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(all.data());
+  const std::size_t size = all.size();
+  if (size < 24) return std::nullopt;
+
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes, 4);
+  bool swap = false;
+  bool nanos = false;
+  const bool little = host_is_little_endian();
+  if (magic == kMagicUs) {
+    swap = !little;
+  } else if (magic == __builtin_bswap32(kMagicUs)) {
+    swap = little;
+  } else if (magic == kMagicNs) {
+    swap = !little;
+    nanos = true;
+  } else if (magic == __builtin_bswap32(kMagicNs)) {
+    swap = little;
+    nanos = true;
+  } else {
+    return std::nullopt;
+  }
+  // Re-interpret swap relative to host: the stored file is little-endian iff
+  // magic read as-is on a little-endian host without swapping.
+  LeReader hdr{bytes + 4, swap};
+  hdr.u16();  // version major
+  hdr.u16();  // version minor
+  hdr.u32();  // thiszone
+  hdr.u32();  // sigfigs
+  hdr.u32();  // snaplen
+  const std::uint32_t linktype = hdr.u32();
+  if (linktype != kLinkTypeRaw) return std::nullopt;
+
+  std::vector<Packet> packets;
+  std::size_t off = 24;
+  while (off + 16 <= size) {
+    LeReader rec{bytes + off, swap};
+    const std::uint32_t ts_sec = rec.u32();
+    std::uint32_t ts_frac = rec.u32();
+    const std::uint32_t incl_len = rec.u32();
+    rec.u32();  // orig_len
+    off += 16;
+    if (off + incl_len > size) return std::nullopt;
+    if (nanos) ts_frac /= 1000;
+    Packet p;
+    p.timestamp_us = static_cast<std::uint64_t>(ts_sec) * 1000000 + ts_frac;
+    p.data.assign(bytes + off, bytes + off + incl_len);
+    packets.push_back(std::move(p));
+    off += incl_len;
+  }
+  if (off != size) return std::nullopt;
+  return packets;
+}
+
+std::optional<std::vector<Packet>> read_pcap_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  return read_pcap(f);
+}
+
+}  // namespace vpscope::net

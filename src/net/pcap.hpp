@@ -1,0 +1,26 @@
+// Classic libpcap file format (magic 0xa1b2c3d4) reader/writer with
+// LINKTYPE_RAW (101): each record is a bare IPv4/IPv6 datagram, matching
+// vpscope::net::Packet exactly. This makes synthesized datasets inspectable
+// with Wireshark/tcpdump — the same tooling the paper's lab collection used.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace vpscope::net {
+
+/// Writes packets to a pcap stream/file. Returns false on I/O failure.
+bool write_pcap(std::ostream& os, const std::vector<Packet>& packets);
+bool write_pcap_file(const std::string& path,
+                     const std::vector<Packet>& packets);
+
+/// Reads a whole pcap stream/file. Returns nullopt on malformed input.
+/// Handles both endiannesses of the classic format; nanosecond-precision
+/// magic (0xa1b23c4d) is accepted and truncated to microseconds.
+std::optional<std::vector<Packet>> read_pcap(std::istream& is);
+std::optional<std::vector<Packet>> read_pcap_file(const std::string& path);
+
+}  // namespace vpscope::net

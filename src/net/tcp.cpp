@@ -1,0 +1,157 @@
+#include "net/tcp.hpp"
+
+namespace vpscope::net {
+
+std::uint8_t TcpFlags::to_byte() const {
+  return static_cast<std::uint8_t>(
+      (cwr << 7) | (ece << 6) | (urg << 5) | (ack << 4) | (psh << 3) |
+      (rst << 2) | (syn << 1) | static_cast<int>(fin));
+}
+
+TcpFlags TcpFlags::from_byte(std::uint8_t b) {
+  TcpFlags f;
+  f.cwr = b & 0x80;
+  f.ece = b & 0x40;
+  f.urg = b & 0x20;
+  f.ack = b & 0x10;
+  f.psh = b & 0x08;
+  f.rst = b & 0x04;
+  f.syn = b & 0x02;
+  f.fin = b & 0x01;
+  return f;
+}
+
+namespace {
+constexpr std::uint8_t kOptEol = 0;
+constexpr std::uint8_t kOptNop = 1;
+constexpr std::uint8_t kOptMss = 2;
+constexpr std::uint8_t kOptWScale = 3;
+constexpr std::uint8_t kOptSackPerm = 4;
+constexpr std::uint8_t kOptTimestamps = 8;
+}  // namespace
+
+Bytes TcpHeader::serialize(ByteView payload) const {
+  Writer opt;
+  // Emit options in the order recorded in kind_order when present, so a
+  // fingerprint's option sequence round-trips exactly. Fall back to a
+  // conventional order otherwise.
+  std::vector<std::uint8_t> order = options.kind_order;
+  if (order.empty()) {
+    if (options.mss) order.push_back(kOptMss);
+    if (options.window_scale) order.push_back(kOptWScale);
+    if (options.sack_permitted) order.push_back(kOptSackPerm);
+    if (options.timestamps) order.push_back(kOptTimestamps);
+  }
+  for (std::uint8_t kind : order) {
+    switch (kind) {
+      case kOptNop:
+        opt.u8(kOptNop);
+        break;
+      case kOptMss:
+        if (options.mss) {
+          opt.u8(kOptMss);
+          opt.u8(4);
+          opt.u16(*options.mss);
+        }
+        break;
+      case kOptWScale:
+        if (options.window_scale) {
+          opt.u8(kOptWScale);
+          opt.u8(3);
+          opt.u8(*options.window_scale);
+        }
+        break;
+      case kOptSackPerm:
+        if (options.sack_permitted) {
+          opt.u8(kOptSackPerm);
+          opt.u8(2);
+        }
+        break;
+      case kOptTimestamps:
+        if (options.timestamps) {
+          opt.u8(kOptTimestamps);
+          opt.u8(10);
+          opt.u32(options.ts_value);
+          opt.u32(0);  // echo reply, zero in SYN
+        }
+        break;
+      default:
+        break;  // unknown kinds are not synthesized
+    }
+  }
+  while (opt.size() % 4 != 0) opt.u8(kOptEol);
+
+  const std::size_t header_len = kMinSize + opt.size();
+  Writer w;
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(static_cast<std::uint8_t>((header_len / 4) << 4));
+  w.u8(flags.to_byte());
+  w.u16(window);
+  w.u16(0);  // checksum (see header comment)
+  w.u16(0);  // urgent pointer
+  w.raw(opt.data());
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+std::optional<TcpHeader> TcpHeader::parse(ByteView segment,
+                                          std::size_t* header_len) {
+  if (segment.size() < kMinSize) return std::nullopt;
+  Reader r(segment);
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint8_t data_offset = r.u8() >> 4;
+  h.flags = TcpFlags::from_byte(r.u8());
+  h.window = r.u16();
+  r.skip(4);  // checksum + urgent pointer
+
+  const std::size_t hlen = data_offset * std::size_t{4};
+  if (hlen < kMinSize || segment.size() < hlen) return std::nullopt;
+
+  Reader opts(segment.subspan(kMinSize, hlen - kMinSize));
+  while (opts.remaining() > 0) {
+    const std::uint8_t kind = opts.u8();
+    if (kind == kOptEol) break;
+    h.options.kind_order.push_back(kind);
+    if (kind == kOptNop) continue;
+    const std::uint8_t len = opts.u8();
+    if (len < 2 || !opts.ok()) return std::nullopt;
+    const std::size_t body_len = len - std::size_t{2};
+    ByteView body = opts.view(body_len);
+    if (!opts.ok()) return std::nullopt;
+    switch (kind) {
+      case kOptMss:
+        if (body.size() == 2)
+          h.options.mss = static_cast<std::uint16_t>(body[0] << 8 | body[1]);
+        break;
+      case kOptWScale:
+        if (body.size() == 1) h.options.window_scale = body[0];
+        break;
+      case kOptSackPerm:
+        h.options.sack_permitted = true;
+        break;
+      case kOptTimestamps:
+        if (body.size() == 8) {
+          h.options.timestamps = true;
+          h.options.ts_value = static_cast<std::uint32_t>(body[0]) << 24 |
+                               static_cast<std::uint32_t>(body[1]) << 16 |
+                               static_cast<std::uint32_t>(body[2]) << 8 |
+                               body[3];
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (header_len) *header_len = hlen;
+  return h;
+}
+
+}  // namespace vpscope::net

@@ -1,0 +1,61 @@
+// TCP segment header with full option parsing. The SYN of the three-way
+// handshake carries the transport-layer fingerprint surface the paper's
+// attributes t3..t14 are extracted from (flags, window, MSS, window scale,
+// SACK-permitted).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::net {
+
+struct TcpFlags {
+  bool cwr = false;
+  bool ece = false;
+  bool urg = false;
+  bool ack = false;
+  bool psh = false;
+  bool rst = false;
+  bool syn = false;
+  bool fin = false;
+
+  std::uint8_t to_byte() const;
+  static TcpFlags from_byte(std::uint8_t b);
+};
+
+/// Parsed TCP options relevant to platform fingerprinting. `kind_order`
+/// preserves the raw on-wire option kind sequence (another stack signature,
+/// kept for completeness and used by the Fan-2019 baseline).
+struct TcpOptions {
+  std::optional<std::uint16_t> mss;
+  std::optional<std::uint8_t> window_scale;
+  bool sack_permitted = false;
+  bool timestamps = false;
+  std::uint32_t ts_value = 0;
+  std::vector<std::uint8_t> kind_order;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 0;
+  TcpOptions options;
+
+  /// Serializes header (with options, padded to a 4-byte boundary) followed
+  /// by payload. The checksum field is left zero: the synthesizer operates
+  /// above a capture point where TCP checksum offload makes zero checksums
+  /// the norm, and the parser never validates them.
+  Bytes serialize(ByteView payload) const;
+
+  static std::optional<TcpHeader> parse(ByteView segment,
+                                        std::size_t* header_len);
+};
+
+}  // namespace vpscope::net

@@ -1,0 +1,28 @@
+#include "net/udp.hpp"
+
+namespace vpscope::net {
+
+Bytes UdpHeader::serialize(ByteView payload) const {
+  Writer w;
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(static_cast<std::uint16_t>(kSize + payload.size()));
+  w.u16(0);  // checksum
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+std::optional<UdpHeader> UdpHeader::parse(ByteView datagram,
+                                          std::size_t* header_len) {
+  if (datagram.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = static_cast<std::uint16_t>(datagram[0] << 8 | datagram[1]);
+  h.dst_port = static_cast<std::uint16_t>(datagram[2] << 8 | datagram[3]);
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(datagram[4] << 8 | datagram[5]);
+  if (len < kSize || datagram.size() < len) return std::nullopt;
+  if (header_len) *header_len = kSize;
+  return h;
+}
+
+}  // namespace vpscope::net

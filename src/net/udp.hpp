@@ -1,0 +1,25 @@
+// UDP datagram header (QUIC's carrier).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::net {
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  /// Serializes header + payload. Checksum left zero (legal for IPv4 UDP and
+  /// conventional at capture points with checksum offload).
+  Bytes serialize(ByteView payload) const;
+
+  static std::optional<UdpHeader> parse(ByteView datagram,
+                                        std::size_t* header_len);
+};
+
+}  // namespace vpscope::net

@@ -1,0 +1,136 @@
+#include "pipeline/classifier_bank.hpp"
+
+#include <algorithm>
+
+#include "core/handshake.hpp"
+
+namespace vpscope::pipeline {
+
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+namespace {
+
+std::pair<int, int> scenario_key(Provider provider, Transport transport) {
+  return {static_cast<int>(provider), static_cast<int>(transport)};
+}
+
+/// Builds a dense class index over the values present in `values`,
+/// preserving first-seen order of the provided canonical ordering.
+template <typename T>
+int class_index(std::vector<T>& classes, const T& value) {
+  const auto it = std::find(classes.begin(), classes.end(), value);
+  if (it != classes.end()) return static_cast<int>(it - classes.begin());
+  classes.push_back(value);
+  return static_cast<int>(classes.size()) - 1;
+}
+
+}  // namespace
+
+void ClassifierBank::train(const synth::Dataset& dataset,
+                           const BankParams& params) {
+  scenarios_.clear();
+  threshold_ = params.confidence_threshold;
+
+  // Group flows (as handshakes) per scenario.
+  struct Staging {
+    std::vector<core::FlowHandshake> handshakes;
+    std::vector<fingerprint::PlatformId> labels;
+  };
+  std::map<std::pair<int, int>, Staging> staging;
+
+  for (const auto& flow : dataset.flows) {
+    const auto handshake = core::extract_handshake(flow.packets);
+    if (!handshake) continue;  // malformed synthesis would be a bug; skip
+    auto& s = staging[scenario_key(flow.provider, flow.transport)];
+    s.handshakes.push_back(*handshake);
+    s.labels.push_back(flow.platform);
+  }
+
+  for (auto& [key, s] : staging) {
+    const auto transport = static_cast<Transport>(key.second);
+    Scenario scenario;
+    scenario.encoder = core::FeatureEncoder(transport);
+    scenario.encoder.fit(s.handshakes);
+
+    ml::Dataset platform_data, device_data, agent_data;
+    for (std::size_t i = 0; i < s.handshakes.size(); ++i) {
+      const auto features = scenario.encoder.transform(s.handshakes[i]);
+      const fingerprint::PlatformId& label = s.labels[i];
+      platform_data.x.push_back(features);
+      platform_data.y.push_back(
+          class_index(scenario.platform_classes, label));
+      device_data.x.push_back(features);
+      device_data.y.push_back(class_index(scenario.device_classes, label.os));
+      agent_data.x.push_back(features);
+      agent_data.y.push_back(class_index(scenario.agent_classes, label.agent));
+    }
+
+    ml::ForestParams fp = params.forest;
+    scenario.platform_model.fit(platform_data, fp);
+    fp.seed += 101;
+    scenario.device_model.fit(device_data, fp);
+    fp.seed += 101;
+    scenario.agent_model.fit(agent_data, fp);
+
+    scenarios_.emplace(key, std::move(scenario));
+  }
+}
+
+bool ClassifierBank::trained(Provider provider, Transport transport) const {
+  return scenarios_.count(scenario_key(provider, transport)) > 0;
+}
+
+const ClassifierBank::Scenario* ClassifierBank::scenario(
+    Provider provider, Transport transport) const {
+  const auto it = scenarios_.find(scenario_key(provider, transport));
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+PlatformPrediction ClassifierBank::classify(
+    const core::FlowHandshake& handshake, Provider provider) const {
+  PlatformPrediction out;
+  const Scenario* s = scenario(provider, handshake.transport);
+  if (!s) return out;  // untrained scenario: Unknown
+
+  const auto features = s->encoder.transform(handshake);
+
+  const auto [platform_cls, platform_conf] =
+      s->platform_model.predict_with_confidence(features);
+  out.platform_confidence = platform_conf;
+
+  if (platform_conf >= threshold_) {
+    out.outcome = telemetry::Outcome::Composite;
+    const auto& platform =
+        s->platform_classes[static_cast<std::size_t>(platform_cls)];
+    out.platform = platform;
+    out.device = platform.os;
+    out.agent = platform.agent;
+    // The composite prediction implies both partial objectives.
+    out.device_confidence = platform_conf;
+    out.agent_confidence = platform_conf;
+    return out;
+  }
+
+  // Fallback: per-objective classifiers, keep whichever is confident.
+  const auto [device_cls, device_conf] =
+      s->device_model.predict_with_confidence(features);
+  const auto [agent_cls, agent_conf] =
+      s->agent_model.predict_with_confidence(features);
+  out.device_confidence = device_conf;
+  out.agent_confidence = agent_conf;
+
+  bool any = false;
+  if (device_conf >= threshold_) {
+    out.device = s->device_classes[static_cast<std::size_t>(device_cls)];
+    any = true;
+  }
+  if (agent_conf >= threshold_) {
+    out.agent = s->agent_classes[static_cast<std::size_t>(agent_cls)];
+    any = true;
+  }
+  out.outcome = any ? telemetry::Outcome::Partial : telemetry::Outcome::Unknown;
+  return out;
+}
+
+}  // namespace vpscope::pipeline

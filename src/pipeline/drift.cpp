@@ -1,0 +1,89 @@
+#include "pipeline/drift.hpp"
+
+namespace vpscope::pipeline {
+
+void DriftMonitor::record(fingerprint::Provider provider,
+                          fingerprint::Transport transport,
+                          telemetry::Outcome outcome, double confidence) {
+  auto& scenario = scenarios_[{static_cast<int>(provider),
+                               static_cast<int>(transport)}];
+  ++scenario.observed;
+  const bool composite = outcome == telemetry::Outcome::Composite;
+
+  if (scenario.baseline_n < config_.calibration) {
+    ++scenario.baseline_n;
+    scenario.baseline_composite += composite;
+    if (composite) scenario.baseline_confidence_sum += confidence;
+    return;  // calibration flows don't enter the sliding window
+  }
+
+  scenario.window.push_back({composite, confidence});
+  if (scenario.window.size() > config_.window) scenario.window.pop_front();
+}
+
+const DriftMonitor::Scenario* DriftMonitor::find(
+    fingerprint::Provider provider, fingerprint::Transport transport) const {
+  const auto it = scenarios_.find(
+      {static_cast<int>(provider), static_cast<int>(transport)});
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+DriftMonitor::Status DriftMonitor::status(
+    fingerprint::Provider provider, fingerprint::Transport transport) const {
+  Status status;
+  const Scenario* scenario = find(provider, transport);
+  if (!scenario) return status;
+
+  status.observed = scenario->observed;
+  status.calibrated = scenario->baseline_n >= config_.calibration;
+  if (!status.calibrated || scenario->baseline_n == 0) return status;
+
+  status.baseline_reject_rate =
+      1.0 - static_cast<double>(scenario->baseline_composite) /
+                static_cast<double>(scenario->baseline_n);
+  status.baseline_confidence =
+      scenario->baseline_composite
+          ? scenario->baseline_confidence_sum /
+                static_cast<double>(scenario->baseline_composite)
+          : 0.0;
+
+  if (scenario->window.size() < config_.window / 4)
+    return status;  // not enough post-calibration traffic to judge
+
+  std::size_t composite = 0;
+  double confidence_sum = 0.0;
+  for (const Sample& sample : scenario->window) {
+    composite += sample.composite;
+    if (sample.composite) confidence_sum += sample.confidence;
+  }
+  status.recent_reject_rate =
+      1.0 - static_cast<double>(composite) /
+                static_cast<double>(scenario->window.size());
+  status.recent_confidence =
+      composite ? confidence_sum / static_cast<double>(composite) : 0.0;
+
+  status.drifting =
+      status.recent_reject_rate >
+          status.baseline_reject_rate + config_.reject_margin ||
+      (composite > 0 && status.recent_confidence <
+                            status.baseline_confidence -
+                                config_.confidence_margin);
+  return status;
+}
+
+bool DriftMonitor::any_drifting() const {
+  for (const auto& [key, scenario] : scenarios_) {
+    const auto provider = static_cast<fingerprint::Provider>(key.first);
+    const auto transport = static_cast<fingerprint::Transport>(key.second);
+    if (status(provider, transport).drifting) return true;
+  }
+  return false;
+}
+
+void DriftMonitor::recalibrate(fingerprint::Provider provider,
+                               fingerprint::Transport transport) {
+  scenarios_[{static_cast<int>(provider), static_cast<int>(transport)}] =
+      Scenario{};
+}
+
+}  // namespace vpscope::pipeline

@@ -1,0 +1,84 @@
+// Concept-drift monitoring (paper §5.3): "the overall prediction accuracy
+// and confidence will decline over a longer deployment period due to
+// evolving traffic characteristics ... the deployment team will have to
+// periodically retrain the under-performing classifiers".
+//
+// The monitor keeps, per (provider, transport) scenario, a sliding window
+// of classification outcomes and compares it against a calibration baseline
+// recorded right after (re)training. A scenario is flagged as drifting when
+// its rejected/partial share rises or its mean composite confidence falls
+// materially below the baseline — the operational signal to collect fresh
+// ground truth and retrain that scenario's classifiers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "fingerprint/platform.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vpscope::pipeline {
+
+struct DriftConfig {
+  /// Sliding-window length (flows) per scenario.
+  std::size_t window = 500;
+  /// Number of initial flows that form the baseline after (re)calibration.
+  std::size_t calibration = 500;
+  /// Flag when the non-composite share exceeds baseline + this margin.
+  double reject_margin = 0.10;
+  /// Flag when mean composite confidence drops below baseline - this margin.
+  double confidence_margin = 0.05;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftConfig config = {}) : config_(config) {}
+
+  /// Records one classified flow's outcome.
+  void record(fingerprint::Provider provider, fingerprint::Transport transport,
+              telemetry::Outcome outcome, double confidence);
+
+  struct Status {
+    bool calibrated = false;   // baseline complete
+    bool drifting = false;
+    std::size_t observed = 0;  // flows seen in total
+    double baseline_reject_rate = 0.0;
+    double recent_reject_rate = 0.0;
+    double baseline_confidence = 0.0;
+    double recent_confidence = 0.0;
+  };
+
+  Status status(fingerprint::Provider provider,
+                fingerprint::Transport transport) const;
+
+  /// True if any scenario is currently flagged.
+  bool any_drifting() const;
+
+  /// Resets a scenario's baseline (call after retraining its classifiers).
+  void recalibrate(fingerprint::Provider provider,
+                   fingerprint::Transport transport);
+
+ private:
+  struct Sample {
+    bool composite;
+    double confidence;
+  };
+  struct Scenario {
+    std::deque<Sample> window;
+    std::size_t observed = 0;
+    // Baseline accumulators (first `calibration` flows after reset).
+    std::size_t baseline_n = 0;
+    std::size_t baseline_composite = 0;
+    double baseline_confidence_sum = 0.0;
+  };
+
+  const Scenario* find(fingerprint::Provider provider,
+                       fingerprint::Transport transport) const;
+
+  DriftConfig config_;
+  std::map<std::pair<int, int>, Scenario> scenarios_;
+};
+
+}  // namespace vpscope::pipeline

@@ -1,0 +1,152 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+namespace vpscope::pipeline {
+
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+std::optional<Provider> provider_from_sni(const std::string& sni) {
+  static const std::pair<const char*, Provider> kSuffixes[] = {
+      {"googlevideo.com", Provider::YouTube},
+      {"youtube.com", Provider::YouTube},
+      {"ytimg.com", Provider::YouTube},
+      {"nflxvideo.net", Provider::Netflix},
+      {"netflix.com", Provider::Netflix},
+      {"dssott.com", Provider::Disney},
+      {"bamgrid.com", Provider::Disney},
+      {"disneyplus.com", Provider::Disney},
+      {"primevideo.com", Provider::Amazon},
+      {"amazon.com", Provider::Amazon},
+      {"amazonaws.com", Provider::Amazon},
+      {"cloudfront.net", Provider::Amazon},
+      {"akamaihd.net", Provider::Amazon},
+  };
+  for (const auto& [suffix, provider] : kSuffixes) {
+    const std::size_t len = std::string_view(suffix).size();
+    if (sni.size() >= len &&
+        sni.compare(sni.size() - len, len, suffix) == 0) {
+      // Match either the bare domain or a subdomain boundary.
+      if (sni.size() == len || sni[sni.size() - len - 1] == '.')
+        return provider;
+    }
+  }
+  return std::nullopt;
+}
+
+void VideoFlowPipeline::on_packet(const net::Packet& packet) {
+  ++stats_.packets_total;
+  const auto decoded = net::decode(packet);
+  if (!decoded) {
+    ++stats_.packets_non_ip;
+    return;
+  }
+  // Video flows ride HTTPS; anything else never enters the flow table.
+  if (decoded->src_port() != 443 && decoded->dst_port() != 443) return;
+
+  const net::FlowKey key = decoded->flow_key();
+  auto [it, inserted] = flows_.try_emplace(key);
+  FlowState& state = it->second;
+  if (inserted) {
+    ++stats_.flows_total;
+    // The first packet of a flow comes from the client in our captures
+    // (SYN / QUIC Initial); fall back to "not port 443" for robustness.
+    if (decoded->dst_port() == 443) {
+      state.client_addr = decoded->src;
+      state.client_port = decoded->src_port();
+    } else {
+      state.client_addr = decoded->dst;
+      state.client_port = decoded->dst_port();
+    }
+    state.transport =
+        decoded->udp ? Transport::Quic : Transport::Tcp;
+  }
+
+  // Telemetry: every packet counts, direction by client address.
+  const bool from_client = state.client_addr &&
+                           decoded->src == *state.client_addr &&
+                           decoded->src_port() == state.client_port;
+  if (from_client)
+    state.counters.add_up(decoded->timestamp_us, decoded->ip_packet_size);
+  else
+    state.counters.add_down(decoded->timestamp_us, decoded->ip_packet_size);
+
+  // Handshake path: feed until complete, then detect provider + classify.
+  if (state.prediction || !state.extractor.feed(*decoded)) return;
+  if (!state.extractor.complete()) return;
+
+  state.sni = state.extractor.sni();
+  state.provider = provider_from_sni(state.sni);
+  if (!state.provider) return;  // HTTPS, but not a video provider of interest
+
+  ++stats_.video_flows;
+  state.video_counted = true;
+  const auto& handshake = *state.extractor.handshake();
+  PlatformPrediction prediction =
+      bank_ ? bank_->classify(handshake, *state.provider)
+            : PlatformPrediction{};
+  switch (prediction.outcome) {
+    case telemetry::Outcome::Composite:
+      ++stats_.classified_composite;
+      break;
+    case telemetry::Outcome::Partial:
+      ++stats_.classified_partial;
+      break;
+    case telemetry::Outcome::Unknown:
+      ++stats_.classified_unknown;
+      break;
+  }
+  if (drift_)
+    drift_->record(*state.provider, state.transport, prediction.outcome,
+                   prediction.platform_confidence);
+  state.prediction = std::move(prediction);
+}
+
+void VideoFlowPipeline::on_volume_sample(const net::FlowKey& key,
+                                         std::uint64_t ts_us,
+                                         std::uint64_t bytes_down,
+                                         std::uint64_t bytes_up) {
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) return;
+  if (bytes_down) it->second.counters.add_down(ts_us, bytes_down);
+  if (bytes_up) it->second.counters.add_up(ts_us, bytes_up);
+}
+
+void VideoFlowPipeline::finalize(const net::FlowKey& key, FlowState& state) {
+  (void)key;
+  if (!state.video_counted || !state.provider) return;  // not a video flow
+  telemetry::SessionRecord record;
+  record.provider = *state.provider;
+  record.transport = state.transport;
+  record.sni = state.sni;
+  record.counters = state.counters;
+  if (state.prediction) {
+    record.outcome = state.prediction->outcome;
+    record.platform = state.prediction->platform;
+    record.device = state.prediction->device;
+    record.agent = state.prediction->agent;
+    record.confidence = state.prediction->platform_confidence;
+  }
+  if (sink_) sink_(std::move(record));
+}
+
+void VideoFlowPipeline::flush_idle(std::uint64_t now_us,
+                                   std::uint64_t idle_timeout_us) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    const std::uint64_t last = it->second.counters.last_us;
+    if (last + idle_timeout_us <= now_us) {
+      finalize(it->first, it->second);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void VideoFlowPipeline::flush_all() {
+  for (auto& [key, state] : flows_) finalize(key, state);
+  flows_.clear();
+}
+
+}  // namespace vpscope::pipeline

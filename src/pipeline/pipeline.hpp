@@ -1,0 +1,96 @@
+// The end-to-end packet processing pipeline of the paper's Fig. 4:
+//
+//   raw packets -> flow table (NAT-safe bidirectional 5-tuple)
+//     -> video-flow detection (TCP/UDP 443 + SNI suffix match)
+//     -> handshake/payload split
+//     -> attribute generation -> classifier bank (+ confidence logic)
+//     -> per-flow telemetry -> session store
+//
+// Payload packets only update telemetry counters; classification happens
+// once per flow, as soon as the handshake completes — before any video
+// content is delivered, matching the paper's "real-time" claim.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/handshake.hpp"
+#include "pipeline/classifier_bank.hpp"
+#include "pipeline/drift.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vpscope::pipeline {
+
+/// Maps an SNI to a video provider by suffix (the paper's preprocessing
+/// uses "port numbers and service names ... and ClientHello SNIs").
+std::optional<fingerprint::Provider> provider_from_sni(const std::string& sni);
+
+struct PipelineStats {
+  std::uint64_t packets_total = 0;
+  std::uint64_t packets_non_ip = 0;
+  std::uint64_t flows_total = 0;
+  std::uint64_t video_flows = 0;
+  std::uint64_t classified_composite = 0;
+  std::uint64_t classified_partial = 0;
+  std::uint64_t classified_unknown = 0;
+};
+
+class VideoFlowPipeline {
+ public:
+  /// The bank must outlive the pipeline.
+  explicit VideoFlowPipeline(const ClassifierBank* bank) : bank_(bank) {}
+
+  /// Called for every finished video session (flow idle-timeout or flush).
+  void set_sink(std::function<void(telemetry::SessionRecord)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Optional concept-drift monitor (paper §5.3), fed at classification
+  /// time. Must outlive the pipeline.
+  void set_drift_monitor(DriftMonitor* monitor) { drift_ = monitor; }
+
+  /// Feeds one captured packet.
+  void on_packet(const net::Packet& packet);
+
+  /// Decimated payload ingestion for large-scale simulation: accounts
+  /// `bytes` of downstream volume to an existing flow without materializing
+  /// every data packet (the paper's DPDK preprocessing similarly splits
+  /// payload packets off into telemetry counters).
+  void on_volume_sample(const net::FlowKey& key, std::uint64_t ts_us,
+                        std::uint64_t bytes_down, std::uint64_t bytes_up);
+
+  /// Evicts flows idle longer than `idle_timeout_us`, emitting their
+  /// session records.
+  void flush_idle(std::uint64_t now_us, std::uint64_t idle_timeout_us);
+
+  /// Flushes everything (end of capture).
+  void flush_all();
+
+  const PipelineStats& stats() const { return stats_; }
+  std::size_t active_flows() const { return flows_.size(); }
+
+ private:
+  struct FlowState {
+    core::HandshakeExtractor extractor;
+    telemetry::FlowCounters counters;
+    std::optional<net::IpAddr> client_addr;
+    std::uint16_t client_port = 0;
+    std::optional<fingerprint::Provider> provider;
+    std::optional<PlatformPrediction> prediction;
+    fingerprint::Transport transport = fingerprint::Transport::Tcp;
+    std::string sni;
+    bool video_counted = false;
+  };
+
+  void finalize(const net::FlowKey& key, FlowState& state);
+
+  const ClassifierBank* bank_;
+  DriftMonitor* drift_ = nullptr;
+  std::function<void(telemetry::SessionRecord)> sink_;
+  std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash> flows_;
+  PipelineStats stats_;
+};
+
+}  // namespace vpscope::pipeline

@@ -1,0 +1,229 @@
+#include "quic/initial.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "crypto/aes.hpp"
+#include "crypto/hkdf.hpp"
+#include "quic/varint.hpp"
+
+namespace vpscope::quic {
+
+namespace {
+
+// RFC 9001 §5.2: initial_salt for QUIC v1.
+const Bytes& initial_salt_v1() {
+  static const Bytes salt = from_hex("38762cf7f55934b34d179ae6a4c80cadccbb7f0a");
+  return salt;
+}
+
+constexpr std::uint8_t kFramePadding = 0x00;
+constexpr std::uint8_t kFramePing = 0x01;
+constexpr std::uint8_t kFrameCrypto = 0x06;
+
+// We always encode the packet number in 4 bytes and the Length field as a
+// 2-byte varint: both are choices real clients make for Initial packets and
+// they keep offset arithmetic simple.
+constexpr std::size_t kPnLen = 4;
+
+Bytes make_nonce(const Bytes& iv, std::uint64_t packet_number) {
+  Bytes nonce = iv;
+  for (int i = 0; i < 8; ++i)
+    nonce[nonce.size() - 1 - static_cast<std::size_t>(i)] ^=
+        static_cast<std::uint8_t>(packet_number >> (8 * i));
+  return nonce;
+}
+
+void put_varint_2byte(Writer& w, std::uint64_t v) {
+  // Forced 2-byte encoding (RFC 9000 allows non-minimal varints for Length).
+  w.u16(static_cast<std::uint16_t>(v | 0x4000));
+}
+
+}  // namespace
+
+InitialKeys derive_client_initial_keys(ByteView dcid) {
+  const Bytes initial_secret = crypto::hkdf_extract(initial_salt_v1(), dcid);
+  const Bytes client_secret =
+      crypto::hkdf_expand_label(initial_secret, "client in", {}, 32);
+  InitialKeys keys;
+  keys.key = crypto::hkdf_expand_label(client_secret, "quic key", {}, 16);
+  keys.iv = crypto::hkdf_expand_label(client_secret, "quic iv", {}, 12);
+  keys.hp = crypto::hkdf_expand_label(client_secret, "quic hp", {}, 16);
+  return keys;
+}
+
+std::vector<Bytes> build_client_initial_flight(
+    ByteView dcid, ByteView scid, ByteView crypto_stream,
+    std::uint64_t first_packet_number, std::size_t datagram_size) {
+  const InitialKeys keys = derive_client_initial_keys(dcid);
+  const crypto::Aes128Gcm aead(keys.key);
+  const crypto::Aes128 hp_cipher(keys.hp);
+
+  const std::size_t target = std::max(datagram_size, kMinInitialDatagram);
+  // Per-datagram budget for CRYPTO payload. Header:
+  // 1 (first byte) + 4 (version) + 1 + dcid + 1 + scid + 1 (token len 0)
+  // + 2 (length varint) + 4 (packet number); plus 16 B AEAD tag.
+  const std::size_t header_len = 1 + 4 + 1 + dcid.size() + 1 + scid.size() +
+                                 1 + 2 + kPnLen;
+  const std::size_t max_plain = target - header_len - 16;
+
+  std::vector<Bytes> datagrams;
+  std::size_t offset = 0;
+  std::uint64_t pn = first_packet_number;
+  do {
+    // CRYPTO frame header: type(1) + offset varint + length varint(2-byte).
+    Writer plain;
+    const std::size_t frame_overhead = 1 + varint_size(offset) + 2;
+    const std::size_t chunk =
+        std::min(crypto_stream.size() - offset, max_plain - frame_overhead);
+    plain.u8(kFrameCrypto);
+    put_varint(plain, offset);
+    put_varint_2byte(plain, chunk);
+    plain.raw(crypto_stream.subspan(offset, chunk));
+    offset += chunk;
+    // Pad the plaintext so the datagram reaches the 1200-byte floor.
+    while (plain.size() < max_plain) plain.u8(kFramePadding);
+
+    // Header (AAD) with the *unprotected* first byte and packet number.
+    Writer hdr;
+    hdr.u8(0xc0 | (kPnLen - 1));  // long header, fixed bit, Initial, pn len
+    hdr.u32(kQuicVersion1);
+    hdr.u8(static_cast<std::uint8_t>(dcid.size()));
+    hdr.raw(dcid);
+    hdr.u8(static_cast<std::uint8_t>(scid.size()));
+    hdr.raw(scid);
+    put_varint(hdr, 0);  // token length (client Initials carry none here)
+    put_varint_2byte(hdr, kPnLen + plain.size() + 16);  // Length field
+    const std::size_t pn_offset = hdr.size();
+    hdr.u32(static_cast<std::uint32_t>(pn));
+
+    const Bytes nonce = make_nonce(keys.iv, pn);
+    const Bytes sealed = aead.seal(nonce, hdr.data(), plain.data());
+
+    Bytes packet = hdr.data();
+    packet.insert(packet.end(), sealed.begin(), sealed.end());
+
+    // Header protection (RFC 9001 §5.4): sample 16 bytes starting 4 bytes
+    // past the packet number start, mask the first byte's low nibble and
+    // the packet number bytes.
+    std::array<std::uint8_t, 16> sample{};
+    std::copy_n(packet.begin() + static_cast<std::ptrdiff_t>(pn_offset + 4),
+                16, sample.begin());
+    const auto mask = hp_cipher.encrypt_block(sample);
+    packet[0] ^= mask[0] & 0x0f;
+    for (std::size_t i = 0; i < kPnLen; ++i) packet[pn_offset + i] ^= mask[i + 1];
+
+    datagrams.push_back(std::move(packet));
+    ++pn;
+  } while (offset < crypto_stream.size());
+  return datagrams;
+}
+
+bool looks_like_initial(ByteView datagram) {
+  if (datagram.size() < 7) return false;
+  const std::uint8_t first = datagram[0];
+  if ((first & 0x80) == 0) return false;  // not long header
+  if ((first & 0x30) != 0x00) return false;  // not Initial
+  const std::uint32_t version = static_cast<std::uint32_t>(datagram[1]) << 24 |
+                                static_cast<std::uint32_t>(datagram[2]) << 16 |
+                                static_cast<std::uint32_t>(datagram[3]) << 8 |
+                                datagram[4];
+  return version == kQuicVersion1;
+}
+
+std::optional<InitialPacket> unprotect_client_initial(ByteView datagram) {
+  if (!looks_like_initial(datagram)) return std::nullopt;
+
+  Reader r(datagram);
+  const std::uint8_t first_protected = r.u8();
+  const std::uint32_t version = r.u32();
+  const std::uint8_t dcid_len = r.u8();
+  const Bytes dcid = r.bytes(dcid_len);
+  const std::uint8_t scid_len = r.u8();
+  const Bytes scid = r.bytes(scid_len);
+  const std::uint64_t token_len = get_varint(r);
+  const Bytes token = r.bytes(static_cast<std::size_t>(token_len));
+  const std::uint64_t length = get_varint(r);
+  if (!r.ok()) return std::nullopt;
+  const std::size_t pn_offset = r.offset();
+  if (r.remaining() < length || length < kPnLen + 16) return std::nullopt;
+
+  const InitialKeys keys = derive_client_initial_keys(dcid);
+  const crypto::Aes128 hp_cipher(keys.hp);
+
+  if (datagram.size() < pn_offset + 4 + 16) return std::nullopt;
+  std::array<std::uint8_t, 16> sample{};
+  std::copy_n(datagram.begin() + static_cast<std::ptrdiff_t>(pn_offset + 4),
+              16, sample.begin());
+  const auto mask = hp_cipher.encrypt_block(sample);
+
+  const std::uint8_t first = first_protected ^ (mask[0] & 0x0f);
+  const std::size_t pn_len = static_cast<std::size_t>(first & 0x03) + 1;
+  std::uint64_t pn = 0;
+  Bytes header(datagram.begin(),
+               datagram.begin() + static_cast<std::ptrdiff_t>(pn_offset + pn_len));
+  header[0] = first;
+  for (std::size_t i = 0; i < pn_len; ++i) {
+    const std::uint8_t b = datagram[pn_offset + i] ^ mask[i + 1];
+    header[pn_offset + i] = b;
+    pn = pn << 8 | b;
+  }
+  // No packet-number recovery against a larger expected window is needed:
+  // Initials arrive with tiny PNs and we always observe from packet 0.
+
+  const crypto::Aes128Gcm aead(keys.key);
+  const Bytes nonce = make_nonce(keys.iv, pn);
+  const ByteView ciphertext =
+      datagram.subspan(pn_offset + pn_len,
+                       static_cast<std::size_t>(length) - pn_len);
+  const auto plain = aead.open(nonce, header, ciphertext);
+  if (!plain) return std::nullopt;
+
+  InitialPacket out;
+  out.version = version;
+  out.dcid = dcid;
+  out.scid = scid;
+  out.token = token;
+  out.packet_number = pn;
+
+  Reader fr(*plain);
+  while (!fr.empty()) {
+    const std::uint8_t type = fr.u8();
+    if (!fr.ok()) break;
+    if (type == kFramePadding || type == kFramePing) continue;
+    if (type == kFrameCrypto) {
+      const std::uint64_t off = get_varint(fr);
+      const std::uint64_t len = get_varint(fr);
+      if (!fr.ok()) return std::nullopt;
+      Bytes data = fr.bytes(static_cast<std::size_t>(len));
+      if (!fr.ok()) return std::nullopt;
+      out.crypto_fragments.emplace_back(off, std::move(data));
+    } else {
+      // Unknown frame in an Initial we synthesized ourselves: treat as
+      // malformed rather than guessing its length encoding.
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+void CryptoReassembler::add(const InitialPacket& packet) {
+  for (const auto& frag : packet.crypto_fragments) fragments_.push_back(frag);
+}
+
+Bytes CryptoReassembler::contiguous_prefix() const {
+  auto sorted = fragments_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Bytes out;
+  for (const auto& [off, data] : sorted) {
+    if (off > out.size()) break;  // gap
+    if (off + data.size() <= out.size()) continue;  // fully duplicate
+    const std::size_t skip = out.size() - static_cast<std::size_t>(off);
+    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(skip),
+               data.end());
+  }
+  return out;
+}
+
+}  // namespace vpscope::quic

@@ -1,0 +1,81 @@
+// QUIC v1 Initial packets with real RFC 9001 protection.
+//
+// The paper's pipeline must "identify and decrypt QUIC Initial packets and
+// extract handshake attributes from TLS CHLO messages over QUIC" (§4.3.4).
+// Initial packets are encrypted with keys derived *from the public DCID*, so
+// any on-path observer can remove the protection; this module implements
+// both directions:
+//
+//   synthesize:  ClientHello bytes -> CRYPTO frames -> AEAD-sealed,
+//                header-protected Initial packet(s), padded to >= 1200 B
+//   observe:     UDP datagram -> header unprotection -> AEAD open ->
+//                CRYPTO reassembly -> ClientHello bytes
+//
+// Large ClientHellos (e.g. post-quantum key shares) are split across
+// multiple Initial datagrams, as real clients do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::quic {
+
+inline constexpr std::uint32_t kQuicVersion1 = 0x00000001;
+inline constexpr std::size_t kMinInitialDatagram = 1200;
+
+/// Cleartext view of one Initial packet (after header/payload unprotection).
+struct InitialPacket {
+  std::uint32_t version = kQuicVersion1;
+  Bytes dcid;
+  Bytes scid;
+  Bytes token;
+  std::uint64_t packet_number = 0;
+  /// CRYPTO frame fragments carried by this packet: (stream offset, data).
+  std::vector<std::pair<std::uint64_t, Bytes>> crypto_fragments;
+};
+
+/// Client Initial AEAD/HP key material derived from the DCID (RFC 9001 §5.2).
+struct InitialKeys {
+  Bytes key;  // 16 B, AES-128-GCM
+  Bytes iv;   // 12 B
+  Bytes hp;   // 16 B, header protection
+};
+
+InitialKeys derive_client_initial_keys(ByteView dcid);
+
+/// Builds the protected client Initial flight carrying `crypto_stream`
+/// (a serialized TLS handshake message). Returns one or more UDP payloads;
+/// every datagram is padded to `datagram_size` bytes (client stacks pad to
+/// stack-specific sizes >= the RFC 9000 floor of 1200; values below the
+/// floor are clamped up to it).
+std::vector<Bytes> build_client_initial_flight(
+    ByteView dcid, ByteView scid, ByteView crypto_stream,
+    std::uint64_t first_packet_number = 0,
+    std::size_t datagram_size = kMinInitialDatagram);
+
+/// Removes protection from one client Initial datagram. Returns nullopt if
+/// the datagram is not a v1 Initial or authentication fails.
+std::optional<InitialPacket> unprotect_client_initial(ByteView datagram);
+
+/// Convenience for observers: feeds datagrams of one flow in order and
+/// reassembles the CRYPTO stream. Returns nullopt until the stream is
+/// gapless from offset 0; callers typically stop as soon as a full
+/// ClientHello parses.
+class CryptoReassembler {
+ public:
+  void add(const InitialPacket& packet);
+  /// Contiguous prefix of the CRYPTO stream assembled so far.
+  Bytes contiguous_prefix() const;
+
+ private:
+  std::vector<std::pair<std::uint64_t, Bytes>> fragments_;
+};
+
+/// True if the datagram looks like a QUIC v1 long-header Initial (cheap
+/// pre-filter used by the pipeline before attempting decryption).
+bool looks_like_initial(ByteView datagram);
+
+}  // namespace vpscope::quic

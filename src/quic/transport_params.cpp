@@ -1,0 +1,246 @@
+#include "quic/transport_params.hpp"
+
+#include <algorithm>
+
+#include "quic/varint.hpp"
+
+namespace vpscope::quic {
+
+namespace {
+
+void put_param_varint(Writer& w, std::uint64_t id, std::uint64_t value) {
+  put_varint(w, id);
+  put_varint(w, varint_size(value));
+  put_varint(w, value);
+}
+
+void put_param_bytes(Writer& w, std::uint64_t id, ByteView value) {
+  put_varint(w, id);
+  put_varint(w, value.size());
+  w.raw(value);
+}
+
+void put_param_empty(Writer& w, std::uint64_t id) {
+  put_varint(w, id);
+  put_varint(w, 0);
+}
+
+}  // namespace
+
+Bytes TransportParameters::serialize() const {
+  std::vector<std::uint64_t> order = param_order;
+  if (order.empty()) {
+    auto maybe = [&](bool present, std::uint64_t id) {
+      if (present) order.push_back(id);
+    };
+    maybe(max_idle_timeout.has_value(), tp::kMaxIdleTimeout);
+    maybe(max_udp_payload_size.has_value(), tp::kMaxUdpPayloadSize);
+    maybe(initial_max_data.has_value(), tp::kInitialMaxData);
+    maybe(initial_max_stream_data_bidi_local.has_value(),
+          tp::kInitialMaxStreamDataBidiLocal);
+    maybe(initial_max_stream_data_bidi_remote.has_value(),
+          tp::kInitialMaxStreamDataBidiRemote);
+    maybe(initial_max_stream_data_uni.has_value(),
+          tp::kInitialMaxStreamDataUni);
+    maybe(initial_max_streams_bidi.has_value(), tp::kInitialMaxStreamsBidi);
+    maybe(initial_max_streams_uni.has_value(), tp::kInitialMaxStreamsUni);
+    maybe(ack_delay_exponent.has_value(), tp::kAckDelayExponent);
+    maybe(max_ack_delay.has_value(), tp::kMaxAckDelay);
+    maybe(disable_active_migration, tp::kDisableActiveMigration);
+    maybe(active_connection_id_limit.has_value(),
+          tp::kActiveConnectionIdLimit);
+    maybe(has_initial_source_connection_id, tp::kInitialSourceConnectionId);
+    maybe(max_datagram_frame_size.has_value(), tp::kMaxDatagramFrameSize);
+    maybe(grease_quic_bit, tp::kGreaseQuicBit);
+    maybe(initial_rtt_us.has_value(), tp::kInitialRtt);
+    maybe(google_connection_options.has_value(),
+          tp::kGoogleConnectionOptions);
+    maybe(user_agent.has_value(), tp::kUserAgent);
+    maybe(google_version.has_value(), tp::kGoogleVersion);
+  }
+
+  Writer w;
+  for (std::uint64_t id : order) {
+    switch (id) {
+      case tp::kMaxIdleTimeout:
+        if (max_idle_timeout) put_param_varint(w, id, *max_idle_timeout);
+        break;
+      case tp::kMaxUdpPayloadSize:
+        if (max_udp_payload_size)
+          put_param_varint(w, id, *max_udp_payload_size);
+        break;
+      case tp::kInitialMaxData:
+        if (initial_max_data) put_param_varint(w, id, *initial_max_data);
+        break;
+      case tp::kInitialMaxStreamDataBidiLocal:
+        if (initial_max_stream_data_bidi_local)
+          put_param_varint(w, id, *initial_max_stream_data_bidi_local);
+        break;
+      case tp::kInitialMaxStreamDataBidiRemote:
+        if (initial_max_stream_data_bidi_remote)
+          put_param_varint(w, id, *initial_max_stream_data_bidi_remote);
+        break;
+      case tp::kInitialMaxStreamDataUni:
+        if (initial_max_stream_data_uni)
+          put_param_varint(w, id, *initial_max_stream_data_uni);
+        break;
+      case tp::kInitialMaxStreamsBidi:
+        if (initial_max_streams_bidi)
+          put_param_varint(w, id, *initial_max_streams_bidi);
+        break;
+      case tp::kInitialMaxStreamsUni:
+        if (initial_max_streams_uni)
+          put_param_varint(w, id, *initial_max_streams_uni);
+        break;
+      case tp::kAckDelayExponent:
+        if (ack_delay_exponent) put_param_varint(w, id, *ack_delay_exponent);
+        break;
+      case tp::kMaxAckDelay:
+        if (max_ack_delay) put_param_varint(w, id, *max_ack_delay);
+        break;
+      case tp::kDisableActiveMigration:
+        if (disable_active_migration) put_param_empty(w, id);
+        break;
+      case tp::kActiveConnectionIdLimit:
+        if (active_connection_id_limit)
+          put_param_varint(w, id, *active_connection_id_limit);
+        break;
+      case tp::kInitialSourceConnectionId:
+        if (has_initial_source_connection_id)
+          put_param_bytes(w, id, initial_source_connection_id);
+        break;
+      case tp::kMaxDatagramFrameSize:
+        if (max_datagram_frame_size)
+          put_param_varint(w, id, *max_datagram_frame_size);
+        break;
+      case tp::kGreaseQuicBit:
+        if (grease_quic_bit) put_param_empty(w, id);
+        break;
+      case tp::kInitialRtt:
+        if (initial_rtt_us) put_param_varint(w, id, *initial_rtt_us);
+        break;
+      case tp::kGoogleConnectionOptions:
+        if (google_connection_options)
+          put_param_bytes(
+              w, id,
+              ByteView{reinterpret_cast<const std::uint8_t*>(
+                           google_connection_options->data()),
+                       google_connection_options->size()});
+        break;
+      case tp::kUserAgent:
+        if (user_agent)
+          put_param_bytes(w, id,
+                          ByteView{reinterpret_cast<const std::uint8_t*>(
+                                       user_agent->data()),
+                                   user_agent->size()});
+        break;
+      case tp::kGoogleVersion:
+        if (google_version) {
+          Writer v;
+          v.u32(*google_version);
+          put_param_bytes(w, id, v.data());
+        }
+        break;
+      default:
+        if (tp::is_grease(id)) {
+          // GREASE parameters carry a short opaque value.
+          const std::uint8_t junk = 0xda;
+          put_param_bytes(w, id, ByteView{&junk, 1});
+        }
+        break;
+    }
+  }
+  return std::move(w).take();
+}
+
+std::optional<TransportParameters> TransportParameters::parse(ByteView body) {
+  TransportParameters out;
+  Reader r(body);
+  while (!r.empty()) {
+    const std::uint64_t id = get_varint(r);
+    const std::uint64_t len = get_varint(r);
+    if (!r.ok()) return std::nullopt;
+    const ByteView value = r.view(static_cast<std::size_t>(len));
+    if (!r.ok()) return std::nullopt;
+    out.param_order.push_back(id);
+
+    Reader vr(value);
+    auto read_varint_value = [&]() -> std::optional<std::uint64_t> {
+      const std::uint64_t v = get_varint(vr);
+      return vr.ok() ? std::optional(v) : std::nullopt;
+    };
+
+    switch (id) {
+      case tp::kMaxIdleTimeout:
+        out.max_idle_timeout = read_varint_value();
+        break;
+      case tp::kMaxUdpPayloadSize:
+        out.max_udp_payload_size = read_varint_value();
+        break;
+      case tp::kInitialMaxData:
+        out.initial_max_data = read_varint_value();
+        break;
+      case tp::kInitialMaxStreamDataBidiLocal:
+        out.initial_max_stream_data_bidi_local = read_varint_value();
+        break;
+      case tp::kInitialMaxStreamDataBidiRemote:
+        out.initial_max_stream_data_bidi_remote = read_varint_value();
+        break;
+      case tp::kInitialMaxStreamDataUni:
+        out.initial_max_stream_data_uni = read_varint_value();
+        break;
+      case tp::kInitialMaxStreamsBidi:
+        out.initial_max_streams_bidi = read_varint_value();
+        break;
+      case tp::kInitialMaxStreamsUni:
+        out.initial_max_streams_uni = read_varint_value();
+        break;
+      case tp::kAckDelayExponent:
+        out.ack_delay_exponent = read_varint_value();
+        break;
+      case tp::kMaxAckDelay:
+        out.max_ack_delay = read_varint_value();
+        break;
+      case tp::kDisableActiveMigration:
+        out.disable_active_migration = true;
+        break;
+      case tp::kActiveConnectionIdLimit:
+        out.active_connection_id_limit = read_varint_value();
+        break;
+      case tp::kInitialSourceConnectionId:
+        out.initial_source_connection_id.assign(value.begin(), value.end());
+        out.has_initial_source_connection_id = true;
+        break;
+      case tp::kMaxDatagramFrameSize:
+        out.max_datagram_frame_size = read_varint_value();
+        break;
+      case tp::kGreaseQuicBit:
+        out.grease_quic_bit = true;
+        break;
+      case tp::kInitialRtt:
+        out.initial_rtt_us = read_varint_value();
+        break;
+      case tp::kGoogleConnectionOptions:
+        out.google_connection_options =
+            std::string(reinterpret_cast<const char*>(value.data()),
+                        value.size());
+        break;
+      case tp::kUserAgent:
+        out.user_agent = std::string(
+            reinterpret_cast<const char*>(value.data()), value.size());
+        break;
+      case tp::kGoogleVersion:
+        if (value.size() >= 4)
+          out.google_version = static_cast<std::uint32_t>(value[0]) << 24 |
+                               static_cast<std::uint32_t>(value[1]) << 16 |
+                               static_cast<std::uint32_t>(value[2]) << 8 |
+                               value[3];
+        break;
+      default:
+        break;  // unknown/GREASE ids are recorded in param_order only
+    }
+  }
+  return out;
+}
+
+}  // namespace vpscope::quic

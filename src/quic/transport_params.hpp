@@ -1,0 +1,80 @@
+// QUIC transport parameters (RFC 9000 §18) as carried in the TLS
+// quic_transport_parameters extension, including the Google/Chromium
+// proprietary parameters the paper lists as attributes q17..q19
+// (google_connection_options, user_agent, google_version) and q16
+// (initial_rtt).
+//
+// The struct keeps the *on-wire parameter id order* — client stacks emit
+// these in stack-specific orders, another fingerprinting surface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::quic {
+
+// Parameter ids (RFC 9000 + Chromium extras).
+namespace tp {
+inline constexpr std::uint64_t kMaxIdleTimeout = 0x01;
+inline constexpr std::uint64_t kMaxUdpPayloadSize = 0x03;
+inline constexpr std::uint64_t kInitialMaxData = 0x04;
+inline constexpr std::uint64_t kInitialMaxStreamDataBidiLocal = 0x05;
+inline constexpr std::uint64_t kInitialMaxStreamDataBidiRemote = 0x06;
+inline constexpr std::uint64_t kInitialMaxStreamDataUni = 0x07;
+inline constexpr std::uint64_t kInitialMaxStreamsBidi = 0x08;
+inline constexpr std::uint64_t kInitialMaxStreamsUni = 0x09;
+inline constexpr std::uint64_t kAckDelayExponent = 0x0a;
+inline constexpr std::uint64_t kMaxAckDelay = 0x0b;
+inline constexpr std::uint64_t kDisableActiveMigration = 0x0c;
+inline constexpr std::uint64_t kActiveConnectionIdLimit = 0x0e;
+inline constexpr std::uint64_t kInitialSourceConnectionId = 0x0f;
+inline constexpr std::uint64_t kMaxDatagramFrameSize = 0x20;
+inline constexpr std::uint64_t kGreaseQuicBit = 0x2ab2;
+inline constexpr std::uint64_t kInitialRtt = 0x3127;           // Google
+inline constexpr std::uint64_t kGoogleConnectionOptions = 0x3128;  // Google
+inline constexpr std::uint64_t kUserAgent = 0x3129;            // Google
+inline constexpr std::uint64_t kGoogleVersion = 0x4752;        // Google
+
+/// GREASE transport parameters are reserved ids of the form 31*N+27.
+inline constexpr bool is_grease(std::uint64_t id) { return id % 31 == 27; }
+}  // namespace tp
+
+struct TransportParameters {
+  std::optional<std::uint64_t> max_idle_timeout;        // q2 (ms)
+  std::optional<std::uint64_t> max_udp_payload_size;    // q3
+  std::optional<std::uint64_t> initial_max_data;        // q4
+  std::optional<std::uint64_t> initial_max_stream_data_bidi_local;   // q5
+  std::optional<std::uint64_t> initial_max_stream_data_bidi_remote;  // q6
+  std::optional<std::uint64_t> initial_max_stream_data_uni;          // q7
+  std::optional<std::uint64_t> initial_max_streams_bidi;             // q8
+  std::optional<std::uint64_t> initial_max_streams_uni;              // q9
+  std::optional<std::uint64_t> max_ack_delay;           // q10 (ms)
+  bool disable_active_migration = false;                // q11
+  std::optional<std::uint64_t> active_connection_id_limit;  // q12
+  Bytes initial_source_connection_id;                   // q13 (length matters)
+  bool has_initial_source_connection_id = false;
+  std::optional<std::uint64_t> max_datagram_frame_size;  // q14
+  bool grease_quic_bit = false;                          // q15
+  std::optional<std::uint64_t> initial_rtt_us = {};      // q16 (Google, µs)
+  std::optional<std::string> google_connection_options;  // q17 (tag list)
+  std::optional<std::string> user_agent;                 // q18
+  std::optional<std::uint32_t> google_version;           // q19
+  std::optional<std::uint64_t> ack_delay_exponent;       // carried, not an attr
+
+  /// Parameter ids in wire order (q1 "quic_parameters" list attribute);
+  /// includes GREASE ids when present.
+  std::vector<std::uint64_t> param_order;
+
+  /// Serializes in `param_order` order when non-empty (ids absent from the
+  /// struct are skipped; GREASE ids emit a 1-byte opaque value); otherwise
+  /// in ascending id order.
+  Bytes serialize() const;
+
+  static std::optional<TransportParameters> parse(ByteView body);
+};
+
+}  // namespace vpscope::quic

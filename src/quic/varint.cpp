@@ -1,0 +1,42 @@
+#include "quic/varint.hpp"
+
+#include <stdexcept>
+
+namespace vpscope::quic {
+
+std::size_t varint_size(std::uint64_t v) {
+  if (v < 0x40) return 1;
+  if (v < 0x4000) return 2;
+  if (v < 0x40000000) return 4;
+  return 8;
+}
+
+void put_varint(Writer& w, std::uint64_t v) {
+  if (v > kVarintMax) throw std::invalid_argument("varint overflow");
+  switch (varint_size(v)) {
+    case 1:
+      w.u8(static_cast<std::uint8_t>(v));
+      break;
+    case 2:
+      w.u16(static_cast<std::uint16_t>(v | 0x4000));
+      break;
+    case 4:
+      w.u32(static_cast<std::uint32_t>(v | 0x80000000u));
+      break;
+    default:
+      w.u64(v | 0xc000000000000000ULL);
+      break;
+  }
+}
+
+std::uint64_t get_varint(Reader& r) {
+  const std::uint8_t first = r.u8();
+  if (!r.ok()) return 0;
+  const int len_bits = first >> 6;
+  std::uint64_t v = first & 0x3f;
+  const int extra = (1 << len_bits) - 1;
+  for (int i = 0; i < extra; ++i) v = v << 8 | r.u8();
+  return r.ok() ? v : 0;
+}
+
+}  // namespace vpscope::quic

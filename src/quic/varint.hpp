@@ -1,0 +1,23 @@
+// QUIC variable-length integers (RFC 9000 §16): 1/2/4/8-byte encodings
+// selected by the top two bits of the first byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::quic {
+
+inline constexpr std::uint64_t kVarintMax = (1ULL << 62) - 1;
+
+/// Appends the minimal-length encoding of `v` (must be <= kVarintMax).
+void put_varint(Writer& w, std::uint64_t v);
+
+/// Number of bytes the minimal encoding of `v` occupies (1, 2, 4 or 8).
+std::size_t varint_size(std::uint64_t v);
+
+/// Reads one varint; uses the Reader's sticky failure on truncation.
+std::uint64_t get_varint(Reader& r);
+
+}  // namespace vpscope::quic

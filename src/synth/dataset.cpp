@@ -1,0 +1,123 @@
+#include "synth/dataset.hpp"
+
+#include <cmath>
+
+namespace vpscope::synth {
+
+using fingerprint::Agent;
+using fingerprint::Environment;
+using fingerprint::Os;
+using fingerprint::PlatformId;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+int table1_flow_count(const PlatformId& p, Provider provider) {
+  struct Row {
+    Os os;
+    Agent agent;
+    int counts[4];  // YT, NF, DN, AP
+  };
+  // Verbatim from the paper's Table 1 ("-" encoded as 0).
+  static const Row rows[] = {
+      {Os::Windows, Agent::Chrome, {411, 202, 199, 215}},
+      {Os::Windows, Agent::Edge, {406, 208, 200, 200}},
+      {Os::Windows, Agent::Firefox, {466, 207, 204, 195}},
+      {Os::Windows, Agent::NativeApp, {0, 204, 211, 186}},
+      {Os::MacOS, Agent::Safari, {200, 204, 200, 201}},
+      {Os::MacOS, Agent::Chrome, {407, 213, 202, 208}},
+      {Os::MacOS, Agent::Edge, {402, 204, 202, 210}},
+      {Os::MacOS, Agent::Firefox, {467, 212, 202, 199}},
+      {Os::MacOS, Agent::NativeApp, {0, 0, 0, 200}},
+      {Os::Android, Agent::Chrome, {107, 0, 0, 0}},
+      {Os::Android, Agent::SamsungInternet, {103, 0, 0, 0}},
+      {Os::Android, Agent::NativeApp, {100, 102, 106, 111}},
+      {Os::IOS, Agent::Safari, {203, 0, 0, 0}},
+      {Os::IOS, Agent::Chrome, {213, 0, 0, 0}},
+      {Os::IOS, Agent::NativeApp, {203, 215, 306, 372}},
+      {Os::AndroidTV, Agent::NativeApp, {200, 116, 107, 113}},
+      {Os::PlayStation, Agent::NativeApp, {105, 100, 100, 103}},
+  };
+  for (const Row& row : rows) {
+    if (row.os == p.os && row.agent == p.agent)
+      return row.counts[static_cast<int>(provider)];
+  }
+  return 0;
+}
+
+double quic_fraction(const PlatformId& p) {
+  if (!fingerprint::supports_quic(p, Provider::YouTube)) return 0.0;
+  if (p.os == Os::Android && p.agent == Agent::NativeApp) return 1.0;
+  return 0.5;  // browsers and the iOS app cover both configurations
+}
+
+namespace {
+
+Dataset generate(std::uint64_t seed, Environment env,
+                 const std::vector<std::tuple<PlatformId, Provider,
+                                              Transport, int>>& plan) {
+  Dataset ds;
+  ds.environment = env;
+  Rng rng(seed);
+  FlowSynthesizer synth(rng.fork());
+  std::uint64_t t = 0;
+  for (const auto& [platform, provider, transport, count] : plan) {
+    const auto profile =
+        fingerprint::make_profile(platform, provider, transport, env);
+    for (int i = 0; i < count; ++i) {
+      FlowOptions opt;
+      opt.start_time_us = t;
+      // Lab: captured at the access gateway (no hops). Home: behind a
+      // residential gateway + ISP aggregation (1-3 hops to the vantage).
+      opt.capture_hops = env == Environment::Lab
+                             ? 0
+                             : static_cast<int>(rng.uniform(1, 3));
+      LabeledFlow flow = synth.synthesize(profile, opt);
+      flow.environment = env;
+      ds.flows.push_back(std::move(flow));
+      t += 1000;
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+Dataset generate_lab_dataset(std::uint64_t seed, double scale) {
+  std::vector<std::tuple<PlatformId, Provider, Transport, int>> plan;
+  for (const auto& platform : fingerprint::all_platforms()) {
+    for (Provider provider : fingerprint::all_providers()) {
+      const int total = static_cast<int>(
+          std::lround(table1_flow_count(platform, provider) * scale));
+      if (total == 0) continue;
+      const double qf =
+          provider == Provider::YouTube ? quic_fraction(platform) : 0.0;
+      const int quic_count = static_cast<int>(std::lround(total * qf));
+      const int tcp_count = total - quic_count;
+      if (tcp_count > 0)
+        plan.emplace_back(platform, provider, Transport::Tcp, tcp_count);
+      if (quic_count > 0)
+        plan.emplace_back(platform, provider, Transport::Quic, quic_count);
+    }
+  }
+  return generate(seed, Environment::Lab, plan);
+}
+
+Dataset generate_home_dataset(std::uint64_t seed, int total_flows) {
+  // Count supported combinations first, then spread flows evenly ("over
+  // 2000 video flows spread evenly across all user platforms").
+  std::vector<std::tuple<PlatformId, Provider, Transport, int>> combos;
+  for (const auto& platform : fingerprint::all_platforms()) {
+    for (Provider provider : fingerprint::all_providers()) {
+      if (fingerprint::supports_tcp(platform, provider))
+        combos.emplace_back(platform, provider, Transport::Tcp, 0);
+      if (fingerprint::supports_quic(platform, provider))
+        combos.emplace_back(platform, provider, Transport::Quic, 0);
+    }
+  }
+  const int per_combo =
+      std::max(1, total_flows / static_cast<int>(combos.size()));
+  for (auto& combo : combos) std::get<3>(combo) = per_combo;
+  return generate(seed, Environment::Home, combos);
+}
+
+}  // namespace vpscope::synth

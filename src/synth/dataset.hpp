@@ -1,0 +1,39 @@
+// Labeled dataset generation reproducing the composition of the paper's
+// Table 1 (lab ground truth, ~10k flows over 17 platforms × 4 providers)
+// and the §4.3.2 home/open-set capture (~2000 flows, drifted software
+// versions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/flow_synthesizer.hpp"
+
+namespace vpscope::synth {
+
+struct Dataset {
+  std::vector<LabeledFlow> flows;
+  fingerprint::Environment environment = fingerprint::Environment::Lab;
+};
+
+/// Flow counts per (platform, provider) from the paper's Table 1.
+/// Returns 0 for unsupported combinations.
+int table1_flow_count(const fingerprint::PlatformId& platform,
+                      fingerprint::Provider provider);
+
+/// Fraction of a platform's YouTube flows carried over QUIC when the
+/// platform is QUIC-capable (browsers let users toggle; the dataset covers
+/// both). The Android native app is QUIC-only (fraction 1).
+double quic_fraction(const fingerprint::PlatformId& platform);
+
+/// Generates the lab dataset with Table 1's per-cell flow counts,
+/// deterministically for a seed. `scale` multiplies every cell (scale=1
+/// reproduces the paper's ~10k flows).
+Dataset generate_lab_dataset(std::uint64_t seed, double scale = 1.0);
+
+/// Generates the home/open-set dataset: ~2000 flows spread evenly across
+/// all supported (platform, provider, transport) combinations, synthesized
+/// from version-drifted profiles.
+Dataset generate_home_dataset(std::uint64_t seed, int total_flows = 2000);
+
+}  // namespace vpscope::synth

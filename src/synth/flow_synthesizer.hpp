@@ -1,0 +1,77 @@
+// Flow synthesis: turns a StackProfile into the actual packet exchange of a
+// video-streaming connection establishment — TCP three-way handshake plus a
+// TLS ClientHello record, or an AEAD-protected QUIC Initial flight — with
+// per-flow stochastic noise (GREASE draws, Chrome extension-order
+// randomization, resumption tickets, TTL hop decrements, SNI draws).
+//
+// This replaces the paper's gated lab/home PCAP collection. The packets are
+// real wire format: they survive a PCAP round trip and are consumed by the
+// same parser/extractor stack the classification pipeline uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fingerprint/profiles.hpp"
+#include "net/packet.hpp"
+#include "tls/client_hello.hpp"
+#include "util/rng.hpp"
+
+namespace vpscope::synth {
+
+/// A synthesized, labeled flow: the ground truth record of the dataset.
+struct LabeledFlow {
+  fingerprint::PlatformId platform;
+  fingerprint::Provider provider = fingerprint::Provider::YouTube;
+  fingerprint::Transport transport = fingerprint::Transport::Tcp;
+  fingerprint::Environment environment = fingerprint::Environment::Lab;
+
+  net::IpAddr client_ip;
+  net::IpAddr server_ip;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 443;
+  std::string sni;
+
+  /// Handshake packets in time order (client and server directions).
+  std::vector<net::Packet> packets;
+};
+
+/// Options controlling one synthesis call.
+struct FlowOptions {
+  std::uint64_t start_time_us = 0;
+  /// Extra network hops between the client and the capture point
+  /// (decrements TTL). The lab gateway captures at 0 hops; campus/home
+  /// captures sit a few hops away.
+  int capture_hops = 0;
+  /// When > 0, appends this many bytes of downstream payload as additional
+  /// (possibly snap-length-truncated) packets spread over `payload_duration_us`.
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_duration_us = 0;
+  /// Emit the flow over IPv6 (hop limit plays the TTL role). The paper's
+  /// campus is IPv4/NAT-dominated, but the pipeline is address-family
+  /// agnostic.
+  bool ipv6 = false;
+};
+
+class FlowSynthesizer {
+ public:
+  explicit FlowSynthesizer(Rng rng) : rng_(rng) {}
+
+  /// Builds the ClientHello a flow from this profile would send (exposed
+  /// separately for tests and for fingerprint inspection tools).
+  tls::ClientHello build_client_hello(const fingerprint::StackProfile& profile,
+                                      const std::string& sni);
+
+  /// Synthesizes one labeled flow from the profile.
+  LabeledFlow synthesize(const fingerprint::StackProfile& profile,
+                         const FlowOptions& options = {});
+
+ private:
+  net::IpAddr random_client_ip();
+  net::IpAddr server_ip_for(fingerprint::Provider provider);
+
+  Rng rng_;
+};
+
+}  // namespace vpscope::synth

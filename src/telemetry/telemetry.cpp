@@ -1,0 +1,84 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+
+namespace vpscope::telemetry {
+
+namespace {
+void touch(FlowCounters& c, std::uint64_t ts_us) {
+  if (c.packets_down + c.packets_up == 0)
+    c.first_us = ts_us;
+  else
+    c.first_us = std::min(c.first_us, ts_us);
+  c.last_us = std::max(c.last_us, ts_us);
+}
+}  // namespace
+
+void FlowCounters::add_down(std::uint64_t ts_us, std::uint64_t bytes) {
+  touch(*this, ts_us);
+  bytes_down += bytes;
+  ++packets_down;
+}
+
+void FlowCounters::add_up(std::uint64_t ts_us, std::uint64_t bytes) {
+  touch(*this, ts_us);
+  bytes_up += bytes;
+  ++packets_up;
+}
+
+double FlowCounters::duration_s() const {
+  return last_us > first_us
+             ? static_cast<double>(last_us - first_us) / 1e6
+             : 0.0;
+}
+
+double FlowCounters::mean_downstream_mbps() const {
+  const double secs = duration_s();
+  if (secs <= 0) return 0.0;
+  return static_cast<double>(bytes_down) * 8.0 / 1e6 / secs;
+}
+
+void SessionStore::insert(SessionRecord record) {
+  if (record.outcome == Outcome::Unknown) ++unknown_;
+  records_.push_back(std::move(record));
+}
+
+double SessionStore::watch_hours(
+    const std::function<bool(const SessionRecord&)>& filter) const {
+  double seconds = 0.0;
+  for (const auto& r : records_)
+    if (filter(r)) seconds += r.counters.duration_s();
+  return seconds / 3600.0;
+}
+
+std::vector<double> SessionStore::bandwidth_mbps(
+    const std::function<bool(const SessionRecord&)>& filter) const {
+  std::vector<double> out;
+  for (const auto& r : records_) {
+    if (!filter(r)) continue;
+    const double mbps = r.counters.mean_downstream_mbps();
+    if (mbps > 0) out.push_back(mbps);
+  }
+  return out;
+}
+
+std::array<double, 24> SessionStore::hourly_volume_gb(
+    const std::function<bool(const SessionRecord&)>& filter) const {
+  std::array<double, 24> out{};
+  for (const auto& r : records_) {
+    if (!filter(r)) continue;
+    const auto hour = static_cast<std::size_t>(
+        (r.counters.first_us / 3600000000ULL) % 24);
+    out[hour] += static_cast<double>(r.counters.bytes_down) / 1e9;
+  }
+  return out;
+}
+
+double SessionStore::unknown_fraction() const {
+  return records_.empty()
+             ? 0.0
+             : static_cast<double>(unknown_) /
+                   static_cast<double>(records_.size());
+}
+
+}  // namespace vpscope::telemetry

@@ -1,0 +1,498 @@
+#include "tls/client_hello.hpp"
+
+#include <algorithm>
+
+#include "crypto/md5.hpp"
+
+namespace vpscope::tls {
+
+namespace {
+
+constexpr std::uint8_t kHandshakeTypeClientHello = 1;
+constexpr std::uint8_t kContentTypeHandshake = 22;
+
+/// Serializes a vector of u16 values behind a u16 length prefix —
+/// the encoding shared by supported_groups, sigalgs, etc.
+Bytes u16_list_body(const std::vector<std::uint16_t>& values) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(values.size() * 2));
+  for (auto v : values) w.u16(v);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<std::uint16_t>> parse_u16_list_body(ByteView body) {
+  Reader r(body);
+  const std::uint16_t len = r.u16();
+  if (!r.ok() || len % 2 != 0 || r.remaining() < len) return std::nullopt;
+  std::vector<std::uint16_t> out;
+  out.reserve(len / 2);
+  for (int i = 0; i < len / 2; ++i) out.push_back(r.u16());
+  return r.ok() ? std::optional(std::move(out)) : std::nullopt;
+}
+
+std::optional<std::vector<std::string>> parse_alpn_body(ByteView body) {
+  Reader r(body);
+  const std::uint16_t list_len = r.u16();
+  if (!r.ok() || r.remaining() < list_len) return std::nullopt;
+  std::vector<std::string> out;
+  std::size_t consumed = 0;
+  while (consumed < list_len) {
+    const std::uint8_t plen = r.u8();
+    const ByteView name = r.view(plen);
+    if (!r.ok()) return std::nullopt;
+    out.emplace_back(reinterpret_cast<const char*>(name.data()), name.size());
+    consumed += 1u + plen;
+  }
+  return out;
+}
+
+Bytes alpn_body(const std::vector<std::string>& protocols) {
+  Writer inner;
+  for (const auto& p : protocols) {
+    inner.u8(static_cast<std::uint8_t>(p.size()));
+    inner.raw(ByteView{reinterpret_cast<const std::uint8_t*>(p.data()),
+                       p.size()});
+  }
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(inner.size()));
+  w.raw(inner.data());
+  return std::move(w).take();
+}
+
+std::size_t key_share_len_for_group(std::uint16_t grp) {
+  switch (grp) {
+    case group::kX25519:
+      return 32;
+    case group::kSecp256r1:
+      return 65;
+    case group::kSecp384r1:
+      return 97;
+    case group::kSecp521r1:
+      return 133;
+    case group::kX25519Kyber768:
+      return 1216;
+    default:
+      return is_grease(grp) ? 1 : 32;
+  }
+}
+
+}  // namespace
+
+bool ClientHello::has_extension(std::uint16_t type) const {
+  return find(type) != nullptr;
+}
+
+const Extension* ClientHello::find(std::uint16_t type) const {
+  for (const auto& e : extensions)
+    if (e.type == type) return &e;
+  return nullptr;
+}
+
+Extension* ClientHello::find(std::uint16_t type) {
+  for (auto& e : extensions)
+    if (e.type == type) return &e;
+  return nullptr;
+}
+
+std::vector<std::uint16_t> ClientHello::extension_types() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(extensions.size());
+  for (const auto& e : extensions) out.push_back(e.type);
+  return out;
+}
+
+std::size_t ClientHello::extensions_length() const {
+  std::size_t total = 0;
+  for (const auto& e : extensions) total += 4 + e.body.size();
+  return total;
+}
+
+std::size_t ClientHello::handshake_body_length() const {
+  // version(2) + random(32) + session_id(1+n) + suites(2+2n) +
+  // compression(1+n) + extensions(2 + total)
+  return 2 + 32 + 1 + session_id.size() + 2 + cipher_suites.size() * 2 + 1 +
+         compression_methods.size() + 2 + extensions_length();
+}
+
+std::optional<std::string> ClientHello::server_name() const {
+  const Extension* e = find(ext::kServerName);
+  if (!e) return std::nullopt;
+  Reader r(e->body);
+  const std::uint16_t list_len = r.u16();
+  if (!r.ok() || r.remaining() < list_len) return std::nullopt;
+  const std::uint8_t name_type = r.u8();
+  if (name_type != 0) return std::nullopt;  // host_name
+  const std::uint16_t name_len = r.u16();
+  const ByteView name = r.view(name_len);
+  if (!r.ok()) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(name.data()), name.size());
+}
+
+std::optional<std::vector<std::uint16_t>> ClientHello::supported_groups()
+    const {
+  const Extension* e = find(ext::kSupportedGroups);
+  return e ? parse_u16_list_body(e->body) : std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> ClientHello::ec_point_formats()
+    const {
+  const Extension* e = find(ext::kEcPointFormats);
+  if (!e) return std::nullopt;
+  Reader r(e->body);
+  const std::uint8_t len = r.u8();
+  if (!r.ok() || r.remaining() < len) return std::nullopt;
+  const Bytes formats = r.bytes(len);
+  return std::vector<std::uint8_t>(formats.begin(), formats.end());
+}
+
+std::optional<std::vector<std::uint16_t>> ClientHello::signature_algorithms()
+    const {
+  const Extension* e = find(ext::kSignatureAlgorithms);
+  return e ? parse_u16_list_body(e->body) : std::nullopt;
+}
+
+std::optional<std::vector<std::string>> ClientHello::alpn_protocols() const {
+  const Extension* e = find(ext::kAlpn);
+  return e ? parse_alpn_body(e->body) : std::nullopt;
+}
+
+std::optional<std::vector<std::uint16_t>> ClientHello::supported_versions()
+    const {
+  const Extension* e = find(ext::kSupportedVersions);
+  if (!e) return std::nullopt;
+  Reader r(e->body);
+  const std::uint8_t len = r.u8();
+  if (!r.ok() || len % 2 != 0 || r.remaining() < len) return std::nullopt;
+  std::vector<std::uint16_t> out;
+  for (int i = 0; i < len / 2; ++i) out.push_back(r.u16());
+  return r.ok() ? std::optional(std::move(out)) : std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>> ClientHello::psk_key_exchange_modes()
+    const {
+  const Extension* e = find(ext::kPskKeyExchangeModes);
+  if (!e) return std::nullopt;
+  Reader r(e->body);
+  const std::uint8_t len = r.u8();
+  if (!r.ok() || r.remaining() < len) return std::nullopt;
+  const Bytes modes = r.bytes(len);
+  return std::vector<std::uint8_t>(modes.begin(), modes.end());
+}
+
+std::optional<std::vector<std::uint16_t>> ClientHello::key_share_groups()
+    const {
+  const Extension* e = find(ext::kKeyShare);
+  if (!e) return std::nullopt;
+  Reader r(e->body);
+  const std::uint16_t list_len = r.u16();
+  if (!r.ok() || r.remaining() < list_len) return std::nullopt;
+  std::vector<std::uint16_t> out;
+  std::size_t consumed = 0;
+  while (consumed < list_len) {
+    const std::uint16_t grp = r.u16();
+    const std::uint16_t klen = r.u16();
+    r.skip(klen);
+    if (!r.ok()) return std::nullopt;
+    out.push_back(grp);
+    consumed += 4u + klen;
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint16_t>> ClientHello::compress_certificate()
+    const {
+  const Extension* e = find(ext::kCompressCertificate);
+  if (!e) return std::nullopt;
+  Reader r(e->body);
+  const std::uint8_t len = r.u8();
+  if (!r.ok() || len % 2 != 0 || r.remaining() < len) return std::nullopt;
+  std::vector<std::uint16_t> out;
+  for (int i = 0; i < len / 2; ++i) out.push_back(r.u16());
+  return r.ok() ? std::optional(std::move(out)) : std::nullopt;
+}
+
+std::optional<std::uint16_t> ClientHello::record_size_limit() const {
+  const Extension* e = find(ext::kRecordSizeLimit);
+  if (!e || e->body.size() != 2) return std::nullopt;
+  return static_cast<std::uint16_t>(e->body[0] << 8 | e->body[1]);
+}
+
+std::optional<std::vector<std::uint16_t>> ClientHello::delegated_credentials()
+    const {
+  const Extension* e = find(ext::kDelegatedCredentials);
+  return e ? parse_u16_list_body(e->body) : std::nullopt;
+}
+
+std::optional<std::vector<std::string>> ClientHello::application_settings()
+    const {
+  const Extension* e = find(ext::kApplicationSettings);
+  if (!e) e = find(ext::kApplicationSettingsNew);
+  return e ? parse_alpn_body(e->body) : std::nullopt;
+}
+
+std::optional<ByteView> ClientHello::quic_transport_parameters() const {
+  const Extension* e = find(ext::kQuicTransportParameters);
+  if (!e) return std::nullopt;
+  return ByteView{e->body};
+}
+
+void ClientHello::add_server_name(const std::string& host) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(host.size() + 3));
+  w.u8(0);  // host_name
+  w.u16(static_cast<std::uint16_t>(host.size()));
+  w.raw(ByteView{reinterpret_cast<const std::uint8_t*>(host.data()),
+                 host.size()});
+  extensions.push_back({ext::kServerName, std::move(w).take()});
+}
+
+void ClientHello::add_supported_groups(
+    const std::vector<std::uint16_t>& groups) {
+  extensions.push_back({ext::kSupportedGroups, u16_list_body(groups)});
+}
+
+void ClientHello::add_ec_point_formats(
+    const std::vector<std::uint8_t>& formats) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(formats.size()));
+  for (auto f : formats) w.u8(f);
+  extensions.push_back({ext::kEcPointFormats, std::move(w).take()});
+}
+
+void ClientHello::add_signature_algorithms(
+    const std::vector<std::uint16_t>& algs) {
+  extensions.push_back({ext::kSignatureAlgorithms, u16_list_body(algs)});
+}
+
+void ClientHello::add_alpn(const std::vector<std::string>& protocols) {
+  extensions.push_back({ext::kAlpn, alpn_body(protocols)});
+}
+
+void ClientHello::add_supported_versions(
+    const std::vector<std::uint16_t>& versions) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(versions.size() * 2));
+  for (auto v : versions) w.u16(v);
+  extensions.push_back({ext::kSupportedVersions, std::move(w).take()});
+}
+
+void ClientHello::add_psk_key_exchange_modes(
+    const std::vector<std::uint8_t>& modes) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(modes.size()));
+  for (auto m : modes) w.u8(m);
+  extensions.push_back({ext::kPskKeyExchangeModes, std::move(w).take()});
+}
+
+void ClientHello::add_key_shares(const std::vector<std::uint16_t>& groups,
+                                 std::uint8_t fill_byte) {
+  Writer inner;
+  for (auto grp : groups) {
+    const std::size_t klen = key_share_len_for_group(grp);
+    inner.u16(grp);
+    inner.u16(static_cast<std::uint16_t>(klen));
+    for (std::size_t i = 0; i < klen; ++i) inner.u8(fill_byte);
+  }
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(inner.size()));
+  w.raw(inner.data());
+  extensions.push_back({ext::kKeyShare, std::move(w).take()});
+}
+
+void ClientHello::add_compress_certificate(
+    const std::vector<std::uint16_t>& algs) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(algs.size() * 2));
+  for (auto a : algs) w.u16(a);
+  extensions.push_back({ext::kCompressCertificate, std::move(w).take()});
+}
+
+void ClientHello::add_record_size_limit(std::uint16_t limit) {
+  Writer w;
+  w.u16(limit);
+  extensions.push_back({ext::kRecordSizeLimit, std::move(w).take()});
+}
+
+void ClientHello::add_delegated_credentials(
+    const std::vector<std::uint16_t>& algs) {
+  extensions.push_back({ext::kDelegatedCredentials, u16_list_body(algs)});
+}
+
+void ClientHello::add_application_settings(
+    const std::vector<std::string>& protocols, std::uint16_t code) {
+  extensions.push_back({code, alpn_body(protocols)});
+}
+
+void ClientHello::add_session_ticket(std::size_t ticket_len) {
+  extensions.push_back({ext::kSessionTicket, Bytes(ticket_len, 0xa5)});
+}
+
+void ClientHello::add_status_request(std::uint8_t status_type) {
+  // status_type (OCSP=1), empty responder list, empty request extensions.
+  extensions.push_back({ext::kStatusRequest,
+                        Bytes{status_type, 0, 0, 0, 0}});
+}
+
+void ClientHello::add_sct() { extensions.push_back({ext::kSignedCertTimestamp, {}}); }
+
+void ClientHello::add_extended_master_secret() {
+  extensions.push_back({ext::kExtendedMasterSecret, {}});
+}
+
+void ClientHello::add_encrypt_then_mac() {
+  extensions.push_back({ext::kEncryptThenMac, {}});
+}
+
+void ClientHello::add_post_handshake_auth() {
+  extensions.push_back({ext::kPostHandshakeAuth, {}});
+}
+
+void ClientHello::add_early_data() {
+  extensions.push_back({ext::kEarlyData, {}});
+}
+
+void ClientHello::add_renegotiation_info() {
+  extensions.push_back({ext::kRenegotiationInfo, Bytes{0}});
+}
+
+void ClientHello::add_padding_to(std::size_t target_len) {
+  const std::size_t current = handshake_body_length();
+  if (current + 4 >= target_len) return;  // +4: padding extension header
+  extensions.push_back({ext::kPadding, Bytes(target_len - current - 4, 0)});
+}
+
+void ClientHello::add_quic_transport_parameters(Bytes body) {
+  extensions.push_back({ext::kQuicTransportParameters, std::move(body)});
+}
+
+void ClientHello::add_raw(std::uint16_t type, Bytes body) {
+  extensions.push_back({type, std::move(body)});
+}
+
+Bytes ClientHello::serialize_handshake() const {
+  Writer body;
+  body.u16(legacy_version);
+  body.raw(ByteView{random.data(), random.size()});
+  body.u8(static_cast<std::uint8_t>(session_id.size()));
+  body.raw(session_id);
+  body.u16(static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (auto s : cipher_suites) body.u16(s);
+  body.u8(static_cast<std::uint8_t>(compression_methods.size()));
+  for (auto c : compression_methods) body.u8(c);
+  body.u16(static_cast<std::uint16_t>(extensions_length()));
+  for (const auto& e : extensions) {
+    body.u16(e.type);
+    body.u16(static_cast<std::uint16_t>(e.body.size()));
+    body.raw(e.body);
+  }
+
+  Writer msg;
+  msg.u8(kHandshakeTypeClientHello);
+  msg.u24(static_cast<std::uint32_t>(body.size()));
+  msg.raw(body.data());
+  return std::move(msg).take();
+}
+
+Bytes ClientHello::serialize_record() const {
+  const Bytes handshake = serialize_handshake();
+  Writer w;
+  w.u8(kContentTypeHandshake);
+  w.u16(kVersion10);  // conventional legacy record version in first flight
+  w.u16(static_cast<std::uint16_t>(handshake.size()));
+  w.raw(handshake);
+  return std::move(w).take();
+}
+
+std::optional<ClientHello> ClientHello::parse_handshake(ByteView data) {
+  Reader r(data);
+  const std::uint8_t msg_type = r.u8();
+  const std::uint32_t msg_len = r.u24();
+  if (!r.ok() || msg_type != kHandshakeTypeClientHello ||
+      r.remaining() < msg_len)
+    return std::nullopt;
+
+  ClientHello chlo;
+  chlo.legacy_version = r.u16();
+  const Bytes random_bytes = r.bytes(32);
+  if (!r.ok()) return std::nullopt;
+  std::copy(random_bytes.begin(), random_bytes.end(), chlo.random.begin());
+
+  const std::uint8_t sid_len = r.u8();
+  chlo.session_id = r.bytes(sid_len);
+
+  const std::uint16_t suites_len = r.u16();
+  if (!r.ok() || suites_len % 2 != 0) return std::nullopt;
+  chlo.cipher_suites.clear();
+  for (int i = 0; i < suites_len / 2; ++i)
+    chlo.cipher_suites.push_back(r.u16());
+
+  const std::uint8_t comp_len = r.u8();
+  const Bytes comp = r.bytes(comp_len);
+  if (!r.ok()) return std::nullopt;
+  chlo.compression_methods.assign(comp.begin(), comp.end());
+
+  if (r.empty()) return chlo;  // extensions are technically optional
+
+  const std::uint16_t ext_total = r.u16();
+  if (!r.ok() || r.remaining() < ext_total) return std::nullopt;
+  std::size_t consumed = 0;
+  while (consumed < ext_total) {
+    Extension e;
+    e.type = r.u16();
+    const std::uint16_t body_len = r.u16();
+    e.body = r.bytes(body_len);
+    if (!r.ok()) return std::nullopt;
+    consumed += 4u + body_len;
+    chlo.extensions.push_back(std::move(e));
+  }
+  return chlo;
+}
+
+std::optional<ClientHello> ClientHello::parse_record(ByteView data) {
+  Reader r(data);
+  const std::uint8_t content_type = r.u8();
+  r.u16();  // legacy record version, don't care
+  const std::uint16_t len = r.u16();
+  if (!r.ok() || content_type != kContentTypeHandshake || r.remaining() < len)
+    return std::nullopt;
+  return parse_handshake(r.view(len));
+}
+
+std::string ja3_string(const ClientHello& chlo) {
+  auto join = [](const std::vector<std::uint16_t>& values) {
+    std::string out;
+    for (auto v : values) {
+      if (is_grease(v)) continue;
+      if (!out.empty()) out += '-';
+      out += std::to_string(v);
+    }
+    return out;
+  };
+
+  std::string s = std::to_string(chlo.legacy_version);
+  s += ',';
+  s += join(chlo.cipher_suites);
+  s += ',';
+  s += join(chlo.extension_types());
+  s += ',';
+  if (auto groups = chlo.supported_groups()) s += join(*groups);
+  s += ',';
+  if (auto formats = chlo.ec_point_formats()) {
+    std::string f;
+    for (auto v : *formats) {
+      if (!f.empty()) f += '-';
+      f += std::to_string(v);
+    }
+    s += f;
+  }
+  return s;
+}
+
+std::string ja3_hash(const ClientHello& chlo) {
+  const std::string s = ja3_string(chlo);
+  const auto digest = crypto::md5(
+      ByteView{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  return to_hex(ByteView{digest.data(), digest.size()});
+}
+
+}  // namespace vpscope::tls

@@ -1,0 +1,124 @@
+// TLS ClientHello model: structural representation with order-preserving
+// extensions, full parse/serialize, and typed decoders for every extension
+// the paper's Table 2 derives attributes from.
+//
+// The ClientHello is *the* fingerprint surface of this system: mandatory
+// fields (version, cipher suites, compression), optional extensions whose
+// presence/values/ordering differ per client stack, and — for QUIC — the
+// embedded quic_transport_parameters extension.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tls/constants.hpp"
+#include "util/bytes.hpp"
+
+namespace vpscope::tls {
+
+/// One extension, body kept raw so unknown/GREASE extensions round-trip.
+struct Extension {
+  std::uint16_t type = 0;
+  Bytes body;
+
+  bool operator==(const Extension&) const = default;
+};
+
+struct ClientHello {
+  std::uint16_t legacy_version = kVersion12;
+  std::array<std::uint8_t, 32> random{};
+  Bytes session_id;
+  std::vector<std::uint16_t> cipher_suites;
+  std::vector<std::uint8_t> compression_methods{0};
+  std::vector<Extension> extensions;  // on-wire order preserved
+
+  // ---- structural helpers ----
+  bool has_extension(std::uint16_t type) const;
+  const Extension* find(std::uint16_t type) const;
+  Extension* find(std::uint16_t type);
+
+  /// Extension type codes in wire order (GREASE included).
+  std::vector<std::uint16_t> extension_types() const;
+
+  /// Sum of serialized extension bytes (the extensions_length field value).
+  std::size_t extensions_length() const;
+
+  /// Length of the serialized ClientHello handshake body (the value of the
+  /// Handshake.length field; the paper's handshake_length attribute).
+  std::size_t handshake_body_length() const;
+
+  // ---- typed extension decoders (nullopt when absent/malformed) ----
+  std::optional<std::string> server_name() const;
+  std::optional<std::vector<std::uint16_t>> supported_groups() const;
+  std::optional<std::vector<std::uint8_t>> ec_point_formats() const;
+  std::optional<std::vector<std::uint16_t>> signature_algorithms() const;
+  std::optional<std::vector<std::string>> alpn_protocols() const;
+  std::optional<std::vector<std::uint16_t>> supported_versions() const;
+  std::optional<std::vector<std::uint8_t>> psk_key_exchange_modes() const;
+  /// Groups offered in key_share entries, in order.
+  std::optional<std::vector<std::uint16_t>> key_share_groups() const;
+  std::optional<std::vector<std::uint16_t>> compress_certificate() const;
+  std::optional<std::uint16_t> record_size_limit() const;
+  std::optional<std::vector<std::uint16_t>> delegated_credentials() const;
+  std::optional<std::vector<std::string>> application_settings() const;
+  /// Raw body of quic_transport_parameters (decoded by vpscope::quic).
+  std::optional<ByteView> quic_transport_parameters() const;
+
+  // ---- typed extension builders (append to `extensions`) ----
+  void add_server_name(const std::string& host);
+  void add_supported_groups(const std::vector<std::uint16_t>& groups);
+  void add_ec_point_formats(const std::vector<std::uint8_t>& formats);
+  void add_signature_algorithms(const std::vector<std::uint16_t>& algs);
+  void add_alpn(const std::vector<std::string>& protocols);
+  void add_supported_versions(const std::vector<std::uint16_t>& versions);
+  void add_psk_key_exchange_modes(const std::vector<std::uint8_t>& modes);
+  /// Adds key_share entries with realistic per-group key lengths
+  /// (x25519: 32, p-256: 65, p-384: 97, hybrid kyber: 1216).
+  void add_key_shares(const std::vector<std::uint16_t>& groups,
+                      std::uint8_t fill_byte = 0x42);
+  void add_compress_certificate(const std::vector<std::uint16_t>& algs);
+  void add_record_size_limit(std::uint16_t limit);
+  void add_delegated_credentials(const std::vector<std::uint16_t>& algs);
+  void add_application_settings(const std::vector<std::string>& protocols,
+                                std::uint16_t code = ext::kApplicationSettings);
+  void add_session_ticket(std::size_t ticket_len = 0);
+  void add_status_request(std::uint8_t status_type = 1);
+  void add_sct();
+  void add_extended_master_secret();
+  void add_encrypt_then_mac();
+  void add_post_handshake_auth();
+  void add_early_data();
+  void add_renegotiation_info();
+  /// Pads the serialized ClientHello body up to `target_len` bytes using the
+  /// padding extension (Chrome-style); no-op if already >= target.
+  void add_padding_to(std::size_t target_len);
+  void add_quic_transport_parameters(Bytes body);
+  void add_raw(std::uint16_t type, Bytes body);
+
+  // ---- wire format ----
+  /// Serializes the ClientHello as a Handshake message (type 1 + u24 length
+  /// + body). This is the payload placed in a TLS record (TCP) or CRYPTO
+  /// frame (QUIC).
+  Bytes serialize_handshake() const;
+
+  /// Serializes as a plaintext TLS record: ContentType=22 handshake,
+  /// legacy record version 0x0301, then the handshake message.
+  Bytes serialize_record() const;
+
+  /// Parses a Handshake message (starting at the HandshakeType byte).
+  static std::optional<ClientHello> parse_handshake(ByteView data);
+
+  /// Parses one TLS record and the ClientHello inside it.
+  static std::optional<ClientHello> parse_record(ByteView data);
+};
+
+/// The JA3 fingerprint string (version,ciphers,extensions,groups,formats
+/// with GREASE removed) and its MD5 digest — substrate for the Table 6
+/// baselines and a handy debugging identity for fingerprints.
+std::string ja3_string(const ClientHello& chlo);
+std::string ja3_hash(const ClientHello& chlo);
+
+}  // namespace vpscope::tls

@@ -1,0 +1,38 @@
+#include "tls/constants.hpp"
+
+namespace vpscope::tls {
+
+std::string extension_name(std::uint16_t type) {
+  switch (type) {
+    case ext::kServerName: return "server_name";
+    case ext::kStatusRequest: return "status_request";
+    case ext::kSupportedGroups: return "supported_groups";
+    case ext::kEcPointFormats: return "ec_point_formats";
+    case ext::kSignatureAlgorithms: return "signature_algorithms";
+    case ext::kAlpn: return "application_layer_protocol_negotiation";
+    case ext::kSignedCertTimestamp: return "signed_certificate_timestamp";
+    case ext::kPadding: return "padding";
+    case ext::kEncryptThenMac: return "encrypt_then_mac";
+    case ext::kExtendedMasterSecret: return "extended_master_secret";
+    case ext::kCompressCertificate: return "compress_certificate";
+    case ext::kRecordSizeLimit: return "record_size_limit";
+    case ext::kDelegatedCredentials: return "delegated_credentials";
+    case ext::kSessionTicket: return "session_ticket";
+    case ext::kPreSharedKey: return "pre_shared_key";
+    case ext::kEarlyData: return "early_data";
+    case ext::kSupportedVersions: return "supported_versions";
+    case ext::kPskKeyExchangeModes: return "psk_key_exchange_modes";
+    case ext::kPostHandshakeAuth: return "post_handshake_auth";
+    case ext::kSignatureAlgorithmsCert: return "signature_algorithms_cert";
+    case ext::kKeyShare: return "key_share";
+    case ext::kQuicTransportParameters: return "quic_transport_parameters";
+    case ext::kApplicationSettings:
+    case ext::kApplicationSettingsNew: return "application_settings";
+    case ext::kRenegotiationInfo: return "renegotiation_info";
+    default:
+      if (is_grease(type)) return "grease";
+      return "unknown(" + std::to_string(type) + ")";
+  }
+}
+
+}  // namespace vpscope::tls

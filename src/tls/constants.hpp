@@ -1,0 +1,132 @@
+// TLS protocol constants: extension codes (IANA registry), cipher suites,
+// named groups, signature schemes, and GREASE handling (RFC 8701).
+//
+// Only values that actually occur in the modeled client stacks are named;
+// the parser still round-trips arbitrary unknown code points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vpscope::tls {
+
+// ---- Extension type codes (IANA "TLS ExtensionType Values") ----
+namespace ext {
+inline constexpr std::uint16_t kServerName = 0;
+inline constexpr std::uint16_t kStatusRequest = 5;
+inline constexpr std::uint16_t kSupportedGroups = 10;
+inline constexpr std::uint16_t kEcPointFormats = 11;
+inline constexpr std::uint16_t kSignatureAlgorithms = 13;
+inline constexpr std::uint16_t kAlpn = 16;
+inline constexpr std::uint16_t kSignedCertTimestamp = 18;
+inline constexpr std::uint16_t kPadding = 21;
+inline constexpr std::uint16_t kEncryptThenMac = 22;
+inline constexpr std::uint16_t kExtendedMasterSecret = 23;
+inline constexpr std::uint16_t kCompressCertificate = 27;
+inline constexpr std::uint16_t kRecordSizeLimit = 28;
+inline constexpr std::uint16_t kDelegatedCredentials = 34;
+inline constexpr std::uint16_t kSessionTicket = 35;
+inline constexpr std::uint16_t kPreSharedKey = 41;
+inline constexpr std::uint16_t kEarlyData = 42;
+inline constexpr std::uint16_t kSupportedVersions = 43;
+inline constexpr std::uint16_t kPskKeyExchangeModes = 45;
+inline constexpr std::uint16_t kPostHandshakeAuth = 49;
+inline constexpr std::uint16_t kSignatureAlgorithmsCert = 50;
+inline constexpr std::uint16_t kKeyShare = 51;
+inline constexpr std::uint16_t kQuicTransportParameters = 57;
+inline constexpr std::uint16_t kApplicationSettings = 17513;   // ALPS (draft)
+inline constexpr std::uint16_t kApplicationSettingsNew = 17613;
+inline constexpr std::uint16_t kRenegotiationInfo = 65281;
+}  // namespace ext
+
+// ---- Cipher suites ----
+namespace suite {
+// TLS 1.3
+inline constexpr std::uint16_t kAes128GcmSha256 = 0x1301;
+inline constexpr std::uint16_t kAes256GcmSha384 = 0x1302;
+inline constexpr std::uint16_t kChaCha20Poly1305Sha256 = 0x1303;
+// TLS 1.2 ECDHE
+inline constexpr std::uint16_t kEcdheEcdsaAes128Gcm = 0xc02b;
+inline constexpr std::uint16_t kEcdheRsaAes128Gcm = 0xc02f;
+inline constexpr std::uint16_t kEcdheEcdsaAes256Gcm = 0xc02c;
+inline constexpr std::uint16_t kEcdheRsaAes256Gcm = 0xc030;
+inline constexpr std::uint16_t kEcdheEcdsaChaCha20 = 0xcca9;
+inline constexpr std::uint16_t kEcdheRsaChaCha20 = 0xcca8;
+inline constexpr std::uint16_t kEcdheEcdsaAes128CbcSha = 0xc009;
+inline constexpr std::uint16_t kEcdheRsaAes128CbcSha = 0xc013;
+inline constexpr std::uint16_t kEcdheEcdsaAes256CbcSha = 0xc00a;
+inline constexpr std::uint16_t kEcdheRsaAes256CbcSha = 0xc014;
+inline constexpr std::uint16_t kEcdheEcdsaAes128CbcSha256 = 0xc023;
+inline constexpr std::uint16_t kEcdheRsaAes128CbcSha256 = 0xc027;
+inline constexpr std::uint16_t kEcdheEcdsaAes256CbcSha384 = 0xc024;
+inline constexpr std::uint16_t kEcdheRsaAes256CbcSha384 = 0xc028;
+// RSA key transport (legacy tail of many client lists)
+inline constexpr std::uint16_t kRsaAes128Gcm = 0x009c;
+inline constexpr std::uint16_t kRsaAes256Gcm = 0x009d;
+inline constexpr std::uint16_t kRsaAes128CbcSha = 0x002f;
+inline constexpr std::uint16_t kRsaAes256CbcSha = 0x0035;
+inline constexpr std::uint16_t kRsaAes128CbcSha256 = 0x003c;
+inline constexpr std::uint16_t kRsaAes256CbcSha256 = 0x003d;
+inline constexpr std::uint16_t kRsa3desEdeCbcSha = 0x000a;
+// Pre-TLS1.2 DHE seen on consoles / older stacks
+inline constexpr std::uint16_t kDheRsaAes128CbcSha = 0x0033;
+inline constexpr std::uint16_t kDheRsaAes256CbcSha = 0x0039;
+inline constexpr std::uint16_t kEmptyRenegotiationScsv = 0x00ff;
+}  // namespace suite
+
+// ---- Named groups (supported_groups / key_share) ----
+namespace group {
+inline constexpr std::uint16_t kSecp256r1 = 0x0017;
+inline constexpr std::uint16_t kSecp384r1 = 0x0018;
+inline constexpr std::uint16_t kSecp521r1 = 0x0019;
+inline constexpr std::uint16_t kX25519 = 0x001d;
+inline constexpr std::uint16_t kX448 = 0x001e;
+inline constexpr std::uint16_t kFfdhe2048 = 0x0100;
+inline constexpr std::uint16_t kFfdhe3072 = 0x0101;
+inline constexpr std::uint16_t kX25519Kyber768 = 0x6399;  // post-quantum hybrid (Chrome)
+}  // namespace group
+
+// ---- Signature schemes ----
+namespace sigalg {
+inline constexpr std::uint16_t kEcdsaSecp256r1Sha256 = 0x0403;
+inline constexpr std::uint16_t kEcdsaSecp384r1Sha384 = 0x0503;
+inline constexpr std::uint16_t kEcdsaSecp521r1Sha512 = 0x0603;
+inline constexpr std::uint16_t kRsaPssRsaeSha256 = 0x0804;
+inline constexpr std::uint16_t kRsaPssRsaeSha384 = 0x0805;
+inline constexpr std::uint16_t kRsaPssRsaeSha512 = 0x0806;
+inline constexpr std::uint16_t kRsaPkcs1Sha256 = 0x0401;
+inline constexpr std::uint16_t kRsaPkcs1Sha384 = 0x0501;
+inline constexpr std::uint16_t kRsaPkcs1Sha512 = 0x0601;
+inline constexpr std::uint16_t kRsaPkcs1Sha1 = 0x0201;
+inline constexpr std::uint16_t kEcdsaSha1 = 0x0203;
+}  // namespace sigalg
+
+// ---- Certificate compression algorithms (RFC 8879) ----
+namespace certcomp {
+inline constexpr std::uint16_t kZlib = 1;
+inline constexpr std::uint16_t kBrotli = 2;
+inline constexpr std::uint16_t kZstd = 3;
+}  // namespace certcomp
+
+// ---- TLS versions ----
+inline constexpr std::uint16_t kVersion12 = 0x0303;
+inline constexpr std::uint16_t kVersion13 = 0x0304;
+inline constexpr std::uint16_t kVersion11 = 0x0302;
+inline constexpr std::uint16_t kVersion10 = 0x0301;
+
+// ---- GREASE (RFC 8701): values of the form 0xXaXa ----
+inline constexpr bool is_grease(std::uint16_t v) {
+  return (v & 0x0f0f) == 0x0a0a && (v >> 12) == ((v >> 4) & 0x0f);
+}
+
+/// The 16 GREASE values in ascending order; callers pick one at random.
+inline constexpr std::uint16_t grease_value(int index) {
+  const auto nibble = static_cast<std::uint16_t>(index & 0x0f);
+  return static_cast<std::uint16_t>(nibble << 12 | 0x0a00 | nibble << 4 |
+                                    0x000a);
+}
+
+/// Human-readable extension name for reports; "unknown(n)" fallback.
+std::string extension_name(std::uint16_t type);
+
+}  // namespace vpscope::tls

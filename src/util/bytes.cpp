@@ -1,0 +1,138 @@
+#include "util/bytes.hpp"
+
+#include <stdexcept>
+
+namespace vpscope {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("odd hex length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw std::invalid_argument("bad hex digit");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool Reader::take(std::size_t n) {
+  if (!ok_ || data_.size() - off_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  if (!take(1)) return 0;
+  return data_[off_++];
+}
+
+std::uint16_t Reader::u16() {
+  if (!take(2)) return 0;
+  const std::uint16_t v =
+      static_cast<std::uint16_t>(data_[off_] << 8 | data_[off_ + 1]);
+  off_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u24() {
+  if (!take(3)) return 0;
+  const std::uint32_t v = static_cast<std::uint32_t>(data_[off_]) << 16 |
+                          static_cast<std::uint32_t>(data_[off_ + 1]) << 8 |
+                          data_[off_ + 2];
+  off_ += 3;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[off_ + i];
+  off_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | data_[off_ + i];
+  off_ += 8;
+  return v;
+}
+
+Bytes Reader::bytes(std::size_t n) {
+  if (!take(n)) return {};
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(off_),
+            data_.begin() + static_cast<std::ptrdiff_t>(off_ + n));
+  off_ += n;
+  return out;
+}
+
+ByteView Reader::view(std::size_t n) {
+  if (!take(n)) return {};
+  ByteView out = data_.subspan(off_, n);
+  off_ += n;
+  return out;
+}
+
+void Reader::skip(std::size_t n) {
+  if (take(n)) off_ += n;
+}
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u24(std::uint32_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 16));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void Writer::patch_u16(std::size_t at, std::uint16_t v) {
+  out_.at(at) = static_cast<std::uint8_t>(v >> 8);
+  out_.at(at + 1) = static_cast<std::uint8_t>(v);
+}
+
+void Writer::patch_u24(std::size_t at, std::uint32_t v) {
+  out_.at(at) = static_cast<std::uint8_t>(v >> 16);
+  out_.at(at + 1) = static_cast<std::uint8_t>(v >> 8);
+  out_.at(at + 2) = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace vpscope

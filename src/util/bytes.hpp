@@ -1,0 +1,97 @@
+// Byte-buffer primitives shared by every protocol module: a growable Bytes
+// alias, big-endian cursor Reader/Writer, and hex helpers.
+//
+// Network protocol encodings in this codebase are always explicit about
+// endianness; these cursors are the only place byte order is handled.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpscope {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Renders a byte view as lowercase hex, e.g. {0xde, 0xad} -> "dead".
+std::string to_hex(ByteView data);
+
+/// Parses lowercase/uppercase hex into bytes. Ignores nothing: the input must
+/// be an even number of hex digits. Returns empty on malformed input only if
+/// the input itself is empty; otherwise throws std::invalid_argument.
+Bytes from_hex(std::string_view hex);
+
+/// Big-endian, bounds-checked read cursor over a borrowed byte view.
+///
+/// All reads are total: on underflow they set a sticky failure flag and
+/// return zero values instead of touching out-of-bounds memory. Parsers
+/// check `ok()` (or `remaining()`) at their convenience; once failed, every
+/// subsequent read also fails. This mirrors how robust packet parsers avoid
+/// error-checking every 2-byte field individually.
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t offset() const { return off_; }
+  std::size_t remaining() const { return ok_ ? data_.size() - off_ : 0; }
+  bool empty() const { return remaining() == 0; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u24();  // 3-byte big-endian, used by TLS length fields
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// Copies `n` bytes out; on underflow returns an empty vector and fails.
+  Bytes bytes(std::size_t n);
+
+  /// Borrows `n` bytes without copying; the view is valid while the
+  /// underlying buffer lives. On underflow returns an empty view and fails.
+  ByteView view(std::size_t n);
+
+  /// Skips `n` bytes.
+  void skip(std::size_t n);
+
+  /// Marks the reader failed (used when a parsed length field is
+  /// inconsistent with the surrounding structure).
+  void fail() { ok_ = false; }
+
+ private:
+  bool take(std::size_t n);
+
+  ByteView data_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+/// Big-endian append-only write cursor producing a Bytes value.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u24(std::uint32_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(ByteView data) { out_.insert(out_.end(), data.begin(), data.end()); }
+  void raw(const Bytes& data) { raw(ByteView{data}); }
+
+  std::size_t size() const { return out_.size(); }
+
+  /// Overwrites a previously written big-endian u16 at `at` — the standard
+  /// backpatch for length-prefixed TLS structures.
+  void patch_u16(std::size_t at, std::uint16_t v);
+  void patch_u24(std::size_t at, std::uint32_t v);
+
+  const Bytes& data() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+}  // namespace vpscope

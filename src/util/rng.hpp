@@ -1,0 +1,136 @@
+// Deterministic pseudo-randomness for trace synthesis and ML.
+//
+// Every stochastic component in the repository draws from an explicitly
+// seeded Rng so that datasets, model training and benchmark tables are
+// bit-reproducible run to run. The generator is xoshiro256** seeded via
+// SplitMix64 (the initialization recommended by its authors).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace vpscope {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % span;
+    std::uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return lo + v % span;
+  }
+
+  int uniform_int(int lo, int hi) {
+    return static_cast<int>(
+        static_cast<std::int64_t>(uniform(0, static_cast<std::uint64_t>(hi - lo))) + lo);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    if (!have_spare_) {
+      const double u1 = 1.0 - uniform01();  // avoid log(0)
+      const double u2 = uniform01();
+      const double mag = std::sqrt(-2.0 * std::log(u1));
+      spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+      have_spare_ = true;
+      return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+    }
+    have_spare_ = false;
+    return mean + stddev * spare_;
+  }
+
+  /// Exponential with the given mean. Used for inter-arrival times.
+  double exponential(double mean) {
+    return -mean * std::log(1.0 - uniform01());
+  }
+
+  /// Log-normal parameterized by the mean/stddev of the underlying normal.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) throw std::invalid_argument("weighted_index: no mass");
+    double r = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty");
+    return items[static_cast<std::size_t>(uniform(0, items.size() - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(0, i - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each synthesized
+  /// flow / tree / fold its own stream without coupling draw order.
+  Rng fork() { return Rng(next_u64() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace vpscope

@@ -1,0 +1,31 @@
+// Small descriptive-statistics helpers used by the evaluation harness
+// (median/quartile box summaries for Fig. 9/10, hourly aggregates for
+// Fig. 11, etc.).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vpscope {
+
+/// Five-number box-plot summary matching the paper's bandwidth figures.
+struct BoxSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample, p in [0, 100].
+/// Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double p);
+
+double median(std::vector<double> values);
+double mean(const std::vector<double>& values);
+double stddev(const std::vector<double>& values);
+
+BoxSummary box_summary(std::vector<double> values);
+
+}  // namespace vpscope

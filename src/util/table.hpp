@@ -1,0 +1,39 @@
+// Plain-text table rendering for the reproduction reports printed by the
+// bench binaries. Deliberately dependency-free: rows of strings in, aligned
+// ASCII out, plus a CSV emitter for downstream plotting.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vpscope {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with fixed precision; convenience for row building.
+  static std::string num(double v, int precision = 1);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used to delimit reproduced tables/figures in
+/// bench output, e.g. `==== Table 3: open-set evaluation ====`.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace vpscope

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "core/attributes.hpp"
+#include "core/encoder.hpp"
+#include "core/handshake.hpp"
+#include "synth/flow_synthesizer.hpp"
+
+namespace vpscope::core {
+namespace {
+
+using fingerprint::Agent;
+using fingerprint::Os;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+TEST(AttributeCatalog, CountsMatchPaper) {
+  const auto& catalog = attribute_catalog();
+  ASSERT_EQ(catalog.size(), 62u);
+
+  int numerical = 0, categorical = 0, list = 0, presence = 0, length = 0;
+  for (const auto& info : catalog) {
+    switch (info.type) {
+      case AttrType::Numerical: ++numerical; break;
+      case AttrType::Categorical: ++categorical; break;
+      case AttrType::List: ++list; break;
+      case AttrType::Presence: ++presence; break;
+      case AttrType::Length: ++length; break;
+    }
+  }
+  // §4.2: 20 numerical; "17 fields do not have any associated value"
+  // (presence); "7 fields ... treated as length-based attributes".
+  EXPECT_EQ(numerical, 20);
+  EXPECT_EQ(presence, 17);
+  EXPECT_EQ(length, 7);
+  EXPECT_EQ(categorical, 8);
+  EXPECT_EQ(list, 10);
+}
+
+TEST(AttributeCatalog, ApplicabilityMatchesPaper) {
+  // §4.3.1: "Out of the 62 attributes overall, only 50 are applicable to
+  // QUIC"; TCP gets 62 - 20 QUIC-only = 42.
+  EXPECT_EQ(applicable_count(Transport::Quic), 50);
+  EXPECT_EQ(applicable_count(Transport::Tcp), 42);
+}
+
+TEST(AttributeCatalog, CostFollowsType) {
+  for (const auto& info : attribute_catalog()) {
+    switch (info.type) {
+      case AttrType::Categorical:
+        EXPECT_EQ(info.cost(), AttrCost::Medium);
+        break;
+      case AttrType::List:
+        EXPECT_EQ(info.cost(), AttrCost::High);
+        break;
+      default:
+        EXPECT_EQ(info.cost(), AttrCost::Low);
+    }
+  }
+}
+
+TEST(AttributeCatalog, LabelsAreOrdered) {
+  const auto& catalog = attribute_catalog();
+  EXPECT_STREQ(catalog[0].label, "t1");
+  EXPECT_STREQ(catalog[13].label, "t14");
+  EXPECT_STREQ(catalog[14].label, "m1");
+  EXPECT_STREQ(catalog[18].label, "m5");
+  EXPECT_STREQ(catalog[19].label, "o1");
+  EXPECT_STREQ(catalog[41].label, "o23");
+  EXPECT_STREQ(catalog[42].label, "q1");
+  EXPECT_STREQ(catalog[61].label, "q20");
+}
+
+core::FlowHandshake make_handshake(Os os, Agent agent, Provider provider,
+                                   Transport transport,
+                                   std::uint64_t seed = 11) {
+  Rng rng(seed);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile({os, agent}, provider,
+                                                 transport);
+  const auto flow = synth.synthesize(profile);
+  auto handshake = extract_handshake(flow.packets);
+  EXPECT_TRUE(handshake.has_value());
+  return *handshake;
+}
+
+TEST(RawAttributes, TcpFlowBasics) {
+  const auto h = make_handshake(Os::Windows, Agent::Firefox,
+                                Provider::Netflix, Transport::Tcp);
+  const auto raw = extract_raw_attributes(h);
+
+  EXPECT_GT(raw[0].number, 40);  // t1: SYN size
+  EXPECT_EQ(raw[1].number, 128);  // t2: Windows TTL
+  EXPECT_EQ(raw[8].number, 1);    // t9: SYN flag
+  EXPECT_EQ(raw[5].number, 0);    // t6: ACK not set in SYN
+  EXPECT_EQ(raw[10].number, 64240);  // t11: window
+  EXPECT_EQ(raw[11].number, 1460);   // t12: MSS
+  EXPECT_EQ(raw[13].number, 1);      // t14: SACK permitted
+  // o13: Firefox record_size_limit.
+  EXPECT_EQ(raw[31].number, 16385);
+  // o14: delegated credentials present.
+  EXPECT_TRUE(raw[32].present);
+  // q attributes absent for TCP.
+  for (int q = 42; q < 62; ++q) EXPECT_FALSE(raw[static_cast<std::size_t>(q)].present);
+}
+
+TEST(RawAttributes, QuicFlowBasics) {
+  const auto h = make_handshake(Os::Windows, Agent::Chrome,
+                                Provider::YouTube, Transport::Quic);
+  const auto raw = extract_raw_attributes(h);
+
+  EXPECT_TRUE(raw[42].present);  // q1 param order list
+  EXPECT_EQ(raw[43].number, 30000);  // q2 max_idle_timeout
+  EXPECT_EQ(raw[44].number, 1472);   // q3 max_udp_payload_size
+  EXPECT_EQ(raw[45].number, 15728640);  // q4 initial_max_data
+  EXPECT_EQ(raw[54].number, 0);  // q13: Chromium sends an empty SCID
+  EXPECT_TRUE(raw[56].present);  // q15 grease_quic_bit
+  EXPECT_TRUE(raw[59].present);  // q18 user_agent
+  // TCP-only attributes absent for QUIC.
+  for (int t = 2; t < 14; ++t) EXPECT_FALSE(raw[static_cast<std::size_t>(t)].present);
+}
+
+TEST(RawAttributes, LengthAttributesDistinguishEmptyPresentFromAbsent) {
+  const auto chrome = make_handshake(Os::Windows, Agent::Chrome,
+                                     Provider::Netflix, Transport::Tcp);
+  const auto raw = extract_raw_attributes(chrome);
+  // o8 SCT: present but empty-bodied -> 4 (the TLV header), not 0.
+  EXPECT_TRUE(raw[26].present);
+  EXPECT_EQ(raw[26].number, 4);
+
+  const auto ps = make_handshake(Os::PlayStation, Agent::NativeApp,
+                                 Provider::Netflix, Transport::Tcp);
+  const auto raw_ps = extract_raw_attributes(ps);
+  EXPECT_FALSE(raw_ps[26].present);
+  EXPECT_EQ(raw_ps[26].number, 0);
+}
+
+TEST(RawAttributes, SignatureStability) {
+  const RawAttr absent{};
+  EXPECT_EQ(attribute_signature(absent, AttrType::Numerical), "<absent>");
+  RawAttr num;
+  num.present = true;
+  num.number = 65535;
+  EXPECT_EQ(attribute_signature(num, AttrType::Numerical), "65535");
+  RawAttr lst;
+  lst.present = true;
+  lst.tokens = {"a", "b"};
+  EXPECT_EQ(attribute_signature(lst, AttrType::List), "a|b|");
+}
+
+TEST(FeatureEncoder, DimensionsAndColumns) {
+  FeatureEncoder tcp(Transport::Tcp);
+  FeatureEncoder quic(Transport::Quic);
+  EXPECT_EQ(static_cast<int>(tcp.attributes().size()), 42);
+  EXPECT_EQ(static_cast<int>(quic.attributes().size()), 50);
+  // Every list attribute expands to its slot count.
+  std::size_t expected_tcp = 0;
+  for (int a : tcp.attributes()) {
+    const auto& info = attribute_catalog()[static_cast<std::size_t>(a)];
+    expected_tcp += info.type == AttrType::List
+                        ? static_cast<std::size_t>(info.list_slots)
+                        : 1u;
+  }
+  EXPECT_EQ(tcp.dimension(), expected_tcp);
+}
+
+TEST(FeatureEncoder, TransformIsFixedWidthAndZeroPadded) {
+  const auto h = make_handshake(Os::PlayStation, Agent::NativeApp,
+                                Provider::Amazon, Transport::Tcp);
+  FeatureEncoder enc(Transport::Tcp);
+  enc.fit(std::vector<FlowHandshake>{h});
+  const auto v1 = enc.transform(h);
+  EXPECT_EQ(v1.size(), enc.dimension());
+  const auto h2 = make_handshake(Os::Windows, Agent::Chrome, Provider::Amazon,
+                                 Transport::Tcp, 99);
+  const auto v2 = enc.transform(h2);
+  EXPECT_EQ(v2.size(), enc.dimension());
+}
+
+TEST(FeatureEncoder, UnseenTokensGetDedicatedBucket) {
+  const auto h = make_handshake(Os::PlayStation, Agent::NativeApp,
+                                Provider::Amazon, Transport::Tcp);
+  FeatureEncoder enc(Transport::Tcp);
+  enc.fit(std::vector<FlowHandshake>{h});
+
+  // A Firefox flow has cipher suites the PS dictionary never saw; they must
+  // all map to the same (unseen) id, not to zero.
+  const auto alien = make_handshake(Os::Windows, Agent::Firefox,
+                                    Provider::Amazon, Transport::Tcp);
+  const auto v = enc.transform(alien);
+  const auto& cols = enc.columns();
+  bool saw_unseen = false;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (attribute_catalog()[static_cast<std::size_t>(cols[i].attribute)].type ==
+            AttrType::List &&
+        v[i] > 0)
+      saw_unseen = true;
+  }
+  EXPECT_TRUE(saw_unseen);
+}
+
+TEST(FeatureEncoder, ColumnsForAttributesSelectsExactly) {
+  FeatureEncoder enc(Transport::Quic);
+  const auto cols = enc.columns_for_attributes({0, 1});  // t1, t2
+  EXPECT_EQ(cols.size(), 2u);
+  const auto list_cols = enc.columns_for_attributes({16});  // m3 cipher list
+  EXPECT_EQ(static_cast<int>(list_cols.size()),
+            attribute_catalog()[16].list_slots);
+}
+
+TEST(HandshakeExtractor, IncrementalFeedCompletesAtChlo) {
+  Rng rng(5);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {Os::MacOS, Agent::Safari}, Provider::Disney, Transport::Tcp);
+  const auto flow = synth.synthesize(profile);
+
+  HandshakeExtractor extractor;
+  EXPECT_FALSE(extractor.complete());
+  for (std::size_t i = 0; i < flow.packets.size(); ++i) {
+    const auto decoded = net::decode(flow.packets[i]);
+    ASSERT_TRUE(decoded.has_value());
+    extractor.feed(*decoded);
+    if (i < 3)
+      EXPECT_FALSE(extractor.complete());  // SYN, SYN-ACK, ACK: not yet
+  }
+  EXPECT_TRUE(extractor.complete());
+  EXPECT_EQ(extractor.sni(), flow.sni);
+}
+
+TEST(HandshakeExtractor, IgnoresServerPackets) {
+  Rng rng(6);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {Os::Windows, Agent::Edge}, Provider::Netflix, Transport::Tcp);
+  const auto flow = synth.synthesize(profile);
+
+  // Feed only server packets: never completes.
+  HandshakeExtractor extractor;
+  for (const auto& packet : flow.packets) {
+    const auto decoded = net::decode(packet);
+    ASSERT_TRUE(decoded.has_value());
+    if (decoded->src == flow.server_ip) extractor.feed(*decoded);
+  }
+  EXPECT_FALSE(extractor.complete());
+}
+
+TEST(HandshakeExtractor, QuicMultiDatagramReassembly) {
+  // iOS native app with a large CHLO splits across Initials; the extractor
+  // must reassemble before parsing.
+  Rng rng(7);
+  synth::FlowSynthesizer synth(rng);
+  auto profile = fingerprint::make_profile(
+      {Os::Windows, Agent::Chrome}, Provider::YouTube, Transport::Quic);
+  profile.tls.padding_to = 2600;  // force a multi-packet flight
+  profile.variants.clear();
+  const auto flow = synth.synthesize(profile);
+
+  int initials = 0;
+  for (const auto& packet : flow.packets) {
+    const auto d = net::decode(packet);
+    if (d && d->udp && d->src == flow.client_ip) ++initials;
+  }
+  ASSERT_GE(initials, 2);
+  const auto handshake = extract_handshake(flow.packets);
+  ASSERT_TRUE(handshake.has_value());
+  EXPECT_EQ(handshake->chlo.server_name(), flow.sni);
+}
+
+TEST(HandshakeExtractor, RejectsNonTlsTcpPayload) {
+  // A flow that sends garbage after the handshake never completes.
+  net::TcpHeader syn;
+  syn.src_port = 50000;
+  syn.dst_port = 443;
+  syn.flags.syn = true;
+  net::Ipv4Header ip;
+  ip.src = net::IpAddr::v4(10, 0, 0, 1);
+  ip.dst = net::IpAddr::v4(1, 1, 1, 1);
+
+  HandshakeExtractor extractor;
+  const net::Packet syn_pkt{0, ip.serialize(syn.serialize({}))};
+  extractor.feed(*net::decode(syn_pkt));
+
+  net::TcpHeader data = syn;
+  data.flags.syn = false;
+  data.flags.ack = data.flags.psh = true;
+  const net::Packet garbage{1, ip.serialize(data.serialize(Bytes(100, 0x55)))};
+  extractor.feed(*net::decode(garbage));
+  EXPECT_FALSE(extractor.complete());
+}
+
+}  // namespace
+}  // namespace vpscope::core

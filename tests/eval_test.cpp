@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/scenario.hpp"
+#include "ml/forest.hpp"
+
+namespace vpscope::eval {
+namespace {
+
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+class EvalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new synth::Dataset(synth::generate_lab_dataset(42, 0.3));
+    yt_quic_ = new ScenarioData(*dataset_, Provider::YouTube, Transport::Quic);
+    nf_tcp_ = new ScenarioData(*dataset_, Provider::Netflix, Transport::Tcp);
+  }
+  static void TearDownTestSuite() {
+    delete yt_quic_;
+    delete nf_tcp_;
+    delete dataset_;
+  }
+  static synth::Dataset* dataset_;
+  static ScenarioData* yt_quic_;
+  static ScenarioData* nf_tcp_;
+};
+
+synth::Dataset* EvalTest::dataset_ = nullptr;
+ScenarioData* EvalTest::yt_quic_ = nullptr;
+ScenarioData* EvalTest::nf_tcp_ = nullptr;
+
+TEST_F(EvalTest, ScenarioClassCountsMatchPaper) {
+  EXPECT_EQ(yt_quic_->num_classes(Objective::UserPlatform), 12);
+  EXPECT_EQ(nf_tcp_->num_classes(Objective::UserPlatform), 12);
+  EXPECT_GT(yt_quic_->size(), 400u);
+  // Devices present in YT QUIC: Windows, macOS, Android, iOS.
+  EXPECT_EQ(yt_quic_->num_classes(Objective::DeviceType), 4);
+}
+
+TEST_F(EvalTest, MlDatasetsAreConsistent) {
+  const auto data = yt_quic_->to_ml(Objective::UserPlatform);
+  EXPECT_EQ(data.size(), yt_quic_->size());
+  EXPECT_EQ(data.dim(), yt_quic_->encoder().dimension());
+  EXPECT_EQ(data.num_classes(), 12);
+  for (int y : data.y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 12);
+  }
+}
+
+TEST_F(EvalTest, ClassIdMappingIsStable) {
+  const auto names = yt_quic_->class_names(Objective::UserPlatform);
+  ASSERT_EQ(names.size(), 12u);
+  for (std::size_t i = 0; i < yt_quic_->size() && i < 50; ++i) {
+    const int id =
+        yt_quic_->class_id(yt_quic_->labels()[i], Objective::UserPlatform);
+    ASSERT_GE(id, 0);
+    EXPECT_EQ(names[static_cast<std::size_t>(id)],
+              fingerprint::to_string(yt_quic_->labels()[i]));
+  }
+  // Unknown label maps to -1.
+  EXPECT_EQ(yt_quic_->class_id({fingerprint::Os::PlayStation,
+                                fingerprint::Agent::NativeApp},
+                               Objective::UserPlatform),
+            -1);
+}
+
+TEST_F(EvalTest, CrossValidationReasonableAccuracy) {
+  const auto data = yt_quic_->to_ml(Objective::UserPlatform);
+  const double acc =
+      cross_validate(data, 3, 7, [](const ml::Dataset& train,
+                                    const ml::Dataset& test) {
+        ml::RandomForest forest;
+        ml::ForestParams params;
+        params.n_trees = 30;
+        forest.fit(train, params);
+        return forest.predict_batch(test);
+      });
+  EXPECT_GT(acc, 0.9);
+  EXPECT_LT(acc, 1.0);  // the Apple-stack confusions keep it under 100%
+}
+
+TEST_F(EvalTest, ConfusionMatrixPooledOverFolds) {
+  const auto data = nf_tcp_->to_ml(Objective::DeviceType);
+  ml::ForestParams params;
+  params.n_trees = 20;
+  const auto cm = cv_confusion(data, 3, 5, params);
+  EXPECT_EQ(cm.total(), data.size());
+  EXPECT_GT(cm.accuracy(), 0.95);
+}
+
+TEST_F(EvalTest, AttributeStatsStructure) {
+  const auto stats = attribute_stats(*yt_quic_);
+  EXPECT_EQ(static_cast<int>(stats.size()), 50);  // QUIC-applicable
+
+  double max_norm = 0;
+  int useless = 0;
+  for (const auto& s : stats) {
+    EXPECT_GE(s.info_gain_platform, 0.0);
+    EXPECT_GE(s.unique_values, 1);
+    EXPECT_LE(s.norm_platform, 1.0 + 1e-9);
+    max_norm = std::max(max_norm, s.norm_platform);
+    if (s.unique_values == 1) ++useless;
+  }
+  EXPECT_NEAR(max_norm, 1.0, 1e-9);  // normalization anchors the max at 1
+  // The paper's Fig. 3: several fields have a single value over QUIC
+  // (tls_version, compression_methods, ALPN, ec_point_formats,
+  // session_ticket, psk_key_exchange_modes...).
+  EXPECT_GE(useless, 4);
+}
+
+TEST_F(EvalTest, SingleValuedFieldsHaveZeroGain) {
+  for (const auto& s : attribute_stats(*yt_quic_)) {
+    if (s.unique_values == 1) {
+      EXPECT_NEAR(s.info_gain_platform, 0.0, 1e-9) << s.field_name;
+      EXPECT_EQ(s.distinct_platforms, 0) << s.field_name;
+    }
+  }
+}
+
+TEST_F(EvalTest, TtlMattersForDeviceNotSoMuchOverQuic) {
+  // t2 (TTL) must have non-trivial device-type information (Windows 128 vs
+  // the rest), reproducing its high ranking in Fig. 5.
+  const auto stats = attribute_stats(*yt_quic_);
+  const auto t2 = std::find_if(stats.begin(), stats.end(),
+                               [](const AttributeStats& s) {
+                                 return s.label == "t2";
+                               });
+  ASSERT_NE(t2, stats.end());
+  EXPECT_GT(t2->norm_device, 0.5);
+}
+
+TEST_F(EvalTest, ImportanceRankingCoversAllAttributes) {
+  const auto ranked = attributes_by_importance(*yt_quic_);
+  EXPECT_EQ(ranked.size(), 50u);
+  // Ranked list is a permutation (no duplicates).
+  auto sorted = ranked;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST_F(EvalTest, PruningRemovesOnlyLowImportanceOfGivenCost) {
+  using core::AttrCost;
+  const auto all_kept = prune_low_importance(*yt_quic_, {});
+  EXPECT_EQ(all_kept.size(), 50u);  // no costs listed -> nothing pruned
+
+  const auto high_pruned =
+      prune_low_importance(*yt_quic_, {AttrCost::High});
+  const auto all_pruned = prune_low_importance(
+      *yt_quic_, {AttrCost::High, AttrCost::Medium, AttrCost::Low});
+  EXPECT_LE(high_pruned.size(), all_kept.size());
+  EXPECT_LE(all_pruned.size(), high_pruned.size());
+  EXPECT_GT(all_pruned.size(), 10u);  // plenty of informative attributes stay
+}
+
+TEST_F(EvalTest, ObjectiveNames) {
+  EXPECT_EQ(to_string(Objective::UserPlatform), "User platform");
+  EXPECT_EQ(to_string(Objective::DeviceType), "Device type");
+  EXPECT_EQ(to_string(Objective::SoftwareAgent), "Software agent");
+}
+
+}  // namespace
+}  // namespace vpscope::eval

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fingerprint/platform.hpp"
+#include "fingerprint/profiles.hpp"
+#include "tls/constants.hpp"
+
+namespace vpscope::fingerprint {
+namespace {
+
+TEST(Platform, SeventeenUniquePlatforms) {
+  const auto& all = all_platforms();
+  EXPECT_EQ(all.size(), 17u);
+  std::set<std::pair<int, int>> unique;
+  for (const auto& p : all)
+    unique.insert({static_cast<int>(p.os), static_cast<int>(p.agent)});
+  EXPECT_EQ(unique.size(), 17u);
+}
+
+TEST(Platform, DeviceTypeFollowsOs) {
+  EXPECT_EQ((PlatformId{Os::Windows, Agent::Chrome}).device(), DeviceType::PC);
+  EXPECT_EQ((PlatformId{Os::MacOS, Agent::Safari}).device(), DeviceType::PC);
+  EXPECT_EQ((PlatformId{Os::Android, Agent::NativeApp}).device(),
+            DeviceType::Mobile);
+  EXPECT_EQ((PlatformId{Os::IOS, Agent::Chrome}).device(), DeviceType::Mobile);
+  EXPECT_EQ((PlatformId{Os::AndroidTV, Agent::NativeApp}).device(),
+            DeviceType::TV);
+  EXPECT_EQ((PlatformId{Os::PlayStation, Agent::NativeApp}).device(),
+            DeviceType::TV);
+}
+
+TEST(Platform, Table1SupportMatrix) {
+  // No YouTube desktop app on Windows; subscription apps exist.
+  EXPECT_FALSE(supports({Os::Windows, Agent::NativeApp}, Provider::YouTube));
+  EXPECT_TRUE(supports({Os::Windows, Agent::NativeApp}, Provider::Netflix));
+  // macOS native client exists only for Amazon.
+  EXPECT_FALSE(supports({Os::MacOS, Agent::NativeApp}, Provider::Netflix));
+  EXPECT_TRUE(supports({Os::MacOS, Agent::NativeApp}, Provider::Amazon));
+  // Mobile browsers only for YouTube.
+  EXPECT_TRUE(supports({Os::Android, Agent::Chrome}, Provider::YouTube));
+  EXPECT_FALSE(supports({Os::Android, Agent::Chrome}, Provider::Netflix));
+  EXPECT_TRUE(supports({Os::IOS, Agent::Safari}, Provider::YouTube));
+  EXPECT_FALSE(supports({Os::IOS, Agent::Safari}, Provider::Disney));
+  // TVs only run native apps.
+  EXPECT_FALSE(supports({Os::AndroidTV, Agent::Chrome}, Provider::YouTube));
+  EXPECT_TRUE(supports({Os::PlayStation, Agent::NativeApp}, Provider::Amazon));
+}
+
+TEST(Platform, QuicPlatformCountsMatchPaper) {
+  // Fig. 12: 12 QUIC platforms, 14 TCP platforms for YouTube.
+  EXPECT_EQ(platforms_for(Provider::YouTube, Transport::Quic).size(), 12u);
+  EXPECT_EQ(platforms_for(Provider::YouTube, Transport::Tcp).size(), 14u);
+  // Only YouTube supports QUIC at all.
+  for (Provider p : {Provider::Netflix, Provider::Disney, Provider::Amazon})
+    EXPECT_TRUE(platforms_for(p, Transport::Quic).empty());
+}
+
+TEST(Platform, TcpPlatformCountsForSubscriptionProviders) {
+  EXPECT_EQ(platforms_for(Provider::Netflix, Transport::Tcp).size(), 12u);
+  EXPECT_EQ(platforms_for(Provider::Disney, Transport::Tcp).size(), 12u);
+  EXPECT_EQ(platforms_for(Provider::Amazon, Transport::Tcp).size(), 13u);
+}
+
+TEST(Platform, LabelCodecRoundTrip) {
+  for (const auto& p : all_platforms())
+    EXPECT_EQ(platform_from_label(platform_label(p)), p);
+  EXPECT_THROW(platform_from_label(99), std::invalid_argument);
+  EXPECT_THROW(platform_label({Os::AndroidTV, Agent::Safari}),
+               std::invalid_argument);
+}
+
+TEST(Profiles, EverySupportedComboBuilds) {
+  int built = 0;
+  for (const auto& platform : all_platforms()) {
+    for (Provider provider : all_providers()) {
+      for (Transport transport : {Transport::Tcp, Transport::Quic}) {
+        const bool ok = transport == Transport::Quic
+                            ? supports_quic(platform, provider)
+                            : supports_tcp(platform, provider);
+        if (!ok) {
+          EXPECT_THROW(make_profile(platform, provider, transport),
+                       std::invalid_argument);
+          continue;
+        }
+        const StackProfile prof = make_profile(platform, provider, transport);
+        EXPECT_EQ(prof.platform, platform);
+        EXPECT_FALSE(prof.tls.cipher_suites.empty());
+        EXPECT_FALSE(prof.sni_candidates.empty());
+        ++built;
+      }
+    }
+  }
+  // 12 QUIC + 14+12+12+13 TCP combos.
+  EXPECT_EQ(built, 12 + 14 + 12 + 12 + 13);
+}
+
+TEST(Profiles, WindowsTtlIs128OthersAre64) {
+  for (const auto& platform : all_platforms()) {
+    Provider provider = Provider::YouTube;
+    if (!supports_tcp(platform, provider)) provider = Provider::Netflix;
+    if (!supports_tcp(platform, provider)) provider = Provider::Amazon;
+    const StackProfile prof = make_profile(platform, provider, Transport::Tcp);
+    if (platform.os == Os::Windows)
+      EXPECT_EQ(prof.tcp.initial_ttl, 128) << to_string(platform);
+    else
+      EXPECT_EQ(prof.tcp.initial_ttl, 64) << to_string(platform);
+  }
+}
+
+TEST(Profiles, FirefoxCarriesRecordSizeLimit16385) {
+  // The paper: "Firefox browsers running on Windows and macOS PCs typically
+  // set the value of record_size_limit extension to 16385".
+  for (Os os : {Os::Windows, Os::MacOS}) {
+    const auto prof =
+        make_profile({os, Agent::Firefox}, Provider::YouTube, Transport::Tcp);
+    ASSERT_TRUE(prof.tls.record_size_limit.has_value());
+    EXPECT_EQ(*prof.tls.record_size_limit, 16385);
+    EXPECT_FALSE(prof.tls.delegated_credentials.empty());
+    EXPECT_FALSE(prof.tls.grease);
+  }
+}
+
+TEST(Profiles, FirefoxQuicSetsGreaseQuicBit) {
+  // The paper: "Firefox browsers on Windows desktop PCs use the parameter
+  // grease_quic_bit".
+  const auto prof = make_profile({Os::Windows, Agent::Firefox},
+                                 Provider::YouTube, Transport::Quic);
+  EXPECT_TRUE(prof.quic.transport_params.grease_quic_bit);
+}
+
+TEST(Profiles, AppleStackSharedAcrossIosClients) {
+  const auto safari =
+      make_profile({Os::IOS, Agent::Safari}, Provider::YouTube, Transport::Tcp);
+  const auto chrome =
+      make_profile({Os::IOS, Agent::Chrome}, Provider::YouTube, Transport::Tcp);
+  // Same cipher list and groups (the shared Apple stack) ...
+  EXPECT_EQ(safari.tls.cipher_suites, chrome.tls.cipher_suites);
+  EXPECT_EQ(safari.tls.groups, chrome.tls.groups);
+  // ... with only marginal deltas (the paper's iOS confusion root cause).
+  EXPECT_NE(safari.tls.sct, chrome.tls.sct);
+}
+
+TEST(Profiles, ChromeRandomizesExtensionOrderFirefoxDoesNot) {
+  const auto chrome = make_profile({Os::Windows, Agent::Chrome},
+                                   Provider::Netflix, Transport::Tcp);
+  const auto firefox = make_profile({Os::Windows, Agent::Firefox},
+                                    Provider::Netflix, Transport::Tcp);
+  EXPECT_TRUE(chrome.tls.randomize_extension_order);
+  EXPECT_FALSE(firefox.tls.randomize_extension_order);
+}
+
+TEST(Profiles, PlayStationHasNoTls13) {
+  const auto prof = make_profile({Os::PlayStation, Agent::NativeApp},
+                                 Provider::Netflix, Transport::Tcp);
+  EXPECT_TRUE(prof.tls.supported_versions.empty());
+  EXPECT_TRUE(prof.tls.key_share_groups.empty());
+  EXPECT_TRUE(prof.tls.psk_modes.empty());
+}
+
+TEST(Profiles, QuicProfilesAdaptTls) {
+  const auto prof = make_profile({Os::Windows, Agent::Chrome},
+                                 Provider::YouTube, Transport::Quic);
+  EXPECT_EQ(prof.tls.alpn, (std::vector<std::string>{"h3"}));
+  EXPECT_EQ(prof.tls.supported_versions,
+            (std::vector<std::uint16_t>{tls::kVersion13}));
+  EXPECT_FALSE(prof.tls.ec_point_formats);
+  EXPECT_FALSE(prof.tls.session_ticket);
+  EXPECT_TRUE(prof.quic.transport_params.user_agent.has_value());
+}
+
+TEST(Profiles, IosAndMacosDifferOverQuic) {
+  const auto mac = make_profile({Os::MacOS, Agent::Safari},
+                                Provider::YouTube, Transport::Quic);
+  const auto ios = make_profile({Os::IOS, Agent::Safari}, Provider::YouTube,
+                                Transport::Quic);
+  EXPECT_NE(mac.quic.transport_params.max_udp_payload_size,
+            ios.quic.transport_params.max_udp_payload_size);
+  EXPECT_NE(mac.quic.transport_params.disable_active_migration,
+            ios.quic.transport_params.disable_active_migration);
+}
+
+TEST(Profiles, HomeEnvironmentAddsRolloutVariants) {
+  const auto lab = make_profile({Os::Windows, Agent::Chrome},
+                                Provider::Amazon, Transport::Tcp);
+  const auto home =
+      make_profile({Os::Windows, Agent::Chrome}, Provider::Amazon,
+                   Transport::Tcp, Environment::Home);
+  EXPECT_GT(home.variants.size(), lab.variants.size());
+  double total = 0;
+  for (const auto& v : home.variants) {
+    ASSERT_NE(v.profile, nullptr);
+    total += v.prob;
+  }
+  EXPECT_LE(total, 1.0);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Profiles, RolloutFractionOrderingMatchesTable3) {
+  // Amazon drifts most, YouTube TCP least; QUIC > TCP for YouTube.
+  const double yt_tcp = home_rollout_fraction(Provider::YouTube, Transport::Tcp);
+  const double yt_quic =
+      home_rollout_fraction(Provider::YouTube, Transport::Quic);
+  const double nf = home_rollout_fraction(Provider::Netflix, Transport::Tcp);
+  const double dn = home_rollout_fraction(Provider::Disney, Transport::Tcp);
+  const double ap = home_rollout_fraction(Provider::Amazon, Transport::Tcp);
+  EXPECT_LT(yt_tcp, yt_quic);
+  EXPECT_LT(yt_quic, nf);
+  EXPECT_LE(nf, dn);
+  // Amazon's degradation is driven by the converged (full-collision) share,
+  // which must dominate the other TCP providers'.
+  EXPECT_GT(ap, yt_quic);
+}
+
+TEST(Profiles, UnknownProfilesDifferFromAllTrained) {
+  for (int v = 0; v < num_unknown_profiles(); ++v) {
+    const auto unknown = make_unknown_profile(Provider::Netflix, v);
+    for (const auto& platform : all_platforms()) {
+      if (!supports_tcp(platform, Provider::Netflix)) continue;
+      const auto trained =
+          make_profile(platform, Provider::Netflix, Transport::Tcp);
+      EXPECT_FALSE(unknown.tls.cipher_suites == trained.tls.cipher_suites &&
+                   unknown.tls.groups == trained.tls.groups &&
+                   unknown.tcp.window == trained.tcp.window)
+          << "unknown variant " << v << " collides with "
+          << to_string(platform);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpscope::fingerprint

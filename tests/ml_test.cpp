@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "ml/mutual_info.hpp"
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace vpscope::ml {
+namespace {
+
+/// Two Gaussian blobs per class around distinct centers, plus noise dims.
+Dataset make_blobs(int per_class, int classes, int informative_dims,
+                   int noise_dims, double spread, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      std::vector<double> x;
+      for (int d = 0; d < informative_dims; ++d)
+        x.push_back(c * 10.0 + rng.normal(0.0, spread));
+      for (int d = 0; d < noise_dims; ++d)
+        x.push_back(rng.uniform_real(-50, 50));
+      data.x.push_back(std::move(x));
+      data.y.push_back(c);
+    }
+  }
+  return data;
+}
+
+Dataset make_xor(int n, std::uint64_t seed) {
+  // Greedy CART only splits XOR thanks to sampling imbalance (zero exact
+  // first-split gain), so keep the feature space to the two XOR inputs.
+  Rng rng(seed);
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    const bool a = rng.bernoulli(0.5), b = rng.bernoulli(0.5);
+    data.x.push_back({a ? 1.0 : 0.0, b ? 1.0 : 0.0});
+    data.y.push_back(a != b ? 1 : 0);
+  }
+  return data;
+}
+
+// ---- Dataset utilities ----
+
+TEST(Dataset, SubsetAndProject) {
+  Dataset d;
+  d.x = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  d.y = {0, 1, 2};
+  const Dataset s = d.subset({2, 0});
+  EXPECT_EQ(s.y, (std::vector<int>{2, 0}));
+  EXPECT_EQ(s.x[0], (std::vector<double>{7, 8, 9}));
+  const Dataset p = d.project({2, 0});
+  EXPECT_EQ(p.x[1], (std::vector<double>{6, 4}));
+  EXPECT_EQ(p.y, d.y);
+}
+
+TEST(Dataset, StratifiedFoldsPreserveClassBalance) {
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) labels.push_back(i < 80 ? 0 : 1);
+  const auto folds = stratified_fold_ids(labels, 5, 3);
+  for (int f = 0; f < 5; ++f) {
+    int class0 = 0, class1 = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (folds[i] != f) continue;
+      (labels[i] == 0 ? class0 : class1)++;
+    }
+    EXPECT_EQ(class0, 16);
+    EXPECT_EQ(class1, 4);
+  }
+}
+
+TEST(Dataset, SplitFoldPartitions) {
+  const std::vector<int> folds = {0, 1, 2, 0, 1, 2};
+  std::vector<int> train, test;
+  split_fold(folds, 1, &train, &test);
+  EXPECT_EQ(test, (std::vector<int>{1, 4}));
+  EXPECT_EQ(train, (std::vector<int>{0, 2, 3, 5}));
+}
+
+TEST(Dataset, StratifiedSplitFractions) {
+  std::vector<int> labels(200, 0);
+  for (int i = 100; i < 200; ++i) labels[static_cast<std::size_t>(i)] = 1;
+  std::vector<int> train, test;
+  stratified_split(labels, 0.25, 5, &train, &test);
+  EXPECT_EQ(test.size(), 50u);
+  EXPECT_EQ(train.size(), 150u);
+}
+
+// ---- Decision tree ----
+
+TEST(DecisionTree, LearnsXor) {
+  const Dataset data = make_xor(400, 1);
+  DecisionTree tree;
+  tree.fit(data, {}, {.max_depth = 6, .min_samples_split = 2,
+                      .max_features = 0},
+           2, Rng(1));
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    correct += tree.predict(data.x[i]) == data.y[i];
+  EXPECT_GT(correct, 390);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  const Dataset data = make_blobs(50, 4, 2, 5, 3.0, 2);
+  DecisionTree tree;
+  tree.fit(data, {}, {.max_depth = 3, .min_samples_split = 2,
+                      .max_features = 0},
+           4, Rng(1));
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTree, PureLeafProbabilities) {
+  Dataset data;
+  data.x = {{0.0}, {0.0}, {10.0}, {10.0}};
+  data.y = {0, 0, 1, 1};
+  DecisionTree tree;
+  tree.fit(data, {}, {}, 2, Rng(1));
+  const auto p0 = tree.predict_proba({0.0});
+  EXPECT_DOUBLE_EQ(p0[0], 1.0);
+  EXPECT_DOUBLE_EQ(p0[1], 0.0);
+}
+
+TEST(DecisionTree, ImportancesFavorInformativeFeature) {
+  const Dataset data = make_blobs(100, 3, 1, 4, 1.0, 3);
+  DecisionTree tree;
+  tree.fit(data, {}, {}, 3, Rng(1));
+  const auto imp = tree.feature_importances();
+  ASSERT_EQ(imp.size(), 5u);
+  // Feature 0 is the informative one.
+  for (std::size_t i = 1; i < imp.size(); ++i) EXPECT_GT(imp[0], imp[i]);
+  double total = 0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ---- Random forest ----
+
+TEST(RandomForest, SeparatesBlobs) {
+  const Dataset train = make_blobs(60, 5, 3, 10, 2.0, 4);
+  const Dataset test = make_blobs(20, 5, 3, 10, 2.0, 5);
+  RandomForest forest;
+  forest.fit(train, {.n_trees = 30, .max_depth = 12, .min_samples_split = 2,
+                     .max_features = 0, .bootstrap = true, .seed = 1});
+  const auto pred = forest.predict_batch(test);
+  EXPECT_GT(accuracy(test.y, pred), 0.95);
+}
+
+TEST(RandomForest, ProbabilitiesSumToOne) {
+  const Dataset data = make_blobs(40, 3, 2, 2, 2.0, 6);
+  RandomForest forest;
+  forest.fit(data, {.n_trees = 10, .max_depth = 8, .min_samples_split = 2,
+                    .max_features = 0, .bootstrap = true, .seed = 2});
+  const auto proba = forest.predict_proba(data.x[0]);
+  double total = 0;
+  for (double p : proba) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const auto [cls, conf] = forest.predict_with_confidence(data.x[0]);
+  EXPECT_EQ(cls, forest.predict(data.x[0]));
+  EXPECT_GT(conf, 0.5);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  const Dataset data = make_blobs(30, 4, 2, 8, 3.0, 7);
+  RandomForest a, b;
+  ForestParams params{.n_trees = 15, .max_depth = 10, .min_samples_split = 2,
+                      .max_features = 4, .bootstrap = true, .seed = 99};
+  a.fit(data, params);
+  b.fit(data, params);
+  for (const auto& row : data.x) EXPECT_EQ(a.predict(row), b.predict(row));
+}
+
+TEST(RandomForest, MoreRobustThanSingleTreeUnderNoise) {
+  // Heavily noisy blobs: ensemble should beat a single deep tree out of
+  // sample.
+  const Dataset train = make_blobs(50, 4, 1, 20, 4.0, 8);
+  const Dataset test = make_blobs(50, 4, 1, 20, 4.0, 9);
+
+  DecisionTree tree;
+  tree.fit(train, {}, {.max_depth = 20, .min_samples_split = 2,
+                       .max_features = 4},
+           4, Rng(3));
+  int tree_correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    tree_correct += tree.predict(test.x[i]) == test.y[i];
+
+  RandomForest forest;
+  forest.fit(train, {.n_trees = 40, .max_depth = 20, .min_samples_split = 2,
+                     .max_features = 4, .bootstrap = true, .seed = 3});
+  const auto pred = forest.predict_batch(test);
+  const double forest_acc = accuracy(test.y, pred);
+  EXPECT_GE(forest_acc,
+            static_cast<double>(tree_correct) / static_cast<double>(test.size()));
+}
+
+TEST(RandomForest, ThrowsOnEmpty) {
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(Dataset{}, {}), std::invalid_argument);
+}
+
+// ---- KNN ----
+
+TEST(Knn, SeparatesCleanBlobs) {
+  const Dataset train = make_blobs(50, 4, 3, 0, 1.5, 10);
+  const Dataset test = make_blobs(20, 4, 3, 0, 1.5, 11);
+  KnnClassifier knn;
+  knn.fit(train, {.k = 5, .distance_weighted = false});
+  EXPECT_GT(accuracy(test.y, knn.predict_batch(test)), 0.97);
+}
+
+TEST(Knn, ScaleSensitivity) {
+  // One informative small-scale dim + one huge irrelevant dim: unscaled KNN
+  // collapses — the pathology the paper's model comparison exposes.
+  Rng rng(12);
+  Dataset train, test;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 100; ++i) {
+      Dataset& target = i < 70 ? train : test;
+      target.x.push_back({c * 2.0 + rng.normal(0, 0.2),
+                          rng.uniform_real(0, 1e6)});
+      target.y.push_back(c);
+    }
+  }
+  KnnClassifier knn;
+  knn.fit(train, {.k = 5, .distance_weighted = false});
+  EXPECT_LT(accuracy(test.y, knn.predict_batch(test)), 0.75);
+}
+
+TEST(Knn, DistanceWeightingBreaksTies) {
+  Dataset train;
+  train.x = {{0.0}, {0.9}, {1.1}, {2.0}};
+  train.y = {0, 0, 1, 1};
+  KnnClassifier knn;
+  knn.fit(train, {.k = 4, .distance_weighted = true});
+  EXPECT_EQ(knn.predict({0.1}), 0);
+  EXPECT_EQ(knn.predict({1.9}), 1);
+}
+
+// ---- MLP ----
+
+TEST(Mlp, LearnsBlobsWithScaling) {
+  const Dataset train = make_blobs(80, 3, 4, 2, 1.5, 13);
+  const Dataset test = make_blobs(30, 3, 4, 2, 1.5, 14);
+  MlpClassifier mlp;
+  MlpParams params;
+  params.hidden_layers = {32};
+  params.epochs = 80;
+  params.scale_inputs = true;
+  mlp.fit(train, params);
+  EXPECT_GT(accuracy(test.y, mlp.predict_batch(test)), 0.9);
+}
+
+TEST(Mlp, UnscaledLargeInputsDegrade) {
+  // Features in the millions without scaling: the paper's MLP failure mode.
+  Rng rng(15);
+  Dataset train, test;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 80; ++i) {
+      Dataset& target = i < 60 ? train : test;
+      target.x.push_back({c * 1e6 + rng.normal(0, 1e5),
+                          rng.uniform_real(0, 100)});
+      target.y.push_back(c);
+    }
+  }
+  MlpClassifier scaled, unscaled;
+  MlpParams p;
+  p.epochs = 40;
+  p.scale_inputs = true;
+  scaled.fit(train, p);
+  p.scale_inputs = false;
+  unscaled.fit(train, p);
+  EXPECT_GT(accuracy(test.y, scaled.predict_batch(test)),
+            accuracy(test.y, unscaled.predict_batch(test)));
+}
+
+TEST(Mlp, ProbabilitiesAreSoftmax) {
+  const Dataset data = make_blobs(30, 3, 2, 0, 2.0, 16);
+  MlpClassifier mlp;
+  MlpParams params;
+  params.epochs = 10;
+  params.scale_inputs = true;
+  mlp.fit(data, params);
+  const auto proba = mlp.predict_proba(data.x[0]);
+  double total = 0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ---- Metrics ----
+
+TEST(Metrics, ConfusionMatrixBasics) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_NEAR(cm.accuracy(), 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 0.5, 1e-12);
+  EXPECT_NEAR(cm.normalized(0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+}
+
+TEST(Metrics, AccuracyHelper) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+  EXPECT_THROW(accuracy({1}, {1, 2}), std::invalid_argument);
+}
+
+// ---- Mutual information ----
+
+TEST(MutualInfo, IdenticalVariablesGiveEntropy) {
+  std::vector<int> y = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(mutual_information(y, y), entropy(y), 1e-9);
+  EXPECT_NEAR(entropy(y), std::log2(3.0), 1e-9);
+}
+
+TEST(MutualInfo, IndependentVariablesNearZero) {
+  Rng rng(17);
+  std::vector<int> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.uniform_int(0, 3));
+    ys.push_back(rng.uniform_int(0, 3));
+  }
+  EXPECT_LT(mutual_information(xs, ys), 0.01);
+}
+
+TEST(MutualInfo, DeterministicFunctionGivesFullInformation) {
+  std::vector<int> xs, ys;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(i % 6);
+    ys.push_back((i % 6) / 2);
+  }
+  EXPECT_NEAR(mutual_information(xs, ys), entropy(ys), 1e-9);
+}
+
+TEST(MutualInfo, StringOverloadMatchesIntVersion) {
+  const std::vector<std::string> xs = {"a", "a", "b", "b"};
+  const std::vector<int> xi = {0, 0, 1, 1};
+  const std::vector<int> ys = {0, 1, 0, 1};
+  EXPECT_NEAR(mutual_information(xs, ys), mutual_information(xi, ys), 1e-12);
+  EXPECT_EQ(unique_count(xs), 2);
+}
+
+TEST(MutualInfo, SymmetryAndNonNegativity) {
+  Rng rng(18);
+  std::vector<int> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.uniform_int(0, 5);
+    xs.push_back(v);
+    ys.push_back(v / 2 + rng.uniform_int(0, 1));
+  }
+  const double mi_xy = mutual_information(xs, ys);
+  const double mi_yx = mutual_information(ys, xs);
+  EXPECT_NEAR(mi_xy, mi_yx, 1e-9);
+  EXPECT_GE(mi_xy, 0.0);
+}
+
+}  // namespace
+}  // namespace vpscope::ml

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/ip.hpp"
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "util/rng.hpp"
+
+namespace vpscope::net {
+namespace {
+
+TEST(IpAddr, V4Formatting) {
+  EXPECT_EQ(IpAddr::v4(192, 168, 1, 10).to_string(), "192.168.1.10");
+}
+
+TEST(IpAddr, V4U32RoundTrip) {
+  const IpAddr a = IpAddr::v4(10, 20, 30, 40);
+  EXPECT_EQ(IpAddr::v4_from_u32(a.as_v4_u32()), a);
+}
+
+TEST(Checksum, KnownVector) {
+  // Classic example from RFC 1071 discussions.
+  const Bytes data = from_hex("0001f203f4f5f6f7");
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Ipv4, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.ttl = 57;
+  h.protocol = kProtoTcp;
+  h.src = IpAddr::v4(10, 0, 0, 1);
+  h.dst = IpAddr::v4(142, 250, 70, 78);
+  h.identification = 0x1234;
+  const Bytes payload = {1, 2, 3, 4, 5};
+  const Bytes wire = h.serialize(payload);
+
+  std::size_t hlen = 0;
+  const auto parsed = Ipv4Header::parse(wire, &hlen);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(hlen, Ipv4Header::kMinSize);
+  EXPECT_EQ(parsed->ttl, 57);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->total_length, wire.size());
+  // Header checksum must validate (sum over header with checksum = 0).
+  EXPECT_EQ(internet_checksum(ByteView{wire.data(), hlen}), 0);
+}
+
+TEST(Ipv4, ParseRejectsTruncated) {
+  EXPECT_FALSE(Ipv4Header::parse(from_hex("4500"), nullptr).has_value());
+}
+
+TEST(Ipv4, ParseRejectsWrongVersion) {
+  Bytes garbage(20, 0);
+  garbage[0] = 0x55;
+  EXPECT_FALSE(Ipv4Header::parse(garbage, nullptr).has_value());
+}
+
+TEST(Ipv6, SerializeParseRoundTrip) {
+  Ipv6Header h;
+  h.hop_limit = 64;
+  h.next_header = kProtoUdp;
+  h.src.is_v6 = h.dst.is_v6 = true;
+  h.src.bytes[15] = 1;
+  h.dst.bytes[15] = 2;
+  const Bytes wire = h.serialize(from_hex("cafe"));
+  std::size_t hlen = 0;
+  const auto parsed = Ipv6Header::parse(wire, &hlen);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(hlen, Ipv6Header::kSize);
+  EXPECT_EQ(parsed->hop_limit, 64);
+  EXPECT_EQ(parsed->next_header, kProtoUdp);
+  EXPECT_EQ(parsed->src, h.src);
+}
+
+TEST(Tcp, SynWithOptionsRoundTrip) {
+  TcpHeader h;
+  h.src_port = 51234;
+  h.dst_port = 443;
+  h.seq = 0xdeadbeef;
+  h.flags.syn = true;
+  h.window = 65535;
+  h.options.mss = 1460;
+  h.options.window_scale = 8;
+  h.options.sack_permitted = true;
+  h.options.timestamps = true;
+  h.options.ts_value = 12345;
+
+  const Bytes wire = h.serialize({});
+  std::size_t hlen = 0;
+  const auto parsed = TcpHeader::parse(wire, &hlen);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 51234);
+  EXPECT_EQ(parsed->dst_port, 443);
+  EXPECT_TRUE(parsed->flags.syn);
+  EXPECT_FALSE(parsed->flags.ack);
+  EXPECT_EQ(parsed->window, 65535);
+  ASSERT_TRUE(parsed->options.mss.has_value());
+  EXPECT_EQ(*parsed->options.mss, 1460);
+  ASSERT_TRUE(parsed->options.window_scale.has_value());
+  EXPECT_EQ(*parsed->options.window_scale, 8);
+  EXPECT_TRUE(parsed->options.sack_permitted);
+  EXPECT_TRUE(parsed->options.timestamps);
+  EXPECT_EQ(parsed->options.ts_value, 12345u);
+  EXPECT_EQ(hlen % 4, 0u);
+}
+
+TEST(Tcp, KindOrderPreservedWithNops) {
+  TcpHeader h;
+  h.flags.syn = true;
+  h.options.mss = 1460;
+  h.options.sack_permitted = true;
+  h.options.window_scale = 6;
+  // Windows-style ordering: MSS, NOP, WScale, NOP, NOP, SACKperm.
+  h.options.kind_order = {2, 1, 3, 1, 1, 4};
+  const Bytes wire = h.serialize({});
+  const auto parsed = TcpHeader::parse(wire, nullptr);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->options.kind_order, (std::vector<std::uint8_t>{2, 1, 3, 1, 1, 4}));
+}
+
+TEST(Tcp, FlagByteRoundTrip) {
+  for (int b = 0; b < 256; ++b) {
+    const auto f = TcpFlags::from_byte(static_cast<std::uint8_t>(b));
+    EXPECT_EQ(f.to_byte(), b);
+  }
+}
+
+TEST(Tcp, PayloadCarriedThrough) {
+  TcpHeader h;
+  h.flags.psh = h.flags.ack = true;
+  const Bytes payload = from_hex("160301004a");
+  const Bytes wire = h.serialize(payload);
+  std::size_t hlen = 0;
+  ASSERT_TRUE(TcpHeader::parse(wire, &hlen).has_value());
+  EXPECT_EQ(Bytes(wire.begin() + static_cast<std::ptrdiff_t>(hlen), wire.end()),
+            payload);
+}
+
+TEST(Udp, RoundTrip) {
+  UdpHeader h;
+  h.src_port = 50000;
+  h.dst_port = 443;
+  const Bytes wire = h.serialize(from_hex("c0ffee"));
+  std::size_t hlen = 0;
+  const auto parsed = UdpHeader::parse(wire, &hlen);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 50000);
+  EXPECT_EQ(parsed->dst_port, 443);
+  EXPECT_EQ(hlen, UdpHeader::kSize);
+}
+
+TEST(FlowKey, CanonicalIsDirectionless) {
+  const IpAddr a = IpAddr::v4(10, 0, 0, 1);
+  const IpAddr b = IpAddr::v4(142, 250, 70, 78);
+  bool fwd = false, rev = false;
+  const FlowKey k1 = FlowKey::canonical(a, 51234, b, 443, kProtoTcp, &fwd);
+  const FlowKey k2 = FlowKey::canonical(b, 443, a, 51234, kProtoTcp, &rev);
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(fwd, rev);
+  EXPECT_EQ(FlowKeyHash{}(k1), FlowKeyHash{}(k2));
+}
+
+TEST(FlowKey, DifferentPortsDiffer) {
+  const IpAddr a = IpAddr::v4(10, 0, 0, 1);
+  const IpAddr b = IpAddr::v4(142, 250, 70, 78);
+  const FlowKey k1 = FlowKey::canonical(a, 1111, b, 443, kProtoTcp);
+  const FlowKey k2 = FlowKey::canonical(a, 2222, b, 443, kProtoTcp);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(Decode, TcpPacketEndToEnd) {
+  TcpHeader tcp;
+  tcp.src_port = 50001;
+  tcp.dst_port = 443;
+  tcp.flags.syn = true;
+  tcp.options.mss = 1400;
+  Ipv4Header ip;
+  ip.ttl = 63;
+  ip.src = IpAddr::v4(10, 1, 2, 3);
+  ip.dst = IpAddr::v4(1, 2, 3, 4);
+  Packet pkt;
+  pkt.timestamp_us = 777;
+  pkt.data = ip.serialize(tcp.serialize(from_hex("aabb")));
+
+  const auto d = decode(pkt);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->timestamp_us, 777u);
+  EXPECT_EQ(d->ttl, 63);
+  EXPECT_EQ(d->protocol, kProtoTcp);
+  ASSERT_TRUE(d->tcp.has_value());
+  EXPECT_EQ(d->tcp->src_port, 50001);
+  EXPECT_EQ(d->payload.size(), 2u);
+  EXPECT_EQ(d->ip_packet_size, pkt.data.size());
+}
+
+TEST(Decode, UdpPacketEndToEnd) {
+  UdpHeader udp;
+  udp.src_port = 50002;
+  udp.dst_port = 443;
+  Ipv4Header ip;
+  ip.protocol = kProtoUdp;
+  ip.src = IpAddr::v4(10, 1, 2, 3);
+  ip.dst = IpAddr::v4(1, 2, 3, 4);
+  Packet pkt;
+  pkt.data = ip.serialize(udp.serialize(Bytes(1200, 0)));
+  const auto d = decode(pkt);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_TRUE(d->udp.has_value());
+  EXPECT_EQ(d->payload.size(), 1200u);
+}
+
+TEST(Decode, RejectsGarbage) {
+  Packet pkt;
+  pkt.data = from_hex("ffffffff");
+  EXPECT_FALSE(decode(pkt).has_value());
+}
+
+TEST(Pcap, WriteReadRoundTrip) {
+  std::vector<Packet> packets;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    TcpHeader tcp;
+    tcp.src_port = static_cast<std::uint16_t>(40000 + i);
+    tcp.dst_port = 443;
+    tcp.flags.syn = true;
+    Ipv4Header ip;
+    ip.src = IpAddr::v4(10, 0, 0, static_cast<std::uint8_t>(i));
+    ip.dst = IpAddr::v4(8, 8, 8, 8);
+    Packet p;
+    p.timestamp_us = 1000000ULL * static_cast<std::uint64_t>(i) + rng.uniform(0, 999999);
+    p.data = ip.serialize(tcp.serialize({}));
+    packets.push_back(std::move(p));
+  }
+
+  std::stringstream ss;
+  ASSERT_TRUE(write_pcap(ss, packets));
+  const auto readback = read_pcap(ss);
+  ASSERT_TRUE(readback.has_value());
+  ASSERT_EQ(readback->size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ((*readback)[i].timestamp_us, packets[i].timestamp_us);
+    EXPECT_EQ((*readback)[i].data, packets[i].data);
+  }
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "not a pcap file at all, sorry";
+  EXPECT_FALSE(read_pcap(ss).has_value());
+}
+
+TEST(Pcap, RejectsTruncatedRecord) {
+  std::vector<Packet> packets(1);
+  packets[0].data = Bytes(40, 0x45);
+  std::stringstream ss;
+  ASSERT_TRUE(write_pcap(ss, packets));
+  std::string content = ss.str();
+  content.resize(content.size() - 5);
+  std::stringstream truncated(content);
+  EXPECT_FALSE(read_pcap(truncated).has_value());
+}
+
+}  // namespace
+}  // namespace vpscope::net

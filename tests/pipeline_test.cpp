@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "core/handshake.hpp"
+#include "pipeline/classifier_bank.hpp"
+#include "pipeline/pipeline.hpp"
+#include "synth/dataset.hpp"
+
+namespace vpscope::pipeline {
+namespace {
+
+using fingerprint::Agent;
+using fingerprint::Os;
+using fingerprint::PlatformId;
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+/// A small lab dataset + trained bank, shared across tests (training is the
+/// expensive part).
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lab_ = new synth::Dataset(synth::generate_lab_dataset(42, 0.35));
+    bank_ = new ClassifierBank();
+    bank_->train(*lab_);
+  }
+  static void TearDownTestSuite() {
+    delete lab_;
+    delete bank_;
+    lab_ = nullptr;
+    bank_ = nullptr;
+  }
+
+  static synth::Dataset* lab_;
+  static ClassifierBank* bank_;
+};
+
+synth::Dataset* PipelineTest::lab_ = nullptr;
+ClassifierBank* PipelineTest::bank_ = nullptr;
+
+TEST(ProviderFromSni, SuffixMatching) {
+  EXPECT_EQ(provider_from_sni("rr3---sn-xyz.googlevideo.com"),
+            Provider::YouTube);
+  EXPECT_EQ(provider_from_sni("ipv4-c001-syd001-ix.1.oca.nflxvideo.net"),
+            Provider::Netflix);
+  EXPECT_EQ(provider_from_sni("vod-bgc-na-west-1.media.dssott.com"),
+            Provider::Disney);
+  EXPECT_EQ(provider_from_sni("atv-ps.amazon.com"), Provider::Amazon);
+  EXPECT_EQ(provider_from_sni("www.youtube.com"), Provider::YouTube);
+  EXPECT_FALSE(provider_from_sni("example.com").has_value());
+  EXPECT_FALSE(provider_from_sni("").has_value());
+  // Suffix must sit on a label boundary.
+  EXPECT_FALSE(provider_from_sni("notgooglevideo.com").has_value());
+  // Bare domain itself matches.
+  EXPECT_EQ(provider_from_sni("googlevideo.com"), Provider::YouTube);
+}
+
+TEST_F(PipelineTest, BankTrainsAllFiveScenarios) {
+  EXPECT_TRUE(bank_->trained(Provider::YouTube, Transport::Tcp));
+  EXPECT_TRUE(bank_->trained(Provider::YouTube, Transport::Quic));
+  EXPECT_TRUE(bank_->trained(Provider::Netflix, Transport::Tcp));
+  EXPECT_TRUE(bank_->trained(Provider::Disney, Transport::Tcp));
+  EXPECT_TRUE(bank_->trained(Provider::Amazon, Transport::Tcp));
+  EXPECT_FALSE(bank_->trained(Provider::Netflix, Transport::Quic));
+}
+
+TEST_F(PipelineTest, ClassifiesFreshFlowsAccurately) {
+  Rng rng(777);
+  synth::FlowSynthesizer synth(rng);
+  int correct = 0, total = 0;
+  for (const auto& platform : fingerprint::all_platforms()) {
+    for (Provider provider : fingerprint::all_providers()) {
+      if (!fingerprint::supports_tcp(platform, provider)) continue;
+      const auto profile =
+          fingerprint::make_profile(platform, provider, Transport::Tcp);
+      for (int i = 0; i < 5; ++i) {
+        const auto flow = synth.synthesize(profile);
+        const auto handshake = core::extract_handshake(flow.packets);
+        ASSERT_TRUE(handshake.has_value());
+        const auto pred = bank_->classify(*handshake, provider);
+        ++total;
+        if (pred.outcome == telemetry::Outcome::Composite &&
+            pred.platform == platform)
+          ++correct;
+      }
+    }
+  }
+  // In-distribution composite accuracy should be high across the board.
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST_F(PipelineTest, CompositePredictionImpliesParts) {
+  Rng rng(778);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {Os::Windows, Agent::Firefox}, Provider::Netflix, Transport::Tcp);
+  const auto flow = synth.synthesize(profile);
+  const auto handshake = core::extract_handshake(flow.packets);
+  const auto pred = bank_->classify(*handshake, Provider::Netflix);
+  ASSERT_EQ(pred.outcome, telemetry::Outcome::Composite);
+  ASSERT_TRUE(pred.platform.has_value());
+  EXPECT_EQ(pred.device, pred.platform->os);
+  EXPECT_EQ(pred.agent, pred.platform->agent);
+  EXPECT_GE(pred.platform_confidence, bank_->confidence_threshold());
+}
+
+TEST_F(PipelineTest, UnknownPlatformsAreMostlyRejectedOrPartial) {
+  Rng rng(779);
+  synth::FlowSynthesizer synth(rng);
+  int composite = 0, total = 0;
+  for (int variant = 0; variant < fingerprint::num_unknown_profiles();
+       ++variant) {
+    const auto profile =
+        fingerprint::make_unknown_profile(Provider::Netflix, variant);
+    for (int i = 0; i < 20; ++i) {
+      const auto flow = synth.synthesize(profile);
+      const auto handshake = core::extract_handshake(flow.packets);
+      ASSERT_TRUE(handshake.has_value());
+      const auto pred = bank_->classify(*handshake, Provider::Netflix);
+      ++total;
+      composite += pred.outcome == telemetry::Outcome::Composite;
+    }
+  }
+  // Unknown stacks must not be confidently assigned a platform often.
+  EXPECT_LT(static_cast<double>(composite) / total, 0.25);
+}
+
+TEST_F(PipelineTest, EndToEndPacketsToSessionRecord) {
+  Rng rng(780);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {Os::MacOS, Agent::Safari}, Provider::Netflix, Transport::Tcp);
+  synth::FlowOptions opt;
+  opt.start_time_us = 1000000;
+  opt.payload_bytes = 3'000'000;
+  opt.payload_duration_us = 20'000'000;
+  const auto flow = synth.synthesize(profile, opt);
+
+  VideoFlowPipeline pipe(bank_);
+  std::vector<telemetry::SessionRecord> records;
+  pipe.set_sink([&records](telemetry::SessionRecord r) {
+    records.push_back(std::move(r));
+  });
+  for (const auto& packet : flow.packets) pipe.on_packet(packet);
+  EXPECT_EQ(pipe.stats().video_flows, 1u);
+  pipe.flush_all();
+
+  ASSERT_EQ(records.size(), 1u);
+  const auto& record = records.front();
+  EXPECT_EQ(record.provider, Provider::Netflix);
+  EXPECT_EQ(record.transport, Transport::Tcp);
+  EXPECT_EQ(record.outcome, telemetry::Outcome::Composite);
+  ASSERT_TRUE(record.platform.has_value());
+  EXPECT_EQ(*record.platform, (PlatformId{Os::MacOS, Agent::Safari}));
+  EXPECT_GT(record.counters.bytes_down, 2'900'000u);
+  EXPECT_GT(record.counters.duration_s(), 15.0);
+}
+
+TEST_F(PipelineTest, QuicFlowEndToEnd) {
+  Rng rng(781);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {Os::Windows, Agent::Firefox}, Provider::YouTube, Transport::Quic);
+  const auto flow = synth.synthesize(profile);
+
+  VideoFlowPipeline pipe(bank_);
+  std::vector<telemetry::SessionRecord> records;
+  pipe.set_sink([&records](telemetry::SessionRecord r) {
+    records.push_back(std::move(r));
+  });
+  for (const auto& packet : flow.packets) pipe.on_packet(packet);
+  pipe.flush_all();
+
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.front().transport, Transport::Quic);
+  EXPECT_EQ(records.front().provider, Provider::YouTube);
+  ASSERT_TRUE(records.front().platform.has_value());
+  EXPECT_EQ(*records.front().platform,
+            (PlatformId{Os::Windows, Agent::Firefox}));
+}
+
+TEST_F(PipelineTest, NonVideoHttpsFlowsProduceNoRecords) {
+  // A TLS flow to a non-video SNI enters the flow table but never a record.
+  Rng rng(782);
+  synth::FlowSynthesizer synth(rng);
+  auto profile = fingerprint::make_profile(
+      {Os::Windows, Agent::Chrome}, Provider::Netflix, Transport::Tcp);
+  profile.sni_candidates = {"www.example.org"};
+  profile.variants.clear();
+  const auto flow = synth.synthesize(profile);
+
+  VideoFlowPipeline pipe(bank_);
+  int records = 0;
+  pipe.set_sink([&records](telemetry::SessionRecord) { ++records; });
+  for (const auto& packet : flow.packets) pipe.on_packet(packet);
+  pipe.flush_all();
+  EXPECT_EQ(pipe.stats().video_flows, 0u);
+  EXPECT_EQ(records, 0);
+}
+
+TEST_F(PipelineTest, NonHttpsTrafficIgnoredEntirely) {
+  net::TcpHeader tcp;
+  tcp.src_port = 12345;
+  tcp.dst_port = 80;
+  tcp.flags.syn = true;
+  net::Ipv4Header ip;
+  ip.src = net::IpAddr::v4(10, 0, 0, 1);
+  ip.dst = net::IpAddr::v4(1, 2, 3, 4);
+  VideoFlowPipeline pipe(bank_);
+  pipe.on_packet({0, ip.serialize(tcp.serialize({}))});
+  EXPECT_EQ(pipe.stats().flows_total, 0u);
+  EXPECT_EQ(pipe.active_flows(), 0u);
+}
+
+TEST_F(PipelineTest, FlushIdleEvictsOnlyStaleFlows) {
+  Rng rng(783);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {Os::Windows, Agent::Chrome}, Provider::Netflix, Transport::Tcp);
+
+  VideoFlowPipeline pipe(bank_);
+  int records = 0;
+  pipe.set_sink([&records](telemetry::SessionRecord) { ++records; });
+
+  synth::FlowOptions old_flow_opt;
+  old_flow_opt.start_time_us = 0;
+  const auto old_flow = synth.synthesize(profile, old_flow_opt);
+  synth::FlowOptions new_flow_opt;
+  new_flow_opt.start_time_us = 100'000'000;
+  const auto new_flow = synth.synthesize(profile, new_flow_opt);
+
+  for (const auto& p : old_flow.packets) pipe.on_packet(p);
+  for (const auto& p : new_flow.packets) pipe.on_packet(p);
+  EXPECT_EQ(pipe.active_flows(), 2u);
+
+  pipe.flush_idle(/*now=*/130'000'000, /*idle=*/60'000'000);
+  EXPECT_EQ(pipe.active_flows(), 1u);
+  EXPECT_EQ(records, 1);
+  pipe.flush_all();
+  EXPECT_EQ(records, 2);
+}
+
+TEST_F(PipelineTest, VolumeSamplesAccumulate) {
+  Rng rng(784);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {Os::Windows, Agent::Chrome}, Provider::Disney, Transport::Tcp);
+  const auto flow = synth.synthesize(profile);
+
+  VideoFlowPipeline pipe(bank_);
+  std::vector<telemetry::SessionRecord> records;
+  pipe.set_sink([&records](telemetry::SessionRecord r) {
+    records.push_back(std::move(r));
+  });
+  for (const auto& packet : flow.packets) pipe.on_packet(packet);
+  const auto key = net::FlowKey::canonical(flow.client_ip, flow.client_port,
+                                           flow.server_ip, flow.server_port,
+                                           net::kProtoTcp);
+  for (int i = 1; i <= 10; ++i)
+    pipe.on_volume_sample(key, static_cast<std::uint64_t>(i) * 1'000'000,
+                          500'000, 10'000);
+  pipe.flush_all();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GE(records.front().counters.bytes_down, 5'000'000u);
+  EXPECT_GE(records.front().counters.bytes_up, 100'000u);
+}
+
+TEST_F(PipelineTest, StatsCountersConsistent) {
+  Rng rng(785);
+  synth::FlowSynthesizer synth(rng);
+  VideoFlowPipeline pipe(bank_);
+  pipe.set_sink([](telemetry::SessionRecord) {});
+  int flows = 0;
+  for (Provider provider : fingerprint::all_providers()) {
+    const auto profile = fingerprint::make_profile(
+        {Os::Windows, Agent::Chrome}, provider, Transport::Tcp);
+    for (int i = 0; i < 3; ++i) {
+      const auto flow = synth.synthesize(profile);
+      for (const auto& packet : flow.packets) pipe.on_packet(packet);
+      ++flows;
+    }
+  }
+  EXPECT_EQ(pipe.stats().video_flows, static_cast<std::uint64_t>(flows));
+  EXPECT_EQ(pipe.stats().classified_composite +
+                pipe.stats().classified_partial +
+                pipe.stats().classified_unknown,
+            static_cast<std::uint64_t>(flows));
+}
+
+}  // namespace
+}  // namespace vpscope::pipeline

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vpscope::telemetry {
+namespace {
+
+using fingerprint::Agent;
+using fingerprint::Os;
+using fingerprint::Provider;
+
+TEST(FlowCounters, DurationAndThroughput) {
+  FlowCounters c;
+  c.add_up(1'000'000, 100);
+  c.add_down(2'000'000, 1'000'000);
+  c.add_down(11'000'000, 1'500'000);
+  EXPECT_DOUBLE_EQ(c.duration_s(), 10.0);
+  EXPECT_EQ(c.bytes_down, 2'500'000u);
+  EXPECT_EQ(c.bytes_up, 100u);
+  EXPECT_EQ(c.packets_down, 2u);
+  EXPECT_EQ(c.packets_up, 1u);
+  // 2.5 MB over 10 s = 2 Mbit/s.
+  EXPECT_NEAR(c.mean_downstream_mbps(), 2.0, 1e-9);
+}
+
+TEST(FlowCounters, OutOfOrderTimestamps) {
+  FlowCounters c;
+  c.add_down(5'000'000, 10);
+  c.add_down(1'000'000, 10);  // late packet with earlier timestamp
+  c.add_down(7'000'000, 10);
+  EXPECT_EQ(c.first_us, 1'000'000u);
+  EXPECT_EQ(c.last_us, 7'000'000u);
+}
+
+TEST(FlowCounters, SinglePacketHasZeroDuration) {
+  FlowCounters c;
+  c.add_down(1'000'000, 1000);
+  EXPECT_DOUBLE_EQ(c.duration_s(), 0.0);
+  EXPECT_DOUBLE_EQ(c.mean_downstream_mbps(), 0.0);
+}
+
+SessionRecord make_record(Provider provider, Os os, Agent agent,
+                          double duration_s, double mbps,
+                          std::uint64_t start_us = 0,
+                          Outcome outcome = Outcome::Composite) {
+  SessionRecord r;
+  r.provider = provider;
+  r.outcome = outcome;
+  if (outcome != Outcome::Unknown) {
+    r.platform = fingerprint::PlatformId{os, agent};
+    r.device = os;
+    r.agent = agent;
+  }
+  r.counters.add_up(start_us, 50);
+  r.counters.add_down(
+      start_us + static_cast<std::uint64_t>(duration_s * 1e6),
+      static_cast<std::uint64_t>(mbps * 1e6 / 8 * duration_s));
+  return r;
+}
+
+TEST(SessionStore, WatchHoursFilters) {
+  SessionStore store;
+  store.insert(make_record(Provider::YouTube, Os::Windows, Agent::Chrome,
+                           3600, 2.0));
+  store.insert(make_record(Provider::YouTube, Os::IOS, Agent::NativeApp,
+                           1800, 2.0));
+  store.insert(make_record(Provider::Netflix, Os::Windows, Agent::Chrome,
+                           7200, 2.0));
+  EXPECT_NEAR(store.watch_hours([](const SessionRecord& r) {
+    return r.provider == Provider::YouTube;
+  }),
+              1.5, 1e-9);
+  EXPECT_NEAR(store.watch_hours([](const SessionRecord& r) {
+    return r.device == Os::Windows;
+  }),
+              3.0, 1e-9);
+}
+
+TEST(SessionStore, BandwidthSamplesSkipZeroDuration) {
+  SessionStore store;
+  store.insert(make_record(Provider::Amazon, Os::MacOS, Agent::Safari, 600,
+                           5.7));
+  SessionRecord degenerate;
+  degenerate.provider = Provider::Amazon;
+  degenerate.counters.add_down(0, 100);  // single packet, zero duration
+  store.insert(degenerate);
+  const auto samples = store.bandwidth_mbps([](const SessionRecord& r) {
+    return r.provider == Provider::Amazon;
+  });
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_NEAR(samples[0], 5.7, 0.01);
+}
+
+TEST(SessionStore, HourlyVolumeBucketsByStartHour) {
+  SessionStore store;
+  // Session starting at hour 20 of day 1.
+  const std::uint64_t start = (24 + 20) * 3600ULL * 1'000'000ULL;
+  store.insert(make_record(Provider::Netflix, Os::Windows, Agent::Chrome,
+                           1200, 4.0, start));
+  const auto hourly =
+      store.hourly_volume_gb([](const SessionRecord&) { return true; });
+  for (int h = 0; h < 24; ++h) {
+    if (h == 20)
+      EXPECT_GT(hourly[static_cast<std::size_t>(h)], 0.0);
+    else
+      EXPECT_DOUBLE_EQ(hourly[static_cast<std::size_t>(h)], 0.0);
+  }
+}
+
+TEST(SessionStore, UnknownFraction) {
+  SessionStore store;
+  store.insert(make_record(Provider::YouTube, Os::Windows, Agent::Chrome, 60,
+                           2.0));
+  store.insert(make_record(Provider::YouTube, Os::Windows, Agent::Chrome, 60,
+                           2.0, 0, Outcome::Unknown));
+  store.insert(make_record(Provider::YouTube, Os::Windows, Agent::Chrome, 60,
+                           2.0, 0, Outcome::Partial));
+  EXPECT_NEAR(store.unknown_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SessionStore, EmptyStoreSafeDefaults) {
+  SessionStore store;
+  EXPECT_DOUBLE_EQ(store.unknown_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      store.watch_hours([](const SessionRecord&) { return true; }), 0.0);
+  EXPECT_TRUE(
+      store.bandwidth_mbps([](const SessionRecord&) { return true; }).empty());
+}
+
+}  // namespace
+}  // namespace vpscope::telemetry

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace vpscope {
+namespace {
+
+// ---- hex ----
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Hex, Empty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_THROW(from_hex("abc"), std::invalid_argument); }
+TEST(Hex, RejectsBadDigit) { EXPECT_THROW(from_hex("zz"), std::invalid_argument); }
+TEST(Hex, AcceptsUppercase) { EXPECT_EQ(from_hex("DEADBEEF"), from_hex("deadbeef")); }
+
+// ---- Reader / Writer ----
+
+TEST(ReaderWriter, AllWidthsRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u24(0xabcdef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u24(), 0xabcdefu);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Reader, UnderflowIsStickyAndSafe) {
+  const Bytes data = {0x01, 0x02};
+  Reader r(data);
+  EXPECT_EQ(r.u32(), 0u);  // underflow
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // still failed even though a byte "exists"
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Reader, ViewAndBytes) {
+  const Bytes data = {1, 2, 3, 4, 5};
+  Reader r(data);
+  const ByteView v = r.view(2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(r.bytes(3), (Bytes{3, 4, 5}));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Writer, Patching) {
+  Writer w;
+  w.u16(0);  // placeholder
+  w.u8(0x7f);
+  w.patch_u16(0, 0xbeef);
+  Reader r(w.data());
+  EXPECT_EQ(r.u16(), 0xbeef);
+}
+
+// ---- Rng ----
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(11);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {};
+  for (int i = 0; i < 8000; ++i) counts[rng.weighted_index(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(mean(xs), 3.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The child stream should not replicate the parent's subsequent output.
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+// ---- stats ----
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, PercentileEdges) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_EQ(box_summary({}).count, 0u);
+}
+
+TEST(Stats, BoxSummaryOrdering) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(i);
+  const BoxSummary s = box_summary(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.q1, 26.0);
+  EXPECT_DOUBLE_EQ(s.q3, 76.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_EQ(s.count, 101u);
+}
+
+// ---- table ----
+
+TEST(Table, AlignsAndSeparates) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting) {
+  TextTable t({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, NumFormat) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.964, 1), "96.4%");
+}
+
+}  // namespace
+}  // namespace vpscope
