@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bandwidth_agents.dir/bench_fig10_bandwidth_agents.cpp.o"
+  "CMakeFiles/bench_fig10_bandwidth_agents.dir/bench_fig10_bandwidth_agents.cpp.o.d"
+  "bench_fig10_bandwidth_agents"
+  "bench_fig10_bandwidth_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bandwidth_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

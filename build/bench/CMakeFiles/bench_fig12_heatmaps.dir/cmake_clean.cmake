@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_heatmaps.dir/bench_fig12_heatmaps.cpp.o"
+  "CMakeFiles/bench_fig12_heatmaps.dir/bench_fig12_heatmaps.cpp.o.d"
+  "bench_fig12_heatmaps"
+  "bench_fig12_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

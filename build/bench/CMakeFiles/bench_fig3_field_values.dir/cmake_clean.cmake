@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_field_values.dir/bench_fig3_field_values.cpp.o"
+  "CMakeFiles/bench_fig3_field_values.dir/bench_fig3_field_values.cpp.o.d"
+  "bench_fig3_field_values"
+  "bench_fig3_field_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_field_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hyperparam.dir/bench_fig6_hyperparam.cpp.o"
+  "CMakeFiles/bench_fig6_hyperparam.dir/bench_fig6_hyperparam.cpp.o.d"
+  "bench_fig6_hyperparam"
+  "bench_fig6_hyperparam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hyperparam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_watchtime.dir/bench_fig7_watchtime.cpp.o"
+  "CMakeFiles/bench_fig7_watchtime.dir/bench_fig7_watchtime.cpp.o.d"
+  "bench_fig7_watchtime"
+  "bench_fig7_watchtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_watchtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

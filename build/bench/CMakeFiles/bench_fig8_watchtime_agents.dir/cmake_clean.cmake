@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_watchtime_agents.dir/bench_fig8_watchtime_agents.cpp.o"
+  "CMakeFiles/bench_fig8_watchtime_agents.dir/bench_fig8_watchtime_agents.cpp.o.d"
+  "bench_fig8_watchtime_agents"
+  "bench_fig8_watchtime_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_watchtime_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_openset.dir/bench_table3_openset.cpp.o"
+  "CMakeFiles/bench_table3_openset.dir/bench_table3_openset.cpp.o.d"
+  "bench_table3_openset"
+  "bench_table3_openset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_openset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_confidence.dir/bench_table4_confidence.cpp.o"
+  "CMakeFiles/bench_table4_confidence.dir/bench_table4_confidence.cpp.o.d"
+  "bench_table4_confidence"
+  "bench_table4_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_subsets.dir/bench_table5_subsets.cpp.o"
+  "CMakeFiles/bench_table5_subsets.dir/bench_table5_subsets.cpp.o.d"
+  "bench_table5_subsets"
+  "bench_table5_subsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_insights.dir/campus_insights.cpp.o"
+  "CMakeFiles/campus_insights.dir/campus_insights.cpp.o.d"
+  "campus_insights"
+  "campus_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_explorer.dir/fingerprint_explorer.cpp.o"
+  "CMakeFiles/fingerprint_explorer.dir/fingerprint_explorer.cpp.o.d"
+  "fingerprint_explorer"
+  "fingerprint_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

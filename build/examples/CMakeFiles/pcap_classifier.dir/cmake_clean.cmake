@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_classifier.dir/pcap_classifier.cpp.o"
+  "CMakeFiles/pcap_classifier.dir/pcap_classifier.cpp.o.d"
+  "pcap_classifier"
+  "pcap_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

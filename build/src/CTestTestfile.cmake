@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("net")
+subdirs("tls")
+subdirs("quic")
+subdirs("fingerprint")
+subdirs("ml")
+subdirs("synth")
+subdirs("eval")
+subdirs("core")
+subdirs("telemetry")
+subdirs("pipeline")
+subdirs("baselines")
+subdirs("campus")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/vpscope_baselines.dir/baselines.cpp.o.d"
+  "libvpscope_baselines.a"
+  "libvpscope_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

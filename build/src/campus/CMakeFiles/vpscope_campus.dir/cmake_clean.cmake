@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_campus.dir/campus.cpp.o"
+  "CMakeFiles/vpscope_campus.dir/campus.cpp.o.d"
+  "libvpscope_campus.a"
+  "libvpscope_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_core.dir/attributes.cpp.o"
+  "CMakeFiles/vpscope_core.dir/attributes.cpp.o.d"
+  "CMakeFiles/vpscope_core.dir/encoder.cpp.o"
+  "CMakeFiles/vpscope_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/vpscope_core.dir/handshake.cpp.o"
+  "CMakeFiles/vpscope_core.dir/handshake.cpp.o.d"
+  "libvpscope_core.a"
+  "libvpscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

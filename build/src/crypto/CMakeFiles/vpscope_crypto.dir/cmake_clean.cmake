@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_crypto.dir/aes.cpp.o"
+  "CMakeFiles/vpscope_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/vpscope_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/vpscope_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/vpscope_crypto.dir/md5.cpp.o"
+  "CMakeFiles/vpscope_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/vpscope_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/vpscope_crypto.dir/sha256.cpp.o.d"
+  "libvpscope_crypto.a"
+  "libvpscope_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

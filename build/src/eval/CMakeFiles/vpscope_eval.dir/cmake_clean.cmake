@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_eval.dir/scenario.cpp.o"
+  "CMakeFiles/vpscope_eval.dir/scenario.cpp.o.d"
+  "libvpscope_eval.a"
+  "libvpscope_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

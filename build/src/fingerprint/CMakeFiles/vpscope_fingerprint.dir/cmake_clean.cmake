@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_fingerprint.dir/platform.cpp.o"
+  "CMakeFiles/vpscope_fingerprint.dir/platform.cpp.o.d"
+  "CMakeFiles/vpscope_fingerprint.dir/profiles.cpp.o"
+  "CMakeFiles/vpscope_fingerprint.dir/profiles.cpp.o.d"
+  "libvpscope_fingerprint.a"
+  "libvpscope_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_ml.dir/dataset.cpp.o"
+  "CMakeFiles/vpscope_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/vpscope_ml.dir/forest.cpp.o"
+  "CMakeFiles/vpscope_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/vpscope_ml.dir/knn.cpp.o"
+  "CMakeFiles/vpscope_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/vpscope_ml.dir/metrics.cpp.o"
+  "CMakeFiles/vpscope_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/vpscope_ml.dir/mlp.cpp.o"
+  "CMakeFiles/vpscope_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/vpscope_ml.dir/mutual_info.cpp.o"
+  "CMakeFiles/vpscope_ml.dir/mutual_info.cpp.o.d"
+  "CMakeFiles/vpscope_ml.dir/serialize.cpp.o"
+  "CMakeFiles/vpscope_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/vpscope_ml.dir/tree.cpp.o"
+  "CMakeFiles/vpscope_ml.dir/tree.cpp.o.d"
+  "libvpscope_ml.a"
+  "libvpscope_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

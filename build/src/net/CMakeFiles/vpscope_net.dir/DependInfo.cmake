@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/vpscope_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/vpscope_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/vpscope_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/vpscope_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/vpscope_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/vpscope_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/vpscope_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/vpscope_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/vpscope_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/vpscope_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

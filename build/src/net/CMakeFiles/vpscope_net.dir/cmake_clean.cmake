@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_net.dir/ip.cpp.o"
+  "CMakeFiles/vpscope_net.dir/ip.cpp.o.d"
+  "CMakeFiles/vpscope_net.dir/packet.cpp.o"
+  "CMakeFiles/vpscope_net.dir/packet.cpp.o.d"
+  "CMakeFiles/vpscope_net.dir/pcap.cpp.o"
+  "CMakeFiles/vpscope_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/vpscope_net.dir/tcp.cpp.o"
+  "CMakeFiles/vpscope_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/vpscope_net.dir/udp.cpp.o"
+  "CMakeFiles/vpscope_net.dir/udp.cpp.o.d"
+  "libvpscope_net.a"
+  "libvpscope_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

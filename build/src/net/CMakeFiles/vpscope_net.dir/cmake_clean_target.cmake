@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpscope_net.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_pipeline.dir/classifier_bank.cpp.o"
+  "CMakeFiles/vpscope_pipeline.dir/classifier_bank.cpp.o.d"
+  "CMakeFiles/vpscope_pipeline.dir/drift.cpp.o"
+  "CMakeFiles/vpscope_pipeline.dir/drift.cpp.o.d"
+  "CMakeFiles/vpscope_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/vpscope_pipeline.dir/pipeline.cpp.o.d"
+  "libvpscope_pipeline.a"
+  "libvpscope_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quic/initial.cpp" "src/quic/CMakeFiles/vpscope_quic.dir/initial.cpp.o" "gcc" "src/quic/CMakeFiles/vpscope_quic.dir/initial.cpp.o.d"
+  "/root/repo/src/quic/transport_params.cpp" "src/quic/CMakeFiles/vpscope_quic.dir/transport_params.cpp.o" "gcc" "src/quic/CMakeFiles/vpscope_quic.dir/transport_params.cpp.o.d"
+  "/root/repo/src/quic/varint.cpp" "src/quic/CMakeFiles/vpscope_quic.dir/varint.cpp.o" "gcc" "src/quic/CMakeFiles/vpscope_quic.dir/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vpscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vpscope_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

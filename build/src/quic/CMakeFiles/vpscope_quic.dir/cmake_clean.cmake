@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_quic.dir/initial.cpp.o"
+  "CMakeFiles/vpscope_quic.dir/initial.cpp.o.d"
+  "CMakeFiles/vpscope_quic.dir/transport_params.cpp.o"
+  "CMakeFiles/vpscope_quic.dir/transport_params.cpp.o.d"
+  "CMakeFiles/vpscope_quic.dir/varint.cpp.o"
+  "CMakeFiles/vpscope_quic.dir/varint.cpp.o.d"
+  "libvpscope_quic.a"
+  "libvpscope_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_synth.dir/dataset.cpp.o"
+  "CMakeFiles/vpscope_synth.dir/dataset.cpp.o.d"
+  "CMakeFiles/vpscope_synth.dir/flow_synthesizer.cpp.o"
+  "CMakeFiles/vpscope_synth.dir/flow_synthesizer.cpp.o.d"
+  "libvpscope_synth.a"
+  "libvpscope_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

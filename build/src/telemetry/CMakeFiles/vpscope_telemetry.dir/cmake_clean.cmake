@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_telemetry.dir/telemetry.cpp.o"
+  "CMakeFiles/vpscope_telemetry.dir/telemetry.cpp.o.d"
+  "libvpscope_telemetry.a"
+  "libvpscope_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

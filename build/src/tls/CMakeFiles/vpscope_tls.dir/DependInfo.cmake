@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/client_hello.cpp" "src/tls/CMakeFiles/vpscope_tls.dir/client_hello.cpp.o" "gcc" "src/tls/CMakeFiles/vpscope_tls.dir/client_hello.cpp.o.d"
+  "/root/repo/src/tls/constants.cpp" "src/tls/CMakeFiles/vpscope_tls.dir/constants.cpp.o" "gcc" "src/tls/CMakeFiles/vpscope_tls.dir/constants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vpscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vpscope_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

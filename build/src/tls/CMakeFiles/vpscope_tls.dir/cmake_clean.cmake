@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_tls.dir/client_hello.cpp.o"
+  "CMakeFiles/vpscope_tls.dir/client_hello.cpp.o.d"
+  "CMakeFiles/vpscope_tls.dir/constants.cpp.o"
+  "CMakeFiles/vpscope_tls.dir/constants.cpp.o.d"
+  "libvpscope_tls.a"
+  "libvpscope_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

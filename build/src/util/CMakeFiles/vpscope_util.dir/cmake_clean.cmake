@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_util.dir/bytes.cpp.o"
+  "CMakeFiles/vpscope_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/vpscope_util.dir/stats.cpp.o"
+  "CMakeFiles/vpscope_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vpscope_util.dir/table.cpp.o"
+  "CMakeFiles/vpscope_util.dir/table.cpp.o.d"
+  "libvpscope_util.a"
+  "libvpscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
