@@ -1,14 +1,24 @@
 // §4.3.3 / §5.1 real-time feasibility: per-packet cost of the end-to-end
 // pipeline (flow table -> handshake extraction -> SNI detection ->
-// attribute generation -> classification -> telemetry), plus the costs of
-// the individual stages. The paper's deployment handled 20 Gbit/s peak and
-// > 1000 concurrent video flows on an 8-core Xeon; the numbers below give
-// the per-core packet and flow rates of this implementation.
+// attribute generation -> classification -> telemetry), the compiled-forest
+// speedup over the uncompiled classification path, and the shard-scaling
+// behaviour of the multi-core front-end. The paper's deployment handled
+// 20 Gbit/s peak and > 1000 concurrent video flows on an 8-core Xeon; the
+// numbers below give the packet/flow rates of this implementation per
+// shard count, and are also written to BENCH_pipeline.json so successive
+// PRs accumulate a machine-readable perf trajectory.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <fstream>
+#include <limits>
+#include <thread>
 
 #include "bench/campus_common.hpp"
 #include "core/handshake.hpp"
+#include "ml/compiled_forest.hpp"
 #include "pipeline/pipeline.hpp"
+#include "pipeline/sharded_pipeline.hpp"
 
 namespace {
 
@@ -40,38 +50,264 @@ std::vector<net::Packet> make_packet_mix(int flows) {
   return packets;
 }
 
-void report() {
-  print_banner(std::cout,
-               "Pipeline real-time feasibility (paper §4.3.3 / §5.1)");
-  const auto packets = make_packet_mix(400);
-  const auto& bank = bench::campus_bank();  // train outside the timed region
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
+struct SingleThreadResult {
+  double elapsed_s = 0;
+  std::size_t packets = 0;
+  std::uint64_t video_flows = 0;
+  std::size_t records = 0;
+  double mbit_per_sec = 0;
+};
+
+SingleThreadResult run_single_thread_once(
+    const std::vector<net::Packet>& packets) {
+  SingleThreadResult out;
   const auto start = std::chrono::steady_clock::now();
-  pipeline::VideoFlowPipeline pipe(&bank);
+  pipeline::VideoFlowPipeline pipe(&bench::campus_bank());
   std::size_t records = 0;
   pipe.set_sink([&records](telemetry::SessionRecord) { ++records; });
   for (const auto& packet : packets) pipe.on_packet(packet);
   pipe.flush_all();
-  const auto elapsed = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-
+  out.elapsed_s = seconds_since(start);
+  out.packets = packets.size();
+  out.video_flows = pipe.stats().video_flows;
+  out.records = records;
   std::uint64_t bytes = 0;
   for (const auto& p : packets) bytes += p.data.size();
+  out.mbit_per_sec = static_cast<double>(bytes) * 8 / out.elapsed_s / 1e6;
+  return out;
+}
+
+SingleThreadResult run_single_thread(const std::vector<net::Packet>& packets) {
+  auto best = run_single_thread_once(packets);
+  for (int rep = 1; rep < 3; ++rep) {
+    const auto r = run_single_thread_once(packets);
+    if (r.elapsed_s < best.elapsed_s) best = r;
+  }
+  return best;
+}
+
+struct ShardResult {
+  int shards = 0;
+  double elapsed_s = 0;
+  double packets_per_sec = 0;
+  double flows_per_sec = 0;
+  double speedup_vs_1 = 0;
+};
+
+ShardResult run_sharded_once(const std::vector<net::Packet>& packets,
+                             int shards) {
+  ShardResult out;
+  out.shards = shards;
+  const auto start = std::chrono::steady_clock::now();
+  pipeline::ShardedPipeline pipe(&bench::campus_bank(),
+                                 {.n_shards = shards, .queue_capacity = 4096});
+  std::atomic<std::size_t> records{0};
+  pipe.set_sink([&records](telemetry::SessionRecord) {
+    records.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& packet : packets) pipe.on_packet(packet);
+  pipe.flush_all();
+  const auto stats = pipe.stats();
+  out.elapsed_s = seconds_since(start);
+  out.packets_per_sec = static_cast<double>(packets.size()) / out.elapsed_s;
+  out.flows_per_sec = static_cast<double>(stats.video_flows) / out.elapsed_s;
+  return out;
+}
+
+ShardResult run_sharded(const std::vector<net::Packet>& packets, int shards) {
+  auto best = run_sharded_once(packets, shards);
+  for (int rep = 1; rep < 3; ++rep) {
+    const auto r = run_sharded_once(packets, shards);
+    if (r.elapsed_s < best.elapsed_s) best = r;
+  }
+  return best;
+}
+
+struct ClassifyResult {
+  double seed_us = 0;
+  double uncompiled_us = 0;
+  double compiled_us = 0;
+  double speedup_vs_seed = 0;
+  double speedup_vs_uncompiled = 0;
+};
+
+/// The v0 classification kernel, reproduced exactly: DecisionTree's
+/// predict_proba used to return its leaf distribution by value, so every
+/// tree of every call materialized a fresh std::vector. Kept here as the
+/// bench baseline the compiled path is measured against.
+std::pair<int, double> seed_predict_with_confidence(
+    const ml::RandomForest& forest, const std::vector<double>& x) {
+  std::vector<double> proba(static_cast<std::size_t>(forest.num_classes()),
+                            0.0);
+  for (const auto& tree : forest.trees()) {
+    const std::vector<double> p = tree.predict_proba(x);
+    for (std::size_t c = 0; c < proba.size(); ++c) proba[c] += p[c];
+  }
+  for (auto& v : proba) v /= static_cast<double>(forest.tree_count());
+  const auto it = std::max_element(proba.begin(), proba.end());
+  return {static_cast<int>(it - proba.begin()), *it};
+}
+
+/// Times the per-flow classification kernel (the paper's random forest)
+/// three ways: the seed path (per-tree probability copies), the current
+/// uncompiled forest (copy-free), and the compiled flat form the pipeline
+/// deploys.
+ClassifyResult run_classify_kernel() {
+  const auto* scenario =
+      bench::campus_bank().scenario(Provider::YouTube, Transport::Tcp);
+  ClassifyResult out;
+  if (!scenario) return out;
+
+  Rng rng(5);
+  synth::FlowSynthesizer synth(rng);
+  const auto platforms =
+      fingerprint::platforms_for(Provider::YouTube, Transport::Tcp);
+  std::vector<std::vector<double>> features;
+  for (int i = 0; i < 64; ++i) {
+    const auto profile = fingerprint::make_profile(
+        platforms[static_cast<std::size_t>(i) % platforms.size()],
+        Provider::YouTube, Transport::Tcp);
+    const auto flow = synth.synthesize(profile);
+    const auto handshake = core::extract_handshake(flow.packets);
+    features.push_back(scenario->encoder.transform(*handshake));
+  }
+
+  // Min over repetitions: the best repetition is the least contaminated by
+  // scheduler/cache interference, which matters on shared machines.
+  constexpr int kRounds = 500;
+  constexpr int kReps = 5;
+  const auto time_us_per_call = [&](auto&& fn) {
+    double best_us = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int round = 0; round < kRounds; ++round)
+        for (const auto& x : features) fn(x);
+      best_us = std::min(best_us,
+                         seconds_since(start) * 1e6 /
+                             (static_cast<double>(kRounds) * features.size()));
+    }
+    return best_us;
+  };
+
+  out.seed_us = time_us_per_call([&](const std::vector<double>& x) {
+    benchmark::DoNotOptimize(
+        seed_predict_with_confidence(scenario->platform_model, x));
+  });
+  out.uncompiled_us = time_us_per_call([&](const std::vector<double>& x) {
+    benchmark::DoNotOptimize(scenario->platform_model.predict_with_confidence(x));
+  });
+  ml::CompiledForest::Scratch scratch;
+  out.compiled_us = time_us_per_call([&](const std::vector<double>& x) {
+    benchmark::DoNotOptimize(
+        scenario->platform_compiled.predict_with_confidence(x, scratch));
+  });
+  out.speedup_vs_seed = out.seed_us / out.compiled_us;
+  out.speedup_vs_uncompiled = out.uncompiled_us / out.compiled_us;
+  return out;
+}
+
+void write_json(const SingleThreadResult& single, const ClassifyResult& cls,
+                const std::vector<ShardResult>& scaling) {
+  std::ofstream json("BENCH_pipeline.json");
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"pipeline_throughput\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"single_thread\": {\n"
+       << "    \"packets\": " << single.packets << ",\n"
+       << "    \"elapsed_s\": " << single.elapsed_s << ",\n"
+       << "    \"packets_per_sec\": "
+       << static_cast<double>(single.packets) / single.elapsed_s << ",\n"
+       << "    \"video_flows\": " << single.video_flows << ",\n"
+       << "    \"flows_per_sec\": "
+       << static_cast<double>(single.video_flows) / single.elapsed_s << ",\n"
+       << "    \"handshake_mbit_per_sec\": " << single.mbit_per_sec << "\n"
+       << "  },\n"
+       << "  \"flow_classification\": {\n"
+       << "    \"seed_us_per_flow\": " << cls.seed_us << ",\n"
+       << "    \"uncompiled_us_per_flow\": " << cls.uncompiled_us << ",\n"
+       << "    \"compiled_us_per_flow\": " << cls.compiled_us << ",\n"
+       << "    \"compiled_speedup_vs_seed\": " << cls.speedup_vs_seed
+       << ",\n"
+       << "    \"compiled_speedup_vs_uncompiled\": "
+       << cls.speedup_vs_uncompiled << "\n"
+       << "  },\n"
+       << "  \"shard_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& s = scaling[i];
+    json << "    {\"shards\": " << s.shards
+         << ", \"elapsed_s\": " << s.elapsed_s
+         << ", \"packets_per_sec\": " << s.packets_per_sec
+         << ", \"flows_per_sec\": " << s.flows_per_sec
+         << ", \"speedup_vs_1\": " << s.speedup_vs_1 << "}"
+         << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+}
+
+void report() {
+  print_banner(std::cout,
+               "Pipeline real-time feasibility (paper §4.3.3 / §5.1)");
+  const auto packets = make_packet_mix(400);
+  (void)bench::campus_bank();  // train outside every timed region
+
+  const auto single = run_single_thread(packets);
 
   TextTable table({"Metric", "Value"});
-  table.add_row({"packets processed", std::to_string(packets.size())});
-  table.add_row({"video flows classified",
-                 std::to_string(pipe.stats().video_flows)});
-  table.add_row({"session records", std::to_string(records)});
+  table.add_row({"packets processed", std::to_string(single.packets)});
+  table.add_row({"video flows classified", std::to_string(single.video_flows)});
+  table.add_row({"session records", std::to_string(single.records)});
   table.add_row({"packets/sec (single core)",
-                 TextTable::num(static_cast<double>(packets.size()) / elapsed, 0)});
+                 TextTable::num(static_cast<double>(single.packets) /
+                                    single.elapsed_s, 0)});
   table.add_row({"handshake Mbit/s (single core)",
-                 TextTable::num(static_cast<double>(bytes) * 8 / elapsed / 1e6, 1)});
+                 TextTable::num(single.mbit_per_sec, 1)});
   table.add_row({"flows/sec (classify incl. QUIC decrypt)",
-                 TextTable::num(static_cast<double>(pipe.stats().video_flows) /
-                                    elapsed, 0)});
+                 TextTable::num(static_cast<double>(single.video_flows) /
+                                    single.elapsed_s, 0)});
   table.print(std::cout);
+
+  const auto cls = run_classify_kernel();
+  TextTable classify_table({"Classification kernel", "us/flow", "speedup"});
+  classify_table.add_row(
+      {"seed forest (v0, per-tree copies)", TextTable::num(cls.seed_us, 2),
+       "1.00x"});
+  classify_table.add_row(
+      {"uncompiled forest (copy-free)", TextTable::num(cls.uncompiled_us, 2),
+       TextTable::num(cls.seed_us / cls.uncompiled_us, 2) + "x"});
+  classify_table.add_row(
+      {"compiled forest (deployed path)", TextTable::num(cls.compiled_us, 2),
+       TextTable::num(cls.speedup_vs_seed, 2) + "x"});
+  classify_table.print(std::cout);
+
+  std::vector<ShardResult> scaling;
+  for (const int shards : {1, 2, 4, 8}) {
+    scaling.push_back(run_sharded(packets, shards));
+    auto& s = scaling.back();
+    s.speedup_vs_1 = scaling.front().elapsed_s / s.elapsed_s;
+  }
+  TextTable shard_table(
+      {"Shards", "packets/sec", "flows/sec", "speedup vs 1"});
+  for (const auto& s : scaling)
+    shard_table.add_row({std::to_string(s.shards),
+                         TextTable::num(s.packets_per_sec, 0),
+                         TextTable::num(s.flows_per_sec, 0),
+                         TextTable::num(s.speedup_vs_1, 2) + "x"});
+  shard_table.print(std::cout);
+  std::cout << "hardware threads available: "
+            << std::thread::hardware_concurrency()
+            << " (scaling is bounded by physical cores; per-flow ordering\n"
+               "is preserved per shard by FlowKey-hash dispatch)\n";
+
+  write_json(single, cls, scaling);
+  std::cout << "machine-readable results: BENCH_pipeline.json\n";
   std::cout << "note: only handshake + decimated telemetry packets traverse\n"
                "the full pipeline (payload is counter-only), matching the\n"
                "paper's DPDK preprocessing split.\n";
@@ -89,6 +325,27 @@ void BM_PipelinePerPacket(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PipelinePerPacket)->Unit(benchmark::kMicrosecond);
+
+void BM_ShardedPipelinePerPacket(benchmark::State& state) {
+  const auto packets = make_packet_mix(100);
+  pipeline::ShardedPipeline pipe(
+      &bench::campus_bank(),
+      {.n_shards = static_cast<int>(state.range(0)), .queue_capacity = 4096});
+  pipe.set_sink([](telemetry::SessionRecord) {});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pipe.on_packet(packets[i++ % packets.size()]);
+    if (i % (packets.size() * 4) == 0) pipe.flush_all();
+  }
+  pipe.flush_all();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardedPipelinePerPacket)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_QuicInitialUnprotect(benchmark::State& state) {
   Rng rng(1);

@@ -1,0 +1,130 @@
+#include "ml/compiled_forest.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vpscope::ml {
+
+CompiledForest CompiledForest::compile(const RandomForest& forest) {
+  CompiledForest out;
+  out.num_classes_ = forest.num_classes();
+
+  std::size_t total_nodes = 0;
+  for (const auto& tree : forest.trees()) total_nodes += tree.nodes().size();
+  if (total_nodes > static_cast<std::size_t>(
+                        std::numeric_limits<std::int32_t>::max()))
+    throw std::invalid_argument("forest too large to compile");
+  out.nodes_.reserve(total_nodes);
+  out.roots_.reserve(forest.trees().size());
+
+  for (const auto& tree : forest.trees()) {
+    const auto base = static_cast<std::int32_t>(out.nodes_.size());
+    out.roots_.push_back(base);
+    for (const auto& node : tree.nodes()) {
+      Node compiled;
+      if (node.feature >= 0) {
+        compiled.feature = static_cast<std::int32_t>(node.feature);
+        compiled.threshold = node.threshold;
+        compiled.left = base + static_cast<std::int32_t>(node.left);
+        compiled.right = base + static_cast<std::int32_t>(node.right);
+      } else {
+        compiled.left =
+            static_cast<std::int32_t>(out.leaf_proba_.size());
+        // Leaf distributions are stored padded to num_classes so every leaf
+        // contributes a full-width class vector to the accumulation.
+        for (int c = 0; c < out.num_classes_; ++c)
+          out.leaf_proba_.push_back(
+              c < static_cast<int>(node.proba.size())
+                  ? node.proba[static_cast<std::size_t>(c)]
+                  : 0.0);
+      }
+      out.nodes_.push_back(compiled);
+    }
+  }
+  return out;
+}
+
+void CompiledForest::predict_proba_into(std::span<const double> x,
+                                        std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  const std::size_t n_classes = static_cast<std::size_t>(num_classes_);
+  const std::size_t n_trees = roots_.size();
+  // Interleaved descent: advance up to kLanes trees per sweep so their
+  // (mutually independent) node loads overlap in the memory pipeline
+  // instead of paying one serialized dependent-load chain per tree. Lanes
+  // that reached a leaf re-test a cached node until the whole block is
+  // done, which is cheaper than maintaining an active set.
+  constexpr std::size_t kLanes = 16;
+  std::int32_t cur[kLanes];
+  for (std::size_t t0 = 0; t0 < n_trees; t0 += kLanes) {
+    const std::size_t lanes = std::min(kLanes, n_trees - t0);
+    for (std::size_t j = 0; j < lanes; ++j) cur[j] = roots_[t0 + j];
+    for (bool active = true; active;) {
+      active = false;
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const Node& node = nodes_[static_cast<std::size_t>(cur[j])];
+        if (node.feature >= 0) {
+          cur[j] = x[static_cast<std::size_t>(node.feature)] <= node.threshold
+                       ? node.left
+                       : node.right;
+          active = true;
+        }
+      }
+    }
+    // Leaf contributions are accumulated in tree order regardless of which
+    // lane finished first — the addition order (and therefore the result)
+    // stays bit-identical to RandomForest::predict_proba.
+    for (std::size_t j = 0; j < lanes; ++j) {
+      const double* proba =
+          leaf_proba_.data() +
+          static_cast<std::size_t>(
+              nodes_[static_cast<std::size_t>(cur[j])].left);
+      for (std::size_t c = 0; c < n_classes; ++c) out[c] += proba[c];
+    }
+  }
+  // Division (not multiply-by-reciprocal) keeps the rounding identical to
+  // RandomForest::predict_proba — the equivalence guarantee is bit-exact.
+  if (!roots_.empty()) {
+    const auto n_trees = static_cast<double>(roots_.size());
+    for (std::size_t c = 0; c < n_classes; ++c) out[c] /= n_trees;
+  }
+}
+
+int CompiledForest::predict(std::span<const double> x,
+                            Scratch& scratch) const {
+  return predict_with_confidence(x, scratch).first;
+}
+
+std::pair<int, double> CompiledForest::predict_with_confidence(
+    std::span<const double> x, Scratch& scratch) const {
+  scratch.proba.resize(static_cast<std::size_t>(num_classes_));
+  predict_proba_into(x, scratch.proba);
+  const auto it = std::max_element(scratch.proba.begin(), scratch.proba.end());
+  return {static_cast<int>(it - scratch.proba.begin()), *it};
+}
+
+void CompiledForest::predict_batch(std::span<const double> matrix,
+                                   std::size_t dim, std::span<int> out,
+                                   Scratch& scratch) const {
+  if (dim == 0) throw std::invalid_argument("predict_batch: dim == 0");
+  const std::size_t rows = matrix.size() / dim;
+  for (std::size_t r = 0; r < rows && r < out.size(); ++r)
+    out[r] = predict(matrix.subspan(r * dim, dim), scratch);
+}
+
+std::vector<int> CompiledForest::predict_batch(const Dataset& data) const {
+  Scratch scratch;
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (const auto& row : data.x) out.push_back(predict(row, scratch));
+  return out;
+}
+
+std::size_t CompiledForest::memory_bytes() const {
+  return nodes_.size() * sizeof(Node) +
+         leaf_proba_.size() * sizeof(double) +
+         roots_.size() * sizeof(std::int32_t);
+}
+
+}  // namespace vpscope::ml

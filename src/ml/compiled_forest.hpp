@@ -1,0 +1,83 @@
+// Post-training compilation of a RandomForest into a flat, cache-friendly
+// layout for the pipeline's hot path: every tree of the forest is lowered
+// into one contiguous node array (feature index, left/right offsets as
+// int32, split threshold) plus one contiguous leaf-probability block, so a
+// classification touches a handful of cache lines instead of chasing
+// per-node heap vectors.
+//
+// The compiled form is inference-only and probability-equivalent to the
+// source forest: predict_proba_into accumulates the same leaf distributions
+// in the same tree order and divides by the same tree count, so the output
+// is bit-identical to RandomForest::predict_proba. It performs zero heap
+// allocations per call, which is what lets ClassifierBank::classify run on
+// many shard workers without contending on the allocator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/forest.hpp"
+
+namespace vpscope::ml {
+
+class CompiledForest {
+ public:
+  /// One lowered tree node. Internal nodes (`feature >= 0`) hold absolute
+  /// offsets of both children in the shared node array; leaves
+  /// (`feature < 0`) hold in `left` the offset of their class distribution
+  /// inside the shared leaf-probability block.
+  struct Node {
+    double threshold = 0.0;        // go left if x[feature] <= threshold
+    std::int32_t feature = -1;     // -1 => leaf
+    std::int32_t left = -1;        // child offset, or leaf-block offset
+    std::int32_t right = -1;
+  };
+
+  /// Reusable per-caller state so predict/predict_batch stay allocation-free
+  /// in steady state; one Scratch per thread, never shared.
+  struct Scratch {
+    std::vector<double> proba;
+  };
+
+  CompiledForest() = default;
+
+  /// Lowers a trained forest. The source forest is not referenced after
+  /// compile returns.
+  static CompiledForest compile(const RandomForest& forest);
+
+  /// Mean leaf distribution across trees, written into `out`
+  /// (`out.size() == num_classes()`). Bit-identical to
+  /// RandomForest::predict_proba and allocation-free.
+  void predict_proba_into(std::span<const double> x,
+                          std::span<double> out) const;
+
+  int predict(std::span<const double> x, Scratch& scratch) const;
+  /// (argmax, max probability) — the pipeline's confidence pair.
+  std::pair<int, double> predict_with_confidence(std::span<const double> x,
+                                                 Scratch& scratch) const;
+
+  /// Batch prediction over a contiguous row-major feature matrix of
+  /// `matrix.size() / dim` rows; `out` receives one label per row.
+  void predict_batch(std::span<const double> matrix, std::size_t dim,
+                     std::span<int> out, Scratch& scratch) const;
+  /// Convenience over the (non-contiguous) Dataset container.
+  std::vector<int> predict_batch(const Dataset& data) const;
+
+  bool trained() const { return !roots_.empty(); }
+  int num_classes() const { return num_classes_; }
+  int tree_count() const { return static_cast<int>(roots_.size()); }
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Bytes of the compiled representation (nodes + leaf block + roots).
+  std::size_t memory_bytes() const;
+
+ private:
+  std::vector<Node> nodes_;        // all trees, concatenated
+  std::vector<double> leaf_proba_; // all leaf distributions, concatenated
+  std::vector<std::int32_t> roots_;  // per-tree root offset into nodes_
+  int num_classes_ = 0;
+};
+
+}  // namespace vpscope::ml

@@ -38,7 +38,7 @@ std::vector<double> RandomForest::predict_proba(
     const std::vector<double>& x) const {
   std::vector<double> proba(static_cast<std::size_t>(num_classes_), 0.0);
   for (const auto& tree : trees_) {
-    const auto p = tree.predict_proba(x);
+    const auto& p = tree.predict_proba(x);
     for (std::size_t c = 0; c < proba.size(); ++c) proba[c] += p[c];
   }
   if (!trees_.empty())

@@ -43,6 +43,9 @@ class RandomForest {
   bool trained() const { return !trees_.empty(); }
   int tree_count() const { return static_cast<int>(trees_.size()); }
 
+  /// Read-only tree access (CompiledForest compilation, diagnostics).
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
  private:
   friend Bytes serialize_forest(const RandomForest&);
   friend std::optional<RandomForest> deserialize_forest(ByteView);

@@ -55,4 +55,16 @@ std::optional<RandomForest> load_forest(const std::string& path) {
   return deserialize_forest(data);
 }
 
+std::optional<CompiledForest> deserialize_compiled_forest(ByteView data) {
+  const auto forest = deserialize_forest(data);
+  if (!forest) return std::nullopt;
+  return CompiledForest::compile(*forest);
+}
+
+std::optional<CompiledForest> load_compiled_forest(const std::string& path) {
+  const auto forest = load_forest(path);
+  if (!forest) return std::nullopt;
+  return CompiledForest::compile(*forest);
+}
+
 }  // namespace vpscope::ml

@@ -8,6 +8,7 @@
 #include <iosfwd>
 #include <optional>
 
+#include "ml/compiled_forest.hpp"
 #include "ml/forest.hpp"
 #include "util/bytes.hpp"
 
@@ -22,5 +23,11 @@ std::optional<RandomForest> deserialize_forest(ByteView data);
 
 bool save_forest(const RandomForest& forest, const std::string& path);
 std::optional<RandomForest> load_forest(const std::string& path);
+
+/// Deserializes a forest and lowers it directly into the inference-only
+/// compiled form — the capture-server load path: models are trained and
+/// serialized offline, then compiled at startup.
+std::optional<CompiledForest> deserialize_compiled_forest(ByteView data);
+std::optional<CompiledForest> load_compiled_forest(const std::string& path);
 
 }  // namespace vpscope::ml

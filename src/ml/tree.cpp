@@ -168,7 +168,7 @@ int DecisionTree::predict(const std::vector<double>& x) const {
       std::max_element(proba.begin(), proba.end()) - proba.begin());
 }
 
-std::vector<double> DecisionTree::predict_proba(
+const std::vector<double>& DecisionTree::predict_proba(
     const std::vector<double>& x) const {
   return descend(x).proba;
 }

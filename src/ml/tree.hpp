@@ -29,8 +29,10 @@ class DecisionTree {
            const TreeParams& params, int num_classes, Rng rng);
 
   int predict(const std::vector<double>& x) const;
-  /// Leaf class distribution (training-sample fractions).
-  std::vector<double> predict_proba(const std::vector<double>& x) const;
+  /// Leaf class distribution (training-sample fractions). Returns a
+  /// reference to the leaf's stored distribution — no per-call copy; the
+  /// reference is valid while the tree lives and is not refit.
+  const std::vector<double>& predict_proba(const std::vector<double>& x) const;
 
   /// Gini importance per feature (impurity decrease weighted by samples),
   /// normalized to sum to 1 (or all-zero for a stump).
@@ -45,7 +47,6 @@ class DecisionTree {
   /// malformed input.
   static std::optional<DecisionTree> deserialize(Reader& r);
 
- private:
   struct Node {
     int feature = -1;       // -1 => leaf
     double threshold = 0;   // go left if x[feature] <= threshold
@@ -54,6 +55,10 @@ class DecisionTree {
     std::vector<double> proba;  // filled for leaves
   };
 
+  /// Read-only view of the trained structure (CompiledForest compilation).
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
   int build(const Dataset& data, std::vector<int>& rows, int depth,
             const TreeParams& params, int num_classes, Rng& rng);
   const Node& descend(const std::vector<double>& x) const;

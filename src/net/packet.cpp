@@ -5,9 +5,19 @@
 namespace vpscope::net {
 
 namespace {
-std::size_t hash_combine(std::size_t seed, std::size_t v) {
-  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix, so every output bit
+/// depends on every input bit. The flow table only needs a decent hash, but
+/// the sharded pipeline assigns workers by `hash % n_shards` — low bits must
+/// be as mixed as high bits or low-entropy keys (sequential client
+/// addresses, fixed server port) skew the shards.
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
+
 }  // namespace
 
 FlowKey FlowKey::canonical(const IpAddr& src, std::uint16_t sport,
@@ -33,18 +43,18 @@ FlowKey FlowKey::canonical(const IpAddr& src, std::uint16_t sport,
 }
 
 std::size_t FlowKeyHash::operator()(const FlowKey& k) const {
-  std::size_t h = k.protocol;
+  std::uint64_t h = splitmix64(k.protocol);
   for (int i = 0; i < 16; i += 8) {
     std::uint64_t a = 0, b = 0;
     for (int j = 0; j < 8; ++j) {
       a = a << 8 | k.addr_a.bytes[static_cast<std::size_t>(i + j)];
       b = b << 8 | k.addr_b.bytes[static_cast<std::size_t>(i + j)];
     }
-    h = hash_combine(h, static_cast<std::size_t>(a));
-    h = hash_combine(h, static_cast<std::size_t>(b));
+    h = splitmix64(h ^ a);
+    h = splitmix64(h ^ b);
   }
-  h = hash_combine(h, static_cast<std::size_t>(k.port_a) << 16 | k.port_b);
-  return h;
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(k.port_a) << 16 | k.port_b));
+  return static_cast<std::size_t>(h);
 }
 
 std::uint16_t DecodedPacket::src_port() const {

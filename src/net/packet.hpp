@@ -37,6 +37,9 @@ struct FlowKey {
   bool operator==(const FlowKey&) const = default;
 };
 
+/// Full-avalanche hash of the canonical key (SplitMix64-finalized), so both
+/// `unordered_map` bucketing and `hash % n_shards` shard dispatch distribute
+/// evenly even over low-entropy key populations.
 struct FlowKeyHash {
   std::size_t operator()(const FlowKey& k) const;
 };

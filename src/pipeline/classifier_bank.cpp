@@ -73,6 +73,13 @@ void ClassifierBank::train(const synth::Dataset& dataset,
     fp.seed += 101;
     scenario.agent_model.fit(agent_data, fp);
 
+    scenario.platform_compiled =
+        ml::CompiledForest::compile(scenario.platform_model);
+    scenario.device_compiled =
+        ml::CompiledForest::compile(scenario.device_model);
+    scenario.agent_compiled =
+        ml::CompiledForest::compile(scenario.agent_model);
+
     scenarios_.emplace(key, std::move(scenario));
   }
 }
@@ -95,8 +102,12 @@ PlatformPrediction ClassifierBank::classify(
 
   const auto features = s->encoder.transform(handshake);
 
+  // One scratch per thread: classify() is const and runs concurrently on
+  // every shard worker; the compiled path allocates nothing per call.
+  thread_local ml::CompiledForest::Scratch scratch;
+
   const auto [platform_cls, platform_conf] =
-      s->platform_model.predict_with_confidence(features);
+      s->platform_compiled.predict_with_confidence(features, scratch);
   out.platform_confidence = platform_conf;
 
   if (platform_conf >= threshold_) {
@@ -114,9 +125,9 @@ PlatformPrediction ClassifierBank::classify(
 
   // Fallback: per-objective classifiers, keep whichever is confident.
   const auto [device_cls, device_conf] =
-      s->device_model.predict_with_confidence(features);
+      s->device_compiled.predict_with_confidence(features, scratch);
   const auto [agent_cls, agent_conf] =
-      s->agent_model.predict_with_confidence(features);
+      s->agent_compiled.predict_with_confidence(features, scratch);
   out.device_confidence = device_conf;
   out.agent_confidence = agent_conf;
 

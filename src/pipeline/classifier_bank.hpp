@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "core/encoder.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/forest.hpp"
 #include "synth/dataset.hpp"
 #include "telemetry/telemetry.hpp"
@@ -71,6 +72,12 @@ class ClassifierBank {
     ml::RandomForest platform_model;
     ml::RandomForest device_model;
     ml::RandomForest agent_model;
+    /// Inference-time compiled forms of the three forests; classify() only
+    /// ever touches these (the uncompiled models stay available for the
+    /// evaluation harness and for re-compilation after reload).
+    ml::CompiledForest platform_compiled;
+    ml::CompiledForest device_compiled;
+    ml::CompiledForest agent_compiled;
     /// Class label -> PlatformId for the composite model.
     std::vector<fingerprint::PlatformId> platform_classes;
     /// Class label -> Os / Agent for the partial models.

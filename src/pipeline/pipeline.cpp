@@ -35,6 +35,17 @@ std::optional<Provider> provider_from_sni(const std::string& sni) {
   return std::nullopt;
 }
 
+PipelineStats& PipelineStats::operator+=(const PipelineStats& other) {
+  packets_total += other.packets_total;
+  packets_non_ip += other.packets_non_ip;
+  flows_total += other.flows_total;
+  video_flows += other.video_flows;
+  classified_composite += other.classified_composite;
+  classified_partial += other.classified_partial;
+  classified_unknown += other.classified_unknown;
+  return *this;
+}
+
 void VideoFlowPipeline::on_packet(const net::Packet& packet) {
   ++stats_.packets_total;
   const auto decoded = net::decode(packet);
@@ -42,38 +53,42 @@ void VideoFlowPipeline::on_packet(const net::Packet& packet) {
     ++stats_.packets_non_ip;
     return;
   }
-  // Video flows ride HTTPS; anything else never enters the flow table.
-  if (decoded->src_port() != 443 && decoded->dst_port() != 443) return;
+  on_decoded(*decoded);
+}
 
-  const net::FlowKey key = decoded->flow_key();
+void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
+  // Video flows ride HTTPS; anything else never enters the flow table.
+  if (decoded.src_port() != 443 && decoded.dst_port() != 443) return;
+
+  const net::FlowKey key = decoded.flow_key();
   auto [it, inserted] = flows_.try_emplace(key);
   FlowState& state = it->second;
   if (inserted) {
     ++stats_.flows_total;
     // The first packet of a flow comes from the client in our captures
     // (SYN / QUIC Initial); fall back to "not port 443" for robustness.
-    if (decoded->dst_port() == 443) {
-      state.client_addr = decoded->src;
-      state.client_port = decoded->src_port();
+    if (decoded.dst_port() == 443) {
+      state.client_addr = decoded.src;
+      state.client_port = decoded.src_port();
     } else {
-      state.client_addr = decoded->dst;
-      state.client_port = decoded->dst_port();
+      state.client_addr = decoded.dst;
+      state.client_port = decoded.dst_port();
     }
     state.transport =
-        decoded->udp ? Transport::Quic : Transport::Tcp;
+        decoded.udp ? Transport::Quic : Transport::Tcp;
   }
 
   // Telemetry: every packet counts, direction by client address.
   const bool from_client = state.client_addr &&
-                           decoded->src == *state.client_addr &&
-                           decoded->src_port() == state.client_port;
+                           decoded.src == *state.client_addr &&
+                           decoded.src_port() == state.client_port;
   if (from_client)
-    state.counters.add_up(decoded->timestamp_us, decoded->ip_packet_size);
+    state.counters.add_up(decoded.timestamp_us, decoded.ip_packet_size);
   else
-    state.counters.add_down(decoded->timestamp_us, decoded->ip_packet_size);
+    state.counters.add_down(decoded.timestamp_us, decoded.ip_packet_size);
 
   // Handshake path: feed until complete, then detect provider + classify.
-  if (state.prediction || !state.extractor.feed(*decoded)) return;
+  if (state.prediction || !state.extractor.feed(decoded)) return;
   if (!state.extractor.complete()) return;
 
   state.sni = state.extractor.sni();

@@ -35,6 +35,10 @@ struct PipelineStats {
   std::uint64_t classified_composite = 0;
   std::uint64_t classified_partial = 0;
   std::uint64_t classified_unknown = 0;
+
+  bool operator==(const PipelineStats&) const = default;
+  /// Field-wise accumulation (merging per-shard stats).
+  PipelineStats& operator+=(const PipelineStats& other);
 };
 
 class VideoFlowPipeline {
@@ -53,6 +57,11 @@ class VideoFlowPipeline {
 
   /// Feeds one captured packet.
   void on_packet(const net::Packet& packet);
+
+  /// Feeds an already-decoded packet (the sharded front-end decodes once at
+  /// dispatch time). Does NOT bump packets_total/packets_non_ip — the caller
+  /// that performed the decode accounts for those.
+  void on_decoded(const net::DecodedPacket& decoded);
 
   /// Decimated payload ingestion for large-scale simulation: accounts
   /// `bytes` of downstream volume to an existing flow without materializing

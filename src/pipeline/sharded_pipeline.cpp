@@ -1,0 +1,180 @@
+#include "pipeline/sharded_pipeline.hpp"
+
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace vpscope::pipeline {
+
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Spin-then-yield wait: a short busy loop for the common sub-microsecond
+/// case, then cooperative yielding so an oversubscribed machine (more
+/// shards than cores) still makes progress.
+template <typename Predicate>
+void spin_until(Predicate&& done) {
+  int spins = 0;
+  while (!done()) {
+    if (++spins < 256)
+      cpu_relax();
+    else
+      std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+ShardedPipeline::ShardedPipeline(const ClassifierBank* bank,
+                                 ShardedPipelineOptions options) {
+  if (options.n_shards <= 0)
+    throw std::invalid_argument("ShardedPipeline: n_shards must be >= 1");
+  shards_.reserve(static_cast<std::size_t>(options.n_shards));
+  for (int i = 0; i < options.n_shards; ++i) {
+    auto shard = std::make_unique<Shard>(bank, options.queue_capacity);
+    shard->pipe.set_sink([this](telemetry::SessionRecord record) {
+      const std::lock_guard<std::mutex> lock(sink_mutex_);
+      if (sink_) sink_(std::move(record));
+    });
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+}
+
+ShardedPipeline::~ShardedPipeline() {
+  broadcast(Item::Kind::Stop);
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+}
+
+void ShardedPipeline::set_sink(
+    std::function<void(telemetry::SessionRecord)> sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = std::move(sink);
+}
+
+std::size_t ShardedPipeline::shard_of(const net::FlowKey& key) const {
+  return net::FlowKeyHash{}(key) % shards_.size();
+}
+
+void ShardedPipeline::enqueue(Shard& shard, Item&& item) {
+  spin_until([&] { return shard.queue.try_push(item); });
+  shard.enqueued.fetch_add(1, std::memory_order_release);
+}
+
+void ShardedPipeline::broadcast(Item::Kind kind, std::uint64_t arg0,
+                                std::uint64_t arg1) {
+  for (auto& shard : shards_) {
+    Item item;
+    item.kind = kind;
+    item.arg0 = arg0;
+    item.arg1 = arg1;
+    enqueue(*shard, std::move(item));
+  }
+}
+
+void ShardedPipeline::on_packet(const net::Packet& packet) {
+  ++dispatcher_stats_.packets_total;
+  Item item;
+  item.kind = Item::Kind::Packet;
+  item.packet = packet;  // one copy; the shard owns its bytes
+  item.decoded = net::decode(item.packet);
+  if (!item.decoded) {
+    ++dispatcher_stats_.packets_non_ip;
+    return;
+  }
+  const std::size_t shard = shard_of(item.decoded->flow_key());
+  enqueue(*shards_[shard], std::move(item));
+}
+
+void ShardedPipeline::on_volume_sample(const net::FlowKey& key,
+                                       std::uint64_t ts_us,
+                                       std::uint64_t bytes_down,
+                                       std::uint64_t bytes_up) {
+  Item item;
+  item.kind = Item::Kind::Volume;
+  item.key = key;
+  item.arg0 = ts_us;
+  item.arg1 = bytes_down;
+  item.arg2 = bytes_up;
+  enqueue(*shards_[shard_of(key)], std::move(item));
+}
+
+void ShardedPipeline::flush_idle(std::uint64_t now_us,
+                                 std::uint64_t idle_timeout_us) {
+  broadcast(Item::Kind::FlushIdle, now_us, idle_timeout_us);
+  drain();
+}
+
+void ShardedPipeline::flush_all() {
+  broadcast(Item::Kind::FlushAll);
+  drain();
+}
+
+void ShardedPipeline::drain() {
+  for (auto& shard : shards_) {
+    const std::uint64_t target =
+        shard->enqueued.load(std::memory_order_relaxed);
+    // The acquire load pairs with the worker's release increment, making
+    // all of the shard's pipeline state visible once the count is reached.
+    spin_until([&] {
+      return shard->processed.load(std::memory_order_acquire) >= target;
+    });
+  }
+}
+
+PipelineStats ShardedPipeline::stats() {
+  drain();
+  PipelineStats merged = dispatcher_stats_;
+  for (auto& shard : shards_) merged += shard->pipe.stats();
+  return merged;
+}
+
+std::size_t ShardedPipeline::active_flows() {
+  drain();
+  std::size_t total = 0;
+  for (auto& shard : shards_) total += shard->pipe.active_flows();
+  return total;
+}
+
+void ShardedPipeline::worker_loop(Shard& shard) {
+  Item item;
+  for (;;) {
+    spin_until([&] { return shard.queue.try_pop(item); });
+    bool stop = false;
+    switch (item.kind) {
+      case Item::Kind::Packet:
+        shard.pipe.on_decoded(*item.decoded);
+        // Release the packet buffer before signalling completion so drain()
+        // observers never race the deallocation.
+        item = Item{};
+        break;
+      case Item::Kind::Volume:
+        shard.pipe.on_volume_sample(item.key, item.arg0, item.arg1, item.arg2);
+        break;
+      case Item::Kind::FlushIdle:
+        shard.pipe.flush_idle(item.arg0, item.arg1);
+        break;
+      case Item::Kind::FlushAll:
+        shard.pipe.flush_all();
+        break;
+      case Item::Kind::Stop:
+        stop = true;
+        break;
+    }
+    shard.processed.fetch_add(1, std::memory_order_release);
+    if (stop) return;
+  }
+}
+
+}  // namespace vpscope::pipeline

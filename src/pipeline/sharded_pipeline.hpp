@@ -1,0 +1,133 @@
+// Multi-core front-end for the Fig. 4 pipeline: N worker threads, each
+// owning one VideoFlowPipeline shard. The dispatch thread decodes each
+// packet once, hashes its canonical FlowKey, and hands it to shard
+// `hash % n_shards` through a bounded SPSC ring (spin-then-yield
+// backpressure when a shard falls behind). Because a flow always hashes to
+// the same shard and each ring is FIFO, per-flow packet ordering is
+// preserved by construction — the property the paper's 8-core DPDK
+// deployment (§5.1) relies on when it fans 20 Gbit/s across cores.
+//
+// Session records from all shards funnel through one lock-protected sink;
+// per-shard PipelineStats are merged on demand. Control operations
+// (flush_idle / flush_all) travel in-band through the same rings, so they
+// are ordered with the packets that preceded them.
+//
+// Threading contract: on_packet / on_volume_sample / flush_* / stats must
+// be called from one thread at a time (single dispatcher — matching a
+// capture loop); the sink is invoked on worker threads, serialized by the
+// internal mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace vpscope::pipeline {
+
+struct ShardedPipelineOptions {
+  /// Worker count; 1 degenerates to a single-threaded pipeline behind a
+  /// queue. 0 is invalid.
+  int n_shards = 1;
+  /// Per-shard ring capacity (rounded up to a power of two). Bounded by
+  /// design: a slow shard exerts backpressure on the dispatcher instead of
+  /// buffering unboundedly.
+  std::size_t queue_capacity = 4096;
+};
+
+class ShardedPipeline {
+ public:
+  /// The bank must outlive the pipeline and is shared read-only by all
+  /// shards (ClassifierBank::classify is const and thread-safe).
+  ShardedPipeline(const ClassifierBank* bank,
+                  ShardedPipelineOptions options = {});
+  ~ShardedPipeline();
+
+  ShardedPipeline(const ShardedPipeline&) = delete;
+  ShardedPipeline& operator=(const ShardedPipeline&) = delete;
+
+  /// Installs the session sink; called from worker threads but never
+  /// concurrently (internally serialized). Set before the first packet.
+  void set_sink(std::function<void(telemetry::SessionRecord)> sink);
+
+  /// Decodes, shards and enqueues one captured packet. Blocks (spin, then
+  /// yield) while the target shard's ring is full.
+  void on_packet(const net::Packet& packet);
+
+  /// Routes a decimated volume sample to the owning shard.
+  void on_volume_sample(const net::FlowKey& key, std::uint64_t ts_us,
+                        std::uint64_t bytes_down, std::uint64_t bytes_up);
+
+  /// Broadcasts an idle-flush to every shard and waits for completion.
+  void flush_idle(std::uint64_t now_us, std::uint64_t idle_timeout_us);
+
+  /// Broadcasts a full flush to every shard and waits for completion.
+  void flush_all();
+
+  /// Waits until every enqueued item has been processed.
+  void drain();
+
+  /// Drains, then merges dispatcher counters with per-shard stats. Equals
+  /// the stats a single-threaded VideoFlowPipeline would report for the
+  /// same packet sequence.
+  PipelineStats stats();
+
+  /// Drains, then sums live flow-table sizes across shards.
+  std::size_t active_flows();
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  std::size_t shard_of(const net::FlowKey& key) const;
+
+ private:
+  struct Item {
+    enum class Kind : std::uint8_t {
+      Packet,
+      Volume,
+      FlushIdle,
+      FlushAll,
+      Stop,
+    };
+    Kind kind = Kind::Packet;
+    // Kind::Packet: the owned raw bytes plus the dispatch-time decode. The
+    // decoded views borrow from packet.data's heap buffer, which is stable
+    // across the moves in and out of the ring.
+    net::Packet packet;
+    std::optional<net::DecodedPacket> decoded;
+    // Kind::Volume: (key, ts, down, up). Kind::FlushIdle: (now, idle) in
+    // arg0/arg1.
+    net::FlowKey key;
+    std::uint64_t arg0 = 0, arg1 = 0, arg2 = 0;
+  };
+
+  struct Shard {
+    Shard(const ClassifierBank* bank, std::size_t queue_capacity)
+        : queue(queue_capacity), pipe(bank) {}
+    SpscRing<Item> queue;
+    VideoFlowPipeline pipe;
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> processed{0};
+    std::thread worker;
+  };
+
+  void enqueue(Shard& shard, Item&& item);
+  void broadcast(Item::Kind kind, std::uint64_t arg0 = 0,
+                 std::uint64_t arg1 = 0);
+  void worker_loop(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Dispatcher-owned counters for packets that never reach a shard
+  // (packets_total covers everything; packets_non_ip covers decode
+  // failures). Only the dispatch thread touches these.
+  PipelineStats dispatcher_stats_;
+  std::mutex sink_mutex_;
+  std::function<void(telemetry::SessionRecord)> sink_;
+};
+
+}  // namespace vpscope::pipeline

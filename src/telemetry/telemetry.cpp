@@ -81,4 +81,23 @@ double SessionStore::unknown_fraction() const {
                    static_cast<double>(records_.size());
 }
 
+void SynchronizedSessionStore::insert(SessionRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_.insert(std::move(record));
+}
+
+std::size_t SynchronizedSessionStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_.size();
+}
+
+SessionStore SynchronizedSessionStore::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
+}
+
+std::function<void(SessionRecord)> SynchronizedSessionStore::sink() {
+  return [this](SessionRecord record) { insert(std::move(record)); };
+}
+
 }  // namespace vpscope::telemetry

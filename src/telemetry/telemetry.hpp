@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -83,6 +84,29 @@ class SessionStore {
  private:
   std::vector<SessionRecord> records_;
   std::size_t unknown_ = 0;
+};
+
+/// Thread-safe facade over SessionStore for the sharded pipeline: records
+/// from all shard workers funnel through one mutex-protected insert, the
+/// paper's many-cores-one-database write path (§5.1). Analysis runs on a
+/// quiescent snapshot, keeping SessionStore's query API lock-free.
+class SynchronizedSessionStore {
+ public:
+  void insert(SessionRecord record);
+
+  std::size_t size() const;
+
+  /// Copies the store out for (single-threaded) analysis. Call once the
+  /// pipeline is drained.
+  SessionStore snapshot() const;
+
+  /// A sink closure bound to this store, for VideoFlowPipeline::set_sink /
+  /// ShardedPipeline::set_sink. The store must outlive the pipeline.
+  std::function<void(SessionRecord)> sink();
+
+ private:
+  mutable std::mutex mutex_;
+  SessionStore store_;
 };
 
 }  // namespace vpscope::telemetry

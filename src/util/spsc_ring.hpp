@@ -1,0 +1,65 @@
+// Bounded single-producer/single-consumer ring queue — the shard ingress
+// queue of the sharded pipeline. Lock-free with one atomic store per
+// operation; producer and consumer each keep a cached copy of the other
+// side's cursor so the common case touches no shared cache line beyond its
+// own index (the classic Lamport queue with cursor caching).
+//
+// Contract: exactly one producer thread calls try_push and exactly one
+// consumer thread calls try_pop. Capacity is rounded up to a power of two.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace vpscope {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Moves `v` into the ring if there is room. On failure `v` is untouched,
+  /// so the producer can retry (spin-then-yield backpressure lives in the
+  /// caller, which knows how to wait).
+  bool try_push(T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;  // genuinely full
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Moves the oldest element into `out`; false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;  // genuinely empty
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+  alignas(64) std::size_t head_cache_ = 0;        // producer's view of head_
+  alignas(64) std::size_t tail_cache_ = 0;        // consumer's view of tail_
+};
+
+}  // namespace vpscope

@@ -1,15 +1,41 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 
+#include "ml/compiled_forest.hpp"
 #include "ml/dataset.hpp"
 #include "ml/forest.hpp"
+#include "ml/serialize.hpp"
 #include "ml/knn.hpp"
 #include "ml/metrics.hpp"
 #include "ml/mlp.hpp"
 #include "ml/mutual_info.hpp"
 #include "ml/tree.hpp"
 #include "util/rng.hpp"
+
+// Global allocation counter backing the CompiledForest zero-allocation
+// test: every operator-new in the binary bumps it, so a hot path that
+// stays flat across calls provably allocates nothing.
+static std::atomic<std::uint64_t> g_heap_allocations{0};
+
+// GCC flags free() inside a replaced operator delete as mismatched; the
+// malloc/free pairing across replaced new/delete is the standard idiom.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace vpscope::ml {
 namespace {
@@ -201,6 +227,109 @@ TEST(RandomForest, MoreRobustThanSingleTreeUnderNoise) {
 TEST(RandomForest, ThrowsOnEmpty) {
   RandomForest forest;
   EXPECT_THROW(forest.fit(Dataset{}, {}), std::invalid_argument);
+}
+
+// ---- Compiled forest ----
+
+/// Trains a forest with enough classes/depth to exercise non-trivial
+/// structure, shared across the compiled-forest tests.
+struct CompiledFixture {
+  Dataset train;
+  RandomForest forest;
+  CompiledForest compiled;
+
+  CompiledFixture() {
+    train = make_blobs(80, 4, 3, 5, 2.5, 11);
+    forest.fit(train, {.n_trees = 40, .max_depth = 14, .min_samples_split = 2,
+                       .max_features = 3, .bootstrap = true, .seed = 3});
+    compiled = CompiledForest::compile(forest);
+  }
+
+  std::vector<double> random_input(Rng& rng) const {
+    std::vector<double> x(train.dim());
+    for (auto& v : x) v = rng.uniform_real(-60.0, 60.0);
+    return x;
+  }
+};
+
+TEST(CompiledForest, BitIdenticalProbabilitiesOn500RandomInputs) {
+  const CompiledFixture f;
+  EXPECT_EQ(f.compiled.num_classes(), f.forest.num_classes());
+  EXPECT_EQ(f.compiled.tree_count(), f.forest.tree_count());
+  EXPECT_GT(f.compiled.node_count(), 0u);
+
+  Rng rng(99);
+  std::vector<double> proba(static_cast<std::size_t>(f.compiled.num_classes()));
+  CompiledForest::Scratch scratch;
+  for (int i = 0; i < 500; ++i) {
+    const auto x = f.random_input(rng);
+    const auto expected = f.forest.predict_proba(x);
+    f.compiled.predict_proba_into(x, proba);
+    ASSERT_EQ(proba, expected) << "input " << i;  // bit-identical, not near
+    const auto [cls, conf] = f.compiled.predict_with_confidence(x, scratch);
+    const auto [ref_cls, ref_conf] = f.forest.predict_with_confidence(x);
+    ASSERT_EQ(cls, ref_cls);
+    ASSERT_EQ(conf, ref_conf);
+  }
+}
+
+TEST(CompiledForest, SerializeRoundTripStaysEquivalent) {
+  const CompiledFixture f;
+  const Bytes wire = serialize_forest(f.forest);
+  const auto restored = deserialize_compiled_forest(wire);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->tree_count(), f.forest.tree_count());
+
+  Rng rng(123);
+  std::vector<double> proba(static_cast<std::size_t>(restored->num_classes()));
+  for (int i = 0; i < 500; ++i) {
+    const auto x = f.random_input(rng);
+    restored->predict_proba_into(x, proba);
+    ASSERT_EQ(proba, f.forest.predict_proba(x)) << "input " << i;
+  }
+}
+
+TEST(CompiledForest, BatchMatchesForestOnDatasetAndContiguousMatrix) {
+  const CompiledFixture f;
+  const Dataset test = make_blobs(25, 4, 3, 5, 2.5, 12);
+  const auto expected = f.forest.predict_batch(test);
+  EXPECT_EQ(f.compiled.predict_batch(test), expected);
+
+  // Same rows flattened into one contiguous row-major matrix.
+  std::vector<double> matrix;
+  matrix.reserve(test.size() * test.dim());
+  for (const auto& row : test.x)
+    matrix.insert(matrix.end(), row.begin(), row.end());
+  std::vector<int> out(test.size(), -1);
+  CompiledForest::Scratch scratch;
+  f.compiled.predict_batch(matrix, test.dim(), out, scratch);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(CompiledForest, PredictProbaIntoAllocatesNothingInSteadyState) {
+  const CompiledFixture f;
+  Rng rng(7);
+  const auto x = f.random_input(rng);
+  std::vector<double> proba(static_cast<std::size_t>(f.compiled.num_classes()));
+  CompiledForest::Scratch scratch;
+  // Warm-up sizes the scratch buffer once.
+  f.compiled.predict_proba_into(x, proba);
+  f.compiled.predict_with_confidence(x, scratch);
+
+  const std::uint64_t before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    f.compiled.predict_proba_into(x, proba);
+    f.compiled.predict_with_confidence(x, scratch);
+  }
+  EXPECT_EQ(g_heap_allocations.load(std::memory_order_relaxed), before);
+}
+
+TEST(CompiledForest, UntrainedIsEmpty) {
+  const CompiledForest empty;
+  EXPECT_FALSE(empty.trained());
+  EXPECT_EQ(empty.tree_count(), 0);
+  EXPECT_EQ(empty.node_count(), 0u);
 }
 
 // ---- KNN ----

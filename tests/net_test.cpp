@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <sstream>
 
 #include "net/ip.hpp"
@@ -170,6 +171,54 @@ TEST(FlowKey, DifferentPortsDiffer) {
   const FlowKey k1 = FlowKey::canonical(a, 1111, b, 443, kProtoTcp);
   const FlowKey k2 = FlowKey::canonical(a, 2222, b, 443, kProtoTcp);
   EXPECT_NE(k1, k2);
+}
+
+TEST(FlowKeyHash, ShardAssignmentDistributesEvenly) {
+  // The worst realistic case for `hash % n_shards` dispatch: a low-entropy
+  // key population — sequential campus client addresses, one CDN server,
+  // a narrow ephemeral-port range. The SplitMix64 finalizer must spread
+  // these evenly across every shard count, including non-powers of two.
+  const IpAddr server = IpAddr::v4(142, 250, 70, 78);
+  constexpr int kFlows = 40000;
+  for (const std::size_t shards : {2u, 4u, 7u, 8u}) {
+    std::vector<int> buckets(shards, 0);
+    for (int i = 0; i < kFlows; ++i) {
+      const IpAddr client =
+          IpAddr::v4(10, 7, static_cast<std::uint8_t>(i >> 8),
+                     static_cast<std::uint8_t>(i));
+      const auto port = static_cast<std::uint16_t>(40000 + i % 4096);
+      const FlowKey key =
+          FlowKey::canonical(client, port, server, 443, kProtoTcp);
+      buckets[FlowKeyHash{}(key) % shards]++;
+    }
+    const double expected = static_cast<double>(kFlows) / shards;
+    for (std::size_t b = 0; b < shards; ++b) {
+      EXPECT_GT(buckets[b], expected * 0.9)
+          << "shards=" << shards << " bucket=" << b;
+      EXPECT_LT(buckets[b], expected * 1.1)
+          << "shards=" << shards << " bucket=" << b;
+    }
+  }
+}
+
+TEST(FlowKeyHash, SingleBitKeyChangesAvalanche) {
+  // Flipping one low bit of the port must flip roughly half the hash bits
+  // (full-avalanche property the shard dispatch depends on).
+  const IpAddr a = IpAddr::v4(10, 0, 0, 1);
+  const IpAddr b = IpAddr::v4(142, 250, 70, 78);
+  int total_flipped = 0;
+  constexpr int kPairs = 1000;
+  for (int i = 0; i < kPairs; ++i) {
+    const auto port = static_cast<std::uint16_t>(40000 + 2 * i);
+    const auto h1 = FlowKeyHash{}(
+        FlowKey::canonical(a, port, b, 443, kProtoTcp));
+    const auto h2 = FlowKeyHash{}(FlowKey::canonical(
+        a, static_cast<std::uint16_t>(port + 1), b, 443, kProtoTcp));
+    total_flipped += std::popcount(static_cast<std::uint64_t>(h1 ^ h2));
+  }
+  const double mean_flipped = static_cast<double>(total_flipped) / kPairs;
+  EXPECT_GT(mean_flipped, 24.0);
+  EXPECT_LT(mean_flipped, 40.0);
 }
 
 TEST(Decode, TcpPacketEndToEnd) {

@@ -1,0 +1,207 @@
+// ShardedPipeline correctness: for any shard count, the sharded front-end
+// must produce exactly the stats and session-record multiset of the
+// single-threaded VideoFlowPipeline on the same packet sequence — sharding
+// is a pure performance transform, never a semantic one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/handshake.hpp"
+#include "pipeline/sharded_pipeline.hpp"
+#include "synth/dataset.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vpscope::pipeline {
+namespace {
+
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+class ShardedPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lab_ = new synth::Dataset(synth::generate_lab_dataset(42, 0.35));
+    bank_ = new ClassifierBank();
+    bank_->train(*lab_);
+  }
+  static void TearDownTestSuite() {
+    delete lab_;
+    delete bank_;
+    lab_ = nullptr;
+    bank_ = nullptr;
+  }
+
+  static synth::Dataset* lab_;
+  static ClassifierBank* bank_;
+};
+
+synth::Dataset* ShardedPipelineTest::lab_ = nullptr;
+ClassifierBank* ShardedPipelineTest::bank_ = nullptr;
+
+/// `flows` synthesized video flows across all five scenarios, with start
+/// times compressed so packets of many flows interleave heavily, then
+/// globally time-ordered — the shape of a real capture feed.
+std::vector<net::Packet> interleaved_mix(int flows) {
+  struct Case {
+    Provider provider;
+    Transport transport;
+  };
+  static const std::vector<Case> cases = {
+      {Provider::YouTube, Transport::Tcp},
+      {Provider::YouTube, Transport::Quic},
+      {Provider::Netflix, Transport::Tcp},
+      {Provider::Disney, Transport::Tcp},
+      {Provider::Amazon, Transport::Tcp},
+  };
+  Rng rng(4242);
+  synth::FlowSynthesizer synth(rng);
+  std::vector<net::Packet> packets;
+  for (int i = 0; i < flows; ++i) {
+    const auto& c = cases[static_cast<std::size_t>(i) % cases.size()];
+    const auto platforms =
+        fingerprint::platforms_for(c.provider, c.transport);
+    const auto profile = fingerprint::make_profile(
+        platforms[static_cast<std::size_t>(i) % platforms.size()],
+        c.provider, c.transport);
+    synth::FlowOptions opt;
+    opt.start_time_us = static_cast<std::uint64_t>(i % 40) * 1500;
+    const auto flow = synth.synthesize(profile, opt);
+    packets.insert(packets.end(), flow.packets.begin(), flow.packets.end());
+  }
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.timestamp_us < b.timestamp_us;
+                   });
+  return packets;
+}
+
+/// Canonical text form of a record, so multisets compare as sorted vectors.
+std::string record_fingerprint(const telemetry::SessionRecord& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << static_cast<int>(r.provider) << '|' << static_cast<int>(r.transport)
+     << '|' << static_cast<int>(r.outcome) << '|';
+  if (r.platform)
+    os << static_cast<int>(r.platform->os) << ','
+       << static_cast<int>(r.platform->agent);
+  os << '|';
+  if (r.device) os << static_cast<int>(*r.device);
+  os << '|';
+  if (r.agent) os << static_cast<int>(*r.agent);
+  os << '|' << r.confidence << '|' << r.sni << '|' << r.counters.first_us
+     << '|' << r.counters.last_us << '|' << r.counters.bytes_down << '|'
+     << r.counters.bytes_up << '|' << r.counters.packets_down << '|'
+     << r.counters.packets_up;
+  return os.str();
+}
+
+TEST_F(ShardedPipelineTest, MatchesSingleThreadedFor1And2And8Shards) {
+  const auto packets = interleaved_mix(400);
+
+  VideoFlowPipeline reference(bank_);
+  std::vector<std::string> expected_records;
+  reference.set_sink([&](telemetry::SessionRecord r) {
+    expected_records.push_back(record_fingerprint(r));
+  });
+  for (const auto& packet : packets) reference.on_packet(packet);
+  reference.flush_all();
+  std::sort(expected_records.begin(), expected_records.end());
+  ASSERT_EQ(reference.stats().video_flows, 400u);
+
+  for (const int shards : {1, 2, 8}) {
+    ShardedPipeline sharded(
+        bank_, {.n_shards = shards, .queue_capacity = 256});
+    // The internal sink mutex serializes worker calls, so a plain vector
+    // is safe here.
+    std::vector<std::string> records;
+    sharded.set_sink([&](telemetry::SessionRecord r) {
+      records.push_back(record_fingerprint(r));
+    });
+    for (const auto& packet : packets) sharded.on_packet(packet);
+    sharded.flush_all();
+
+    EXPECT_EQ(sharded.stats(), reference.stats()) << "shards=" << shards;
+    EXPECT_EQ(sharded.active_flows(), 0u) << "shards=" << shards;
+    std::sort(records.begin(), records.end());
+    EXPECT_EQ(records, expected_records) << "shards=" << shards;
+  }
+}
+
+TEST_F(ShardedPipelineTest, BackpressureOnTinyQueuesLosesNothing) {
+  // Ring capacity far below the packet count forces the spin-then-yield
+  // producer path; every packet must still be processed exactly once.
+  const auto packets = interleaved_mix(60);
+  ShardedPipeline sharded(bank_, {.n_shards = 2, .queue_capacity = 4});
+  telemetry::SynchronizedSessionStore store;
+  sharded.set_sink(store.sink());
+  for (const auto& packet : packets) sharded.on_packet(packet);
+  sharded.flush_all();
+  EXPECT_EQ(store.size(), 60u);
+  EXPECT_EQ(sharded.stats().packets_total, packets.size());
+}
+
+TEST_F(ShardedPipelineTest, FlushIdleEvictsAcrossShards) {
+  Rng rng(77);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {fingerprint::Os::Windows, fingerprint::Agent::Chrome},
+      Provider::Netflix, Transport::Tcp);
+
+  ShardedPipeline sharded(bank_, {.n_shards = 4, .queue_capacity = 64});
+  telemetry::SynchronizedSessionStore store;
+  sharded.set_sink(store.sink());
+
+  synth::FlowOptions old_opt;
+  old_opt.start_time_us = 0;
+  const auto old_flow = synth.synthesize(profile, old_opt);
+  synth::FlowOptions new_opt;
+  new_opt.start_time_us = 100'000'000;
+  const auto new_flow = synth.synthesize(profile, new_opt);
+
+  for (const auto& p : old_flow.packets) sharded.on_packet(p);
+  for (const auto& p : new_flow.packets) sharded.on_packet(p);
+  EXPECT_EQ(sharded.active_flows(), 2u);
+
+  sharded.flush_idle(/*now=*/130'000'000, /*idle=*/60'000'000);
+  EXPECT_EQ(sharded.active_flows(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+  sharded.flush_all();
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST_F(ShardedPipelineTest, VolumeSamplesRouteToOwningShard) {
+  Rng rng(78);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {fingerprint::Os::Windows, fingerprint::Agent::Chrome},
+      Provider::Disney, Transport::Tcp);
+  const auto flow = synth.synthesize(profile);
+
+  ShardedPipeline sharded(bank_, {.n_shards = 8, .queue_capacity = 64});
+  telemetry::SynchronizedSessionStore store;
+  sharded.set_sink(store.sink());
+  for (const auto& packet : flow.packets) sharded.on_packet(packet);
+  const auto key = net::FlowKey::canonical(flow.client_ip, flow.client_port,
+                                           flow.server_ip, flow.server_port,
+                                           net::kProtoTcp);
+  for (int i = 1; i <= 10; ++i)
+    sharded.on_volume_sample(key, static_cast<std::uint64_t>(i) * 1'000'000,
+                             500'000, 10'000);
+  sharded.flush_all();
+
+  const auto snapshot = store.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_GE(snapshot.records().front().counters.bytes_down, 5'000'000u);
+  EXPECT_GE(snapshot.records().front().counters.bytes_up, 100'000u);
+}
+
+TEST_F(ShardedPipelineTest, RejectsZeroShards) {
+  EXPECT_THROW(ShardedPipeline(bank_, {.n_shards = 0, .queue_capacity = 8}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpscope::pipeline
