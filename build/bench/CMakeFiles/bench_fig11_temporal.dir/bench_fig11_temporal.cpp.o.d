@@ -264,7 +264,11 @@ bench/CMakeFiles/bench_fig11_temporal.dir/bench_fig11_temporal.cpp.o: \
  /root/repo/src/util/../campus/campus.hpp \
  /root/repo/src/util/../pipeline/pipeline.hpp \
  /root/repo/src/util/../pipeline/classifier_bank.hpp \
- /root/repo/src/util/../telemetry/telemetry.hpp \
+ /root/repo/src/util/../ml/compiled_forest.hpp \
+ /root/repo/src/util/../telemetry/telemetry.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/util/../util/stats.hpp \
  /root/repo/src/util/../pipeline/drift.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

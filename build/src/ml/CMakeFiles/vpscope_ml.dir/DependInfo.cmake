@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/compiled_forest.cpp" "src/ml/CMakeFiles/vpscope_ml.dir/compiled_forest.cpp.o" "gcc" "src/ml/CMakeFiles/vpscope_ml.dir/compiled_forest.cpp.o.d"
   "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/vpscope_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/vpscope_ml.dir/dataset.cpp.o.d"
   "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/vpscope_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/vpscope_ml.dir/forest.cpp.o.d"
   "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/vpscope_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/vpscope_ml.dir/knn.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/vpscope_ml.dir/compiled_forest.cpp.o"
+  "CMakeFiles/vpscope_ml.dir/compiled_forest.cpp.o.d"
   "CMakeFiles/vpscope_ml.dir/dataset.cpp.o"
   "CMakeFiles/vpscope_ml.dir/dataset.cpp.o.d"
   "CMakeFiles/vpscope_ml.dir/forest.cpp.o"

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/pipeline/classifier_bank.cpp" "src/pipeline/CMakeFiles/vpscope_pipeline.dir/classifier_bank.cpp.o" "gcc" "src/pipeline/CMakeFiles/vpscope_pipeline.dir/classifier_bank.cpp.o.d"
   "/root/repo/src/pipeline/drift.cpp" "src/pipeline/CMakeFiles/vpscope_pipeline.dir/drift.cpp.o" "gcc" "src/pipeline/CMakeFiles/vpscope_pipeline.dir/drift.cpp.o.d"
   "/root/repo/src/pipeline/pipeline.cpp" "src/pipeline/CMakeFiles/vpscope_pipeline.dir/pipeline.cpp.o" "gcc" "src/pipeline/CMakeFiles/vpscope_pipeline.dir/pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/sharded_pipeline.cpp" "src/pipeline/CMakeFiles/vpscope_pipeline.dir/sharded_pipeline.cpp.o" "gcc" "src/pipeline/CMakeFiles/vpscope_pipeline.dir/sharded_pipeline.cpp.o.d"
   )
 
 # Targets to which this target links.

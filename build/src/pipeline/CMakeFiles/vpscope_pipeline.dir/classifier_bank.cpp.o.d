@@ -157,7 +157,8 @@ src/pipeline/CMakeFiles/vpscope_pipeline.dir/classifier_bank.cpp.o: \
  /root/repo/src/util/../quic/transport_params.hpp \
  /root/repo/src/util/../tls/client_hello.hpp \
  /root/repo/src/util/../tls/constants.hpp \
- /root/repo/src/util/../ml/forest.hpp /root/repo/src/util/../ml/tree.hpp \
+ /root/repo/src/util/../ml/compiled_forest.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/../ml/dataset.hpp \
  /root/repo/src/util/../util/rng.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -182,6 +183,7 @@ src/pipeline/CMakeFiles/vpscope_pipeline.dir/classifier_bank.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/stdexcept \
+ /root/repo/src/util/../ml/forest.hpp /root/repo/src/util/../ml/tree.hpp \
  /root/repo/src/util/../synth/dataset.hpp \
  /root/repo/src/util/../synth/flow_synthesizer.hpp \
  /root/repo/src/util/../fingerprint/profiles.hpp \
@@ -254,7 +256,10 @@ src/pipeline/CMakeFiles/vpscope_pipeline.dir/classifier_bank.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/util/../telemetry/telemetry.hpp \
+ /root/repo/src/util/../telemetry/telemetry.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/util/../util/stats.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

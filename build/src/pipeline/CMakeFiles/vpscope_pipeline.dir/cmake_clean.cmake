@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vpscope_pipeline.dir/drift.cpp.o.d"
   "CMakeFiles/vpscope_pipeline.dir/pipeline.cpp.o"
   "CMakeFiles/vpscope_pipeline.dir/pipeline.cpp.o.d"
+  "CMakeFiles/vpscope_pipeline.dir/sharded_pipeline.cpp.o"
+  "CMakeFiles/vpscope_pipeline.dir/sharded_pipeline.cpp.o.d"
   "libvpscope_pipeline.a"
   "libvpscope_pipeline.pdb"
 )

@@ -315,10 +315,11 @@ tests/CMakeFiles/ml_test.dir/ml_test.cpp.o: /root/repo/tests/ml_test.cpp \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/util/../ml/compiled_forest.hpp /usr/include/c++/12/span \
  /root/repo/src/util/../ml/dataset.hpp \
  /root/repo/src/util/../util/rng.hpp /root/repo/src/util/../ml/forest.hpp \
  /root/repo/src/util/../ml/tree.hpp /root/repo/src/util/../util/bytes.hpp \
- /usr/include/c++/12/cstring /usr/include/c++/12/span \
+ /usr/include/c++/12/cstring /root/repo/src/util/../ml/serialize.hpp \
  /root/repo/src/util/../ml/knn.hpp /root/repo/src/util/../ml/metrics.hpp \
  /root/repo/src/util/../ml/mlp.hpp \
  /root/repo/src/util/../ml/mutual_info.hpp

@@ -305,7 +305,7 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o: \
  /root/repo/src/util/../pipeline/classifier_bank.hpp \
  /root/repo/src/util/../core/encoder.hpp \
  /root/repo/src/util/../core/attributes.hpp \
- /root/repo/src/util/../ml/forest.hpp /root/repo/src/util/../ml/tree.hpp \
+ /root/repo/src/util/../ml/compiled_forest.hpp \
  /root/repo/src/util/../ml/dataset.hpp \
  /root/repo/src/util/../util/rng.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -329,10 +329,13 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/util/../ml/forest.hpp /root/repo/src/util/../ml/tree.hpp \
  /root/repo/src/util/../synth/dataset.hpp \
  /root/repo/src/util/../synth/flow_synthesizer.hpp \
  /root/repo/src/util/../fingerprint/profiles.hpp \
- /root/repo/src/util/../telemetry/telemetry.hpp \
+ /root/repo/src/util/../telemetry/telemetry.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/util/../util/stats.hpp \
  /root/repo/src/util/../pipeline/pipeline.hpp \
  /root/repo/src/util/../pipeline/drift.hpp /usr/include/c++/12/deque \

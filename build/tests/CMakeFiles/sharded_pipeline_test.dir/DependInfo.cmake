@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sharded_pipeline_test.cpp" "tests/CMakeFiles/sharded_pipeline_test.dir/sharded_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/sharded_pipeline_test.dir/sharded_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/vpscope_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vpscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/vpscope_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vpscope_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vpscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/vpscope_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/vpscope_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/vpscope_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/quic/CMakeFiles/vpscope_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vpscope_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_pipeline_test.dir/sharded_pipeline_test.cpp.o"
+  "CMakeFiles/sharded_pipeline_test.dir/sharded_pipeline_test.cpp.o.d"
+  "sharded_pipeline_test"
+  "sharded_pipeline_test.pdb"
+  "sharded_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

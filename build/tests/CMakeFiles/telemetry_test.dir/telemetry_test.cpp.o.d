@@ -293,6 +293,8 @@ tests/CMakeFiles/telemetry_test.dir/telemetry_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/util/../telemetry/telemetry.hpp \
+ /root/repo/src/util/../telemetry/telemetry.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/util/../fingerprint/platform.hpp \
  /root/repo/src/util/../util/stats.hpp

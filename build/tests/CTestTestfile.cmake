@@ -15,6 +15,7 @@ include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/ml_test[1]_include.cmake")
 include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
 include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_pipeline_test[1]_include.cmake")
 include("/root/repo/build/tests/eval_test[1]_include.cmake")
 include("/root/repo/build/tests/baselines_test[1]_include.cmake")
 include("/root/repo/build/tests/campus_test[1]_include.cmake")
