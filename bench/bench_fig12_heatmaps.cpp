@@ -30,16 +30,19 @@ void heatmap(const eval::ScenarioData& scenario, const std::string& title) {
   TextTable table(std::move(header));
 
   // Per attribute: 1:1 value mapping over the whole scenario, then per
-  // platform the (median normalized value, #unique values) tuple.
+  // platform the (median normalized value, #unique values) tuple. The
+  // scenario's fitted interner already knows every token in its handshakes.
+  const core::TokenInterner& interner = scenario.encoder().interner();
   const std::size_t n = scenario.size();
+  core::RawAttrs raw;
   for (int attr : scenario.encoder().attributes()) {
     const auto& info = catalog[static_cast<std::size_t>(attr)];
     std::map<std::string, int> ids;
     std::vector<int> mapped(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const auto raw = core::extract_raw_attributes(scenario.handshakes()[i]);
+      core::extract_raw_attributes(scenario.handshakes()[i], interner, raw);
       const std::string sig = core::attribute_signature(
-          raw[static_cast<std::size_t>(attr)], info.type);
+          raw[static_cast<std::size_t>(attr)], info.type, interner);
       mapped[i] = ids.try_emplace(sig, static_cast<int>(ids.size()) + 1)
                       .first->second;
     }
@@ -75,11 +78,13 @@ void report() {
 
 void BM_HeatmapYoutubeQuic(benchmark::State& state) {
   const auto& scenario = bench::scenario(Provider::YouTube, Transport::Quic);
+  const core::TokenInterner& interner = scenario.encoder().interner();
+  core::RawAttrs raw;
   for (auto _ : state) {
     // The expensive inner step: raw attribute extraction over the scenario.
     std::size_t total = 0;
     for (const auto& h : scenario.handshakes()) {
-      const auto raw = core::extract_raw_attributes(h);
+      core::extract_raw_attributes(h, interner, raw);
       total += raw.size();
     }
     benchmark::DoNotOptimize(total);

@@ -10,8 +10,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <new>
+#include <span>
 #include <thread>
 
 #include "bench/campus_common.hpp"
@@ -19,6 +22,46 @@
 #include "ml/compiled_forest.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/sharded_pipeline.hpp"
+
+// ---- counting allocator -------------------------------------------------
+// Global operator new/delete override for this binary only: counts heap
+// allocations while `g_count_allocs` is set, so the encode microbench can
+// assert the extract -> encode -> classify chain is allocation-free in
+// steady state (the PR 2 refactor's contract).
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_count_allocs{false};
+
+inline void note_alloc() {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t size) {
+  note_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  note_alloc();
+  const std::size_t alignment = static_cast<std::size_t>(al);
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded ? rounded : alignment))
+    return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -212,6 +255,106 @@ ClassifyResult run_classify_kernel() {
   return out;
 }
 
+// ---- extract + encode microbench (PR 2 allocation-free attribute path) --
+
+struct EncodeResult {
+  const char* name = "";
+  std::size_t flows = 0;
+  double extract_encode_us = 0;   // extract_raw_attributes + transform_into
+  double classify_chain_us = 0;   // full extract -> encode -> forest chain
+  double flows_per_sec = 0;       // from the full chain
+  double allocs_per_flow = 0;     // steady-state heap allocs, full chain
+};
+
+EncodeResult run_encode_kernel(Provider provider, Transport transport,
+                               const char* name) {
+  EncodeResult out;
+  out.name = name;
+  const auto& bank = bench::campus_bank();
+  const auto* scenario = bank.scenario(provider, transport);
+  if (!scenario) return out;
+
+  Rng rng(17);
+  synth::FlowSynthesizer synth(rng);
+  const auto platforms = fingerprint::platforms_for(provider, transport);
+  std::vector<core::FlowHandshake> handshakes;
+  for (int i = 0; i < 64; ++i) {
+    const auto profile = fingerprint::make_profile(
+        platforms[static_cast<std::size_t>(i) % platforms.size()], provider,
+        transport);
+    const auto flow = synth.synthesize(profile);
+    if (auto h = core::extract_handshake(flow.packets))
+      handshakes.push_back(std::move(*h));
+  }
+  out.flows = handshakes.size();
+  if (handshakes.empty()) return out;
+
+  constexpr int kRounds = 500;
+  constexpr int kReps = 5;
+  const auto time_us_per_flow = [&](auto&& fn) {
+    double best_us = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int round = 0; round < kRounds; ++round)
+        for (const auto& h : handshakes) fn(h);
+      best_us = std::min(
+          best_us, seconds_since(start) * 1e6 /
+                       (static_cast<double>(kRounds) * handshakes.size()));
+    }
+    return best_us;
+  };
+
+  // Stage 1: extract + encode only, against the fitted frozen interner.
+  core::RawAttrs raw;
+  std::vector<double> features(scenario->encoder.dimension());
+  out.extract_encode_us = time_us_per_flow([&](const core::FlowHandshake& h) {
+    scenario->encoder.transform_into(h, raw, features);
+    benchmark::DoNotOptimize(features.data());
+  });
+
+  // Stage 2: the deployed chain (extract -> encode -> compiled forests with
+  // confidence gating), as the pipeline runs it per video flow.
+  out.classify_chain_us = time_us_per_flow([&](const core::FlowHandshake& h) {
+    benchmark::DoNotOptimize(bank.classify(h, provider));
+  });
+  out.flows_per_sec = 1e6 / out.classify_chain_us;
+
+  // Steady-state allocation count over the full chain. One warm-up pass
+  // lets the thread_local classify scratch reach capacity first.
+  for (const auto& h : handshakes) (void)bank.classify(h, provider);
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  constexpr int kAllocRounds = 50;
+  for (int round = 0; round < kAllocRounds; ++round)
+    for (const auto& h : handshakes) {
+      scenario->encoder.transform_into(h, raw, features);
+      benchmark::DoNotOptimize(bank.classify(h, provider));
+    }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  out.allocs_per_flow =
+      static_cast<double>(g_alloc_count.load(std::memory_order_relaxed)) /
+      (static_cast<double>(kAllocRounds) * handshakes.size());
+  return out;
+}
+
+void write_encode_json(const std::vector<EncodeResult>& results) {
+  std::ofstream json("BENCH_encode.json");
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"encode_path\",\n"
+       << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"name\": \"" << r.name << "\", \"flows\": " << r.flows
+         << ", \"extract_encode_us_per_flow\": " << r.extract_encode_us
+         << ", \"classify_chain_us_per_flow\": " << r.classify_chain_us
+         << ", \"flows_per_sec\": " << r.flows_per_sec
+         << ", \"allocs_per_flow\": " << r.allocs_per_flow << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+}
+
 void write_json(const SingleThreadResult& single, const ClassifyResult& cls,
                 const std::vector<ShardResult>& scaling) {
   std::ofstream json("BENCH_pipeline.json");
@@ -273,6 +416,23 @@ void report() {
                  TextTable::num(static_cast<double>(single.video_flows) /
                                     single.elapsed_s, 0)});
   table.print(std::cout);
+
+  const std::vector<EncodeResult> encode_results = {
+      run_encode_kernel(Provider::YouTube, Transport::Tcp, "youtube_tcp"),
+      run_encode_kernel(Provider::YouTube, Transport::Quic, "youtube_quic"),
+  };
+  TextTable encode_table({"Encode path", "extract+encode us", "chain us",
+                          "flows/sec", "allocs/flow"});
+  for (const auto& r : encode_results)
+    encode_table.add_row({r.name, TextTable::num(r.extract_encode_us, 2),
+                          TextTable::num(r.classify_chain_us, 2),
+                          TextTable::num(r.flows_per_sec, 0),
+                          TextTable::num(r.allocs_per_flow, 3)});
+  encode_table.print(std::cout);
+  write_encode_json(encode_results);
+  std::cout << "machine-readable encode results: BENCH_encode.json "
+               "(allocs/flow counts steady-state heap allocations across "
+               "extract -> encode -> classify)\n";
 
   const auto cls = run_classify_kernel();
   TextTable classify_table({"Classification kernel", "us/flow", "speedup"});
@@ -368,8 +528,13 @@ void BM_AttributeExtraction(benchmark::State& state) {
       {Os::MacOS, Agent::Safari}, Provider::Netflix, Transport::Tcp);
   const auto flow = synth.synthesize(profile);
   const auto handshake = core::extract_handshake(flow.packets);
+  const auto* scenario =
+      bench::campus_bank().scenario(Provider::Netflix, Transport::Tcp);
+  const core::TokenInterner& interner = scenario->encoder.interner();
+  core::RawAttrs raw;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::extract_raw_attributes(*handshake));
+    core::extract_raw_attributes(*handshake, interner, raw);
+    benchmark::DoNotOptimize(raw);
   }
 }
 BENCHMARK(BM_AttributeExtraction)->Unit(benchmark::kMicrosecond);

@@ -62,14 +62,15 @@ void show(const fingerprint::PlatformId& platform,
   std::printf("JA3: %s\n", tls::ja3_hash(handshake.chlo).c_str());
   std::printf("JA3 string: %s\n\n", tls::ja3_string(handshake.chlo).c_str());
 
-  const auto raw = core::extract_raw_attributes(handshake);
+  core::TokenInterner interner;  // grow-mode: no fitted vocabulary here
+  const auto raw = core::extract_raw_attributes(handshake, interner);
   const auto& catalog = core::attribute_catalog();
   for (int a = 0; a < core::kNumAttributes; ++a) {
     const auto& info = catalog[static_cast<std::size_t>(a)];
     const auto& value = raw[static_cast<std::size_t>(a)];
     if (!value.present) continue;
     std::printf("  %-4s %-40s = %s\n", info.label, info.field_name,
-                core::attribute_signature(value, info.type).c_str());
+                core::attribute_signature(value, info.type, interner).c_str());
   }
 }
 
@@ -78,8 +79,9 @@ void diff(const fingerprint::PlatformId& a, const fingerprint::PlatformId& b,
           fingerprint::Transport transport) {
   const auto ha = observe(a, provider, transport);
   const auto hb = observe(b, provider, transport);
-  const auto ra = core::extract_raw_attributes(ha);
-  const auto rb = core::extract_raw_attributes(hb);
+  core::TokenInterner interner;  // shared grow-mode vocabulary for the pair
+  const auto ra = core::extract_raw_attributes(ha, interner);
+  const auto rb = core::extract_raw_attributes(hb, interner);
   const auto& catalog = core::attribute_catalog();
 
   std::printf("== %s vs %s (%s, %s) — differing attributes ==\n",
@@ -88,10 +90,10 @@ void diff(const fingerprint::PlatformId& a, const fingerprint::PlatformId& b,
   int differing = 0;
   for (int i = 0; i < core::kNumAttributes; ++i) {
     const auto& info = catalog[static_cast<std::size_t>(i)];
-    const auto sig_a =
-        core::attribute_signature(ra[static_cast<std::size_t>(i)], info.type);
-    const auto sig_b =
-        core::attribute_signature(rb[static_cast<std::size_t>(i)], info.type);
+    const auto sig_a = core::attribute_signature(
+        ra[static_cast<std::size_t>(i)], info.type, interner);
+    const auto sig_b = core::attribute_signature(
+        rb[static_cast<std::size_t>(i)], info.type, interner);
     if (sig_a == sig_b) continue;
     ++differing;
     std::printf("  %-4s %-40s\n    A: %s\n    B: %s\n", info.label,

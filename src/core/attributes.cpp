@@ -1,6 +1,8 @@
 #include "core/attributes.hpp"
 
+#include <charconv>
 #include <cstdio>
+#include <cstring>
 
 #include "tls/constants.hpp"
 
@@ -96,15 +98,40 @@ int applicable_count(Transport transport) {
 
 namespace {
 
-std::string u16_token(std::uint16_t v) {
-  // Faithful to the paper's §3.3.2: "a 1:1 mapping between the values
-  // contained in the fields to a unique number" — GREASE values (random per
-  // flow by design, RFC 8701) are NOT collapsed, so greasing stacks carry
-  // per-flow noise in their list attributes. Tree ensembles shrug this off;
-  // distance- and gradient-based models don't, which is part of why the
-  // paper's RF wins its model comparison.
-  return std::to_string(v);
+/// Decimal rendering of an integral token into caller stack storage.
+/// Faithful to the paper's §3.3.2: "a 1:1 mapping between the values
+/// contained in the fields to a unique number" — GREASE values (random per
+/// flow by design, RFC 8701) are NOT collapsed, so greasing stacks carry
+/// per-flow noise in their list attributes. Tree ensembles shrug this off;
+/// distance- and gradient-based models don't, which is part of why the
+/// paper's RF wins its model comparison.
+template <typename T>
+std::string_view dec_token(T v, std::span<char> buf) {
+  const auto [end, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  (void)ec;  // buffers are sized for the widest integral rendering
+  return {buf.data(), static_cast<std::size_t>(end - buf.data())};
 }
+
+/// Builds "-"-joined tokens ("0-1-2") in fixed stack storage; ample for the
+/// few-element u8/u16 lists that feed categorical attributes.
+class JoinBuffer {
+ public:
+  template <typename T>
+  void append(T v) {
+    if (len_ > 0 && len_ < sizeof(buf_)) buf_[len_++] = '-';
+    char tmp[24];
+    const auto t = dec_token(v, tmp);
+    const std::size_t n = std::min(t.size(), sizeof(buf_) - len_);
+    std::memcpy(buf_ + len_, t.data(), n);
+    len_ += n;
+  }
+  std::string_view view() const { return {buf_, len_}; }
+
+ private:
+  char buf_[160];
+  std::size_t len_ = 0;
+};
 
 RawAttr num(double v) {
   RawAttr a;
@@ -137,53 +164,21 @@ RawAttr ext_presence(const tls::ClientHello& chlo, std::uint16_t type) {
   return presence(chlo.has_extension(type));
 }
 
-RawAttr cat(bool present, std::string token) {
-  RawAttr a;
-  a.present = present;
-  if (present) a.token = std::move(token);
-  return a;
-}
-
-RawAttr list(std::vector<std::string> tokens) {
-  RawAttr a;
-  a.present = !tokens.empty();
-  a.tokens = std::move(tokens);
-  return a;
-}
-
-std::string join_u8(const std::vector<std::uint8_t>& values) {
-  std::string out;
-  for (auto v : values) {
-    if (!out.empty()) out += '-';
-    out += std::to_string(v);
-  }
-  return out;
-}
-
-std::string join_u16(const std::vector<std::uint16_t>& values) {
-  std::string out;
-  for (auto v : values) {
-    if (!out.empty()) out += '-';
-    out += u16_token(v);
-  }
-  return out;
-}
-
-std::vector<std::string> u16_tokens(const std::vector<std::uint16_t>& values) {
-  std::vector<std::string> out;
-  out.reserve(values.size());
-  for (auto v : values) out.push_back(u16_token(v));
-  return out;
-}
-
-}  // namespace
-
-std::array<RawAttr, kNumAttributes> extract_raw_attributes(
-    const FlowHandshake& h) {
-  std::array<RawAttr, kNumAttributes> out{};
+/// The extraction body, parameterized over the token sink so the fit-time
+/// (growing) and inference-time (frozen lookup, allocation-free) paths share
+/// one implementation. `sink(string_view) -> TokenId`.
+template <typename Sink>
+void extract_impl(const FlowHandshake& h, RawAttrs& out, Sink&& sink) {
+  out.fill(RawAttr{});
   const bool is_tcp = h.transport == Transport::Tcp;
   const tls::ClientHello& chlo = h.chlo;
   namespace ext = tls::ext;
+  char buf[24];
+
+  const auto cat = [&](RawAttr& a, std::string_view token) {
+    a.present = true;
+    a.set_token(sink(token));
+  };
 
   // t1/t2
   out[0] = num(static_cast<double>(h.init_packet_size));
@@ -206,32 +201,50 @@ std::array<RawAttr, kNumAttributes> extract_raw_attributes(
 
   // m1..m5
   out[14] = num(static_cast<double>(chlo.handshake_body_length()));
-  out[15] = cat(true, std::to_string(chlo.legacy_version));
-  out[16] = list(u16_tokens(chlo.cipher_suites));
+  cat(out[15], dec_token(chlo.legacy_version, buf));
+  out[16].present = !chlo.cipher_suites.empty();
+  for (const std::uint16_t suite : chlo.cipher_suites)
+    out[16].push_token(sink(dec_token(suite, buf)));
   out[17] = num(static_cast<double>(chlo.compression_methods.size()));
   out[18] = num(static_cast<double>(chlo.extensions_length()));
 
   // o1: extension type codes in wire order.
-  out[19] = list(u16_tokens(chlo.extension_types()));
+  out[19].present = !chlo.extensions.empty();
+  for (const auto& e : chlo.extensions)
+    out[19].push_token(sink(dec_token(e.type, buf)));
   // o2: SNI length (the name itself is matched upstream for provider
   // detection; only the length can fingerprint the platform).
-  if (const auto sni = chlo.server_name())
+  if (const auto sni = chlo.server_name_view())
     out[20] = num(static_cast<double>(sni->size()));
   // o3: status_request type byte.
   if (const tls::Extension* e = chlo.find(ext::kStatusRequest))
-    out[21] = cat(true, e->body.empty() ? "empty"
-                                        : std::to_string(e->body[0]));
+    cat(out[21], e->body.empty()
+                     ? std::string_view("empty")
+                     : dec_token(e->body[0], buf));
   // o4
-  if (const auto groups = chlo.supported_groups())
-    out[22] = list(u16_tokens(*groups));
+  if (tls::U16View groups; chlo.supported_groups_into(groups)) {
+    out[22].present = groups.size() > 0;
+    for (std::size_t i = 0; i < groups.size(); ++i)
+      out[22].push_token(sink(dec_token(groups[i], buf)));
+  }
   // o5
-  if (const auto formats = chlo.ec_point_formats())
-    out[23] = cat(true, join_u8(*formats));
+  if (tls::U8View formats; chlo.ec_point_formats_into(formats)) {
+    JoinBuffer joined;
+    for (std::size_t i = 0; i < formats.size(); ++i) joined.append(formats[i]);
+    cat(out[23], joined.view());
+  }
   // o6
-  if (const auto algs = chlo.signature_algorithms())
-    out[24] = list(u16_tokens(*algs));
+  if (tls::U16View algs; chlo.signature_algorithms_into(algs)) {
+    out[24].present = algs.size() > 0;
+    for (std::size_t i = 0; i < algs.size(); ++i)
+      out[24].push_token(sink(dec_token(algs[i], buf)));
+  }
   // o7
-  if (const auto alpn = chlo.alpn_protocols()) out[25] = list(*alpn);
+  if (tls::NameView alpn; chlo.alpn_protocols_into(alpn)) {
+    out[25].present = alpn.size() > 0;
+    for (std::size_t i = 0; i < alpn.size(); ++i)
+      out[25].push_token(sink(alpn[i]));
+  }
   // o8/o9
   out[26] = ext_length(chlo, ext::kSignedCertTimestamp);
   out[27] = ext_length(chlo, ext::kPadding);
@@ -239,37 +252,52 @@ std::array<RawAttr, kNumAttributes> extract_raw_attributes(
   out[28] = ext_presence(chlo, ext::kEncryptThenMac);
   out[29] = ext_presence(chlo, ext::kExtendedMasterSecret);
   // o12
-  if (const auto comp = chlo.compress_certificate())
-    out[30] = cat(true, join_u16(*comp));
+  if (tls::U16View comp; chlo.compress_certificate_into(comp)) {
+    JoinBuffer joined;
+    for (std::size_t i = 0; i < comp.size(); ++i) joined.append(comp[i]);
+    cat(out[30], joined.view());
+  }
   // o13
   if (const auto limit = chlo.record_size_limit()) out[31] = num(*limit);
   // o14
-  if (const auto dc = chlo.delegated_credentials())
-    out[32] = list(u16_tokens(*dc));
+  if (tls::U16View dc; chlo.delegated_credentials_into(dc)) {
+    out[32].present = dc.size() > 0;
+    for (std::size_t i = 0; i < dc.size(); ++i)
+      out[32].push_token(sink(dec_token(dc[i], buf)));
+  }
   // o15..o17
   out[33] = ext_length(chlo, ext::kSessionTicket);
   out[34] = ext_presence(chlo, ext::kPreSharedKey);
   out[35] = ext_length(chlo, ext::kEarlyData);
   // o18
-  if (const auto versions = chlo.supported_versions())
-    out[36] = list(u16_tokens(*versions));
+  if (tls::U16View versions; chlo.supported_versions_into(versions)) {
+    out[36].present = versions.size() > 0;
+    for (std::size_t i = 0; i < versions.size(); ++i)
+      out[36].push_token(sink(dec_token(versions[i], buf)));
+  }
   // o19
-  if (const auto modes = chlo.psk_key_exchange_modes())
-    out[37] = cat(true, join_u8(*modes));
+  if (tls::U8View modes; chlo.psk_key_exchange_modes_into(modes)) {
+    JoinBuffer joined;
+    for (std::size_t i = 0; i < modes.size(); ++i) joined.append(modes[i]);
+    cat(out[37], joined.view());
+  }
   // o20
   out[38] = ext_presence(chlo, ext::kPostHandshakeAuth);
   // o21
-  if (const auto shares = chlo.key_share_groups())
-    out[39] = list(u16_tokens(*shares));
+  if (tls::U16View shares; chlo.key_share_groups_into(shares)) {
+    out[39].present = shares.size() > 0;
+    for (std::size_t i = 0; i < shares.size(); ++i)
+      out[39].push_token(sink(dec_token(shares[i], buf)));
+  }
   // o22: the application_settings content, prefixed by the extension code
   // variant in use (ALPS codepoint migration distinguishes Chromium forks).
-  if (const auto settings = chlo.application_settings()) {
-    std::vector<std::string> tokens;
-    tokens.push_back(chlo.has_extension(ext::kApplicationSettingsNew)
-                         ? "alps-new"
-                         : "alps-old");
-    tokens.insert(tokens.end(), settings->begin(), settings->end());
-    out[40] = list(std::move(tokens));
+  if (tls::NameView settings; chlo.application_settings_into(settings)) {
+    out[40].present = true;
+    out[40].push_token(sink(chlo.has_extension(ext::kApplicationSettingsNew)
+                                ? std::string_view("alps-new")
+                                : std::string_view("alps-old")));
+    for (std::size_t i = 0; i < settings.size(); ++i)
+      out[40].push_token(sink(settings[i]));
   }
   // o23
   out[41] = ext_presence(chlo, ext::kRenegotiationInfo);
@@ -277,14 +305,12 @@ std::array<RawAttr, kNumAttributes> extract_raw_attributes(
   // q1..q20
   if (h.transport == Transport::Quic && h.quic_tp) {
     const quic::TransportParameters& tp = *h.quic_tp;
-    {
-      std::vector<std::string> ids;
-      for (std::uint64_t id : tp.param_order)
-        ids.push_back(quic::tp::is_grease(id) ? "GREASE"
-                                              : std::to_string(id));
-      out[42] = list(std::move(ids));
-    }
-    auto opt_num = [](const std::optional<std::uint64_t>& v) {
+    out[42].present = !tp.param_order.empty();
+    for (const std::uint64_t id : tp.param_order)
+      out[42].push_token(sink(quic::tp::is_grease(id)
+                                  ? std::string_view("GREASE")
+                                  : dec_token(id, buf)));
+    const auto opt_num = [](const std::optional<std::uint64_t>& v) {
       RawAttr a;
       if (v) {
         a.present = true;
@@ -304,22 +330,42 @@ std::array<RawAttr, kNumAttributes> extract_raw_attributes(
     out[52] = presence(tp.disable_active_migration);
     out[53] = opt_num(tp.active_connection_id_limit);
     if (tp.has_initial_source_connection_id)
-      out[54] = num(static_cast<double>(tp.initial_source_connection_id.size()));
+      out[54] =
+          num(static_cast<double>(tp.initial_source_connection_id.size()));
     out[55] = opt_num(tp.max_datagram_frame_size);
     out[56] = presence(tp.grease_quic_bit);
     out[57] = presence(tp.initial_rtt_us.has_value());
     if (tp.google_connection_options)
-      out[58] = cat(true, *tp.google_connection_options);
-    if (tp.user_agent) out[59] = cat(true, *tp.user_agent);
-    if (tp.google_version)
-      out[60] = cat(true, std::to_string(*tp.google_version));
+      cat(out[58], *tp.google_connection_options);
+    if (tp.user_agent) cat(out[59], *tp.user_agent);
+    if (tp.google_version) cat(out[60], dec_token(*tp.google_version, buf));
     out[61] = opt_num(tp.ack_delay_exponent);
   }
+}
 
+}  // namespace
+
+void extract_raw_attributes(const FlowHandshake& handshake,
+                            const TokenInterner& interner, RawAttrs& out) {
+  extract_impl(handshake, out,
+               [&](std::string_view t) { return interner.lookup(t); });
+}
+
+void extract_raw_attributes(const FlowHandshake& handshake,
+                            TokenInterner& interner, RawAttrs& out) {
+  extract_impl(handshake, out,
+               [&](std::string_view t) { return interner.intern(t); });
+}
+
+RawAttrs extract_raw_attributes(const FlowHandshake& handshake,
+                                TokenInterner& interner) {
+  RawAttrs out;
+  extract_raw_attributes(handshake, interner, out);
   return out;
 }
 
-std::string attribute_signature(const RawAttr& raw, AttrType type) {
+std::string attribute_signature(const RawAttr& raw, AttrType type,
+                                const TokenInterner& interner) {
   if (!raw.present) return "<absent>";
   switch (type) {
     case AttrType::Numerical:
@@ -330,11 +376,11 @@ std::string attribute_signature(const RawAttr& raw, AttrType type) {
       return buf;
     }
     case AttrType::Categorical:
-      return raw.token;
+      return std::string(interner.token(raw.token()));
     case AttrType::List: {
       std::string out;
-      for (const auto& t : raw.tokens) {
-        out += t;
+      for (std::size_t i = 0; i < raw.count; ++i) {
+        out += interner.token(raw.tokens[i]);
         out += '|';
       }
       return out;

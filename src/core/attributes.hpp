@@ -18,9 +18,9 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "core/handshake.hpp"
+#include "core/interner.hpp"
 
 namespace vpscope::core {
 
@@ -68,24 +68,58 @@ const std::array<AttributeInfo, kNumAttributes>& attribute_catalog();
 /// Number of attributes applicable to a transport (50 for QUIC, 42 for TCP).
 int applicable_count(fingerprint::Transport transport);
 
-/// One attribute's raw (pre-dictionary) observation from a flow.
+/// Fixed token capacity of a List observation. The longest lists any real
+/// client stack emits (cipher suites, extension codes) stay well under this;
+/// overflow items are dropped with `count` capped.
+inline constexpr int kMaxListTokens = 32;
+
+/// One attribute's raw (pre-dictionary) observation from a flow: a POD
+/// tagged record — which fields are meaningful follows the attribute's
+/// AttrType from the catalog (union-style, without the type-punning).
+/// Categorical/list values are interned TokenIds, never strings, so a full
+/// 62-attribute extraction performs zero heap allocations.
 struct RawAttr {
   bool present = false;
-  double number = 0.0;                 // Numerical / Presence / Length types
-  std::string token;                   // Categorical type
-  std::vector<std::string> tokens;     // List type
+  std::uint8_t count = 0;  // List: valid entries in tokens[]
+  double number = 0.0;     // Numerical / Presence / Length
+  std::array<TokenId, kMaxListTokens> tokens{};  // List; Categorical uses [0]
+
+  /// Categorical accessors (slot 0 of the token storage).
+  TokenId token() const { return tokens[0]; }
+  void set_token(TokenId id) {
+    tokens[0] = id;
+    count = 1;
+  }
+  void push_token(TokenId id) {
+    if (count < kMaxListTokens) tokens[static_cast<std::size_t>(count++)] = id;
+  }
 };
 
-/// Extracts all 62 raw attributes from a handshake observation. Attributes
-/// not applicable to the flow's transport are left absent (encoded as 0, as
-/// per §3.3.1: "If a field does not appear in a flow, a value of 0 is
-/// assigned").
-std::array<RawAttr, kNumAttributes> extract_raw_attributes(
-    const FlowHandshake& handshake);
+using RawAttrs = std::array<RawAttr, kNumAttributes>;
+
+/// Extracts all 62 raw attributes from a handshake observation into `out`.
+/// Attributes not applicable to the flow's transport are left absent
+/// (encoded as 0, as per §3.3.1: "If a field does not appear in a flow, a
+/// value of 0 is assigned").
+///
+/// The const overload is the steady-state path: tokens resolve against the
+/// fitted (frozen) interner, unseen tokens collapse to kUnseenId, and the
+/// call allocates nothing. The mutable overload grows the interner (fit and
+/// analysis time).
+void extract_raw_attributes(const FlowHandshake& handshake,
+                            const TokenInterner& interner, RawAttrs& out);
+void extract_raw_attributes(const FlowHandshake& handshake,
+                            TokenInterner& interner, RawAttrs& out);
+
+/// Convenience wrapper for analysis/tooling paths (allocates the array).
+RawAttrs extract_raw_attributes(const FlowHandshake& handshake,
+                                TokenInterner& interner);
 
 /// A stable discrete signature of one attribute's observation, used for the
 /// information-gain analysis of Fig. 3/5/13/14 (the attribute's "value" as a
 /// single categorical outcome; lists hash to their full content signature).
-std::string attribute_signature(const RawAttr& raw, AttrType type);
+/// `interner` must be the one the observation was extracted with.
+std::string attribute_signature(const RawAttr& raw, AttrType type,
+                                const TokenInterner& interner);
 
 }  // namespace vpscope::core

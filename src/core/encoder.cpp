@@ -25,70 +25,100 @@ FeatureEncoder::FeatureEncoder(Transport transport)
 
 void FeatureEncoder::fit(std::span<const FlowHandshake> handshakes) {
   const auto& catalog = attribute_catalog();
+  RawAttrs raw;
   for (const FlowHandshake& h : handshakes) {
-    const auto raw = extract_raw_attributes(h);
+    extract_raw_attributes(h, interner_, raw);
     for (int attr : attributes_) {
       const AttributeInfo& info = catalog[static_cast<std::size_t>(attr)];
       const RawAttr& r = raw[static_cast<std::size_t>(attr)];
       if (!r.present) continue;
       auto& dict = dicts_[static_cast<std::size_t>(attr)];
       if (info.type == AttrType::Categorical) {
-        dict.try_emplace(r.token, static_cast<int>(dict.size()) + 1);
+        dict.try_emplace(r.token(), static_cast<int>(dict.size()) + 1);
       } else if (info.type == AttrType::List) {
-        for (const auto& token : r.tokens)
-          dict.try_emplace(token, static_cast<int>(dict.size()) + 1);
+        for (std::size_t i = 0; i < r.count; ++i)
+          dict.try_emplace(r.tokens[i], static_cast<int>(dict.size()) + 1);
       }
     }
   }
+  build_value_tables();
 }
 
-double FeatureEncoder::map_token(int attribute,
-                                 const std::string& token) const {
-  const auto& dict = dicts_[static_cast<std::size_t>(attribute)];
-  const auto it = dict.find(token);
-  // Unseen values land in a single dedicated bucket past every fitted id.
-  if (it == dict.end()) return static_cast<double>(dict.size() + 1);
-  return static_cast<double>(it->second);
+void FeatureEncoder::build_value_tables() {
+  interner_.freeze();
+  value_tables_.assign(kNumAttributes, {});
+  for (int attr : attributes_) {
+    const auto a = static_cast<std::size_t>(attr);
+    const auto& dict = dicts_[a];
+    // Unseen values land in a single dedicated bucket past every fitted id —
+    // the default for every token the attribute's dictionary never saw.
+    const auto unseen = static_cast<double>(dict.size() + 1);
+    value_tables_[a].assign(interner_.size() + 1, unseen);
+    for (const auto& [token_id, value] : dict)
+      value_tables_[a][token_id] = static_cast<double>(value);
+  }
 }
 
-std::vector<double> FeatureEncoder::transform_raw(
-    const std::array<RawAttr, kNumAttributes>& raw) const {
+double FeatureEncoder::map_value(std::size_t attribute, TokenId token) const {
+  if (attribute < value_tables_.size()) {
+    const auto& table = value_tables_[attribute];
+    if (token < table.size()) return table[token];
+  }
+  // Unfitted encoder (no tables yet) or a token interned elsewhere: the
+  // dedicated unseen bucket, exactly as the fitted table would answer.
+  return static_cast<double>(dicts_[attribute].size() + 1);
+}
+
+void FeatureEncoder::transform_raw_into(const RawAttrs& raw,
+                                        std::span<double> out) const {
   const auto& catalog = attribute_catalog();
-  std::vector<double> out;
-  out.reserve(columns_.size());
+  std::size_t i = 0;
   for (const Column& col : columns_) {
-    const AttributeInfo& info =
-        catalog[static_cast<std::size_t>(col.attribute)];
-    const RawAttr& r = raw[static_cast<std::size_t>(col.attribute)];
-    if (!r.present) {
-      out.push_back(0.0);
-      continue;
-    }
-    switch (info.type) {
-      case AttrType::Numerical:
-      case AttrType::Presence:
-      case AttrType::Length:
-        out.push_back(r.number);
-        break;
-      case AttrType::Categorical:
-        out.push_back(map_token(col.attribute, r.token));
-        break;
-      case AttrType::List: {
-        const auto slot = static_cast<std::size_t>(col.slot);
-        if (slot < r.tokens.size())
-          out.push_back(map_token(col.attribute, r.tokens[slot]));
-        else
-          out.push_back(0.0);  // zero padding for short lists
-        break;
+    const auto a = static_cast<std::size_t>(col.attribute);
+    const AttributeInfo& info = catalog[a];
+    const RawAttr& r = raw[a];
+    double v = 0.0;
+    if (r.present) {
+      switch (info.type) {
+        case AttrType::Numerical:
+        case AttrType::Presence:
+        case AttrType::Length:
+          v = r.number;
+          break;
+        case AttrType::Categorical:
+          v = map_value(a, r.token());
+          break;
+        case AttrType::List: {
+          const auto slot = static_cast<std::size_t>(col.slot);
+          // Zero padding for short lists.
+          if (slot < r.count) v = map_value(a, r.tokens[slot]);
+          break;
+        }
       }
     }
+    out[i++] = v;
   }
+}
+
+void FeatureEncoder::transform_into(const FlowHandshake& handshake,
+                                    RawAttrs& raw_scratch,
+                                    std::span<double> out) const {
+  extract_raw_attributes(handshake, interner_, raw_scratch);
+  transform_raw_into(raw_scratch, out);
+}
+
+std::vector<double> FeatureEncoder::transform_raw(const RawAttrs& raw) const {
+  std::vector<double> out(columns_.size());
+  transform_raw_into(raw, out);
   return out;
 }
 
 std::vector<double> FeatureEncoder::transform(
     const FlowHandshake& handshake) const {
-  return transform_raw(extract_raw_attributes(handshake));
+  std::vector<double> out(columns_.size());
+  RawAttrs raw;
+  transform_into(handshake, raw, out);
+  return out;
 }
 
 std::vector<int> FeatureEncoder::columns_for_attributes(
@@ -100,6 +130,32 @@ std::vector<int> FeatureEncoder::columns_for_attributes(
       out.push_back(static_cast<int>(i));
   }
   return out;
+}
+
+std::vector<std::pair<std::string, int>> FeatureEncoder::dictionary(
+    int attribute) const {
+  const auto& dict = dicts_[static_cast<std::size_t>(attribute)];
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(dict.size());
+  for (const auto& [token_id, value] : dict)
+    out.emplace_back(std::string(interner_.token(token_id)), value);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second < b.second;
+  });
+  return out;
+}
+
+FeatureEncoder FeatureEncoder::from_dictionaries(
+    Transport transport,
+    const std::vector<std::vector<std::pair<std::string, int>>>& dicts) {
+  FeatureEncoder enc(transport);
+  const std::size_t n =
+      std::min<std::size_t>(dicts.size(), kNumAttributes);
+  for (std::size_t a = 0; a < n; ++a)
+    for (const auto& [token, value] : dicts[a])
+      enc.dicts_[a].emplace(enc.interner_.intern(token), value);
+  enc.build_value_tables();
+  return enc;
 }
 
 }  // namespace vpscope::core

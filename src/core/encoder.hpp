@@ -9,14 +9,23 @@
 // Dictionaries are fitted on training data (the "value mapping process"
 // whose cost Table 2 accounts for); values first seen at inference map to a
 // dedicated unseen-id so open-set inputs stay well-defined.
+//
+// The hot path is allocation-free: fit() interns every token into an
+// immutable TokenInterner and lowers the per-attribute dictionaries into
+// flat TokenId -> value tables, so transform_into() is two array indexes per
+// column — no string compares, no map walks, no heap. The allocating
+// transform()/transform_raw() overloads are thin wrappers kept for training
+// and analysis code (proven bit-identical in tests).
 #pragma once
 
-#include <map>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/attributes.hpp"
+#include "core/interner.hpp"
 
 namespace vpscope::core {
 
@@ -30,18 +39,28 @@ class FeatureEncoder {
 
   explicit FeatureEncoder(fingerprint::Transport transport);
 
-  /// Learns categorical/list dictionaries from training observations.
+  /// Learns categorical/list dictionaries from training observations and
+  /// freezes the token interner.
   void fit(std::span<const FlowHandshake> handshakes);
 
-  /// Encodes one observation; requires fit() first for categorical/list
-  /// attributes to be meaningful.
+  /// Allocation-free encode: extracts into `raw_scratch` and writes the
+  /// vector into `out` (`out.size() == dimension()`). Requires fit().
+  void transform_into(const FlowHandshake& handshake, RawAttrs& raw_scratch,
+                      std::span<double> out) const;
+  void transform_raw_into(const RawAttrs& raw, std::span<double> out) const;
+
+  /// Allocating wrappers over the _into path (training / analysis use).
   std::vector<double> transform(const FlowHandshake& handshake) const;
-  std::vector<double> transform_raw(
-      const std::array<RawAttr, kNumAttributes>& raw) const;
+  std::vector<double> transform_raw(const RawAttrs& raw) const;
 
   fingerprint::Transport transport() const { return transport_; }
   const std::vector<Column>& columns() const { return columns_; }
   std::size_t dimension() const { return columns_.size(); }
+
+  /// The fitted token vocabulary (frozen after fit()). Extraction against
+  /// it resolves tokens without allocating; unseen tokens collapse to
+  /// TokenInterner::kUnseenId.
+  const TokenInterner& interner() const { return interner_; }
 
   /// Attribute indices applicable to this transport, in catalog order
   /// (50 entries for QUIC, 42 for TCP).
@@ -52,15 +71,34 @@ class FeatureEncoder {
   std::vector<int> columns_for_attributes(
       const std::vector<int>& attribute_indices) const;
 
+  /// One attribute's fitted dictionary as (token, id) pairs in id order
+  /// (ids are dense 1..n) — the serialization surface of ml/serialize.
+  std::vector<std::pair<std::string, int>> dictionary(int attribute) const;
+
+  /// Restores a fitted encoder from serialized dictionaries; `dicts` holds
+  /// one (token, id)-in-id-order list per catalog attribute.
+  static FeatureEncoder from_dictionaries(
+      fingerprint::Transport transport,
+      const std::vector<std::vector<std::pair<std::string, int>>>& dicts);
+
  private:
-  double map_token(int attribute, const std::string& token) const;
+  /// Freezes the interner and lowers dicts_ into value_tables_.
+  void build_value_tables();
+  double map_value(std::size_t attribute, TokenId token) const;
 
   fingerprint::Transport transport_;
   std::vector<int> attributes_;
   std::vector<Column> columns_;
-  /// Per attribute: token -> positive id (scalar dictionaries for
-  /// categorical attributes, item dictionaries for list attributes).
-  std::vector<std::map<std::string, int>> dicts_;
+  TokenInterner interner_;
+  /// Per attribute: interned token -> positive id (scalar dictionaries for
+  /// categorical attributes, item dictionaries for list attributes), ids
+  /// assigned in first-seen order. Cold: serialization + table building.
+  std::vector<std::unordered_map<TokenId, int>> dicts_;
+  /// Per attribute: TokenId -> encoded value, indexed by id (size
+  /// interner.size() + 1); tokens outside the attribute's dictionary —
+  /// including kUnseenId — hold the attribute's unseen bucket value
+  /// (dict size + 1). This is the whole hot-path lookup.
+  std::vector<std::vector<double>> value_tables_;
 };
 
 }  // namespace vpscope::core

@@ -89,9 +89,9 @@ void HandshakeExtractor::finish_with_chlo(tls::ClientHello chlo) {
   complete_ = true;
 }
 
-std::string HandshakeExtractor::sni() const {
+std::string_view HandshakeExtractor::sni() const {
   if (!complete_ || !result_) return {};
-  return result_->chlo.server_name().value_or("");
+  return result_->chlo.server_name_view().value_or(std::string_view{});
 }
 
 std::optional<FlowHandshake> extract_handshake(

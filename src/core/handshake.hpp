@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <span>
+#include <string_view>
 
 #include "fingerprint/platform.hpp"
 #include "net/packet.hpp"
@@ -51,8 +52,9 @@ class HandshakeExtractor {
   bool complete() const { return complete_; }
   const std::optional<FlowHandshake>& handshake() const { return result_; }
 
-  /// The SNI observed in the ClientHello, empty until complete.
-  std::string sni() const;
+  /// The SNI observed in the ClientHello (a view into the parsed
+  /// ClientHello, valid while the extractor lives), empty until complete.
+  std::string_view sni() const;
 
  private:
   bool feed_tcp(const net::DecodedPacket& packet);

@@ -1,0 +1,64 @@
+#include "core/interner.hpp"
+
+namespace vpscope::core {
+
+std::uint64_t TokenInterner::hash(std::string_view token) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : token) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+TokenId TokenInterner::lookup(std::string_view token) const {
+  if (slots_.empty()) return kUnseenId;
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = hash(token) & mask;; i = (i + 1) & mask) {
+    const TokenId id = slots_[i];
+    if (id == kUnseenId) return kUnseenId;
+    if (tokens_[id - 1] == token) return id;
+  }
+}
+
+TokenId TokenInterner::intern(std::string_view token) {
+  const TokenId found = lookup(token);
+  if (found != kUnseenId || frozen_) return found;
+  tokens_.emplace_back(token);
+  const auto id = static_cast<TokenId>(tokens_.size());
+  // Keep the load factor under ~0.7 while growing.
+  if (slots_.empty() || tokens_.size() * 10 >= slots_.size() * 7)
+    rehash(slots_.empty() ? 16 : slots_.size() * 2);
+  else
+    insert_slot(id);
+  return id;
+}
+
+void TokenInterner::insert_slot(TokenId id) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash(tokens_[id - 1]) & mask;
+  while (slots_[i] != kUnseenId) i = (i + 1) & mask;
+  slots_[i] = id;
+}
+
+void TokenInterner::rehash(std::size_t slot_count) {
+  slots_.assign(slot_count, kUnseenId);
+  for (TokenId id = 1; id <= tokens_.size(); ++id) insert_slot(id);
+}
+
+void TokenInterner::freeze() {
+  if (frozen_) return;
+  // Fit the table tight: smallest power of two keeping the load under ~0.7.
+  std::size_t slot_count = 16;
+  while (tokens_.size() * 10 >= slot_count * 7) slot_count *= 2;
+  rehash(slot_count);
+  frozen_ = true;
+}
+
+std::string_view TokenInterner::token(TokenId id) const {
+  if (id == kUnseenId || id > tokens_.size()) return "<unseen>";
+  return tokens_[id - 1];
+}
+
+}  // namespace vpscope::core

@@ -164,15 +164,20 @@ ml::ConfusionMatrix cv_confusion(const ml::Dataset& data, int folds,
 std::vector<AttributeStats> attribute_stats(const ScenarioData& scenario) {
   const auto& catalog = core::attribute_catalog();
 
-  // Raw signatures per attribute per flow.
+  // Raw signatures per attribute per flow. The scenario's fitted interner
+  // already holds every token of these handshakes (fit() saw them), so the
+  // frozen lookup overload suffices.
+  const core::TokenInterner& interner = scenario.encoder().interner();
   const std::size_t n = scenario.size();
   std::vector<std::vector<std::string>> signatures(core::kNumAttributes);
+  core::RawAttrs raw;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto raw = core::extract_raw_attributes(scenario.handshakes()[i]);
+    core::extract_raw_attributes(scenario.handshakes()[i], interner, raw);
     for (int a = 0; a < core::kNumAttributes; ++a)
       signatures[static_cast<std::size_t>(a)].push_back(
           core::attribute_signature(raw[static_cast<std::size_t>(a)],
-                                    catalog[static_cast<std::size_t>(a)].type));
+                                    catalog[static_cast<std::size_t>(a)].type,
+                                    interner));
   }
 
   std::vector<int> platform_y(n), device_y(n), agent_y(n);

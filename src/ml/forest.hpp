@@ -12,6 +12,15 @@
 
 namespace vpscope::ml {
 
+class RandomForest;
+
+/// Serialization internals (ml/serialize.cpp): the shared v1 forest body
+/// encoding that both the forest-only and bundle formats embed.
+namespace detail {
+void write_forest_body(Writer& w, const RandomForest& forest);
+std::optional<RandomForest> read_forest_body(Reader& r);
+}  // namespace detail
+
 struct ForestParams {
   int n_trees = 60;
   int max_depth = 20;
@@ -49,6 +58,8 @@ class RandomForest {
  private:
   friend Bytes serialize_forest(const RandomForest&);
   friend std::optional<RandomForest> deserialize_forest(ByteView);
+  friend void detail::write_forest_body(Writer&, const RandomForest&);
+  friend std::optional<RandomForest> detail::read_forest_body(Reader&);
 
   std::vector<DecisionTree> trees_;
   int num_classes_ = 0;

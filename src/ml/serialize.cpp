@@ -1,27 +1,27 @@
 #include "ml/serialize.hpp"
 
 #include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace vpscope::ml {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x56505346;  // "VPSF"
-constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kVersionForestOnly = 1;
+constexpr std::uint16_t kVersionWithEncoder = 2;
 }  // namespace
 
-Bytes serialize_forest(const RandomForest& forest) {
-  Writer w;
-  w.u32(kMagic);
-  w.u16(kVersion);
+namespace detail {
+
+void write_forest_body(Writer& w, const RandomForest& forest) {
   w.u32(static_cast<std::uint32_t>(forest.num_classes_));
   w.u32(static_cast<std::uint32_t>(forest.trees_.size()));
   for (const auto& tree : forest.trees_) tree.serialize(w);
-  return std::move(w).take();
 }
 
-std::optional<RandomForest> deserialize_forest(ByteView data) {
-  Reader r(data);
-  if (r.u32() != kMagic || r.u16() != kVersion) return std::nullopt;
+std::optional<RandomForest> read_forest_body(Reader& r) {
   RandomForest forest;
   forest.num_classes_ = static_cast<int>(r.u32());
   const std::uint32_t tree_count = r.u32();
@@ -34,8 +34,100 @@ std::optional<RandomForest> deserialize_forest(ByteView data) {
     if (!tree) return std::nullopt;
     forest.trees_.push_back(std::move(*tree));
   }
-  if (!r.ok() || !r.empty()) return std::nullopt;
+  if (!r.ok()) return std::nullopt;
   return forest;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::read_forest_body;
+using detail::write_forest_body;
+
+void write_encoder_block(Writer& w, const core::FeatureEncoder& encoder) {
+  w.u8(static_cast<std::uint8_t>(encoder.transport()));
+  w.u32(static_cast<std::uint32_t>(core::kNumAttributes));
+  for (int a = 0; a < core::kNumAttributes; ++a) {
+    const auto dict = encoder.dictionary(a);  // (token, id) in id order 1..n
+    w.u32(static_cast<std::uint32_t>(dict.size()));
+    for (const auto& [token, id] : dict) {
+      w.u16(static_cast<std::uint16_t>(token.size()));
+      w.raw(ByteView{reinterpret_cast<const std::uint8_t*>(token.data()),
+                     token.size()});
+    }
+  }
+}
+
+std::optional<core::FeatureEncoder> read_encoder_block(Reader& r) {
+  const std::uint8_t transport = r.u8();
+  const std::uint32_t attr_count = r.u32();
+  if (!r.ok() || transport > 1 ||
+      attr_count != static_cast<std::uint32_t>(core::kNumAttributes))
+    return std::nullopt;
+  std::vector<std::vector<std::pair<std::string, int>>> dicts(
+      core::kNumAttributes);
+  for (std::uint32_t a = 0; a < attr_count; ++a) {
+    const std::uint32_t n = r.u32();
+    if (!r.ok() || n > 1'000'000) return std::nullopt;
+    dicts[a].reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint16_t len = r.u16();
+      const ByteView bytes = r.view(len);
+      if (!r.ok()) return std::nullopt;
+      dicts[a].emplace_back(
+          std::string(reinterpret_cast<const char*>(bytes.data()),
+                      bytes.size()),
+          static_cast<int>(i) + 1);
+    }
+  }
+  return core::FeatureEncoder::from_dictionaries(
+      static_cast<fingerprint::Transport>(transport), dicts);
+}
+
+}  // namespace
+
+Bytes serialize_forest(const RandomForest& forest) {
+  Writer w;
+  w.u32(kMagic);
+  w.u16(kVersionForestOnly);
+  write_forest_body(w, forest);
+  return std::move(w).take();
+}
+
+Bytes serialize_bundle(const RandomForest& forest,
+                       const core::FeatureEncoder& encoder) {
+  Writer w;
+  w.u32(kMagic);
+  w.u16(kVersionWithEncoder);
+  write_forest_body(w, forest);
+  write_encoder_block(w, encoder);
+  return std::move(w).take();
+}
+
+std::optional<ForestBundle> deserialize_bundle(ByteView data) {
+  Reader r(data);
+  if (r.u32() != kMagic) return std::nullopt;
+  const std::uint16_t version = r.u16();
+  if (version != kVersionForestOnly && version != kVersionWithEncoder)
+    return std::nullopt;
+  auto forest = read_forest_body(r);
+  if (!forest) return std::nullopt;
+  ForestBundle bundle;
+  bundle.forest = std::move(*forest);
+  if (version == kVersionWithEncoder) {
+    auto encoder = read_encoder_block(r);
+    if (!encoder) return std::nullopt;
+    bundle.encoder = std::move(*encoder);
+  }
+  if (!r.ok() || !r.empty()) return std::nullopt;
+  return bundle;
+}
+
+std::optional<RandomForest> deserialize_forest(ByteView data) {
+  auto bundle = deserialize_bundle(data);
+  if (!bundle) return std::nullopt;
+  return std::move(bundle->forest);
 }
 
 bool save_forest(const RandomForest& forest, const std::string& path) {
@@ -53,6 +145,25 @@ std::optional<RandomForest> load_forest(const std::string& path) {
   Bytes data{std::istreambuf_iterator<char>(file),
              std::istreambuf_iterator<char>()};
   return deserialize_forest(data);
+}
+
+bool save_bundle(const RandomForest& forest,
+                 const core::FeatureEncoder& encoder,
+                 const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  const Bytes data = serialize_bundle(forest, encoder);
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(file);
+}
+
+std::optional<ForestBundle> load_bundle(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  Bytes data{std::istreambuf_iterator<char>(file),
+             std::istreambuf_iterator<char>()};
+  return deserialize_bundle(data);
 }
 
 std::optional<CompiledForest> deserialize_compiled_forest(ByteView data) {

@@ -3,26 +3,56 @@
 // ships model files to the capture servers; these routines are that
 // interface. The format is versioned and endian-stable (big-endian via the
 // same Writer/Reader the protocol stack uses).
+//
+// Versions:
+//   v1  forest only (trees, thresholds, leaf distributions)
+//   v2  v1 forest body + the fitted FeatureEncoder dictionaries (transport
+//       tag, then per catalog attribute its tokens in id order). A model and
+//       its value mapping now travel as one artifact, so a capture server
+//       can rebuild the allocation-free encode path without the training
+//       data. v1 files still load everywhere; v2 files load through the
+//       forest-only readers too (the dictionary block is validated and
+//       skipped).
 #pragma once
 
 #include <iosfwd>
 #include <optional>
 
+#include "core/encoder.hpp"
 #include "ml/compiled_forest.hpp"
 #include "ml/forest.hpp"
 #include "util/bytes.hpp"
 
 namespace vpscope::ml {
 
-/// Serializes a trained forest (trees, thresholds, leaf distributions).
-/// Training-only state (params, rng) is not preserved.
+/// Serializes a trained forest (trees, thresholds, leaf distributions) as
+/// format v1. Training-only state (params, rng) is not preserved.
 Bytes serialize_forest(const RandomForest& forest);
 
-/// Restores a forest; nullopt on malformed/truncated/mismatched input.
+/// Restores a forest from a v1 or v2 stream (the v2 dictionary block is
+/// skipped); nullopt on malformed/truncated/mismatched input.
 std::optional<RandomForest> deserialize_forest(ByteView data);
 
 bool save_forest(const RandomForest& forest, const std::string& path);
 std::optional<RandomForest> load_forest(const std::string& path);
+
+/// A deserialized model artifact: the forest plus, for v2 streams, the
+/// fitted encoder that produced its training features.
+struct ForestBundle {
+  RandomForest forest;
+  std::optional<core::FeatureEncoder> encoder;  // nullopt for v1 files
+};
+
+/// Serializes forest + fitted encoder dictionaries as format v2.
+Bytes serialize_bundle(const RandomForest& forest,
+                       const core::FeatureEncoder& encoder);
+
+/// Restores a bundle from a v1 (encoder absent) or v2 stream.
+std::optional<ForestBundle> deserialize_bundle(ByteView data);
+
+bool save_bundle(const RandomForest& forest,
+                 const core::FeatureEncoder& encoder, const std::string& path);
+std::optional<ForestBundle> load_bundle(const std::string& path);
 
 /// Deserializes a forest and lowers it directly into the inference-only
 /// compiled form — the capture-server load path: models are trained and

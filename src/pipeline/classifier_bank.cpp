@@ -1,6 +1,8 @@
 #include "pipeline/classifier_bank.hpp"
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "core/handshake.hpp"
 
@@ -100,14 +102,25 @@ PlatformPrediction ClassifierBank::classify(
   const Scenario* s = scenario(provider, handshake.transport);
   if (!s) return out;  // untrained scenario: Unknown
 
-  const auto features = s->encoder.transform(handshake);
-
   // One scratch per thread: classify() is const and runs concurrently on
-  // every shard worker; the compiled path allocates nothing per call.
-  thread_local ml::CompiledForest::Scratch scratch;
+  // every shard worker. The whole extract -> encode -> predict chain below
+  // is allocation-free in steady state: raw attributes are POD TokenId
+  // records, the encoder writes into the reused feature buffer (resize
+  // within capacity after the first few calls), and the compiled forests
+  // allocate nothing per call.
+  struct ClassifyScratch {
+    core::RawAttrs raw;
+    std::vector<double> features;
+    ml::CompiledForest::Scratch forest;
+  };
+  thread_local ClassifyScratch scratch;
+
+  scratch.features.resize(s->encoder.dimension());
+  s->encoder.transform_into(handshake, scratch.raw, scratch.features);
+  const std::span<const double> features(scratch.features);
 
   const auto [platform_cls, platform_conf] =
-      s->platform_compiled.predict_with_confidence(features, scratch);
+      s->platform_compiled.predict_with_confidence(features, scratch.forest);
   out.platform_confidence = platform_conf;
 
   if (platform_conf >= threshold_) {
@@ -125,9 +138,9 @@ PlatformPrediction ClassifierBank::classify(
 
   // Fallback: per-objective classifiers, keep whichever is confident.
   const auto [device_cls, device_conf] =
-      s->device_compiled.predict_with_confidence(features, scratch);
+      s->device_compiled.predict_with_confidence(features, scratch.forest);
   const auto [agent_cls, agent_conf] =
-      s->agent_compiled.predict_with_confidence(features, scratch);
+      s->agent_compiled.predict_with_confidence(features, scratch.forest);
   out.device_confidence = device_conf;
   out.agent_confidence = agent_conf;
 

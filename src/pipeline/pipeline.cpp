@@ -7,7 +7,25 @@ namespace vpscope::pipeline {
 using fingerprint::Provider;
 using fingerprint::Transport;
 
-std::optional<Provider> provider_from_sni(const std::string& sni) {
+namespace {
+
+/// ASCII lowercase; SNI hostnames are ASCII (punycode for anything else).
+constexpr char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Case-insensitive suffix match without allocating a lowered copy.
+bool iends_with(std::string_view s, std::string_view suffix) {
+  if (s.size() < suffix.size()) return false;
+  const std::size_t off = s.size() - suffix.size();
+  for (std::size_t i = 0; i < suffix.size(); ++i)
+    if (ascii_lower(s[off + i]) != suffix[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Provider> provider_from_sni(std::string_view sni) {
   static const std::pair<const char*, Provider> kSuffixes[] = {
       {"googlevideo.com", Provider::YouTube},
       {"youtube.com", Provider::YouTube},
@@ -25,8 +43,7 @@ std::optional<Provider> provider_from_sni(const std::string& sni) {
   };
   for (const auto& [suffix, provider] : kSuffixes) {
     const std::size_t len = std::string_view(suffix).size();
-    if (sni.size() >= len &&
-        sni.compare(sni.size() - len, len, suffix) == 0) {
+    if (iends_with(sni, suffix)) {
       // Match either the bare domain or a subdomain boundary.
       if (sni.size() == len || sni[sni.size() - len - 1] == '.')
         return provider;

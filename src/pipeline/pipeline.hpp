@@ -14,6 +14,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/handshake.hpp"
@@ -25,7 +26,8 @@ namespace vpscope::pipeline {
 
 /// Maps an SNI to a video provider by suffix (the paper's preprocessing
 /// uses "port numbers and service names ... and ClientHello SNIs").
-std::optional<fingerprint::Provider> provider_from_sni(const std::string& sni);
+/// DNS hostnames are case-insensitive, so the match ignores ASCII case.
+std::optional<fingerprint::Provider> provider_from_sni(std::string_view sni);
 
 struct PipelineStats {
   std::uint64_t packets_total = 0;

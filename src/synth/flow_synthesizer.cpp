@@ -45,7 +45,7 @@ enum class Slot {
 }  // namespace
 
 tls::ClientHello FlowSynthesizer::build_client_hello(
-    const StackProfile& profile, const std::string& sni) {
+    const StackProfile& profile, std::string_view sni) {
   const fingerprint::TlsProfile& t = profile.tls;
   tls::ClientHello chlo;
   chlo.legacy_version = t.legacy_version;

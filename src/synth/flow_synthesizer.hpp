@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fingerprint/profiles.hpp"
@@ -61,7 +62,7 @@ class FlowSynthesizer {
   /// Builds the ClientHello a flow from this profile would send (exposed
   /// separately for tests and for fingerprint inspection tools).
   tls::ClientHello build_client_hello(const fingerprint::StackProfile& profile,
-                                      const std::string& sni);
+                                      std::string_view sni);
 
   /// Synthesizes one labeled flow from the profile.
   LabeledFlow synthesize(const fingerprint::StackProfile& profile,

@@ -236,7 +236,136 @@ std::optional<ByteView> ClientHello::quic_transport_parameters() const {
   return ByteView{e->body};
 }
 
-void ClientHello::add_server_name(const std::string& host) {
+namespace {
+
+/// u16-length-prefixed list of u16 values (supported_groups, sigalgs, ...),
+/// the view twin of parse_u16_list_body.
+bool u16_list_into(ByteView body, U16View& out) {
+  Reader r(body);
+  const std::uint16_t len = r.u16();
+  if (!r.ok() || len % 2 != 0 || r.remaining() < len) return false;
+  for (int i = 0; i < len / 2; ++i) out.push(r.u16());
+  return r.ok();
+}
+
+/// u8-length-prefixed list of u16 values (supported_versions,
+/// compress_certificate).
+bool u8_prefixed_u16_list_into(ByteView body, U16View& out) {
+  Reader r(body);
+  const std::uint8_t len = r.u8();
+  if (!r.ok() || len % 2 != 0 || r.remaining() < len) return false;
+  for (int i = 0; i < len / 2; ++i) out.push(r.u16());
+  return r.ok();
+}
+
+/// u8-length-prefixed list of u8 values (ec_point_formats, psk modes).
+bool u8_list_into(ByteView body, U8View& out) {
+  Reader r(body);
+  const std::uint8_t len = r.u8();
+  if (!r.ok() || r.remaining() < len) return false;
+  for (int i = 0; i < len; ++i) out.push(r.u8());
+  return r.ok();
+}
+
+/// The view twin of parse_alpn_body; names point into `body`.
+bool alpn_into(ByteView body, NameView& out) {
+  Reader r(body);
+  const std::uint16_t list_len = r.u16();
+  if (!r.ok() || r.remaining() < list_len) return false;
+  std::size_t consumed = 0;
+  while (consumed < list_len) {
+    const std::uint8_t plen = r.u8();
+    const ByteView name = r.view(plen);
+    if (!r.ok()) return false;
+    out.push(std::string_view(reinterpret_cast<const char*>(name.data()),
+                              name.size()));
+    consumed += 1u + plen;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string_view> ClientHello::server_name_view() const {
+  const Extension* e = find(ext::kServerName);
+  if (!e) return std::nullopt;
+  Reader r(e->body);
+  const std::uint16_t list_len = r.u16();
+  if (!r.ok() || r.remaining() < list_len) return std::nullopt;
+  const std::uint8_t name_type = r.u8();
+  if (name_type != 0) return std::nullopt;  // host_name
+  const std::uint16_t name_len = r.u16();
+  const ByteView name = r.view(name_len);
+  if (!r.ok()) return std::nullopt;
+  return std::string_view(reinterpret_cast<const char*>(name.data()),
+                          name.size());
+}
+
+bool ClientHello::supported_groups_into(U16View& out) const {
+  const Extension* e = find(ext::kSupportedGroups);
+  return e && u16_list_into(e->body, out);
+}
+
+bool ClientHello::signature_algorithms_into(U16View& out) const {
+  const Extension* e = find(ext::kSignatureAlgorithms);
+  return e && u16_list_into(e->body, out);
+}
+
+bool ClientHello::supported_versions_into(U16View& out) const {
+  const Extension* e = find(ext::kSupportedVersions);
+  return e && u8_prefixed_u16_list_into(e->body, out);
+}
+
+bool ClientHello::compress_certificate_into(U16View& out) const {
+  const Extension* e = find(ext::kCompressCertificate);
+  return e && u8_prefixed_u16_list_into(e->body, out);
+}
+
+bool ClientHello::delegated_credentials_into(U16View& out) const {
+  const Extension* e = find(ext::kDelegatedCredentials);
+  return e && u16_list_into(e->body, out);
+}
+
+bool ClientHello::key_share_groups_into(U16View& out) const {
+  const Extension* e = find(ext::kKeyShare);
+  if (!e) return false;
+  Reader r(e->body);
+  const std::uint16_t list_len = r.u16();
+  if (!r.ok() || r.remaining() < list_len) return false;
+  std::size_t consumed = 0;
+  while (consumed < list_len) {
+    const std::uint16_t grp = r.u16();
+    const std::uint16_t klen = r.u16();
+    r.skip(klen);
+    if (!r.ok()) return false;
+    out.push(grp);
+    consumed += 4u + klen;
+  }
+  return true;
+}
+
+bool ClientHello::ec_point_formats_into(U8View& out) const {
+  const Extension* e = find(ext::kEcPointFormats);
+  return e && u8_list_into(e->body, out);
+}
+
+bool ClientHello::psk_key_exchange_modes_into(U8View& out) const {
+  const Extension* e = find(ext::kPskKeyExchangeModes);
+  return e && u8_list_into(e->body, out);
+}
+
+bool ClientHello::alpn_protocols_into(NameView& out) const {
+  const Extension* e = find(ext::kAlpn);
+  return e && alpn_into(e->body, out);
+}
+
+bool ClientHello::application_settings_into(NameView& out) const {
+  const Extension* e = find(ext::kApplicationSettings);
+  if (!e) e = find(ext::kApplicationSettingsNew);
+  return e && alpn_into(e->body, out);
+}
+
+void ClientHello::add_server_name(std::string_view host) {
   Writer w;
   w.u16(static_cast<std::uint16_t>(host.size() + 3));
   w.u8(0);  // host_name

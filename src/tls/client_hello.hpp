@@ -12,12 +12,34 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "tls/constants.hpp"
 #include "util/bytes.hpp"
 
 namespace vpscope::tls {
+
+/// Fixed-capacity decoded list for the attribute hot path: no heap, items
+/// beyond capacity are dropped (capacities comfortably exceed what real
+/// client stacks emit — the longest observed lists are ~20 cipher suites).
+template <typename T, std::size_t N>
+struct FixedList {
+  std::array<T, N> items{};
+  std::uint8_t count = 0;
+
+  void push(const T& v) {
+    if (count < N) items[count++] = v;
+  }
+  std::size_t size() const { return count; }
+  const T& operator[](std::size_t i) const { return items[i]; }
+};
+
+using U16View = FixedList<std::uint16_t, 32>;
+using U8View = FixedList<std::uint8_t, 16>;
+/// String items view into the extension body; valid while the ClientHello
+/// (or the buffer it was parsed from) lives.
+using NameView = FixedList<std::string_view, 16>;
 
 /// One extension, body kept raw so unknown/GREASE extensions round-trip.
 struct Extension {
@@ -67,8 +89,25 @@ struct ClientHello {
   /// Raw body of quic_transport_parameters (decoded by vpscope::quic).
   std::optional<ByteView> quic_transport_parameters() const;
 
+  // ---- allocation-free view decoders (attribute hot path) ----
+  // Each mirrors its allocating counterpart above exactly — same
+  // absent/malformed conditions (false instead of nullopt), same item order
+  // — but writes into caller-provided fixed storage, so extracting the 62
+  // Table-2 attributes touches no heap.
+  std::optional<std::string_view> server_name_view() const;
+  bool supported_groups_into(U16View& out) const;
+  bool signature_algorithms_into(U16View& out) const;
+  bool supported_versions_into(U16View& out) const;
+  bool compress_certificate_into(U16View& out) const;
+  bool delegated_credentials_into(U16View& out) const;
+  bool key_share_groups_into(U16View& out) const;
+  bool ec_point_formats_into(U8View& out) const;
+  bool psk_key_exchange_modes_into(U8View& out) const;
+  bool alpn_protocols_into(NameView& out) const;
+  bool application_settings_into(NameView& out) const;
+
   // ---- typed extension builders (append to `extensions`) ----
-  void add_server_name(const std::string& host);
+  void add_server_name(std::string_view host);
   void add_supported_groups(const std::vector<std::uint16_t>& groups);
   void add_ec_point_formats(const std::vector<std::uint8_t>& formats);
   void add_signature_algorithms(const std::vector<std::uint16_t>& algs);

@@ -3,6 +3,7 @@
 #include "core/attributes.hpp"
 #include "core/encoder.hpp"
 #include "core/handshake.hpp"
+#include "core/interner.hpp"
 #include "synth/flow_synthesizer.hpp"
 
 namespace vpscope::core {
@@ -83,10 +84,16 @@ core::FlowHandshake make_handshake(Os os, Agent agent, Provider provider,
   return *handshake;
 }
 
+/// Extraction against a throwaway grow-mode interner (test convenience).
+RawAttrs extract(const FlowHandshake& h) {
+  TokenInterner interner;
+  return extract_raw_attributes(h, interner);
+}
+
 TEST(RawAttributes, TcpFlowBasics) {
   const auto h = make_handshake(Os::Windows, Agent::Firefox,
                                 Provider::Netflix, Transport::Tcp);
-  const auto raw = extract_raw_attributes(h);
+  const auto raw = extract(h);
 
   EXPECT_GT(raw[0].number, 40);  // t1: SYN size
   EXPECT_EQ(raw[1].number, 128);  // t2: Windows TTL
@@ -106,7 +113,7 @@ TEST(RawAttributes, TcpFlowBasics) {
 TEST(RawAttributes, QuicFlowBasics) {
   const auto h = make_handshake(Os::Windows, Agent::Chrome,
                                 Provider::YouTube, Transport::Quic);
-  const auto raw = extract_raw_attributes(h);
+  const auto raw = extract(h);
 
   EXPECT_TRUE(raw[42].present);  // q1 param order list
   EXPECT_EQ(raw[43].number, 30000);  // q2 max_idle_timeout
@@ -122,29 +129,72 @@ TEST(RawAttributes, QuicFlowBasics) {
 TEST(RawAttributes, LengthAttributesDistinguishEmptyPresentFromAbsent) {
   const auto chrome = make_handshake(Os::Windows, Agent::Chrome,
                                      Provider::Netflix, Transport::Tcp);
-  const auto raw = extract_raw_attributes(chrome);
+  const auto raw = extract(chrome);
   // o8 SCT: present but empty-bodied -> 4 (the TLV header), not 0.
   EXPECT_TRUE(raw[26].present);
   EXPECT_EQ(raw[26].number, 4);
 
   const auto ps = make_handshake(Os::PlayStation, Agent::NativeApp,
                                  Provider::Netflix, Transport::Tcp);
-  const auto raw_ps = extract_raw_attributes(ps);
+  const auto raw_ps = extract(ps);
   EXPECT_FALSE(raw_ps[26].present);
   EXPECT_EQ(raw_ps[26].number, 0);
 }
 
 TEST(RawAttributes, SignatureStability) {
+  TokenInterner interner;
   const RawAttr absent{};
-  EXPECT_EQ(attribute_signature(absent, AttrType::Numerical), "<absent>");
+  EXPECT_EQ(attribute_signature(absent, AttrType::Numerical, interner),
+            "<absent>");
   RawAttr num;
   num.present = true;
   num.number = 65535;
-  EXPECT_EQ(attribute_signature(num, AttrType::Numerical), "65535");
+  EXPECT_EQ(attribute_signature(num, AttrType::Numerical, interner), "65535");
   RawAttr lst;
   lst.present = true;
-  lst.tokens = {"a", "b"};
-  EXPECT_EQ(attribute_signature(lst, AttrType::List), "a|b|");
+  lst.push_token(interner.intern("a"));
+  lst.push_token(interner.intern("b"));
+  EXPECT_EQ(attribute_signature(lst, AttrType::List, interner), "a|b|");
+}
+
+TEST(TokenInterner, InternLookupRoundTrip) {
+  TokenInterner interner;
+  const TokenId a = interner.intern("x25519");
+  const TokenId b = interner.intern("secp256r1");
+  EXPECT_NE(a, TokenInterner::kUnseenId);
+  EXPECT_NE(b, TokenInterner::kUnseenId);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.intern("x25519"), a);  // idempotent
+  EXPECT_EQ(interner.token(a), "x25519");
+  EXPECT_EQ(interner.token(b), "secp256r1");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(TokenInterner, FrozenLookupMapsUnknownToUnseen) {
+  TokenInterner interner;
+  const TokenId a = interner.intern("known");
+  interner.freeze();
+  EXPECT_TRUE(interner.frozen());
+  EXPECT_EQ(interner.lookup("known"), a);
+  EXPECT_EQ(interner.lookup("never-seen"), TokenInterner::kUnseenId);
+  // intern() degrades to lookup once frozen: the vocabulary is immutable.
+  EXPECT_EQ(interner.intern("also-new"), TokenInterner::kUnseenId);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(TokenInterner, SurvivesRehashGrowth) {
+  TokenInterner interner;
+  std::vector<TokenId> ids;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(interner.intern("token-" + std::to_string(i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.lookup("token-" + std::to_string(i)), ids[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(interner.token(ids[static_cast<std::size_t>(i)]),
+              "token-" + std::to_string(i));
+  }
+  interner.freeze();
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(interner.lookup("token-" + std::to_string(i)), ids[static_cast<std::size_t>(i)]);
 }
 
 TEST(FeatureEncoder, DimensionsAndColumns) {

@@ -1,0 +1,521 @@
+// PR 2 equivalence suite: the allocation-free interned attribute path
+// (TokenInterner + POD RawAttr records + flat value tables) must be
+// BIT-IDENTICAL to the string-based path it replaced. The pre-refactor
+// extraction and encoding are reproduced here verbatim as the reference
+// (std::string tokens, std::map<std::string,int> dictionaries) and compared
+// against the production encoder over the full synthetic lab dataset for
+// every (provider, transport) scenario — including open-set flows whose
+// tokens the fitted dictionaries never saw, and zero-padded list slots.
+//
+// A concurrent section drives ClassifierBank::classify from many threads
+// (the per-thread scratch is the refactor's only mutable inference state),
+// which is why this binary carries both the `encoder` and `concurrency`
+// ctest labels.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/attributes.hpp"
+#include "core/encoder.hpp"
+#include "core/handshake.hpp"
+#include "pipeline/classifier_bank.hpp"
+#include "quic/transport_params.hpp"
+#include "synth/dataset.hpp"
+#include "tls/constants.hpp"
+
+namespace vpscope::core {
+namespace {
+
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+// ---- reference implementation: the pre-refactor string-token path -------
+
+struct RefAttr {
+  bool present = false;
+  double number = 0.0;
+  std::string token;
+  std::vector<std::string> tokens;
+};
+
+RefAttr ref_num(double v) {
+  RefAttr a;
+  a.present = true;
+  a.number = v;
+  return a;
+}
+
+RefAttr ref_presence(bool p) {
+  RefAttr a;
+  a.present = p;
+  a.number = p ? 1.0 : 0.0;
+  return a;
+}
+
+RefAttr ref_ext_length(const tls::ClientHello& chlo, std::uint16_t type) {
+  const tls::Extension* e = chlo.find(type);
+  RefAttr a;
+  if (e) {
+    a.present = true;
+    a.number = static_cast<double>(4 + e->body.size());
+  }
+  return a;
+}
+
+RefAttr ref_cat(bool present, std::string token) {
+  RefAttr a;
+  a.present = present;
+  if (present) a.token = std::move(token);
+  return a;
+}
+
+RefAttr ref_list(std::vector<std::string> tokens) {
+  RefAttr a;
+  a.present = !tokens.empty();
+  a.tokens = std::move(tokens);
+  return a;
+}
+
+std::string join_u8(const std::vector<std::uint8_t>& values) {
+  std::string out;
+  for (auto v : values) {
+    if (!out.empty()) out += '-';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+std::string join_u16(const std::vector<std::uint16_t>& values) {
+  std::string out;
+  for (auto v : values) {
+    if (!out.empty()) out += '-';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+std::vector<std::string> u16_tokens(const std::vector<std::uint16_t>& values) {
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (auto v : values) out.push_back(std::to_string(v));
+  return out;
+}
+
+/// Verbatim port of the v1 (string-token) extract_raw_attributes.
+std::array<RefAttr, kNumAttributes> reference_extract(const FlowHandshake& h) {
+  std::array<RefAttr, kNumAttributes> out{};
+  const bool is_tcp = h.transport == Transport::Tcp;
+  const tls::ClientHello& chlo = h.chlo;
+  namespace ext = tls::ext;
+
+  out[0] = ref_num(static_cast<double>(h.init_packet_size));
+  out[1] = ref_num(static_cast<double>(h.ttl));
+
+  if (is_tcp) {
+    out[2] = ref_presence(h.syn_flags.cwr);
+    out[3] = ref_presence(h.syn_flags.ece);
+    out[4] = ref_presence(h.syn_flags.urg);
+    out[5] = ref_presence(h.syn_flags.ack);
+    out[6] = ref_presence(h.syn_flags.psh);
+    out[7] = ref_presence(h.syn_flags.rst);
+    out[8] = ref_presence(h.syn_flags.syn);
+    out[9] = ref_presence(h.syn_flags.fin);
+    out[10] = ref_num(h.tcp_window);
+    out[11] = ref_num(h.tcp_mss ? *h.tcp_mss : 0.0);
+    out[12] = ref_num(h.tcp_window_scale ? *h.tcp_window_scale : 0.0);
+    out[13] = ref_presence(h.tcp_sack_permitted);
+  }
+
+  out[14] = ref_num(static_cast<double>(chlo.handshake_body_length()));
+  out[15] = ref_cat(true, std::to_string(chlo.legacy_version));
+  out[16] = ref_list(u16_tokens(chlo.cipher_suites));
+  out[17] = ref_num(static_cast<double>(chlo.compression_methods.size()));
+  out[18] = ref_num(static_cast<double>(chlo.extensions_length()));
+
+  out[19] = ref_list(u16_tokens(chlo.extension_types()));
+  if (const auto sni = chlo.server_name())
+    out[20] = ref_num(static_cast<double>(sni->size()));
+  if (const tls::Extension* e = chlo.find(ext::kStatusRequest))
+    out[21] = ref_cat(true, e->body.empty() ? "empty"
+                                            : std::to_string(e->body[0]));
+  if (const auto groups = chlo.supported_groups())
+    out[22] = ref_list(u16_tokens(*groups));
+  if (const auto formats = chlo.ec_point_formats())
+    out[23] = ref_cat(true, join_u8(*formats));
+  if (const auto algs = chlo.signature_algorithms())
+    out[24] = ref_list(u16_tokens(*algs));
+  if (const auto alpn = chlo.alpn_protocols()) out[25] = ref_list(*alpn);
+  out[26] = ref_ext_length(chlo, ext::kSignedCertTimestamp);
+  out[27] = ref_ext_length(chlo, ext::kPadding);
+  out[28] = ref_presence(chlo.has_extension(ext::kEncryptThenMac));
+  out[29] = ref_presence(chlo.has_extension(ext::kExtendedMasterSecret));
+  if (const auto comp = chlo.compress_certificate())
+    out[30] = ref_cat(true, join_u16(*comp));
+  if (const auto limit = chlo.record_size_limit()) out[31] = ref_num(*limit);
+  if (const auto dc = chlo.delegated_credentials())
+    out[32] = ref_list(u16_tokens(*dc));
+  out[33] = ref_ext_length(chlo, ext::kSessionTicket);
+  out[34] = ref_presence(chlo.has_extension(ext::kPreSharedKey));
+  out[35] = ref_ext_length(chlo, ext::kEarlyData);
+  if (const auto versions = chlo.supported_versions())
+    out[36] = ref_list(u16_tokens(*versions));
+  if (const auto modes = chlo.psk_key_exchange_modes())
+    out[37] = ref_cat(true, join_u8(*modes));
+  out[38] = ref_presence(chlo.has_extension(ext::kPostHandshakeAuth));
+  if (const auto shares = chlo.key_share_groups())
+    out[39] = ref_list(u16_tokens(*shares));
+  if (const auto settings = chlo.application_settings()) {
+    std::vector<std::string> tokens;
+    tokens.push_back(chlo.has_extension(ext::kApplicationSettingsNew)
+                         ? "alps-new"
+                         : "alps-old");
+    tokens.insert(tokens.end(), settings->begin(), settings->end());
+    out[40] = ref_list(std::move(tokens));
+  }
+  out[41] = ref_presence(chlo.has_extension(ext::kRenegotiationInfo));
+
+  if (h.transport == Transport::Quic && h.quic_tp) {
+    const quic::TransportParameters& tp = *h.quic_tp;
+    {
+      std::vector<std::string> ids;
+      for (std::uint64_t id : tp.param_order)
+        ids.push_back(quic::tp::is_grease(id) ? "GREASE"
+                                              : std::to_string(id));
+      out[42] = ref_list(std::move(ids));
+    }
+    auto opt_num = [](const std::optional<std::uint64_t>& v) {
+      RefAttr a;
+      if (v) {
+        a.present = true;
+        a.number = static_cast<double>(*v);
+      }
+      return a;
+    };
+    out[43] = opt_num(tp.max_idle_timeout);
+    out[44] = opt_num(tp.max_udp_payload_size);
+    out[45] = opt_num(tp.initial_max_data);
+    out[46] = opt_num(tp.initial_max_stream_data_bidi_local);
+    out[47] = opt_num(tp.initial_max_stream_data_bidi_remote);
+    out[48] = opt_num(tp.initial_max_stream_data_uni);
+    out[49] = opt_num(tp.initial_max_streams_bidi);
+    out[50] = opt_num(tp.initial_max_streams_uni);
+    out[51] = opt_num(tp.max_ack_delay);
+    out[52] = ref_presence(tp.disable_active_migration);
+    out[53] = opt_num(tp.active_connection_id_limit);
+    if (tp.has_initial_source_connection_id)
+      out[54] =
+          ref_num(static_cast<double>(tp.initial_source_connection_id.size()));
+    out[55] = opt_num(tp.max_datagram_frame_size);
+    out[56] = ref_presence(tp.grease_quic_bit);
+    out[57] = ref_presence(tp.initial_rtt_us.has_value());
+    if (tp.google_connection_options)
+      out[58] = ref_cat(true, *tp.google_connection_options);
+    if (tp.user_agent) out[59] = ref_cat(true, *tp.user_agent);
+    if (tp.google_version)
+      out[60] = ref_cat(true, std::to_string(*tp.google_version));
+    out[61] = opt_num(tp.ack_delay_exponent);
+  }
+
+  return out;
+}
+
+/// Verbatim port of the v1 FeatureEncoder (std::map<std::string,int>
+/// dictionaries, ids in first-seen order, unseen -> dict.size() + 1).
+class ReferenceEncoder {
+ public:
+  explicit ReferenceEncoder(Transport transport)
+      : shape_(transport), dicts_(kNumAttributes) {}
+
+  void fit(const std::vector<FlowHandshake>& handshakes) {
+    const auto& catalog = attribute_catalog();
+    for (const FlowHandshake& h : handshakes) {
+      const auto raw = reference_extract(h);
+      for (int attr : shape_.attributes()) {
+        const AttributeInfo& info = catalog[static_cast<std::size_t>(attr)];
+        const RefAttr& r = raw[static_cast<std::size_t>(attr)];
+        if (!r.present) continue;
+        auto& dict = dicts_[static_cast<std::size_t>(attr)];
+        if (info.type == AttrType::Categorical) {
+          dict.try_emplace(r.token, static_cast<int>(dict.size()) + 1);
+        } else if (info.type == AttrType::List) {
+          for (const auto& token : r.tokens)
+            dict.try_emplace(token, static_cast<int>(dict.size()) + 1);
+        }
+      }
+    }
+  }
+
+  std::vector<double> transform(const FlowHandshake& h) const {
+    const auto& catalog = attribute_catalog();
+    const auto raw = reference_extract(h);
+    std::vector<double> out;
+    out.reserve(shape_.dimension());
+    for (const FeatureEncoder::Column& col : shape_.columns()) {
+      const AttributeInfo& info =
+          catalog[static_cast<std::size_t>(col.attribute)];
+      const RefAttr& r = raw[static_cast<std::size_t>(col.attribute)];
+      if (!r.present) {
+        out.push_back(0.0);
+        continue;
+      }
+      switch (info.type) {
+        case AttrType::Numerical:
+        case AttrType::Presence:
+        case AttrType::Length:
+          out.push_back(r.number);
+          break;
+        case AttrType::Categorical:
+          out.push_back(map_token(col.attribute, r.token));
+          break;
+        case AttrType::List: {
+          const auto slot = static_cast<std::size_t>(col.slot);
+          if (slot < r.tokens.size())
+            out.push_back(map_token(col.attribute, r.tokens[slot]));
+          else
+            out.push_back(0.0);  // zero padding for short lists
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  double map_token(int attribute, const std::string& token) const {
+    const auto& dict = dicts_[static_cast<std::size_t>(attribute)];
+    const auto it = dict.find(token);
+    if (it == dict.end()) return static_cast<double>(dict.size() + 1);
+    return static_cast<double>(it->second);
+  }
+
+  FeatureEncoder shape_;  // unfitted; reused only for columns/attributes
+  std::vector<std::map<std::string, int>> dicts_;
+};
+
+// ---- fixtures -----------------------------------------------------------
+
+struct ScenarioHandshakes {
+  Provider provider;
+  Transport transport;
+  std::vector<FlowHandshake> handshakes;
+};
+
+const std::vector<ScenarioHandshakes>& lab_scenarios() {
+  static const std::vector<ScenarioHandshakes> scenarios = [] {
+    const synth::Dataset dataset = synth::generate_lab_dataset(42, 0.3);
+    std::vector<ScenarioHandshakes> out = {
+        {Provider::YouTube, Transport::Tcp, {}},
+        {Provider::YouTube, Transport::Quic, {}},
+        {Provider::Netflix, Transport::Tcp, {}},
+        {Provider::Disney, Transport::Tcp, {}},
+        {Provider::Amazon, Transport::Tcp, {}},
+    };
+    for (const auto& flow : dataset.flows) {
+      auto handshake = extract_handshake(flow.packets);
+      if (!handshake) continue;
+      for (auto& s : out)
+        if (s.provider == flow.provider && s.transport == flow.transport) {
+          s.handshakes.push_back(std::move(*handshake));
+          break;
+        }
+    }
+    return out;
+  }();
+  return scenarios;
+}
+
+// ---- tests --------------------------------------------------------------
+
+TEST(EncoderEquivalence, BitIdenticalOverFullLabDataset) {
+  for (const auto& s : lab_scenarios()) {
+    ASSERT_FALSE(s.handshakes.empty());
+    FeatureEncoder interned(s.transport);
+    interned.fit(s.handshakes);
+    ReferenceEncoder reference(s.transport);
+    reference.fit(s.handshakes);
+
+    RawAttrs raw;
+    std::vector<double> fast(interned.dimension());
+    for (std::size_t i = 0; i < s.handshakes.size(); ++i) {
+      const auto expected = reference.transform(s.handshakes[i]);
+      const auto allocating = interned.transform(s.handshakes[i]);
+      interned.transform_into(s.handshakes[i], raw, fast);
+      ASSERT_EQ(allocating, expected)
+          << "allocating wrapper diverged, scenario "
+          << static_cast<int>(s.provider) << "/"
+          << static_cast<int>(s.transport) << " flow " << i;
+      ASSERT_EQ(fast, expected)
+          << "scratch-span path diverged, scenario "
+          << static_cast<int>(s.provider) << "/"
+          << static_cast<int>(s.transport) << " flow " << i;
+    }
+  }
+}
+
+TEST(EncoderEquivalence, OpenSetUnseenTokensBitIdentical) {
+  // Fit on one scenario's handshakes, transform another scenario's flows of
+  // the same transport: their ciphers/groups/versions contain tokens the
+  // dictionaries never saw, which must hit the same unseen bucket in both
+  // implementations.
+  const auto& scenarios = lab_scenarios();
+  const auto& fit_on = scenarios[0];    // YouTube TCP
+  const auto& foreign = scenarios[2];   // Netflix TCP
+  ASSERT_EQ(fit_on.transport, foreign.transport);
+  ASSERT_FALSE(fit_on.handshakes.empty());
+  ASSERT_FALSE(foreign.handshakes.empty());
+
+  // Fit on a deliberately small slice so plenty of tokens stay unseen.
+  const std::vector<FlowHandshake> slice(
+      fit_on.handshakes.begin(),
+      fit_on.handshakes.begin() +
+          static_cast<std::ptrdiff_t>(std::min<std::size_t>(
+              5, fit_on.handshakes.size())));
+  FeatureEncoder interned(fit_on.transport);
+  interned.fit(slice);
+  ReferenceEncoder reference(fit_on.transport);
+  reference.fit(slice);
+
+  RawAttrs raw;
+  std::vector<double> fast(interned.dimension());
+  for (std::size_t i = 0; i < foreign.handshakes.size(); ++i) {
+    const auto expected = reference.transform(foreign.handshakes[i]);
+    interned.transform_into(foreign.handshakes[i], raw, fast);
+    ASSERT_EQ(fast, expected) << "open-set flow " << i;
+  }
+}
+
+TEST(EncoderEquivalence, ZeroPaddedListSlotsMatch) {
+  // Every scenario has platforms with short lists (e.g. consoles with few
+  // cipher suites); verify the padding columns are exactly 0.0 in both
+  // paths and that at least one padded slot actually occurs in the data.
+  const auto& s = lab_scenarios()[0];
+  FeatureEncoder interned(s.transport);
+  interned.fit(s.handshakes);
+  ReferenceEncoder reference(s.transport);
+  reference.fit(s.handshakes);
+
+  const auto& catalog = attribute_catalog();
+  bool saw_padding = false;
+  RawAttrs raw;
+  std::vector<double> fast(interned.dimension());
+  for (const auto& h : s.handshakes) {
+    const auto expected = reference.transform(h);
+    interned.transform_into(h, raw, fast);
+    ASSERT_EQ(fast, expected);
+    const auto& cols = interned.columns();
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const auto& info =
+          catalog[static_cast<std::size_t>(cols[c].attribute)];
+      if (info.type != AttrType::List || cols[c].slot == 0) continue;
+      const RawAttr& r = raw[static_cast<std::size_t>(cols[c].attribute)];
+      if (r.present && static_cast<std::size_t>(cols[c].slot) >= r.count) {
+        EXPECT_EQ(fast[c], 0.0);
+        saw_padding = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_padding);
+}
+
+TEST(EncoderEquivalence, SignaturesMatchReferenceStrings) {
+  // attribute_signature through the interner must render the same strings
+  // the old std::string path produced.
+  const auto& s = lab_scenarios()[1];  // YouTube QUIC: exercises q1..q20
+  ASSERT_FALSE(s.handshakes.empty());
+  const auto& catalog = attribute_catalog();
+  TokenInterner interner;
+  for (const auto& h : s.handshakes) {
+    const auto raw = extract_raw_attributes(h, interner);
+    const auto ref = reference_extract(h);
+    for (int a = 0; a < kNumAttributes; ++a) {
+      const auto type = catalog[static_cast<std::size_t>(a)].type;
+      std::string expected;
+      const RefAttr& r = ref[static_cast<std::size_t>(a)];
+      if (!r.present) {
+        expected = "<absent>";
+      } else {
+        switch (type) {
+          case AttrType::Numerical:
+          case AttrType::Presence:
+          case AttrType::Length: {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.0f", r.number);
+            expected = buf;
+            break;
+          }
+          case AttrType::Categorical:
+            expected = r.token;
+            break;
+          case AttrType::List:
+            for (const auto& t : r.tokens) {
+              expected += t;
+              expected += '|';
+            }
+            break;
+        }
+      }
+      ASSERT_EQ(attribute_signature(raw[static_cast<std::size_t>(a)], type,
+                                    interner),
+                expected)
+          << "attribute " << catalog[static_cast<std::size_t>(a)].label;
+    }
+  }
+}
+
+TEST(EncoderEquivalence, ConcurrentClassifyMatchesSingleThread) {
+  // The refactor made ClassifierBank::classify's scratch thread_local;
+  // concurrent classification from many threads must agree exactly with a
+  // single-threaded pass over the same flows.
+  const synth::Dataset dataset = synth::generate_lab_dataset(7, 0.1);
+  pipeline::ClassifierBank bank;
+  pipeline::BankParams params;
+  params.forest.n_trees = 12;  // small but non-trivial
+  bank.train(dataset, params);
+
+  std::vector<FlowHandshake> handshakes;
+  std::vector<Provider> providers;
+  for (const auto& flow : dataset.flows) {
+    if (handshakes.size() >= 200) break;
+    auto h = extract_handshake(flow.packets);
+    if (!h) continue;
+    handshakes.push_back(std::move(*h));
+    providers.push_back(flow.provider);
+  }
+  ASSERT_FALSE(handshakes.empty());
+
+  std::vector<pipeline::PlatformPrediction> expected(handshakes.size());
+  for (std::size_t i = 0; i < handshakes.size(); ++i)
+    expected[i] = bank.classify(handshakes[i], providers[i]);
+
+  constexpr int kThreads = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = 0; i < handshakes.size(); ++i) {
+          const auto p = bank.classify(handshakes[i], providers[i]);
+          const bool same =
+              p.outcome == expected[i].outcome &&
+              p.platform == expected[i].platform &&
+              p.device == expected[i].device &&
+              p.agent == expected[i].agent &&
+              p.platform_confidence == expected[i].platform_confidence &&
+              p.device_confidence == expected[i].device_confidence &&
+              p.agent_confidence == expected[i].agent_confidence;
+          mismatches[static_cast<std::size_t>(t)] += !same;
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0);
+}
+
+}  // namespace
+}  // namespace vpscope::core

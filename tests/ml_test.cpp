@@ -289,6 +289,95 @@ TEST(CompiledForest, SerializeRoundTripStaysEquivalent) {
   }
 }
 
+TEST(Serialize, BundleRoundTripCarriesEncoderDictionaries) {
+  const CompiledFixture f;
+  // A hand-built fitted encoder: one categorical and one list dictionary
+  // populated, everything else empty (as for attributes never observed).
+  std::vector<std::vector<std::pair<std::string, int>>> dicts(
+      vpscope::core::kNumAttributes);
+  int categorical = -1, list = -1;
+  const auto& catalog = vpscope::core::attribute_catalog();
+  for (int a = 0; a < vpscope::core::kNumAttributes; ++a) {
+    if (categorical < 0 &&
+        catalog[static_cast<std::size_t>(a)].type ==
+            vpscope::core::AttrType::Categorical)
+      categorical = a;
+    if (list < 0 && catalog[static_cast<std::size_t>(a)].type ==
+                        vpscope::core::AttrType::List)
+      list = a;
+  }
+  ASSERT_GE(categorical, 0);
+  ASSERT_GE(list, 0);
+  dicts[static_cast<std::size_t>(categorical)] = {{"771", 1}, {"772", 2}};
+  dicts[static_cast<std::size_t>(list)] = {
+      {"4865", 1}, {"4866", 2}, {"49195", 3}};
+  const auto encoder = vpscope::core::FeatureEncoder::from_dictionaries(
+      vpscope::fingerprint::Transport::Tcp, dicts);
+
+  const Bytes wire = serialize_bundle(f.forest, encoder);
+  const auto bundle = deserialize_bundle(wire);
+  ASSERT_TRUE(bundle.has_value());
+  ASSERT_TRUE(bundle->encoder.has_value());
+  EXPECT_EQ(bundle->encoder->transport(),
+            vpscope::fingerprint::Transport::Tcp);
+  EXPECT_EQ(bundle->encoder->dictionary(categorical),
+            dicts[static_cast<std::size_t>(categorical)]);
+  EXPECT_EQ(bundle->encoder->dictionary(list),
+            dicts[static_cast<std::size_t>(list)]);
+
+  // The forest half stays prediction-identical.
+  Rng rng(321);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = f.random_input(rng);
+    EXPECT_EQ(bundle->forest.predict(x), f.forest.predict(x));
+  }
+}
+
+TEST(Serialize, V1ForestOnlyStillLoadsAsBundle) {
+  // Old (v1) model files must keep loading after the v2 format bump; they
+  // simply carry no encoder.
+  const CompiledFixture f;
+  const Bytes wire = serialize_forest(f.forest);
+  const auto bundle = deserialize_bundle(wire);
+  ASSERT_TRUE(bundle.has_value());
+  EXPECT_FALSE(bundle->encoder.has_value());
+  EXPECT_EQ(bundle->forest.tree_count(), f.forest.tree_count());
+}
+
+TEST(Serialize, V2LoadsThroughForestOnlyReaders) {
+  // And the converse: forest-only consumers can read v2 files (the
+  // dictionary block is validated and skipped).
+  const CompiledFixture f;
+  const std::vector<std::vector<std::pair<std::string, int>>> dicts(
+      vpscope::core::kNumAttributes);
+  const auto encoder = vpscope::core::FeatureEncoder::from_dictionaries(
+      vpscope::fingerprint::Transport::Quic, dicts);
+  const Bytes wire = serialize_bundle(f.forest, encoder);
+
+  const auto forest = deserialize_forest(wire);
+  ASSERT_TRUE(forest.has_value());
+  EXPECT_EQ(forest->tree_count(), f.forest.tree_count());
+  const auto compiled = deserialize_compiled_forest(wire);
+  ASSERT_TRUE(compiled.has_value());
+  EXPECT_EQ(compiled->tree_count(), f.forest.tree_count());
+}
+
+TEST(Serialize, TruncatedOrCorruptBundleRejected) {
+  const CompiledFixture f;
+  const std::vector<std::vector<std::pair<std::string, int>>> dicts(
+      vpscope::core::kNumAttributes);
+  const auto encoder = vpscope::core::FeatureEncoder::from_dictionaries(
+      vpscope::fingerprint::Transport::Tcp, dicts);
+  Bytes wire = serialize_bundle(f.forest, encoder);
+  // Truncation anywhere inside the dictionary block fails cleanly.
+  Bytes truncated(wire.begin(), wire.end() - 7);
+  EXPECT_FALSE(deserialize_bundle(truncated).has_value());
+  EXPECT_FALSE(deserialize_forest(truncated).has_value());
+  // Unknown version fails cleanly.
+  wire[5] = 0x37;
+  EXPECT_FALSE(deserialize_bundle(wire).has_value());
+}
+
 TEST(CompiledForest, BatchMatchesForestOnDatasetAndContiguousMatrix) {
   const CompiledFixture f;
   const Dataset test = make_blobs(25, 4, 3, 5, 2.5, 12);

@@ -54,6 +54,20 @@ TEST(ProviderFromSni, SuffixMatching) {
   EXPECT_EQ(provider_from_sni("googlevideo.com"), Provider::YouTube);
 }
 
+TEST(ProviderFromSni, CaseInsensitiveMatching) {
+  // DNS hostnames are case-insensitive (RFC 4343); a client is free to send
+  // GOOGLEVIDEO.COM in the SNI and it must still be detected as video.
+  EXPECT_EQ(provider_from_sni("GOOGLEVIDEO.COM"), Provider::YouTube);
+  EXPECT_EQ(provider_from_sni("RR3---SN-XYZ.GoogleVideo.Com"),
+            Provider::YouTube);
+  EXPECT_EQ(provider_from_sni("www.YouTube.com"), Provider::YouTube);
+  EXPECT_EQ(provider_from_sni("ipv4.oca.NFLXVIDEO.NET"), Provider::Netflix);
+  EXPECT_EQ(provider_from_sni("Media.DSSOTT.com"), Provider::Disney);
+  EXPECT_EQ(provider_from_sni("ATV-PS.AMAZON.COM"), Provider::Amazon);
+  // Boundary rule still applies under any casing.
+  EXPECT_FALSE(provider_from_sni("NOTGOOGLEVIDEO.COM").has_value());
+}
+
 TEST_F(PipelineTest, BankTrainsAllFiveScenarios) {
   EXPECT_TRUE(bank_->trained(Provider::YouTube, Transport::Tcp));
   EXPECT_TRUE(bank_->trained(Provider::YouTube, Transport::Quic));
