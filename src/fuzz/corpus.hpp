@@ -1,0 +1,41 @@
+// Seed corpus for the wire-format torture harness: one valid handshake per
+// supported (platform, provider, transport) combination of Table 1, plus the
+// unknown stacks the campus population contains. Every seed carries the
+// structured ClientHello *and* its serialized wire forms so mutations can be
+// applied structurally (re-serialize a modified ClientHello) or at the byte
+// level (corrupt the exact bytes an on-path observer would see).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fingerprint/profiles.hpp"
+#include "tls/client_hello.hpp"
+#include "util/bytes.hpp"
+
+namespace vpscope::fuzz {
+
+struct SeedCase {
+  fingerprint::PlatformId platform;
+  fingerprint::Provider provider = fingerprint::Provider::YouTube;
+  fingerprint::Transport transport = fingerprint::Transport::Tcp;
+
+  tls::ClientHello chlo;
+  Bytes record;     // TLS record bytes (the TCP first-flight payload)
+  Bytes handshake;  // Handshake message bytes (the QUIC CRYPTO stream)
+  Bytes tp_body;    // quic_transport_parameters body; empty for TCP seeds
+  Bytes dcid, scid; // connection ids used for Initial protection (QUIC)
+  /// Protected client Initial datagrams carrying `handshake` (QUIC seeds
+  /// only). Cached so byte-level mutants skip the per-mutant AEAD cost.
+  std::vector<Bytes> flight;
+  /// A serialized pcap capture of one full synthesized handshake flow from
+  /// this platform/provider/transport (the pcap/net mutation surface).
+  Bytes pcap_blob;
+};
+
+/// Builds the deterministic seed corpus: all supported Table 1 combinations
+/// (TCP and QUIC where available) and every unknown-stack profile. The same
+/// seed always yields bit-identical corpora.
+std::vector<SeedCase> build_corpus(std::uint64_t seed);
+
+}  // namespace vpscope::fuzz

@@ -1,0 +1,53 @@
+// Deterministic torture driver: mutant generation loop + oracle dispatch
+// per parser target, with failure capture for replay. The ctest `fuzz` lane
+// and the libFuzzer standalone runners are both thin wrappers over these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/oracles.hpp"
+#include "pipeline/classifier_bank.hpp"
+
+namespace vpscope::fuzz {
+
+struct TortureConfig {
+  std::uint64_t seed = 0xf022;
+  std::size_t total_mutants = 50'000;
+  std::size_t max_failures = 8;  // stop collecting repros past this
+};
+
+struct TortureReport {
+  std::size_t mutants = 0;
+  std::size_t accepted = 0;  // mutants that still parsed as valid
+  std::size_t rejected = 0;
+  /// Oracle violations, each with the hex mutant embedded for replay.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string summary(const char* target) const;
+};
+
+TortureReport torture_tls_record(const std::vector<SeedCase>& corpus,
+                                 const TortureConfig& config = {});
+TortureReport torture_tls_handshake(const std::vector<SeedCase>& corpus,
+                                    const TortureConfig& config = {});
+TortureReport torture_transport_params(const std::vector<SeedCase>& corpus,
+                                       const TortureConfig& config = {});
+TortureReport torture_quic_initial(const std::vector<SeedCase>& corpus,
+                                   const TortureConfig& config = {});
+TortureReport torture_pcap(const std::vector<SeedCase>& corpus,
+                           const TortureConfig& config = {});
+
+/// Oracle (c): every mutant record, fed to a trained bank as a handshake
+/// observation, must classify without crashing, report confidences in
+/// [0, 1], and only claim Composite/Partial outcomes when the corresponding
+/// confidence clears the bank's threshold.
+TortureReport torture_classifier(const std::vector<SeedCase>& corpus,
+                                 const pipeline::ClassifierBank& bank,
+                                 const TortureConfig& config = {});
+
+}  // namespace vpscope::fuzz

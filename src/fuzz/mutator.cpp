@@ -1,0 +1,275 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+
+#include "quic/initial.hpp"
+#include "quic/transport_params.hpp"
+#include "quic/varint.hpp"
+#include "tls/constants.hpp"
+
+namespace vpscope::fuzz {
+
+namespace {
+
+std::size_t idx(Rng& rng, std::size_t n) {
+  return static_cast<std::size_t>(rng.uniform(0, n - 1));
+}
+
+/// Corruption values for 16-bit length fields: the boundary and overflow
+/// cases length-prefixed parsers get wrong.
+std::uint16_t corrupt_u16(Rng& rng, std::uint16_t original) {
+  switch (rng.uniform(0, 5)) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return static_cast<std::uint16_t>(original + 1);
+    case 3: return static_cast<std::uint16_t>(original - 1);
+    case 4: return 0xffff;
+    default: return static_cast<std::uint16_t>(rng.next_u32());
+  }
+}
+
+}  // namespace
+
+Bytes Mutator::mutate_bytes(Bytes data) {
+  if (data.empty()) return data;
+  switch (rng_.uniform(0, 5)) {
+    case 0:  // truncate at any offset
+      data.resize(idx(rng_, data.size() + 1));
+      break;
+    case 1: {  // flip 1..8 random bits
+      const int flips = rng_.uniform_int(1, 8);
+      for (int i = 0; i < flips; ++i)
+        data[idx(rng_, data.size())] ^=
+            static_cast<std::uint8_t>(1u << rng_.uniform(0, 7));
+      break;
+    }
+    case 2: {  // corrupt a 16-bit big-endian field anywhere
+      if (data.size() < 2) break;
+      const std::size_t at = idx(rng_, data.size() - 1);
+      const std::uint16_t original =
+          static_cast<std::uint16_t>(data[at] << 8 | data[at + 1]);
+      const std::uint16_t v = corrupt_u16(rng_, original);
+      data[at] = static_cast<std::uint8_t>(v >> 8);
+      data[at + 1] = static_cast<std::uint8_t>(v);
+      break;
+    }
+    case 3: {  // insert a short random run
+      Bytes run(rng_.uniform(1, 16));
+      for (auto& b : run) b = static_cast<std::uint8_t>(rng_.next_u32());
+      const std::size_t at = idx(rng_, data.size() + 1);
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), run.begin(),
+                  run.end());
+      break;
+    }
+    case 4: {  // erase a run
+      const std::size_t at = idx(rng_, data.size());
+      const std::size_t n =
+          std::min<std::size_t>(rng_.uniform(1, 32), data.size() - at);
+      data.erase(data.begin() + static_cast<std::ptrdiff_t>(at),
+                 data.begin() + static_cast<std::ptrdiff_t>(at + n));
+      break;
+    }
+    default: {  // duplicate a run in place (repeated-structure confusion)
+      const std::size_t at = idx(rng_, data.size());
+      const std::size_t n =
+          std::min<std::size_t>(rng_.uniform(1, 64), data.size() - at);
+      const Bytes run(data.begin() + static_cast<std::ptrdiff_t>(at),
+                      data.begin() + static_cast<std::ptrdiff_t>(at + n));
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), run.begin(),
+                  run.end());
+      break;
+    }
+  }
+  return data;
+}
+
+Bytes Mutator::inflate_u16_list_body(std::size_t n) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(n * 2));
+  for (std::size_t i = 0; i < n; ++i)
+    w.u16(static_cast<std::uint16_t>(rng_.next_u32()));
+  return std::move(w).take();
+}
+
+tls::ClientHello Mutator::mutate_structure(const tls::ClientHello& chlo) {
+  tls::ClientHello out = chlo;
+  switch (rng_.uniform(0, 8)) {
+    case 0:  // duplicate a random extension (repeated-extension handling)
+      if (!out.extensions.empty()) {
+        const auto& e = out.extensions[idx(rng_, out.extensions.size())];
+        out.extensions.insert(
+            out.extensions.begin() +
+                static_cast<std::ptrdiff_t>(idx(rng_, out.extensions.size())),
+            e);
+      }
+      break;
+    case 1:  // full extension reorder
+      rng_.shuffle(out.extensions);
+      break;
+    case 2: {  // GREASE injection: extension + cipher suite + group body
+      tls::Extension g;
+      g.type = tls::grease_value(rng_.uniform_int(0, 15));
+      g.body.resize(rng_.uniform(0, 4));
+      for (auto& b : g.body) b = static_cast<std::uint8_t>(rng_.next_u32());
+      out.extensions.insert(
+          out.extensions.begin() +
+              static_cast<std::ptrdiff_t>(idx(rng_, out.extensions.size() + 1)),
+          std::move(g));
+      out.cipher_suites.insert(
+          out.cipher_suites.begin() +
+              static_cast<std::ptrdiff_t>(
+                  idx(rng_, out.cipher_suites.size() + 1)),
+          tls::grease_value(rng_.uniform_int(0, 15)));
+      break;
+    }
+    case 3: {  // cipher-suite inflation past the U16View capacity (32)
+      const std::size_t n = rng_.uniform(33, 300);
+      out.cipher_suites.resize(n);
+      for (auto& s : out.cipher_suites)
+        s = static_cast<std::uint16_t>(rng_.next_u32());
+      break;
+    }
+    case 4: {  // inflate a u16-list extension body past FixedList capacity
+      const std::uint16_t targets[] = {tls::ext::kSupportedGroups,
+                                       tls::ext::kSignatureAlgorithms,
+                                       tls::ext::kDelegatedCredentials};
+      const std::uint16_t type = targets[idx(rng_, 3)];
+      const Bytes body = inflate_u16_list_body(rng_.uniform(33, 200));
+      if (auto* e = out.find(type))
+        e->body = body;
+      else
+        out.add_raw(type, body);
+      break;
+    }
+    case 5: {  // key_share inflation (16-slot view capacity)
+      std::vector<std::uint16_t> groups(rng_.uniform(17, 40));
+      for (auto& g : groups) g = static_cast<std::uint16_t>(rng_.next_u32());
+      if (auto* e = out.find(tls::ext::kKeyShare)) {
+        tls::ClientHello fresh;
+        fresh.add_key_shares(groups);
+        e->body = fresh.extensions.back().body;
+      } else {
+        out.add_key_shares(groups);
+      }
+      break;
+    }
+    case 6:  // session-id boundary: empty or maximal (u8 length field)
+      out.session_id.assign(rng_.bernoulli(0.5) ? 0 : 255, 0x5a);
+      break;
+    case 7: {  // compression-method inflation
+      out.compression_methods.resize(rng_.uniform(2, 200));
+      for (auto& c : out.compression_methods)
+        c = static_cast<std::uint8_t>(rng_.next_u32());
+      break;
+    }
+    default:  // emptied mandatory lists + random legacy version
+      out.cipher_suites.clear();
+      out.compression_methods.clear();
+      out.legacy_version = static_cast<std::uint16_t>(rng_.next_u32());
+      break;
+  }
+  return out;
+}
+
+Bytes Mutator::mutate_record(const SeedCase& seed) {
+  // Half structural (mutated ClientHello re-serialized: valid framing,
+  // adversarial contents), half byte-level (broken framing).
+  if (rng_.bernoulli(0.5)) return mutate_structure(seed.chlo).serialize_record();
+  return mutate_bytes(seed.record);
+}
+
+Bytes Mutator::mutate_handshake(const SeedCase& seed) {
+  if (rng_.bernoulli(0.5))
+    return mutate_structure(seed.chlo).serialize_handshake();
+  return mutate_bytes(seed.handshake);
+}
+
+Bytes Mutator::mutate_transport_params(const SeedCase& seed) {
+  const Bytes& body =
+      seed.tp_body.empty() ? seed.handshake : seed.tp_body;  // TCP fallback
+  switch (rng_.uniform(0, 3)) {
+    case 0: {  // varint boundary values on a structural re-encode
+      auto tp = quic::TransportParameters::parse(seed.tp_body);
+      if (!tp) return mutate_bytes(body);
+      static constexpr std::uint64_t kBoundaries[] = {
+          0, 63, 64, 16383, 16384, (1ULL << 30) - 1, 1ULL << 30,
+          quic::kVarintMax};
+      const std::uint64_t v = kBoundaries[idx(rng_, 8)];
+      switch (rng_.uniform(0, 3)) {
+        case 0: tp->max_idle_timeout = v; break;
+        case 1: tp->initial_max_data = v; break;
+        case 2: tp->max_udp_payload_size = v; break;
+        default: tp->initial_max_streams_bidi = v; break;
+      }
+      if (rng_.bernoulli(0.3))
+        tp->param_order.push_back(27 + 31 * rng_.uniform(0, 40));  // GREASE id
+      if (rng_.bernoulli(0.3)) rng_.shuffle(tp->param_order);
+      return tp->serialize();
+    }
+    case 1: {  // non-canonical re-encode: widen every id/length varint
+      Reader r(body);
+      Writer w;
+      while (!r.empty()) {
+        const std::uint64_t id = quic::get_varint(r);
+        const std::uint64_t len = quic::get_varint(r);
+        const ByteView value = r.view(static_cast<std::size_t>(len));
+        if (!r.ok()) return mutate_bytes(body);
+        const std::size_t widths[] = {1, 2, 4, 8};
+        const std::size_t wid = widths[idx(rng_, 4)];
+        const std::size_t wlen = widths[idx(rng_, 4)];
+        quic::put_varint_forced(
+            w, id, std::max(wid, quic::varint_size(id)));
+        quic::put_varint_forced(
+            w, len, std::max(wlen, quic::varint_size(len)));
+        w.raw(value);
+      }
+      return std::move(w).take();
+    }
+    default:
+      return mutate_bytes(body);
+  }
+}
+
+std::vector<Bytes> Mutator::mutate_initial_flight(const SeedCase& seed) {
+  const int kind = rng_.uniform_int(0, 3);
+  if (kind == 0) {
+    // Rebuild from a structurally mutated CRYPTO stream; vary datagram size
+    // so the CHLO splits across 1..N Initials.
+    const Bytes stream = mutate_structure(seed.chlo).serialize_handshake();
+    auto flight = quic::build_client_initial_flight(
+        seed.dcid, seed.scid, stream, 0, rng_.uniform(1200, 1500));
+    if (flight.size() > 1 && rng_.bernoulli(0.5)) rng_.shuffle(flight);
+    if (rng_.bernoulli(0.3)) flight.push_back(flight[idx(rng_, flight.size())]);
+    return flight;
+  }
+
+  // Byte-level attacks on the protected flight the observer actually sees.
+  std::vector<Bytes> flight;
+  flight.reserve(seed.flight.size());
+  for (const auto& dg : seed.flight) flight.push_back(dg);
+  if (flight.empty()) flight.push_back(mutate_bytes(seed.handshake));
+  Bytes& victim = flight[idx(rng_, flight.size())];
+  switch (kind) {
+    case 1:
+      victim = mutate_bytes(std::move(victim));
+      break;
+    case 2: {  // coalesce: trailing bytes after the Initial's Length window
+      Bytes tail(rng_.uniform(1, 64));
+      for (auto& b : tail) b = static_cast<std::uint8_t>(rng_.next_u32());
+      if (rng_.bernoulli(0.5) && flight.size() > 1)
+        tail = flight[(idx(rng_, flight.size()))];  // packet-after-packet
+      victim.insert(victim.end(), tail.begin(), tail.end());
+      break;
+    }
+    default:  // truncate one datagram mid-packet
+      victim.resize(idx(rng_, victim.size() + 1));
+      break;
+  }
+  return flight;
+}
+
+Bytes Mutator::mutate_pcap_blob(const Bytes& blob) {
+  return mutate_bytes(blob);
+}
+
+}  // namespace vpscope::fuzz

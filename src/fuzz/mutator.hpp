@@ -1,0 +1,63 @@
+// Structure-aware wire-format mutation engine. Every mutant derives from a
+// valid SeedCase handshake by one draw from a catalog of wire-level attacks:
+//
+//   byte level     truncation at any offset, bit flips, 16-bit length-field
+//                  corruption, splices between seeds, insert/erase runs
+//   TLS structure  extension duplication / reordering / GREASE injection,
+//                  list inflation past the FixedList decode capacities,
+//                  session-id / compression inflation, emptied lists
+//   QUIC           varint boundary values and non-canonical (over-long)
+//                  id/length encodings in transport parameters; Initial
+//                  flights split across datagrams, reordered, duplicated,
+//                  coalesced with trailing bytes, or corrupted post-AEAD
+//
+// All draws come from an explicitly seeded util/rng.hpp generator, so a
+// (seed, corpus) pair reproduces the exact mutant sequence — CI runs are
+// deterministic and any reported failure is replayable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace vpscope::fuzz {
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// One mutant of the seed's TLS record bytes (TCP surface).
+  Bytes mutate_record(const SeedCase& seed);
+
+  /// One mutant of the seed's Handshake message bytes (QUIC CRYPTO surface).
+  Bytes mutate_handshake(const SeedCase& seed);
+
+  /// One mutant transport-parameters body (varint boundary values,
+  /// non-canonical encodings, GREASE ids, byte corruption).
+  Bytes mutate_transport_params(const SeedCase& seed);
+
+  /// One mutant QUIC Initial flight: rebuilt from a (possibly structurally
+  /// mutated) CRYPTO stream and then split / reordered / duplicated /
+  /// coalesced / byte-corrupted. Only meaningful for QUIC seeds.
+  std::vector<Bytes> mutate_initial_flight(const SeedCase& seed);
+
+  /// One mutant of a serialized pcap blob.
+  Bytes mutate_pcap_blob(const Bytes& blob);
+
+  /// Structural ClientHello mutation (also used by the flight mutator).
+  tls::ClientHello mutate_structure(const tls::ClientHello& chlo);
+
+  /// Pure byte-level mutation of an arbitrary buffer.
+  Bytes mutate_bytes(Bytes data);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Bytes inflate_u16_list_body(std::size_t n);
+
+  Rng rng_;
+};
+
+}  // namespace vpscope::fuzz

@@ -1,0 +1,21 @@
+// libFuzzer entry: raw bytes -> TLS record and handshake parsers, with the
+// fixpoint + attribute oracles on anything accepted.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace vpscope;
+  const ByteView view{data, size};
+  const auto record = fuzz::check_tls_record(view);
+  const auto handshake = fuzz::check_tls_handshake(view);
+  if (!record.ok() || !handshake.ok()) {
+    std::fprintf(stderr, "oracle failure: %s\n",
+                 (!record.ok() ? record : handshake).failure.c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// libFuzzer entry: raw bytes -> one UDP datagram through Initial detection,
+// unprotection, CRYPTO reassembly and the ClientHello oracles.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace vpscope;
+  const auto result =
+      fuzz::check_initial_flight({Bytes(data, data + size)});
+  if (!result.ok()) {
+    std::fprintf(stderr, "oracle failure: %s\n", result.failure.c_str());
+    std::abort();
+  }
+  return 0;
+}

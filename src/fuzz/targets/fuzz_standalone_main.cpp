@@ -1,0 +1,39 @@
+// File-driven fallback driver for the fuzz entry points when the compiler
+// has no libFuzzer runtime (GCC). Each argument is a file replayed through
+// LLVMFuzzerTestOneInput — the same way `./fuzz_x crash-input` replays a
+// libFuzzer artifact. Builds with Clang use -fsanitize=fuzzer and link the
+// real runtime instead of this file.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <input-file>...\n"
+                 "Replays each file through the fuzz entry point. Build with "
+                 "Clang for coverage-guided fuzzing.\n",
+                 argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::vector<std::uint8_t> data;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+      data.insert(data.end(), buf, buf + n);
+    std::fclose(f);
+    LLVMFuzzerTestOneInput(data.data(), data.size());
+    std::fprintf(stderr, "%s: %zu bytes ok\n", argv[i], data.size());
+  }
+  return 0;
+}

@@ -28,6 +28,9 @@ std::optional<RandomForest> read_forest_body(Reader& r) {
   if (!r.ok() || forest.num_classes_ <= 0 || tree_count == 0 ||
       tree_count > 100'000)
     return std::nullopt;
+  // A serialized tree is >= 8 header bytes; don't reserve storage a
+  // truncated input cannot back (fuzz: allocation bomb).
+  if (tree_count > r.remaining() / 8) return std::nullopt;
   forest.trees_.reserve(tree_count);
   for (std::uint32_t i = 0; i < tree_count; ++i) {
     auto tree = DecisionTree::deserialize(r);
@@ -69,7 +72,10 @@ std::optional<core::FeatureEncoder> read_encoder_block(Reader& r) {
       core::kNumAttributes);
   for (std::uint32_t a = 0; a < attr_count; ++a) {
     const std::uint32_t n = r.u32();
-    if (!r.ok() || n > 1'000'000) return std::nullopt;
+    // Each dictionary entry occupies at least its 2-byte length prefix; a
+    // count the remaining bytes cannot back must not reserve (fuzz:
+    // allocation bomb on truncated bundles).
+    if (!r.ok() || n > 1'000'000 || n > r.remaining() / 2) return std::nullopt;
     dicts[a].reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       const std::uint16_t len = r.u16();

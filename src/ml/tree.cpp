@@ -199,6 +199,10 @@ std::optional<DecisionTree> DecisionTree::deserialize(Reader& r) {
   const std::uint32_t node_count = r.u32();
   if (!r.ok() || node_count == 0 || node_count > 10'000'000)
     return std::nullopt;
+  // Each serialized node occupies at least 24 bytes (feature + threshold +
+  // children + depth + proba count); a declared count the input cannot
+  // possibly back must not allocate node storage (fuzz: allocation bomb).
+  if (node_count > r.remaining() / 24) return std::nullopt;
   tree.nodes_.resize(node_count);
   for (Node& node : tree.nodes_) {
     node.feature = static_cast<int>(r.u32()) - 1;
@@ -207,7 +211,8 @@ std::optional<DecisionTree> DecisionTree::deserialize(Reader& r) {
     node.right = static_cast<int>(r.u32()) - 1;
     node.depth = r.u16();
     const std::uint16_t proba_size = r.u16();
-    if (!r.ok() || proba_size > 4096) return std::nullopt;
+    if (!r.ok() || proba_size > 4096 || proba_size > r.remaining() / 8)
+      return std::nullopt;
     node.proba.resize(proba_size);
     for (double& p : node.proba) p = std::bit_cast<double>(r.u64());
     // Structural validation: child indices in range, features sane.
@@ -219,7 +224,7 @@ std::optional<DecisionTree> DecisionTree::deserialize(Reader& r) {
       return std::nullopt;
   }
   const std::uint16_t importance_size = r.u16();
-  if (!r.ok() || importance_size > 65535) return std::nullopt;
+  if (!r.ok() || importance_size > r.remaining() / 8) return std::nullopt;
   tree.importances_.resize(importance_size);
   for (double& v : tree.importances_) v = std::bit_cast<double>(r.u64());
   if (!r.ok()) return std::nullopt;

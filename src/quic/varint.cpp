@@ -29,6 +29,29 @@ void put_varint(Writer& w, std::uint64_t v) {
   }
 }
 
+void put_varint_forced(Writer& w, std::uint64_t v, std::size_t len) {
+  switch (len) {
+    case 1:
+      if (v >= 0x40) throw std::invalid_argument("varint_forced: 1-byte");
+      w.u8(static_cast<std::uint8_t>(v));
+      break;
+    case 2:
+      if (v >= 0x4000) throw std::invalid_argument("varint_forced: 2-byte");
+      w.u16(static_cast<std::uint16_t>(v | 0x4000));
+      break;
+    case 4:
+      if (v >= 0x40000000) throw std::invalid_argument("varint_forced: 4-byte");
+      w.u32(static_cast<std::uint32_t>(v | 0x80000000u));
+      break;
+    case 8:
+      if (v > kVarintMax) throw std::invalid_argument("varint_forced: 8-byte");
+      w.u64(v | 0xc000000000000000ULL);
+      break;
+    default:
+      throw std::invalid_argument("varint_forced: bad length");
+  }
+}
+
 std::uint64_t get_varint(Reader& r) {
   const std::uint8_t first = r.u8();
   if (!r.ok()) return 0;

@@ -1,5 +1,20 @@
 // QUIC variable-length integers (RFC 9000 §16): 1/2/4/8-byte encodings
 // selected by the top two bits of the first byte.
+//
+// Canonicality policy (pinned by tests/quic_test.cpp's edge-case table):
+//
+//   decode  get_varint ACCEPTS non-canonical (over-long) encodings, e.g.
+//           0x4001 for the value 1. RFC 9000 only mandates the minimal
+//           encoding for a handful of fields (frame types, packet numbers);
+//           endpoints accept over-long encodings elsewhere, so an on-path
+//           observer that rejected them would drop flows real clients and
+//           servers successfully complete. Truncated encodings fail via the
+//           Reader's sticky failure.
+//   encode  put_varint always emits the minimal encoding and throws on
+//           values above kVarintMax. Serialization is therefore a
+//           *normalization*: parse -> serialize maps every over-long
+//           encoding to its canonical form (the harness' fixpoint oracle
+//           holds after one such round).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +28,11 @@ inline constexpr std::uint64_t kVarintMax = (1ULL << 62) - 1;
 
 /// Appends the minimal-length encoding of `v` (must be <= kVarintMax).
 void put_varint(Writer& w, std::uint64_t v);
+
+/// Appends a forced `len`-byte (1/2/4/8) encoding, possibly non-canonical;
+/// `v` must fit in len's 2-bit-tagged payload. Test/fuzz use only — the
+/// production serializers stay canonical via put_varint.
+void put_varint_forced(Writer& w, std::uint64_t v, std::size_t len);
 
 /// Number of bytes the minimal encoding of `v` occupies (1, 2, 4 or 8).
 std::size_t varint_size(std::uint64_t v);

@@ -31,17 +31,18 @@ std::optional<std::vector<std::uint16_t>> parse_u16_list_body(ByteView body) {
 }
 
 std::optional<std::vector<std::string>> parse_alpn_body(ByteView body) {
-  Reader r(body);
-  const std::uint16_t list_len = r.u16();
-  if (!r.ok() || r.remaining() < list_len) return std::nullopt;
+  Reader outer(body);
+  const std::uint16_t list_len = outer.u16();
+  if (!outer.ok() || outer.remaining() < list_len) return std::nullopt;
+  // Confine to the declared list region: an entry whose length would
+  // straddle the list boundary must fail instead of consuming sibling bytes.
+  Reader r(outer.view(list_len));
   std::vector<std::string> out;
-  std::size_t consumed = 0;
-  while (consumed < list_len) {
+  while (!r.empty()) {
     const std::uint8_t plen = r.u8();
     const ByteView name = r.view(plen);
     if (!r.ok()) return std::nullopt;
     out.emplace_back(reinterpret_cast<const char*>(name.data()), name.size());
-    consumed += 1u + plen;
   }
   return out;
 }
@@ -117,9 +118,10 @@ std::size_t ClientHello::handshake_body_length() const {
 std::optional<std::string> ClientHello::server_name() const {
   const Extension* e = find(ext::kServerName);
   if (!e) return std::nullopt;
-  Reader r(e->body);
-  const std::uint16_t list_len = r.u16();
-  if (!r.ok() || r.remaining() < list_len) return std::nullopt;
+  Reader outer(e->body);
+  const std::uint16_t list_len = outer.u16();
+  if (!outer.ok() || outer.remaining() < list_len) return std::nullopt;
+  Reader r(outer.view(list_len));  // the name must fit inside the list
   const std::uint8_t name_type = r.u8();
   if (name_type != 0) return std::nullopt;  // host_name
   const std::uint16_t name_len = r.u16();
@@ -183,18 +185,17 @@ std::optional<std::vector<std::uint16_t>> ClientHello::key_share_groups()
     const {
   const Extension* e = find(ext::kKeyShare);
   if (!e) return std::nullopt;
-  Reader r(e->body);
-  const std::uint16_t list_len = r.u16();
-  if (!r.ok() || r.remaining() < list_len) return std::nullopt;
+  Reader outer(e->body);
+  const std::uint16_t list_len = outer.u16();
+  if (!outer.ok() || outer.remaining() < list_len) return std::nullopt;
+  Reader r(outer.view(list_len));  // entries must not straddle the boundary
   std::vector<std::uint16_t> out;
-  std::size_t consumed = 0;
-  while (consumed < list_len) {
+  while (!r.empty()) {
     const std::uint16_t grp = r.u16();
     const std::uint16_t klen = r.u16();
     r.skip(klen);
     if (!r.ok()) return std::nullopt;
     out.push_back(grp);
-    consumed += 4u + klen;
   }
   return out;
 }
@@ -269,17 +270,16 @@ bool u8_list_into(ByteView body, U8View& out) {
 
 /// The view twin of parse_alpn_body; names point into `body`.
 bool alpn_into(ByteView body, NameView& out) {
-  Reader r(body);
-  const std::uint16_t list_len = r.u16();
-  if (!r.ok() || r.remaining() < list_len) return false;
-  std::size_t consumed = 0;
-  while (consumed < list_len) {
+  Reader outer(body);
+  const std::uint16_t list_len = outer.u16();
+  if (!outer.ok() || outer.remaining() < list_len) return false;
+  Reader r(outer.view(list_len));  // see parse_alpn_body
+  while (!r.empty()) {
     const std::uint8_t plen = r.u8();
     const ByteView name = r.view(plen);
     if (!r.ok()) return false;
     out.push(std::string_view(reinterpret_cast<const char*>(name.data()),
                               name.size()));
-    consumed += 1u + plen;
   }
   return true;
 }
@@ -289,9 +289,10 @@ bool alpn_into(ByteView body, NameView& out) {
 std::optional<std::string_view> ClientHello::server_name_view() const {
   const Extension* e = find(ext::kServerName);
   if (!e) return std::nullopt;
-  Reader r(e->body);
-  const std::uint16_t list_len = r.u16();
-  if (!r.ok() || r.remaining() < list_len) return std::nullopt;
+  Reader outer(e->body);
+  const std::uint16_t list_len = outer.u16();
+  if (!outer.ok() || outer.remaining() < list_len) return std::nullopt;
+  Reader r(outer.view(list_len));  // see server_name()
   const std::uint8_t name_type = r.u8();
   if (name_type != 0) return std::nullopt;  // host_name
   const std::uint16_t name_len = r.u16();
@@ -329,17 +330,16 @@ bool ClientHello::delegated_credentials_into(U16View& out) const {
 bool ClientHello::key_share_groups_into(U16View& out) const {
   const Extension* e = find(ext::kKeyShare);
   if (!e) return false;
-  Reader r(e->body);
-  const std::uint16_t list_len = r.u16();
-  if (!r.ok() || r.remaining() < list_len) return false;
-  std::size_t consumed = 0;
-  while (consumed < list_len) {
+  Reader outer(e->body);
+  const std::uint16_t list_len = outer.u16();
+  if (!outer.ok() || outer.remaining() < list_len) return false;
+  Reader r(outer.view(list_len));  // see key_share_groups()
+  while (!r.empty()) {
     const std::uint16_t grp = r.u16();
     const std::uint16_t klen = r.u16();
     r.skip(klen);
     if (!r.ok()) return false;
     out.push(grp);
-    consumed += 4u + klen;
   }
   return true;
 }
@@ -533,12 +533,16 @@ Bytes ClientHello::serialize_record() const {
 }
 
 std::optional<ClientHello> ClientHello::parse_handshake(ByteView data) {
-  Reader r(data);
-  const std::uint8_t msg_type = r.u8();
-  const std::uint32_t msg_len = r.u24();
-  if (!r.ok() || msg_type != kHandshakeTypeClientHello ||
-      r.remaining() < msg_len)
+  Reader outer(data);
+  const std::uint8_t msg_type = outer.u8();
+  const std::uint32_t msg_len = outer.u24();
+  if (!outer.ok() || msg_type != kHandshakeTypeClientHello ||
+      outer.remaining() < msg_len)
     return std::nullopt;
+  // Confine all reads to the declared body. Callers legitimately pass
+  // trailing bytes (a reassembled CRYPTO stream prefix, an accumulated TCP
+  // stream), and those must never be parsed as ClientHello content.
+  Reader r(outer.view(msg_len));
 
   ClientHello chlo;
   chlo.legacy_version = r.u16();
@@ -562,16 +566,17 @@ std::optional<ClientHello> ClientHello::parse_handshake(ByteView data) {
 
   if (r.empty()) return chlo;  // extensions are technically optional
 
+  // The extensions block is the last field of the body: its declared length
+  // must account for every remaining byte, and entries must consume it
+  // exactly (no extension may straddle the end of the message).
   const std::uint16_t ext_total = r.u16();
-  if (!r.ok() || r.remaining() < ext_total) return std::nullopt;
-  std::size_t consumed = 0;
-  while (consumed < ext_total) {
+  if (!r.ok() || r.remaining() != ext_total) return std::nullopt;
+  while (!r.empty()) {
     Extension e;
     e.type = r.u16();
     const std::uint16_t body_len = r.u16();
     e.body = r.bytes(body_len);
     if (!r.ok()) return std::nullopt;
-    consumed += 4u + body_len;
     chlo.extensions.push_back(std::move(e));
   }
   return chlo;

@@ -57,6 +57,10 @@ struct ClientHello {
   std::vector<std::uint8_t> compression_methods{0};
   std::vector<Extension> extensions;  // on-wire order preserved
 
+  /// Structural equality (the fuzz harness' parse->serialize->re-parse
+  /// fixpoint oracle compares whole ClientHellos).
+  bool operator==(const ClientHello&) const = default;
+
   // ---- structural helpers ----
   bool has_extension(std::uint16_t type) const;
   const Extension* find(std::uint16_t type) const;

@@ -1,0 +1,85 @@
+// Satellite of the torture harness: exhaustive prefix-truncation sweep.
+// Every strict prefix of every corpus TLS record, handshake message, and
+// protected QUIC Initial datagram must be rejected (or, where a shorter
+// valid encoding exists, still satisfy the differential oracles) without
+// throwing, crashing, or tripping the fixpoint/attribute checks.
+#include <gtest/gtest.h>
+
+#include "fuzz/oracles.hpp"
+
+namespace vpscope::fuzz {
+namespace {
+
+class TruncationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::vector<SeedCase>(build_corpus(0x7153));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static std::vector<SeedCase>* corpus_;
+};
+
+std::vector<SeedCase>* TruncationTest::corpus_ = nullptr;
+
+Bytes prefix(const Bytes& full, std::size_t n) {
+  return Bytes(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+TEST_F(TruncationTest, EveryRecordPrefixHoldsOracles) {
+  for (const auto& seed : *corpus_) {
+    // The full record must be accepted; every strict prefix is a distinct
+    // truncation and must at minimum not violate any oracle.
+    const auto full = check_tls_record(seed.record);
+    EXPECT_TRUE(full.accepted) << full.failure;
+    EXPECT_TRUE(full.ok()) << full.failure;
+    for (std::size_t n = 0; n < seed.record.size(); ++n) {
+      const Bytes cut = prefix(seed.record, n);
+      OracleResult result;
+      ASSERT_NO_THROW(result = check_tls_record(cut));
+      EXPECT_TRUE(result.ok()) << result.failure;
+      // A record prefix drops bytes the length fields promised: it can
+      // never parse as a complete ClientHello record.
+      EXPECT_FALSE(result.accepted) << "record prefix of " << n
+                                    << " bytes parsed";
+    }
+  }
+}
+
+TEST_F(TruncationTest, EveryHandshakePrefixHoldsOracles) {
+  for (const auto& seed : *corpus_) {
+    const auto full = check_tls_handshake(seed.handshake);
+    EXPECT_TRUE(full.accepted) << full.failure;
+    EXPECT_TRUE(full.ok()) << full.failure;
+    for (std::size_t n = 0; n < seed.handshake.size(); ++n) {
+      const Bytes cut = prefix(seed.handshake, n);
+      OracleResult result;
+      ASSERT_NO_THROW(result = check_tls_handshake(cut));
+      EXPECT_TRUE(result.ok()) << result.failure;
+      EXPECT_FALSE(result.accepted)
+          << "handshake prefix of " << n << " bytes parsed";
+    }
+  }
+}
+
+TEST_F(TruncationTest, EveryInitialDatagramPrefixHoldsOracles) {
+  for (const auto& seed : *corpus_) {
+    for (const Bytes& datagram : seed.flight) {
+      for (std::size_t n = 0; n < datagram.size(); ++n) {
+        OracleResult result;
+        ASSERT_NO_THROW(result = check_initial_flight({prefix(datagram, n)}));
+        EXPECT_TRUE(result.ok()) << result.failure;
+        // A truncated Initial loses ciphertext the AEAD tag covers: the
+        // packet must fail authentication (or header parsing) and never
+        // yield a ClientHello.
+        EXPECT_FALSE(result.accepted)
+            << "Initial prefix of " << n << " bytes unprotected";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpscope::fuzz

@@ -582,5 +582,109 @@ TEST(MutualInfo, SymmetryAndNonNegativity) {
   EXPECT_GE(mi_xy, 0.0);
 }
 
+// ---- model-file corruption (fuzz satellite: ml/serialize robustness) ----
+
+/// A deliberately tiny forest so full-prefix sweeps stay cheap.
+struct CorruptionFixture {
+  RandomForest forest;
+  Bytes v1_wire;
+  Bytes v2_wire;
+
+  CorruptionFixture() {
+    const Dataset train = make_blobs(30, 3, 2, 4, 2.5, 21);
+    forest.fit(train, {.n_trees = 3, .max_depth = 5, .min_samples_split = 2,
+                       .max_features = 3, .bootstrap = true, .seed = 9});
+    v1_wire = serialize_forest(forest);
+    const std::vector<std::vector<std::pair<std::string, int>>> dicts(
+        vpscope::core::kNumAttributes);
+    const auto encoder = vpscope::core::FeatureEncoder::from_dictionaries(
+        vpscope::fingerprint::Transport::Tcp, dicts);
+    v2_wire = serialize_bundle(forest, encoder);
+  }
+};
+
+TEST(SerializeCorruption, EveryPrefixFailsCleanlyForV1AndV2) {
+  const CorruptionFixture f;
+  for (const Bytes* wire : {&f.v1_wire, &f.v2_wire}) {
+    for (std::size_t n = 0; n < wire->size(); ++n) {
+      const ByteView prefix{wire->data(), n};
+      std::optional<ForestBundle> bundle;
+      EXPECT_NO_THROW(bundle = deserialize_bundle(prefix)) << "prefix " << n;
+      // deserialize_bundle demands exact consumption, so no strict prefix
+      // of a valid file may load.
+      EXPECT_FALSE(bundle.has_value()) << "prefix " << n;
+    }
+    EXPECT_TRUE(deserialize_bundle(*wire).has_value());
+  }
+}
+
+TEST(SerializeCorruption, BadMagicAndVersionRejected) {
+  const CorruptionFixture f;
+  Bytes wire = f.v2_wire;
+  wire[0] ^= 0xff;
+  EXPECT_FALSE(deserialize_bundle(wire).has_value());
+  wire = f.v2_wire;
+  wire[5] = 0x63;  // unknown version
+  EXPECT_FALSE(deserialize_bundle(wire).has_value());
+}
+
+TEST(SerializeCorruption, FlippedTreeCountRejected) {
+  const CorruptionFixture f;
+  // tree_count is the u32 at offset 10 (magic 4, version 2, num_classes 4).
+  Bytes wire = f.v1_wire;
+  wire[10] = 0xff;
+  wire[11] = 0xff;
+  wire[12] = 0xff;
+  wire[13] = 0xff;  // 2^32-1: over the hard cap
+  EXPECT_FALSE(deserialize_bundle(wire).has_value());
+  wire = f.v1_wire;
+  wire[13] = static_cast<std::uint8_t>(wire[13] + 1);  // one phantom tree
+  EXPECT_FALSE(deserialize_bundle(wire).has_value());
+}
+
+TEST(SerializeCorruption, NodeCountBombRejectedWithoutAllocation) {
+  // Pinned regression: a declared node_count of 10 million with an empty
+  // payload used to resize node storage (~0.5 GB) before discovering the
+  // bytes were missing. The count must be validated against remaining
+  // input first.
+  Writer w;
+  w.u32(1);           // num_features
+  w.u32(10'000'000);  // node_count, nothing behind it
+  const Bytes wire = std::move(w).take();
+  Reader r(wire);
+  EXPECT_FALSE(DecisionTree::deserialize(r).has_value());
+}
+
+TEST(SerializeCorruption, ProbaSizeBombRejectedWithoutAllocation) {
+  // Pinned regression: per-node proba counts must also be backed by bytes.
+  Writer w;
+  w.u32(1);     // num_features
+  w.u32(1);     // node_count
+  w.u32(0);     // feature + 1 (leaf)
+  w.u64(0);     // threshold
+  w.u32(0);     // left + 1
+  w.u32(0);     // right + 1
+  w.u16(0);     // depth
+  w.u16(4096);  // proba_size with no doubles behind it
+  const Bytes wire = std::move(w).take();
+  Reader r(wire);
+  EXPECT_FALSE(DecisionTree::deserialize(r).has_value());
+}
+
+TEST(SerializeCorruption, DictionaryCountBombRejectedWithoutAllocation) {
+  // Pinned regression: the v2 encoder block declared a 1-million-entry
+  // dictionary; reserve used to run before any byte-availability check.
+  const CorruptionFixture f;
+  Bytes wire = f.v2_wire;
+  // With all-empty dictionaries the encoder block tail is 62 u32 zero
+  // counts; overwrite the first with 1'000'000.
+  const std::size_t first_count = wire.size() - 62u * 4u;
+  wire[first_count] = 0x00;
+  wire[first_count + 1] = 0x0f;
+  wire[first_count + 2] = 0x42;
+  wire[first_count + 3] = 0x40;
+  EXPECT_FALSE(deserialize_bundle(wire).has_value());
+}
+
 }  // namespace
 }  // namespace vpscope::ml

@@ -331,5 +331,89 @@ TEST_P(InitialFuzz, RandomDcidsAndSizesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InitialFuzz, ::testing::Range(0, 20));
 
+// ---- varint canonicality policy (pinned; see src/quic/varint.hpp) ----
+
+TEST(Varint, EncodingWidthBoundaryTable) {
+  // Every 2-bit width boundary of RFC 9000 §16, both sides.
+  struct Case {
+    std::uint64_t value;
+    std::size_t size;
+  };
+  const Case cases[] = {
+      {0, 1},           {63, 1},                // last 1-byte value
+      {64, 2},          {16383, 2},             // first/last 2-byte values
+      {16384, 4},       {(1ULL << 30) - 1, 4},  // first/last 4-byte values
+      {1ULL << 30, 8},  {kVarintMax, 8},        // first/last 8-byte values
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(varint_size(c.value), c.size) << c.value;
+    Writer w;
+    put_varint(w, c.value);
+    EXPECT_EQ(w.size(), c.size) << c.value;
+    Reader r(w.data());
+    EXPECT_EQ(get_varint(r), c.value);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.empty()) << "exactly " << c.size << " bytes consumed";
+  }
+}
+
+TEST(Varint, NonCanonicalOverLongEncodingsAccepted) {
+  // Decode policy: over-long encodings are ACCEPTED (the observer must take
+  // what endpoints take); encode always normalizes to minimal form.
+  struct Case {
+    const char* hex;
+    std::uint64_t value;
+  };
+  const Case cases[] = {
+      {"4000", 0},                 // 0 in 2 bytes
+      {"4001", 1},                 // 1 in 2 bytes
+      {"403f", 63},                // 1-byte-max in 2 bytes
+      {"80000000", 0},             // 0 in 4 bytes
+      {"80000040", 64},            // 2-byte-min in 4 bytes
+      {"80003fff", 16383},         // 2-byte-max in 4 bytes
+      {"c000000000000000", 0},     // 0 in 8 bytes
+      {"c000000040000000", 1ULL << 30},
+      {"c00000003fffffff", (1ULL << 30) - 1},  // 4-byte-max in 8 bytes
+  };
+  for (const auto& c : cases) {
+    const Bytes data = from_hex(c.hex);
+    Reader r(data);
+    EXPECT_EQ(get_varint(r), c.value) << c.hex;
+    EXPECT_TRUE(r.ok()) << c.hex;
+    EXPECT_TRUE(r.empty()) << c.hex;
+
+    // And the normalization direction: re-encoding is minimal, so it is
+    // strictly shorter than (or equal to) the over-long input.
+    Writer w;
+    put_varint(w, c.value);
+    EXPECT_LE(w.size(), data.size()) << c.hex;
+  }
+}
+
+TEST(Varint, ForcedEncodingsMatchDecoderAndRejectOverflowPerWidth) {
+  // put_varint_forced is the harness' way of emitting over-long encodings;
+  // whatever it writes, get_varint must read back.
+  const std::size_t widths[] = {1, 2, 4, 8};
+  const std::uint64_t values[] = {0, 1, 63, 64, 16383, 16384,
+                                  (1ULL << 30) - 1, 1ULL << 30, kVarintMax};
+  for (std::size_t width : widths) {
+    for (std::uint64_t v : values) {
+      const bool fits = varint_size(v) <= width;
+      Writer w;
+      if (!fits) {
+        EXPECT_THROW(put_varint_forced(w, v, width), std::invalid_argument);
+        continue;
+      }
+      put_varint_forced(w, v, width);
+      EXPECT_EQ(w.size(), width);
+      Reader r(w.data());
+      EXPECT_EQ(get_varint(r), v) << v << " in " << width << " bytes";
+      EXPECT_TRUE(r.ok() && r.empty());
+    }
+  }
+  Writer w;
+  EXPECT_THROW(put_varint_forced(w, 0, 3), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace vpscope::quic
