@@ -1,0 +1,247 @@
+// Overload-control characterization (DESIGN.md §5e / EXPERIMENTS.md):
+// goodput of the sharded front-end as offered load rises past capacity,
+// for 1-8 shards, plus the degradation behaviour with a slow session sink
+// under Block vs Shed admission. The paper's deployment survived a campus
+// uplink for 4 months; these curves show what this implementation does at
+// the point where a deployment would otherwise fall over — bounded flow
+// tables evicting continuously and the dispatcher shedding by admission
+// class instead of buffering unboundedly. Results are also written to
+// BENCH_overload.json for the machine-readable perf trajectory.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "campus/overload.hpp"
+#include "pipeline/sharded_pipeline.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace vpscope;
+
+const pipeline::ClassifierBank& overload_bank() {
+  static const pipeline::ClassifierBank bank = [] {
+    pipeline::ClassifierBank b;
+    b.train(bench::lab_dataset());
+    return b;
+  }();
+  return bank;
+}
+
+constexpr std::size_t kFlowBudget = 256;
+constexpr std::size_t kQueueCapacity = 256;
+constexpr int kLegitFlows = 60;
+
+campus::OverloadTraffic offered_load(int multiplier) {
+  campus::OverloadConfig config;
+  config.legit_flows = kLegitFlows;
+  config.flood_flows = static_cast<int>(kFlowBudget) * multiplier;
+  config.flood_packets_per_legit_flow =
+      std::max(1, config.flood_flows / config.legit_flows);
+  config.seed = 20240 + static_cast<std::uint64_t>(multiplier);
+  return campus::make_overload_traffic(config);
+}
+
+struct OverloadResult {
+  int multiplier = 0;
+  int shards = 0;
+  double elapsed_s = 0;
+  double packets_per_sec = 0;
+  std::size_t records = 0;
+  double service_ratio = 0;  // legit flows classified / legit flows offered
+  std::uint64_t dropped_handshake = 0;
+  std::uint64_t dropped_payload = 0;
+  std::uint64_t evicted = 0;
+  bool identity_ok = false;
+};
+
+OverloadResult run_overload(const campus::OverloadTraffic& traffic,
+                            int multiplier, int shards,
+                            std::uint64_t sink_delay_us = 0,
+                            bool shed = true) {
+  pipeline::ShardedPipelineOptions opt;
+  opt.n_shards = shards;
+  opt.queue_capacity = kQueueCapacity;
+  opt.flow_table.max_flows = kFlowBudget;
+  opt.overload = shed ? pipeline::ShardedPipelineOptions::Overload::Shed
+                      : pipeline::ShardedPipelineOptions::Overload::Block;
+  opt.payload_grace_us = 0;
+  opt.handshake_grace_us = 20'000;
+  pipeline::ShardedPipeline pipe(&overload_bank(), opt);
+  std::size_t records = 0;
+  pipe.set_sink([&](telemetry::SessionRecord) {
+    ++records;
+    if (sink_delay_us)
+      std::this_thread::sleep_for(std::chrono::microseconds(sink_delay_us));
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& p : traffic.packets) pipe.on_packet(p);
+  pipe.flush_all();
+  const auto end = std::chrono::steady_clock::now();
+
+  const pipeline::PipelineStats s = pipe.stats();
+  OverloadResult r;
+  r.multiplier = multiplier;
+  r.shards = shards;
+  r.elapsed_s = std::chrono::duration<double>(end - start).count();
+  r.packets_per_sec =
+      static_cast<double>(s.packets_total) / std::max(r.elapsed_s, 1e-12);
+  r.records = records;
+  r.service_ratio =
+      static_cast<double>(records) / static_cast<double>(traffic.legit.size());
+  r.dropped_handshake = s.packets_dropped_handshake;
+  r.dropped_payload = s.packets_dropped_payload;
+  r.evicted = s.flows_evicted_capacity;
+  r.identity_ok =
+      s.packets_total == s.packets_processed + s.packets_dropped_payload +
+                             s.packets_dropped_handshake + s.packets_stranded;
+  return r;
+}
+
+void write_json(const std::vector<OverloadResult>& sweep,
+                const OverloadResult& slow_block,
+                const OverloadResult& slow_shed,
+                std::uint64_t sink_delay_us) {
+  std::ofstream json("BENCH_overload.json");
+  json << "{\n"
+       << "  \"bench\": \"overload\",\n"
+       << "  \"flow_table_budget\": " << kFlowBudget << ",\n"
+       << "  \"queue_capacity\": " << kQueueCapacity << ",\n"
+       << "  \"legit_flows\": " << kLegitFlows << ",\n"
+       << "  \"offered_load_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& r = sweep[i];
+    json << "    {\"offered_load_x\": " << r.multiplier
+         << ", \"shards\": " << r.shards << ", \"elapsed_s\": " << r.elapsed_s
+         << ", \"packets_per_sec\": " << r.packets_per_sec
+         << ", \"records\": " << r.records
+         << ", \"service_ratio\": " << r.service_ratio
+         << ", \"dropped_handshake\": " << r.dropped_handshake
+         << ", \"dropped_payload\": " << r.dropped_payload
+         << ", \"flows_evicted\": " << r.evicted
+         << ", \"identity_ok\": " << (r.identity_ok ? "true" : "false")
+         << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"slow_sink\": {\n    \"sink_delay_us\": " << sink_delay_us
+       << ",\n";
+  const auto emit = [&](const char* name, const OverloadResult& r,
+                        const char* trailer) {
+    json << "    \"" << name << "\": {\"elapsed_s\": " << r.elapsed_s
+         << ", \"records\": " << r.records
+         << ", \"service_ratio\": " << r.service_ratio
+         << ", \"dropped_payload\": " << r.dropped_payload
+         << ", \"dropped_handshake\": " << r.dropped_handshake
+         << ", \"identity_ok\": " << (r.identity_ok ? "true" : "false")
+         << "}" << trailer << "\n";
+  };
+  emit("block", slow_block, ",");
+  emit("shed", slow_shed, "");
+  json << "  }\n}\n";
+}
+
+void report() {
+  std::cout << "== Overload control: goodput vs offered load "
+               "(DESIGN.md §5e) ==\n"
+            << "flow-table budget " << kFlowBudget << " flows, ring capacity "
+            << kQueueCapacity << ", " << kLegitFlows
+            << " legitimate flows per run; offered load scales the\n"
+            << "never-completing handshake flood to N x the flow budget.\n";
+  (void)overload_bank();  // train outside every timed region
+
+  std::vector<OverloadResult> sweep;
+  TextTable table({"load", "shards", "pkts/sec", "svc ratio", "drop(hs)",
+                   "drop(pl)", "evicted", "identity"});
+  for (const int multiplier : {1, 2, 4, 8}) {
+    const auto traffic = offered_load(multiplier);
+    for (const int shards : {1, 2, 4, 8}) {
+      sweep.push_back(run_overload(traffic, multiplier, shards));
+      const auto& r = sweep.back();
+      table.add_row({std::to_string(multiplier) + "x",
+                     std::to_string(shards),
+                     TextTable::num(r.packets_per_sec, 0),
+                     TextTable::pct(r.service_ratio, 1),
+                     std::to_string(r.dropped_handshake),
+                     std::to_string(r.dropped_payload),
+                     std::to_string(r.evicted),
+                     r.identity_ok ? "ok" : "VIOLATED"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "svc ratio: legitimate flows classified under flood / "
+               "offered. identity:\n"
+               "packets_total == processed + dropped_payload + "
+               "dropped_handshake + stranded.\n";
+
+  // Degradation with a slow sink: Block buffers into the rings and
+  // backpressures the capture loop; Shed holds packet admission latency
+  // bounded and pays with payload drops.
+  constexpr std::uint64_t kSinkDelayUs = 200;
+  const auto traffic = offered_load(2);
+  const auto slow_block =
+      run_overload(traffic, 2, 2, kSinkDelayUs, /*shed=*/false);
+  const auto slow_shed =
+      run_overload(traffic, 2, 2, kSinkDelayUs, /*shed=*/true);
+  TextTable slow({"policy", "elapsed s", "svc ratio", "drop(pl)", "identity"});
+  slow.add_row({"Block", TextTable::num(slow_block.elapsed_s, 3),
+                TextTable::pct(slow_block.service_ratio, 1),
+                std::to_string(slow_block.dropped_payload),
+                slow_block.identity_ok ? "ok" : "VIOLATED"});
+  slow.add_row({"Shed", TextTable::num(slow_shed.elapsed_s, 3),
+                TextTable::pct(slow_shed.service_ratio, 1),
+                std::to_string(slow_shed.dropped_payload),
+                slow_shed.identity_ok ? "ok" : "VIOLATED"});
+  slow.print(std::cout);
+
+  write_json(sweep, slow_block, slow_shed, kSinkDelayUs);
+  std::cout << "machine-readable results: BENCH_overload.json\n";
+}
+
+// ---- microbenchmarks ----
+
+void BM_AdmissionClass(benchmark::State& state) {
+  // The dispatch-time heuristic must stay a few header reads per packet.
+  Rng rng(7);
+  synth::FlowSynthesizer synth(rng);
+  const auto profile = fingerprint::make_profile(
+      {fingerprint::Os::Windows, fingerprint::Agent::Chrome},
+      fingerprint::Provider::YouTube, fingerprint::Transport::Tcp);
+  const auto flow = synth.synthesize(profile);
+  std::vector<net::DecodedPacket> decoded;
+  for (const auto& p : flow.packets)
+    if (auto d = net::decode(p)) decoded.push_back(*d);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline::admission_class(decoded[i++ % decoded.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdmissionClass)->Unit(benchmark::kNanosecond);
+
+void BM_BoundedTableFloodChurn(benchmark::State& state) {
+  // Steady-state eviction cost: every SYN inserts a flow and evicts the
+  // longest-idle one (table permanently at max_flows).
+  pipeline::VideoFlowPipeline pipe(
+      nullptr, {.max_flows = static_cast<std::size_t>(state.range(0))});
+  std::uint32_t i = 0;
+  // Prime to capacity so the timed loop measures pure churn.
+  for (; i < static_cast<std::uint32_t>(state.range(0)); ++i)
+    pipe.on_packet(campus::make_flood_syn(i, i, 7));
+  for (auto _ : state) {
+    pipe.on_packet(campus::make_flood_syn(i, i, 7));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BoundedTableFloodChurn)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

@@ -1,0 +1,110 @@
+#include "campus/overload.hpp"
+
+#include <algorithm>
+
+#include "fingerprint/profiles.hpp"
+#include "net/ip.hpp"
+#include "net/tcp.hpp"
+
+namespace vpscope::campus {
+
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+net::Packet make_flood_syn(std::uint32_t flow_index, std::uint64_t ts_us,
+                           std::uint64_t seed) {
+  // Unique (client, port) per index in 172.16/12 — disjoint from the
+  // synthesizer's 10/8 client space, so flood keys never collide with a
+  // legitimate flow. A splash of the seed decorrelates shard placement
+  // between scenarios.
+  const std::uint32_t mix =
+      flow_index ^ static_cast<std::uint32_t>(seed * 0x9e3779b9u);
+  net::TcpHeader syn;
+  syn.src_port = static_cast<std::uint16_t>(1024 + (mix % 60000));
+  syn.dst_port = 443;
+  syn.seq = mix * 2654435761u;
+  syn.flags.syn = true;
+  syn.window = 64240;
+  syn.options.mss = 1460;
+  syn.options.sack_permitted = true;
+
+  net::Ipv4Header ip;
+  ip.ttl = 61;
+  ip.protocol = net::kProtoTcp;
+  ip.src = net::IpAddr::v4(
+      172, static_cast<std::uint8_t>(16 + ((flow_index >> 16) & 0x0f)),
+      static_cast<std::uint8_t>(flow_index >> 8),
+      static_cast<std::uint8_t>(flow_index));
+  ip.dst = net::IpAddr::v4(142, 250, static_cast<std::uint8_t>(mix >> 8),
+                           static_cast<std::uint8_t>(mix | 1));
+  return {ts_us, ip.serialize(syn.serialize({}))};
+}
+
+OverloadTraffic make_overload_traffic(const OverloadConfig& config) {
+  OverloadTraffic out;
+
+  // Legitimate flows over the five lab scenarios, each with a unique start
+  // time so their session records map 1:1 onto a reference run.
+  struct Case {
+    Provider provider;
+    Transport transport;
+  };
+  static const Case kCases[] = {
+      {Provider::YouTube, Transport::Tcp},
+      {Provider::YouTube, Transport::Quic},
+      {Provider::Netflix, Transport::Tcp},
+      {Provider::Disney, Transport::Tcp},
+      {Provider::Amazon, Transport::Tcp},
+  };
+  Rng rng(config.seed);
+  synth::FlowSynthesizer synthesizer(rng.fork());
+  out.legit.reserve(static_cast<std::size_t>(std::max(0, config.legit_flows)));
+  for (int i = 0; i < config.legit_flows; ++i) {
+    const Case& c = kCases[static_cast<std::size_t>(i) % std::size(kCases)];
+    const auto platforms = fingerprint::platforms_for(c.provider, c.transport);
+    const auto profile = fingerprint::make_profile(
+        platforms[static_cast<std::size_t>(i) % platforms.size()], c.provider,
+        c.transport);
+    synth::FlowOptions opt;
+    opt.start_time_us = config.start_us + static_cast<std::uint64_t>(i) * 10'000;
+    out.legit.push_back(synthesizer.synthesize(profile, opt));
+  }
+
+  // Interleave: bursts of flood SYNs between whole legit flows, so legit
+  // flows stay the most recently touched entries of every flow table while
+  // the flood churns capacity underneath them.
+  const int per_legit =
+      config.flood_packets_per_legit_flow > 0 && config.legit_flows > 0
+          ? config.flood_packets_per_legit_flow
+          : 0;
+  std::uint32_t flood_emitted = 0;
+  std::uint64_t ts = config.start_us;
+  auto emit_flood = [&](int count) {
+    for (int i = 0; i < count && flood_emitted <
+                                     static_cast<std::uint32_t>(
+                                         std::max(0, config.flood_flows));
+         ++i) {
+      out.packets.push_back(make_flood_syn(flood_emitted++, ts, config.seed));
+      ts += 3;  // a flood's inter-arrival: microseconds apart
+    }
+  };
+
+  if (per_legit == 0) {
+    // All legit traffic first, then the whole flood.
+    for (const auto& flow : out.legit)
+      out.packets.insert(out.packets.end(), flow.packets.begin(),
+                         flow.packets.end());
+    emit_flood(config.flood_flows);
+  } else {
+    for (const auto& flow : out.legit) {
+      emit_flood(per_legit);
+      out.packets.insert(out.packets.end(), flow.packets.begin(),
+                         flow.packets.end());
+    }
+    emit_flood(config.flood_flows);  // remainder
+  }
+  out.flood_packet_count = flood_emitted;
+  return out;
+}
+
+}  // namespace vpscope::campus

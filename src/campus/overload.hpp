@@ -1,0 +1,57 @@
+// Overload scenarios for the campus deployment (§5.1 survivability): the
+// adversarial traffic a 4-month on-path VNF must degrade gracefully under,
+// synthesized deterministically so fault tests and the overload bench can
+// replay identical floods. Two ingredients:
+//
+//  * a handshake flood — never-completing TCP SYNs to port 443 from unique
+//    (address, port) pairs, the pattern that grows an unbounded flow table
+//    without limit (each SYN opens a flow that never finishes a handshake
+//    and never sees another packet);
+//  * legitimate video flows, synthesized through the normal lab profiles,
+//    whose classification under load must stay bit-identical to an
+//    unloaded single-threaded run.
+//
+// This library deliberately does not depend on vpscope_pipeline, so the
+// fault-injection tests can link it next to the instrumented
+// vpscope_pipeline_faults build without duplicate pipeline symbols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "synth/flow_synthesizer.hpp"
+
+namespace vpscope::campus {
+
+struct OverloadConfig {
+  /// Legitimate video flows (cycled over the lab scenario matrix).
+  int legit_flows = 50;
+  /// SYN-flood flows; the ISSUE-4 acceptance scenario uses
+  /// 10 x max_flows so eviction must run continuously.
+  int flood_flows = 1000;
+  /// Interleaving: after this many flood packets, one legit flow's packets
+  /// are emitted (keeps legit flows recently-touched so idle-ordered
+  /// eviction prefers flood entries). <= 0 emits all legit flows first.
+  int flood_packets_per_legit_flow = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t seed = 20240;
+};
+
+struct OverloadTraffic {
+  /// The full feed, flood and legit flows interleaved per config.
+  std::vector<net::Packet> packets;
+  /// The legitimate flows (ground truth for the bit-identity oracle).
+  std::vector<synth::LabeledFlow> legit;
+  std::size_t flood_packet_count = 0;
+};
+
+/// One never-completing handshake: a lone SYN to :443 from a unique
+/// client. Exposed for targeted flow-table tests.
+net::Packet make_flood_syn(std::uint32_t flow_index, std::uint64_t ts_us,
+                           std::uint64_t seed);
+
+/// Builds the interleaved overload feed. Deterministic for a config.
+OverloadTraffic make_overload_traffic(const OverloadConfig& config);
+
+}  // namespace vpscope::campus

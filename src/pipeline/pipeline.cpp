@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "pipeline/faultpoint.hpp"
+
 namespace vpscope::pipeline {
 
 using fingerprint::Provider;
@@ -60,6 +62,15 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& other) {
   classified_composite += other.classified_composite;
   classified_partial += other.classified_partial;
   classified_unknown += other.classified_unknown;
+  packets_processed += other.packets_processed;
+  packets_dropped_payload += other.packets_dropped_payload;
+  packets_dropped_handshake += other.packets_dropped_handshake;
+  packets_stranded += other.packets_stranded;
+  volume_samples_dropped += other.volume_samples_dropped;
+  flows_evicted_capacity += other.flows_evicted_capacity;
+  sink_errors += other.sink_errors;
+  worker_errors += other.worker_errors;
+  shards_bypassed += other.shards_bypassed;
   return *this;
 }
 
@@ -68,12 +79,50 @@ void VideoFlowPipeline::on_packet(const net::Packet& packet) {
   const auto decoded = net::decode(packet);
   if (!decoded) {
     ++stats_.packets_non_ip;
+    ++stats_.packets_processed;  // rejected at decode, but fully handled
     return;
   }
   on_decoded(*decoded);
 }
 
+void VideoFlowPipeline::touch_lru(FlowState& state) {
+  // Idle-ordered by construction: a flow is moved to the back on every
+  // packet, so the front is the longest-idle flow even when timestamps run
+  // backwards (arrival order, not clock order, drives eviction).
+  lru_.splice(lru_.end(), lru_, state.lru_it);
+}
+
+bool VideoFlowPipeline::admit_flow(FlowMap::iterator it, bool inserted) {
+  if (options_.max_flows == 0) return true;
+  if (inserted) {
+    lru_.push_back(it->first);
+    it->second.lru_it = std::prev(lru_.end());
+  } else {
+    touch_lru(it->second);
+  }
+  if (flows_.size() <= options_.max_flows) return true;
+  ++stats_.flows_evicted_capacity;
+  if (options_.eviction == PipelineOptions::Eviction::RejectNew) {
+    // `it` is the newest flow (we only get here on insertion); refuse it.
+    // Un-count it from flows_total — every packet of a refused flow retries
+    // the insert, and those retries are not new flows.
+    --stats_.flows_total;
+    lru_.erase(it->second.lru_it);
+    flows_.erase(it);
+    return false;
+  }
+  // LruIdle: the front of lru_ is the longest-idle flow; it leaves through
+  // the normal sink path. It is never `it` itself — `it` was just touched.
+  const net::FlowKey victim_key = lru_.front();
+  const auto victim = flows_.find(victim_key);
+  finalize(victim->first, victim->second);
+  flows_.erase(victim);
+  lru_.pop_front();
+  return true;
+}
+
 void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
+  ++stats_.packets_processed;
   // Video flows ride HTTPS; anything else never enters the flow table.
   if (decoded.src_port() != 443 && decoded.dst_port() != 443) return;
 
@@ -94,6 +143,7 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
     state.transport =
         decoded.udp ? Transport::Quic : Transport::Tcp;
   }
+  if (!admit_flow(it, inserted)) return;
 
   // Telemetry: every packet counts, direction by client address.
   const bool from_client = state.client_addr &&
@@ -141,6 +191,7 @@ void VideoFlowPipeline::on_volume_sample(const net::FlowKey& key,
                                          std::uint64_t bytes_up) {
   const auto it = flows_.find(key);
   if (it == flows_.end()) return;
+  if (options_.max_flows > 0) touch_lru(it->second);
   if (bytes_down) it->second.counters.add_down(ts_us, bytes_down);
   if (bytes_up) it->second.counters.add_up(ts_us, bytes_up);
 }
@@ -160,14 +211,28 @@ void VideoFlowPipeline::finalize(const net::FlowKey& key, FlowState& state) {
     record.agent = state.prediction->agent;
     record.confidence = state.prediction->platform_confidence;
   }
-  if (sink_) sink_(std::move(record));
+  if (sink_) {
+    // A throwing sink must not tear down the pipeline (in the sharded
+    // front-end it would escape a worker thread and std::terminate the
+    // process); the record is lost, the error is counted, the flow table
+    // stays consistent.
+    try {
+      VPSCOPE_FAULTPOINT(fault::Point::SinkEmit);
+      sink_(std::move(record));
+    } catch (...) {
+      ++stats_.sink_errors;
+    }
+  }
 }
 
 void VideoFlowPipeline::flush_idle(std::uint64_t now_us,
                                    std::uint64_t idle_timeout_us) {
   for (auto it = flows_.begin(); it != flows_.end();) {
-    const std::uint64_t last = it->second.counters.last_us;
-    if (last + idle_timeout_us <= now_us) {
+    // idle_us clamps a non-monotonic clock (now behind last_seen) to zero
+    // idle, and — unlike the additive `last + timeout <= now` form — cannot
+    // wrap when a hostile timestamp pushes last_us near 2^64.
+    if (it->second.counters.idle_us(now_us) >= idle_timeout_us) {
+      if (options_.max_flows > 0) lru_.erase(it->second.lru_it);
       finalize(it->first, it->second);
       it = flows_.erase(it);
     } else {
@@ -179,6 +244,7 @@ void VideoFlowPipeline::flush_idle(std::uint64_t now_us,
 void VideoFlowPipeline::flush_all() {
   for (auto& [key, state] : flows_) finalize(key, state);
   flows_.clear();
+  lru_.clear();
 }
 
 }  // namespace vpscope::pipeline

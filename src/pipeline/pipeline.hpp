@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <list>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -38,15 +39,60 @@ struct PipelineStats {
   std::uint64_t classified_partial = 0;
   std::uint64_t classified_unknown = 0;
 
+  // ---- overload-control accounting (DESIGN.md §5e) ----
+  // The drop-accounting identity every configuration must satisfy:
+  //
+  //   packets_total == packets_processed
+  //                  + packets_dropped_payload + packets_dropped_handshake
+  //                  + packets_stranded
+  //
+  // A single-threaded pipeline never drops or strands, so there
+  // processed == total. `packets_stranded` counts packets enqueued to a
+  // shard the watchdog has since declared stuck — neither processed nor
+  // shed yet; it returns to zero if the shard recovers and drains.
+  std::uint64_t packets_processed = 0;
+  std::uint64_t packets_dropped_payload = 0;
+  std::uint64_t packets_dropped_handshake = 0;
+  std::uint64_t packets_stranded = 0;
+  /// Decimated volume samples shed under overload (not packets; excluded
+  /// from the identity above).
+  std::uint64_t volume_samples_dropped = 0;
+  /// Flows evicted (or refused) because the flow table hit max_flows.
+  std::uint64_t flows_evicted_capacity = 0;
+  /// Session-sink invocations that threw; the record is lost but the
+  /// pipeline (and in the sharded case, the worker thread) survives.
+  std::uint64_t sink_errors = 0;
+  /// Exceptions contained by a shard worker outside the sink path.
+  std::uint64_t worker_errors = 0;
+  /// Shards currently flipped into telemetry-only bypass by the watchdog.
+  std::uint64_t shards_bypassed = 0;
+
   bool operator==(const PipelineStats&) const = default;
   /// Field-wise accumulation (merging per-shard stats).
   PipelineStats& operator+=(const PipelineStats& other);
 };
 
+/// Overload policy of one flow table (per shard in the sharded front-end).
+struct PipelineOptions {
+  /// Upper bound on concurrent tracked flows; 0 = unbounded (the paper's
+  /// lab setting). Under a handshake flood the table never exceeds this.
+  std::size_t max_flows = 0;
+  enum class Eviction : std::uint8_t {
+    /// Evict the longest-idle flow (intrusive LRU over arrival order) to
+    /// make room; its session record leaves through the normal sink path.
+    LruIdle,
+    /// Keep established flows, refuse to admit new ones while full.
+    RejectNew,
+  };
+  Eviction eviction = Eviction::LruIdle;
+};
+
 class VideoFlowPipeline {
  public:
   /// The bank must outlive the pipeline.
-  explicit VideoFlowPipeline(const ClassifierBank* bank) : bank_(bank) {}
+  explicit VideoFlowPipeline(const ClassifierBank* bank,
+                             PipelineOptions options = {})
+      : bank_(bank), options_(options) {}
 
   /// Called for every finished video session (flow idle-timeout or flush).
   void set_sink(std::function<void(telemetry::SessionRecord)> sink) {
@@ -93,14 +139,27 @@ class VideoFlowPipeline {
     fingerprint::Transport transport = fingerprint::Transport::Tcp;
     std::string sni;
     bool video_counted = false;
+    /// Position in lru_; only maintained when options_.max_flows > 0.
+    std::list<net::FlowKey>::iterator lru_it;
   };
 
+  using FlowMap = std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash>;
+
   void finalize(const net::FlowKey& key, FlowState& state);
+  /// Admission control after try_emplace: touches the LRU and, when the
+  /// table exceeds max_flows, evicts the longest-idle flow (or the
+  /// just-admitted one under RejectNew). Returns false when `it` itself was
+  /// rejected and erased.
+  bool admit_flow(FlowMap::iterator it, bool inserted);
+  void touch_lru(FlowState& state);
 
   const ClassifierBank* bank_;
+  PipelineOptions options_;
   DriftMonitor* drift_ = nullptr;
   std::function<void(telemetry::SessionRecord)> sink_;
-  std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash> flows_;
+  FlowMap flows_;
+  /// Least-recently-touched flow at the front; empty when unbounded.
+  std::list<net::FlowKey> lru_;
   PipelineStats stats_;
 };
 

@@ -1,9 +1,22 @@
 #include "pipeline/sharded_pipeline.hpp"
 
+#include <cassert>
+#include <chrono>
 #include <stdexcept>
+
+#include "pipeline/faultpoint.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
+#endif
+
+// The dispatcher-thread contract check runs in debug builds (assert) and in
+// the fault-injection build (counted, so tests can observe a violation
+// without dying). Release builds compile it out entirely.
+#if !defined(NDEBUG) || (defined(VPSCOPE_FAULT_INJECTION) && VPSCOPE_FAULT_INJECTION)
+#define VPSCOPE_CHECK_DISPATCHER 1
+#else
+#define VPSCOPE_CHECK_DISPATCHER 0
 #endif
 
 namespace vpscope::pipeline {
@@ -32,15 +45,56 @@ void spin_until(Predicate&& done) {
   }
 }
 
+/// Monotonic wall clock for grace/watchdog deadlines. Only consulted on the
+/// slow path (a full ring), never per packet.
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Iterations of pure cpu_relax before the wait loop starts paying for
+/// clock reads — covers the common momentary-full case for free.
+constexpr int kFreeSpins = 64;
+
 }  // namespace
 
+AdmissionClass admission_class(const net::DecodedPacket& decoded) {
+  if (decoded.tcp) {
+    if (decoded.tcp->flags.syn) return AdmissionClass::Handshake;
+    // TLS handshake record at a segment start: content type 0x16, major
+    // version 0x03 (all TLS versions on the wire). Matches ClientHello
+    // fragments and the server's reply flight alike.
+    if (decoded.payload.size() >= 2 && decoded.payload[0] == 0x16 &&
+        decoded.payload[1] == 0x03)
+      return AdmissionClass::Handshake;
+    return AdmissionClass::Payload;
+  }
+  if (decoded.udp && !decoded.payload.empty()) {
+    // QUIC long header (form+fixed bits set) with packet type Initial (00).
+    const std::uint8_t first = decoded.payload[0];
+    if ((first & 0xc0) == 0xc0 && (first & 0x30) == 0x00)
+      return AdmissionClass::Handshake;
+  }
+  return AdmissionClass::Payload;
+}
+
 ShardedPipeline::ShardedPipeline(const ClassifierBank* bank,
-                                 ShardedPipelineOptions options) {
+                                 ShardedPipelineOptions options)
+    : options_(options) {
   if (options.n_shards <= 0)
     throw std::invalid_argument("ShardedPipeline: n_shards must be >= 1");
-  shards_.reserve(static_cast<std::size_t>(options.n_shards));
+  const auto n = static_cast<std::size_t>(options.n_shards);
+  // The flow-table budget is global; each shard polices its slice.
+  PipelineOptions per_shard = options.flow_table;
+  if (per_shard.max_flows > 0)
+    per_shard.max_flows = (per_shard.max_flows + n - 1) / n;
+  shards_.reserve(n);
   for (int i = 0; i < options.n_shards; ++i) {
-    auto shard = std::make_unique<Shard>(bank, options.queue_capacity);
+    auto shard =
+        std::make_unique<Shard>(bank, options.queue_capacity, per_shard);
+    shard->index = i;
     shard->pipe.set_sink([this](telemetry::SessionRecord record) {
       const std::lock_guard<std::mutex> lock(sink_mutex_);
       if (sink_) sink_(std::move(record));
@@ -52,7 +106,16 @@ ShardedPipeline::ShardedPipeline(const ClassifierBank* bank,
 }
 
 ShardedPipeline::~ShardedPipeline() {
-  broadcast(Item::Kind::Stop);
+  // Stop must reach every worker, bypassed or not, so the join below
+  // terminates. A worker wedged in user code forever cannot be joined —
+  // the watchdog's bypass assumes stalls are transient (slow sink, paging)
+  // or that the process is exiting anyway.
+  for (auto& shard : shards_) {
+    Item item;
+    item.kind = Item::Kind::Stop;
+    spin_until([&] { return shard->queue.try_push(item); });
+    shard->enqueued.fetch_add(1, std::memory_order_release);
+  }
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
 }
@@ -63,27 +126,116 @@ void ShardedPipeline::set_sink(
   sink_ = std::move(sink);
 }
 
+void ShardedPipeline::set_stuck_callback(
+    std::function<void(int shard)> callback) {
+  stuck_callback_ = std::move(callback);
+}
+
 std::size_t ShardedPipeline::shard_of(const net::FlowKey& key) const {
   return net::FlowKeyHash{}(key) % shards_.size();
 }
 
-void ShardedPipeline::enqueue(Shard& shard, Item&& item) {
-  spin_until([&] { return shard.queue.try_push(item); });
+void ShardedPipeline::check_dispatcher_thread() {
+#if VPSCOPE_CHECK_DISPATCHER
+  const std::size_t self =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  bool unpinned = false;
+  if (dispatcher_thread_pinned_.compare_exchange_strong(
+          unpinned, true, std::memory_order_acq_rel)) {
+    dispatcher_thread_hash_.store(self, std::memory_order_release);
+    return;
+  }
+  if (dispatcher_thread_hash_.load(std::memory_order_acquire) != self) {
+    dispatcher_violations_.fetch_add(1, std::memory_order_relaxed);
+#if !(defined(VPSCOPE_FAULT_INJECTION) && VPSCOPE_FAULT_INJECTION)
+    assert(false &&
+           "ShardedPipeline: on_packet/flush/stats/active_flows are "
+           "dispatcher-thread-only (see the threading contract)");
+#endif
+  }
+#endif
+}
+
+bool ShardedPipeline::watchdog_check(Shard& shard) {
+  if (options_.stuck_timeout_us == 0 ||
+      shard.bypassed.load(std::memory_order_relaxed))
+    return false;
+  const std::uint64_t processed =
+      shard.processed.load(std::memory_order_relaxed);
+  const std::uint64_t now = steady_now_us();
+  if (processed != shard.watchdog_last_processed ||
+      shard.watchdog_stall_started_us == 0) {
+    shard.watchdog_last_processed = processed;
+    shard.watchdog_stall_started_us = now;
+    return false;
+  }
+  if (now - shard.watchdog_stall_started_us < options_.stuck_timeout_us)
+    return false;
+  // No consumer progress for the full timeout while work is pending: flip
+  // to telemetry-only bypass so one wedged shard cannot head-of-line-block
+  // the capture loop. The backlog becomes `stranded` until recovery.
+  shard.bypassed.store(true, std::memory_order_release);
+  ++dispatcher_stats_.shards_bypassed;
+  if (stuck_callback_) stuck_callback_(shard.index);
+  return true;
+}
+
+void ShardedPipeline::count_drop(AdmissionClass cls) {
+  if (cls == AdmissionClass::Handshake)
+    ++dispatcher_stats_.packets_dropped_handshake;
+  else
+    ++dispatcher_stats_.packets_dropped_payload;
+}
+
+ShardedPipeline::Admission ShardedPipeline::enqueue(Shard& shard, Item&& item,
+                                                    AdmissionClass cls,
+                                                    bool control) {
+  if (shard.bypassed.load(std::memory_order_relaxed))
+    return Admission::Bypassed;
+  const Item::Kind kind = item.kind;
+  if (!shard.queue.try_push(item)) {
+    const bool shed =
+        !control && options_.overload == ShardedPipelineOptions::Overload::Shed;
+    const std::uint64_t grace = cls == AdmissionClass::Handshake
+                                    ? options_.handshake_grace_us
+                                    : options_.payload_grace_us;
+    std::uint64_t wait_started = 0;
+    int spins = 0;
+    for (;;) {
+      if (shard.queue.try_push(item)) break;
+      if (++spins < kFreeSpins) {
+        cpu_relax();
+        continue;
+      }
+      const std::uint64_t now = steady_now_us();
+      if (wait_started == 0) wait_started = now;
+      if (watchdog_check(shard)) return Admission::Bypassed;
+      if (shed && now - wait_started >= grace) return Admission::Shed;
+      std::this_thread::yield();
+    }
+  }
+  shard.watchdog_stall_started_us = 0;  // the ring made room: not stuck
   shard.enqueued.fetch_add(1, std::memory_order_release);
+  if (kind == Item::Kind::Packet) ++shard.packets_sent;
+  return Admission::Enqueued;
 }
 
 void ShardedPipeline::broadcast(Item::Kind kind, std::uint64_t arg0,
                                 std::uint64_t arg1) {
   for (auto& shard : shards_) {
+    // Control traffic never sheds, but it skips bypassed shards — their
+    // flows are unreachable until the worker recovers.
     Item item;
     item.kind = kind;
     item.arg0 = arg0;
     item.arg1 = arg1;
-    enqueue(*shard, std::move(item));
+    enqueue(*shard, std::move(item), AdmissionClass::Handshake,
+            /*control=*/true);
   }
 }
 
 void ShardedPipeline::on_packet(const net::Packet& packet) {
+  check_dispatcher_thread();
   ++dispatcher_stats_.packets_total;
   Item item;
   item.kind = Item::Kind::Packet;
@@ -91,87 +243,171 @@ void ShardedPipeline::on_packet(const net::Packet& packet) {
   item.decoded = net::decode(item.packet);
   if (!item.decoded) {
     ++dispatcher_stats_.packets_non_ip;
+    ++dispatcher_stats_.packets_processed;  // rejected at decode = handled
     return;
   }
+  const AdmissionClass cls = admission_class(*item.decoded);
   const std::size_t shard = shard_of(item.decoded->flow_key());
-  enqueue(*shards_[shard], std::move(item));
+  if (enqueue(*shards_[shard], std::move(item), cls, /*control=*/false) !=
+      Admission::Enqueued)
+    count_drop(cls);
 }
 
 void ShardedPipeline::on_volume_sample(const net::FlowKey& key,
                                        std::uint64_t ts_us,
                                        std::uint64_t bytes_down,
                                        std::uint64_t bytes_up) {
+  check_dispatcher_thread();
   Item item;
   item.kind = Item::Kind::Volume;
   item.key = key;
   item.arg0 = ts_us;
   item.arg1 = bytes_down;
   item.arg2 = bytes_up;
-  enqueue(*shards_[shard_of(key)], std::move(item));
+  if (enqueue(*shards_[shard_of(key)], std::move(item),
+              AdmissionClass::Payload, /*control=*/false) !=
+      Admission::Enqueued)
+    ++dispatcher_stats_.volume_samples_dropped;
 }
 
 void ShardedPipeline::flush_idle(std::uint64_t now_us,
                                  std::uint64_t idle_timeout_us) {
+  check_dispatcher_thread();
   broadcast(Item::Kind::FlushIdle, now_us, idle_timeout_us);
   drain();
 }
 
 void ShardedPipeline::flush_all() {
+  check_dispatcher_thread();
   broadcast(Item::Kind::FlushAll);
   drain();
 }
 
 void ShardedPipeline::drain() {
+  check_dispatcher_thread();
   for (auto& shard : shards_) {
+    if (shard->bypassed.load(std::memory_order_relaxed)) continue;
     const std::uint64_t target =
         shard->enqueued.load(std::memory_order_relaxed);
     // The acquire load pairs with the worker's release increment, making
     // all of the shard's pipeline state visible once the count is reached.
-    spin_until([&] {
-      return shard->processed.load(std::memory_order_acquire) >= target;
-    });
+    // The watchdog breaks the wait if the worker wedges mid-backlog.
+    int spins = 0;
+    for (;;) {
+      if (shard->processed.load(std::memory_order_acquire) >= target) break;
+      if (++spins < kFreeSpins) {
+        cpu_relax();
+        continue;
+      }
+      if (watchdog_check(*shard)) break;
+      std::this_thread::yield();
+    }
   }
 }
 
+bool ShardedPipeline::quiescent(const Shard& shard) const {
+  return shard.processed.load(std::memory_order_acquire) >=
+         shard.enqueued.load(std::memory_order_relaxed);
+}
+
 PipelineStats ShardedPipeline::stats() {
+  check_dispatcher_thread();
   drain();
   PipelineStats merged = dispatcher_stats_;
-  for (auto& shard : shards_) merged += shard->pipe.stats();
+  for (auto& shard : shards_) {
+    // Identity counters come from atomics the worker publishes per packet,
+    // so they stay exact even while the shard is wedged mid-backlog; one
+    // load feeds both processed and stranded, keeping the sum consistent.
+    const std::uint64_t done =
+        shard->packets_done.load(std::memory_order_acquire);
+    merged.packets_processed += done;
+    merged.packets_stranded += shard->packets_sent - done;
+    merged.worker_errors +=
+        shard->worker_errors.load(std::memory_order_relaxed);
+    if (quiescent(*shard)) {
+      PipelineStats s = shard->pipe.stats();
+      s.packets_processed = 0;  // already merged from the atomic above
+      merged += s;
+    }
+    // else: a stuck shard's flow-level counters (flows_total, video_flows,
+    // classified_*, sink_errors) are unreadable until it recovers; they are
+    // intentionally omitted rather than raced for.
+  }
   return merged;
 }
 
 std::size_t ShardedPipeline::active_flows() {
+  check_dispatcher_thread();
   drain();
   std::size_t total = 0;
-  for (auto& shard : shards_) total += shard->pipe.active_flows();
+  for (auto& shard : shards_)
+    if (quiescent(*shard)) total += shard->pipe.active_flows();
   return total;
+}
+
+int ShardedPipeline::reactivate_recovered_shards() {
+  check_dispatcher_thread();
+  int recovered = 0;
+  for (auto& shard : shards_) {
+    if (!shard->bypassed.load(std::memory_order_relaxed)) continue;
+    if (!quiescent(*shard)) continue;  // still digesting its backlog
+    shard->bypassed.store(false, std::memory_order_release);
+    shard->watchdog_stall_started_us = 0;
+    shard->watchdog_last_processed =
+        shard->processed.load(std::memory_order_relaxed);
+    --dispatcher_stats_.shards_bypassed;
+    ++recovered;
+  }
+  return recovered;
+}
+
+int ShardedPipeline::bypassed_shards() const {
+  int n = 0;
+  for (const auto& shard : shards_)
+    if (shard->bypassed.load(std::memory_order_relaxed)) ++n;
+  return n;
 }
 
 void ShardedPipeline::worker_loop(Shard& shard) {
   Item item;
   for (;;) {
     spin_until([&] { return shard.queue.try_pop(item); });
+    const Item::Kind kind = item.kind;
     bool stop = false;
-    switch (item.kind) {
-      case Item::Kind::Packet:
-        shard.pipe.on_decoded(*item.decoded);
-        // Release the packet buffer before signalling completion so drain()
-        // observers never race the deallocation.
-        item = Item{};
-        break;
-      case Item::Kind::Volume:
-        shard.pipe.on_volume_sample(item.key, item.arg0, item.arg1, item.arg2);
-        break;
-      case Item::Kind::FlushIdle:
-        shard.pipe.flush_idle(item.arg0, item.arg1);
-        break;
-      case Item::Kind::FlushAll:
-        shard.pipe.flush_all();
-        break;
-      case Item::Kind::Stop:
-        stop = true;
-        break;
+    // Contain everything thrown out of item processing: a worker that
+    // escapes its loop would std::terminate the process. Sink exceptions
+    // are already absorbed (and counted) inside VideoFlowPipeline; this
+    // catches injected faults and anything unforeseen.
+    try {
+      switch (kind) {
+        case Item::Kind::Packet:
+          VPSCOPE_FAULTPOINT(fault::Point::WorkerItem);
+          shard.pipe.on_decoded(*item.decoded);
+          // Release the packet buffer before signalling completion so
+          // drain() observers never race the deallocation.
+          item = Item{};
+          break;
+        case Item::Kind::Volume:
+          VPSCOPE_FAULTPOINT(fault::Point::WorkerItem);
+          shard.pipe.on_volume_sample(item.key, item.arg0, item.arg1,
+                                      item.arg2);
+          break;
+        case Item::Kind::FlushIdle:
+          shard.pipe.flush_idle(item.arg0, item.arg1);
+          break;
+        case Item::Kind::FlushAll:
+          shard.pipe.flush_all();
+          break;
+        case Item::Kind::Stop:
+          stop = true;
+          break;
+      }
+    } catch (...) {
+      shard.worker_errors.fetch_add(1, std::memory_order_relaxed);
+      item = Item{};  // release buffers even on a failed item
     }
+    if (kind == Item::Kind::Packet)
+      shard.packets_done.fetch_add(1, std::memory_order_release);
     shard.processed.fetch_add(1, std::memory_order_release);
     if (stop) return;
   }

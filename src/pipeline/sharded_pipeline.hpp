@@ -1,21 +1,45 @@
 // Multi-core front-end for the Fig. 4 pipeline: N worker threads, each
 // owning one VideoFlowPipeline shard. The dispatch thread decodes each
 // packet once, hashes its canonical FlowKey, and hands it to shard
-// `hash % n_shards` through a bounded SPSC ring (spin-then-yield
-// backpressure when a shard falls behind). Because a flow always hashes to
-// the same shard and each ring is FIFO, per-flow packet ordering is
-// preserved by construction — the property the paper's 8-core DPDK
+// `hash % n_shards` through a bounded SPSC ring. Because a flow always
+// hashes to the same shard and each ring is FIFO, per-flow packet ordering
+// is preserved by construction — the property the paper's 8-core DPDK
 // deployment (§5.1) relies on when it fans 20 Gbit/s across cores.
+//
+// Overload control (DESIGN.md §5e): when a shard's ring is full the
+// dispatcher applies the configured admission policy instead of buffering
+// unboundedly. `Overload::Block` (default) waits for space — lossless, the
+// pre-overload-layer behaviour. `Overload::Shed` waits only a bounded
+// grace per packet class and then drops: handshake-bearing packets
+// (SYN / TLS ClientHello record / QUIC Initial, classified at dispatch
+// time by `admission_class`) get the longest grace because one lost
+// handshake packet costs a classification, while a lost payload packet
+// costs only a telemetry sample. Every shed is counted, so stats() always
+// reconciles:
+//
+//   packets_total == packets_processed + packets_dropped_payload
+//                  + packets_dropped_handshake + packets_stranded
+//
+// A per-shard watchdog (stuck_timeout_us > 0) watches for rings that stay
+// full with no consumer progress — a worker wedged in a slow sink or a
+// livelocked downstream — and flips the shard into telemetry-only bypass:
+// the dispatcher stops waiting on it, sheds its traffic (counted), and
+// keeps every other shard at full service instead of head-of-line-blocking
+// the capture loop. `reactivate_recovered_shards` re-admits a bypassed
+// shard once it has drained its backlog.
 //
 // Session records from all shards funnel through one lock-protected sink;
 // per-shard PipelineStats are merged on demand. Control operations
 // (flush_idle / flush_all) travel in-band through the same rings, so they
 // are ordered with the packets that preceded them.
 //
-// Threading contract: on_packet / on_volume_sample / flush_* / stats must
-// be called from one thread at a time (single dispatcher — matching a
-// capture loop); the sink is invoked on worker threads, serialized by the
-// internal mutex.
+// Threading contract: on_packet / on_volume_sample / flush_* / drain /
+// stats / active_flows are dispatcher-thread-only — stats() and
+// active_flows() read shard flow tables that are only safe to touch once
+// drain() has observed quiescence, which is only meaningful from the one
+// producing thread. Debug builds (and the fault-injection build) enforce
+// this with a thread-id check; see dispatcher_contract_violations().
+// The sink is invoked on worker threads, serialized by the internal mutex.
 #pragma once
 
 #include <atomic>
@@ -32,6 +56,21 @@
 
 namespace vpscope::pipeline {
 
+/// Packet classes for admission priority under overload.
+enum class AdmissionClass : std::uint8_t {
+  /// Connection-establishment packets the classifier needs: TCP SYN, a TLS
+  /// handshake record at the start of a segment, or a QUIC long-header
+  /// Initial. Shed last.
+  Handshake,
+  /// Everything else (ACKs, payload, short-header QUIC): telemetry-only
+  /// value, shed first.
+  Payload,
+};
+
+/// Dispatch-time admission classification. Deliberately a cheap heuristic
+/// over the already-decoded headers — the dispatcher cannot afford parsing.
+AdmissionClass admission_class(const net::DecodedPacket& decoded);
+
 struct ShardedPipelineOptions {
   /// Worker count; 1 degenerates to a single-threaded pipeline behind a
   /// queue. 0 is invalid.
@@ -40,6 +79,27 @@ struct ShardedPipelineOptions {
   /// design: a slow shard exerts backpressure on the dispatcher instead of
   /// buffering unboundedly.
   std::size_t queue_capacity = 4096;
+
+  /// Per-shard flow-table bound. `flow_table.max_flows` is the TOTAL
+  /// budget across the pipeline; each shard gets ceil(max_flows/n_shards).
+  PipelineOptions flow_table = {};
+
+  enum class Overload : std::uint8_t {
+    Block,  // lossless backpressure: wait for ring space indefinitely
+    Shed,   // bounded wait per admission class, then drop (counted)
+  };
+  Overload overload = Overload::Block;
+  /// Shed-mode grace: how long the dispatcher waits for ring space before
+  /// dropping, per admission class. Payload defaults to shedding
+  /// immediately; handshakes ride out a short stall.
+  std::uint64_t payload_grace_us = 0;
+  std::uint64_t handshake_grace_us = 2000;
+
+  /// Stuck-shard watchdog: if a full ring shows no consumer progress for
+  /// this long, the shard is bypassed. 0 disables the watchdog (a stuck
+  /// shard then blocks the dispatcher forever, even under Shed — grace
+  /// timers keep expiring but the flood keeps arriving).
+  std::uint64_t stuck_timeout_us = 0;
 };
 
 class ShardedPipeline {
@@ -57,30 +117,54 @@ class ShardedPipeline {
   /// concurrently (internally serialized). Set before the first packet.
   void set_sink(std::function<void(telemetry::SessionRecord)> sink);
 
-  /// Decodes, shards and enqueues one captured packet. Blocks (spin, then
-  /// yield) while the target shard's ring is full.
+  /// Called on the dispatcher thread when the watchdog flips a shard into
+  /// bypass. Set before the first packet.
+  void set_stuck_callback(std::function<void(int shard)> callback);
+
+  /// Decodes, shards and enqueues one captured packet, applying the
+  /// configured admission policy when the target ring is full.
   void on_packet(const net::Packet& packet);
 
-  /// Routes a decimated volume sample to the owning shard.
+  /// Routes a decimated volume sample to the owning shard (payload-class
+  /// admission under Shed).
   void on_volume_sample(const net::FlowKey& key, std::uint64_t ts_us,
                         std::uint64_t bytes_down, std::uint64_t bytes_up);
 
-  /// Broadcasts an idle-flush to every shard and waits for completion.
+  /// Broadcasts an idle-flush to every live shard and waits for completion.
   void flush_idle(std::uint64_t now_us, std::uint64_t idle_timeout_us);
 
-  /// Broadcasts a full flush to every shard and waits for completion.
+  /// Broadcasts a full flush to every live shard and waits for completion.
   void flush_all();
 
-  /// Waits until every enqueued item has been processed.
+  /// Waits until every item enqueued to a live shard has been processed.
+  /// Bypassed shards are not waited on (their backlog is `stranded`).
   void drain();
 
-  /// Drains, then merges dispatcher counters with per-shard stats. Equals
-  /// the stats a single-threaded VideoFlowPipeline would report for the
-  /// same packet sequence.
+  /// Drains, then merges dispatcher counters with per-shard stats. With no
+  /// shard bypassed this equals the stats a single-threaded
+  /// VideoFlowPipeline would report for the same admitted packet sequence.
+  /// A bypassed shard that has not drained contributes only its atomic
+  /// identity counters (processed/stranded); its flow-level counters are
+  /// unavailable until it recovers. Dispatcher-thread-only.
   PipelineStats stats();
 
-  /// Drains, then sums live flow-table sizes across shards.
+  /// Drains, then sums live flow-table sizes across non-stuck shards.
+  /// Dispatcher-thread-only.
   std::size_t active_flows();
+
+  /// Re-admits bypassed shards whose workers have caught up (processed ==
+  /// enqueued); returns how many recovered. Dispatcher-thread-only.
+  int reactivate_recovered_shards();
+
+  /// Shards currently in telemetry-only bypass.
+  int bypassed_shards() const;
+
+  /// Calls observed on a thread other than the pinned dispatcher thread.
+  /// Always 0 in release builds (the check compiles out); in debug builds a
+  /// violation also trips an assert.
+  std::uint64_t dispatcher_contract_violations() const {
+    return dispatcher_violations_.load(std::memory_order_relaxed);
+  }
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
   std::size_t shard_of(const net::FlowKey& key) const;
@@ -107,27 +191,56 @@ class ShardedPipeline {
   };
 
   struct Shard {
-    Shard(const ClassifierBank* bank, std::size_t queue_capacity)
-        : queue(queue_capacity), pipe(bank) {}
+    Shard(const ClassifierBank* bank, std::size_t queue_capacity,
+          PipelineOptions flow_table)
+        : queue(queue_capacity), pipe(bank, flow_table) {}
     SpscRing<Item> queue;
     VideoFlowPipeline pipe;
-    std::atomic<std::uint64_t> enqueued{0};
-    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> enqueued{0};   // all item kinds
+    std::atomic<std::uint64_t> processed{0};  // all item kinds
+    /// Packet items completed by the worker — the identity counter that
+    /// stays readable while the shard is wedged mid-backlog.
+    std::atomic<std::uint64_t> packets_done{0};
+    std::atomic<std::uint64_t> worker_errors{0};
+    std::atomic<bool> bypassed{false};
     std::thread worker;
+    int index = 0;
+    // ---- dispatcher-thread-only bookkeeping ----
+    std::uint64_t packets_sent = 0;  // packet items enqueued
+    std::uint64_t watchdog_last_processed = 0;
+    std::uint64_t watchdog_stall_started_us = 0;  // 0 = not currently stalled
   };
 
-  void enqueue(Shard& shard, Item&& item);
+  /// Result of a bounded-wait enqueue attempt.
+  enum class Admission : std::uint8_t { Enqueued, Shed, Bypassed };
+
+  /// `control` items (flushes) never shed: they wait for ring space with
+  /// only the watchdog as an escape hatch.
+  Admission enqueue(Shard& shard, Item&& item, AdmissionClass cls,
+                    bool control);
   void broadcast(Item::Kind kind, std::uint64_t arg0 = 0,
                  std::uint64_t arg1 = 0);
   void worker_loop(Shard& shard);
+  /// Watchdog bookkeeping while the dispatcher waits on `shard`; returns
+  /// true when the shard was just declared stuck and flipped to bypass.
+  bool watchdog_check(Shard& shard);
+  void count_drop(AdmissionClass cls);
+  bool quiescent(const Shard& shard) const;
+  void check_dispatcher_thread();
 
+  ShardedPipelineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   // Dispatcher-owned counters for packets that never reach a shard
-  // (packets_total covers everything; packets_non_ip covers decode
-  // failures). Only the dispatch thread touches these.
+  // (decode failures and admission drops). Only the dispatch thread
+  // touches these.
   PipelineStats dispatcher_stats_;
+  std::function<void(int)> stuck_callback_;
   std::mutex sink_mutex_;
   std::function<void(telemetry::SessionRecord)> sink_;
+  // Dispatcher-thread pin for the debug contract check.
+  std::atomic<std::size_t> dispatcher_thread_hash_{0};
+  std::atomic<bool> dispatcher_thread_pinned_{false};
+  std::atomic<std::uint64_t> dispatcher_violations_{0};
 };
 
 }  // namespace vpscope::pipeline

@@ -30,6 +30,15 @@ struct FlowCounters {
   void add_down(std::uint64_t ts_us, std::uint64_t bytes);
   void add_up(std::uint64_t ts_us, std::uint64_t bytes);
 
+  /// Idle time since the last packet, clamped to zero when `now_us` is
+  /// behind `last_us`. Capture clocks are not guaranteed monotonic (NIC
+  /// timestamp resets, PCAP merges, fault injection); without the clamp a
+  /// reversed clock would produce a near-2^64 unsigned delta and evict
+  /// every active flow.
+  std::uint64_t idle_us(std::uint64_t now_us) const {
+    return now_us > last_us ? now_us - last_us : 0;
+  }
+
   double duration_s() const;
   /// Mean downstream throughput over the flow lifetime, in Mbit/s.
   double mean_downstream_mbps() const;

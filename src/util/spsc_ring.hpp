@@ -53,6 +53,19 @@ class SpscRing {
 
   std::size_t capacity() const { return mask_ + 1; }
 
+  /// Occupancy estimate for telemetry/backlog inspection. Exact when called
+  /// from the producer or consumer thread while the other side is idle;
+  /// otherwise a snapshot that may lag either cursor by in-flight
+  /// operations (never negative, never above capacity).
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t diff = tail - head;
+    // A torn snapshot (consumer advanced past the tail we read) wraps the
+    // subtraction; report empty rather than a nonsense huge value.
+    return diff <= mask_ + 1 ? diff : 0;
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;

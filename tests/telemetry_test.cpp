@@ -118,6 +118,26 @@ TEST(SessionStore, UnknownFraction) {
   EXPECT_NEAR(store.unknown_fraction(), 1.0 / 3.0, 1e-12);
 }
 
+TEST(FlowCounters, IdleUsClampsNonMonotonicClock) {
+  FlowCounters c;
+  c.add_down(5'000'000, 10);
+  EXPECT_EQ(c.idle_us(8'000'000), 3'000'000u);
+  EXPECT_EQ(c.idle_us(5'000'000), 0u);
+  // A capture clock that stepped backwards must read as "not idle", never
+  // as a wrapped ~2^64 idle time that would evict every flow.
+  EXPECT_EQ(c.idle_us(4'000'000), 0u);
+  EXPECT_EQ(c.idle_us(0), 0u);
+}
+
+TEST(FlowCounters, IdleUsSafeNearUint64Max) {
+  // A hostile timestamp near 2^64 must not wrap idle-timeout arithmetic.
+  FlowCounters c;
+  const std::uint64_t huge = ~std::uint64_t{0} - 100;
+  c.add_down(huge, 10);
+  EXPECT_EQ(c.idle_us(2'000'000), 0u);
+  EXPECT_EQ(c.idle_us(huge + 50), 50u);
+}
+
 TEST(SessionStore, EmptyStoreSafeDefaults) {
   SessionStore store;
   EXPECT_DOUBLE_EQ(store.unknown_fraction(), 0.0);

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -198,6 +200,75 @@ TEST(Table, CsvQuoting) {
 TEST(Table, NumFormat) {
   EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::pct(0.964, 1), "96.4%");
+}
+
+// ---- SpscRing ----
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, FullAndEmptyAcrossWrapAround) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));  // starts empty
+  // Push to full, pop to empty, several times so the cursors wrap the
+  // power-of-two index space repeatedly.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      int v = round * 10 + i;
+      EXPECT_TRUE(ring.try_push(v)) << "round=" << round << " i=" << i;
+    }
+    int rejected = 99;
+    EXPECT_FALSE(ring.try_push(rejected));  // genuinely full
+    EXPECT_EQ(rejected, 99);                // failed push leaves value intact
+    EXPECT_EQ(ring.size_approx(), 4u);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, round * 10 + i);  // FIFO order preserved across wraps
+    }
+    EXPECT_FALSE(ring.try_pop(out));  // empty again
+    EXPECT_EQ(ring.size_approx(), 0u);
+  }
+}
+
+TEST(SpscRing, MoveOnlyElementsRoundTrip) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  auto a = std::make_unique<int>(7);
+  auto b = std::make_unique<int>(8);
+  ASSERT_TRUE(ring.try_push(a));
+  ASSERT_TRUE(ring.try_push(b));
+  EXPECT_EQ(a, nullptr);  // moved from on success
+  auto c = std::make_unique<int>(9);
+  EXPECT_FALSE(ring.try_push(c));
+  ASSERT_NE(c, nullptr);  // NOT moved from on a full ring
+  EXPECT_EQ(*c, 9);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 8);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, SizeApproxTracksOccupancy) {
+  SpscRing<int> ring(8);
+  EXPECT_EQ(ring.size_approx(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    int v = i;
+    ring.try_push(v);
+    EXPECT_EQ(ring.size_approx(), static_cast<std::size_t>(i + 1));
+  }
+  int out;
+  ring.try_pop(out);
+  ring.try_pop(out);
+  EXPECT_EQ(ring.size_approx(), 3u);
 }
 
 }  // namespace
