@@ -4,7 +4,10 @@
 // watch time per provider and device type, the most popular software
 // agents, bandwidth medians, and peak hours.
 //
-// Usage: campus_insights [days] [sessions_per_day]   (default 2 x 4000)
+// Usage: campus_insights [days] [sessions_per_day] [obs_export_path]
+// (default 2 x 4000; when obs_export_path is given, the observability
+// registry is dumped there in Prometheus text format every simulated hour,
+// and per-stage pipeline latencies are printed after the run)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +24,8 @@ int main(int argc, char** argv) {
   campus::CampusConfig config;
   config.days = argc > 1 ? std::atoi(argv[1]) : 2;
   config.sessions_per_day = argc > 2 ? std::atoi(argv[2]) : 4000;
+  config.obs.profile_stages = true;  // per-stage latency in the report
+  if (argc > 3) config.obs_export_path = argv[3];
 
   std::puts("training classifier bank...");
   pipeline::ClassifierBank bank;
@@ -101,6 +106,26 @@ int main(int argc, char** argv) {
     const auto it = std::max_element(hourly.begin(), hourly.end());
     std::printf("  %-8s %02ld:00 (%.1f GB)\n", to_string(provider).c_str(),
                 it - hourly.begin(), *it);
+  }
+
+  // Per-stage pipeline latency (DESIGN.md §5f / EXPERIMENTS.md).
+  if (const obs::PipelineObs* o = simulator.observability()) {
+    std::puts("\npipeline stage latency (ns):");
+    std::printf("  %-10s %10s %10s %10s %12s\n", "stage", "p50", "p99",
+                "p999", "samples");
+    for (int s = 0; s < static_cast<int>(obs::Stage::kCount); ++s) {
+      const auto stage = static_cast<obs::Stage>(s);
+      const obs::HistogramSnapshot snap = o->profiler.histogram(stage).snapshot();
+      std::printf("  %-10s %10llu %10llu %10llu %12llu\n",
+                  std::string(obs::stage_name(stage)).c_str(),
+                  static_cast<unsigned long long>(snap.percentile(50)),
+                  static_cast<unsigned long long>(snap.percentile(99)),
+                  static_cast<unsigned long long>(snap.percentile(99.9)),
+                  static_cast<unsigned long long>(snap.count));
+    }
+    if (!config.obs_export_path.empty())
+      std::printf("registry exported to %s\n",
+                  config.obs_export_path.c_str());
   }
   return 0;
 }

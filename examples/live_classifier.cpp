@@ -4,10 +4,14 @@
 // packet, and prints one line per classified session as it completes —
 // what an operator's console tailing the paper's deployment would show.
 //
-// Usage: live_classifier [n_flows]      (default 120)
+// Usage: live_classifier [n_flows] [prometheus_path]   (default 120)
+// With a second argument, the observability registry is written there in
+// Prometheus text format after the run (the scrape a deployment would
+// serve); stage latencies are profiled and printed either way.
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/export.hpp"
 #include "pipeline/pipeline.hpp"
 #include "synth/dataset.hpp"
 
@@ -17,12 +21,16 @@ using fingerprint::Transport;
 
 int main(int argc, char** argv) {
   const int n_flows = argc > 1 ? std::atoi(argv[1]) : 120;
+  const char* prometheus_path = argc > 2 ? argv[2] : nullptr;
 
   std::puts("training classifier bank on the lab dataset...");
   pipeline::ClassifierBank bank;
   bank.train(synth::generate_lab_dataset(42, 0.5));
 
-  pipeline::VideoFlowPipeline pipe(&bank);
+  obs::ObsConfig obs_config;
+  obs_config.profile_stages = true;
+  obs_config.trace_sample_n = 1;  // console tool: trace every flow
+  pipeline::VideoFlowPipeline pipe(&bank, {}, obs_config);
   int session_no = 0;
   pipe.set_sink([&session_no](telemetry::SessionRecord record) {
     const char* outcome =
@@ -106,5 +114,24 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.classified_composite),
       static_cast<unsigned long long>(stats.classified_partial),
       static_cast<unsigned long long>(stats.classified_unknown));
+
+  std::puts("stage latency p50/p99 (ns):");
+  const obs::PipelineObs& o = pipe.observability();
+  for (int s = 0; s < static_cast<int>(obs::Stage::kCount); ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const obs::HistogramSnapshot snap = o.profiler.histogram(stage).snapshot();
+    std::printf("  %-10s %8llu %8llu  (%llu samples)\n",
+                std::string(obs::stage_name(stage)).c_str(),
+                static_cast<unsigned long long>(snap.percentile(50)),
+                static_cast<unsigned long long>(snap.percentile(99)),
+                static_cast<unsigned long long>(snap.count));
+  }
+  if (prometheus_path) {
+    if (obs::write_file_atomic(prometheus_path,
+                               obs::prometheus_text(o.registry())))
+      std::printf("prometheus scrape written to %s\n", prometheus_path);
+    else
+      std::printf("FAILED to write %s\n", prometheus_path);
+  }
   return 0;
 }

@@ -248,10 +248,23 @@ SessionPlan CampusSimulator::plan_session() {
 telemetry::SessionStore CampusSimulator::run(
     const pipeline::ClassifierBank& bank) {
   telemetry::SessionStore store;
-  pipeline::VideoFlowPipeline pipe(&bank);
+  pipeline::VideoFlowPipeline pipe(&bank, {}, config_.obs);
+  last_obs_ = pipe.shared_observability();
   pipe.set_sink([&store](telemetry::SessionRecord record) {
     store.insert(std::move(record));
   });
+
+  // vpscope_obs_export: periodic registry dumps driven by SIMULATED time,
+  // so a 4-day run leaves the same trail a real deployment scrape would.
+  std::unique_ptr<obs::PeriodicExporter> exporter;
+  if (!config_.obs_export_path.empty()) {
+    obs::ExportOptions export_options;
+    export_options.path = config_.obs_export_path;
+    export_options.format = config_.obs_export_format;
+    export_options.interval_us = config_.obs_export_interval_us;
+    exporter = std::make_unique<obs::PeriodicExporter>(
+        last_obs_->registry_ptr(), std::move(export_options));
+  }
 
   synth::FlowSynthesizer synthesizer(rng_.fork());
   const int total_sessions = config_.days * config_.sessions_per_day;
@@ -296,8 +309,10 @@ telemetry::SessionStore CampusSimulator::run(
                                         plan.duration_s * 1e6) +
                         3600ULL * 1000000ULL * 48,
                     1);
+    if (exporter) exporter->tick(plan.start_us);
   }
   pipe.flush_all();
+  if (exporter) exporter->export_now();
   return store;
 }
 

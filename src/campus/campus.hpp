@@ -15,7 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
+#include "obs/export.hpp"
 #include "pipeline/pipeline.hpp"
 #include "synth/flow_synthesizer.hpp"
 #include "telemetry/telemetry.hpp"
@@ -31,6 +34,17 @@ struct CampusConfig {
   /// were excluded as low-confidence/unknown).
   double unknown_platform_fraction = 0.15;
   std::uint64_t seed = 2024;
+
+  /// Observability of the simulated deployment (DESIGN.md §5f): stage
+  /// profiling / flow tracing for the pipeline the simulation drives.
+  obs::ObsConfig obs = {};
+  /// When non-empty, the vpscope_obs_export hook dumps the registry here
+  /// (atomically rewritten) every `obs_export_interval_us` of SIMULATED
+  /// time, plus once at the end of the run.
+  std::string obs_export_path;
+  obs::ExportOptions::Format obs_export_format =
+      obs::ExportOptions::Format::Prometheus;
+  std::uint64_t obs_export_interval_us = 3600ULL * 1000000ULL;  // 1 sim hour
 };
 
 /// Per-session behavioural draw (exposed for tests).
@@ -56,6 +70,10 @@ class CampusSimulator {
   /// session store. `bank` must already be trained on the lab dataset.
   telemetry::SessionStore run(const pipeline::ClassifierBank& bank);
 
+  /// The metrics bundle of the most recent run() (stage latencies, trace
+  /// rings, every pipeline counter); null before the first run.
+  const obs::PipelineObs* observability() const { return last_obs_.get(); }
+
   // ---- behavioural model tables (exposed for tests and benches) ----
   /// Watch-time weight of a platform within a provider (sums to ~1).
   static double platform_weight(fingerprint::Provider provider,
@@ -75,6 +93,8 @@ class CampusSimulator {
  private:
   CampusConfig config_;
   Rng rng_;
+  /// Keeps the last run's registry alive past the pipeline's lifetime.
+  std::shared_ptr<obs::PipelineObs> last_obs_;
 };
 
 }  // namespace vpscope::campus

@@ -1,0 +1,225 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vpscope::obs {
+
+namespace {
+
+/// Lowers `target` to `value` if smaller (relaxed CAS loop; contention is
+/// one writer per slot, so this almost always succeeds first try).
+void atomic_min(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Shared by Histogram and HistogramSnapshot so both report identical
+/// bounds. Inclusive upper bound of log-linear bucket `index`.
+std::uint64_t log_linear_upper(int index, int sub_bits) {
+  const std::uint64_t sub = 1ULL << sub_bits;
+  const auto i = static_cast<std::uint64_t>(index);
+  if (i < sub) return i;
+  const int block = index >> sub_bits;
+  const std::uint64_t sub_index = i & (sub - 1);
+  return ((sub + sub_index + 1) << (block - 1)) - 1;
+}
+
+}  // namespace
+
+// ---- Histogram ----
+
+Histogram::Histogram(std::string name, std::string help, std::string labels,
+                     int n_slots, HistogramOptions options)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      labels_(std::move(labels)),
+      options_(options) {
+  if (options_.sub_bits < 1 || options_.sub_bits > 8)
+    throw std::invalid_argument("Histogram: sub_bits out of [1, 8]");
+  if (options_.max_value_bits <= options_.sub_bits ||
+      options_.max_value_bits > 62)
+    throw std::invalid_argument("Histogram: bad max_value_bits");
+  // Values in [0, 2^max_value_bits) map to (max-sub+1) blocks of 2^sub
+  // buckets; everything larger clamps into the last bucket.
+  n_buckets_ = (options_.max_value_bits - options_.sub_bits + 1)
+               << options_.sub_bits;
+  slots_count_ = static_cast<std::size_t>(n_slots);
+  slots_ = std::make_unique<Slot[]>(slots_count_);
+  for (std::size_t s = 0; s < slots_count_; ++s) {
+    slots_[s].buckets = std::make_unique<std::atomic<std::uint64_t>[]>(
+        static_cast<std::size_t>(n_buckets_));
+    for (int b = 0; b < n_buckets_; ++b)
+      slots_[s].buckets[static_cast<std::size_t>(b)].store(
+          0, std::memory_order_relaxed);
+  }
+}
+
+int Histogram::bucket_index(std::uint64_t value) const {
+  const std::uint64_t sub = 1ULL << options_.sub_bits;
+  if (value < sub) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  if (msb >= options_.max_value_bits) return n_buckets_ - 1;  // clamp
+  const int block = msb - options_.sub_bits + 1;
+  const std::uint64_t sub_index =
+      (value >> (msb - options_.sub_bits)) - sub;
+  return (block << options_.sub_bits) + static_cast<int>(sub_index);
+}
+
+std::uint64_t Histogram::bucket_upper(int index) const {
+  return log_linear_upper(index, options_.sub_bits);
+}
+
+void Histogram::record(int slot, std::uint64_t value, std::uint64_t n) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.buckets[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      n, std::memory_order_relaxed);
+  s.count.fetch_add(n, std::memory_order_relaxed);
+  s.sum.fetch_add(value * n, std::memory_order_relaxed);
+  atomic_min(s.min, value);
+  atomic_max(s.max, value);
+}
+
+void Histogram::accumulate(HistogramSnapshot& out, const Slot& slot) const {
+  for (int b = 0; b < n_buckets_; ++b)
+    out.buckets[static_cast<std::size_t>(b)] +=
+        slot.buckets[static_cast<std::size_t>(b)].load(
+            std::memory_order_relaxed);
+  const std::uint64_t count = slot.count.load(std::memory_order_relaxed);
+  out.count += count;
+  out.sum += slot.sum.load(std::memory_order_relaxed);
+  if (count > 0) {
+    const std::uint64_t mn = slot.min.load(std::memory_order_relaxed);
+    const std::uint64_t mx = slot.max.load(std::memory_order_relaxed);
+    if (out.count == count || mn < out.min) out.min = mn;
+    out.max = std::max(out.max, mx);
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.sub_bits = options_.sub_bits;
+  out.buckets.assign(static_cast<std::size_t>(n_buckets_), 0);
+  for (std::size_t s = 0; s < slots_count_; ++s) accumulate(out, slots_[s]);
+  return out;
+}
+
+HistogramSnapshot Histogram::snapshot(int slot) const {
+  HistogramSnapshot out;
+  out.sub_bits = options_.sub_bits;
+  out.buckets.assign(static_cast<std::size_t>(n_buckets_), 0);
+  accumulate(out, slots_[static_cast<std::size_t>(slot)]);
+  return out;
+}
+
+std::uint64_t HistogramSnapshot::bucket_upper(int index) const {
+  return log_linear_upper(index, sub_bits);
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count)));
+  rank = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      // The top (clamp) bucket has no finite upper bound — report the
+      // recorded max instead; the max also tightens regular tail buckets.
+      if (b + 1 == buckets.size()) return max;
+      return std::min(bucket_upper(static_cast<int>(b)), max);
+    }
+  }
+  return max;
+}
+
+// ---- Registry ----
+
+Registry::Registry(int n_slots) : n_slots_(n_slots) {
+  if (n_slots < 1) throw std::invalid_argument("Registry: n_slots must be >= 1");
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           std::string_view labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_)
+    if (c->name() == name && c->labels() == labels) return *c;
+  counters_.emplace_back(new Counter(std::string(name), std::string(help),
+                                     std::string(labels), n_slots_));
+  return *counters_.back();
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       std::string_view labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& g : gauges_)
+    if (g->name() == name && g->labels() == labels) return *g;
+  gauges_.emplace_back(new Gauge(std::string(name), std::string(help),
+                                 std::string(labels), n_slots_));
+  return *gauges_.back();
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::string_view labels,
+                               HistogramOptions options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& h : histograms_)
+    if (h->name() == name && h->labels() == labels) return *h;
+  histograms_.emplace_back(new Histogram(std::string(name), std::string(help),
+                                         std::string(labels), n_slots_,
+                                         options));
+  return *histograms_.back();
+}
+
+void Registry::add_collect_hook(std::function<void()> hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  hooks_.push_back(std::move(hook));
+}
+
+void Registry::run_collect_hooks() const {
+  // Copy the hook list out of the lock so hooks may touch the registry.
+  std::vector<std::function<void()>> hooks;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hooks = hooks_;
+  }
+  for (const auto& hook : hooks) hook();
+}
+
+std::vector<const Counter*> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Counter*> out;
+  out.reserve(counters_.size());
+  for (const auto& c : counters_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Gauge*> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Gauge*> out;
+  out.reserve(gauges_.size());
+  for (const auto& g : gauges_) out.push_back(g.get());
+  return out;
+}
+
+std::vector<const Histogram*> Registry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Histogram*> out;
+  out.reserve(histograms_.size());
+  for (const auto& h : histograms_) out.push_back(h.get());
+  return out;
+}
+
+}  // namespace vpscope::obs

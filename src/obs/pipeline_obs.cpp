@@ -1,0 +1,160 @@
+#include "obs/pipeline_obs.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "fingerprint/platform.hpp"
+#include "obs/export.hpp"
+
+namespace vpscope::obs {
+
+PipelineObs::PipelineObs(int n_shards, ObsConfig config)
+    : registry_(std::make_shared<Registry>(n_shards + 1)),
+      n_shards_(n_shards),
+      config_(config),
+      packets_total(registry_->counter(
+          "vpscope_packets_total", "Packets offered to the pipeline")),
+      packets_non_ip(registry_->counter(
+          "vpscope_packets_non_ip_total",
+          "Packets rejected at decode (non-IP / malformed headers)")),
+      packets_enqueued(registry_->counter(
+          "vpscope_packets_enqueued_total",
+          "Packet items enqueued to shard rings, at the target shard slot")),
+      packets_completed(registry_->counter(
+          "vpscope_packets_completed_total",
+          "Packet items fully processed by a shard worker")),
+      packets_dropped_payload(registry_->counter(
+          "vpscope_packets_dropped_total",
+          "Packets shed by overload admission control", "class=\"payload\"")),
+      packets_dropped_handshake(registry_->counter(
+          "vpscope_packets_dropped_total",
+          "Packets shed by overload admission control",
+          "class=\"handshake\"")),
+      volume_samples_dropped(registry_->counter(
+          "vpscope_volume_samples_dropped_total",
+          "Decimated volume samples shed under overload")),
+      flows_total(registry_->counter(
+          "vpscope_flows_total", "Flows admitted to a flow table")),
+      video_flows(registry_->counter(
+          "vpscope_video_flows_total",
+          "Flows matched to a video provider by SNI")),
+      classified_composite(registry_->counter(
+          "vpscope_classified_total", "Flow classification outcomes",
+          "outcome=\"composite\"")),
+      classified_partial(registry_->counter(
+          "vpscope_classified_total", "Flow classification outcomes",
+          "outcome=\"partial\"")),
+      classified_unknown(registry_->counter(
+          "vpscope_classified_total", "Flow classification outcomes",
+          "outcome=\"unknown\"")),
+      flows_evicted_capacity(registry_->counter(
+          "vpscope_flows_evicted_capacity_total",
+          "Flows evicted or refused because the flow table hit max_flows")),
+      sink_errors(registry_->counter(
+          "vpscope_sink_errors_total",
+          "Session-sink invocations that threw (record lost, flow table "
+          "consistent)")),
+      worker_errors(registry_->counter(
+          "vpscope_worker_errors_total",
+          "Exceptions contained by a shard worker outside the sink path")),
+      dispatcher_contract_violations(registry_->counter(
+          "vpscope_dispatcher_contract_violations_total",
+          "Dispatcher-thread-only calls observed on another thread")),
+      flows_active(registry_->gauge(
+          "vpscope_flows_active", "Flows currently tracked per shard")),
+      shards_bypassed(registry_->gauge(
+          "vpscope_shards_bypassed",
+          "Shards currently in watchdog telemetry-only bypass")),
+      packets_stranded(registry_->gauge(
+          "vpscope_packets_stranded",
+          "Backlog of enqueued-but-unprocessed packets (derived at scrape)")),
+      profiler(*registry_) {
+  profiler.set_enabled(config_.profile_stages);
+  if (config_.trace_sample_n != 0 && config_.trace_ring_capacity != 0) {
+    rings_.reserve(static_cast<std::size_t>(n_shards_));
+    for (int i = 0; i < n_shards_; ++i)
+      rings_.push_back(std::make_unique<TraceRing>(config_.trace_ring_capacity,
+                                                   config_.trace_sample_n));
+  }
+  // Derived stranded gauge: per shard, the packets the dispatcher handed
+  // over that the worker has not yet finished. Exact once the dispatcher
+  // is quiescent (drained or wedged); transiently includes in-flight items
+  // when scraped mid-dispatch, which keeps the identity an equality.
+  registry_->add_collect_hook([this] {
+    for (int i = 0; i < n_shards_; ++i) {
+      const std::uint64_t done =
+          packets_completed.value(i, std::memory_order_acquire);
+      const std::uint64_t sent = packets_enqueued.value(i);
+      packets_stranded.set(
+          i, sent > done ? static_cast<std::int64_t>(sent - done) : 0);
+    }
+  });
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+/// 0xFF is the "no prediction" sentinel for the os/agent event fields.
+constexpr std::uint8_t kNoValue = 0xff;
+
+std::string os_name(std::uint8_t os) {
+  if (os == kNoValue) return "?";
+  return fingerprint::to_string(static_cast<fingerprint::Os>(os));
+}
+
+std::string agent_name(std::uint8_t agent) {
+  if (agent == kNoValue) return "?";
+  return fingerprint::to_string(static_cast<fingerprint::Agent>(agent));
+}
+
+}  // namespace
+
+std::string PipelineObs::dump_shard(int shard) const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"shard\":";
+  append_u64(out, static_cast<std::uint64_t>(shard));
+  out += ",\"trace\":[";
+  if (const TraceRing* ring = this->ring(shard)) {
+    bool first = true;
+    for (const TraceEvent& e : ring->drain_copy()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"ts_us\":";
+      append_u64(out, e.ts_us);
+      out += ",\"flow\":";
+      append_u64(out, e.flow_hash);
+      out += ",\"event\":\"";
+      out += trace_event_kind_name(e.kind);
+      out += '"';
+      if (e.kind == TraceEventKind::Classified) {
+        out += ",\"os\":\"";
+        out += os_name(e.os);
+        out += "\",\"agent\":\"";
+        out += agent_name(e.agent);
+        out += "\",\"composite\":";
+        out += e.has_platform ? "true" : "false";
+        out += ",\"confidence\":";
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%.4f",
+                      static_cast<double>(e.confidence));
+        out += buf;
+      } else if (e.outcome != 0) {
+        out += ",\"detail\":";
+        append_u64(out, e.outcome);
+      }
+      out += '}';
+    }
+  }
+  out += "],\"metrics\":";
+  out += json_text(*registry_);
+  out += '}';
+  return out;
+}
+
+}  // namespace vpscope::obs

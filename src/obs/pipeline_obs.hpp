@@ -1,0 +1,115 @@
+// PipelineObs: the observability bundle one pipeline front-end owns
+// (DESIGN.md §5f). It pre-registers every metric of the Fig. 4 data path on
+// one Registry — the single source of truth the PR-4 drop-accounting
+// identity is asserted against:
+//
+//   vpscope_packets_total == vpscope_packets_completed_total
+//                          + vpscope_packets_non_ip_total
+//                          + vpscope_packets_dropped_total{class="payload"}
+//                          + vpscope_packets_dropped_total{class="handshake"}
+//                          + vpscope_packets_stranded
+//
+// Slot model: slots [0, n_shards) belong to the shard workers, slot
+// n_shards to the dispatcher. A standalone VideoFlowPipeline is "one shard
+// with no dispatcher traffic": PipelineObs(1), writing at slot 0.
+//
+// `vpscope_packets_stranded` is a derived gauge refreshed by a collect hook
+// at scrape time: per shard, max(0, enqueued - completed) — exactly the
+// wedged-shard backlog once the dispatcher is quiescent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+namespace vpscope::obs {
+
+struct ObsConfig {
+  /// Per-stage latency histograms (parse/extract/encode/classify/sink).
+  /// Off by default: timers then cost two branches and no clock read.
+  bool profile_stages = false;
+  /// Flow-lifecycle tracing: deterministic 1-in-N sampling by flow-key
+  /// hash. 0 disables tracing (no rings allocated), 1 traces every flow.
+  std::uint64_t trace_sample_n = 0;
+  /// Bounded per-shard trace ring capacity (oldest events overwritten).
+  std::size_t trace_ring_capacity = 1024;
+};
+
+class PipelineObs {
+ public:
+  explicit PipelineObs(int n_shards, ObsConfig config = {});
+
+  int n_shards() const { return n_shards_; }
+  /// The slot the dispatching / front-end thread writes at.
+  int dispatcher_slot() const { return n_shards_; }
+  const ObsConfig& config() const { return config_; }
+
+  Registry& registry() { return *registry_; }
+  const Registry& registry() const { return *registry_; }
+  /// Shared handle for a PeriodicExporter outliving scrapes.
+  std::shared_ptr<const Registry> registry_ptr() const { return registry_; }
+
+  /// Shard's trace ring; nullptr when tracing is disabled.
+  TraceRing* ring(int shard) {
+    return rings_.empty() ? nullptr : rings_[static_cast<std::size_t>(shard)].get();
+  }
+  const TraceRing* ring(int shard) const {
+    return rings_.empty() ? nullptr : rings_[static_cast<std::size_t>(shard)].get();
+  }
+
+  /// Post-mortem JSON for one shard: its trace ring (platform enum values
+  /// rendered to names) plus a full registry snapshot. Parseable by
+  /// json_valid(); dumped by the stuck-shard watchdog.
+  std::string dump_shard(int shard) const;
+
+ private:
+  // Declaration order matters: the registry must be constructed before the
+  // counter references below are bound to it.
+  std::shared_ptr<Registry> registry_;
+  int n_shards_;
+  ObsConfig config_;
+
+ public:
+  // ---- packet accounting (the identity) ----
+  Counter& packets_total;
+  Counter& packets_non_ip;
+  /// Packet items handed to a shard ring; dispatcher-written at the TARGET
+  /// shard's slot so enqueued(i) - completed(i) is that shard's backlog.
+  Counter& packets_enqueued;
+  /// Packet items a shard worker finished (released after processing, read
+  /// with acquire by snapshots).
+  Counter& packets_completed;
+  Counter& packets_dropped_payload;    // {class="payload"}
+  Counter& packets_dropped_handshake;  // {class="handshake"}
+  Counter& volume_samples_dropped;
+
+  // ---- flow accounting ----
+  Counter& flows_total;
+  Counter& video_flows;
+  Counter& classified_composite;  // {outcome="composite"}
+  Counter& classified_partial;    // {outcome="partial"}
+  Counter& classified_unknown;    // {outcome="unknown"}
+  Counter& flows_evicted_capacity;
+
+  // ---- fault containment ----
+  Counter& sink_errors;
+  Counter& worker_errors;
+  Counter& dispatcher_contract_violations;
+
+  // ---- gauges ----
+  Gauge& flows_active;      // per-slot flow-table sizes
+  Gauge& shards_bypassed;   // watchdog +1 / recovery -1
+  Gauge& packets_stranded;  // derived at collect time
+
+  StageProfiler profiler;
+
+ private:
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+}  // namespace vpscope::obs

@@ -1,0 +1,122 @@
+// Per-stage latency profiling (DESIGN.md §5f): the Fig. 4 hot path
+// (parse -> extract -> encode -> classify -> sink) wrapped in ScopedTimers
+// that feed one log-linear histogram per stage, with per-slot (per-shard)
+// bucket arrays so p50/p99/p999 are available both merged and per shard.
+//
+// Cost model: when the profiler is disabled (the default) a ScopedTimer is
+// two predictable branches and no clock read — cheap enough to leave
+// compiled around the hot path permanently. Defining VPSCOPE_OBS_NO_TIMERS
+// additionally compiles the body out entirely for builds that want literal
+// zero cost. When enabled, each timed stage costs two steady_clock reads
+// plus one wait-free histogram record on the caller's own slot.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace vpscope::obs {
+
+/// The pipeline stages of the paper's Fig. 4, in flow order.
+enum class Stage : int {
+  Parse,     // net::decode of the raw packet (dispatcher / front-end)
+  Extract,   // HandshakeExtractor::feed (reassembly + ClientHello parse)
+  Encode,    // FeatureEncoder::transform_into (attributes -> feature vector)
+  Classify,  // compiled-forest predictions + confidence logic
+  Sink,      // session-record emission into the user sink
+  kCount,
+};
+
+constexpr std::string_view stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::Parse: return "parse";
+    case Stage::Extract: return "extract";
+    case Stage::Encode: return "encode";
+    case Stage::Classify: return "classify";
+    case Stage::Sink: return "sink";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One latency histogram per stage, registered as
+/// `<metric>{stage="..."}`; runtime-toggled, off by default.
+class StageProfiler {
+ public:
+  explicit StageProfiler(Registry& registry,
+                         std::string_view metric = "vpscope_stage_latency_ns") {
+    for (int s = 0; s < static_cast<int>(Stage::kCount); ++s) {
+      const Stage stage = static_cast<Stage>(s);
+      histograms_[static_cast<std::size_t>(s)] = &registry.histogram(
+          metric, "Per-stage hot-path latency (ns), log-linear buckets",
+          std::string("stage=\"") + std::string(stage_name(stage)) + "\"");
+    }
+  }
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(Stage stage, int slot, std::uint64_t ns) {
+    histograms_[static_cast<std::size_t>(stage)]->record(slot, ns);
+  }
+
+  const Histogram& histogram(Stage stage) const {
+    return *histograms_[static_cast<std::size_t>(stage)];
+  }
+
+  StageProfiler(const StageProfiler&) = delete;
+  StageProfiler& operator=(const StageProfiler&) = delete;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::array<Histogram*, static_cast<std::size_t>(Stage::kCount)> histograms_{};
+};
+
+/// RAII stage timer. Null profiler or disabled profiler = no clock read.
+class ScopedTimer {
+ public:
+  ScopedTimer(StageProfiler* profiler, Stage stage, int slot) {
+#if !defined(VPSCOPE_OBS_NO_TIMERS)
+    if (profiler && profiler->enabled()) {
+      profiler_ = profiler;
+      stage_ = stage;
+      slot_ = slot;
+      start_ns_ = monotonic_ns();
+    }
+#else
+    (void)profiler;
+    (void)stage;
+    (void)slot;
+#endif
+  }
+
+  ~ScopedTimer() {
+#if !defined(VPSCOPE_OBS_NO_TIMERS)
+    if (profiler_) profiler_->record(stage_, slot_, monotonic_ns() - start_ns_);
+#endif
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+#if !defined(VPSCOPE_OBS_NO_TIMERS)
+  StageProfiler* profiler_ = nullptr;
+  Stage stage_ = Stage::Parse;
+  int slot_ = 0;
+  std::uint64_t start_ns_ = 0;
+#endif
+};
+
+}  // namespace vpscope::obs

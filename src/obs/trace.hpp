@@ -1,0 +1,127 @@
+// Sampled flow-lifecycle trace ring (DESIGN.md §5f).
+//
+// A bounded per-shard ring of structured flow events — Admitted, Rejected,
+// Evicted, Shed, Classified, Finalized, Stranded, Recovered — sampled
+// deterministically 1-in-N by flow-key hash so (a) the same flow is either
+// fully traced or not traced at all, and (b) two runs over the same traffic
+// produce identical traces. The ring overwrites oldest-first, so it always
+// holds the most recent window of sampled events; the stuck-shard watchdog
+// dumps it as a JSON post-mortem (see PipelineObs::dump_shard).
+//
+// Event pushes are per-*flow-event*, not per-packet, and only for sampled
+// flows, so the ring is far off the packet hot path; a plain mutex keeps it
+// trivially TSan-clean for concurrent dump-while-push.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace vpscope::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  Admitted,    // flow inserted into the flow table
+  Rejected,    // admission refused (RejectNew policy at capacity)
+  Evicted,     // LRU capacity eviction
+  Shed,        // dispatch-time load shed (ring full past grace)
+  Classified,  // classifier produced a prediction for the flow
+  Finalized,   // session record emitted through the sink
+  Stranded,    // watchdog flipped this shard to bypass (shard-level event)
+  Recovered,   // shard re-admitted after drain (shard-level event)
+};
+
+constexpr std::string_view trace_event_kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::Admitted: return "admitted";
+    case TraceEventKind::Rejected: return "rejected";
+    case TraceEventKind::Evicted: return "evicted";
+    case TraceEventKind::Shed: return "shed";
+    case TraceEventKind::Classified: return "classified";
+    case TraceEventKind::Finalized: return "finalized";
+    case TraceEventKind::Stranded: return "stranded";
+    case TraceEventKind::Recovered: return "recovered";
+  }
+  return "?";
+}
+
+/// One structured event. Platform fields are raw fingerprint enum values
+/// (rendered to names at dump time) so this header stays dependency-free.
+struct TraceEvent {
+  std::uint64_t ts_us = 0;      // flow/sim timestamp of the triggering packet
+  std::uint64_t flow_hash = 0;  // FlowKeyHash of the flow (0 = shard-level)
+  TraceEventKind kind = TraceEventKind::Admitted;
+  std::uint8_t outcome = 0;       // kind-specific detail (e.g. shed class)
+  std::uint8_t os = 0;            // Classified: fingerprint::Os
+  std::uint8_t agent = 0;         // Classified: fingerprint::Agent
+  bool has_platform = false;      // Classified: confident prediction present
+  float confidence = 0.0f;        // Classified: winning probability
+};
+
+/// Bounded overwrite-oldest event ring with deterministic 1-in-N sampling.
+class TraceRing {
+ public:
+  /// sample_n == 0 disables tracing entirely (sampled() always false);
+  /// sample_n == 1 traces every flow.
+  TraceRing(std::size_t capacity, std::uint64_t sample_n)
+      : capacity_(capacity), sample_n_(sample_n) {
+    events_.reserve(capacity_);
+  }
+
+  bool enabled() const { return sample_n_ != 0 && capacity_ != 0; }
+
+  /// Deterministic sampling decision for a flow-key hash.
+  bool sampled(std::uint64_t flow_hash) const {
+    return enabled() && flow_hash % sample_n_ == 0;
+  }
+
+  std::uint64_t sample_n() const { return sample_n_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Appends unconditionally (caller decides sampling via sampled()).
+  void push(const TraceEvent& event) {
+    if (capacity_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      events_[head_] = event;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_pushed_;
+  }
+
+  /// Events in arrival order (oldest first). Safe concurrently with push.
+  std::vector<TraceEvent> drain_copy() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i)
+      out.push_back(events_[(head_ + i) % events_.size()]);
+    return out;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+
+  /// Lifetime pushes, including overwritten ones.
+  std::uint64_t total_pushed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_pushed_;
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t sample_n_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;  // index of the oldest event once full
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace vpscope::obs

@@ -96,8 +96,10 @@ const ClassifierBank::Scenario* ClassifierBank::scenario(
   return it == scenarios_.end() ? nullptr : &it->second;
 }
 
-PlatformPrediction ClassifierBank::classify(
-    const core::FlowHandshake& handshake, Provider provider) const {
+PlatformPrediction ClassifierBank::classify(const core::FlowHandshake& handshake,
+                                            Provider provider,
+                                            obs::StageProfiler* profiler,
+                                            int slot) const {
   PlatformPrediction out;
   const Scenario* s = scenario(provider, handshake.transport);
   if (!s) return out;  // untrained scenario: Unknown
@@ -116,9 +118,14 @@ PlatformPrediction ClassifierBank::classify(
   thread_local ClassifyScratch scratch;
 
   scratch.features.resize(s->encoder.dimension());
-  s->encoder.transform_into(handshake, scratch.raw, scratch.features);
+  {
+    obs::ScopedTimer timer(profiler, obs::Stage::Encode, slot);
+    s->encoder.transform_into(handshake, scratch.raw, scratch.features);
+  }
   const std::span<const double> features(scratch.features);
 
+  // Covers the forest descents and confidence logic through every return.
+  obs::ScopedTimer classify_timer(profiler, obs::Stage::Classify, slot);
   const auto [platform_cls, platform_conf] =
       s->platform_compiled.predict_with_confidence(features, scratch.forest);
   out.platform_confidence = platform_conf;

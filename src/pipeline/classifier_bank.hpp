@@ -16,6 +16,7 @@
 #include "core/encoder.hpp"
 #include "ml/compiled_forest.hpp"
 #include "ml/forest.hpp"
+#include "obs/timer.hpp"
 #include "synth/dataset.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -63,8 +64,12 @@ class ClassifierBank {
 
   /// Full Fig. 4 logic: composite prediction, fallback to per-objective
   /// predictions under the confidence threshold, Unknown rejection.
+  /// `profiler`/`slot` optionally record the Encode and Classify stage
+  /// latencies (obs::StageProfiler); null costs nothing.
   PlatformPrediction classify(const core::FlowHandshake& handshake,
-                              fingerprint::Provider provider) const;
+                              fingerprint::Provider provider,
+                              obs::StageProfiler* profiler = nullptr,
+                              int slot = 0) const;
 
   /// Raw access to one scenario's forest + encoder (evaluation harness use).
   struct Scenario {

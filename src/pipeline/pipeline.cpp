@@ -74,14 +74,72 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& other) {
   return *this;
 }
 
+VideoFlowPipeline::VideoFlowPipeline(const ClassifierBank* bank,
+                                     PipelineOptions options,
+                                     obs::ObsConfig obs_config)
+    : bank_(bank), options_(options) {
+  // A standalone pipeline is "one shard with no dispatcher": slot 0 of a
+  // two-slot registry. The sharded front-end replaces this via bind_obs.
+  owned_obs_ = std::make_shared<obs::PipelineObs>(1, obs_config);
+  obs_ = owned_obs_.get();
+  ring_ = obs_->ring(0);
+}
+
+void VideoFlowPipeline::bind_obs(obs::PipelineObs* obs, int slot) {
+  obs_ = obs;
+  slot_ = slot;
+  ring_ = obs->ring(slot);
+  owned_obs_.reset();
+}
+
+PipelineStats VideoFlowPipeline::stats() const {
+  // Thin read over the registry: this pipeline's own slot only, so a shard
+  // pipeline bound to a shared registry reports just its contribution.
+  PipelineStats s;
+  const obs::PipelineObs& o = *obs_;
+  const int i = slot_;
+  s.packets_total = o.packets_total.value(i);
+  s.packets_non_ip = o.packets_non_ip.value(i);
+  s.flows_total = o.flows_total.value(i);
+  s.video_flows = o.video_flows.value(i);
+  s.classified_composite = o.classified_composite.value(i);
+  s.classified_partial = o.classified_partial.value(i);
+  s.classified_unknown = o.classified_unknown.value(i);
+  // Processed decomposes into completed + decode-rejected; a synchronous
+  // pipeline never drops, strands, or bypasses.
+  s.packets_processed =
+      o.packets_completed.value(i) + o.packets_non_ip.value(i);
+  s.packets_dropped_payload = o.packets_dropped_payload.value(i);
+  s.packets_dropped_handshake = o.packets_dropped_handshake.value(i);
+  s.volume_samples_dropped = o.volume_samples_dropped.value(i);
+  s.flows_evicted_capacity = o.flows_evicted_capacity.value(i);
+  s.sink_errors = o.sink_errors.value(i);
+  s.worker_errors = o.worker_errors.value(i);
+  return s;
+}
+
+void VideoFlowPipeline::trace_push(obs::TraceEventKind kind,
+                                   std::uint64_t ts_us,
+                                   const FlowState& state) {
+  obs::TraceEvent event;
+  event.ts_us = ts_us;
+  event.flow_hash = state.flow_hash;
+  event.kind = kind;
+  ring_->push(event);
+}
+
 void VideoFlowPipeline::on_packet(const net::Packet& packet) {
-  ++stats_.packets_total;
-  const auto decoded = net::decode(packet);
+  obs_->packets_total.add(slot_);
+  std::optional<net::DecodedPacket> decoded;
+  {
+    obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Parse, slot_);
+    decoded = net::decode(packet);
+  }
   if (!decoded) {
-    ++stats_.packets_non_ip;
-    ++stats_.packets_processed;  // rejected at decode, but fully handled
+    obs_->packets_non_ip.add(slot_);  // rejected at decode = fully handled
     return;
   }
+  obs_->packets_completed.add(slot_);
   on_decoded(*decoded);
 }
 
@@ -92,7 +150,8 @@ void VideoFlowPipeline::touch_lru(FlowState& state) {
   lru_.splice(lru_.end(), lru_, state.lru_it);
 }
 
-bool VideoFlowPipeline::admit_flow(FlowMap::iterator it, bool inserted) {
+bool VideoFlowPipeline::admit_flow(FlowMap::iterator it, bool inserted,
+                                   std::uint64_t ts_us) {
   if (options_.max_flows == 0) return true;
   if (inserted) {
     lru_.push_back(it->first);
@@ -101,12 +160,14 @@ bool VideoFlowPipeline::admit_flow(FlowMap::iterator it, bool inserted) {
     touch_lru(it->second);
   }
   if (flows_.size() <= options_.max_flows) return true;
-  ++stats_.flows_evicted_capacity;
+  obs_->flows_evicted_capacity.add(slot_);
   if (options_.eviction == PipelineOptions::Eviction::RejectNew) {
     // `it` is the newest flow (we only get here on insertion); refuse it.
-    // Un-count it from flows_total — every packet of a refused flow retries
-    // the insert, and those retries are not new flows.
-    --stats_.flows_total;
+    // flows_total was not yet counted for it — the caller counts only after
+    // admission succeeds, keeping the counter monotone (every packet of a
+    // refused flow retries the insert, and retries are not new flows).
+    if (ring_ && it->second.traced)
+      trace_push(obs::TraceEventKind::Rejected, ts_us, it->second);
     lru_.erase(it->second.lru_it);
     flows_.erase(it);
     return false;
@@ -115,6 +176,8 @@ bool VideoFlowPipeline::admit_flow(FlowMap::iterator it, bool inserted) {
   // the normal sink path. It is never `it` itself — `it` was just touched.
   const net::FlowKey victim_key = lru_.front();
   const auto victim = flows_.find(victim_key);
+  if (ring_ && victim->second.traced)
+    trace_push(obs::TraceEventKind::Evicted, ts_us, victim->second);
   finalize(victim->first, victim->second);
   flows_.erase(victim);
   lru_.pop_front();
@@ -122,7 +185,6 @@ bool VideoFlowPipeline::admit_flow(FlowMap::iterator it, bool inserted) {
 }
 
 void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
-  ++stats_.packets_processed;
   // Video flows ride HTTPS; anything else never enters the flow table.
   if (decoded.src_port() != 443 && decoded.dst_port() != 443) return;
 
@@ -130,7 +192,6 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
   auto [it, inserted] = flows_.try_emplace(key);
   FlowState& state = it->second;
   if (inserted) {
-    ++stats_.flows_total;
     // The first packet of a flow comes from the client in our captures
     // (SYN / QUIC Initial); fall back to "not port 443" for robustness.
     if (decoded.dst_port() == 443) {
@@ -142,8 +203,21 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
     }
     state.transport =
         decoded.udp ? Transport::Quic : Transport::Tcp;
+    if (ring_) {
+      state.flow_hash = net::FlowKeyHash{}(key);
+      state.traced = ring_->sampled(state.flow_hash);
+    }
   }
-  if (!admit_flow(it, inserted)) return;
+  if (!admit_flow(it, inserted, decoded.timestamp_us)) {
+    sync_flows_active();
+    return;
+  }
+  if (inserted) {
+    obs_->flows_total.add(slot_);
+    sync_flows_active();
+    if (ring_ && state.traced)
+      trace_push(obs::TraceEventKind::Admitted, decoded.timestamp_us, state);
+  }
 
   // Telemetry: every packet counts, direction by client address.
   const bool from_client = state.client_addr &&
@@ -155,29 +229,51 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
     state.counters.add_down(decoded.timestamp_us, decoded.ip_packet_size);
 
   // Handshake path: feed until complete, then detect provider + classify.
-  if (state.prediction || !state.extractor.feed(decoded)) return;
+  if (state.prediction) return;
+  bool fed;
+  {
+    obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Extract, slot_);
+    fed = state.extractor.feed(decoded);
+  }
+  if (!fed) return;
   if (!state.extractor.complete()) return;
 
   state.sni = state.extractor.sni();
   state.provider = provider_from_sni(state.sni);
   if (!state.provider) return;  // HTTPS, but not a video provider of interest
 
-  ++stats_.video_flows;
+  obs_->video_flows.add(slot_);
   state.video_counted = true;
   const auto& handshake = *state.extractor.handshake();
   PlatformPrediction prediction =
-      bank_ ? bank_->classify(handshake, *state.provider)
+      bank_ ? bank_->classify(handshake, *state.provider, &obs_->profiler,
+                              slot_)
             : PlatformPrediction{};
   switch (prediction.outcome) {
     case telemetry::Outcome::Composite:
-      ++stats_.classified_composite;
+      obs_->classified_composite.add(slot_);
       break;
     case telemetry::Outcome::Partial:
-      ++stats_.classified_partial;
+      obs_->classified_partial.add(slot_);
       break;
     case telemetry::Outcome::Unknown:
-      ++stats_.classified_unknown;
+      obs_->classified_unknown.add(slot_);
       break;
+  }
+  if (ring_ && state.traced) {
+    obs::TraceEvent event;
+    event.ts_us = decoded.timestamp_us;
+    event.flow_hash = state.flow_hash;
+    event.kind = obs::TraceEventKind::Classified;
+    event.os = prediction.device
+                   ? static_cast<std::uint8_t>(*prediction.device)
+                   : std::uint8_t{0xff};
+    event.agent = prediction.agent
+                      ? static_cast<std::uint8_t>(*prediction.agent)
+                      : std::uint8_t{0xff};
+    event.has_platform = prediction.platform.has_value();
+    event.confidence = static_cast<float>(prediction.platform_confidence);
+    ring_->push(event);
   }
   if (drift_)
     drift_->record(*state.provider, state.transport, prediction.outcome,
@@ -199,6 +295,8 @@ void VideoFlowPipeline::on_volume_sample(const net::FlowKey& key,
 void VideoFlowPipeline::finalize(const net::FlowKey& key, FlowState& state) {
   (void)key;
   if (!state.video_counted || !state.provider) return;  // not a video flow
+  if (ring_ && state.traced)
+    trace_push(obs::TraceEventKind::Finalized, state.counters.last_us, state);
   telemetry::SessionRecord record;
   record.provider = *state.provider;
   record.transport = state.transport;
@@ -218,9 +316,10 @@ void VideoFlowPipeline::finalize(const net::FlowKey& key, FlowState& state) {
     // stays consistent.
     try {
       VPSCOPE_FAULTPOINT(fault::Point::SinkEmit);
+      obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Sink, slot_);
       sink_(std::move(record));
     } catch (...) {
-      ++stats_.sink_errors;
+      obs_->sink_errors.add(slot_);
     }
   }
 }
@@ -239,12 +338,14 @@ void VideoFlowPipeline::flush_idle(std::uint64_t now_us,
       ++it;
     }
   }
+  sync_flows_active();
 }
 
 void VideoFlowPipeline::flush_all() {
   for (auto& [key, state] : flows_) finalize(key, state);
   flows_.clear();
   lru_.clear();
+  sync_flows_active();
 }
 
 }  // namespace vpscope::pipeline

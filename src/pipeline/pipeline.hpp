@@ -13,12 +13,14 @@
 
 #include <functional>
 #include <list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "core/handshake.hpp"
+#include "obs/pipeline_obs.hpp"
 #include "pipeline/classifier_bank.hpp"
 #include "pipeline/drift.hpp"
 #include "telemetry/telemetry.hpp"
@@ -89,10 +91,12 @@ struct PipelineOptions {
 
 class VideoFlowPipeline {
  public:
-  /// The bank must outlive the pipeline.
+  /// The bank must outlive the pipeline. `obs_config` enables the optional
+  /// observability features (stage profiling, flow tracing) on the
+  /// pipeline's own metrics registry; ignored after bind_obs().
   explicit VideoFlowPipeline(const ClassifierBank* bank,
-                             PipelineOptions options = {})
-      : bank_(bank), options_(options) {}
+                             PipelineOptions options = {},
+                             obs::ObsConfig obs_config = {});
 
   /// Called for every finished video session (flow idle-timeout or flush).
   void set_sink(std::function<void(telemetry::SessionRecord)> sink) {
@@ -125,7 +129,27 @@ class VideoFlowPipeline {
   /// Flushes everything (end of capture).
   void flush_all();
 
-  const PipelineStats& stats() const { return stats_; }
+  /// Re-points this pipeline's metrics at a shared PipelineObs, writing at
+  /// `slot` (the sharded front-end binds each shard's pipeline to one
+  /// registry, slot = shard index). Call before the first packet; `obs`
+  /// must outlive the pipeline.
+  void bind_obs(obs::PipelineObs* obs, int slot);
+
+  /// The metrics registry bundle this pipeline writes to (its own unless
+  /// bind_obs re-pointed it).
+  obs::PipelineObs& observability() { return *obs_; }
+  const obs::PipelineObs& observability() const { return *obs_; }
+  /// Shared handle to the OWNED bundle, for callers that need the metrics
+  /// to outlive the pipeline (e.g. the campus simulator's post-run report);
+  /// null after bind_obs.
+  std::shared_ptr<obs::PipelineObs> shared_observability() const {
+    return owned_obs_;
+  }
+
+  /// Assembled from this pipeline's registry slot. Returned by value (the
+  /// counters live in the registry now); `const auto&` callers still work
+  /// through lifetime extension.
+  PipelineStats stats() const;
   std::size_t active_flows() const { return flows_.size(); }
 
  private:
@@ -141,6 +165,10 @@ class VideoFlowPipeline {
     bool video_counted = false;
     /// Position in lru_; only maintained when options_.max_flows > 0.
     std::list<net::FlowKey>::iterator lru_it;
+    /// FlowKeyHash of the key; only computed when tracing is enabled.
+    std::uint64_t flow_hash = 0;
+    /// Deterministic 1-in-N sampling decision for this flow.
+    bool traced = false;
   };
 
   using FlowMap = std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash>;
@@ -149,9 +177,16 @@ class VideoFlowPipeline {
   /// Admission control after try_emplace: touches the LRU and, when the
   /// table exceeds max_flows, evicts the longest-idle flow (or the
   /// just-admitted one under RejectNew). Returns false when `it` itself was
-  /// rejected and erased.
-  bool admit_flow(FlowMap::iterator it, bool inserted);
+  /// rejected and erased. `ts_us` stamps the trace events this may emit.
+  bool admit_flow(FlowMap::iterator it, bool inserted, std::uint64_t ts_us);
   void touch_lru(FlowState& state);
+  void trace_push(obs::TraceEventKind kind, std::uint64_t ts_us,
+                  const FlowState& state);
+  /// Keeps the vpscope_flows_active gauge in sync after table mutations.
+  void sync_flows_active() {
+    obs_->flows_active.set(slot_,
+                           static_cast<std::int64_t>(flows_.size()));
+  }
 
   const ClassifierBank* bank_;
   PipelineOptions options_;
@@ -160,7 +195,12 @@ class VideoFlowPipeline {
   FlowMap flows_;
   /// Least-recently-touched flow at the front; empty when unbounded.
   std::list<net::FlowKey> lru_;
-  PipelineStats stats_;
+  /// Owned registry bundle for the standalone case; the sharded front-end
+  /// re-points obs_ at its shared bundle via bind_obs().
+  std::shared_ptr<obs::PipelineObs> owned_obs_;
+  obs::PipelineObs* obs_ = nullptr;
+  obs::TraceRing* ring_ = nullptr;  // cached obs_->ring(slot_)
+  int slot_ = 0;
 };
 
 }  // namespace vpscope::pipeline

@@ -86,6 +86,7 @@ ShardedPipeline::ShardedPipeline(const ClassifierBank* bank,
   if (options.n_shards <= 0)
     throw std::invalid_argument("ShardedPipeline: n_shards must be >= 1");
   const auto n = static_cast<std::size_t>(options.n_shards);
+  obs_ = std::make_shared<obs::PipelineObs>(options.n_shards, options.obs);
   // The flow-table budget is global; each shard polices its slice.
   PipelineOptions per_shard = options.flow_table;
   if (per_shard.max_flows > 0)
@@ -95,6 +96,8 @@ ShardedPipeline::ShardedPipeline(const ClassifierBank* bank,
     auto shard =
         std::make_unique<Shard>(bank, options.queue_capacity, per_shard);
     shard->index = i;
+    // All shards write the one shared registry, each at its own slot.
+    shard->pipe.bind_obs(obs_.get(), i);
     shard->pipe.set_sink([this](telemetry::SessionRecord record) {
       const std::lock_guard<std::mutex> lock(sink_mutex_);
       if (sink_) sink_(std::move(record));
@@ -131,6 +134,23 @@ void ShardedPipeline::set_stuck_callback(
   stuck_callback_ = std::move(callback);
 }
 
+void ShardedPipeline::set_stuck_dump_sink(
+    std::function<void(int shard, std::string dump)> sink) {
+  stuck_dump_sink_ = std::move(sink);
+}
+
+void ShardedPipeline::set_exporter(obs::ExportOptions options) {
+  exporter_ = std::make_unique<obs::PeriodicExporter>(obs_->registry_ptr(),
+                                                      std::move(options));
+}
+
+void ShardedPipeline::maybe_export() {
+  // Amortized: one clock read per 1024 dispatcher packets, not per packet.
+  if (!exporter_) return;
+  if ((++packets_since_export_check_ & 1023) != 0) return;
+  exporter_->tick(steady_now_us());
+}
+
 std::size_t ShardedPipeline::shard_of(const net::FlowKey& key) const {
   return net::FlowKeyHash{}(key) % shards_.size();
 }
@@ -146,7 +166,9 @@ void ShardedPipeline::check_dispatcher_thread() {
     return;
   }
   if (dispatcher_thread_hash_.load(std::memory_order_acquire) != self) {
-    dispatcher_violations_.fetch_add(1, std::memory_order_relaxed);
+    // Written from the violating (non-dispatcher) thread; the cell is an
+    // atomic, so cross-thread writes are merely contended, never racy.
+    obs_->dispatcher_contract_violations.add(obs_->dispatcher_slot());
 #if !(defined(VPSCOPE_FAULT_INJECTION) && VPSCOPE_FAULT_INJECTION)
     assert(false &&
            "ShardedPipeline: on_packet/flush/stats/active_flows are "
@@ -175,16 +197,27 @@ bool ShardedPipeline::watchdog_check(Shard& shard) {
   // to telemetry-only bypass so one wedged shard cannot head-of-line-block
   // the capture loop. The backlog becomes `stranded` until recovery.
   shard.bypassed.store(true, std::memory_order_release);
-  ++dispatcher_stats_.shards_bypassed;
+  obs_->shards_bypassed.add(obs_->dispatcher_slot(), 1);
+  if (auto* ring = obs_->ring(shard.index)) {
+    // Shard-level event, pushed unconditionally (not flow-sampled).
+    obs::TraceEvent event;
+    event.ts_us = now;
+    event.kind = obs::TraceEventKind::Stranded;
+    ring->push(event);
+  }
+  // Post-mortem before the callback, so the dump reflects the moment of
+  // the flip (the callback may mutate the world).
+  if (stuck_dump_sink_)
+    stuck_dump_sink_(shard.index, obs_->dump_shard(shard.index));
   if (stuck_callback_) stuck_callback_(shard.index);
   return true;
 }
 
 void ShardedPipeline::count_drop(AdmissionClass cls) {
   if (cls == AdmissionClass::Handshake)
-    ++dispatcher_stats_.packets_dropped_handshake;
+    obs_->packets_dropped_handshake.add(obs_->dispatcher_slot());
   else
-    ++dispatcher_stats_.packets_dropped_payload;
+    obs_->packets_dropped_payload.add(obs_->dispatcher_slot());
 }
 
 ShardedPipeline::Admission ShardedPipeline::enqueue(Shard& shard, Item&& item,
@@ -216,7 +249,9 @@ ShardedPipeline::Admission ShardedPipeline::enqueue(Shard& shard, Item&& item,
   }
   shard.watchdog_stall_started_us = 0;  // the ring made room: not stuck
   shard.enqueued.fetch_add(1, std::memory_order_release);
-  if (kind == Item::Kind::Packet) ++shard.packets_sent;
+  // Packet-item handover counter at the TARGET shard's slot, so
+  // enqueued(i) - completed(i) is shard i's packet backlog.
+  if (kind == Item::Kind::Packet) obs_->packets_enqueued.add(shard.index);
   return Admission::Enqueued;
 }
 
@@ -236,21 +271,37 @@ void ShardedPipeline::broadcast(Item::Kind kind, std::uint64_t arg0,
 
 void ShardedPipeline::on_packet(const net::Packet& packet) {
   check_dispatcher_thread();
-  ++dispatcher_stats_.packets_total;
+  const int dslot = obs_->dispatcher_slot();
+  obs_->packets_total.add(dslot);
   Item item;
   item.kind = Item::Kind::Packet;
   item.packet = packet;  // one copy; the shard owns its bytes
-  item.decoded = net::decode(item.packet);
+  {
+    obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Parse, dslot);
+    item.decoded = net::decode(item.packet);
+  }
   if (!item.decoded) {
-    ++dispatcher_stats_.packets_non_ip;
-    ++dispatcher_stats_.packets_processed;  // rejected at decode = handled
+    obs_->packets_non_ip.add(dslot);  // rejected at decode = handled
+    maybe_export();
     return;
   }
   const AdmissionClass cls = admission_class(*item.decoded);
-  const std::size_t shard = shard_of(item.decoded->flow_key());
+  const std::uint64_t hash = net::FlowKeyHash{}(item.decoded->flow_key());
+  const std::size_t shard = hash % shards_.size();
+  const std::uint64_t ts_us = item.decoded->timestamp_us;
   if (enqueue(*shards_[shard], std::move(item), cls, /*control=*/false) !=
-      Admission::Enqueued)
+      Admission::Enqueued) {
     count_drop(cls);
+    if (auto* ring = obs_->ring(shard); ring && ring->sampled(hash)) {
+      obs::TraceEvent event;
+      event.ts_us = ts_us;
+      event.flow_hash = hash;
+      event.kind = obs::TraceEventKind::Shed;
+      event.outcome = static_cast<std::uint8_t>(cls);
+      ring->push(event);
+    }
+  }
+  maybe_export();
 }
 
 void ShardedPipeline::on_volume_sample(const net::FlowKey& key,
@@ -267,7 +318,7 @@ void ShardedPipeline::on_volume_sample(const net::FlowKey& key,
   if (enqueue(*shards_[shard_of(key)], std::move(item),
               AdmissionClass::Payload, /*control=*/false) !=
       Admission::Enqueued)
-    ++dispatcher_stats_.volume_samples_dropped;
+    obs_->volume_samples_dropped.add(obs_->dispatcher_slot());
 }
 
 void ShardedPipeline::flush_idle(std::uint64_t now_us,
@@ -281,6 +332,7 @@ void ShardedPipeline::flush_all() {
   check_dispatcher_thread();
   broadcast(Item::Kind::FlushAll);
   drain();
+  if (exporter_) exporter_->export_now();  // final snapshot at end of capture
 }
 
 void ShardedPipeline::drain() {
@@ -313,27 +365,51 @@ bool ShardedPipeline::quiescent(const Shard& shard) const {
 PipelineStats ShardedPipeline::stats() {
   check_dispatcher_thread();
   drain();
-  PipelineStats merged = dispatcher_stats_;
-  for (auto& shard : shards_) {
-    // Identity counters come from atomics the worker publishes per packet,
-    // so they stay exact even while the shard is wedged mid-backlog; one
-    // load feeds both processed and stranded, keeping the sum consistent.
+  return snapshot();
+}
+
+PipelineStats ShardedPipeline::snapshot() const {
+  // Pure registry reads: wait-free for the writers, callable from any
+  // thread. Even a wedged shard's counters stay exact — they are atomics
+  // the worker publishes per item, not flow-table state.
+  const obs::PipelineObs& o = *obs_;
+  PipelineStats s;
+  s.packets_non_ip = o.packets_non_ip.total();
+  s.flows_total = o.flows_total.total();
+  s.video_flows = o.video_flows.total();
+  s.classified_composite = o.classified_composite.total();
+  s.classified_partial = o.classified_partial.total();
+  s.classified_unknown = o.classified_unknown.total();
+  std::uint64_t completed_sum = 0;
+  std::uint64_t stranded = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const int slot = static_cast<int>(i);
+    // One acquire load feeds both processed and stranded, keeping the
+    // identity an exact equality; the release pair is the worker's
+    // per-packet completed increment.
     const std::uint64_t done =
-        shard->packets_done.load(std::memory_order_acquire);
-    merged.packets_processed += done;
-    merged.packets_stranded += shard->packets_sent - done;
-    merged.worker_errors +=
-        shard->worker_errors.load(std::memory_order_relaxed);
-    if (quiescent(*shard)) {
-      PipelineStats s = shard->pipe.stats();
-      s.packets_processed = 0;  // already merged from the atomic above
-      merged += s;
-    }
-    // else: a stuck shard's flow-level counters (flows_total, video_flows,
-    // classified_*, sink_errors) are unreadable until it recovers; they are
-    // intentionally omitted rather than raced for.
+        o.packets_completed.value(slot, std::memory_order_acquire);
+    completed_sum += done;
+    const std::uint64_t sent = o.packets_enqueued.value(slot);
+    if (sent > done) stranded += sent - done;
   }
-  return merged;
+  s.packets_processed = completed_sum + s.packets_non_ip;
+  s.packets_stranded = stranded;
+  s.packets_dropped_payload = o.packets_dropped_payload.total();
+  s.packets_dropped_handshake = o.packets_dropped_handshake.total();
+  s.volume_samples_dropped = o.volume_samples_dropped.total();
+  s.flows_evicted_capacity = o.flows_evicted_capacity.total();
+  s.sink_errors = o.sink_errors.total();
+  s.worker_errors = o.worker_errors.total();
+  const std::int64_t bypassed = o.shards_bypassed.total();
+  s.shards_bypassed =
+      bypassed > 0 ? static_cast<std::uint64_t>(bypassed) : 0;
+  // Read the grand total LAST: every packet visible in a component counter
+  // above incremented packets_total first, so a mid-dispatch snapshot is
+  // only ever under-accounted (in-flight packets), never over — and
+  // exactly balanced once the dispatcher is between calls.
+  s.packets_total = o.packets_total.total();
+  return s;
 }
 
 std::size_t ShardedPipeline::active_flows() {
@@ -355,7 +431,13 @@ int ShardedPipeline::reactivate_recovered_shards() {
     shard->watchdog_stall_started_us = 0;
     shard->watchdog_last_processed =
         shard->processed.load(std::memory_order_relaxed);
-    --dispatcher_stats_.shards_bypassed;
+    obs_->shards_bypassed.add(obs_->dispatcher_slot(), -1);
+    if (auto* ring = obs_->ring(shard->index)) {
+      obs::TraceEvent event;
+      event.ts_us = steady_now_us();
+      event.kind = obs::TraceEventKind::Recovered;
+      ring->push(event);
+    }
     ++recovered;
   }
   return recovered;
@@ -403,11 +485,13 @@ void ShardedPipeline::worker_loop(Shard& shard) {
           break;
       }
     } catch (...) {
-      shard.worker_errors.fetch_add(1, std::memory_order_relaxed);
+      obs_->worker_errors.add(shard.index);
       item = Item{};  // release buffers even on a failed item
     }
+    // Completed (even on a contained error) — the release pairs with the
+    // acquire in snapshot(), making the shard's registry writes visible.
     if (kind == Item::Kind::Packet)
-      shard.packets_done.fetch_add(1, std::memory_order_release);
+      obs_->packets_completed.add(shard.index, 1, std::memory_order_release);
     shard.processed.fetch_add(1, std::memory_order_release);
     if (stop) return;
   }

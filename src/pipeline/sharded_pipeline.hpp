@@ -29,17 +29,20 @@
 // shard once it has drained its backlog.
 //
 // Session records from all shards funnel through one lock-protected sink;
-// per-shard PipelineStats are merged on demand. Control operations
-// (flush_idle / flush_all) travel in-band through the same rings, so they
-// are ordered with the packets that preceded them.
+// all counters live on one obs::PipelineObs registry (wait-free per-slot
+// atomic cells — DESIGN.md §5f), assembled into PipelineStats on demand.
+// Control operations (flush_idle / flush_all) travel in-band through the
+// same rings, so they are ordered with the packets that preceded them.
 //
 // Threading contract: on_packet / on_volume_sample / flush_* / drain /
-// stats / active_flows are dispatcher-thread-only — stats() and
-// active_flows() read shard flow tables that are only safe to touch once
-// drain() has observed quiescence, which is only meaningful from the one
-// producing thread. Debug builds (and the fault-injection build) enforce
-// this with a thread-id check; see dispatcher_contract_violations().
-// The sink is invoked on worker threads, serialized by the internal mutex.
+// stats / active_flows are dispatcher-thread-only — they either mutate
+// dispatcher state or read shard flow tables that are only safe to touch
+// once drain() has observed quiescence, which is only meaningful from the
+// one producing thread. Debug builds (and the fault-injection build)
+// enforce this with a thread-id check; see
+// dispatcher_contract_violations(). snapshot() is the any-thread
+// exception: it reads only registry atomics, never flow tables. The sink
+// is invoked on worker threads, serialized by the internal mutex.
 #pragma once
 
 #include <atomic>
@@ -51,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "pipeline/pipeline.hpp"
 #include "util/spsc_ring.hpp"
 
@@ -100,6 +104,11 @@ struct ShardedPipelineOptions {
   /// shard then blocks the dispatcher forever, even under Shed — grace
   /// timers keep expiring but the flood keeps arriving).
   std::uint64_t stuck_timeout_us = 0;
+
+  /// Observability (DESIGN.md §5f): stage profiling and flow tracing for
+  /// the shared registry all shards write to. Metrics themselves are
+  /// always on — they ARE the pipeline's accounting.
+  obs::ObsConfig obs = {};
 };
 
 class ShardedPipeline {
@@ -121,6 +130,18 @@ class ShardedPipeline {
   /// bypass. Set before the first packet.
   void set_stuck_callback(std::function<void(int shard)> callback);
 
+  /// Receives the post-mortem of a shard the watchdog just bypassed: a
+  /// JSON document with the shard's trace ring and a full registry
+  /// snapshot (obs::PipelineObs::dump_shard). Called on the dispatcher
+  /// thread, before the stuck callback. Set before the first packet.
+  void set_stuck_dump_sink(std::function<void(int shard, std::string dump)> sink);
+
+  /// Enables the vpscope_obs_export hook: the registry is rendered and
+  /// atomically rewritten to `options.path` roughly every
+  /// `options.interval_us` (checked every few hundred packets on the
+  /// dispatcher thread) and once more on flush_all().
+  void set_exporter(obs::ExportOptions options);
+
   /// Decodes, shards and enqueues one captured packet, applying the
   /// configured admission policy when the target ring is full.
   void on_packet(const net::Packet& packet);
@@ -140,13 +161,22 @@ class ShardedPipeline {
   /// Bypassed shards are not waited on (their backlog is `stranded`).
   void drain();
 
-  /// Drains, then merges dispatcher counters with per-shard stats. With no
-  /// shard bypassed this equals the stats a single-threaded
-  /// VideoFlowPipeline would report for the same admitted packet sequence.
-  /// A bypassed shard that has not drained contributes only its atomic
-  /// identity counters (processed/stranded); its flow-level counters are
-  /// unavailable until it recovers. Dispatcher-thread-only.
+  /// Drains, then snapshots. With no shard bypassed this equals the stats
+  /// a single-threaded VideoFlowPipeline would report for the same
+  /// admitted packet sequence; a bypassed shard's backlog shows up as
+  /// `packets_stranded`. Dispatcher-thread-only (the drain).
   PipelineStats stats();
+
+  /// Lock-free stats assembly straight from the registry — callable from
+  /// ANY thread, any time, without draining (the fix for the PR-4
+  /// stats() dispatcher-only restriction). Because every counter is a
+  /// wait-free atomic cell, the identity
+  ///   packets_total == packets_processed + packets_dropped_payload
+  ///                  + packets_dropped_handshake + packets_stranded
+  /// holds in every snapshot taken between dispatcher packet calls
+  /// (in-flight backlog of live shards is reported as stranded until the
+  /// workers catch up).
+  PipelineStats snapshot() const;
 
   /// Drains, then sums live flow-table sizes across non-stuck shards.
   /// Dispatcher-thread-only.
@@ -163,8 +193,12 @@ class ShardedPipeline {
   /// Always 0 in release builds (the check compiles out); in debug builds a
   /// violation also trips an assert.
   std::uint64_t dispatcher_contract_violations() const {
-    return dispatcher_violations_.load(std::memory_order_relaxed);
+    return obs_->dispatcher_contract_violations.total();
   }
+
+  /// The shared metrics bundle (registry, stage profiler, trace rings).
+  obs::PipelineObs& observability() { return *obs_; }
+  const obs::PipelineObs& observability() const { return *obs_; }
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
   std::size_t shard_of(const net::FlowKey& key) const;
@@ -198,15 +232,13 @@ class ShardedPipeline {
     VideoFlowPipeline pipe;
     std::atomic<std::uint64_t> enqueued{0};   // all item kinds
     std::atomic<std::uint64_t> processed{0};  // all item kinds
-    /// Packet items completed by the worker — the identity counter that
-    /// stays readable while the shard is wedged mid-backlog.
-    std::atomic<std::uint64_t> packets_done{0};
-    std::atomic<std::uint64_t> worker_errors{0};
+    // Packet-item identity counters (enqueued/completed per packet) live on
+    // the registry: obs packets_enqueued / packets_completed at this
+    // shard's slot.
     std::atomic<bool> bypassed{false};
     std::thread worker;
     int index = 0;
     // ---- dispatcher-thread-only bookkeeping ----
-    std::uint64_t packets_sent = 0;  // packet items enqueued
     std::uint64_t watchdog_last_processed = 0;
     std::uint64_t watchdog_stall_started_us = 0;  // 0 = not currently stalled
   };
@@ -227,20 +259,24 @@ class ShardedPipeline {
   void count_drop(AdmissionClass cls);
   bool quiescent(const Shard& shard) const;
   void check_dispatcher_thread();
+  /// Amortized exporter tick from the dispatcher packet path.
+  void maybe_export();
 
   ShardedPipelineOptions options_;
+  /// Shared registry bundle; slots [0, n_shards) are the workers, slot
+  /// n_shards the dispatcher. Constructed before shards_ so shard
+  /// pipelines can bind to it.
+  std::shared_ptr<obs::PipelineObs> obs_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  // Dispatcher-owned counters for packets that never reach a shard
-  // (decode failures and admission drops). Only the dispatch thread
-  // touches these.
-  PipelineStats dispatcher_stats_;
   std::function<void(int)> stuck_callback_;
+  std::function<void(int, std::string)> stuck_dump_sink_;
+  std::unique_ptr<obs::PeriodicExporter> exporter_;
+  std::uint64_t packets_since_export_check_ = 0;
   std::mutex sink_mutex_;
   std::function<void(telemetry::SessionRecord)> sink_;
   // Dispatcher-thread pin for the debug contract check.
   std::atomic<std::size_t> dispatcher_thread_hash_{0};
   std::atomic<bool> dispatcher_thread_pinned_{false};
-  std::atomic<std::uint64_t> dispatcher_violations_{0};
 };
 
 }  // namespace vpscope::pipeline

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "campus/overload.hpp"
+#include "obs/export.hpp"
 #include "pipeline/faultpoint.hpp"
 #include "pipeline/sharded_pipeline.hpp"
 #include "synth/dataset.hpp"
@@ -339,6 +340,62 @@ TEST_F(FaultInjectionTest, WatchdogBypassesStuckShardThenRecovers) {
   sharded.flush_all();
   expect_identity(sharded.stats(), "post-recovery feed");
   EXPECT_GT(store.size(), 0u);
+}
+
+// The watchdog post-mortem (DESIGN.md §5f): when a shard is declared
+// stuck, the dispatcher hands the dump sink a JSON document carrying the
+// shard's trace ring and a full registry snapshot — before the stuck
+// callback, so an operator hook sees the evidence first.
+TEST_F(FaultInjectionTest, WatchdogDumpFiresAndIsParseable) {
+  const auto packets = interleaved_mix(40);
+  fault::Scoped scoped(fault::Point::WorkerItem,
+                       {.action = fault::Plan::Action::Stall,
+                        .start = 0,
+                        .period = 0,
+                        .limit = 1,
+                        .stall_ms = 800});
+  ShardedPipelineOptions opt;
+  opt.n_shards = 2;
+  opt.queue_capacity = 8;
+  opt.stuck_timeout_us = 20'000;
+  opt.obs.trace_sample_n = 1;  // trace every flow into the post-mortem
+  ShardedPipeline sharded(bank_, opt);
+  telemetry::SynchronizedSessionStore store;
+  sharded.set_sink(store.sink());
+
+  std::vector<int> stuck_shards;
+  std::vector<std::pair<int, std::string>> dumps;
+  sharded.set_stuck_dump_sink([&](int shard, std::string dump) {
+    EXPECT_TRUE(stuck_shards.empty())
+        << "dump sink must run before the stuck callback";
+    dumps.emplace_back(shard, std::move(dump));
+  });
+  sharded.set_stuck_callback([&](int shard) { stuck_shards.push_back(shard); });
+
+  for (const auto& p : packets) sharded.on_packet(p);
+
+  ASSERT_EQ(stuck_shards.size(), 1u);
+  ASSERT_EQ(dumps.size(), 1u) << "one bypass, one post-mortem";
+  EXPECT_EQ(dumps[0].first, stuck_shards[0]);
+
+  const std::string& dump = dumps[0].second;
+  EXPECT_TRUE(obs::json_valid(dump)) << dump;
+  // The wedged shard's window must carry the watchdog's own Stranded event
+  // and the registry snapshot with the identity counters mid-bypass.
+  // (The stall hits the worker's FIRST item, so the wedged shard's ring
+  // holds no flow-lifecycle events yet — only the watchdog's marker.)
+  EXPECT_NE(dump.find("\"event\":\"stranded\""), std::string::npos);
+  EXPECT_NE(dump.find("\"vpscope_packets_total\""), std::string::npos);
+  EXPECT_NE(dump.find("\"vpscope_packets_stranded\""), std::string::npos);
+
+  // Let the stalled worker recover so teardown is orderly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (sharded.reactivate_recovered_shards() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sharded.flush_all();
+  expect_identity(sharded.stats(), "after dump + recovery");
 }
 
 // ---- differential runs under stream mangling ----

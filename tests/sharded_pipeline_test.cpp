@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/handshake.hpp"
@@ -201,6 +203,53 @@ TEST_F(ShardedPipelineTest, VolumeSamplesRouteToOwningShard) {
 TEST_F(ShardedPipelineTest, RejectsZeroShards) {
   EXPECT_THROW(ShardedPipeline(bank_, {.n_shards = 0, .queue_capacity = 8}),
                std::invalid_argument);
+}
+
+// Regression for the PR-4 restriction that made ALL stats reads
+// dispatcher-thread-only: snapshot() must be callable from any thread,
+// concurrently with dispatch, without draining, without tripping the
+// dispatcher contract, and with the drop-accounting identity intact in
+// every observation (in-flight backlog reads as stranded).
+TEST_F(ShardedPipelineTest, SnapshotIsSafeFromAnyThreadWhileDispatching) {
+  const auto packets = interleaved_mix(200);
+
+  ShardedPipeline sharded(bank_, {.n_shards = 4, .queue_capacity = 64});
+  telemetry::SynchronizedSessionStore store;
+  sharded.set_sink(store.sink());
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> snapshots_taken{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t)
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const PipelineStats s = sharded.snapshot();
+        // Mid-dispatch a snapshot may under-account in-flight packets
+        // (snapshot() reads packets_total last, so it never OVER-accounts);
+        // exact equality is guaranteed only between dispatcher calls
+        // (asserted below, quiescent).
+        const std::uint64_t accounted =
+            s.packets_processed + s.packets_dropped_payload +
+            s.packets_dropped_handshake + s.packets_stranded;
+        EXPECT_LE(accounted, s.packets_total);
+        snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  for (const auto& packet : packets) sharded.on_packet(packet);
+  sharded.flush_all();
+  done.store(true, std::memory_order_relaxed);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  EXPECT_EQ(sharded.dispatcher_contract_violations(), 0u)
+      << "snapshot() must not count as a dispatcher-thread-only call";
+
+  // Quiescent now: snapshot() from this thread equals the drained stats().
+  const PipelineStats quiescent = sharded.snapshot();
+  EXPECT_EQ(quiescent, sharded.stats());
+  EXPECT_EQ(quiescent.packets_total, packets.size());
+  EXPECT_EQ(quiescent.packets_stranded, 0u);
 }
 
 }  // namespace
