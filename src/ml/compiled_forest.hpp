@@ -42,6 +42,21 @@ class CompiledForest {
     std::vector<double> proba;
   };
 
+  /// Reusable state for the cross-flow batch kernels (rows x num_classes
+  /// probability staging); one per thread, never shared.
+  struct BatchScratch {
+    std::vector<double> proba;
+  };
+
+  /// Instruction-set level for the cross-flow batch descent. `Auto` probes
+  /// the CPU at call time (one cached check); the explicit levels exist so
+  /// equivalence tests can force every code path on one machine. All levels
+  /// are bit-identical — the descent only compares doubles (exact in any
+  /// width) and the accumulation order never changes.
+  enum class Simd : std::uint8_t { Auto, Scalar, Sse2, Avx2 };
+  /// Whether `level` can run on this CPU (Scalar/Auto: always).
+  static bool simd_supported(Simd level);
+
   CompiledForest() = default;
 
   /// Lowers a trained forest. The source forest is not referenced after
@@ -59,14 +74,38 @@ class CompiledForest {
   std::pair<int, double> predict_with_confidence(std::span<const double> x,
                                                  Scratch& scratch) const;
 
+  /// Cross-flow batch inference over a contiguous row-major feature matrix
+  /// of `rows = matrix.size() / dim` flows: every tree is descended for a
+  /// group of flows at once (SoA node arrays, lane = flow), so the tree's
+  /// upper levels stay cache-hot across the group and the compare/select
+  /// step vectorizes. `out` receives rows x num_classes probabilities,
+  /// bit-identical per row to predict_proba_into on that row, at every Simd
+  /// level.
+  void predict_proba_batch(std::span<const double> matrix, std::size_t dim,
+                           std::span<double> out,
+                           Simd level = Simd::Auto) const;
+
+  /// (argmax, max probability) per row — the batched confidence pair; same
+  /// tie-breaking (first maximum) as predict_with_confidence.
+  void predict_with_confidence_batch(std::span<const double> matrix,
+                                     std::size_t dim, std::span<int> labels,
+                                     std::span<double> confidences,
+                                     BatchScratch& scratch,
+                                     Simd level = Simd::Auto) const;
+
   /// Batch prediction over a contiguous row-major feature matrix of
   /// `matrix.size() / dim` rows; `out` receives one label per row.
   void predict_batch(std::span<const double> matrix, std::size_t dim,
-                     std::span<int> out, Scratch& scratch) const;
+                     std::span<int> out, BatchScratch& scratch,
+                     Simd level = Simd::Auto) const;
   /// Convenience over the (non-contiguous) Dataset container.
   std::vector<int> predict_batch(const Dataset& data) const;
 
   bool trained() const { return !roots_.empty(); }
+  /// Whether the batch path scores via leaf bitmasks (every tree has <= 64
+  /// leaves) or falls back to the traversal kernels. Exposed so tests can
+  /// pin coverage of both paths.
+  bool uses_bitmask_scorer() const { return qs_ok_; }
   int num_classes() const { return num_classes_; }
   int tree_count() const { return static_cast<int>(roots_.size()); }
   std::size_t node_count() const { return nodes_.size(); }
@@ -74,9 +113,73 @@ class CompiledForest {
   std::size_t memory_bytes() const;
 
  private:
+  /// ONE tree for every row (in groups of up to 8 lanes), at one ISA level
+  /// each. Tree-outer iteration keeps the tree's node planes cache-hot
+  /// across the whole batch — the inversion that makes batching pay: the
+  /// forest streams through cache once per BATCH, not once per group.
+  /// These are the batch fallback for forests the bitmask scorer below
+  /// cannot represent (a tree with more than 64 leaves).
+  void descend_tree_scalar(std::int32_t root, const double* matrix,
+                           std::size_t dim, std::size_t rows,
+                           double* acc) const;
+  void descend_tree_sse2(std::int32_t root, const double* matrix,
+                         std::size_t dim, std::size_t rows,
+                         double* acc) const;
+  void descend_tree_avx2(std::int32_t root, const double* matrix,
+                         std::size_t dim, std::size_t rows,
+                         double* acc) const;
+
+  /// Bitmask batch scorer (the QuickScorer scheme of Lucchese et al.,
+  /// SIGIR'15), used whenever every tree has <= 64 leaves: per tree a
+  /// 64-bit mask of surviving leaves starts all-ones, every FALSE node
+  /// (x[feature] > threshold) ANDs away its left subtree, and the reached
+  /// leaf is the lowest surviving bit. Because a feature's false nodes are
+  /// exactly a prefix of its threshold-sorted node list, scoring is a
+  /// branch-predictable streaming walk with no dependent-load chain at
+  /// all — the structural win over any traversal. The SSE2/AVX2 variants
+  /// score 2/4 rows per vector lane; all three accumulate the same leaf
+  /// distributions in tree order, so results stay bit-identical across
+  /// levels and to the per-flow path. Kernels write UN-divided sums.
+  void build_bitmask_scorer();
+  void qs_score_scalar(const double* matrix, std::size_t dim,
+                       std::size_t rows, double* out) const;
+  void qs_score_sse2(const double* matrix, std::size_t dim, std::size_t rows,
+                     double* out) const;
+  void qs_score_avx2(const double* matrix, std::size_t dim, std::size_t rows,
+                     double* out) const;
+
+  // Nodes are emitted in PREORDER per tree: an internal node's left child
+  // is always at `cur + 1`, so the kernels never load a left index.
   std::vector<Node> nodes_;        // all trees, concatenated
   std::vector<double> leaf_proba_; // all leaf distributions, concatenated
   std::vector<std::int32_t> roots_;  // per-tree root offset into nodes_
+  // SoA mirrors of nodes_ for the cross-flow kernels. `soa_meta_` packs
+  // (feature << 32 | right-or-leaf-offset) so one 64-bit gather fetches a
+  // node's whole topology; the threshold plane gathers as doubles.
+  std::vector<std::uint64_t> soa_meta_;
+  std::vector<std::int32_t> soa_feature_;
+  std::vector<std::int32_t> soa_left_;
+  std::vector<std::int32_t> soa_right_;
+  std::vector<double> soa_threshold_;
+
+  // Bitmask-scorer planes (valid when qs_ok_). Internal nodes are bucketed
+  // by feature and sorted by threshold, so a row's false nodes per feature
+  // are the prefix with threshold < x.
+  bool qs_ok_ = false;
+  std::vector<std::int32_t> qs_f_begin_;  // per feature, +1 sentinel
+  std::vector<double> qs_thresh_;         // sorted within each feature
+  std::vector<std::int32_t> qs_tree_;
+  std::vector<std::uint64_t> qs_mask_;    // ~(left-subtree leaves)
+  std::vector<std::uint64_t> qs_tree_full_;  // per tree: low n_leaves bits
+  std::vector<std::int32_t> qs_leaf_base_;   // per tree, into qs_leaf_off_
+  std::vector<std::int32_t> qs_leaf_off_;    // leaf position -> leaf block
+  // Sparse mirror of leaf_proba_: leaves are near-pure (about 1.1 nonzero
+  // classes each), and skipping a +0.0 addend is bit-exact because the
+  // accumulators are never -0.0 (they start at +0.0 and only ever add
+  // non-negative probabilities).
+  std::vector<std::int32_t> sparse_begin_;  // per leaf id, +1 sentinel
+  std::vector<std::int32_t> sparse_cls_;
+  std::vector<double> sparse_val_;
   int num_classes_ = 0;
 };
 

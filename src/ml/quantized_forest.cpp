@@ -1,0 +1,262 @@
+#include "ml/quantized_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vpscope::ml {
+
+namespace {
+
+/// Same flow grouping as the compiled batch kernels, so both variants
+/// partition a batch identically.
+constexpr std::size_t kGroupLanes = 8;
+
+constexpr std::int16_t kMaxRank = std::numeric_limits<std::int16_t>::max();
+
+}  // namespace
+
+QuantizedForest QuantizedForest::quantize(const RandomForest& forest) {
+  QuantizedForest out;
+  out.num_classes_ = forest.num_classes();
+
+  std::size_t total_nodes = 0;
+  int max_feature = -1;
+  for (const auto& tree : forest.trees()) {
+    total_nodes += tree.nodes().size();
+    for (const auto& node : tree.nodes())
+      if (node.feature > max_feature) max_feature = node.feature;
+  }
+  if (total_nodes > static_cast<std::size_t>(
+                        std::numeric_limits<std::int32_t>::max()))
+    throw std::invalid_argument("forest too large to quantize");
+  if (max_feature > static_cast<int>(kMaxRank))
+    throw std::invalid_argument(
+        "quantize: feature index exceeds the int16 envelope");
+  out.n_features_ = max_feature + 1;
+
+  // Pass 1: per-feature sorted distinct threshold tables ("cuts").
+  std::vector<std::vector<double>> cuts(
+      static_cast<std::size_t>(out.n_features_));
+  for (const auto& tree : forest.trees())
+    for (const auto& node : tree.nodes())
+      if (node.feature >= 0)
+        cuts[static_cast<std::size_t>(node.feature)].push_back(node.threshold);
+  out.cut_offsets_.reserve(static_cast<std::size_t>(out.n_features_) + 1);
+  out.cut_offsets_.push_back(0);
+  for (auto& feature_cuts : cuts) {
+    std::sort(feature_cuts.begin(), feature_cuts.end());
+    feature_cuts.erase(
+        std::unique(feature_cuts.begin(), feature_cuts.end()),
+        feature_cuts.end());
+    if (feature_cuts.size() > static_cast<std::size_t>(kMaxRank))
+      throw std::invalid_argument(
+          "quantize: per-feature threshold count exceeds the int16 envelope");
+    out.cuts_.insert(out.cuts_.end(), feature_cuts.begin(),
+                     feature_cuts.end());
+    out.cut_offsets_.push_back(static_cast<std::int32_t>(out.cuts_.size()));
+  }
+
+  // Pass 2: lower the trees, mapping each split threshold to its rank.
+  out.nodes_.reserve(total_nodes);
+  out.roots_.reserve(forest.trees().size());
+  for (const auto& tree : forest.trees()) {
+    const auto base = static_cast<std::int32_t>(out.nodes_.size());
+    out.roots_.push_back(base);
+    for (const auto& node : tree.nodes()) {
+      Node lowered;
+      if (node.feature >= 0) {
+        const auto& feature_cuts = cuts[static_cast<std::size_t>(node.feature)];
+        const auto rank_it = std::lower_bound(
+            feature_cuts.begin(), feature_cuts.end(), node.threshold);
+        lowered.feature = static_cast<std::int16_t>(node.feature);
+        lowered.qthreshold =
+            static_cast<std::int16_t>(rank_it - feature_cuts.begin());
+        lowered.left = base + static_cast<std::int32_t>(node.left);
+        lowered.right = base + static_cast<std::int32_t>(node.right);
+      } else {
+        lowered.left = static_cast<std::int32_t>(out.leaf_proba_.size());
+        // Padded to num_classes like the compiled form; scores round to
+        // nearest so each contributes <= 0.5 scaled error (the margin bound
+        // the fallback test relies on).
+        for (int c = 0; c < out.num_classes_; ++c) {
+          const double p = c < static_cast<int>(node.proba.size())
+                               ? node.proba[static_cast<std::size_t>(c)]
+                               : 0.0;
+          out.leaf_proba_.push_back(p);
+          out.leaf_score_.push_back(static_cast<std::int16_t>(
+              std::lround(p * static_cast<double>(kScoreScale))));
+        }
+      }
+      out.nodes_.push_back(lowered);
+    }
+  }
+  return out;
+}
+
+void QuantizedForest::quantize_row(std::span<const double> x,
+                                   std::int16_t* qx) const {
+  const std::size_t dim = x.size();
+  const auto n_features = static_cast<std::size_t>(n_features_);
+  for (std::size_t f = 0; f < dim; ++f) {
+    if (f >= n_features) {
+      qx[f] = 0;  // the forest never splits on it
+      continue;
+    }
+    const double* begin = cuts_.data() + cut_offsets_[f];
+    const double* end = cuts_.data() + cut_offsets_[f + 1];
+    if (std::isnan(x[f])) {
+      // x <= t is false for NaN at every split; the +inf rank reproduces
+      // that (rank(t) < end-begin <= kMaxRank).
+      qx[f] = kMaxRank;
+      continue;
+    }
+    // Q(x) = count of cuts strictly below x = lower_bound index.
+    qx[f] = static_cast<std::int16_t>(std::lower_bound(begin, end, x[f]) -
+                                     begin);
+  }
+}
+
+void QuantizedForest::descend_group(const std::int16_t* qx, std::size_t dim,
+                                    std::size_t lanes, std::int32_t* scores,
+                                    std::int32_t* leaves) const {
+  const std::size_t n_classes = static_cast<std::size_t>(num_classes_);
+  const std::size_t n_trees = roots_.size();
+  std::int32_t cur[kGroupLanes];
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    for (std::size_t j = 0; j < lanes; ++j) cur[j] = roots_[t];
+    for (bool active = true; active;) {
+      active = false;
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const Node& node = nodes_[static_cast<std::size_t>(cur[j])];
+        if (node.feature >= 0) {
+          const std::int16_t q =
+              qx[j * dim + static_cast<std::size_t>(node.feature)];
+          cur[j] = q <= node.qthreshold ? node.left : node.right;
+          active = true;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < lanes; ++j) {
+      const std::int32_t leaf =
+          nodes_[static_cast<std::size_t>(cur[j])].left;
+      leaves[j * n_trees + t] = leaf;
+      const std::int16_t* score =
+          leaf_score_.data() + static_cast<std::size_t>(leaf);
+      std::int32_t* row_scores = scores + j * n_classes;
+      for (std::size_t c = 0; c < n_classes; ++c) row_scores[c] += score[c];
+    }
+  }
+}
+
+int QuantizedForest::resolve_label(const std::int32_t* scores,
+                                   const std::int32_t* leaves,
+                                   Scratch& scratch) const {
+  const std::size_t n_classes = static_cast<std::size_t>(num_classes_);
+  const auto n_trees = static_cast<std::int32_t>(roots_.size());
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < n_classes; ++c)
+    if (scores[c] > scores[best]) best = c;
+  // Margin test: every leaf score carries <= 0.5 scaled rounding error, so
+  // two classes can only have swapped (or tied) under quantization when
+  // their int32 gap is within tree_count. Outside that margin the int
+  // argmax provably equals the float argmax (which is then unique).
+  bool certain = true;
+  for (std::size_t c = 0; c < n_classes && certain; ++c)
+    if (c != best && scores[best] - scores[c] <= n_trees) certain = false;
+  if (certain) return static_cast<int>(best);
+  // Exact fallback: re-accumulate the SAME leaves in doubles, in tree
+  // order, then first-maximum argmax — precisely the float path's
+  // arithmetic, so ties and near-ties resolve identically.
+  scratch.proba.assign(n_classes, 0.0);
+  for (std::int32_t t = 0; t < n_trees; ++t) {
+    const double* proba =
+        leaf_proba_.data() +
+        static_cast<std::size_t>(leaves[static_cast<std::size_t>(t)]);
+    for (std::size_t c = 0; c < n_classes; ++c) scratch.proba[c] += proba[c];
+  }
+  std::size_t exact_best = 0;
+  for (std::size_t c = 1; c < n_classes; ++c)
+    if (scratch.proba[c] > scratch.proba[exact_best]) exact_best = c;
+  return static_cast<int>(exact_best);
+}
+
+int QuantizedForest::predict(std::span<const double> x,
+                             Scratch& scratch) const {
+  const std::size_t n_classes = static_cast<std::size_t>(num_classes_);
+  const std::size_t n_trees = roots_.size();
+  scratch.qx.resize(x.size());
+  quantize_row(x, scratch.qx.data());
+  scratch.leaves.resize(n_trees);
+  std::int32_t scores[64];
+  std::vector<std::int32_t> heap_scores;
+  std::int32_t* row_scores = scores;
+  if (n_classes > 64) {
+    heap_scores.assign(n_classes, 0);
+    row_scores = heap_scores.data();
+  } else {
+    std::fill(scores, scores + n_classes, 0);
+  }
+  descend_group(scratch.qx.data(), x.size(), 1, row_scores,
+                scratch.leaves.data());
+  return resolve_label(row_scores, scratch.leaves.data(), scratch);
+}
+
+std::pair<int, double> QuantizedForest::predict_with_confidence(
+    std::span<const double> x, Scratch& scratch) const {
+  const int label = predict(x, scratch);
+  // Exact probability of the winning class, reconstructed from the
+  // descended leaves (scratch.leaves is still valid from predict) with the
+  // float path's accumulate-then-divide arithmetic.
+  const std::size_t n_classes = static_cast<std::size_t>(num_classes_);
+  const std::size_t n_trees = roots_.size();
+  scratch.proba.assign(n_classes, 0.0);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    const double* proba =
+        leaf_proba_.data() + static_cast<std::size_t>(scratch.leaves[t]);
+    for (std::size_t c = 0; c < n_classes; ++c) scratch.proba[c] += proba[c];
+  }
+  if (n_trees > 0)
+    for (std::size_t c = 0; c < n_classes; ++c)
+      scratch.proba[c] /= static_cast<double>(n_trees);
+  return {label, n_classes > 0
+                     ? scratch.proba[static_cast<std::size_t>(label)]
+                     : 0.0};
+}
+
+void QuantizedForest::predict_batch(std::span<const double> matrix,
+                                    std::size_t dim, std::span<int> out,
+                                    Scratch& scratch) const {
+  if (dim == 0) throw std::invalid_argument("predict_batch: dim == 0");
+  const std::size_t rows = std::min(matrix.size() / dim, out.size());
+  const std::size_t n_classes = static_cast<std::size_t>(num_classes_);
+  const std::size_t n_trees = roots_.size();
+  if (rows == 0) return;
+  scratch.qx.resize(rows * dim);
+  for (std::size_t r = 0; r < rows; ++r)
+    quantize_row(matrix.subspan(r * dim, dim), scratch.qx.data() + r * dim);
+  scratch.leaves.resize(kGroupLanes * n_trees);
+  std::vector<std::int32_t> scores(kGroupLanes * n_classes);
+  for (std::size_t r0 = 0; r0 < rows; r0 += kGroupLanes) {
+    const std::size_t lanes = std::min(kGroupLanes, rows - r0);
+    std::fill(scores.begin(), scores.end(), 0);
+    descend_group(scratch.qx.data() + r0 * dim, dim, lanes, scores.data(),
+                  scratch.leaves.data());
+    for (std::size_t j = 0; j < lanes; ++j)
+      out[r0 + j] = resolve_label(scores.data() + j * n_classes,
+                                  scratch.leaves.data() + j * n_trees,
+                                  scratch);
+  }
+}
+
+std::size_t QuantizedForest::memory_bytes() const {
+  return nodes_.size() * sizeof(Node) +
+         roots_.size() * sizeof(std::int32_t) +
+         leaf_score_.size() * sizeof(std::int16_t) +
+         leaf_proba_.size() * sizeof(double) +
+         cuts_.size() * sizeof(double) +
+         cut_offsets_.size() * sizeof(std::int32_t);
+}
+
+}  // namespace vpscope::ml

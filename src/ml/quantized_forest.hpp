@@ -1,0 +1,115 @@
+// Quantized int16 lowering of a trained RandomForest — the memory-bound
+// variant of the compiled forest for deployment boxes where the forest
+// working set, not arithmetic, is the classify-stage bottleneck (nodes
+// shrink 24 -> 12 bytes, thresholds and leaf scores become int16).
+//
+// The quantization is THRESHOLD-RANK, not value rounding, so the descent is
+// provably identical to the float path rather than merely close: per
+// feature f, let cuts(f) be the sorted distinct split thresholds the forest
+// uses on f. A node splitting at threshold t stores rank(t) = index of t in
+// cuts(f); an input x stores Q(x) = |{c in cuts(f) : c < x}|. Then
+//
+//   x <= t  <=>  Q(x) <= rank(t)
+//
+// (if x <= t every cut below x is below t, so Q(x) <= rank(t); if x > t
+// then t itself and every cut below it are < x, so Q(x) > rank(t)) — every
+// comparison, hence every leaf, matches the double descent exactly. NaN
+// inputs quantize to the +inf rank, matching `x <= t == false`.
+//
+// Leaf class scores are rounded to int16 at scale 2^14 and accumulated in
+// int32. Rounding can only move the argmax when the accumulated gap between
+// two classes is at most tree_count (each leaf contributes <= 0.5 error at
+// scale); predictions inside that margin fall back to the exact double
+// accumulation over the SAME leaves, making predict() argmax-identical to
+// CompiledForest::predict by construction — the corpus + mutant equivalence
+// suite then verifies the construction, not luck.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ml/forest.hpp"
+
+namespace vpscope::ml {
+
+class QuantizedForest {
+ public:
+  /// One lowered node: 12 bytes (vs the compiled form's 24). Internal nodes
+  /// (`feature >= 0`) compare int16 ranks; leaves (`feature < 0`) hold in
+  /// `left` the offset of their score/probability block.
+  struct Node {
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int16_t feature = -1;     // -1 => leaf
+    std::int16_t qthreshold = 0;   // rank of the split threshold on feature
+  };
+
+  /// Per-thread reusable state; predict/predict_batch are allocation-free in
+  /// steady state.
+  struct Scratch {
+    std::vector<std::int16_t> qx;      // quantized feature rows
+    std::vector<std::int32_t> leaves;  // per-lane, per-tree leaf offsets
+    std::vector<double> proba;         // exact-fallback accumulator
+  };
+
+  /// Scale of the int16 leaf scores (probabilities in [0,1] -> [0, 2^14]).
+  static constexpr std::int32_t kScoreScale = 1 << 14;
+
+  QuantizedForest() = default;
+
+  /// Lowers a trained forest. Throws std::invalid_argument when the forest
+  /// exceeds the int16 envelope (feature index or per-feature distinct
+  /// threshold count above 32767) — deployment forests are orders of
+  /// magnitude below it.
+  static QuantizedForest quantize(const RandomForest& forest);
+
+  /// Argmax-identical to CompiledForest::predict on the same input (see the
+  /// header comment for why that is a theorem, not a measurement).
+  int predict(std::span<const double> x, Scratch& scratch) const;
+  /// (argmax, max probability). The probability is reconstructed exactly
+  /// (double accumulation over the descended leaves), so the pair matches
+  /// CompiledForest::predict_with_confidence bit-for-bit.
+  std::pair<int, double> predict_with_confidence(std::span<const double> x,
+                                                 Scratch& scratch) const;
+
+  /// Cross-flow batch over a contiguous row-major matrix (lane = flow, same
+  /// grouping as CompiledForest::predict_proba_batch); one label per row.
+  void predict_batch(std::span<const double> matrix, std::size_t dim,
+                     std::span<int> out, Scratch& scratch) const;
+
+  bool trained() const { return !roots_.empty(); }
+  int num_classes() const { return num_classes_; }
+  int tree_count() const { return static_cast<int>(roots_.size()); }
+  std::size_t node_count() const { return nodes_.size(); }
+  int num_features() const { return n_features_; }
+  /// Bytes of the quantized representation (nodes + scores + cut tables +
+  /// the double leaf block kept for the exact fallback).
+  std::size_t memory_bytes() const;
+
+ private:
+  /// Quantizes one row into `qx[0..dim)` (ranks; features the forest never
+  /// splits on get rank 0 — they are never compared).
+  void quantize_row(std::span<const double> x, std::int16_t* qx) const;
+  /// Descends every tree for up to 8 rows of `qx`, recording per-lane leaf
+  /// offsets (lane-major: leaves[j * tree_count + t]) and int32 scores.
+  void descend_group(const std::int16_t* qx, std::size_t dim,
+                     std::size_t lanes, std::int32_t* scores,
+                     std::int32_t* leaves) const;
+  /// Resolves one row's label from its int32 scores, falling back to exact
+  /// double accumulation over `leaves` when the margin test is inconclusive.
+  int resolve_label(const std::int32_t* scores, const std::int32_t* leaves,
+                    Scratch& scratch) const;
+
+  std::vector<Node> nodes_;               // all trees, concatenated
+  std::vector<std::int32_t> roots_;       // per-tree root offset
+  std::vector<std::int16_t> leaf_score_;  // int16 leaf blocks, scale 2^14
+  std::vector<double> leaf_proba_;        // exact leaf blocks (fallback path)
+  std::vector<double> cuts_;              // concatenated per-feature thresholds
+  std::vector<std::int32_t> cut_offsets_; // per-feature [begin, end) in cuts_
+  int num_classes_ = 0;
+  int n_features_ = 0;
+};
+
+}  // namespace vpscope::ml

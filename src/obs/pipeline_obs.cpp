@@ -60,6 +60,12 @@ PipelineObs::PipelineObs(int n_shards, ObsConfig config)
       dispatcher_contract_violations(registry_->counter(
           "vpscope_dispatcher_contract_violations_total",
           "Dispatcher-thread-only calls observed on another thread")),
+      dispatch_batches(registry_->counter(
+          "vpscope_dispatch_batches_total",
+          "Bulk staging flushes from the dispatcher to shard rings")),
+      worker_batches(registry_->counter(
+          "vpscope_worker_batches_total",
+          "Bulk ring drains performed by shard workers")),
       flows_active(registry_->gauge(
           "vpscope_flows_active", "Flows currently tracked per shard")),
       shards_bypassed(registry_->gauge(
@@ -68,6 +74,9 @@ PipelineObs::PipelineObs(int n_shards, ObsConfig config)
       packets_stranded(registry_->gauge(
           "vpscope_packets_stranded",
           "Backlog of enqueued-but-unprocessed packets (derived at scrape)")),
+      packets_staged(registry_->gauge(
+          "vpscope_packets_staged",
+          "Decoded packets staged in the dispatcher batch, not yet enqueued")),
       profiler(*registry_) {
   profiler.set_enabled(config_.profile_stages);
   if (config_.trace_sample_n != 0 && config_.trace_ring_capacity != 0) {
@@ -88,6 +97,11 @@ PipelineObs::PipelineObs(int n_shards, ObsConfig config)
       packets_stranded.set(
           i, sent > done ? static_cast<std::int64_t>(sent - done) : 0);
     }
+    // The dispatcher's staging batch is backlog too: decoded and counted in
+    // packets_total but not yet handed to any ring (DESIGN.md §5g).
+    const std::int64_t staged =
+        packets_staged.value(dispatcher_slot(), std::memory_order_acquire);
+    packets_stranded.set(dispatcher_slot(), staged > 0 ? staged : 0);
   });
 }
 

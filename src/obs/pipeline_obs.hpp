@@ -15,7 +15,9 @@
 //
 // `vpscope_packets_stranded` is a derived gauge refreshed by a collect hook
 // at scrape time: per shard, max(0, enqueued - completed) — exactly the
-// wedged-shard backlog once the dispatcher is quiescent.
+// wedged-shard backlog once the dispatcher is quiescent — plus, at the
+// dispatcher slot, the packets still staged in the dispatcher's batch
+// (vpscope_packets_staged), so the identity holds under batched dispatch.
 #pragma once
 
 #include <cstdint>
@@ -101,10 +103,19 @@ class PipelineObs {
   Counter& worker_errors;
   Counter& dispatcher_contract_violations;
 
+  // ---- batching (DESIGN.md §5g) ----
+  Counter& dispatch_batches;  // bulk handovers from the dispatcher
+  Counter& worker_batches;    // bulk drains by shard workers
+
   // ---- gauges ----
   Gauge& flows_active;      // per-slot flow-table sizes
   Gauge& shards_bypassed;   // watchdog +1 / recovery -1
   Gauge& packets_stranded;  // derived at collect time
+  /// Packets decoded and counted in packets_total but still sitting in the
+  /// dispatcher's per-shard staging batch — not yet enqueued, dropped, or
+  /// completed. Written at the dispatcher slot; counts toward stranded at
+  /// scrape so the exported identity holds under batching.
+  Gauge& packets_staged;
 
   StageProfiler profiler;
 

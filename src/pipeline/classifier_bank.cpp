@@ -164,4 +164,118 @@ PlatformPrediction ClassifierBank::classify(const core::FlowHandshake& handshake
   return out;
 }
 
+ClassifierBank::ClassifyBatch::Bucket& ClassifierBank::ClassifyBatch::bucket_for(
+    const Scenario* scenario) {
+  // At most one bucket per trained scenario (five in the full bank): linear
+  // scan beats any map here and keeps bucket order — and therefore emit
+  // order — deterministic (first-seen scenario order).
+  for (Bucket& bucket : buckets_)
+    if (bucket.scenario == scenario) return bucket;
+  buckets_.emplace_back();
+  buckets_.back().scenario = scenario;
+  return buckets_.back();
+}
+
+bool ClassifierBank::ClassifyBatch::add(const core::FlowHandshake& handshake,
+                                        fingerprint::Provider provider,
+                                        std::uint64_t cookie,
+                                        obs::StageProfiler* profiler,
+                                        int slot) {
+  const Scenario* s = bank_->scenario(provider, handshake.transport);
+  if (!s) return false;  // untrained: the caller's inline path says Unknown
+  Bucket& bucket = bucket_for(s);
+  const std::size_t dim = s->encoder.dimension();
+  const std::size_t row_start = bucket.matrix.size();
+  bucket.matrix.resize(row_start + dim);
+  {
+    obs::ScopedTimer timer(profiler, obs::Stage::Encode, slot);
+    s->encoder.transform_into(
+        handshake, raw_,
+        std::span<double>(bucket.matrix).subspan(row_start, dim));
+  }
+  bucket.cookies.push_back(cookie);
+  ++staged_;
+  return true;
+}
+
+void ClassifierBank::ClassifyBatch::classify(
+    const std::function<void(std::uint64_t, const PlatformPrediction&)>&
+        emit) {
+  const double threshold = bank_->threshold_;
+  for (Bucket& bucket : buckets_) {
+    const std::size_t rows = bucket.cookies.size();
+    if (rows == 0) continue;
+    const Scenario* s = bucket.scenario;
+    const std::size_t dim = s->encoder.dimension();
+    labels_.resize(rows);
+    confidences_.resize(rows);
+    s->platform_compiled.predict_with_confidence_batch(
+        bucket.matrix, dim, labels_, confidences_, forest_);
+
+    // Rows under the composite gate fall back to the per-objective forests
+    // — batched too, over the compacted sub-matrix of just those rows.
+    sub_rows_.clear();
+    sub_matrix_.clear();
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (confidences_[r] >= threshold) continue;
+      sub_rows_.push_back(r);
+      const auto row = std::span<const double>(bucket.matrix).subspan(
+          r * dim, dim);
+      sub_matrix_.insert(sub_matrix_.end(), row.begin(), row.end());
+    }
+    if (!sub_rows_.empty()) {
+      const std::size_t sub_n = sub_rows_.size();
+      device_labels_.resize(sub_n);
+      device_confidences_.resize(sub_n);
+      agent_labels_.resize(sub_n);
+      agent_confidences_.resize(sub_n);
+      s->device_compiled.predict_with_confidence_batch(
+          sub_matrix_, dim, device_labels_, device_confidences_, forest_);
+      s->agent_compiled.predict_with_confidence_batch(
+          sub_matrix_, dim, agent_labels_, agent_confidences_, forest_);
+    }
+
+    // Assemble per row, replicating classify()'s logic (and therefore its
+    // outcomes and confidences) exactly.
+    std::size_t sub_k = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      PlatformPrediction out;
+      out.platform_confidence = confidences_[r];
+      if (confidences_[r] >= threshold) {
+        out.outcome = telemetry::Outcome::Composite;
+        const auto& platform =
+            s->platform_classes[static_cast<std::size_t>(labels_[r])];
+        out.platform = platform;
+        out.device = platform.os;
+        out.agent = platform.agent;
+        out.device_confidence = confidences_[r];
+        out.agent_confidence = confidences_[r];
+      } else {
+        const double device_conf = device_confidences_[sub_k];
+        const double agent_conf = agent_confidences_[sub_k];
+        out.device_confidence = device_conf;
+        out.agent_confidence = agent_conf;
+        bool any = false;
+        if (device_conf >= threshold) {
+          out.device = s->device_classes[static_cast<std::size_t>(
+              device_labels_[sub_k])];
+          any = true;
+        }
+        if (agent_conf >= threshold) {
+          out.agent = s->agent_classes[static_cast<std::size_t>(
+              agent_labels_[sub_k])];
+          any = true;
+        }
+        out.outcome =
+            any ? telemetry::Outcome::Partial : telemetry::Outcome::Unknown;
+        ++sub_k;
+      }
+      emit(bucket.cookies[r], out);
+    }
+    bucket.matrix.clear();
+    bucket.cookies.clear();
+  }
+  staged_ = 0;
+}
+
 }  // namespace vpscope::pipeline

@@ -10,8 +10,11 @@
 // here since the attribute schema differs (42 vs 50 attributes).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "core/encoder.hpp"
 #include "ml/compiled_forest.hpp"
@@ -93,6 +96,58 @@ class ClassifierBank {
                            fingerprint::Transport transport) const;
 
   double confidence_threshold() const { return threshold_; }
+
+  /// Deferred cross-flow classification (DESIGN.md §5g): ready flows are
+  /// encoded immediately (into per-scenario row-major feature matrices —
+  /// scenarios differ in encoder dimension) but the forest descents run
+  /// later, across all staged flows at once, through
+  /// CompiledForest::predict_with_confidence_batch. Per flow the outcome is
+  /// bit-identical to classify(); the win is the batched descent. One
+  /// instance per pipeline (not thread-safe); `bank` must outlive it.
+  class ClassifyBatch {
+   public:
+    explicit ClassifyBatch(const ClassifierBank* bank) : bank_(bank) {}
+
+    /// Encodes and stages one completed handshake under an opaque `cookie`
+    /// the caller uses to route the result. Returns false (stages nothing)
+    /// for an untrained scenario — the caller falls back to the inline
+    /// path. `profiler`/`slot` time the Encode stage like classify() does.
+    bool add(const core::FlowHandshake& handshake,
+             fingerprint::Provider provider, std::uint64_t cookie,
+             obs::StageProfiler* profiler = nullptr, int slot = 0);
+
+    /// Resolves every staged flow, invoking `emit(cookie, prediction)` in
+    /// staging order per scenario, then clears the staging (buckets keep
+    /// their capacity — steady state allocates nothing).
+    void classify(
+        const std::function<void(std::uint64_t, const PlatformPrediction&)>&
+            emit);
+
+    std::size_t size() const { return staged_; }
+    bool empty() const { return staged_ == 0; }
+
+   private:
+    struct Bucket {
+      const Scenario* scenario = nullptr;
+      std::vector<double> matrix;  // staged rows x encoder dimension
+      std::vector<std::uint64_t> cookies;
+    };
+    Bucket& bucket_for(const Scenario* scenario);
+
+    const ClassifierBank* bank_;
+    std::vector<Bucket> buckets_;  // one per scenario seen, linear scan
+    std::size_t staged_ = 0;
+    // Reused scratch: encoder raw attributes, forest batch staging, the
+    // per-bucket label/confidence rows and the low-confidence sub-batch.
+    core::RawAttrs raw_;
+    ml::CompiledForest::BatchScratch forest_;
+    std::vector<int> labels_;
+    std::vector<double> confidences_;
+    std::vector<double> sub_matrix_;
+    std::vector<std::size_t> sub_rows_;
+    std::vector<int> device_labels_, agent_labels_;
+    std::vector<double> device_confidences_, agent_confidences_;
+  };
 
  private:
   std::map<std::pair<int, int>, Scenario> scenarios_;

@@ -83,6 +83,7 @@ VideoFlowPipeline::VideoFlowPipeline(const ClassifierBank* bank,
   owned_obs_ = std::make_shared<obs::PipelineObs>(1, obs_config);
   obs_ = owned_obs_.get();
   ring_ = obs_->ring(0);
+  if (options_.classify_batch > 1 && bank_) batch_.emplace(bank_);
 }
 
 void VideoFlowPipeline::bind_obs(obs::PipelineObs* obs, int slot) {
@@ -176,6 +177,10 @@ bool VideoFlowPipeline::admit_flow(FlowMap::iterator it, bool inserted,
   // the normal sink path. It is never `it` itself — `it` was just touched.
   const net::FlowKey victim_key = lru_.front();
   const auto victim = flows_.find(victim_key);
+  // A staged victim must carry its prediction into the sink record: resolve
+  // the whole pending batch before finalizing (resolution only mutates flow
+  // *states*, never the table, so `it` and `victim` stay valid).
+  if (victim->second.classify_pending) classify_pending_flush();
   if (ring_ && victim->second.traced)
     trace_push(obs::TraceEventKind::Evicted, ts_us, victim->second);
   finalize(victim->first, victim->second);
@@ -229,7 +234,7 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
     state.counters.add_down(decoded.timestamp_us, decoded.ip_packet_size);
 
   // Handshake path: feed until complete, then detect provider + classify.
-  if (state.prediction) return;
+  if (state.prediction || state.classify_pending) return;
   bool fed;
   {
     obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Extract, slot_);
@@ -245,10 +250,26 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
   obs_->video_flows.add(slot_);
   state.video_counted = true;
   const auto& handshake = *state.extractor.handshake();
-  PlatformPrediction prediction =
+  if (batch_ && batch_->add(handshake, *state.provider, pending_.size(),
+                            &obs_->profiler, slot_)) {
+    // Deferred: the flow is encoded, its descent runs with the batch. An
+    // untrained scenario stages nothing (add returns false) and falls
+    // through to the inline path, which reports it Unknown immediately.
+    state.classify_pending = true;
+    pending_.push_back({key, decoded.timestamp_us});
+    if (pending_.size() >= options_.classify_batch) classify_pending_flush();
+    return;
+  }
+  const PlatformPrediction prediction =
       bank_ ? bank_->classify(handshake, *state.provider, &obs_->profiler,
                               slot_)
             : PlatformPrediction{};
+  apply_prediction(state, prediction, decoded.timestamp_us);
+}
+
+void VideoFlowPipeline::apply_prediction(FlowState& state,
+                                         const PlatformPrediction& prediction,
+                                         std::uint64_t ts_us) {
   switch (prediction.outcome) {
     case telemetry::Outcome::Composite:
       obs_->classified_composite.add(slot_);
@@ -262,7 +283,7 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
   }
   if (ring_ && state.traced) {
     obs::TraceEvent event;
-    event.ts_us = decoded.timestamp_us;
+    event.ts_us = ts_us;
     event.flow_hash = state.flow_hash;
     event.kind = obs::TraceEventKind::Classified;
     event.os = prediction.device
@@ -275,10 +296,27 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
     event.confidence = static_cast<float>(prediction.platform_confidence);
     ring_->push(event);
   }
-  if (drift_)
+  if (drift_ && state.provider)
     drift_->record(*state.provider, state.transport, prediction.outcome,
                    prediction.platform_confidence);
-  state.prediction = std::move(prediction);
+  state.prediction = prediction;
+}
+
+void VideoFlowPipeline::classify_pending_flush() {
+  if (!batch_ || batch_->empty()) return;
+  // One Classify stage sample covers the whole batch: the histogram then
+  // shows the amortized cost directly (batch latency / flows-per-batch is
+  // what the bench tables report).
+  obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Classify, slot_);
+  batch_->classify(
+      [this](std::uint64_t cookie, const PlatformPrediction& prediction) {
+        const PendingFlow& pending = pending_[cookie];
+        const auto it = flows_.find(pending.key);
+        if (it == flows_.end()) return;  // unreachable: flush precedes erase
+        it->second.classify_pending = false;
+        apply_prediction(it->second, prediction, pending.ts_us);
+      });
+  pending_.clear();
 }
 
 void VideoFlowPipeline::on_volume_sample(const net::FlowKey& key,
@@ -326,6 +364,7 @@ void VideoFlowPipeline::finalize(const net::FlowKey& key, FlowState& state) {
 
 void VideoFlowPipeline::flush_idle(std::uint64_t now_us,
                                    std::uint64_t idle_timeout_us) {
+  classify_pending_flush();
   for (auto it = flows_.begin(); it != flows_.end();) {
     // idle_us clamps a non-monotonic clock (now behind last_seen) to zero
     // idle, and — unlike the additive `last + timeout <= now` form — cannot
@@ -342,6 +381,7 @@ void VideoFlowPipeline::flush_idle(std::uint64_t now_us,
 }
 
 void VideoFlowPipeline::flush_all() {
+  classify_pending_flush();
   for (auto& [key, state] : flows_) finalize(key, state);
   flows_.clear();
   lru_.clear();

@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "core/handshake.hpp"
 #include "obs/pipeline_obs.hpp"
@@ -87,6 +88,14 @@ struct PipelineOptions {
     RejectNew,
   };
   Eviction eviction = Eviction::LruIdle;
+  /// Classification batching (DESIGN.md §5g): ready flows are encoded
+  /// immediately but their forest descents are deferred until this many are
+  /// staged, then resolved in one cross-flow batched descent
+  /// (CompiledForest::predict_with_confidence_batch). 1 = classify inline.
+  /// Staged flows always resolve before any finalize can observe them
+  /// (flush_idle/flush_all/eviction force a flush first), so emitted records
+  /// and quiescent stats are identical to the inline path.
+  std::size_t classify_batch = 1;
 };
 
 class VideoFlowPipeline {
@@ -129,6 +138,12 @@ class VideoFlowPipeline {
   /// Flushes everything (end of capture).
   void flush_all();
 
+  /// Resolves every staged-but-unclassified flow now (no-op when
+  /// classify_batch <= 1 or nothing is staged). The sharded front-end calls
+  /// this at batch boundaries and before a worker parks; flush_idle /
+  /// flush_all / capacity eviction call it implicitly.
+  void classify_pending_flush();
+
   /// Re-points this pipeline's metrics at a shared PipelineObs, writing at
   /// `slot` (the sharded front-end binds each shard's pipeline to one
   /// registry, slot = shard index). Call before the first packet; `obs`
@@ -160,6 +175,8 @@ class VideoFlowPipeline {
     std::uint16_t client_port = 0;
     std::optional<fingerprint::Provider> provider;
     std::optional<PlatformPrediction> prediction;
+    /// Staged in the deferred-classification batch, descent not yet run.
+    bool classify_pending = false;
     fingerprint::Transport transport = fingerprint::Transport::Tcp;
     std::string sni;
     bool video_counted = false;
@@ -174,6 +191,10 @@ class VideoFlowPipeline {
   using FlowMap = std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash>;
 
   void finalize(const net::FlowKey& key, FlowState& state);
+  /// Outcome counters, trace event, drift feed, state.prediction store —
+  /// shared tail of the inline and deferred classification paths.
+  void apply_prediction(FlowState& state, const PlatformPrediction& prediction,
+                        std::uint64_t ts_us);
   /// Admission control after try_emplace: touches the LRU and, when the
   /// table exceeds max_flows, evicts the longest-idle flow (or the
   /// just-admitted one under RejectNew). Returns false when `it` itself was
@@ -190,6 +211,14 @@ class VideoFlowPipeline {
 
   const ClassifierBank* bank_;
   PipelineOptions options_;
+  /// Engaged when options_.classify_batch > 1 and a bank exists; cookies
+  /// handed to it are indices into pending_.
+  std::optional<ClassifierBank::ClassifyBatch> batch_;
+  struct PendingFlow {
+    net::FlowKey key;
+    std::uint64_t ts_us = 0;  // staging time, stamps the trace event
+  };
+  std::vector<PendingFlow> pending_;
   DriftMonitor* drift_ = nullptr;
   std::function<void(telemetry::SessionRecord)> sink_;
   FlowMap flows_;

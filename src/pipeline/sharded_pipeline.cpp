@@ -85,17 +85,23 @@ ShardedPipeline::ShardedPipeline(const ClassifierBank* bank,
     : options_(options) {
   if (options.n_shards <= 0)
     throw std::invalid_argument("ShardedPipeline: n_shards must be >= 1");
+  if (options_.batch_size == 0) options_.batch_size = 1;
   const auto n = static_cast<std::size_t>(options.n_shards);
   obs_ = std::make_shared<obs::PipelineObs>(options.n_shards, options.obs);
   // The flow-table budget is global; each shard polices its slice.
   PipelineOptions per_shard = options.flow_table;
   if (per_shard.max_flows > 0)
     per_shard.max_flows = (per_shard.max_flows + n - 1) / n;
+  // Batch size propagates into deferred classification unless the caller
+  // pinned an explicit classify_batch on the flow table.
+  if (per_shard.classify_batch <= 1)
+    per_shard.classify_batch = options_.batch_size;
   shards_.reserve(n);
   for (int i = 0; i < options.n_shards; ++i) {
     auto shard =
         std::make_unique<Shard>(bank, options.queue_capacity, per_shard);
     shard->index = i;
+    shard->staged.reserve(options_.batch_size);
     // All shards write the one shared registry, each at its own slot.
     shard->pipe.bind_obs(obs_.get(), i);
     shard->pipe.set_sink([this](telemetry::SessionRecord record) {
@@ -109,6 +115,9 @@ ShardedPipeline::ShardedPipeline(const ClassifierBank* bank,
 }
 
 ShardedPipeline::~ShardedPipeline() {
+  // Hand over any packets still staged so they are processed (or counted
+  // as shed on a bypassed shard) rather than silently discarded.
+  flush_staged();
   // Stop must reach every worker, bypassed or not, so the join below
   // terminates. A worker wedged in user code forever cannot be joined —
   // the watchdog's bypass assumes stalls are transient (slow sink, paging)
@@ -214,10 +223,116 @@ bool ShardedPipeline::watchdog_check(Shard& shard) {
 }
 
 void ShardedPipeline::count_drop(AdmissionClass cls) {
+  // Release: a packet leaving the staging batch must be visible in its drop
+  // counter no later than its staged-gauge decrement is, or a concurrent
+  // snapshot (which reads counters before the gauge) could double-count it.
   if (cls == AdmissionClass::Handshake)
-    obs_->packets_dropped_handshake.add(obs_->dispatcher_slot());
+    obs_->packets_dropped_handshake.add(obs_->dispatcher_slot(), 1,
+                                        std::memory_order_release);
   else
-    obs_->packets_dropped_payload.add(obs_->dispatcher_slot());
+    obs_->packets_dropped_payload.add(obs_->dispatcher_slot(), 1,
+                                      std::memory_order_release);
+}
+
+void ShardedPipeline::shed_staged(Shard& shard, Item& item) {
+  // The admission class is only evaluated here, at the moment a drop has to
+  // be attributed — never on the Block-mode fast path.
+  const AdmissionClass cls = eval_admission_class(*item.decoded);
+  count_drop(cls);
+  const std::uint64_t hash = net::FlowKeyHash{}(item.decoded->flow_key());
+  if (auto* ring = obs_->ring(shard.index); ring && ring->sampled(hash)) {
+    obs::TraceEvent event;
+    event.ts_us = item.decoded->timestamp_us;
+    event.flow_hash = hash;
+    event.kind = obs::TraceEventKind::Shed;
+    event.outcome = static_cast<std::uint8_t>(cls);
+    ring->push(event);
+  }
+  item = Item{};  // release the packet buffer
+}
+
+void ShardedPipeline::flush_shard(Shard& shard) {
+  const std::size_t n = shard.staged.size();
+  if (n == 0) return;
+  const int dslot = obs_->dispatcher_slot();
+  // Every staged packet reaches a terminal counter (enqueued or dropped)
+  // before this function returns, so the whole batch leaves the staged
+  // gauge up front. Decrement-before-increment plus snapshot()'s
+  // counters-before-gauge read order means a concurrent snapshot can only
+  // under-account packets mid-flush (they are in flight), never count one
+  // twice.
+  obs_->packets_staged.add(dslot, -static_cast<std::int64_t>(n),
+                           std::memory_order_release);
+  obs_->dispatch_batches.add(dslot);
+  std::size_t done = 0;
+  if (!shard.bypassed.load(std::memory_order_relaxed)) {
+    // Fast path: bulk handover — one release store per accepted chunk.
+    while (done < n) {
+      const std::size_t pushed =
+          shard.queue.try_push_bulk(shard.staged.data() + done, n - done);
+      if (pushed == 0) break;
+      shard.watchdog_stall_started_us = 0;
+      shard.enqueued.fetch_add(pushed, std::memory_order_release);
+      obs_->packets_enqueued.add(shard.index, pushed,
+                                 std::memory_order_release);
+      done += pushed;
+    }
+    // Slow path: the ring is full. Per item, the PR-4 bounded-wait policy:
+    // Block waits (watchdog escape only), Shed waits out the class grace.
+    const bool shed_mode =
+        options_.overload == ShardedPipelineOptions::Overload::Shed;
+    for (; done < n; ++done) {
+      Item& item = shard.staged[done];
+      bool have_grace = false;
+      std::uint64_t grace = 0;
+      std::uint64_t wait_started = 0;
+      int spins = 0;
+      bool pushed = false;
+      bool bypassed = false;
+      for (;;) {
+        if (shard.queue.try_push(item)) {
+          pushed = true;
+          break;
+        }
+        if (++spins < kFreeSpins) {
+          cpu_relax();
+          continue;
+        }
+        const std::uint64_t now = steady_now_us();
+        if (wait_started == 0) wait_started = now;
+        if (watchdog_check(shard)) {
+          bypassed = true;
+          break;
+        }
+        if (shed_mode) {
+          if (!have_grace) {
+            grace = eval_admission_class(*item.decoded) ==
+                            AdmissionClass::Handshake
+                        ? options_.handshake_grace_us
+                        : options_.payload_grace_us;
+            have_grace = true;
+          }
+          if (now - wait_started >= grace) break;  // shed this packet
+        }
+        std::this_thread::yield();
+      }
+      if (pushed) {
+        shard.watchdog_stall_started_us = 0;
+        shard.enqueued.fetch_add(1, std::memory_order_release);
+        obs_->packets_enqueued.add(shard.index, 1, std::memory_order_release);
+        continue;
+      }
+      if (bypassed) break;       // remainder shed below
+      shed_staged(shard, item);  // grace expired
+    }
+  }
+  // Bypassed shard (on entry or flipped mid-flush): shed the remainder.
+  for (; done < n; ++done) shed_staged(shard, shard.staged[done]);
+  shard.staged.clear();
+}
+
+void ShardedPipeline::flush_staged() {
+  for (auto& shard : shards_) flush_shard(*shard);
 }
 
 ShardedPipeline::Admission ShardedPipeline::enqueue(Shard& shard, Item&& item,
@@ -257,6 +372,9 @@ ShardedPipeline::Admission ShardedPipeline::enqueue(Shard& shard, Item&& item,
 
 void ShardedPipeline::broadcast(Item::Kind kind, std::uint64_t arg0,
                                 std::uint64_t arg1) {
+  // Control items are ordered with the packets that preceded them only if
+  // those packets are already in the rings.
+  flush_staged();
   for (auto& shard : shards_) {
     // Control traffic never sheds, but it skips bypassed shards — their
     // flows are unreachable until the worker recovers.
@@ -285,22 +403,17 @@ void ShardedPipeline::on_packet(const net::Packet& packet) {
     maybe_export();
     return;
   }
-  const AdmissionClass cls = admission_class(*item.decoded);
+  // Stage for the next bulk handover. The admission class is NOT computed
+  // here: under Block-mode dispatch no decision ever needs it, and the shed
+  // paths evaluate it lazily at drop time (shed_staged / the grace wait).
   const std::uint64_t hash = net::FlowKeyHash{}(item.decoded->flow_key());
-  const std::size_t shard = hash % shards_.size();
-  const std::uint64_t ts_us = item.decoded->timestamp_us;
-  if (enqueue(*shards_[shard], std::move(item), cls, /*control=*/false) !=
-      Admission::Enqueued) {
-    count_drop(cls);
-    if (auto* ring = obs_->ring(shard); ring && ring->sampled(hash)) {
-      obs::TraceEvent event;
-      event.ts_us = ts_us;
-      event.flow_hash = hash;
-      event.kind = obs::TraceEventKind::Shed;
-      event.outcome = static_cast<std::uint8_t>(cls);
-      ring->push(event);
-    }
-  }
+  Shard& shard = *shards_[hash % shards_.size()];
+  shard.staged.push_back(std::move(item));
+  // Release pairs with snapshot()'s acquire gauge read: a snapshot that
+  // sees the staged packet is guaranteed to see its packets_total
+  // increment too (read last there), keeping accounted <= total.
+  obs_->packets_staged.add(dslot, 1, std::memory_order_release);
+  if (shard.staged.size() >= options_.batch_size) flush_shard(shard);
   maybe_export();
 }
 
@@ -309,15 +422,18 @@ void ShardedPipeline::on_volume_sample(const net::FlowKey& key,
                                        std::uint64_t bytes_down,
                                        std::uint64_t bytes_up) {
   check_dispatcher_thread();
+  Shard& shard = *shards_[shard_of(key)];
+  // Keep the sample ordered behind the shard's staged packets (same-flow
+  // FIFO is the sharding invariant).
+  flush_shard(shard);
   Item item;
   item.kind = Item::Kind::Volume;
   item.key = key;
   item.arg0 = ts_us;
   item.arg1 = bytes_down;
   item.arg2 = bytes_up;
-  if (enqueue(*shards_[shard_of(key)], std::move(item),
-              AdmissionClass::Payload, /*control=*/false) !=
-      Admission::Enqueued)
+  if (enqueue(shard, std::move(item), AdmissionClass::Payload,
+              /*control=*/false) != Admission::Enqueued)
     obs_->volume_samples_dropped.add(obs_->dispatcher_slot());
 }
 
@@ -337,6 +453,7 @@ void ShardedPipeline::flush_all() {
 
 void ShardedPipeline::drain() {
   check_dispatcher_thread();
+  flush_staged();  // staged packets are not enqueued yet; hand them over
   for (auto& shard : shards_) {
     if (shard->bypassed.load(std::memory_order_relaxed)) continue;
     const std::uint64_t target =
@@ -386,17 +503,28 @@ PipelineStats ShardedPipeline::snapshot() const {
     const int slot = static_cast<int>(i);
     // One acquire load feeds both processed and stranded, keeping the
     // identity an exact equality; the release pair is the worker's
-    // per-packet completed increment.
+    // per-batch completed increment.
     const std::uint64_t done =
         o.packets_completed.value(slot, std::memory_order_acquire);
     completed_sum += done;
-    const std::uint64_t sent = o.packets_enqueued.value(slot);
+    const std::uint64_t sent =
+        o.packets_enqueued.value(slot, std::memory_order_acquire);
     if (sent > done) stranded += sent - done;
   }
   s.packets_processed = completed_sum + s.packets_non_ip;
+  s.packets_dropped_payload =
+      o.packets_dropped_payload.total(std::memory_order_acquire);
+  s.packets_dropped_handshake =
+      o.packets_dropped_handshake.total(std::memory_order_acquire);
+  // The staged gauge is read strictly AFTER the enqueued/dropped counters:
+  // the dispatcher decrements it before a packet's terminal counter
+  // increment, so this order can momentarily miss an in-flight packet
+  // (under-account) but can never see it twice. Staged packets are backlog
+  // — counted as stranded, like a live shard's ring occupancy.
+  const std::int64_t staged = o.packets_staged.value(
+      o.dispatcher_slot(), std::memory_order_acquire);
+  if (staged > 0) stranded += static_cast<std::uint64_t>(staged);
   s.packets_stranded = stranded;
-  s.packets_dropped_payload = o.packets_dropped_payload.total();
-  s.packets_dropped_handshake = o.packets_dropped_handshake.total();
   s.volume_samples_dropped = o.volume_samples_dropped.total();
   s.flows_evicted_capacity = o.flows_evicted_capacity.total();
   s.sink_errors = o.sink_errors.total();
@@ -451,48 +579,69 @@ int ShardedPipeline::bypassed_shards() const {
 }
 
 void ShardedPipeline::worker_loop(Shard& shard) {
-  Item item;
+  // Bulk drain (DESIGN.md §5g): up to batch_size items per pop — one
+  // acquire/release pair on the ring and one completed-counter RMW per
+  // batch instead of per item. Fault containment stays per item.
+  std::vector<Item> batch(options_.batch_size);
+  std::size_t got = 0;
   for (;;) {
-    spin_until([&] { return shard.queue.try_pop(item); });
-    const Item::Kind kind = item.kind;
-    bool stop = false;
-    // Contain everything thrown out of item processing: a worker that
-    // escapes its loop would std::terminate the process. Sink exceptions
-    // are already absorbed (and counted) inside VideoFlowPipeline; this
-    // catches injected faults and anything unforeseen.
-    try {
-      switch (kind) {
-        case Item::Kind::Packet:
-          VPSCOPE_FAULTPOINT(fault::Point::WorkerItem);
-          shard.pipe.on_decoded(*item.decoded);
-          // Release the packet buffer before signalling completion so
-          // drain() observers never race the deallocation.
-          item = Item{};
-          break;
-        case Item::Kind::Volume:
-          VPSCOPE_FAULTPOINT(fault::Point::WorkerItem);
-          shard.pipe.on_volume_sample(item.key, item.arg0, item.arg1,
-                                      item.arg2);
-          break;
-        case Item::Kind::FlushIdle:
-          shard.pipe.flush_idle(item.arg0, item.arg1);
-          break;
-        case Item::Kind::FlushAll:
-          shard.pipe.flush_all();
-          break;
-        case Item::Kind::Stop:
-          stop = true;
-          break;
-      }
-    } catch (...) {
-      obs_->worker_errors.add(shard.index);
-      item = Item{};  // release buffers even on a failed item
+    got = shard.queue.try_pop_bulk(batch.data(), batch.size());
+    if (got == 0) {
+      // About to park: resolve any deferred classifications first, so a
+      // partial classify batch never waits on traffic that may not come.
+      shard.pipe.classify_pending_flush();
+      spin_until([&] {
+        return (got = shard.queue.try_pop_bulk(batch.data(), batch.size())) !=
+               0;
+      });
     }
-    // Completed (even on a contained error) — the release pairs with the
-    // acquire in snapshot(), making the shard's registry writes visible.
-    if (kind == Item::Kind::Packet)
-      obs_->packets_completed.add(shard.index, 1, std::memory_order_release);
-    shard.processed.fetch_add(1, std::memory_order_release);
+    obs_->worker_batches.add(shard.index);
+    std::uint64_t packet_items = 0;
+    bool stop = false;
+    for (std::size_t i = 0; i < got; ++i) {
+      Item& item = batch[i];
+      const Item::Kind kind = item.kind;
+      // Contain everything thrown out of item processing: a worker that
+      // escapes its loop would std::terminate the process. Sink exceptions
+      // are already absorbed (and counted) inside VideoFlowPipeline; this
+      // catches injected faults and anything unforeseen.
+      try {
+        switch (kind) {
+          case Item::Kind::Packet:
+            VPSCOPE_FAULTPOINT(fault::Point::WorkerItem);
+            shard.pipe.on_decoded(*item.decoded);
+            // Release the packet buffer before signalling completion so
+            // drain() observers never race the deallocation.
+            item = Item{};
+            break;
+          case Item::Kind::Volume:
+            VPSCOPE_FAULTPOINT(fault::Point::WorkerItem);
+            shard.pipe.on_volume_sample(item.key, item.arg0, item.arg1,
+                                        item.arg2);
+            break;
+          case Item::Kind::FlushIdle:
+            shard.pipe.flush_idle(item.arg0, item.arg1);
+            break;
+          case Item::Kind::FlushAll:
+            shard.pipe.flush_all();
+            break;
+          case Item::Kind::Stop:
+            stop = true;
+            break;
+        }
+      } catch (...) {
+        obs_->worker_errors.add(shard.index);
+        item = Item{};  // release buffers even on a failed item
+      }
+      if (kind == Item::Kind::Packet) ++packet_items;
+    }
+    // Completed (even on contained errors) — published once per batch; the
+    // release pairs with the acquire in snapshot(), making the shard's
+    // registry writes for the whole batch visible.
+    if (packet_items != 0)
+      obs_->packets_completed.add(shard.index, packet_items,
+                                  std::memory_order_release);
+    shard.processed.fetch_add(got, std::memory_order_release);
     if (stop) return;
   }
 }

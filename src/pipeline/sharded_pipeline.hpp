@@ -28,6 +28,20 @@
 // the capture loop. `reactivate_recovered_shards` re-admits a bypassed
 // shard once it has drained its backlog.
 //
+// Batched data plane (DESIGN.md §5g): the dispatcher stages up to
+// `batch_size` decoded packets per shard and hands them over through one
+// bulk ring push (one release store per chunk instead of one per packet);
+// workers drain in bulk and defer classification across the batch
+// (PipelineOptions::classify_batch), resolving ready flows through the
+// cross-flow SIMD forest descent. Staged packets are accounted by the
+// vpscope_packets_staged gauge and reported as `stranded` by snapshot()
+// until they reach a ring, so the identity above holds in every snapshot;
+// control items, volume samples and drain() flush staging first, so
+// per-flow ordering and flush semantics are unchanged. Admission classes
+// are evaluated lazily — only when a shed/bypass decision actually needs
+// one — so Block-mode dispatch does zero admission-class work (see
+// admission_class_evaluations()).
+//
 // Session records from all shards funnel through one lock-protected sink;
 // all counters live on one obs::PipelineObs registry (wait-free per-slot
 // atomic cells — DESIGN.md §5f), assembled into PipelineStats on demand.
@@ -83,6 +97,13 @@ struct ShardedPipelineOptions {
   /// design: a slow shard exerts backpressure on the dispatcher instead of
   /// buffering unboundedly.
   std::size_t queue_capacity = 4096;
+
+  /// Batched data plane (DESIGN.md §5g): packets staged per shard before a
+  /// bulk ring handover, items drained per worker bulk pop, and (unless
+  /// flow_table.classify_batch overrides it) flows staged per deferred
+  /// cross-flow classification. 1 restores the item-at-a-time data plane;
+  /// 0 is treated as 1.
+  std::size_t batch_size = 32;
 
   /// Per-shard flow-table bound. `flow_table.max_flows` is the TOTAL
   /// budget across the pipeline; each shard gets ceil(max_flows/n_shards).
@@ -189,6 +210,14 @@ class ShardedPipeline {
   /// Shards currently in telemetry-only bypass.
   int bypassed_shards() const;
 
+  /// How many times the dispatcher evaluated admission_class(). Lazy by
+  /// design: zero under Block mode with no bypassed shard — the class only
+  /// matters when a shed/bypass decision is actually being made.
+  /// Dispatcher-thread-only (like the dispatch path that increments it).
+  std::uint64_t admission_class_evaluations() const {
+    return admission_class_evals_;
+  }
+
   /// Calls observed on a thread other than the pinned dispatcher thread.
   /// Always 0 in release builds (the check compiles out); in debug builds a
   /// violation also trips an assert.
@@ -241,6 +270,9 @@ class ShardedPipeline {
     // ---- dispatcher-thread-only bookkeeping ----
     std::uint64_t watchdog_last_processed = 0;
     std::uint64_t watchdog_stall_started_us = 0;  // 0 = not currently stalled
+    /// Decoded packets awaiting the next bulk handover (DESIGN.md §5g);
+    /// every staged packet is counted in the packets_staged gauge.
+    std::vector<Item> staged;
   };
 
   /// Result of a bounded-wait enqueue attempt.
@@ -250,6 +282,18 @@ class ShardedPipeline {
   /// only the watchdog as an escape hatch.
   Admission enqueue(Shard& shard, Item&& item, AdmissionClass cls,
                     bool control);
+  /// Hands `shard`'s staging batch to its ring: bulk pushes while there is
+  /// room, then the per-item bounded-wait admission policy (grace / shed /
+  /// watchdog) for whatever is left. Empties `shard.staged`.
+  void flush_shard(Shard& shard);
+  /// Flushes every shard's staging (control broadcast / drain / teardown).
+  void flush_staged();
+  /// Drops one staged packet: lazy admission class, drop counter, trace.
+  void shed_staged(Shard& shard, Item& item);
+  AdmissionClass eval_admission_class(const net::DecodedPacket& decoded) {
+    ++admission_class_evals_;
+    return admission_class(decoded);
+  }
   void broadcast(Item::Kind kind, std::uint64_t arg0 = 0,
                  std::uint64_t arg1 = 0);
   void worker_loop(Shard& shard);
@@ -272,6 +316,8 @@ class ShardedPipeline {
   std::function<void(int, std::string)> stuck_dump_sink_;
   std::unique_ptr<obs::PeriodicExporter> exporter_;
   std::uint64_t packets_since_export_check_ = 0;
+  /// Dispatcher-thread-only; see admission_class_evaluations().
+  std::uint64_t admission_class_evals_ = 0;
   std::mutex sink_mutex_;
   std::function<void(telemetry::SessionRecord)> sink_;
   // Dispatcher-thread pin for the debug contract check.

@@ -4,8 +4,12 @@
 // side's cursor so the common case touches no shared cache line beyond its
 // own index (the classic Lamport queue with cursor caching).
 //
-// Contract: exactly one producer thread calls try_push and exactly one
-// consumer thread calls try_pop. Capacity is rounded up to a power of two.
+// Contract: exactly one producer thread calls try_push/try_push_bulk and
+// exactly one consumer thread calls try_pop/try_pop_bulk (bulk and single
+// ops mix freely on their own side). Capacity is rounded up to a power of
+// two. The bulk forms accept/return partial batches and pay one
+// acquire/release cursor exchange for the whole batch — the amortization
+// the batched dispatcher is built on.
 #pragma once
 
 #include <atomic>
@@ -39,6 +43,27 @@ class SpscRing {
     return true;
   }
 
+  /// Bulk push: moves as many of `items[0..n)` as fit, in order, and
+  /// publishes them with ONE release store — the acquire/release pair and
+  /// the cursor cache refresh are amortized over the whole batch. Returns
+  /// the count accepted (0 when full); accepted items are moved-from, the
+  /// rest untouched, so the caller can retry the tail.
+  std::size_t try_push_bulk(T* items, std::size_t n) {
+    if (n == 0) return 0;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = mask_ + 1 - (tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (tail - head_cache_);
+      if (free == 0) return 0;  // genuinely full
+    }
+    const std::size_t k = n < free ? n : free;
+    for (std::size_t i = 0; i < k; ++i)
+      slots_[(tail + i) & mask_] = std::move(items[i]);
+    tail_.store(tail + k, std::memory_order_release);
+    return k;
+  }
+
   /// Moves the oldest element into `out`; false when the ring is empty.
   bool try_pop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
@@ -49,6 +74,25 @@ class SpscRing {
     out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Bulk pop: moves up to `max_n` oldest elements into `out[0..k)` and
+  /// retires them with ONE release store. Returns the count popped (0 when
+  /// empty).
+  std::size_t try_pop_bulk(T* out, std::size_t max_n) {
+    if (max_n == 0) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = tail_cache_ - head;
+    if (avail < max_n) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+      if (avail == 0) return 0;  // genuinely empty
+    }
+    const std::size_t k = max_n < avail ? max_n : avail;
+    for (std::size_t i = 0; i < k; ++i)
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    head_.store(head + k, std::memory_order_release);
+    return k;
   }
 
   std::size_t capacity() const { return mask_ + 1; }

@@ -390,7 +390,7 @@ TEST(CompiledForest, BatchMatchesForestOnDatasetAndContiguousMatrix) {
   for (const auto& row : test.x)
     matrix.insert(matrix.end(), row.begin(), row.end());
   std::vector<int> out(test.size(), -1);
-  CompiledForest::Scratch scratch;
+  CompiledForest::BatchScratch scratch;
   f.compiled.predict_batch(matrix, test.dim(), out, scratch);
   EXPECT_EQ(out, expected);
 }

@@ -257,6 +257,86 @@ TEST(SpscRing, MoveOnlyElementsRoundTrip) {
   EXPECT_FALSE(ring.try_pop(out));
 }
 
+TEST(SpscRing, BulkRoundTripAcrossWrapAround) {
+  SpscRing<int> ring(8);
+  // Repeated 5-at-a-time batches through an 8-slot ring force the bulk
+  // copy loops to straddle the power-of-two index boundary every round.
+  int next = 0, expect = 0;
+  for (int round = 0; round < 20; ++round) {
+    int in[5];
+    for (int& v : in) v = next++;
+    ASSERT_EQ(ring.try_push_bulk(in, 5), 5u);
+    int out[5] = {-1, -1, -1, -1, -1};
+    ASSERT_EQ(ring.try_pop_bulk(out, 5), 5u);
+    for (int v : out) EXPECT_EQ(v, expect++);  // FIFO across the wrap
+  }
+  int drained;
+  EXPECT_FALSE(ring.try_pop(drained));
+}
+
+TEST(SpscRing, BulkPushAcceptsPartialBatchNearFull) {
+  SpscRing<int> ring(4);
+  int fill[3] = {0, 1, 2};
+  ASSERT_EQ(ring.try_push_bulk(fill, 3), 3u);
+  // Only one slot left: a 3-item batch is accepted partially, in order,
+  // and the unaccepted tail is left untouched for the caller to retry.
+  int batch[3] = {10, 11, 12};
+  EXPECT_EQ(ring.try_push_bulk(batch, 3), 1u);
+  EXPECT_EQ(batch[1], 11);
+  EXPECT_EQ(batch[2], 12);
+  // Genuinely full: 0, nothing moved.
+  EXPECT_EQ(ring.try_push_bulk(batch + 1, 2), 0u);
+  EXPECT_EQ(batch[1], 11);
+  int out[8];
+  ASSERT_EQ(ring.try_pop_bulk(out, 8), 4u);  // pop caps at occupancy
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 10);
+  EXPECT_EQ(ring.try_pop_bulk(out, 8), 0u);  // empty
+}
+
+TEST(SpscRing, BulkOpsMoveMoveOnlyElements) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  std::unique_ptr<int> in[3];
+  for (int i = 0; i < 3; ++i) in[i] = std::make_unique<int>(i + 40);
+  ASSERT_EQ(ring.try_push_bulk(in, 3), 3u);
+  for (const auto& p : in) EXPECT_EQ(p, nullptr);  // accepted => moved-from
+  std::unique_ptr<int> out[3];
+  ASSERT_EQ(ring.try_pop_bulk(out, 3), 3u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(out[i], nullptr);
+    EXPECT_EQ(*out[i], i + 40);
+  }
+}
+
+TEST(SpscRing, BulkAndSingleOpsInterleaveFifo) {
+  SpscRing<int> ring(8);
+  int single = 100;
+  ASSERT_TRUE(ring.try_push(single));
+  int bulk[3] = {101, 102, 103};
+  ASSERT_EQ(ring.try_push_bulk(bulk, 3), 3u);
+  single = 104;
+  ASSERT_TRUE(ring.try_push(single));
+  int out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 100);
+  int outs[2];
+  ASSERT_EQ(ring.try_pop_bulk(outs, 2), 2u);
+  EXPECT_EQ(outs[0], 101);
+  EXPECT_EQ(outs[1], 102);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 103);
+  ASSERT_EQ(ring.try_pop_bulk(outs, 2), 1u);  // partial: only one left
+  EXPECT_EQ(outs[0], 104);
+}
+
+TEST(SpscRing, BulkZeroCountIsNoOp) {
+  SpscRing<int> ring(2);
+  int v = 1;
+  EXPECT_EQ(ring.try_push_bulk(&v, 0), 0u);
+  EXPECT_EQ(ring.try_pop_bulk(&v, 0), 0u);
+  EXPECT_EQ(ring.size_approx(), 0u);
+}
+
 TEST(SpscRing, SizeApproxTracksOccupancy) {
   SpscRing<int> ring(8);
   EXPECT_EQ(ring.size_approx(), 0u);
