@@ -13,18 +13,14 @@ using fingerprint::Os;
 using fingerprint::Provider;
 
 void report() {
-  const auto& store = bench::campus_store();
   for (Provider provider : fingerprint::all_providers()) {
     print_banner(std::cout, "Fig. 10: bandwidth per (OS, agent), " +
                                 to_string(provider) + " (Mbit/s)");
     TextTable table({"OS", "Agent", "Q1", "Median", "Q3", "#"});
     for (const auto& platform : fingerprint::all_platforms()) {
       if (!fingerprint::supports(platform, provider)) continue;
-      const auto samples = store.bandwidth_mbps(
-          [provider, &platform](const telemetry::SessionRecord& r) {
-            return r.provider == provider && r.device == platform.os &&
-                   r.agent == platform.agent;
-          });
+      const auto samples =
+          bench::bandwidth_mbps(bench::by_platform(provider, platform));
       if (samples.size() < 5) continue;
       const BoxSummary box = box_summary(samples);
       table.add_row({to_string(platform.os), to_string(platform.agent),
@@ -35,12 +31,10 @@ void report() {
   }
 
   // Headline checks.
-  auto median_of = [&](Provider p, Os os, Agent agent) {
-    return box_summary(store.bandwidth_mbps(
-                           [=](const telemetry::SessionRecord& r) {
-                             return r.provider == p && r.device == os &&
-                                    r.agent == agent;
-                           }))
+  auto median_of = [](Provider p, Os os, Agent agent) {
+    return box_summary(bench::bandwidth_mbps(
+                           telemetry::Query().provider(p).device(os).agent(
+                               agent)))
         .median;
   };
   std::cout << "\nNetflix Windows Chrome median: "
@@ -59,12 +53,9 @@ void report() {
 }
 
 void BM_PerAgentBandwidth(benchmark::State& state) {
-  const auto& store = bench::campus_store();
+  const auto query = telemetry::Query().device(Os::MacOS).agent(Agent::Safari);
   for (auto _ : state) {
-    auto samples =
-        store.bandwidth_mbps([](const vpscope::telemetry::SessionRecord& r) {
-          return r.device == Os::MacOS && r.agent == Agent::Safari;
-        });
+    auto samples = bench::bandwidth_mbps(query);
     benchmark::DoNotOptimize(samples.size());
   }
 }
@@ -72,4 +63,4 @@ BENCHMARK(BM_PerAgentBandwidth)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-VPSCOPE_BENCH_MAIN(report)
+VPSCOPE_CAMPUS_BENCH_MAIN(report)

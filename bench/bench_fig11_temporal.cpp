@@ -23,19 +23,12 @@ void report() {
   print_banner(std::cout,
                "Fig. 11: hourly downstream volume (GB per simulated "
                "deployment) — PC vs Mobile");
-  const auto& store = bench::campus_store();
 
   for (Provider provider : fingerprint::all_providers()) {
-    const auto pc = store.hourly_volume_gb(
-        [provider](const telemetry::SessionRecord& r) {
-          return r.provider == provider &&
-                 bench::device_is(r, DeviceType::PC);
-        });
-    const auto mobile = store.hourly_volume_gb(
-        [provider](const telemetry::SessionRecord& r) {
-          return r.provider == provider &&
-                 bench::device_is(r, DeviceType::Mobile);
-        });
+    const auto pc = bench::hourly_volume_gb(
+        bench::by_device_type(provider, DeviceType::PC));
+    const auto mobile = bench::hourly_volume_gb(
+        bench::by_device_type(provider, DeviceType::Mobile));
 
     std::cout << "\n" << to_string(provider) << " (peak hour PC: "
               << argmax_hour(pc) << ":00)\n";
@@ -48,16 +41,10 @@ void report() {
   }
 
   // Shape assertions in prose.
-  const auto nf_pc = store.hourly_volume_gb(
-      [](const telemetry::SessionRecord& r) {
-        return r.provider == Provider::Netflix &&
-               bench::device_is(r, DeviceType::PC);
-      });
-  const auto yt_pc = store.hourly_volume_gb(
-      [](const telemetry::SessionRecord& r) {
-        return r.provider == Provider::YouTube &&
-               bench::device_is(r, DeviceType::PC);
-      });
+  const auto nf_pc = bench::hourly_volume_gb(
+      bench::by_device_type(Provider::Netflix, DeviceType::PC));
+  const auto yt_pc = bench::hourly_volume_gb(
+      bench::by_device_type(Provider::YouTube, DeviceType::PC));
   std::cout << "\nNetflix PC peak hour: " << argmax_hour(nf_pc)
             << ":00 (paper: 20-22h)\n"
             << "YouTube 17h vs 22h PC volume ratio: "
@@ -66,12 +53,9 @@ void report() {
 }
 
 void BM_HourlyVolumeQuery(benchmark::State& state) {
-  const auto& store = bench::campus_store();
+  const auto query = bench::by_provider(Provider::YouTube);
   for (auto _ : state) {
-    auto hourly = store.hourly_volume_gb(
-        [](const vpscope::telemetry::SessionRecord& r) {
-          return r.provider == Provider::YouTube;
-        });
+    auto hourly = bench::hourly_volume_gb(query);
     benchmark::DoNotOptimize(hourly[0]);
   }
 }
@@ -79,4 +63,4 @@ BENCHMARK(BM_HourlyVolumeQuery)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-VPSCOPE_BENCH_MAIN(report)
+VPSCOPE_CAMPUS_BENCH_MAIN(report)

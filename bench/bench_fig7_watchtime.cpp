@@ -13,7 +13,6 @@ using fingerprint::Provider;
 void report() {
   print_banner(std::cout,
                "Fig. 7: daily watch time (hours/day) per device type");
-  const auto& store = bench::campus_store();
 
   TextTable table({"Provider", "PC", "Mobile", "TV", "Total", "Mobile share"});
   for (Provider provider : fingerprint::all_providers()) {
@@ -21,10 +20,7 @@ void report() {
     for (DeviceType device :
          {DeviceType::PC, DeviceType::Mobile, DeviceType::TV}) {
       by_device[static_cast<int>(device)] = bench::hours_per_day(
-          store.watch_hours([provider, device](
-                                const telemetry::SessionRecord& r) {
-            return r.provider == provider && bench::device_is(r, device);
-          }));
+          bench::watch_hours(bench::by_device_type(provider, device)));
     }
     const double total = by_device[0] + by_device[1] + by_device[2];
     table.add_row({to_string(provider), TextTable::num(by_device[0], 0),
@@ -35,23 +31,20 @@ void report() {
   }
   table.print(std::cout);
   std::cout << "rejected (unknown/low-confidence) session share: "
-            << TextTable::pct(store.unknown_fraction())
+            << TextTable::pct(bench::unknown_fraction())
             << " (paper excluded ~20%)\n"
             << "shape check: YouTube leads total watch time with ~40% "
                "mobile; subscription services are PC-heavy.\n";
 }
 
 void BM_WatchHoursQuery(benchmark::State& state) {
-  const auto& store = bench::campus_store();
+  const auto query = bench::by_provider(Provider::YouTube);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        store.watch_hours([](const vpscope::telemetry::SessionRecord& r) {
-          return r.provider == Provider::YouTube;
-        }));
+    benchmark::DoNotOptimize(bench::watch_hours(query));
   }
 }
 BENCHMARK(BM_WatchHoursQuery)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-VPSCOPE_BENCH_MAIN(report)
+VPSCOPE_CAMPUS_BENCH_MAIN(report)

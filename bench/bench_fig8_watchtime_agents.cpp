@@ -13,18 +13,14 @@ using fingerprint::Os;
 using fingerprint::Provider;
 
 void report() {
-  const auto& store = bench::campus_store();
   for (Provider provider : fingerprint::all_providers()) {
     print_banner(std::cout, "Fig. 8: watch time per (OS, agent), " +
                                 to_string(provider) + " (hours/day)");
     TextTable table({"OS", "Agent", "Hours/day"});
     for (const auto& platform : fingerprint::all_platforms()) {
       if (!fingerprint::supports(platform, provider)) continue;
-      const double hours = bench::hours_per_day(store.watch_hours(
-          [provider, &platform](const telemetry::SessionRecord& r) {
-            return r.provider == provider && r.device == platform.os &&
-                   r.agent == platform.agent;
-          }));
+      const double hours = bench::hours_per_day(
+          bench::watch_hours(bench::by_platform(provider, platform)));
       table.add_row({to_string(platform.os), to_string(platform.agent),
                      TextTable::num(hours, 0)});
     }
@@ -32,43 +28,34 @@ void report() {
   }
 
   // The paper's headline ratios.
-  const double ios_yt_total = bench::hours_per_day(
-      store.watch_hours([](const telemetry::SessionRecord& r) {
-        return r.provider == Provider::YouTube && r.device == Os::IOS;
-      }));
+  const double ios_yt_total = bench::hours_per_day(bench::watch_hours(
+      telemetry::Query().provider(Provider::YouTube).device(Os::IOS)));
   const double ios_yt_app = bench::hours_per_day(
-      store.watch_hours([](const telemetry::SessionRecord& r) {
-        return r.provider == Provider::YouTube && r.device == Os::IOS &&
-               r.agent == Agent::NativeApp;
-      }));
+      bench::watch_hours(telemetry::Query()
+                             .provider(Provider::YouTube)
+                             .device(Os::IOS)
+                             .agent(Agent::NativeApp)));
   std::cout << "\niOS YouTube native-app share: "
             << TextTable::pct(ios_yt_total > 0 ? ios_yt_app / ios_yt_total
                                                : 0)
             << " (paper: > 90%)\n";
-  const double dn_mobile = bench::hours_per_day(store.watch_hours(
-      [](const telemetry::SessionRecord& r) {
-        return r.provider == Provider::Disney &&
-               bench::device_is(r, fingerprint::DeviceType::Mobile);
-      }));
-  const double dn_ios_app = bench::hours_per_day(store.watch_hours(
-      [](const telemetry::SessionRecord& r) {
-        return r.provider == Provider::Disney && r.device == Os::IOS &&
-               r.agent == Agent::NativeApp;
-      }));
+  const double dn_mobile = bench::hours_per_day(bench::watch_hours(
+      bench::by_device_type(Provider::Disney, fingerprint::DeviceType::Mobile)));
+  const double dn_ios_app = bench::hours_per_day(
+      bench::watch_hours(telemetry::Query()
+                             .provider(Provider::Disney)
+                             .device(Os::IOS)
+                             .agent(Agent::NativeApp)));
   std::cout << "Disney+ mobile share on the iOS app: "
             << TextTable::pct(dn_mobile > 0 ? dn_ios_app / dn_mobile : 0)
             << " (paper: > 90%)\n";
 }
 
 void BM_PerAgentAggregation(benchmark::State& state) {
-  const auto& store = bench::campus_store();
   for (auto _ : state) {
     double total = 0;
     for (const auto& platform : fingerprint::all_platforms()) {
-      total += store.watch_hours(
-          [&platform](const telemetry::SessionRecord& r) {
-            return r.device == platform.os && r.agent == platform.agent;
-          });
+      total += bench::watch_hours(telemetry::Query().platform(platform));
     }
     benchmark::DoNotOptimize(total);
   }
@@ -77,4 +64,4 @@ BENCHMARK(BM_PerAgentAggregation)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-VPSCOPE_BENCH_MAIN(report)
+VPSCOPE_CAMPUS_BENCH_MAIN(report)

@@ -15,17 +15,14 @@ using fingerprint::Provider;
 void report() {
   print_banner(std::cout,
                "Fig. 9: bandwidth (Mbit/s) box summary per device type");
-  const auto& store = bench::campus_store();
 
   TextTable table(
       {"Provider", "Device", "Q1", "Median", "Q3", "#sessions"});
   for (Provider provider : fingerprint::all_providers()) {
     for (DeviceType device :
          {DeviceType::PC, DeviceType::Mobile, DeviceType::TV}) {
-      const auto samples = store.bandwidth_mbps(
-          [provider, device](const telemetry::SessionRecord& r) {
-            return r.provider == provider && bench::device_is(r, device);
-          });
+      const auto samples =
+          bench::bandwidth_mbps(bench::by_device_type(provider, device));
       if (samples.empty()) continue;
       const BoxSummary box = box_summary(samples);
       table.add_row({to_string(provider), to_string(device),
@@ -36,15 +33,10 @@ void report() {
   table.print(std::cout);
 
   // The paper's headline: Amazon on Mac vs smart TV.
-  const auto mac = box_summary(store.bandwidth_mbps(
-      [](const telemetry::SessionRecord& r) {
-        return r.provider == Provider::Amazon && r.device == Os::MacOS;
-      }));
-  const auto tv = box_summary(store.bandwidth_mbps(
-      [](const telemetry::SessionRecord& r) {
-        return r.provider == Provider::Amazon &&
-               bench::device_is(r, DeviceType::TV);
-      }));
+  const auto mac = box_summary(bench::bandwidth_mbps(
+      telemetry::Query().provider(Provider::Amazon).device(Os::MacOS)));
+  const auto tv = box_summary(bench::bandwidth_mbps(
+      bench::by_device_type(Provider::Amazon, DeviceType::TV)));
   std::cout << "Amazon median on Mac PCs: " << TextTable::num(mac.median, 1)
             << " Mbit/s vs TVs " << TextTable::num(tv.median, 1)
             << " Mbit/s -> " << TextTable::pct(mac.median / tv.median - 1.0)
@@ -52,12 +44,9 @@ void report() {
 }
 
 void BM_BandwidthBoxSummary(benchmark::State& state) {
-  const auto& store = bench::campus_store();
+  const auto query = bench::by_provider(Provider::Amazon);
   for (auto _ : state) {
-    auto samples =
-        store.bandwidth_mbps([](const vpscope::telemetry::SessionRecord& r) {
-          return r.provider == Provider::Amazon;
-        });
+    auto samples = bench::bandwidth_mbps(query);
     benchmark::DoNotOptimize(box_summary(std::move(samples)).median);
   }
 }
@@ -65,4 +54,4 @@ BENCHMARK(BM_BandwidthBoxSummary)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-VPSCOPE_BENCH_MAIN(report)
+VPSCOPE_CAMPUS_BENCH_MAIN(report)

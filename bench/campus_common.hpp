@@ -2,7 +2,19 @@
 // classifier bank on the lab dataset once and runs one deployment
 // simulation, whose session store all campus figures are computed from
 // (mirroring the paper's single 4-month deployment feeding every §5 plot).
+//
+// Store A/B harness: every campus bench accepts `--store-mode
+// flat|columnar` (default columnar) and computes its aggregates through the
+// typed-Query facade below, which dispatches to the selected store. Both
+// stores are fed the identical record stream (same seed, same simulator),
+// so a flat/columnar run pair measures exactly the storage layer.
 #pragma once
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "campus/campus.hpp"
@@ -27,6 +39,44 @@ inline campus::CampusConfig campus_config() {
   return config;
 }
 
+enum class StoreMode { Columnar, Flat };
+
+inline StoreMode& store_mode() {
+  static StoreMode mode = StoreMode::Columnar;
+  return mode;
+}
+
+/// Strips `--store-mode[=| ]flat|columnar` from argv. Must run before
+/// benchmark::Initialize, which rejects (exit 1) any flag it does not own.
+inline void strip_store_mode_flag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--store-mode" && i + 1 < *argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--store-mode=", 0) == 0) {
+      value = arg.substr(std::string("--store-mode=").size());
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (value == "flat") {
+      store_mode() = StoreMode::Flat;
+    } else if (value == "columnar") {
+      store_mode() = StoreMode::Columnar;
+    } else {
+      std::fprintf(stderr,
+                   "unknown --store-mode value '%s' (expected flat|columnar)\n",
+                   value.c_str());
+      std::exit(1);
+    }
+  }
+  *argc = out;
+}
+
+/// The columnar (default) campus store. Built lazily, so a --store-mode
+/// flat run never pays for it.
 inline const telemetry::SessionStore& campus_store() {
   static const telemetry::SessionStore store = [] {
     campus::CampusSimulator simulator(campus_config());
@@ -35,18 +85,86 @@ inline const telemetry::SessionStore& campus_store() {
   return store;
 }
 
+/// The seed-era flat store over the identical record stream.
+inline const telemetry::FlatSessionStore& campus_flat_store() {
+  static const telemetry::FlatSessionStore store = [] {
+    telemetry::FlatSessionStore flat;
+    campus::CampusSimulator simulator(campus_config());
+    simulator.run(campus_bank(), [&flat](telemetry::SessionRecord record) {
+      flat.insert(std::move(record));
+    });
+    return flat;
+  }();
+  return store;
+}
+
+// ---- typed-Query aggregation facade (the store-mode dispatch) ----
+
+inline double watch_hours(const telemetry::Query& query) {
+  return store_mode() == StoreMode::Flat
+             ? campus_flat_store().watch_hours(query)
+             : campus_store().watch_hours(query);
+}
+
+inline std::vector<double> bandwidth_mbps(const telemetry::Query& query) {
+  return store_mode() == StoreMode::Flat
+             ? campus_flat_store().bandwidth_mbps(query)
+             : campus_store().bandwidth_mbps(query);
+}
+
+inline std::array<double, 24> hourly_volume_gb(
+    const telemetry::Query& query) {
+  return store_mode() == StoreMode::Flat
+             ? campus_flat_store().hourly_volume_gb(query)
+             : campus_store().hourly_volume_gb(query);
+}
+
+inline double unknown_fraction() {
+  return store_mode() == StoreMode::Flat
+             ? campus_flat_store().unknown_fraction()
+             : campus_store().unknown_fraction();
+}
+
+inline std::size_t store_size() {
+  return store_mode() == StoreMode::Flat ? campus_flat_store().size()
+                                         : campus_store().size();
+}
+
+// ---- common query shapes of the Fig. 7-11 figures ----
+
+inline telemetry::Query by_provider(fingerprint::Provider provider) {
+  return telemetry::Query().provider(provider);
+}
+
+inline telemetry::Query by_device_type(fingerprint::Provider provider,
+                                       fingerprint::DeviceType device) {
+  return telemetry::Query().provider(provider).device_type(device);
+}
+
+inline telemetry::Query by_platform(fingerprint::Provider provider,
+                                    const fingerprint::PlatformId& platform) {
+  return telemetry::Query().provider(provider).platform(platform);
+}
+
 /// Scale factor from the simulated deployment to the paper's campus (the
 /// paper reports absolute daily hours; shapes are what we reproduce).
 inline double hours_per_day(double total_hours) {
   return total_hours / campus_config().days;
 }
 
-inline bool device_is(const telemetry::SessionRecord& record,
-                      fingerprint::DeviceType device) {
-  if (!record.device) return false;
-  return fingerprint::PlatformId{*record.device,
-                                 fingerprint::Agent::NativeApp}
-             .device() == device;
-}
-
 }  // namespace vpscope::bench
+
+/// VPSCOPE_BENCH_MAIN plus the campus-store A/B flag: strips --store-mode
+/// from argv (google-benchmark exits on flags it does not recognize),
+/// then reports and runs timings against the selected store.
+#define VPSCOPE_CAMPUS_BENCH_MAIN(report_fn)                       \
+  int main(int argc, char** argv) {                                \
+    ::vpscope::bench::strip_store_mode_flag(&argc, argv);          \
+    report_fn();                                                   \
+    ::benchmark::Initialize(&argc, argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))      \
+      return 1;                                                    \
+    ::benchmark::RunSpecifiedBenchmarks();                         \
+    ::benchmark::Shutdown();                                       \
+    return 0;                                                      \
+  }

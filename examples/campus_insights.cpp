@@ -5,12 +5,21 @@
 // agents, bandwidth medians, and peak hours.
 //
 // Usage: campus_insights [days] [sessions_per_day] [obs_export_path]
+//        campus_insights --users N [days] [obs_export_path]
 // (default 2 x 4000; when obs_export_path is given, the observability
 // registry is dumped there in Prometheus text format every simulated hour,
 // and per-stage pipeline latencies are printed after the run)
+//
+// With --users the simulator switches to the hierarchical event-driven mode
+// (DESIGN.md §5h): session batches are drawn per (day, hour, provider,
+// platform-class), handshakes replay from a pre-synthesized variant cache,
+// and the session store runs with a resident-segment budget so even an
+// ISP-scale run (--users 1000000, 4 days, ~100M records) keeps RSS bounded
+// by spilling sealed segments to ./campus-insights-spill.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "campus/campus.hpp"
 #include "synth/dataset.hpp"
@@ -22,40 +31,55 @@ using fingerprint::Provider;
 
 int main(int argc, char** argv) {
   campus::CampusConfig config;
-  config.days = argc > 1 ? std::atoi(argv[1]) : 2;
-  config.sessions_per_day = argc > 2 ? std::atoi(argv[2]) : 4000;
+  int arg = 1;
+  if (argc > 2 && std::strcmp(argv[1], "--users") == 0) {
+    config.mode = campus::CampusConfig::Mode::EventDriven;
+    config.users = std::atoll(argv[2]);
+    config.store.max_resident_segments = 8;  // spill: RSS stays O(segments)
+    config.store.spill_dir = "campus-insights-spill";
+    arg = 3;
+  }
+  config.days = argc > arg ? std::atoi(argv[arg]) : 2;
+  ++arg;
+  if (config.users == 0)
+    config.sessions_per_day = argc > arg ? std::atoi(argv[arg++]) : 4000;
   config.obs.profile_stages = true;  // per-stage latency in the report
-  if (argc > 3) config.obs_export_path = argv[3];
+  if (argc > arg) config.obs_export_path = argv[arg];
 
   std::puts("training classifier bank...");
   pipeline::ClassifierBank bank;
   bank.train(synth::generate_lab_dataset(42, 0.5));
 
-  std::printf("simulating %d day(s) x %d sessions of campus traffic...\n",
-              config.days, config.sessions_per_day);
+  if (config.users > 0)
+    std::printf("simulating %d day(s) of %lld users (event-driven)...\n",
+                config.days, static_cast<long long>(config.users));
+  else
+    std::printf("simulating %d day(s) x %d sessions of campus traffic...\n",
+                config.days, config.sessions_per_day);
   campus::CampusSimulator simulator(config);
   const telemetry::SessionStore store = simulator.run(bank);
 
   std::printf("\n%zu sessions collected; %.1f%% rejected as unknown/low "
-              "confidence (excluded below)\n\n",
+              "confidence (excluded below)\n",
               store.size(), store.unknown_fraction() * 100);
+  if (config.store.max_resident_segments > 0) {
+    const telemetry::StoreStats s = store.stats();
+    std::printf("store: %zu resident + %zu spilled segments, %.1f MB "
+                "resident column data\n",
+                s.resident_segments, s.spilled_segments,
+                static_cast<double>(s.resident_bytes) / 1e6);
+  }
+  std::puts("");
 
-  // Watch time per provider x device type.
+  // Watch time per provider x device type (typed queries let the columnar
+  // store scan POD columns and skip zone-mapped segments).
   std::puts("watch time (hours) by provider and device type:");
   std::printf("  %-8s %8s %8s %8s\n", "", "PC", "Mobile", "TV");
-  auto device_of = [](const telemetry::SessionRecord& r,
-                      DeviceType d) {
-    return r.device &&
-           fingerprint::PlatformId{*r.device, fingerprint::Agent::NativeApp}
-                   .device() == d;
-  };
   for (Provider provider : fingerprint::all_providers()) {
     double hours[3] = {};
     for (DeviceType d : {DeviceType::PC, DeviceType::Mobile, DeviceType::TV})
       hours[static_cast<int>(d)] = store.watch_hours(
-          [&](const telemetry::SessionRecord& r) {
-            return r.provider == provider && device_of(r, d);
-          });
+          telemetry::Query().provider(provider).device_type(d));
     std::printf("  %-8s %8.0f %8.0f %8.0f\n", to_string(provider).c_str(),
                 hours[0], hours[1], hours[2]);
   }
@@ -67,10 +91,7 @@ int main(int argc, char** argv) {
     for (const auto& platform : fingerprint::all_platforms()) {
       if (!fingerprint::supports(platform, provider)) continue;
       const double hours = store.watch_hours(
-          [&](const telemetry::SessionRecord& r) {
-            return r.provider == provider && r.device == platform.os &&
-                   r.agent == platform.agent;
-          });
+          telemetry::Query().provider(provider).platform(platform));
       agents.emplace_back(hours, to_string(platform));
     }
     std::sort(agents.rbegin(), agents.rend());
@@ -88,9 +109,7 @@ int main(int argc, char** argv) {
     std::printf("  %-8s", to_string(provider).c_str());
     for (DeviceType d : {DeviceType::PC, DeviceType::Mobile, DeviceType::TV}) {
       auto samples = store.bandwidth_mbps(
-          [&](const telemetry::SessionRecord& r) {
-            return r.provider == provider && device_of(r, d);
-          });
+          telemetry::Query().provider(provider).device_type(d));
       std::printf(" %8.1f", median(std::move(samples)));
     }
     std::puts("");
@@ -100,9 +119,7 @@ int main(int argc, char** argv) {
   std::puts("\npeak usage hour by provider (downstream volume):");
   for (Provider provider : fingerprint::all_providers()) {
     const auto hourly = store.hourly_volume_gb(
-        [provider](const telemetry::SessionRecord& r) {
-          return r.provider == provider;
-        });
+        telemetry::Query().provider(provider));
     const auto it = std::max_element(hourly.begin(), hourly.end());
     std::printf("  %-8s %02ld:00 (%.1f GB)\n", to_string(provider).c_str(),
                 it - hourly.begin(), *it);

@@ -1,6 +1,7 @@
 #include "campus/campus.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 namespace vpscope::campus {
@@ -247,12 +248,19 @@ SessionPlan CampusSimulator::plan_session() {
 
 telemetry::SessionStore CampusSimulator::run(
     const pipeline::ClassifierBank& bank) {
-  telemetry::SessionStore store;
-  pipeline::VideoFlowPipeline pipe(&bank, {}, config_.obs);
-  last_obs_ = pipe.shared_observability();
-  pipe.set_sink([&store](telemetry::SessionRecord record) {
+  telemetry::SessionStore store(config_.store);
+  run(bank, [&store](telemetry::SessionRecord record) {
     store.insert(std::move(record));
   });
+  return store;
+}
+
+void CampusSimulator::run(
+    const pipeline::ClassifierBank& bank,
+    const std::function<void(telemetry::SessionRecord)>& sink) {
+  pipeline::VideoFlowPipeline pipe(&bank, {}, config_.obs);
+  last_obs_ = pipe.shared_observability();
+  pipe.set_sink(sink);
 
   // vpscope_obs_export: periodic registry dumps driven by SIMULATED time,
   // so a 4-day run leaves the same trail a real deployment scrape would.
@@ -266,6 +274,17 @@ telemetry::SessionStore CampusSimulator::run(
         last_obs_->registry_ptr(), std::move(export_options));
   }
 
+  if (config_.mode == CampusConfig::Mode::EventDriven)
+    run_event_driven(pipe, exporter.get());
+  else
+    run_per_session(pipe, exporter.get());
+
+  pipe.flush_all();
+  if (exporter) exporter->export_now();
+}
+
+void CampusSimulator::run_per_session(pipeline::VideoFlowPipeline& pipe,
+                                      obs::PeriodicExporter* exporter) {
   synth::FlowSynthesizer synthesizer(rng_.fork());
   const int total_sessions = config_.days * config_.sessions_per_day;
 
@@ -311,9 +330,182 @@ telemetry::SessionStore CampusSimulator::run(
                     1);
     if (exporter) exporter->tick(plan.start_us);
   }
-  pipe.flush_all();
-  if (exporter) exporter->export_now();
-  return store;
+}
+
+void CampusSimulator::run_event_driven(pipeline::VideoFlowPipeline& pipe,
+                                       obs::PeriodicExporter* exporter) {
+  constexpr std::uint64_t kHourUs = 3600ULL * 1000000ULL;
+  synth::FlowSynthesizer synthesizer(rng_.fork());
+
+  // ---- session classes: provider x (known platform row | unknown variant)
+  // with each class's share of ALL sessions. The factorization mirrors
+  // plan_session()'s draw chain (provider -> unknown? -> platform ->
+  // transport), so the two modes sample the same joint distribution; only
+  // the sampling order differs (batched counts instead of per-session
+  // ancestral draws).
+  struct SessionClass {
+    Provider provider = Provider::YouTube;
+    bool unknown = false;
+    int unknown_variant = 0;
+    PlatformId platform = {Os::Windows, Agent::Chrome};
+    DeviceType device = DeviceType::PC;
+    double share = 0.0;      // fraction of all sessions
+    double quic_prob = 0.0;  // P(transport == Quic | class)
+    std::array<double, 24> hour_share{};
+  };
+  std::vector<SessionClass> classes;
+  double provider_total = 0.0;
+  for (Provider p : fingerprint::all_providers())
+    provider_total += provider_session_share(p);
+  const int unknown_profiles = fingerprint::num_unknown_profiles();
+  for (Provider p : fingerprint::all_providers()) {
+    const double provider_share = provider_session_share(p) / provider_total;
+    const auto& rows = mix(p);
+    double mix_total = 0.0;
+    for (const auto& row : rows) mix_total += row.weight;
+    for (const auto& row : rows) {
+      SessionClass c;
+      c.provider = p;
+      c.platform = {row.os, row.agent};
+      c.device = c.platform.device();
+      c.share = provider_share * (1.0 - config_.unknown_platform_fraction) *
+                row.weight / mix_total;
+      const bool quic = fingerprint::supports_quic(c.platform, p);
+      const bool tcp = fingerprint::supports_tcp(c.platform, p);
+      c.quic_prob = quic ? (tcp ? 0.85 : 1.0) : 0.0;
+      classes.push_back(c);
+    }
+    for (int v = 0; v < unknown_profiles; ++v) {
+      SessionClass c;
+      c.provider = p;
+      c.unknown = true;
+      c.unknown_variant = v;
+      c.share = provider_share * config_.unknown_platform_fraction /
+                unknown_profiles;
+      classes.push_back(c);
+    }
+  }
+  for (SessionClass& c : classes) {
+    double total = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      c.hour_share[static_cast<std::size_t>(h)] =
+          hourly_weight(c.provider, c.device, h);
+      total += c.hour_share[static_cast<std::size_t>(h)];
+    }
+    for (double& w : c.hour_share) w /= total;
+  }
+
+  // ---- handshake variant cache: a few real synthesized flows per
+  // (class, transport), replayed with shifted timestamps. Keeps the
+  // pipeline classifying genuine wire-format packets at ~10 us/session
+  // instead of paying full synthesis per session. Sessions are processed
+  // sequentially and evicted (flush_idle) before the next begins, so
+  // 5-tuple reuse between replays of one variant never collides in the
+  // flow table.
+  struct CachedFlow {
+    net::FlowKey key;
+    std::vector<net::Packet> packets;
+    std::uint64_t base_us = 0;
+  };
+  const int variants = std::max(1, config_.handshake_variants);
+  std::vector<std::array<std::vector<CachedFlow>, 2>> cache(classes.size());
+  const auto cached_flow = [&](std::size_t ci,
+                               Transport transport) -> const CachedFlow& {
+    auto& slot = cache[ci][transport == Transport::Quic ? 1 : 0];
+    if (slot.empty()) {
+      const SessionClass& c = classes[ci];
+      slot.reserve(static_cast<std::size_t>(variants));
+      for (int v = 0; v < variants; ++v) {
+        const fingerprint::StackProfile profile =
+            c.unknown ? fingerprint::make_unknown_profile(
+                            c.provider, c.unknown_variant, transport)
+                      : fingerprint::make_profile(c.platform, c.provider,
+                                                  transport);
+        synth::FlowOptions options;
+        options.start_time_us = 0;
+        options.capture_hops = rng_.uniform_int(2, 4);  // campus border tap
+        synth::LabeledFlow flow = synthesizer.synthesize(profile, options);
+        CachedFlow cached;
+        cached.key = net::FlowKey::canonical(
+            flow.client_ip, flow.client_port, flow.server_ip,
+            flow.server_port,
+            transport == Transport::Tcp ? net::kProtoTcp : net::kProtoUdp);
+        cached.base_us =
+            flow.packets.empty() ? 0 : flow.packets.front().timestamp_us;
+        cached.packets = std::move(flow.packets);
+        slot.push_back(std::move(cached));
+      }
+    }
+    return slot[static_cast<std::size_t>(
+        rng_.uniform(0, static_cast<std::uint64_t>(slot.size() - 1)))];
+  };
+
+  const int max_samples = std::max(1, config_.event_volume_samples);
+  const auto emit_session = [&](std::size_t ci, int day, int hour) {
+    const SessionClass& c = classes[ci];
+    const Transport transport =
+        c.quic_prob > 0.0 && rng_.bernoulli(c.quic_prob) ? Transport::Quic
+                                                         : Transport::Tcp;
+    const CachedFlow& cached = cached_flow(ci, transport);
+    const std::uint64_t start_us =
+        (static_cast<std::uint64_t>(day) * 24 +
+         static_cast<std::uint64_t>(hour)) *
+            kHourUs +
+        rng_.uniform(0, kHourUs - 1);
+
+    net::Packet shifted;
+    for (const net::Packet& packet : cached.packets) {
+      shifted = packet;
+      shifted.timestamp_us = start_us + (packet.timestamp_us - cached.base_us);
+      pipe.on_packet(shifted);
+    }
+
+    // Behavioural draws match plan_session()'s models.
+    const double median_s = duration_median_min(c.provider) * 60.0;
+    const double duration_s = std::clamp(
+        median_s * std::exp(rng_.normal(0.0, 0.8)), 20.0, 4.0 * 3600.0);
+    const double median_mbps =
+        c.unknown ? 2.5 : bandwidth_median_mbps(c.provider, c.platform);
+    const double bandwidth_mbps =
+        median_mbps * std::exp(rng_.normal(0.0, 0.35));
+    const double total_bytes = bandwidth_mbps * 1e6 / 8.0 * duration_s;
+    const int samples = std::min(
+        std::max(1, static_cast<int>(duration_s / 10.0)), max_samples);
+    const auto bytes_per_sample =
+        static_cast<std::uint64_t>(total_bytes / samples);
+    for (int i = 1; i <= samples; ++i) {
+      const std::uint64_t ts =
+          start_us +
+          static_cast<std::uint64_t>(duration_s * 1e6 * i / samples);
+      pipe.on_volume_sample(cached.key, ts, bytes_per_sample,
+                            bytes_per_sample / 40);
+    }
+    pipe.flush_idle(
+        start_us + static_cast<std::uint64_t>(duration_s * 1e6) +
+            3600ULL * 1000000ULL * 48,
+        1);
+    if (exporter) exporter->tick(start_us);
+  };
+
+  // ---- hierarchical batch draws: Poisson session counts per
+  // (day, hour, class) — O(days x 24 x classes) draws total, each batch
+  // emitted session by session.
+  const double sessions_per_day =
+      config_.users > 0
+          ? static_cast<double>(config_.users) * config_.sessions_per_user_day
+          : static_cast<double>(config_.sessions_per_day);
+  for (int day = 0; day < config_.days; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+        const double mean = sessions_per_day * classes[ci].share *
+                            classes[ci].hour_share[static_cast<std::size_t>(
+                                hour)];
+        const std::uint64_t count = rng_.poisson(mean);
+        for (std::uint64_t s = 0; s < count; ++s)
+          emit_session(ci, day, hour);
+      }
+    }
+  }
 }
 
 }  // namespace vpscope::campus

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -26,14 +27,47 @@
 namespace vpscope::campus {
 
 struct CampusConfig {
+  /// How sessions are generated (DESIGN.md §5h).
+  enum class Mode : std::uint8_t {
+    /// Seed-era time-stepping: every session independently planned and
+    /// synthesized packet by packet. Exact, but ~1 ms/session.
+    PerSession,
+    /// Hierarchical event-driven scale-out: a population model draws
+    /// per-(day, hour, provider, platform-class) session-count batches
+    /// (Poisson), handshakes are replayed from a small pre-synthesized
+    /// variant cache (still real packets through the real pipeline), and
+    /// payload is accounted as a few decimated volume events per session.
+    /// ~10 us/session: 1M users x 4 days (~100M records) completes on the
+    /// bench box.
+    EventDriven,
+  };
+  Mode mode = Mode::PerSession;
+
   int days = 4;
   /// Mean number of video sessions per simulated day (all providers).
+  /// EventDriven mode: overridden by users * sessions_per_user_day when
+  /// `users` is set.
   int sessions_per_day = 15000;
+  /// EventDriven population model: users on the network (0 = use
+  /// sessions_per_day) and mean streaming sessions per user per day.
+  std::int64_t users = 0;
+  double sessions_per_user_day = 25.0;
+  /// Pre-synthesized handshake variants per (provider, platform-class,
+  /// transport) the EventDriven mode cycles through.
+  int handshake_variants = 8;
+  /// Volume-event cap per session in EventDriven mode (>= 1). Total bytes
+  /// and flow end time are preserved regardless; more samples only smooth
+  /// intra-session pacing, which no Fig. 7-11 aggregate consumes.
+  int event_volume_samples = 2;
   /// Fraction of sessions from platforms outside the training set — the
   /// pipeline should reject most of these (paper: ~20% of campus sessions
   /// were excluded as low-confidence/unknown).
   double unknown_platform_fraction = 0.15;
   std::uint64_t seed = 2024;
+
+  /// Segmenting/spill options of the session store run() populates — the
+  /// ISP-scale runs set max_resident_segments so RSS stays bounded.
+  telemetry::StoreOptions store = {};
 
   /// Observability of the simulated deployment (DESIGN.md §5f): stage
   /// profiling / flow tracing for the pipeline the simulation drives.
@@ -67,8 +101,16 @@ class CampusSimulator {
   SessionPlan plan_session();
 
   /// Runs the full simulation through the pipeline; returns the populated
-  /// session store. `bank` must already be trained on the lab dataset.
+  /// session store (constructed with config.store, so segmenting/spill
+  /// behaviour follows the config). `bank` must already be trained on the
+  /// lab dataset.
   telemetry::SessionStore run(const pipeline::ClassifierBank& bank);
+
+  /// Same simulation, but session records go to `sink` instead of a store —
+  /// the seam for tee-ing into custom stores (multi-writer benches, the A/B
+  /// harness) without paying for a second run.
+  void run(const pipeline::ClassifierBank& bank,
+           const std::function<void(telemetry::SessionRecord)>& sink);
 
   /// The metrics bundle of the most recent run() (stage latencies, trace
   /// rings, every pipeline counter); null before the first run.
@@ -91,6 +133,11 @@ class CampusSimulator {
   static double provider_session_share(fingerprint::Provider provider);
 
  private:
+  void run_per_session(pipeline::VideoFlowPipeline& pipe,
+                       obs::PeriodicExporter* exporter);
+  void run_event_driven(pipeline::VideoFlowPipeline& pipe,
+                        obs::PeriodicExporter* exporter);
+
   CampusConfig config_;
   Rng rng_;
   /// Keeps the last run's registry alive past the pipeline's lifetime.

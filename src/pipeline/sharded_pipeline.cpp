@@ -138,6 +138,15 @@ void ShardedPipeline::set_sink(
   sink_ = std::move(sink);
 }
 
+void ShardedPipeline::set_shard_sinks(
+    std::vector<std::function<void(telemetry::SessionRecord)>> sinks) {
+  if (sinks.size() != shards_.size())
+    throw std::invalid_argument(
+        "ShardedPipeline: set_shard_sinks needs exactly one sink per shard");
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shards_[i]->pipe.set_sink(std::move(sinks[i]));
+}
+
 void ShardedPipeline::set_stuck_callback(
     std::function<void(int shard)> callback) {
   stuck_callback_ = std::move(callback);

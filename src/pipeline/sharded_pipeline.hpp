@@ -147,6 +147,16 @@ class ShardedPipeline {
   /// concurrently (internally serialized). Set before the first packet.
   void set_sink(std::function<void(telemetry::SessionRecord)> sink);
 
+  /// Multi-writer alternative to set_sink: one sink per shard, invoked on
+  /// that shard's worker thread with NO cross-shard serialization — the
+  /// mutex funnel is bypassed entirely. Pair with
+  /// telemetry::ShardedSessionStore::sink(i), whose writers stage records
+  /// into private segments and take the store lock only per sealed
+  /// segment. `sinks.size()` must equal shard_count(). Set before the
+  /// first packet; replaces any set_sink().
+  void set_shard_sinks(
+      std::vector<std::function<void(telemetry::SessionRecord)>> sinks);
+
   /// Called on the dispatcher thread when the watchdog flips a shard into
   /// bypass. Set before the first packet.
   void set_stuck_callback(std::function<void(int shard)> callback);

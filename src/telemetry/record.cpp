@@ -1,0 +1,70 @@
+#include "telemetry/record.hpp"
+
+#include <algorithm>
+
+namespace vpscope::telemetry {
+
+namespace {
+
+constexpr std::uint64_t kHourUs = 3600ull * 1000 * 1000;
+
+void touch(FlowCounters& c, std::uint64_t ts_us) {
+  if (c.packets_down + c.packets_up == 0)
+    c.first_us = ts_us;
+  else
+    c.first_us = std::min(c.first_us, ts_us);
+  c.last_us = std::max(c.last_us, ts_us);
+}
+
+}  // namespace
+
+void FlowCounters::add_down(std::uint64_t ts_us, std::uint64_t bytes) {
+  touch(*this, ts_us);
+  bytes_down += bytes;
+  ++packets_down;
+}
+
+void FlowCounters::add_up(std::uint64_t ts_us, std::uint64_t bytes) {
+  touch(*this, ts_us);
+  bytes_up += bytes;
+  ++packets_up;
+}
+
+double FlowCounters::duration_s() const {
+  return last_us > first_us
+             ? static_cast<double>(last_us - first_us) / 1e6
+             : 0.0;
+}
+
+double FlowCounters::mean_downstream_mbps() const {
+  const double secs = duration_s();
+  if (secs <= 0) return 0.0;
+  return static_cast<double>(bytes_down) * 8.0 / 1e6 / secs;
+}
+
+void accumulate_hourly_volume_gb(std::array<double, 24>& out,
+                                 std::uint64_t first_us, std::uint64_t last_us,
+                                 std::uint64_t bytes_down) {
+  const double gb = static_cast<double>(bytes_down) / 1e9;
+  if (last_us <= first_us) {
+    out[static_cast<std::size_t>((first_us / kHourUs) % 24)] += gb;
+    return;
+  }
+  const double span = static_cast<double>(last_us - first_us);
+  // Walk the wall-clock hours the flow overlaps, crediting each bucket its
+  // share of the flow's lifetime. `hour + kHourUs` can wrap for timestamps
+  // in the last hour before 2^64, so the bucket end is clamped before the
+  // addition instead of after.
+  std::uint64_t hour = first_us - first_us % kHourUs;
+  for (;;) {
+    const std::uint64_t lo = std::max(hour, first_us);
+    const std::uint64_t hi =
+        kHourUs < last_us - hour ? hour + kHourUs : last_us;
+    out[static_cast<std::size_t>((hour / kHourUs) % 24)] +=
+        gb * static_cast<double>(hi - lo) / span;
+    if (hi >= last_us) return;
+    hour = hi;
+  }
+}
+
+}  // namespace vpscope::telemetry

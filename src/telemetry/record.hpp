@@ -1,0 +1,83 @@
+// The per-flow telemetry vocabulary shared by every store implementation:
+// FlowCounters (volume/timing accounting), classification Outcome, and the
+// SessionRecord the pipeline emits for each finished video session. The
+// stores themselves live in flat_store.hpp (seed-era row vector, kept for
+// A/B benchmarking) and columnar.hpp (the production-shaped segmented
+// store); telemetry.hpp re-exports everything.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fingerprint/platform.hpp"
+
+namespace vpscope::telemetry {
+
+/// Volume/timing counters of one flow, updated per packet (or per decimated
+/// volume sample in the campus simulator).
+struct FlowCounters {
+  std::uint64_t first_us = 0;
+  std::uint64_t last_us = 0;
+  std::uint64_t bytes_down = 0;  // server -> client
+  std::uint64_t bytes_up = 0;
+  std::uint64_t packets_down = 0;
+  std::uint64_t packets_up = 0;
+
+  void add_down(std::uint64_t ts_us, std::uint64_t bytes);
+  void add_up(std::uint64_t ts_us, std::uint64_t bytes);
+
+  /// Idle time since the last packet, clamped to zero when `now_us` is
+  /// behind `last_us`. Capture clocks are not guaranteed monotonic (NIC
+  /// timestamp resets, PCAP merges, fault injection); without the clamp a
+  /// reversed clock would produce a near-2^64 unsigned delta and evict
+  /// every active flow.
+  std::uint64_t idle_us(std::uint64_t now_us) const {
+    return now_us > last_us ? now_us - last_us : 0;
+  }
+
+  double duration_s() const;
+  /// Mean downstream throughput over the flow lifetime, in Mbit/s.
+  double mean_downstream_mbps() const;
+
+  bool operator==(const FlowCounters&) const = default;
+};
+
+/// How the pipeline resolved a flow's user platform.
+enum class Outcome : std::uint8_t {
+  Composite,  // full (device, agent) with confidence >= threshold
+  Partial,    // only device and/or agent individually confident
+  Unknown,    // rejected
+};
+inline constexpr int kNumOutcomes = 3;
+
+/// The final per-flow record stored for analysis. This is the INGEST
+/// interface every store accepts; the columnar store never retains the
+/// `sni` string per row (it is interned once into a TokenId column).
+struct SessionRecord {
+  fingerprint::Provider provider = fingerprint::Provider::YouTube;
+  fingerprint::Transport transport = fingerprint::Transport::Tcp;
+  Outcome outcome = Outcome::Unknown;
+  std::optional<fingerprint::PlatformId> platform;  // set for Composite
+  std::optional<fingerprint::Os> device;            // set when confident
+  std::optional<fingerprint::Agent> agent;          // set when confident
+  double confidence = 0.0;  // composite-classifier confidence
+  std::string sni;
+  FlowCounters counters;
+
+  bool operator==(const SessionRecord&) const = default;
+};
+
+/// Pro-rates a record's downstream volume across the hour-of-day buckets
+/// its flow spans (DESIGN.md §5h): each wall-clock hour the flow overlaps
+/// receives volume proportional to the overlap, so a 3-hour 19:00-22:00
+/// session credits hours 19, 20 and 21 a third each instead of inflating
+/// hour 19 with the whole session (the seed-era behaviour). Zero-duration
+/// flows degenerate to the start hour. Shared by the flat and columnar
+/// stores so their hourly_volume_gb outputs stay bit-identical.
+void accumulate_hourly_volume_gb(std::array<double, 24>& out,
+                                 std::uint64_t first_us, std::uint64_t last_us,
+                                 std::uint64_t bytes_down);
+
+}  // namespace vpscope::telemetry

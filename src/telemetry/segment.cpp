@@ -1,0 +1,200 @@
+#include "telemetry/segment.hpp"
+
+#include <algorithm>
+
+namespace vpscope::telemetry {
+
+namespace {
+
+std::uint8_t code_of(fingerprint::Provider p) {
+  return static_cast<std::uint8_t>(p);
+}
+std::uint8_t code_of(fingerprint::Transport t) {
+  return static_cast<std::uint8_t>(t);
+}
+std::uint8_t code_of(Outcome o) { return static_cast<std::uint8_t>(o); }
+std::uint8_t code_of(fingerprint::Os os) {
+  return static_cast<std::uint8_t>(os);
+}
+std::uint8_t code_of(fingerprint::Agent a) {
+  return static_cast<std::uint8_t>(a);
+}
+
+}  // namespace
+
+CompiledQuery::CompiledQuery(const Query& query) {
+  if (query.provider_filter())
+    provider = static_cast<std::int16_t>(*query.provider_filter());
+  if (query.outcome_filter())
+    outcome = static_cast<std::int16_t>(*query.outcome_filter());
+  if (query.device_filter())
+    device = static_cast<std::int16_t>(*query.device_filter());
+  if (query.agent_filter())
+    agent = static_cast<std::int16_t>(*query.agent_filter());
+  if (query.device_type_filter())
+    device_type = static_cast<std::int16_t>(*query.device_type_filter());
+  start_min_us = query.start_min_us();
+  start_max_us = query.start_max_us();
+}
+
+std::int16_t CompiledQuery::os_device_type(std::uint8_t os_code) {
+  static const std::array<std::int16_t, kOsValues> table = [] {
+    std::array<std::int16_t, kOsValues> t{};
+    for (int os = 0; os < kOsValues; ++os)
+      t[static_cast<std::size_t>(os)] = static_cast<std::int16_t>(
+          Query::device_type_of(static_cast<fingerprint::Os>(os)));
+    return t;
+  }();
+  return os_code < kOsValues ? table[os_code] : std::int16_t{-1};
+}
+
+void SegmentColumns::reserve(std::size_t n) {
+  provider.reserve(n);
+  transport.reserve(n);
+  outcome.reserve(n);
+  platform_os.reserve(n);
+  platform_agent.reserve(n);
+  device.reserve(n);
+  agent.reserve(n);
+  confidence.reserve(n);
+  sni.reserve(n);
+  first_us.reserve(n);
+  last_us.reserve(n);
+  bytes_down.reserve(n);
+  bytes_up.reserve(n);
+  packets_down.reserve(n);
+  packets_up.reserve(n);
+}
+
+void SegmentColumns::clear() {
+  provider.clear();
+  transport.clear();
+  outcome.clear();
+  platform_os.clear();
+  platform_agent.clear();
+  device.clear();
+  agent.clear();
+  confidence.clear();
+  sni.clear();
+  first_us.clear();
+  last_us.clear();
+  bytes_down.clear();
+  bytes_up.clear();
+  packets_down.clear();
+  packets_up.clear();
+}
+
+void SegmentColumns::append(const SessionRecord& r, core::TokenId sni_id) {
+  provider.push_back(code_of(r.provider));
+  transport.push_back(code_of(r.transport));
+  outcome.push_back(code_of(r.outcome));
+  platform_os.push_back(r.platform ? code_of(r.platform->os) : kNoValue);
+  platform_agent.push_back(r.platform ? code_of(r.platform->agent) : kNoValue);
+  device.push_back(r.device ? code_of(*r.device) : kNoValue);
+  agent.push_back(r.agent ? code_of(*r.agent) : kNoValue);
+  confidence.push_back(r.confidence);
+  sni.push_back(sni_id);
+  first_us.push_back(r.counters.first_us);
+  last_us.push_back(r.counters.last_us);
+  bytes_down.push_back(r.counters.bytes_down);
+  bytes_up.push_back(r.counters.bytes_up);
+  packets_down.push_back(r.counters.packets_down);
+  packets_up.push_back(r.counters.packets_up);
+}
+
+SessionRecord materialize_row(const ColumnsView& v, std::size_t i,
+                              std::string_view sni) {
+  SessionRecord r;
+  r.provider = static_cast<fingerprint::Provider>(v.provider[i]);
+  r.transport = static_cast<fingerprint::Transport>(v.transport[i]);
+  r.outcome = static_cast<Outcome>(v.outcome[i]);
+  if (v.platform_os[i] != kNoValue)
+    r.platform = fingerprint::PlatformId{
+        static_cast<fingerprint::Os>(v.platform_os[i]),
+        static_cast<fingerprint::Agent>(v.platform_agent[i])};
+  if (v.device[i] != kNoValue)
+    r.device = static_cast<fingerprint::Os>(v.device[i]);
+  if (v.agent[i] != kNoValue)
+    r.agent = static_cast<fingerprint::Agent>(v.agent[i]);
+  r.confidence = v.confidence[i];
+  r.sni = std::string(sni);
+  r.counters.first_us = v.first_us[i];
+  r.counters.last_us = v.last_us[i];
+  r.counters.bytes_down = v.bytes_down[i];
+  r.counters.bytes_up = v.bytes_up[i];
+  r.counters.packets_down = v.packets_down[i];
+  r.counters.packets_up = v.packets_up[i];
+  return r;
+}
+
+SessionRecord SegmentColumns::materialize(
+    std::size_t i, const core::TokenInterner& interner) const {
+  // kUnseenId (an empty-SNI record) resolves to "<unseen>"; store empty
+  // instead so materialization round-trips the original record exactly.
+  const std::string_view token =
+      sni[i] == core::TokenInterner::kUnseenId ? std::string_view{}
+                                               : interner.token(sni[i]);
+  return materialize_row(view(), i, token);
+}
+
+ColumnsView SegmentColumns::view() const {
+  ColumnsView v;
+  v.rows = rows();
+  v.provider = provider.data();
+  v.transport = transport.data();
+  v.outcome = outcome.data();
+  v.platform_os = platform_os.data();
+  v.platform_agent = platform_agent.data();
+  v.device = device.data();
+  v.agent = agent.data();
+  v.confidence = confidence.data();
+  v.sni = sni.data();
+  v.first_us = first_us.data();
+  v.last_us = last_us.data();
+  v.bytes_down = bytes_down.data();
+  v.bytes_up = bytes_up.data();
+  v.packets_down = packets_down.data();
+  v.packets_up = packets_up.data();
+  return v;
+}
+
+ZoneMap ZoneMap::build(const SegmentColumns& columns) {
+  ZoneMap z;
+  z.rows = static_cast<std::uint32_t>(columns.rows());
+  for (std::size_t i = 0; i < columns.rows(); ++i) {
+    z.first_us_min = std::min(z.first_us_min, columns.first_us[i]);
+    z.first_us_max = std::max(z.first_us_max, columns.first_us[i]);
+    ++z.by_provider[columns.provider[i] %
+                    static_cast<unsigned>(fingerprint::kNumProviders)];
+    ++z.by_outcome[columns.outcome[i] % static_cast<unsigned>(kNumOutcomes)];
+    const std::uint8_t os = columns.device[i];
+    ++z.by_device[os < kOsValues ? os : kOsValues];
+    const std::uint8_t agent = columns.agent[i];
+    ++z.by_agent[agent < kAgentValues ? agent : kAgentValues];
+  }
+  return z;
+}
+
+bool ZoneMap::may_match(const CompiledQuery& q) const {
+  if (rows == 0) return false;
+  if (q.provider >= 0 &&
+      by_provider[static_cast<std::size_t>(q.provider)] == 0)
+    return false;
+  if (q.outcome >= 0 && by_outcome[static_cast<std::size_t>(q.outcome)] == 0)
+    return false;
+  if (q.device >= 0 && by_device[static_cast<std::size_t>(q.device)] == 0)
+    return false;
+  if (q.agent >= 0 && by_agent[static_cast<std::size_t>(q.agent)] == 0)
+    return false;
+  if (q.device_type >= 0) {
+    std::uint32_t candidates = 0;
+    for (int os = 0; os < kOsValues; ++os)
+      if (CompiledQuery::os_device_type(static_cast<std::uint8_t>(os)) ==
+          q.device_type)
+        candidates += by_device[static_cast<std::size_t>(os)];
+    if (candidates == 0) return false;
+  }
+  return first_us_min <= q.start_max_us && first_us_max >= q.start_min_us;
+}
+
+}  // namespace vpscope::telemetry

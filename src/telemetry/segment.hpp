@@ -1,0 +1,124 @@
+// Columnar session-store segments (DESIGN.md §5h): fixed-capacity
+// append-only struct-of-arrays blocks of POD columns. A SessionRecord is
+// decomposed at insert time — enums to u8 codes (0xff for "not set"), the
+// SNI string interned to a core::TokenId — so a stored row owns no heap
+// memory and a segment is 15 flat vectors the aggregation scans stream
+// through. Sealed segments additionally carry a ZoneMap (per-column
+// min/max plus per-provider/outcome/device/agent row counts) that lets a
+// query skip whole segments that cannot contain a match.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/interner.hpp"
+#include "telemetry/query.hpp"
+#include "telemetry/record.hpp"
+
+namespace vpscope::telemetry {
+
+/// Sentinel in the optional u8 columns (platform/device/agent "not set").
+inline constexpr std::uint8_t kNoValue = 0xff;
+
+/// Cardinality of the u8-coded enum columns (fingerprint::Os / Agent).
+inline constexpr int kOsValues = 6;
+inline constexpr int kAgentValues = 6;
+
+/// Borrowed pointers into one segment's columns — the common scan interface
+/// over resident segments (SegmentColumns) and spilled ones (MappedSegment).
+struct ColumnsView {
+  std::size_t rows = 0;
+  const std::uint8_t* provider = nullptr;
+  const std::uint8_t* transport = nullptr;
+  const std::uint8_t* outcome = nullptr;
+  const std::uint8_t* platform_os = nullptr;     // kNoValue = no platform
+  const std::uint8_t* platform_agent = nullptr;  // valid iff platform_os is
+  const std::uint8_t* device = nullptr;          // kNoValue = no device
+  const std::uint8_t* agent = nullptr;           // kNoValue = no agent
+  const double* confidence = nullptr;
+  const std::uint32_t* sni = nullptr;  // core::TokenId
+  const std::uint64_t* first_us = nullptr;
+  const std::uint64_t* last_us = nullptr;
+  const std::uint64_t* bytes_down = nullptr;
+  const std::uint64_t* bytes_up = nullptr;
+  const std::uint64_t* packets_down = nullptr;
+  const std::uint64_t* packets_up = nullptr;
+};
+
+/// A Query lowered to POD codes for the row-at-a-time columnar test
+/// (negative = dimension unconstrained).
+struct CompiledQuery {
+  std::int16_t provider = -1;
+  std::int16_t outcome = -1;
+  std::int16_t device = -1;
+  std::int16_t agent = -1;
+  std::int16_t device_type = -1;
+  std::uint64_t start_min_us = 0;
+  std::uint64_t start_max_us = ~std::uint64_t{0};
+
+  explicit CompiledQuery(const Query& query);
+
+  bool matches(const ColumnsView& v, std::size_t i) const {
+    if (provider >= 0 && v.provider[i] != provider) return false;
+    if (outcome >= 0 && v.outcome[i] != outcome) return false;
+    if (device >= 0 && v.device[i] != device) return false;
+    if (agent >= 0 && v.agent[i] != agent) return false;
+    if (device_type >= 0) {
+      const std::uint8_t os = v.device[i];
+      if (os == kNoValue || os_device_type(os) != device_type) return false;
+    }
+    return v.first_us[i] >= start_min_us && v.first_us[i] <= start_max_us;
+  }
+
+  /// Device class code of an Os code (precomputed Table 1 mapping).
+  static std::int16_t os_device_type(std::uint8_t os_code);
+};
+
+/// One segment's worth of POD columns (struct-of-arrays).
+struct SegmentColumns {
+  std::vector<std::uint8_t> provider, transport, outcome;
+  std::vector<std::uint8_t> platform_os, platform_agent, device, agent;
+  std::vector<double> confidence;
+  std::vector<std::uint32_t> sni;
+  std::vector<std::uint64_t> first_us, last_us, bytes_down, bytes_up;
+  std::vector<std::uint64_t> packets_down, packets_up;
+
+  std::size_t rows() const { return provider.size(); }
+  void reserve(std::size_t n);
+  void clear();
+
+  /// Decomposes a record into the columns; `sni_id` is the record's SNI
+  /// already interned by the owning store.
+  void append(const SessionRecord& record, core::TokenId sni_id);
+
+  /// Rebuilds row `i` as a SessionRecord; `interner` resolves the SNI id.
+  SessionRecord materialize(std::size_t i,
+                            const core::TokenInterner& interner) const;
+
+  ColumnsView view() const;
+};
+
+/// Rebuilds row `i` of any columns view; `sni` is the resolved SNI string.
+SessionRecord materialize_row(const ColumnsView& v, std::size_t i,
+                              std::string_view sni);
+
+/// Per-segment pruning statistics, computed when a segment seals.
+struct ZoneMap {
+  std::uint32_t rows = 0;
+  std::uint64_t first_us_min = ~std::uint64_t{0};
+  std::uint64_t first_us_max = 0;
+  std::array<std::uint32_t, fingerprint::kNumProviders> by_provider{};
+  std::array<std::uint32_t, kNumOutcomes> by_outcome{};
+  std::array<std::uint32_t, kOsValues + 1> by_device{};  // last slot: no device
+  std::array<std::uint32_t, kAgentValues + 1> by_agent{};
+
+  static ZoneMap build(const SegmentColumns& columns);
+
+  /// False when no row in the segment can possibly satisfy the query —
+  /// the segment-skip test of the Fig. 7-11 aggregations.
+  bool may_match(const CompiledQuery& query) const;
+};
+
+}  // namespace vpscope::telemetry

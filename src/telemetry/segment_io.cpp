@@ -1,0 +1,369 @@
+#include "telemetry/segment_io.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32.hpp"
+
+namespace vpscope::telemetry {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 28;
+constexpr std::size_t kCrcOffset = 24;  // of the u32 crc within the header
+constexpr int kNumColumns = 15;
+
+/// Column widths in payload order: provider, transport, outcome,
+/// platform_os, platform_agent, device, agent (u8); confidence (f64);
+/// sni (u32); first_us, last_us, bytes_down, bytes_up, packets_down,
+/// packets_up (u64).
+constexpr std::array<std::size_t, kNumColumns> kColWidth = {
+    1, 1, 1, 1, 1, 1, 1, 8, 4, 8, 8, 8, 8, 8, 8};
+
+std::uint8_t native_endian_tag() {
+  return std::endian::native == std::endian::little ? 0 : 1;
+}
+
+std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+struct Layout {
+  std::size_t payload_size = 0;
+  std::array<std::size_t, kNumColumns> off{};
+};
+
+Layout layout_for(std::uint64_t rows) {
+  Layout l;
+  std::size_t off = 0;
+  for (int c = 0; c < kNumColumns; ++c) {
+    l.off[static_cast<std::size_t>(c)] = off;
+    off += align8(kColWidth[static_cast<std::size_t>(c)] * rows);
+  }
+  l.payload_size = off;
+  return l;
+}
+
+using Dict = std::vector<std::pair<std::uint32_t, std::string_view>>;
+
+struct Parsed {
+  std::uint32_t rows = 0;
+  Layout layout;
+  ColumnsView view;
+  Dict dict;  // sorted by id, unique
+};
+
+ColumnsView make_view(std::uint32_t rows, const Layout& l,
+                      const std::uint8_t* payload) {
+  ColumnsView v;
+  v.rows = rows;
+  v.provider = payload + l.off[0];
+  v.transport = payload + l.off[1];
+  v.outcome = payload + l.off[2];
+  v.platform_os = payload + l.off[3];
+  v.platform_agent = payload + l.off[4];
+  v.device = payload + l.off[5];
+  v.agent = payload + l.off[6];
+  v.confidence = reinterpret_cast<const double*>(payload + l.off[7]);
+  v.sni = reinterpret_cast<const std::uint32_t*>(payload + l.off[8]);
+  v.first_us = reinterpret_cast<const std::uint64_t*>(payload + l.off[9]);
+  v.last_us = reinterpret_cast<const std::uint64_t*>(payload + l.off[10]);
+  v.bytes_down = reinterpret_cast<const std::uint64_t*>(payload + l.off[11]);
+  v.bytes_up = reinterpret_cast<const std::uint64_t*>(payload + l.off[12]);
+  v.packets_down = reinterpret_cast<const std::uint64_t*>(payload + l.off[13]);
+  v.packets_up = reinterpret_cast<const std::uint64_t*>(payload + l.off[14]);
+  return v;
+}
+
+bool dict_contains(const Dict& dict, std::uint32_t id) {
+  const auto it = std::lower_bound(
+      dict.begin(), dict.end(), id,
+      [](const auto& entry, std::uint32_t key) { return entry.first < key; });
+  return it != dict.end() && it->first == id;
+}
+
+/// Content validation: enum codes in range, optional columns consistent,
+/// counters ordered, every SNI id present in the dictionary. A file that
+/// passes cannot make materialize_row or the aggregation scans read out of
+/// any enum table.
+bool validate_rows(const ColumnsView& v, const Dict& dict) {
+  for (std::size_t i = 0; i < v.rows; ++i) {
+    if (v.provider[i] >= fingerprint::kNumProviders) return false;
+    if (v.transport[i] >= 2) return false;
+    if (v.outcome[i] >= kNumOutcomes) return false;
+    const bool has_platform = v.platform_os[i] != kNoValue;
+    if (has_platform) {
+      if (v.platform_os[i] >= kOsValues) return false;
+      if (v.platform_agent[i] >= kAgentValues) return false;
+    } else if (v.platform_agent[i] != kNoValue) {
+      return false;
+    }
+    if (v.device[i] != kNoValue && v.device[i] >= kOsValues) return false;
+    if (v.agent[i] != kNoValue && v.agent[i] >= kAgentValues) return false;
+    if (v.first_us[i] > v.last_us[i]) return false;
+    if (!dict_contains(dict, v.sni[i])) return false;
+  }
+  return true;
+}
+
+std::optional<Parsed> parse(ByteView data, bool verify_crc) {
+  if (data.size() < kHeaderSize) return std::nullopt;
+  Reader r(data);
+  if (r.u32() != kSegmentMagic) return std::nullopt;
+  if (r.u16() != kSegmentVersion) return std::nullopt;
+  if (r.u8() != native_endian_tag()) return std::nullopt;
+  if (r.u8() != 0) return std::nullopt;  // reserved
+  const std::uint32_t rows = r.u32();
+  const std::uint32_t dict_count = r.u32();
+  const std::uint64_t payload_size = r.u64();
+  const std::uint32_t crc = r.u32();
+  if (!r.ok()) return std::nullopt;
+  // An inflated row count cannot survive: it must reproduce both the
+  // claimed and the actual payload size exactly.
+  if (rows > kSegmentMaxRows) return std::nullopt;
+  if (dict_count > rows) return std::nullopt;
+  Parsed p;
+  p.rows = rows;
+  p.layout = layout_for(rows);
+  if (payload_size != p.layout.payload_size) return std::nullopt;
+  if (verify_crc && crc32(data.subspan(kHeaderSize)) != crc)
+    return std::nullopt;
+  p.dict.reserve(dict_count);
+  for (std::uint32_t i = 0; i < dict_count; ++i) {
+    const std::uint32_t id = r.u32();
+    const std::uint16_t len = r.u16();
+    const ByteView token = r.view(len);
+    if (!r.ok()) return std::nullopt;
+    p.dict.emplace_back(
+        id, std::string_view(reinterpret_cast<const char*>(token.data()),
+                             token.size()));
+  }
+  r.skip(align8(r.offset()) - r.offset());
+  if (!r.ok() || r.remaining() != payload_size) return std::nullopt;
+  const std::uint8_t* payload = data.data() + r.offset();
+  if (reinterpret_cast<std::uintptr_t>(payload) % 8 != 0) return std::nullopt;
+  std::sort(p.dict.begin(), p.dict.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (std::adjacent_find(p.dict.begin(), p.dict.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first;
+                         }) != p.dict.end())
+    return std::nullopt;
+  p.view = make_view(rows, p.layout, payload);
+  if (!validate_rows(p.view, p.dict)) return std::nullopt;
+  return p;
+}
+
+}  // namespace
+
+Bytes serialize_segment(const SegmentColumns& columns,
+                        const core::TokenInterner& interner) {
+  const auto rows = static_cast<std::uint32_t>(columns.rows());
+  std::vector<std::uint32_t> ids(columns.sni);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  Writer w;
+  w.u32(kSegmentMagic);
+  w.u16(kSegmentVersion);
+  w.u8(native_endian_tag());
+  w.u8(0);
+  w.u32(rows);
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  const Layout layout = layout_for(rows);
+  w.u64(layout.payload_size);
+  w.u32(0);  // crc backpatched below
+
+  for (const std::uint32_t id : ids) {
+    const std::string_view token = id == core::TokenInterner::kUnseenId
+                                       ? std::string_view{}
+                                       : interner.token(id);
+    w.u32(id);
+    w.u16(static_cast<std::uint16_t>(token.size()));
+    w.raw(ByteView{reinterpret_cast<const std::uint8_t*>(token.data()),
+                   token.size()});
+  }
+  while (w.size() % 8 != 0) w.u8(0);
+
+  const auto append_column = [&w](const void* data, std::size_t bytes) {
+    w.raw(ByteView{static_cast<const std::uint8_t*>(data), bytes});
+    for (std::size_t pad = align8(bytes) - bytes; pad > 0; --pad) w.u8(0);
+  };
+  append_column(columns.provider.data(), rows);
+  append_column(columns.transport.data(), rows);
+  append_column(columns.outcome.data(), rows);
+  append_column(columns.platform_os.data(), rows);
+  append_column(columns.platform_agent.data(), rows);
+  append_column(columns.device.data(), rows);
+  append_column(columns.agent.data(), rows);
+  append_column(columns.confidence.data(), rows * sizeof(double));
+  append_column(columns.sni.data(), rows * sizeof(std::uint32_t));
+  append_column(columns.first_us.data(), rows * sizeof(std::uint64_t));
+  append_column(columns.last_us.data(), rows * sizeof(std::uint64_t));
+  append_column(columns.bytes_down.data(), rows * sizeof(std::uint64_t));
+  append_column(columns.bytes_up.data(), rows * sizeof(std::uint64_t));
+  append_column(columns.packets_down.data(), rows * sizeof(std::uint64_t));
+  append_column(columns.packets_up.data(), rows * sizeof(std::uint64_t));
+
+  Bytes out = std::move(w).take();
+  const std::uint32_t crc = crc32(ByteView{out}.subspan(kHeaderSize));
+  out[kCrcOffset] = static_cast<std::uint8_t>(crc >> 24);
+  out[kCrcOffset + 1] = static_cast<std::uint8_t>(crc >> 16);
+  out[kCrcOffset + 2] = static_cast<std::uint8_t>(crc >> 8);
+  out[kCrcOffset + 3] = static_cast<std::uint8_t>(crc);
+  return out;
+}
+
+std::optional<SegmentColumns> deserialize_segment(
+    ByteView data, core::TokenInterner& interner) {
+  const std::optional<Parsed> p = parse(data, /*verify_crc=*/true);
+  if (!p) return std::nullopt;
+
+  // Remap file-local SNI ids into the target interner via the dictionary.
+  std::vector<core::TokenId> remapped(p->dict.size());
+  for (std::size_t i = 0; i < p->dict.size(); ++i)
+    remapped[i] = interner.intern(p->dict[i].second);
+
+  SegmentColumns cols;
+  cols.reserve(p->rows);
+  const ColumnsView& v = p->view;
+  const auto copy = [rows = p->rows](auto& dst, const auto* src) {
+    dst.assign(src, src + rows);
+  };
+  copy(cols.provider, v.provider);
+  copy(cols.transport, v.transport);
+  copy(cols.outcome, v.outcome);
+  copy(cols.platform_os, v.platform_os);
+  copy(cols.platform_agent, v.platform_agent);
+  copy(cols.device, v.device);
+  copy(cols.agent, v.agent);
+  copy(cols.confidence, v.confidence);
+  copy(cols.first_us, v.first_us);
+  copy(cols.last_us, v.last_us);
+  copy(cols.bytes_down, v.bytes_down);
+  copy(cols.bytes_up, v.bytes_up);
+  copy(cols.packets_down, v.packets_down);
+  copy(cols.packets_up, v.packets_up);
+  cols.sni.resize(p->rows);
+  for (std::size_t i = 0; i < p->rows; ++i) {
+    const auto it = std::lower_bound(
+        p->dict.begin(), p->dict.end(), v.sni[i],
+        [](const auto& entry, std::uint32_t key) { return entry.first < key; });
+    cols.sni[i] = remapped[static_cast<std::size_t>(it - p->dict.begin())];
+  }
+  return cols;
+}
+
+bool write_segment_file(const std::string& path,
+                        const SegmentColumns& columns,
+                        const core::TokenInterner& interner) {
+  const Bytes data = serialize_segment(columns, interner);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!(ok && closed)) {
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<SegmentColumns> read_segment_file(const std::string& path,
+                                                core::TokenInterner& interner) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  Bytes data;
+  std::array<std::uint8_t, 1 << 16> chunk;
+  std::size_t n = 0;
+  while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0)
+    data.insert(data.end(), chunk.begin(), chunk.begin() + n);
+  std::fclose(f);
+  return deserialize_segment(ByteView{data}, interner);
+}
+
+MappedSegment::MappedSegment(MappedSegment&& other) noexcept
+    : base_(other.base_),
+      len_(other.len_),
+      view_(other.view_),
+      dict_(std::move(other.dict_)) {
+  other.base_ = nullptr;
+  other.len_ = 0;
+}
+
+MappedSegment& MappedSegment::operator=(MappedSegment&& other) noexcept {
+  if (this != &other) {
+    if (base_) ::munmap(base_, len_);
+    base_ = other.base_;
+    len_ = other.len_;
+    view_ = other.view_;
+    dict_ = std::move(other.dict_);
+    other.base_ = nullptr;
+    other.len_ = 0;
+  }
+  return *this;
+}
+
+MappedSegment::~MappedSegment() {
+  if (base_) ::munmap(base_, len_);
+}
+
+std::optional<MappedSegment> MappedSegment::open(const std::string& path,
+                                                 bool verify_crc) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base == MAP_FAILED) return std::nullopt;
+  ::madvise(base, len, MADV_SEQUENTIAL);
+
+  std::optional<Parsed> parsed =
+      parse(ByteView{static_cast<const std::uint8_t*>(base), len}, verify_crc);
+  if (!parsed) {
+    ::munmap(base, len);
+    return std::nullopt;
+  }
+  MappedSegment m;
+  m.base_ = base;
+  m.len_ = len;
+  m.view_ = parsed->view;
+  m.dict_ = std::move(parsed->dict);
+  return m;
+}
+
+std::string_view MappedSegment::sni_token(std::uint32_t id) const {
+  const auto it = std::lower_bound(
+      dict_.begin(), dict_.end(), id,
+      [](const auto& entry, std::uint32_t key) { return entry.first < key; });
+  if (it == dict_.end() || it->first != id) return {};
+  return it->second;
+}
+
+SpilledSegment::~SpilledSegment() {
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+bool SpilledSegment::with_mapping(
+    const std::function<void(const MappedSegment&)>& fn) const {
+  const bool need_crc = !verified_.load(std::memory_order_acquire);
+  std::optional<MappedSegment> mapped = MappedSegment::open(path_, need_crc);
+  if (!mapped) return false;
+  if (need_crc) verified_.store(true, std::memory_order_release);
+  fn(*mapped);
+  return true;
+}
+
+}  // namespace vpscope::telemetry

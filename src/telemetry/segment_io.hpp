@@ -1,0 +1,124 @@
+// Telemetry segment wire format v1 (DESIGN.md §5h) — how sealed columnar
+// segments spill to disk and map back for queries.
+//
+//   [fixed header, big-endian]      28 bytes
+//     u32 magic "VPSG"   u16 version   u8 endian  u8 reserved
+//     u32 row_count      u32 dict_count
+//     u64 payload_size   u32 crc32(everything after this header)
+//   [SNI dictionary]                dict_count x { u32 id, u16 len, bytes }
+//   [zero padding]                  to an 8-byte file offset
+//   [column payload]                15 column blobs, each 8-byte aligned,
+//                                   fixed order, raw native-endian memcpy
+//                                   of the segment's vectors
+//
+// The header/dictionary go through the big-endian Writer/Reader like every
+// other wire format in the codebase; the column payload is a raw dump so a
+// reader can mmap the file and scan columns zero-copy (the `endian` byte
+// records the writer's byte order and mismatching files are rejected — a
+// spill file is a local scratch artifact, not a portable interchange
+// format). The reader rejects, rather than trusts, every structural claim:
+// bad magic/version/endianness, truncation anywhere, row counts that do not
+// reproduce the payload size, dictionary entries out of bounds, SNI ids
+// absent from the dictionary, out-of-range enum codes, and CRC mismatches
+// (the ml/serialize corruption-rejection discipline, PR 3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/interner.hpp"
+#include "telemetry/segment.hpp"
+#include "util/bytes.hpp"
+
+namespace vpscope::telemetry {
+
+inline constexpr std::uint32_t kSegmentMagic = 0x56505347;  // "VPSG"
+inline constexpr std::uint16_t kSegmentVersion = 1;
+/// Allocation-bomb guard: a claimed row count above this is rejected before
+/// any buffer is sized from it (~2^28 rows ≈ 26 GB of columns).
+inline constexpr std::uint32_t kSegmentMaxRows = 1u << 28;
+
+/// Serializes a segment; `interner` resolves the SNI ids the dictionary
+/// block records (so the file is self-contained).
+Bytes serialize_segment(const SegmentColumns& columns,
+                        const core::TokenInterner& interner);
+
+/// Restores a segment, re-interning the dictionary strings into `interner`
+/// (ids in the returned columns are valid for that interner, which may be a
+/// different store's). nullopt on any malformed input.
+std::optional<SegmentColumns> deserialize_segment(
+    ByteView data, core::TokenInterner& interner);
+
+bool write_segment_file(const std::string& path,
+                        const SegmentColumns& columns,
+                        const core::TokenInterner& interner);
+std::optional<SegmentColumns> read_segment_file(const std::string& path,
+                                                core::TokenInterner& interner);
+
+/// A validated, memory-mapped segment file: zero-copy column views for the
+/// aggregation scans plus the file's own SNI dictionary for materializing
+/// rows. Unmaps on destruction; move-only.
+class MappedSegment {
+ public:
+  /// Maps and validates `path`. `verify_crc` may be false when the caller
+  /// has already checksummed this file once (the spill re-open path);
+  /// structural validation always runs.
+  static std::optional<MappedSegment> open(const std::string& path,
+                                           bool verify_crc = true);
+
+  MappedSegment(MappedSegment&& other) noexcept;
+  MappedSegment& operator=(MappedSegment&& other) noexcept;
+  MappedSegment(const MappedSegment&) = delete;
+  MappedSegment& operator=(const MappedSegment&) = delete;
+  ~MappedSegment();
+
+  std::size_t rows() const { return view_.rows; }
+  const ColumnsView& view() const { return view_; }
+
+  /// The SNI string recorded for a file id; empty when absent (never the
+  /// case for a file that passed validation).
+  std::string_view sni_token(std::uint32_t id) const;
+
+ private:
+  MappedSegment() = default;
+
+  void* base_ = nullptr;
+  std::size_t len_ = 0;
+  ColumnsView view_;
+  std::vector<std::pair<std::uint32_t, std::string_view>> dict_;  // sorted
+};
+
+/// Handle to a segment the store has spilled: owns the file (unlinked on
+/// destruction), remembers that the CRC has been verified once so repeated
+/// query scans skip the checksum pass.
+class SpilledSegment {
+ public:
+  SpilledSegment(std::string path, std::uint32_t rows)
+      : path_(std::move(path)), rows_(rows) {}
+  ~SpilledSegment();
+
+  SpilledSegment(const SpilledSegment&) = delete;
+  SpilledSegment& operator=(const SpilledSegment&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::uint32_t rows() const { return rows_; }
+
+  /// Maps the file, runs `fn` over it, unmaps — so a query holds at most
+  /// one spilled segment's pages resident at a time. Returns false when
+  /// the file no longer loads (deleted / corrupted on disk).
+  bool with_mapping(const std::function<void(const MappedSegment&)>& fn) const;
+
+ private:
+  std::string path_;
+  std::uint32_t rows_ = 0;
+  /// CRC checked on first map only; later maps are structural-only.
+  mutable std::atomic<bool> verified_{false};
+};
+
+}  // namespace vpscope::telemetry

@@ -1,0 +1,69 @@
+#include "telemetry/sharded_store.hpp"
+
+namespace vpscope::telemetry {
+
+namespace {
+constexpr std::size_t kSniCacheCap = 256;
+}  // namespace
+
+ShardedSessionStore::ShardedSessionStore(std::size_t writers,
+                                         StoreOptions options)
+    : segment_rows_(options.segment_rows), store_(std::move(options)) {
+  for (std::size_t i = 0; i < writers; ++i)
+    writers_.emplace_back(Writer(this));
+}
+
+void ShardedSessionStore::Writer::insert(SessionRecord record) {
+  staging_.append(record, intern(record.sni));
+  if (staging_.rows() >= parent_->segment_rows_) flush();
+}
+
+void ShardedSessionStore::Writer::flush() {
+  if (staging_.rows() == 0) return;
+  parent_->adopt(std::move(staging_));
+  staging_ = SegmentColumns{};
+}
+
+core::TokenId ShardedSessionStore::Writer::intern(std::string_view sni) {
+  for (const auto& [token, id] : sni_cache_)
+    if (token == sni) return id;
+  const core::TokenId id = parent_->intern_shared(sni);
+  if (sni_cache_.size() < kSniCacheCap) sni_cache_.emplace_back(sni, id);
+  return id;
+}
+
+std::function<void(SessionRecord)> ShardedSessionStore::sink(std::size_t i) {
+  Writer* writer = &writers_[i];
+  return [writer](SessionRecord record) { writer->insert(std::move(record)); };
+}
+
+void ShardedSessionStore::flush_all() {
+  for (Writer& w : writers_) w.flush();
+}
+
+std::size_t ShardedSessionStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_.size();
+}
+
+SessionStore ShardedSessionStore::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
+}
+
+StoreStats ShardedSessionStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_.stats();
+}
+
+core::TokenId ShardedSessionStore::intern_shared(std::string_view sni) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_.interner().intern(sni);
+}
+
+void ShardedSessionStore::adopt(SegmentColumns segment) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_.adopt(std::move(segment));
+}
+
+}  // namespace vpscope::telemetry

@@ -1,0 +1,87 @@
+// Multi-writer ingest (DESIGN.md §5h). SynchronizedSessionStore funnels
+// every record through one mutex — measurably the bottleneck once the
+// sharded pipeline runs a worker per core. Here each shard owns a Writer
+// with a private staging segment; the shared store's lock is taken only to
+// hand off a *sealed* segment (every `segment_rows` records) or to intern a
+// never-before-seen SNI (a handful of times total — each writer keeps a
+// tiny linear cache of resolved SNIs), so steady-state ingest is
+// effectively lock-free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/interner.hpp"
+#include "telemetry/columnar.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/segment.hpp"
+
+namespace vpscope::telemetry {
+
+class ShardedSessionStore {
+ public:
+  explicit ShardedSessionStore(std::size_t writers,
+                               StoreOptions options = StoreOptions{});
+
+  /// One shard's ingest handle. NOT thread-safe — each Writer belongs to
+  /// exactly one shard worker; cross-writer coordination happens only
+  /// inside the parent store.
+  class Writer {
+   public:
+    void insert(SessionRecord record);
+
+    /// Hands off the partial staging segment. Call at drain time; records
+    /// are invisible to snapshots until flushed.
+    void flush();
+
+   private:
+    friend class ShardedSessionStore;
+    explicit Writer(ShardedSessionStore* parent) : parent_(parent) {}
+
+    core::TokenId intern(std::string_view sni);
+
+    ShardedSessionStore* parent_;
+    SegmentColumns staging_;
+    /// SNI cardinality is tiny (a few names per provider), so a linear
+    /// scan beats a hash map; capped so an adversarial SNI stream degrades
+    /// to shared-interner lookups instead of unbounded growth.
+    std::vector<std::pair<std::string, core::TokenId>> sni_cache_;
+  };
+
+  std::size_t writer_count() const { return writers_.size(); }
+  Writer& writer(std::size_t i) { return writers_[i]; }
+
+  /// A sink bound to writer `i`, for ShardedPipeline::set_shard_sinks.
+  /// The store must outlive the pipeline.
+  std::function<void(SessionRecord)> sink(std::size_t i);
+
+  /// Flushes every writer's staging segment. Single-threaded drain-time
+  /// call (writers must be quiescent).
+  void flush_all();
+
+  /// Rows visible in the shared store (flushed segments only).
+  std::size_t size() const;
+
+  /// Copies the shared store out for analysis (O(segments); sealed
+  /// segments are shared). flush_all() first to include staged rows.
+  SessionStore snapshot() const;
+
+  StoreStats stats() const;
+
+ private:
+  core::TokenId intern_shared(std::string_view sni);
+  void adopt(SegmentColumns segment);
+
+  std::size_t segment_rows_;
+  mutable std::mutex mutex_;
+  SessionStore store_;
+  std::deque<Writer> writers_;  // deque: stable Writer addresses
+};
+
+}  // namespace vpscope::telemetry

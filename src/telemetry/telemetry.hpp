@@ -2,120 +2,21 @@
 // and the queryable session store standing in for the paper's PostgreSQL
 // database (§5.1). Aggregation queries produce the raw series behind the
 // paper's Fig. 7-11.
+//
+// Umbrella header. The subsystem is split across:
+//   record.hpp        FlowCounters / Outcome / SessionRecord vocabulary
+//   query.hpp         typed composable Query filters
+//   columnar.hpp      SessionStore (columnar segmented, the default) and
+//                     SynchronizedSessionStore
+//   sharded_store.hpp ShardedSessionStore multi-writer ingest
+//   flat_store.hpp    FlatSessionStore (seed-era row vector, kept for the
+//                     equivalence gate and --store-mode A/B benches)
+//   segment.hpp/segment_io.hpp  columnar internals + spill wire format
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <functional>
-#include <mutex>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "fingerprint/platform.hpp"
+#include "telemetry/columnar.hpp"
+#include "telemetry/flat_store.hpp"
+#include "telemetry/query.hpp"
+#include "telemetry/record.hpp"
+#include "telemetry/sharded_store.hpp"
 #include "util/stats.hpp"
-
-namespace vpscope::telemetry {
-
-/// Volume/timing counters of one flow, updated per packet (or per decimated
-/// volume sample in the campus simulator).
-struct FlowCounters {
-  std::uint64_t first_us = 0;
-  std::uint64_t last_us = 0;
-  std::uint64_t bytes_down = 0;  // server -> client
-  std::uint64_t bytes_up = 0;
-  std::uint64_t packets_down = 0;
-  std::uint64_t packets_up = 0;
-
-  void add_down(std::uint64_t ts_us, std::uint64_t bytes);
-  void add_up(std::uint64_t ts_us, std::uint64_t bytes);
-
-  /// Idle time since the last packet, clamped to zero when `now_us` is
-  /// behind `last_us`. Capture clocks are not guaranteed monotonic (NIC
-  /// timestamp resets, PCAP merges, fault injection); without the clamp a
-  /// reversed clock would produce a near-2^64 unsigned delta and evict
-  /// every active flow.
-  std::uint64_t idle_us(std::uint64_t now_us) const {
-    return now_us > last_us ? now_us - last_us : 0;
-  }
-
-  double duration_s() const;
-  /// Mean downstream throughput over the flow lifetime, in Mbit/s.
-  double mean_downstream_mbps() const;
-};
-
-/// How the pipeline resolved a flow's user platform.
-enum class Outcome : std::uint8_t {
-  Composite,  // full (device, agent) with confidence >= threshold
-  Partial,    // only device and/or agent individually confident
-  Unknown,    // rejected
-};
-
-/// The final per-flow record stored for analysis.
-struct SessionRecord {
-  fingerprint::Provider provider = fingerprint::Provider::YouTube;
-  fingerprint::Transport transport = fingerprint::Transport::Tcp;
-  Outcome outcome = Outcome::Unknown;
-  std::optional<fingerprint::PlatformId> platform;  // set for Composite
-  std::optional<fingerprint::Os> device;            // set when confident
-  std::optional<fingerprint::Agent> agent;          // set when confident
-  double confidence = 0.0;  // composite-classifier confidence
-  std::string sni;
-  FlowCounters counters;
-};
-
-/// In-memory session store with the aggregations the campus analysis needs.
-class SessionStore {
- public:
-  void insert(SessionRecord record);
-
-  std::size_t size() const { return records_.size(); }
-  const std::vector<SessionRecord>& records() const { return records_; }
-
-  /// Sum of watch time (hours) over records matching the filter.
-  double watch_hours(
-      const std::function<bool(const SessionRecord&)>& filter) const;
-
-  /// Downstream bandwidth sample (Mbit/s) per matching record, for box
-  /// plots. Zero-duration records are skipped.
-  std::vector<double> bandwidth_mbps(
-      const std::function<bool(const SessionRecord&)>& filter) const;
-
-  /// Total downstream volume (GB) per hour-of-day [0, 24) over matching
-  /// records, attributing each record to the hour its flow started.
-  std::array<double, 24> hourly_volume_gb(
-      const std::function<bool(const SessionRecord&)>& filter) const;
-
-  /// Fraction of records classified as Unknown (paper: ~20% of campus
-  /// sessions were excluded for low confidence).
-  double unknown_fraction() const;
-
- private:
-  std::vector<SessionRecord> records_;
-  std::size_t unknown_ = 0;
-};
-
-/// Thread-safe facade over SessionStore for the sharded pipeline: records
-/// from all shard workers funnel through one mutex-protected insert, the
-/// paper's many-cores-one-database write path (§5.1). Analysis runs on a
-/// quiescent snapshot, keeping SessionStore's query API lock-free.
-class SynchronizedSessionStore {
- public:
-  void insert(SessionRecord record);
-
-  std::size_t size() const;
-
-  /// Copies the store out for (single-threaded) analysis. Call once the
-  /// pipeline is drained.
-  SessionStore snapshot() const;
-
-  /// A sink closure bound to this store, for VideoFlowPipeline::set_sink /
-  /// ShardedPipeline::set_sink. The store must outlive the pipeline.
-  std::function<void(SessionRecord)> sink();
-
- private:
-  mutable std::mutex mutex_;
-  SessionStore store_;
-};
-
-}  // namespace vpscope::telemetry

@@ -1,0 +1,42 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace vpscope {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, ByteView data) {
+  const auto& t = table();
+  for (const std::uint8_t byte : data)
+    state = t[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(ByteView data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace vpscope

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check on telemetry segment files. Table-driven, byte-at-a-time; fast
+// enough for the spill path (the cost is dominated by the disk write) and
+// dependency-free.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace vpscope {
+
+/// One-shot CRC-32 of a byte view.
+std::uint32_t crc32(ByteView data);
+
+/// Streaming form: feed `crc32_update` with the running value (start from
+/// crc32_init()) and finish with crc32_final().
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, ByteView data);
+std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace vpscope

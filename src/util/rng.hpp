@@ -91,6 +91,27 @@ class Rng {
   /// Log-normal parameterized by the mean/stddev of the underlying normal.
   double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
 
+  /// Poisson with the given mean — the per-(hour, class) session counts of
+  /// the event-driven campus model. Knuth's product method for small means;
+  /// above that a rounded normal approximation (the exact inversion's error
+  /// is far below the stochastic noise of the populations simulated here,
+  /// and the approximation stays O(1) for the 1M-user draws).
+  std::uint64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+      const double limit = std::exp(-mean);
+      std::uint64_t count = 0;
+      double product = uniform01();
+      while (product > limit) {
+        ++count;
+        product *= uniform01();
+      }
+      return count;
+    }
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+  }
+
   /// Picks an index in [0, weights.size()) proportionally to weights.
   std::size_t weighted_index(const std::vector<double>& weights) {
     double total = 0.0;

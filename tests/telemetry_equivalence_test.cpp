@@ -1,0 +1,131 @@
+// Equivalence gate (DESIGN.md §5h): the Fig. 7-11 aggregates computed from
+// the columnar segmented store must be BIT-IDENTICAL to the seed-era flat
+// row store on a campus run — including a columnar store constrained
+// enough to spill segments to disk and mmap them back mid-query. One
+// simulation is teed into all three stores through the sink overload, so
+// every store sees the identical record stream in the identical order;
+// zone-map pruning only ever skips segments with zero matching rows, so
+// floating-point summation order is preserved exactly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "campus/campus.hpp"
+#include "synth/dataset.hpp"
+
+namespace vpscope::campus {
+namespace {
+
+using fingerprint::DeviceType;
+using fingerprint::Provider;
+using telemetry::Query;
+
+struct Stores {
+  telemetry::FlatSessionStore flat;
+  telemetry::SessionStore columnar;
+  telemetry::SessionStore spilling;
+};
+
+void run_teed(CampusConfig config, Stores& stores) {
+  const auto lab = synth::generate_lab_dataset(42, 0.3);
+  pipeline::ClassifierBank bank;
+  bank.train(lab);
+
+  CampusSimulator sim(config);
+  sim.run(bank, [&stores](telemetry::SessionRecord record) {
+    stores.flat.insert(record);
+    stores.columnar.insert(record);
+    stores.spilling.insert(std::move(record));
+  });
+}
+
+telemetry::StoreOptions spilling_options(const std::string& dir) {
+  telemetry::StoreOptions options;
+  options.segment_rows = 64;  // seal often so zone maps and spill engage
+  options.max_resident_segments = 2;
+  options.spill_dir = dir;
+  return options;
+}
+
+void expect_fig_aggregates_identical(const Stores& stores) {
+  const auto check = [&](const Query& q, const std::string& what) {
+    const double flat_hours = stores.flat.watch_hours(q);
+    EXPECT_EQ(stores.columnar.watch_hours(q), flat_hours) << what;
+    EXPECT_EQ(stores.spilling.watch_hours(q), flat_hours) << what;
+
+    const auto flat_bw = stores.flat.bandwidth_mbps(q);
+    EXPECT_EQ(stores.columnar.bandwidth_mbps(q), flat_bw) << what;
+    EXPECT_EQ(stores.spilling.bandwidth_mbps(q), flat_bw) << what;
+
+    const auto flat_hourly = stores.flat.hourly_volume_gb(q);
+    EXPECT_EQ(stores.columnar.hourly_volume_gb(q), flat_hourly) << what;
+    EXPECT_EQ(stores.spilling.hourly_volume_gb(q), flat_hourly) << what;
+  };
+
+  // Fig. 7 / 9 / 11: provider x device-type slices (and provider-only).
+  for (const Provider provider : fingerprint::all_providers()) {
+    check(Query().provider(provider), to_string(provider));
+    for (const DeviceType device :
+         {DeviceType::PC, DeviceType::Mobile, DeviceType::TV}) {
+      check(Query().provider(provider).device_type(device),
+            to_string(provider) + "/" + to_string(device));
+    }
+    // Fig. 8 / 10: provider x (OS, agent) slices.
+    for (const auto& platform : fingerprint::all_platforms()) {
+      if (!fingerprint::supports(platform, provider)) continue;
+      check(Query().provider(provider).platform(platform),
+            to_string(provider) + "/" + to_string(platform));
+    }
+  }
+  check(Query(), "unfiltered");
+
+  EXPECT_EQ(stores.columnar.unknown_fraction(),
+            stores.flat.unknown_fraction());
+  EXPECT_EQ(stores.spilling.unknown_fraction(),
+            stores.flat.unknown_fraction());
+  EXPECT_EQ(stores.columnar.size(), stores.flat.size());
+  EXPECT_EQ(stores.spilling.size(), stores.flat.size());
+}
+
+TEST(StoreEquivalence, PerSessionCampusRunBitIdentical) {
+  const std::string dir = "telemetry_equivalence_spill_per_session";
+  std::filesystem::remove_all(dir);
+  {
+    CampusConfig config;
+    config.days = 1;
+    config.sessions_per_day = 600;
+    config.seed = 7;
+    Stores stores{.flat = {},
+                  .columnar = {},
+                  .spilling = telemetry::SessionStore(spilling_options(dir))};
+    run_teed(config, stores);
+    ASSERT_EQ(stores.flat.size(), 600u);
+    ASSERT_GT(stores.spilling.stats().spilled_segments, 0u)
+        << "the spill path was not exercised";
+    expect_fig_aggregates_identical(stores);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StoreEquivalence, EventDrivenCampusRunBitIdentical) {
+  const std::string dir = "telemetry_equivalence_spill_event";
+  std::filesystem::remove_all(dir);
+  {
+    CampusConfig config;
+    config.mode = CampusConfig::Mode::EventDriven;
+    config.days = 1;
+    config.sessions_per_day = 800;
+    config.seed = 11;
+    Stores stores{.flat = {},
+                  .columnar = {},
+                  .spilling = telemetry::SessionStore(spilling_options(dir))};
+    run_teed(config, stores);
+    ASSERT_GT(stores.flat.size(), 400u);  // Poisson draw around 800
+    ASSERT_GT(stores.spilling.stats().spilled_segments, 0u);
+    expect_fig_aggregates_identical(stores);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace vpscope::campus

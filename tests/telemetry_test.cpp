@@ -107,6 +107,78 @@ TEST(SessionStore, HourlyVolumeBucketsByStartHour) {
   }
 }
 
+TEST(HourlyVolume, ProRatesAcrossSpannedHours) {
+  // Regression pin for the DESIGN.md §5h fix. Seed-era shape: a 3-hour
+  // 19:00-22:00 session credited ALL 3 GB to hour 19. New shape: each
+  // spanned hour receives volume proportional to its overlap — 1 GB each
+  // to hours 19, 20 and 21 — with the total preserved exactly.
+  const std::uint64_t hour = 3600ULL * 1'000'000ULL;
+  std::array<double, 24> hourly{};
+  accumulate_hourly_volume_gb(hourly, 19 * hour, 22 * hour,
+                              3'000'000'000ULL);
+  for (int h = 0; h < 24; ++h) {
+    const double expected = (h == 19 || h == 20 || h == 21) ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(hourly[static_cast<std::size_t>(h)], expected)
+        << "hour " << h;
+  }
+  // The old attribution (everything at the start hour) is gone for good.
+  EXPECT_NE(hourly[19], 3.0);
+  EXPECT_DOUBLE_EQ(hourly[19] + hourly[20] + hourly[21], 3.0);
+}
+
+TEST(HourlyVolume, PartialOverlapsWeightedByTimeInHour) {
+  // 19:30-20:30 splits evenly; 19:45-20:00 lands fully in hour 19.
+  const std::uint64_t hour = 3600ULL * 1'000'000ULL;
+  std::array<double, 24> hourly{};
+  accumulate_hourly_volume_gb(hourly, 19 * hour + hour / 2,
+                              20 * hour + hour / 2, 2'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(hourly[19], 1.0);
+  EXPECT_DOUBLE_EQ(hourly[20], 1.0);
+
+  std::array<double, 24> inside{};
+  accumulate_hourly_volume_gb(inside, 19 * hour + 3 * hour / 4, 20 * hour,
+                              1'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(inside[19], 1.0);
+  EXPECT_DOUBLE_EQ(inside[20], 0.0);
+}
+
+TEST(HourlyVolume, WrapsAcrossMidnightAndDegeneratesAtZeroDuration) {
+  const std::uint64_t hour = 3600ULL * 1'000'000ULL;
+  // 23:30 of day 0 to 00:30 of day 1: half to hour 23, half to hour 0.
+  std::array<double, 24> wrap{};
+  accumulate_hourly_volume_gb(wrap, 23 * hour + hour / 2,
+                              24 * hour + hour / 2, 4'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(wrap[23], 2.0);
+  EXPECT_DOUBLE_EQ(wrap[0], 2.0);
+
+  // Zero-duration flows keep the seed-era shape: all volume at start hour.
+  std::array<double, 24> zero{};
+  accumulate_hourly_volume_gb(zero, 5 * hour + 1, 5 * hour + 1,
+                              1'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(zero[5], 1.0);
+}
+
+TEST(SessionStore, HourlyVolumeProRatedThroughStoreScans) {
+  // The store-level shape: one 20:00-23:00 session must no longer inflate
+  // the 20h bucket with its entire volume (the seed behaviour this PR
+  // replaces), on both the typed-query and lambda scan paths.
+  SessionStore store;
+  const std::uint64_t start = (24 + 20) * 3600ULL * 1'000'000ULL;
+  store.insert(make_record(Provider::Netflix, Os::Windows, Agent::Chrome,
+                           3 * 3600, 4.0, start));
+  const auto typed = store.hourly_volume_gb(Query());
+  const auto lambda =
+      store.hourly_volume_gb([](const SessionRecord&) { return true; });
+  const double total = typed[20] + typed[21] + typed[22];
+  EXPECT_GT(typed[20], 0.0);
+  EXPECT_DOUBLE_EQ(typed[20], typed[21]);
+  EXPECT_DOUBLE_EQ(typed[21], typed[22]);
+  EXPECT_NE(typed[20], total);  // not the seed-era start-hour lump
+  for (int h = 0; h < 24; ++h)
+    EXPECT_DOUBLE_EQ(typed[static_cast<std::size_t>(h)],
+                     lambda[static_cast<std::size_t>(h)]);
+}
+
 TEST(SessionStore, UnknownFraction) {
   SessionStore store;
   store.insert(make_record(Provider::YouTube, Os::Windows, Agent::Chrome, 60,
