@@ -1,16 +1,29 @@
-// live_classifier: an ISP-style live monitor. Generates a mixed packet
-// stream of video flows from many platforms and providers (plus unknown
-// stacks and non-video HTTPS noise), feeds it to the pipeline packet by
-// packet, and prints one line per classified session as it completes —
-// what an operator's console tailing the paper's deployment would show.
+// live_classifier: an ISP-style live monitor. Three ingest modes feed the
+// same pipeline and print one line per classified session as it completes —
+// what an operator's console tailing the paper's deployment would show:
 //
-// Usage: live_classifier [n_flows] [prometheus_path]   (default 120)
-// With a second argument, the observability registry is written there in
-// Prometheus text format after the run (the scrape a deployment would
-// serve); stage latencies are profiled and printed either way.
+//   live_classifier [n_flows] [prometheus_path]
+//       synthesize a mixed campus workload in memory (default, 120 flows)
+//   live_classifier --pcap <file> [--pace <x>]
+//       replay a capture file (e.g. a golden pcap or a dataset_tool export)
+//       through the DESIGN.md §5i front-end; --pace 1 replays at recorded
+//       speed, --pace 100 at 100x, default as-fast-as-possible
+//   live_classifier --iface <name> [--seconds <n>]
+//       tap a real interface via the TPACKETv3 ring (needs CAP_NET_RAW;
+//       try --iface lo and some local HTTPS traffic)
+//
+// With a prometheus_path argument (synth mode), the observability registry
+// is written there in Prometheus text format after the run; stage latencies
+// are profiled and printed in every mode.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <thread>
 
+#include "capture/afpacket.hpp"
+#include "capture/replay.hpp"
 #include "obs/export.hpp"
 #include "pipeline/pipeline.hpp"
 #include "synth/dataset.hpp"
@@ -19,33 +32,151 @@ using namespace vpscope;
 using fingerprint::Provider;
 using fingerprint::Transport;
 
-int main(int argc, char** argv) {
-  const int n_flows = argc > 1 ? std::atoi(argv[1]) : 120;
-  const char* prometheus_path = argc > 2 ? argv[2] : nullptr;
+namespace {
 
+void print_session(int session_no, const telemetry::SessionRecord& record) {
+  const char* outcome =
+      record.outcome == telemetry::Outcome::Composite ? "OK "
+      : record.outcome == telemetry::Outcome::Partial ? "PART"
+                                                      : "UNKN";
+  std::printf(
+      "#%03d %-4s %-8s %-4s platform=%-22s conf=%5.1f%%  %6.1fs %7.2fMB\n",
+      session_no, outcome, to_string(record.provider).c_str(),
+      to_string(record.transport).c_str(),
+      record.platform ? to_string(*record.platform).c_str()
+      : record.device ? (to_string(*record.device) + "/?").c_str()
+                      : "?",
+      record.confidence * 100, record.counters.duration_s(),
+      static_cast<double>(record.counters.bytes_down) / 1e6);
+}
+
+void print_summary(const pipeline::VideoFlowPipeline& pipe) {
+  const auto& stats = pipe.stats();
+  std::printf(
+      "\nsummary: %llu packets, %llu HTTPS flows, %llu video flows "
+      "(%llu composite, %llu partial, %llu unknown)\n",
+      static_cast<unsigned long long>(stats.packets_total),
+      static_cast<unsigned long long>(stats.flows_total),
+      static_cast<unsigned long long>(stats.video_flows),
+      static_cast<unsigned long long>(stats.classified_composite),
+      static_cast<unsigned long long>(stats.classified_partial),
+      static_cast<unsigned long long>(stats.classified_unknown));
+
+  std::puts("stage latency p50/p99 (ns):");
+  const obs::PipelineObs& o = pipe.observability();
+  for (int s = 0; s < static_cast<int>(obs::Stage::kCount); ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const obs::HistogramSnapshot snap = o.profiler.histogram(stage).snapshot();
+    std::printf("  %-10s %8llu %8llu  (%llu samples)\n",
+                std::string(obs::stage_name(stage)).c_str(),
+                static_cast<unsigned long long>(snap.percentile(50)),
+                static_cast<unsigned long long>(snap.percentile(99)),
+                static_cast<unsigned long long>(snap.count));
+  }
+}
+
+pipeline::ClassifierBank train_bank() {
   std::puts("training classifier bank on the lab dataset...");
   pipeline::ClassifierBank bank;
   bank.train(synth::generate_lab_dataset(42, 0.5));
+  return bank;
+}
 
+/// --pcap: the offline twin of the tap — a capture file through the §5i
+/// replay driver into the exact pipeline the live path feeds.
+int run_pcap(const char* path, double pace) {
+  const auto bank = train_bank();
+  obs::ObsConfig obs_config;
+  obs_config.profile_stages = true;
+  pipeline::VideoFlowPipeline pipe(&bank, {}, obs_config);
+  int session_no = 0;
+  pipe.set_sink([&session_no](telemetry::SessionRecord record) {
+    print_session(++session_no, record);
+  });
+
+  std::printf("replaying %s%s...\n\n", path,
+              pace > 0 ? " (paced)" : " (as fast as possible)");
+  capture::ReplayOptions options;
+  options.pace = pace;
+  options.flush_interval_us = 1'000'000;  // age idle flows per packet-second
+  const auto image = capture::read_file_bytes(path);
+  if (!image) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  const auto stats = capture::replay_into(ByteView(*image), pipe, options);
+  if (!stats.ok) {
+    std::fprintf(stderr, "replay failed after %llu frames: %s\n",
+                 static_cast<unsigned long long>(stats.frames),
+                 stats.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "\nreplay: %llu frames (%llu non-IP skipped, %llu truncated), "
+      "%.3f Mpps, %.2f Gbps offered wire rate\n",
+      static_cast<unsigned long long>(stats.frames),
+      static_cast<unsigned long long>(stats.non_ip_frames),
+      static_cast<unsigned long long>(stats.truncated_frames), stats.mpps(),
+      stats.gbps());
+  print_summary(pipe);
+  return 0;
+}
+
+/// --iface: the real thing — a TPACKETv3 ring on a live interface.
+int run_live(const char* iface, int seconds) {
+  if (!capture::AfPacketRing::compiled_in()) {
+    std::fprintf(stderr, "AF_PACKET support not compiled in\n");
+    return 1;
+  }
+  const auto bank = train_bank();
+  pipeline::VideoFlowPipeline pipe(&bank);
+  int session_no = 0;
+  pipe.set_sink([&session_no](telemetry::SessionRecord record) {
+    print_session(++session_no, record);
+  });
+
+  capture::AfPacketOptions options;
+  options.interface_name = iface;
+  options.block_size = 1 << 20;
+  options.block_count = 16;
+  capture::LiveCapture capture(options);
+  if (const auto err = capture.open()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", iface, err->c_str());
+    return 1;
+  }
+
+  std::printf("capturing on %s for %d s...\n\n", iface, seconds);
+  std::atomic<bool> stop{false};
+  std::thread timer([&stop, seconds] {
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    stop.store(true, std::memory_order_relaxed);
+  });
+  const auto delivered =
+      capture.run(stop, [&pipe](net::Packet&& p) {
+        const std::uint64_t now = p.timestamp_us;
+        pipe.on_packet(std::move(p));
+        pipe.flush_idle(now, 300'000'000);
+      });
+  timer.join();
+  pipe.flush_all();
+  std::printf("\ncapture: %llu IP packets delivered, %llu non-IP frames, "
+              "%llu kernel drops\n",
+              static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(capture.non_ip_frames()),
+              static_cast<unsigned long long>(capture.kernel_drops()));
+  print_summary(pipe);
+  return 0;
+}
+
+int run_synth(int n_flows, const char* prometheus_path) {
+  const auto bank = train_bank();
   obs::ObsConfig obs_config;
   obs_config.profile_stages = true;
   obs_config.trace_sample_n = 1;  // console tool: trace every flow
   pipeline::VideoFlowPipeline pipe(&bank, {}, obs_config);
   int session_no = 0;
   pipe.set_sink([&session_no](telemetry::SessionRecord record) {
-    const char* outcome =
-        record.outcome == telemetry::Outcome::Composite ? "OK "
-        : record.outcome == telemetry::Outcome::Partial ? "PART"
-                                                        : "UNKN";
-    std::printf(
-        "#%03d %-4s %-8s %-4s platform=%-22s conf=%5.1f%%  %6.1fs %7.2fMB\n",
-        ++session_no, outcome, to_string(record.provider).c_str(),
-        to_string(record.transport).c_str(),
-        record.platform ? to_string(*record.platform).c_str()
-        : record.device ? (to_string(*record.device) + "/?").c_str()
-                        : "?",
-        record.confidence * 100, record.counters.duration_s(),
-        static_cast<double>(record.counters.bytes_down) / 1e6);
+    print_session(++session_no, record);
   });
 
   // A mixed workload: every supported platform x provider, some unknown
@@ -104,29 +235,9 @@ int main(int argc, char** argv) {
   }
   pipe.flush_all();
 
-  const auto& stats = pipe.stats();
-  std::printf(
-      "\nsummary: %llu packets, %llu HTTPS flows, %llu video flows "
-      "(%llu composite, %llu partial, %llu unknown)\n",
-      static_cast<unsigned long long>(stats.packets_total),
-      static_cast<unsigned long long>(stats.flows_total),
-      static_cast<unsigned long long>(stats.video_flows),
-      static_cast<unsigned long long>(stats.classified_composite),
-      static_cast<unsigned long long>(stats.classified_partial),
-      static_cast<unsigned long long>(stats.classified_unknown));
-
-  std::puts("stage latency p50/p99 (ns):");
-  const obs::PipelineObs& o = pipe.observability();
-  for (int s = 0; s < static_cast<int>(obs::Stage::kCount); ++s) {
-    const auto stage = static_cast<obs::Stage>(s);
-    const obs::HistogramSnapshot snap = o.profiler.histogram(stage).snapshot();
-    std::printf("  %-10s %8llu %8llu  (%llu samples)\n",
-                std::string(obs::stage_name(stage)).c_str(),
-                static_cast<unsigned long long>(snap.percentile(50)),
-                static_cast<unsigned long long>(snap.percentile(99)),
-                static_cast<unsigned long long>(snap.count));
-  }
+  print_summary(pipe);
   if (prometheus_path) {
+    const obs::PipelineObs& o = pipe.observability();
     if (obs::write_file_atomic(prometheus_path,
                                obs::prometheus_text(o.registry())))
       std::printf("prometheus scrape written to %s\n", prometheus_path);
@@ -134,4 +245,44 @@ int main(int argc, char** argv) {
       std::printf("FAILED to write %s\n", prometheus_path);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* pcap_path = nullptr;
+  const char* iface = nullptr;
+  double pace = 0.0;
+  int seconds = 10;
+  int n_flows = 120;
+  const char* prometheus_path = nullptr;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pcap") == 0 && i + 1 < argc) {
+      pcap_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--iface") == 0 && i + 1 < argc) {
+      iface = argv[++i];
+    } else if (std::strcmp(argv[i], "--pace") == 0 && i + 1 < argc) {
+      pace = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "usage: live_classifier [n_flows] [prometheus_path]\n"
+                   "       live_classifier --pcap <file> [--pace <x>]\n"
+                   "       live_classifier --iface <name> [--seconds <n>]\n");
+      return 2;
+    } else if (positional == 0) {
+      n_flows = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      prometheus_path = argv[i];
+      ++positional;
+    }
+  }
+
+  if (pcap_path) return run_pcap(pcap_path, pace);
+  if (iface) return run_live(iface, seconds);
+  return run_synth(n_flows, prometheus_path);
 }

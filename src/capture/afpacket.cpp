@@ -1,0 +1,425 @@
+#include "capture/afpacket.hpp"
+
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/if_packet.h>)
+#define VPSCOPE_HAVE_AFPACKET 1
+#include <arpa/inet.h>
+#include <linux/if_ether.h>
+#include <linux/if_packet.h>
+#include <net/if.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace vpscope::capture {
+
+namespace {
+
+// TPACKETv3 block-descriptor field offsets (tpacket_block_desc + the
+// embedded tpacket_hdr_v1), kept as explicit offsets so the walker builds
+// on any platform and never trusts a kernel struct it did not validate.
+constexpr std::size_t kOffVersion = 0;
+constexpr std::size_t kOffNumPkts = 12;
+constexpr std::size_t kOffFirstPkt = 16;
+constexpr std::size_t kOffBlkLen = 20;
+constexpr std::size_t kOffTsFirstSec = 32;
+constexpr std::size_t kOffTsFirstNsec = 36;
+// tpacket3_hdr field offsets.
+constexpr std::size_t kOffNextOffset = 0;
+constexpr std::size_t kOffSec = 4;
+constexpr std::size_t kOffNsec = 8;
+constexpr std::size_t kOffSnaplen = 12;
+constexpr std::size_t kOffLen = 16;
+constexpr std::size_t kOffMac = 24;
+
+constexpr std::uint32_t kTpacketV3 = 3;
+constexpr std::size_t kTpacketAlignment = 16;
+
+std::uint32_t load_u32(ByteView data, std::size_t at) {
+  std::uint32_t v;
+  std::memcpy(&v, data.data() + at, 4);
+  return v;
+}
+
+std::uint16_t load_u16(ByteView data, std::size_t at) {
+  std::uint16_t v;
+  std::memcpy(&v, data.data() + at, 2);
+  return v;
+}
+
+void store_u32(Bytes& data, std::size_t at, std::uint32_t v) {
+  std::memcpy(data.data() + at, &v, 4);
+}
+
+void store_u16(Bytes& data, std::size_t at, std::uint16_t v) {
+  std::memcpy(data.data() + at, &v, 2);
+}
+
+std::size_t align_up(std::size_t n) {
+  return (n + kTpacketAlignment - 1) & ~(kTpacketAlignment - 1);
+}
+
+}  // namespace
+
+TpacketBlockWalker::TpacketBlockWalker(ByteView block) : block_(block) {
+  if (block.size() < Tpacket3Layout::kBlockDescSize) {
+    error_ = "block smaller than its descriptor";
+    return;
+  }
+  if (load_u32(block, kOffVersion) != kTpacketV3) {
+    error_ = "block descriptor version is not TPACKET_V3";
+    return;
+  }
+  num_pkts_ = load_u32(block, kOffNumPkts);
+  remaining_ = num_pkts_;
+  const std::uint32_t first = load_u32(block, kOffFirstPkt);
+  const std::uint32_t blk_len = load_u32(block, kOffBlkLen);
+  if (blk_len > block.size()) {
+    error_ = "blk_len exceeds the mapped block";
+    return;
+  }
+  if (remaining_ > 0 &&
+      (first < Tpacket3Layout::kBlockDescSize ||
+       static_cast<std::size_t>(first) + Tpacket3Layout::kPacketHdrSize >
+           block.size())) {
+    error_ = "offset_to_first_pkt out of bounds";
+    return;
+  }
+  off_ = first;
+}
+
+std::optional<RingFrame> TpacketBlockWalker::next() {
+  if (error_ || remaining_ == 0) return std::nullopt;
+  // Constructor / previous iteration guaranteed the fixed header fits.
+  const std::uint32_t next_offset = load_u32(block_, off_ + kOffNextOffset);
+  const std::uint32_t sec = load_u32(block_, off_ + kOffSec);
+  const std::uint32_t nsec = load_u32(block_, off_ + kOffNsec);
+  const std::uint32_t snaplen = load_u32(block_, off_ + kOffSnaplen);
+  const std::uint32_t len = load_u32(block_, off_ + kOffLen);
+  const std::uint16_t mac = load_u16(block_, off_ + kOffMac);
+
+  if (nsec >= 1'000'000'000u) {
+    error_ = "timestamp nanoseconds past one second";
+    return std::nullopt;
+  }
+  if (snaplen > len) {
+    error_ = "tp_snaplen exceeds tp_len";
+    return std::nullopt;
+  }
+  if (mac < Tpacket3Layout::kPacketHdrSize) {
+    error_ = "tp_mac points inside the packet header";
+    return std::nullopt;
+  }
+  if (static_cast<std::size_t>(mac) + snaplen > block_.size() - off_) {
+    error_ = "frame bytes exceed the block";
+    return std::nullopt;
+  }
+
+  RingFrame frame;
+  frame.timestamp_us =
+      static_cast<std::uint64_t>(sec) * 1'000'000 + nsec / 1000;
+  frame.orig_len = len;
+  frame.bytes = block_.subspan(off_ + mac, snaplen);
+
+  --remaining_;
+  if (remaining_ > 0) {
+    // The kernel chains packets by tp_next_offset; require forward progress
+    // and a full next header inside the block, or a hostile ring could spin
+    // or OOB the walk.
+    if (next_offset < Tpacket3Layout::kPacketHdrSize ||
+        static_cast<std::size_t>(next_offset) +
+                Tpacket3Layout::kPacketHdrSize >
+            block_.size() - off_) {
+      error_ = "tp_next_offset out of bounds";
+      return frame;  // this frame was valid; the walk stops after it
+    }
+    off_ += next_offset;
+  }
+  return frame;
+}
+
+Bytes build_block_image(const std::vector<RingFrame>& frames,
+                        std::size_t block_size) {
+  Bytes block(block_size, 0);
+  if (block_size < Tpacket3Layout::kBlockDescSize) return block;
+  store_u32(block, kOffVersion, kTpacketV3);
+  store_u32(block, kOffNumPkts, static_cast<std::uint32_t>(frames.size()));
+  store_u32(block, kOffFirstPkt, Tpacket3Layout::kBlockDescSize);
+
+  // tp_mac mirrors the kernel's layout: fixed header + the hv1 variant
+  // union, aligned — frame bytes land 48 bytes after the packet header.
+  constexpr std::uint16_t kMacOffset = 48;
+  std::size_t off = Tpacket3Layout::kBlockDescSize;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const RingFrame& f = frames[i];
+    const std::size_t record = align_up(kMacOffset + f.bytes.size());
+    if (off + record > block_size) {
+      // Out of room: record only what fit (callers size blocks generously).
+      store_u32(block, kOffNumPkts, static_cast<std::uint32_t>(i));
+      break;
+    }
+    const bool last = i + 1 == frames.size();
+    store_u32(block, off + kOffNextOffset,
+              last ? 0 : static_cast<std::uint32_t>(record));
+    store_u32(block, off + kOffSec,
+              static_cast<std::uint32_t>(f.timestamp_us / 1'000'000));
+    store_u32(block, off + kOffNsec,
+              static_cast<std::uint32_t>(f.timestamp_us % 1'000'000) * 1000);
+    store_u32(block, off + kOffSnaplen,
+              static_cast<std::uint32_t>(f.bytes.size()));
+    store_u32(block, off + kOffLen,
+              f.orig_len ? f.orig_len
+                         : static_cast<std::uint32_t>(f.bytes.size()));
+    store_u16(block, off + kOffMac, kMacOffset);
+    std::memcpy(block.data() + off + kMacOffset, f.bytes.data(),
+                f.bytes.size());
+    off += record;
+    if (i == 0) {
+      store_u32(block, kOffTsFirstSec,
+                static_cast<std::uint32_t>(f.timestamp_us / 1'000'000));
+      store_u32(block, kOffTsFirstNsec,
+                static_cast<std::uint32_t>(f.timestamp_us % 1'000'000) * 1000);
+    }
+  }
+  store_u32(block, kOffBlkLen, static_cast<std::uint32_t>(off));
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// The real socket path.
+
+#ifdef VPSCOPE_HAVE_AFPACKET
+
+struct AfPacketRing::Impl {
+  int fd = -1;
+  std::uint8_t* map = nullptr;
+  std::size_t map_size = 0;
+  std::uint32_t block_size = 0;
+  std::uint32_t block_count = 0;
+  std::uint32_t current_block = 0;
+};
+
+AfPacketRing::AfPacketRing() : impl_(std::make_unique<Impl>()) {}
+AfPacketRing::~AfPacketRing() { close(); }
+
+bool AfPacketRing::compiled_in() { return true; }
+
+std::optional<std::string> AfPacketRing::open(const AfPacketOptions& options,
+                                              int fanout_index) {
+  close();
+  Impl& im = *impl_;
+  im.fd = ::socket(AF_PACKET, SOCK_RAW, htons(ETH_P_ALL));
+  if (im.fd < 0)
+    return std::string("socket(AF_PACKET): ") + std::strerror(errno);
+
+  const int version = TPACKET_V3;
+  if (::setsockopt(im.fd, SOL_PACKET, PACKET_VERSION, &version,
+                   sizeof(version)) < 0) {
+    const std::string err =
+        std::string("setsockopt(PACKET_VERSION): ") + std::strerror(errno);
+    close();
+    return err;
+  }
+
+  tpacket_req3 req{};
+  req.tp_block_size = options.block_size;
+  req.tp_block_nr = options.block_count;
+  req.tp_frame_size = options.frame_size;
+  req.tp_frame_nr = options.block_size / options.frame_size *
+                    options.block_count;
+  req.tp_retire_blk_tov = options.block_timeout_ms;
+  req.tp_feature_req_word = 0;
+  if (::setsockopt(im.fd, SOL_PACKET, PACKET_RX_RING, &req, sizeof(req)) <
+      0) {
+    const std::string err =
+        std::string("setsockopt(PACKET_RX_RING): ") + std::strerror(errno);
+    close();
+    return err;
+  }
+
+  im.map_size = static_cast<std::size_t>(req.tp_block_size) * req.tp_block_nr;
+  void* map = ::mmap(nullptr, im.map_size, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_LOCKED, im.fd, 0);
+  if (map == MAP_FAILED) {
+    // MAP_LOCKED needs RLIMIT_MEMLOCK headroom; fall back to unlocked.
+    map = ::mmap(nullptr, im.map_size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                 im.fd, 0);
+  }
+  if (map == MAP_FAILED) {
+    const std::string err = std::string("mmap(ring): ") + std::strerror(errno);
+    close();
+    return err;
+  }
+  im.map = static_cast<std::uint8_t*>(map);
+  im.block_size = req.tp_block_size;
+  im.block_count = req.tp_block_nr;
+  im.current_block = 0;
+
+  sockaddr_ll addr{};
+  addr.sll_family = AF_PACKET;
+  addr.sll_protocol = htons(ETH_P_ALL);
+  addr.sll_ifindex = 0;
+  if (!options.interface_name.empty()) {
+    addr.sll_ifindex =
+        static_cast<int>(if_nametoindex(options.interface_name.c_str()));
+    if (addr.sll_ifindex == 0) {
+      const std::string err = "unknown interface " + options.interface_name;
+      close();
+      return err;
+    }
+  }
+  if (::bind(im.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::string("bind: ") + std::strerror(errno);
+    close();
+    return err;
+  }
+
+  if (options.fanout_size > 1) {
+    const int group = options.fanout_group >= 0
+                          ? options.fanout_group
+                          : static_cast<int>(::getpid()) & 0xffff;
+    const int arg = (group & 0xffff) | (PACKET_FANOUT_HASH << 16);
+    if (::setsockopt(im.fd, SOL_PACKET, PACKET_FANOUT, &arg, sizeof(arg)) <
+        0) {
+      const std::string err =
+          std::string("setsockopt(PACKET_FANOUT): ") + std::strerror(errno);
+      close();
+      return err;
+    }
+  }
+  (void)fanout_index;  // index is implicit in join order; kept for symmetry
+  return std::nullopt;
+}
+
+std::size_t AfPacketRing::poll_block(
+    const std::function<void(const RingFrame&)>& cb, int timeout_ms) {
+  Impl& im = *impl_;
+  if (im.fd < 0 || !im.map) return 0;
+  std::uint8_t* block = im.map +
+                        static_cast<std::size_t>(im.current_block) *
+                            im.block_size;
+  // bh1.block_status lives at offset 8; acquire pairs with the kernel's
+  // release when it hands the block to userspace.
+  auto* status = reinterpret_cast<std::uint32_t*>(block + 8);
+  if ((__atomic_load_n(status, __ATOMIC_ACQUIRE) & TP_STATUS_USER) == 0) {
+    pollfd pfd{};
+    pfd.fd = im.fd;
+    pfd.events = POLLIN | POLLERR;
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return 0;
+    if ((__atomic_load_n(status, __ATOMIC_ACQUIRE) & TP_STATUS_USER) == 0)
+      return 0;
+  }
+
+  std::size_t delivered = 0;
+  TpacketBlockWalker walker(ByteView(block, im.block_size));
+  while (const auto frame = walker.next()) {
+    cb(*frame);
+    ++delivered;
+  }
+  // Retire the block: release pairs with the kernel's acquire.
+  __atomic_store_n(status, TP_STATUS_KERNEL, __ATOMIC_RELEASE);
+  im.current_block = (im.current_block + 1) % im.block_count;
+  return delivered;
+}
+
+AfPacketRing::KernelStats AfPacketRing::stats() {
+  KernelStats out;
+  Impl& im = *impl_;
+  if (im.fd < 0) return out;
+  tpacket_stats_v3 st{};
+  socklen_t len = sizeof(st);
+  if (::getsockopt(im.fd, SOL_PACKET, PACKET_STATISTICS, &st, &len) == 0) {
+    out.packets = st.tp_packets;
+    out.drops = st.tp_drops;
+    out.freeze_q_cnt = st.tp_freeze_q_cnt;
+  }
+  return out;
+}
+
+void AfPacketRing::close() {
+  Impl& im = *impl_;
+  if (im.map) {
+    ::munmap(im.map, im.map_size);
+    im.map = nullptr;
+    im.map_size = 0;
+  }
+  if (im.fd >= 0) {
+    ::close(im.fd);
+    im.fd = -1;
+  }
+}
+
+bool AfPacketRing::is_open() const { return impl_->fd >= 0; }
+
+#else  // !VPSCOPE_HAVE_AFPACKET
+
+struct AfPacketRing::Impl {};
+
+AfPacketRing::AfPacketRing() : impl_(std::make_unique<Impl>()) {}
+AfPacketRing::~AfPacketRing() = default;
+
+bool AfPacketRing::compiled_in() { return false; }
+
+std::optional<std::string> AfPacketRing::open(const AfPacketOptions&, int) {
+  return std::string("AF_PACKET support not compiled in on this platform");
+}
+
+std::size_t AfPacketRing::poll_block(
+    const std::function<void(const RingFrame&)>&, int) {
+  return 0;
+}
+
+AfPacketRing::KernelStats AfPacketRing::stats() { return {}; }
+void AfPacketRing::close() {}
+bool AfPacketRing::is_open() const { return false; }
+
+#endif  // VPSCOPE_HAVE_AFPACKET
+
+std::optional<std::string> LiveCapture::open() {
+  rings_.clear();
+  const int n = options_.fanout_size > 0 ? options_.fanout_size : 1;
+  for (int i = 0; i < n; ++i) {
+    auto ring = std::make_unique<AfPacketRing>();
+    if (auto err = ring->open(options_, i)) {
+      rings_.clear();
+      return err;
+    }
+    rings_.push_back(std::move(ring));
+  }
+  return std::nullopt;
+}
+
+std::uint64_t LiveCapture::run(const std::atomic<bool>& stop,
+                               const PacketSink& sink) {
+  std::uint64_t delivered = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    for (auto& ring : rings_) {
+      ring->poll_block(
+          [&](const RingFrame& frame) {
+            const auto datagram =
+                ip_datagram_of(frame.bytes, LinkType::Ethernet);
+            if (!datagram) {
+              ++non_ip_frames_;
+              return;
+            }
+            net::Packet packet;
+            packet.timestamp_us = frame.timestamp_us;
+            packet.data.assign(datagram->begin(), datagram->end());
+            sink(std::move(packet));
+            ++delivered;
+          },
+          /*timeout_ms=*/10);
+      if (stop.load(std::memory_order_relaxed)) break;
+    }
+  }
+  kernel_drops_ = 0;
+  for (auto& ring : rings_) kernel_drops_ += ring->stats().drops;
+  return delivered;
+}
+
+}  // namespace vpscope::capture

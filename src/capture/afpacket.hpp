@@ -1,0 +1,163 @@
+// AF_PACKET TPACKETv3 ring capture (DESIGN.md §5i), modeled on mercury's
+// af_packet_v3 front-end: the kernel fills memory-mapped blocks of frames,
+// userspace walks a whole block per wakeup (one poll() amortized over
+// hundreds of packets), and PACKET_FANOUT spreads flows across a group of
+// sockets by flow hash — the kernel-level analogue of the dispatcher's
+// FlowKey sharding.
+//
+// Two layers, split so the format logic is testable and fuzzable without
+// privileges or even a Linux kernel:
+//
+//   TpacketBlockWalker   a portable, strictly bounds-checked parser over a
+//                        raw block image (the same validation style as the
+//                        pcap/TLS/QUIC readers — a corrupt or hostile ring
+//                        must not be able to OOB the walker)
+//   AfPacketRing         the real socket: TPACKET_V3 ring setup, mmap,
+//                        poll, block retire. Compiles everywhere; on
+//                        non-Linux (or without CAP_NET_RAW) open() fails
+//                        gracefully with a diagnostic, which is how the
+//                        runtime probe reports "no live capture here".
+//
+// LiveCapture glues a fanout group onto a packet sink from the calling
+// (dispatcher) thread, so the threading contract of ShardedPipeline is
+// preserved: the kernel fans flows across ring sockets, the dispatcher
+// drains them round-robin and re-shards by FlowKey hash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capture/frame.hpp"
+#include "net/packet.hpp"
+
+namespace vpscope::capture {
+
+/// Minimal TPACKETv3 wire layout facts (mirrors <linux/if_packet.h>, kept
+/// portable so the walker builds and fuzzes on any platform).
+struct Tpacket3Layout {
+  static constexpr std::size_t kBlockDescSize = 48;   // tpacket_block_desc
+  static constexpr std::size_t kPacketHdrSize = 28;   // tpacket3_hdr fixed part
+};
+
+/// One frame surfaced from a block. `bytes` borrows from the block image.
+struct RingFrame {
+  std::uint64_t timestamp_us = 0;
+  std::uint32_t orig_len = 0;
+  ByteView bytes;  // snaplen-truncated capture, starting at the MAC header
+};
+
+/// Walks the packets of one TPACKETv3 block image. Every offset/length
+/// field is validated against the block bounds before the frame is
+/// surfaced; a malformed descriptor terminates the walk with error() set.
+class TpacketBlockWalker {
+ public:
+  explicit TpacketBlockWalker(ByteView block);
+
+  std::optional<RingFrame> next();
+
+  std::uint32_t num_packets() const { return num_pkts_; }
+  bool error() const { return error_ != nullptr; }
+  const char* error_message() const { return error_; }
+
+ private:
+  ByteView block_;
+  std::uint32_t num_pkts_ = 0;
+  std::uint32_t remaining_ = 0;
+  std::size_t off_ = 0;
+  const char* error_ = nullptr;
+};
+
+/// Builds a valid TPACKETv3 block image from frames — the golden input for
+/// walker tests and the seed for its torture lane (the kernel is the real
+/// producer; this reproduces its layout bit-for-bit).
+Bytes build_block_image(const std::vector<RingFrame>& frames,
+                        std::size_t block_size = 1 << 16);
+
+struct AfPacketOptions {
+  std::string interface_name;        // e.g. "eth0"; empty binds all
+  std::uint32_t block_size = 1 << 22;   // 4 MiB per block (mercury default)
+  std::uint32_t block_count = 64;
+  std::uint32_t frame_size = 2048;
+  std::uint32_t block_timeout_ms = 100;  // kernel retires partial blocks
+  /// PACKET_FANOUT group id; -1 derives one from the pid. All rings of one
+  /// LiveCapture share the group, so the kernel hash-fans flows across
+  /// them exactly like the dispatcher fans FlowKeys across shards.
+  int fanout_group = -1;
+  int fanout_size = 1;
+};
+
+/// One TPACKET_V3 RX ring socket. Non-copyable; closes on destruction.
+class AfPacketRing {
+ public:
+  AfPacketRing();
+  ~AfPacketRing();
+  AfPacketRing(const AfPacketRing&) = delete;
+  AfPacketRing& operator=(const AfPacketRing&) = delete;
+
+  /// Whether this build even has the AF_PACKET/TPACKET_V3 API compiled in
+  /// (Linux with kernel headers). Runtime privileges are probed by open().
+  static bool compiled_in();
+
+  /// Opens socket + ring + mmap + bind (+ fanout when fanout_size > 1).
+  /// Returns nullopt on success, else a diagnostic ("socket(AF_PACKET):
+  /// Operation not permitted" without CAP_NET_RAW, "AF_PACKET support not
+  /// compiled in" off Linux, ...).
+  std::optional<std::string> open(const AfPacketOptions& options,
+                                  int fanout_index);
+
+  /// Polls for one filled block (<= timeout_ms), walks it, hands every
+  /// frame to `cb`, retires the block to the kernel. Returns frames
+  /// delivered (0 on poll timeout). The views passed to `cb` die when the
+  /// call returns — the block goes back to the kernel.
+  std::size_t poll_block(const std::function<void(const RingFrame&)>& cb,
+                         int timeout_ms);
+
+  struct KernelStats {
+    std::uint64_t packets = 0;
+    std::uint64_t drops = 0;        // ring full: the kernel's shed counter
+    std::uint64_t freeze_q_cnt = 0;
+  };
+  /// PACKET_STATISTICS since the last call (kernel semantics: read-clear).
+  KernelStats stats();
+
+  void close();
+  bool is_open() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A fanout group of rings drained from the calling thread — the live twin
+/// of ReplayDriver: same sink signature, same shim, same pipeline path.
+class LiveCapture {
+ public:
+  using PacketSink = std::function<void(net::Packet&&)>;
+
+  explicit LiveCapture(AfPacketOptions options) : options_(std::move(options)) {}
+
+  /// Opens options.fanout_size rings. nullopt on success, else diagnostic.
+  std::optional<std::string> open();
+
+  /// Round-robin drains all rings until `stop` becomes true. Frames pass
+  /// through the Ethernet shim; non-IP frames are counted and skipped.
+  /// Returns IP packets delivered to the sink.
+  std::uint64_t run(const std::atomic<bool>& stop, const PacketSink& sink);
+
+  std::uint64_t non_ip_frames() const { return non_ip_frames_; }
+  /// Aggregated kernel drop counters across the group (read on run() exit).
+  std::uint64_t kernel_drops() const { return kernel_drops_; }
+
+ private:
+  AfPacketOptions options_;
+  std::vector<std::unique_ptr<AfPacketRing>> rings_;
+  std::uint64_t non_ip_frames_ = 0;
+  std::uint64_t kernel_drops_ = 0;
+};
+
+}  // namespace vpscope::capture

@@ -1,0 +1,92 @@
+#include "capture/export.hpp"
+
+#include <cctype>
+
+#include "capture/frame.hpp"
+#include "synth/flow_synthesizer.hpp"
+
+namespace vpscope::capture {
+
+Bytes export_pcap(const std::vector<net::Packet>& packets,
+                  const ExportOptions& options) {
+  PcapWriter writer(options.link_type, options.snaplen);
+  for (const auto& packet : packets) {
+    if (options.link_type == LinkType::Ethernet) {
+      writer.add(packet.timestamp_us, ethernet_frame_of(packet.data));
+    } else {
+      writer.add(packet.timestamp_us, packet.data);
+    }
+  }
+  return std::move(writer).take();
+}
+
+bool export_pcap_file(const std::string& path,
+                      const std::vector<net::Packet>& packets,
+                      const ExportOptions& options) {
+  return write_pcap_blob_file(path, export_pcap(packets, options));
+}
+
+namespace {
+
+std::string case_name(const fingerprint::PlatformId& platform,
+                      fingerprint::Transport transport) {
+  std::string name = to_string(platform) + "__" + to_string(transport);
+  for (char& c : name) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '-';
+  }
+  return name;
+}
+
+std::uint64_t case_seed(std::uint64_t seed, std::size_t index) {
+  // SplitMix64 step: decorrelates per-case streams from one corpus seed.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<GoldenCase> build_golden_corpus(std::uint64_t seed) {
+  std::vector<GoldenCase> corpus;
+  std::size_t index = 0;
+  for (const auto& platform : fingerprint::all_platforms()) {
+    for (const auto transport :
+         {fingerprint::Transport::Tcp, fingerprint::Transport::Quic}) {
+      const bool quic = transport == fingerprint::Transport::Quic;
+      fingerprint::Provider provider{};
+      bool supported = false;
+      for (const auto p : fingerprint::all_providers()) {
+        if (quic ? fingerprint::supports_quic(platform, p)
+                 : fingerprint::supports_tcp(platform, p)) {
+          provider = p;
+          supported = true;
+          break;
+        }
+      }
+      if (!supported) continue;
+
+      GoldenCase c;
+      c.name = case_name(platform, transport);
+      c.platform = platform;
+      c.provider = provider;
+      c.transport = transport;
+
+      synth::FlowSynthesizer synthesizer(Rng(case_seed(seed, index++)));
+      synth::FlowOptions options;
+      options.start_time_us = 1'000'000;
+      options.capture_hops = 2;
+      options.payload_bytes = 2'000'000;
+      options.payload_duration_us = 5'000'000;
+      const auto flow = synthesizer.synthesize(
+          fingerprint::make_profile(platform, provider, transport), options);
+      c.pcap = export_pcap(flow.packets, ExportOptions{});
+      corpus.push_back(std::move(c));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace vpscope::capture

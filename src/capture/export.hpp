@@ -1,0 +1,55 @@
+// Synth -> pcap export (DESIGN.md §5i): the synthesizer's labeled corpus
+// written out as real capture files. A LINKTYPE_RAW export is the IP
+// datagrams verbatim; a LINKTYPE_ETHERNET export wraps each datagram in a
+// deterministic L2 frame (synthetic locally-administered MACs derived from
+// the IP addresses), so replaying the file exercises the same L2 shim a
+// live AF_PACKET tap does.
+//
+// build_golden_corpus() is the checked-in regression anchor: one pcap per
+// supported platform x transport, byte-stable for a seed (canonical writer
+// + seeded synthesis), with pinned per-file classification outcomes in
+// golden_pcap_test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capture/pcap.hpp"
+#include "fingerprint/platform.hpp"
+#include "net/packet.hpp"
+
+namespace vpscope::capture {
+
+struct ExportOptions {
+  LinkType link_type = LinkType::Ethernet;
+  std::uint32_t snaplen = 65535;
+};
+
+/// Serializes time-ordered packets as a pcap image (canonical little-endian
+/// microsecond format — byte-stable across machines). Packets are written
+/// in the order given; merge multi-flow traffic with synth::packet_stream
+/// first.
+Bytes export_pcap(const std::vector<net::Packet>& packets,
+                  const ExportOptions& options = {});
+
+bool export_pcap_file(const std::string& path,
+                      const std::vector<net::Packet>& packets,
+                      const ExportOptions& options = {});
+
+/// One golden corpus entry: a single synthesized flow as an Ethernet pcap.
+struct GoldenCase {
+  std::string name;  // filesystem-safe, e.g. "windows-chrome__tcp"
+  fingerprint::PlatformId platform;
+  fingerprint::Provider provider = fingerprint::Provider::YouTube;
+  fingerprint::Transport transport = fingerprint::Transport::Tcp;
+  Bytes pcap;
+};
+
+/// Builds the full golden corpus: one case per platform x transport the
+/// support matrix allows (provider = first supporting provider in fixed
+/// order), each synthesized from a per-case seed derived from `seed`.
+/// Deterministic: same seed, same bytes, in a stable order.
+std::vector<GoldenCase> build_golden_corpus(std::uint64_t seed);
+
+}  // namespace vpscope::capture

@@ -1,0 +1,38 @@
+#include "capture/frame.hpp"
+
+namespace vpscope::capture {
+
+std::optional<ByteView> ip_datagram_of(ByteView frame, LinkType link_type) {
+  if (link_type == LinkType::Raw) return frame;
+  std::size_t l2_len = 0;
+  const auto eth = net::EthernetHeader::parse(frame, &l2_len);
+  if (!eth) return std::nullopt;
+  if (eth->ethertype != net::kEtherTypeIpv4 &&
+      eth->ethertype != net::kEtherTypeIpv6)
+    return std::nullopt;
+  return frame.subspan(l2_len);
+}
+
+Bytes ethernet_frame_of(ByteView ip_datagram) {
+  net::EthernetHeader eth;
+  eth.ethertype = net::kEtherTypeIpv4;
+  // Seed the MACs from the address fields so both directions of a flow get
+  // a stable src/dst pair: v4 addresses live at offsets 12/16 (4 bytes
+  // each), v6 at 8/24 (16 bytes each).
+  if (!ip_datagram.empty()) {
+    const int version = ip_datagram[0] >> 4;
+    if (version == 6) {
+      eth.ethertype = net::kEtherTypeIpv6;
+      if (ip_datagram.size() >= 40) {
+        eth.src = net::synthetic_mac(ip_datagram.subspan(8, 16));
+        eth.dst = net::synthetic_mac(ip_datagram.subspan(24, 16));
+      }
+    } else if (ip_datagram.size() >= 20) {
+      eth.src = net::synthetic_mac(ip_datagram.subspan(12, 4));
+      eth.dst = net::synthetic_mac(ip_datagram.subspan(16, 4));
+    }
+  }
+  return eth.serialize(ip_datagram);
+}
+
+}  // namespace vpscope::capture

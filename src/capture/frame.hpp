@@ -1,0 +1,30 @@
+// L2 decode shim between captured frames and the pipeline's raw-IP packet
+// model: strips the Ethernet/VLAN envelope (or passes raw-IP records
+// through), and frames raw IP datagrams back into deterministic synthetic
+// Ethernet for the synth->pcap exporter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "capture/pcap.hpp"
+#include "net/ethernet.hpp"
+#include "net/packet.hpp"
+
+namespace vpscope::capture {
+
+/// Extracts the IP datagram view from a captured frame. For LinkType::Raw
+/// the frame IS the datagram; for Ethernet the L2 header and any VLAN tags
+/// are stripped and only IPv4/IPv6 EtherTypes pass. nullopt means "not IP
+/// traffic" (ARP, LLDP, a frame snaplen-cut inside its L2 header) — a
+/// per-frame skip, not a file error. The view borrows from `frame`.
+std::optional<ByteView> ip_datagram_of(ByteView frame, LinkType link_type);
+
+/// Wraps one raw IP datagram in an untagged Ethernet II frame with
+/// deterministic synthetic MACs derived from the IP endpoints, so the same
+/// flow always serializes to the same bytes. Datagrams too short to carry
+/// their addresses still frame (all-zero MACs) — the exporter never
+/// drops what the synthesizer produced.
+Bytes ethernet_frame_of(ByteView ip_datagram);
+
+}  // namespace vpscope::capture

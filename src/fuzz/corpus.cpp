@@ -1,8 +1,6 @@
 #include "fuzz/corpus.hpp"
 
-#include <sstream>
-
-#include "net/pcap.hpp"
+#include "capture/export.hpp"
 #include "quic/initial.hpp"
 #include "synth/flow_synthesizer.hpp"
 
@@ -38,11 +36,10 @@ SeedCase make_seed(synth::FlowSynthesizer& synth, Rng& rng,
         quic::build_client_initial_flight(seed.dcid, seed.scid, seed.handshake);
 
   const synth::LabeledFlow flow = synth.synthesize(profile);
-  std::ostringstream os;
-  if (net::write_pcap(os, flow.packets)) {
-    const std::string blob = os.str();
-    seed.pcap_blob.assign(blob.begin(), blob.end());
-  }
+  seed.pcap_blob = capture::export_pcap(
+      flow.packets, {.link_type = capture::LinkType::Raw});
+  seed.pcap_eth_blob = capture::export_pcap(
+      flow.packets, {.link_type = capture::LinkType::Ethernet});
   return seed;
 }
 

@@ -29,8 +29,11 @@ struct SeedCase {
   /// only). Cached so byte-level mutants skip the per-mutant AEAD cost.
   std::vector<Bytes> flight;
   /// A serialized pcap capture of one full synthesized handshake flow from
-  /// this platform/provider/transport (the pcap/net mutation surface).
+  /// this platform/provider/transport (the pcap/net mutation surface) —
+  /// LINKTYPE_RAW, plus the same flow wrapped in Ethernet frames so the L2
+  /// shim (MAC header, VLAN tags) is on the mutation surface too.
   Bytes pcap_blob;
+  Bytes pcap_eth_blob;
 };
 
 /// Builds the deterministic seed corpus: all supported Table 1 combinations

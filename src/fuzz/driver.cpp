@@ -3,6 +3,8 @@
 #include <exception>
 #include <functional>
 
+#include "capture/afpacket.hpp"
+#include "capture/pcap.hpp"
 #include "core/handshake.hpp"
 
 namespace vpscope::fuzz {
@@ -80,7 +82,34 @@ TortureReport torture_quic_initial(const std::vector<SeedCase>& corpus,
 TortureReport torture_pcap(const std::vector<SeedCase>& corpus,
                            const TortureConfig& config) {
   return run(corpus, config, [](Mutator& m, const SeedCase& seed) {
-    return check_pcap_blob(m.mutate_pcap_blob(seed.pcap_blob));
+    // Alternate between the RAW and Ethernet-framed surfaces so the L2
+    // shim (MAC header, VLAN tags) is under the same mutation pressure.
+    const Bytes& blob = (m.rng().uniform(0, 1) && !seed.pcap_eth_blob.empty())
+                            ? seed.pcap_eth_blob
+                            : seed.pcap_blob;
+    return check_pcap_blob(m.mutate_pcap_blob(blob));
+  });
+}
+
+TortureReport torture_afpacket_block(const std::vector<SeedCase>& corpus,
+                                     const TortureConfig& config) {
+  return run(corpus, config, [](Mutator& m, const SeedCase& seed) {
+    // Rebuild the kernel's layout from the seed's Ethernet capture, then
+    // corrupt it: what a hostile/corrupt ring must not do to the walker.
+    std::vector<capture::RingFrame> frames;
+    auto reader = capture::PcapReader::open(seed.pcap_eth_blob);
+    while (reader) {
+      const auto frame = reader->next();
+      if (!frame) break;
+      capture::RingFrame rf;
+      rf.timestamp_us = frame->timestamp_us;
+      rf.orig_len = frame->orig_len;
+      rf.bytes = frame->bytes;
+      frames.push_back(rf);
+      if (frames.size() >= 64) break;  // one block's worth
+    }
+    const Bytes image = capture::build_block_image(frames, 1 << 16);
+    return check_block_image(m.mutate_block_image(image));
   });
 }
 

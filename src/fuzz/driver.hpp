@@ -41,6 +41,10 @@ TortureReport torture_quic_initial(const std::vector<SeedCase>& corpus,
                                    const TortureConfig& config = {});
 TortureReport torture_pcap(const std::vector<SeedCase>& corpus,
                            const TortureConfig& config = {});
+/// TPACKETv3 block images (rebuilt from each seed's Ethernet capture, then
+/// mutated) through the AF_PACKET block walker.
+TortureReport torture_afpacket_block(const std::vector<SeedCase>& corpus,
+                                     const TortureConfig& config = {});
 
 /// Oracle (c): every mutant record, fed to a trained bank as a handshake
 /// observation, must classify without crashing, report confidences in

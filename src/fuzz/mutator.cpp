@@ -268,8 +268,203 @@ std::vector<Bytes> Mutator::mutate_initial_flight(const SeedCase& seed) {
   return flight;
 }
 
+namespace {
+
+// Classic pcap layout facts. Seed blobs come from the canonical writer
+// (little-endian, microsecond magic), which lets mutations target specific
+// fields; the derived mutants cover the swapped/nanosecond/corrupt shapes.
+constexpr std::size_t kPcapHeaderSize = 24;
+constexpr std::size_t kPcapRecordHeaderSize = 16;
+constexpr std::uint32_t kMagicUs = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNs = 0xa1b23c4d;
+
+std::uint32_t pcap_rd32(const Bytes& b, std::size_t at) {
+  return static_cast<std::uint32_t>(b[at]) |
+         static_cast<std::uint32_t>(b[at + 1]) << 8 |
+         static_cast<std::uint32_t>(b[at + 2]) << 16 |
+         static_cast<std::uint32_t>(b[at + 3]) << 24;
+}
+
+void pcap_wr32(Bytes& b, std::size_t at, std::uint32_t v) {
+  b[at] = static_cast<std::uint8_t>(v);
+  b[at + 1] = static_cast<std::uint8_t>(v >> 8);
+  b[at + 2] = static_cast<std::uint8_t>(v >> 16);
+  b[at + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void pcap_swap32(Bytes& b, std::size_t at) {
+  std::swap(b[at], b[at + 3]);
+  std::swap(b[at + 1], b[at + 2]);
+}
+
+/// Record start offsets of a canonical little-endian blob.
+std::vector<std::size_t> pcap_record_offsets(const Bytes& blob) {
+  std::vector<std::size_t> offsets;
+  std::size_t off = kPcapHeaderSize;
+  while (off + kPcapRecordHeaderSize <= blob.size()) {
+    const std::uint32_t caplen = pcap_rd32(blob, off + 8);
+    if (caplen > blob.size() - off - kPcapRecordHeaderSize) break;
+    offsets.push_back(off);
+    off += kPcapRecordHeaderSize + caplen;
+  }
+  return offsets;
+}
+
+}  // namespace
+
 Bytes Mutator::mutate_pcap_blob(const Bytes& blob) {
-  return mutate_bytes(blob);
+  if (blob.size() < kPcapHeaderSize) return mutate_bytes(blob);
+  Bytes out = blob;
+  const auto records = pcap_record_offsets(out);
+  switch (rng_.uniform(0, 12)) {
+    case 0:  // fall back to pure byte-level corruption
+      return mutate_bytes(std::move(out));
+    case 1: {  // the byte-swapped twin: a *valid* opposite-endian file
+      pcap_swap32(out, 0);
+      std::swap(out[4], out[5]);  // version_major
+      std::swap(out[6], out[7]);  // version_minor
+      for (std::size_t at : {std::size_t{8}, std::size_t{12}, std::size_t{16},
+                             std::size_t{20}})
+        pcap_swap32(out, at);
+      for (const std::size_t off : records)
+        for (std::size_t f = 0; f < 16; f += 4) pcap_swap32(out, off + f);
+      break;
+    }
+    case 2: {  // magic rewrite: ns variants, swapped-without-swapping, junk
+      static constexpr std::uint32_t kMagics[] = {
+          kMagicUs, kMagicNs, 0xd4c3b2a1, 0x4d3cb2a1, 0xdeadbeef};
+      pcap_wr32(out, 0, kMagics[rng_.uniform(0, 4)]);
+      break;
+    }
+    case 3:  // version corruption (reader pins major == 2)
+      out[4 + idx(rng_, 4)] = static_cast<std::uint8_t>(rng_.next_u32());
+      break;
+    case 4: {  // snaplen corruption: 0 (= unlimited), tiny, random
+      static constexpr std::uint32_t kSnaplens[] = {0, 1, 64, 0xffffffff};
+      std::uint32_t v = kSnaplens[rng_.uniform(0, 3)];
+      if (rng_.uniform(0, 3) == 0) v = rng_.next_u32();
+      pcap_wr32(out, 16, v);
+      break;
+    }
+    case 5: {  // linktype walk: the two supported, neighbours, junk
+      static constexpr std::uint32_t kLinks[] = {0, 1, 101, 113, 147};
+      std::uint32_t v = kLinks[rng_.uniform(0, 4)];
+      if (rng_.uniform(0, 3) == 0) v = rng_.next_u32();
+      pcap_wr32(out, 20, v);
+      break;
+    }
+    case 6: {  // truncate near a record boundary (headers cut mid-field)
+      const std::size_t anchor =
+          records.empty() ? kPcapHeaderSize : records[idx(rng_, records.size())];
+      const std::size_t jitter = rng_.uniform(0, kPcapRecordHeaderSize + 4);
+      out.resize(std::min(out.size(), anchor + jitter));
+      break;
+    }
+    case 7: {  // caplen corruption, including the classic allocation bomb
+      if (records.empty()) return mutate_bytes(std::move(out));
+      const std::size_t off = records[idx(rng_, records.size())];
+      const std::uint32_t caplen = pcap_rd32(out, off + 8);
+      static constexpr std::uint32_t kBombs[] = {0xffffffff, 0x7fffffff};
+      std::uint32_t v;
+      switch (rng_.uniform(0, 3)) {
+        case 0: v = kBombs[rng_.uniform(0, 1)]; break;
+        case 1: v = caplen + 1; break;
+        case 2: v = caplen ? caplen - 1 : 0; break;
+        default: v = rng_.next_u32(); break;
+      }
+      pcap_wr32(out, off + 8, v);
+      break;
+    }
+    case 8: {  // orig_len < caplen: a physically impossible record
+      if (records.empty()) return mutate_bytes(std::move(out));
+      const std::size_t off = records[idx(rng_, records.size())];
+      const std::uint32_t caplen = pcap_rd32(out, off + 8);
+      pcap_wr32(out, off + 12, caplen ? rng_.uniform(0, caplen - 1) : 0);
+      break;
+    }
+    case 9: {  // ts_frac out of range (>= 1e6 us / implausible ns)
+      if (records.empty()) return mutate_bytes(std::move(out));
+      const std::size_t off = records[idx(rng_, records.size())];
+      pcap_wr32(out, off + 4,
+                1'000'000 + static_cast<std::uint32_t>(rng_.uniform(0, 1u << 30)));
+      break;
+    }
+    case 10: {  // duplicate one record at the tail (still valid)
+      if (records.empty()) return mutate_bytes(std::move(out));
+      const std::size_t off = records[idx(rng_, records.size())];
+      const std::size_t len =
+          kPcapRecordHeaderSize + pcap_rd32(out, off + 8);
+      out.insert(out.end(), out.begin() + off, out.begin() + off + len);
+      break;
+    }
+    case 11: {  // swap two records (valid; exercises timestamp disorder)
+      if (records.size() < 2) return mutate_bytes(std::move(out));
+      const std::size_t a = records[idx(rng_, records.size())];
+      const std::size_t b = records[idx(rng_, records.size())];
+      const std::size_t la = kPcapRecordHeaderSize + pcap_rd32(out, a + 8);
+      const std::size_t lb = kPcapRecordHeaderSize + pcap_rd32(out, b + 8);
+      if (a == b) return mutate_bytes(std::move(out));
+      Bytes ra(out.begin() + a, out.begin() + a + la);
+      Bytes rb(out.begin() + b, out.begin() + b + lb);
+      Bytes next;
+      next.reserve(out.size());
+      const std::size_t lo = std::min(a, b), hi = std::max(a, b);
+      const std::size_t llo = lo == a ? la : lb, lhi = lo == a ? lb : la;
+      next.insert(next.end(), out.begin(), out.begin() + lo);
+      next.insert(next.end(), lo == a ? rb.begin() : ra.begin(),
+                  lo == a ? rb.end() : ra.end());
+      next.insert(next.end(), out.begin() + lo + llo, out.begin() + hi);
+      next.insert(next.end(), lo == a ? ra.begin() : rb.begin(),
+                  lo == a ? ra.end() : rb.end());
+      next.insert(next.end(), out.begin() + hi + lhi, out.end());
+      out = std::move(next);
+      break;
+    }
+    default: {  // VLAN tag injection into an Ethernet frame (valid, <= 2 tags)
+      if (pcap_rd32(out, 20) != 1 || records.empty())
+        return mutate_bytes(std::move(out));
+      const std::size_t off = records[idx(rng_, records.size())];
+      const std::uint32_t caplen = pcap_rd32(out, off + 8);
+      if (caplen < 14) return mutate_bytes(std::move(out));
+      const std::uint16_t tci = static_cast<std::uint16_t>(rng_.next_u32());
+      const std::uint8_t tag[4] = {0x81, 0x00,
+                                   static_cast<std::uint8_t>(tci >> 8),
+                                   static_cast<std::uint8_t>(tci)};
+      out.insert(out.begin() + off + kPcapRecordHeaderSize + 12, tag, tag + 4);
+      pcap_wr32(out, off + 8, caplen + 4);
+      pcap_wr32(out, off + 12, pcap_rd32(out, off + 12) + 4);
+      break;
+    }
+  }
+  return out;
+}
+
+Bytes Mutator::mutate_block_image(const Bytes& image) {
+  if (image.size() < 48) return mutate_bytes(image);
+  Bytes out = image;
+  switch (rng_.uniform(0, 4)) {
+    case 0:
+      return mutate_bytes(std::move(out));
+    case 1:  // block descriptor fields: num_pkts / first offset / blk_len
+      pcap_wr32(out, 12 + 4 * rng_.uniform(0, 2), rng_.next_u32());
+      break;
+    case 2: {  // corrupt a u32 somewhere in the packet-header region
+      const std::size_t at = 48 + idx(rng_, std::max<std::size_t>(
+                                              out.size() - 48 - 3, 1));
+      if (at + 4 <= out.size()) pcap_wr32(out, at, rng_.next_u32());
+      break;
+    }
+    case 3:  // truncate: simulates a partially mapped / torn block
+      out.resize(rng_.uniform(0, out.size()));
+      break;
+    default: {  // tp_next_offset loop attack on the first packet
+      const std::size_t first = pcap_rd32(out, 16);
+      if (first + 4 <= out.size())
+        pcap_wr32(out, first, rng_.uniform(0, 2) == 0 ? 0 : 4);
+      break;
+    }
+  }
+  return out;
 }
 
 }  // namespace vpscope::fuzz

@@ -43,8 +43,17 @@ class Mutator {
   /// coalesced / byte-corrupted. Only meaningful for QUIC seeds.
   std::vector<Bytes> mutate_initial_flight(const SeedCase& seed);
 
-  /// One mutant of a serialized pcap blob.
+  /// One mutant of a serialized pcap blob. Structure-aware: knows the
+  /// classic format's header/record layout, so mutants include the valid
+  /// byte-swapped twin, nanosecond/garbage magics, snaplen/linktype/version
+  /// corruption, caplen allocation bombs, impossible orig_len, boundary
+  /// truncation, record duplication/reordering and VLAN tag injection, with
+  /// a byte-level fallback.
   Bytes mutate_pcap_blob(const Bytes& blob);
+
+  /// One mutant of a TPACKETv3 block image (the AF_PACKET walker surface):
+  /// descriptor-field corruption, torn blocks, tp_next_offset loop attacks.
+  Bytes mutate_block_image(const Bytes& image);
 
   /// Structural ClientHello mutation (also used by the flight mutator).
   tls::ClientHello mutate_structure(const tls::ClientHello& chlo);

@@ -3,6 +3,8 @@
 #include <exception>
 #include <sstream>
 
+#include "capture/afpacket.hpp"
+#include "capture/pcap.hpp"
 #include "core/handshake.hpp"
 #include "core/interner.hpp"
 #include "net/pcap.hpp"
@@ -159,6 +161,13 @@ OracleResult check_initial_flight(const std::vector<Bytes>& datagrams) {
 
 OracleResult check_pcap_blob(const Bytes& blob) {
   try {
+    // Streaming surface: the PcapReader walk itself must neither throw nor
+    // OOB (the latter is the sanitizer lane's job), whatever the bytes.
+    std::uint64_t streamed = 0;
+    if (auto reader = capture::PcapReader::open(blob)) {
+      while (reader->next()) ++streamed;
+    }
+
     std::istringstream is(
         std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
     const auto packets = net::read_pcap(is);
@@ -169,9 +178,58 @@ OracleResult check_pcap_blob(const Bytes& blob) {
     // extraction without escaping exceptions.
     for (const auto& p : *packets) (void)net::decode(p);
     (void)core::extract_handshake(*packets);
+    // Fixpoint: an accepted capture re-serialized through the canonical
+    // writer must re-read to the identical packet sequence.
+    std::ostringstream os;
+    if (!net::write_pcap(os, *packets))
+      return {.accepted = true,
+              .failure = describe("pcap re-serialization failed", blob)};
+    const std::string round = os.str();
+    std::istringstream is2(round);
+    const auto packets2 = net::read_pcap(is2);
+    if (!packets2)
+      return {.accepted = true,
+              .failure = describe("pcap round-trip no longer parses", blob)};
+    if (packets2->size() != packets->size())
+      return {.accepted = true,
+              .failure = describe("pcap round-trip changed packet count",
+                                  blob)};
+    for (std::size_t i = 0; i < packets->size(); ++i)
+      if ((*packets2)[i].timestamp_us != (*packets)[i].timestamp_us ||
+          (*packets2)[i].data != (*packets)[i].data)
+        return {.accepted = true,
+                .failure = describe("pcap round-trip changed a packet", blob)};
     return result;
   } catch (const std::exception& e) {
     return {.accepted = false, .failure = describe(e.what(), blob)};
+  }
+}
+
+OracleResult check_block_image(const Bytes& image) {
+  try {
+    capture::TpacketBlockWalker walker(image);
+    std::size_t walked = 0;
+    while (const auto frame = walker.next()) {
+      // The surfaced view must lie inside the image (ASan would catch the
+      // read; this catches the arithmetic before it).
+      if (frame->bytes.size() > 0 &&
+          (frame->bytes.data() < image.data() ||
+           frame->bytes.data() + frame->bytes.size() >
+               image.data() + image.size()))
+        return {.accepted = true,
+                .failure = describe("walker surfaced an escaping view", image)};
+      ++walked;
+      if (walked > walker.num_packets())
+        return {.accepted = true,
+                .failure =
+                    describe("walker yielded more frames than num_pkts",
+                             image)};
+    }
+    OracleResult result;
+    result.accepted = !walker.error() && walked > 0;
+    return result;
+  } catch (const std::exception& e) {
+    return {.accepted = false, .failure = describe(e.what(), image)};
   }
 }
 

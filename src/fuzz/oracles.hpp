@@ -47,8 +47,16 @@ OracleResult check_transport_params(ByteView body);
 /// the TLS oracles on whatever reassembled.
 OracleResult check_initial_flight(const std::vector<Bytes>& datagrams);
 
-/// A serialized pcap blob through net::read_pcap.
+/// A serialized pcap blob through both pcap surfaces: the streaming
+/// capture::PcapReader walk (must not throw/OOB on any input) and the
+/// whole-file net::read_pcap (accepted captures additionally decode,
+/// extract, and survive a write_pcap round trip bit-identically).
 OracleResult check_pcap_blob(const Bytes& blob);
+
+/// A TPACKETv3 block image through capture::TpacketBlockWalker: the walk
+/// must terminate, never yield more frames than the descriptor claims, and
+/// every surfaced view must stay inside the image.
+OracleResult check_block_image(const Bytes& image);
 
 /// Field-wise RawAttrs comparison (present/count/number/valid tokens).
 bool raw_attrs_equal(const core::RawAttrs& a, const core::RawAttrs& b);

@@ -1,0 +1,18 @@
+// libFuzzer entry: raw bytes -> TPACKETv3 block walker; the walk must
+// terminate in bounds whatever the descriptor claims.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace vpscope;
+  const auto result = fuzz::check_block_image(Bytes(data, data + size));
+  if (!result.ok()) {
+    std::fprintf(stderr, "oracle failure: %s\n", result.failure.c_str());
+    std::abort();
+  }
+  return 0;
+}

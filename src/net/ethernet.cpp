@@ -1,0 +1,63 @@
+#include "net/ethernet.hpp"
+
+#include <cstring>
+
+namespace vpscope::net {
+
+Bytes EthernetHeader::serialize(ByteView payload) const {
+  Bytes out;
+  out.reserve(kSize + payload.size());
+  out.insert(out.end(), dst.begin(), dst.end());
+  out.insert(out.end(), src.begin(), src.end());
+  out.push_back(static_cast<std::uint8_t>(ethertype >> 8));
+  out.push_back(static_cast<std::uint8_t>(ethertype));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(ByteView frame,
+                                                    std::size_t* header_len) {
+  if (frame.size() < kSize) return std::nullopt;
+  EthernetHeader out;
+  std::memcpy(out.dst.data(), frame.data(), 6);
+  std::memcpy(out.src.data(), frame.data() + 6, 6);
+  std::size_t off = 12;
+  auto u16_at = [&frame](std::size_t at) {
+    return static_cast<std::uint16_t>(frame[at] << 8 | frame[at + 1]);
+  };
+  std::uint16_t type = u16_at(off);
+  off += 2;
+  while (type == kEtherTypeVlan || type == kEtherTypeQinQ) {
+    if (out.vlan_tags >= kMaxVlanTags) return std::nullopt;
+    // Tag: 2 bytes TCI we don't model, then the next EtherType.
+    if (off + 4 > frame.size()) return std::nullopt;
+    type = u16_at(off + 2);
+    off += 4;
+    ++out.vlan_tags;
+  }
+  out.ethertype = type;
+  if (header_len) *header_len = off;
+  return out;
+}
+
+MacAddr synthetic_mac(ByteView seed_bytes) {
+  // SplitMix64 over the byte content gives stable, well-spread MACs.
+  std::uint64_t z = 0x9e3779b97f4a7c15ULL;
+  for (const std::uint8_t b : seed_bytes) {
+    z ^= b;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+  }
+  MacAddr mac;
+  for (int i = 0; i < 6; ++i)
+    mac[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(z >> (8 * i));
+  // Locally administered (bit 1), unicast (bit 0 clear) — a valid MAC that
+  // can never collide with a real vendor OUI.
+  mac[0] = static_cast<std::uint8_t>((mac[0] & 0xfc) | 0x02);
+  return mac;
+}
+
+}  // namespace vpscope::net

@@ -1,0 +1,55 @@
+// Ethernet II (DIX) framing: the L2 layer a real capture tap delivers.
+// The synthesizer and pipeline work on raw IP datagrams (linktype RAW), but
+// an AF_PACKET ring or an Ethernet pcap hands us full frames — this module
+// parses the 14-byte header, skips 802.1Q/802.1ad VLAN tags, and builds
+// deterministic synthetic frames for the synth->pcap exporter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace vpscope::net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+/// EtherTypes this codebase understands. Anything else is "not IP traffic"
+/// (ARP, LLDP, spanning tree...) — well-formed but uninteresting.
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86dd;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;   // 802.1Q
+inline constexpr std::uint16_t kEtherTypeQinQ = 0x88a8;   // 802.1ad outer tag
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+  /// A frame may carry at most this many stacked VLAN tags before the
+  /// parser rejects it (QinQ is two; more is corruption or an attack on the
+  /// tag-skipping loop).
+  static constexpr int kMaxVlanTags = 2;
+
+  MacAddr dst{};
+  MacAddr src{};
+  /// The *inner* EtherType after any VLAN tags were skipped.
+  std::uint16_t ethertype = kEtherTypeIpv4;
+  /// Number of 802.1Q/802.1ad tags the parser skipped (0..kMaxVlanTags).
+  int vlan_tags = 0;
+
+  /// Serializes header + payload (tags are not re-emitted; the exporter
+  /// writes untagged frames).
+  Bytes serialize(ByteView payload) const;
+
+  /// Parses the header, skipping VLAN tags; returns nullopt on truncation
+  /// or more than kMaxVlanTags stacked tags. On success `header_len`
+  /// reports where the L3 payload begins.
+  static std::optional<EthernetHeader> parse(ByteView frame,
+                                             std::size_t* header_len);
+};
+
+/// Deterministic locally-administered unicast MAC derived from an address's
+/// bytes — the exporter frames synthesized IP datagrams with these so the
+/// same flow always gets the same (fake but valid) L2 endpoints.
+MacAddr synthetic_mac(ByteView seed_bytes);
+
+}  // namespace vpscope::net

@@ -1,7 +1,12 @@
-// Classic libpcap file format (magic 0xa1b2c3d4) reader/writer with
-// LINKTYPE_RAW (101): each record is a bare IPv4/IPv6 datagram, matching
-// vpscope::net::Packet exactly. This makes synthesized datasets inspectable
+// Whole-file pcap convenience API over vpscope::net::Packet: each record is
+// a bare IP datagram (LINKTYPE_RAW written; RAW and Ethernet both read, the
+// latter through the L2 shim). This makes synthesized datasets inspectable
 // with Wireshark/tcpdump — the same tooling the paper's lab collection used.
+//
+// Implemented by vpscope_capture (capture/pcap.cpp), which owns the single
+// pcap parser in the tree — the streaming capture::PcapReader/PcapWriter
+// engine is the one to use for replay-scale work. Targets using these
+// functions link vpscope_capture.
 #pragma once
 
 #include <iosfwd>

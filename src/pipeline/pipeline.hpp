@@ -116,8 +116,12 @@ class VideoFlowPipeline {
   /// time. Must outlive the pipeline.
   void set_drift_monitor(DriftMonitor* monitor) { drift_ = monitor; }
 
-  /// Feeds one captured packet.
+  /// Feeds one captured packet. The rvalue form exists so generic
+  /// front-ends (capture::replay_into) can move-ingest into either pipeline;
+  /// this single-threaded pipeline parses in place and never stores the
+  /// packet, so it simply forwards.
   void on_packet(const net::Packet& packet);
+  void on_packet(net::Packet&& packet) { on_packet(packet); }
 
   /// Feeds an already-decoded packet (the sharded front-end decodes once at
   /// dispatch time). Does NOT bump packets_total/packets_non_ip — the caller

@@ -397,12 +397,16 @@ void ShardedPipeline::broadcast(Item::Kind kind, std::uint64_t arg0,
 }
 
 void ShardedPipeline::on_packet(const net::Packet& packet) {
+  on_packet(net::Packet(packet));  // one copy; the shard owns its bytes
+}
+
+void ShardedPipeline::on_packet(net::Packet&& packet) {
   check_dispatcher_thread();
   const int dslot = obs_->dispatcher_slot();
   obs_->packets_total.add(dslot);
   Item item;
   item.kind = Item::Kind::Packet;
-  item.packet = packet;  // one copy; the shard owns its bytes
+  item.packet = std::move(packet);
   {
     obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Parse, dslot);
     item.decoded = net::decode(item.packet);

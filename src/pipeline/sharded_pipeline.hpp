@@ -174,8 +174,11 @@ class ShardedPipeline {
   void set_exporter(obs::ExportOptions options);
 
   /// Decodes, shards and enqueues one captured packet, applying the
-  /// configured admission policy when the target ring is full.
+  /// configured admission policy when the target ring is full. The rvalue
+  /// overload moves the packet bytes straight into the shard item — the
+  /// zero-copy ingest the replay/live capture front-ends use.
   void on_packet(const net::Packet& packet);
+  void on_packet(net::Packet&& packet);
 
   /// Routes a decimated volume sample to the owning shard (payload-class
   /// admission under Shed).

@@ -1,5 +1,6 @@
 #include "synth/dataset.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace vpscope::synth {
@@ -118,6 +119,20 @@ Dataset generate_home_dataset(std::uint64_t seed, int total_flows) {
       std::max(1, total_flows / static_cast<int>(combos.size()));
   for (auto& combo : combos) std::get<3>(combo) = per_combo;
   return generate(seed, Environment::Home, combos);
+}
+
+std::vector<net::Packet> packet_stream(const std::vector<LabeledFlow>& flows) {
+  std::vector<net::Packet> stream;
+  std::size_t total = 0;
+  for (const auto& flow : flows) total += flow.packets.size();
+  stream.reserve(total);
+  for (const auto& flow : flows)
+    stream.insert(stream.end(), flow.packets.begin(), flow.packets.end());
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.timestamp_us < b.timestamp_us;
+                   });
+  return stream;
 }
 
 }  // namespace vpscope::synth

@@ -36,4 +36,10 @@ Dataset generate_lab_dataset(std::uint64_t seed, double scale = 1.0);
 /// from version-drifted profiles.
 Dataset generate_home_dataset(std::uint64_t seed, int total_flows = 2000);
 
+/// Merges the flows into one capture-order packet stream: all packets
+/// sorted by timestamp, ties broken by flow order (stable) — what a tap at
+/// the aggregation point would have recorded. The shared front-end for the
+/// pcap exporter, the replay benches and the equivalence tests.
+std::vector<net::Packet> packet_stream(const std::vector<LabeledFlow>& flows);
+
 }  // namespace vpscope::synth

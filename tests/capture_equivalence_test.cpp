@@ -1,0 +1,203 @@
+// The end-to-end bit-identity gate for the capture front-end (DESIGN.md
+// §5i): a synthesized campus mix, exported to pcap and replayed through the
+// decode shim into the sharded pipeline, must produce the exact per-flow
+// session records and aggregate stats of feeding the same packets straight
+// into the single-threaded pipeline — for both linktypes, any shard count,
+// any batch size, and any pacing rate. Replay is a pure transport, never a
+// semantic transform.
+//
+// Runs whole-binary in the `capture` lane and (via the configure-time
+// multi-label workaround) in the sanitizer-targeted `fuzz` and
+// `concurrency` lanes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "capture/export.hpp"
+#include "capture/replay.hpp"
+#include "pipeline/sharded_pipeline.hpp"
+#include "synth/dataset.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vpscope::capture {
+namespace {
+
+using fingerprint::Provider;
+using fingerprint::Transport;
+
+class CaptureEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lab_ = new synth::Dataset(synth::generate_lab_dataset(42, 0.35));
+    bank_ = new pipeline::ClassifierBank();
+    bank_->train(*lab_);
+  }
+  static void TearDownTestSuite() {
+    delete lab_;
+    delete bank_;
+    lab_ = nullptr;
+    bank_ = nullptr;
+  }
+
+  static synth::Dataset* lab_;
+  static pipeline::ClassifierBank* bank_;
+};
+
+synth::Dataset* CaptureEquivalenceTest::lab_ = nullptr;
+pipeline::ClassifierBank* CaptureEquivalenceTest::bank_ = nullptr;
+
+/// Heavily interleaved multi-provider mix, globally time-ordered — the
+/// shape of a real capture feed (same construction as the sharded-pipeline
+/// gate, so the two suites pin the same behavior from different angles).
+std::vector<net::Packet> interleaved_mix(int flows) {
+  struct Case {
+    Provider provider;
+    Transport transport;
+  };
+  static const std::vector<Case> cases = {
+      {Provider::YouTube, Transport::Tcp},
+      {Provider::YouTube, Transport::Quic},
+      {Provider::Netflix, Transport::Tcp},
+      {Provider::Disney, Transport::Tcp},
+      {Provider::Amazon, Transport::Tcp},
+  };
+  Rng rng(4242);
+  synth::FlowSynthesizer synth(rng);
+  std::vector<synth::LabeledFlow> all;
+  for (int i = 0; i < flows; ++i) {
+    const auto& c = cases[static_cast<std::size_t>(i) % cases.size()];
+    const auto platforms = fingerprint::platforms_for(c.provider, c.transport);
+    const auto profile = fingerprint::make_profile(
+        platforms[static_cast<std::size_t>(i) % platforms.size()],
+        c.provider, c.transport);
+    synth::FlowOptions opt;
+    opt.start_time_us = static_cast<std::uint64_t>(i % 40) * 1500;
+    all.push_back(synth.synthesize(profile, opt));
+  }
+  return synth::packet_stream(all);
+}
+
+std::string record_fingerprint(const telemetry::SessionRecord& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << static_cast<int>(r.provider) << '|' << static_cast<int>(r.transport)
+     << '|' << static_cast<int>(r.outcome) << '|';
+  if (r.platform)
+    os << static_cast<int>(r.platform->os) << ','
+       << static_cast<int>(r.platform->agent);
+  os << '|';
+  if (r.device) os << static_cast<int>(*r.device);
+  os << '|';
+  if (r.agent) os << static_cast<int>(*r.agent);
+  os << '|' << r.confidence << '|' << r.sni << '|' << r.counters.first_us
+     << '|' << r.counters.last_us << '|' << r.counters.bytes_down << '|'
+     << r.counters.bytes_up << '|' << r.counters.packets_down << '|'
+     << r.counters.packets_up;
+  return os.str();
+}
+
+TEST_F(CaptureEquivalenceTest, ReplayMatchesDirectFeedAcrossTheMatrix) {
+  const auto packets = interleaved_mix(200);
+
+  // Reference: the packets fed straight into the single-threaded pipeline.
+  pipeline::VideoFlowPipeline reference(bank_);
+  std::vector<std::string> expected;
+  reference.set_sink([&](telemetry::SessionRecord r) {
+    expected.push_back(record_fingerprint(r));
+  });
+  for (const auto& packet : packets) reference.on_packet(packet);
+  reference.flush_all();
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(reference.stats().video_flows, 200u);
+
+  for (const LinkType lt : {LinkType::Raw, LinkType::Ethernet}) {
+    const Bytes blob = export_pcap(packets, {.link_type = lt});
+    for (const int shards : {1, 2, 8}) {
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{32},
+                                      std::size_t{128}}) {
+        pipeline::ShardedPipeline sharded(
+            bank_, {.n_shards = shards,
+                    .queue_capacity = 256,
+                    .batch_size = batch});
+        std::vector<std::string> records;
+        sharded.set_sink([&](telemetry::SessionRecord r) {
+          records.push_back(record_fingerprint(r));
+        });
+        const auto stats = replay_into(blob, sharded);
+        const std::string ctx = "linktype=" +
+                                std::to_string(static_cast<int>(lt)) +
+                                " shards=" + std::to_string(shards) +
+                                " batch=" + std::to_string(batch);
+        ASSERT_TRUE(stats.ok) << ctx << ": " << stats.error;
+        EXPECT_EQ(stats.frames, packets.size()) << ctx;
+        EXPECT_EQ(stats.non_ip_frames, 0u) << ctx;
+        EXPECT_EQ(sharded.stats(), reference.stats()) << ctx;
+        EXPECT_EQ(sharded.active_flows(), 0u) << ctx;
+        std::sort(records.begin(), records.end());
+        EXPECT_EQ(records, expected) << ctx;
+      }
+    }
+  }
+}
+
+TEST_F(CaptureEquivalenceTest, PacingNeverChangesRecords) {
+  // A small mix so the paced run stays fast even at finite speedup.
+  const auto packets = interleaved_mix(40);
+  const Bytes blob = export_pcap(packets);
+
+  auto run = [&](double pace) {
+    pipeline::ShardedPipeline sharded(
+        bank_, {.n_shards = 2, .queue_capacity = 256});
+    std::vector<std::string> records;
+    sharded.set_sink([&](telemetry::SessionRecord r) {
+      records.push_back(record_fingerprint(r));
+    });
+    const auto stats = replay_into(blob, sharded, ReplayOptions{.pace = pace});
+    EXPECT_TRUE(stats.ok) << stats.error;
+    std::sort(records.begin(), records.end());
+    return records;
+  };
+
+  const auto afap = run(0.0);
+  const auto paced = run(20'000.0);
+  ASSERT_FALSE(afap.empty());
+  EXPECT_EQ(afap, paced);
+}
+
+TEST_F(CaptureEquivalenceTest, IdleFlushDuringReplayMatchesDirectFlush) {
+  // The flush hook ages idle flows on *packet* time; driving it during the
+  // replay must yield the same record multiset as flushing the direct-feed
+  // pipeline at the same packet-time points (here: all at once at EOF,
+  // since the idle timeout exceeds the capture span).
+  const auto packets = interleaved_mix(60);
+  const Bytes blob = export_pcap(packets);
+
+  pipeline::VideoFlowPipeline reference(bank_);
+  std::vector<std::string> expected;
+  reference.set_sink([&](telemetry::SessionRecord r) {
+    expected.push_back(record_fingerprint(r));
+  });
+  for (const auto& packet : packets) reference.on_packet(packet);
+  reference.flush_all();
+  std::sort(expected.begin(), expected.end());
+
+  pipeline::ShardedPipeline sharded(
+      bank_, {.n_shards = 2, .queue_capacity = 256});
+  std::vector<std::string> records;
+  sharded.set_sink([&](telemetry::SessionRecord r) {
+    records.push_back(record_fingerprint(r));
+  });
+  const auto stats = replay_into(
+      blob, sharded,
+      ReplayOptions{.flush_interval_us = 10'000,
+                    .idle_timeout_us = 300'000'000});
+  ASSERT_TRUE(stats.ok) << stats.error;
+  std::sort(records.begin(), records.end());
+  EXPECT_EQ(records, expected);
+}
+
+}  // namespace
+}  // namespace vpscope::capture

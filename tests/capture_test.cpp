@@ -1,0 +1,512 @@
+// Capture front-end units (DESIGN.md §5i): the pcap engine's wire-format
+// strictness across endianness/precision/linktype variants, the Ethernet
+// header + VLAN shim, the TPACKETv3 block walker on kernel-layout block
+// images, the synth->pcap exporter's determinism, and the replay driver's
+// shim/pacing/accounting behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "capture/afpacket.hpp"
+#include "capture/export.hpp"
+#include "capture/pcap.hpp"
+#include "capture/replay.hpp"
+#include "net/ethernet.hpp"
+#include "net/pcap.hpp"
+#include "synth/dataset.hpp"
+
+namespace vpscope::capture {
+namespace {
+
+std::uint32_t rd32le(const Bytes& b, std::size_t at) {
+  return static_cast<std::uint32_t>(b[at]) |
+         static_cast<std::uint32_t>(b[at + 1]) << 8 |
+         static_cast<std::uint32_t>(b[at + 2]) << 16 |
+         static_cast<std::uint32_t>(b[at + 3]) << 24;
+}
+
+void wr32le(Bytes& b, std::size_t at, std::uint32_t v) {
+  b[at] = static_cast<std::uint8_t>(v);
+  b[at + 1] = static_cast<std::uint8_t>(v >> 8);
+  b[at + 2] = static_cast<std::uint8_t>(v >> 16);
+  b[at + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/// The byte-swapped (opposite-endian) twin of a canonical LE blob.
+Bytes byteswapped(Bytes blob) {
+  auto swap32 = [&](std::size_t at) {
+    std::swap(blob[at], blob[at + 3]);
+    std::swap(blob[at + 1], blob[at + 2]);
+  };
+  swap32(0);
+  std::swap(blob[4], blob[5]);
+  std::swap(blob[6], blob[7]);
+  swap32(8);
+  swap32(12);
+  swap32(16);
+  swap32(20);
+  std::size_t off = 24;
+  while (off + 16 <= blob.size()) {
+    const std::uint32_t caplen = rd32le(blob, off + 8);
+    swap32(off);
+    swap32(off + 4);
+    swap32(off + 8);
+    swap32(off + 12);
+    off += 16 + caplen;
+  }
+  return blob;
+}
+
+Bytes sample_blob(LinkType link_type) {
+  PcapWriter writer(link_type);
+  // Two tiny IPv4-looking records (version nibble 4) and one IPv6-looking.
+  const Bytes v4 = {0x45, 0x00, 0x00, 0x04, 0xaa, 0xbb, 0xcc, 0xdd};
+  const Bytes v6 = {0x60, 0x01, 0x02, 0x03, 0x04, 0x05};
+  auto frame = [&](const Bytes& ip) {
+    return link_type == LinkType::Ethernet ? ethernet_frame_of(ip) : ip;
+  };
+  writer.add(1'000'000, frame(v4));
+  writer.add(1'000'500, frame(v6));
+  writer.add(2'000'000, frame(v4));
+  return std::move(writer).take();
+}
+
+TEST(PcapEngine, RoundTripBothLinktypes) {
+  for (const LinkType lt : {LinkType::Raw, LinkType::Ethernet}) {
+    const Bytes blob = sample_blob(lt);
+    auto reader = PcapReader::open(blob);
+    ASSERT_TRUE(reader) << static_cast<int>(lt);
+    EXPECT_EQ(reader->info().link_type, lt);
+    EXPECT_FALSE(reader->info().swapped);
+    EXPECT_FALSE(reader->info().nanos);
+    std::vector<std::uint64_t> ts;
+    while (const auto f = reader->next()) ts.push_back(f->timestamp_us);
+    EXPECT_FALSE(reader->error()) << reader->error_message();
+    EXPECT_EQ(ts, (std::vector<std::uint64_t>{1'000'000, 1'000'500,
+                                              2'000'000}));
+  }
+}
+
+TEST(PcapEngine, ReadsByteSwappedFiles) {
+  const Bytes blob = sample_blob(LinkType::Raw);
+  const Bytes swapped = byteswapped(blob);
+  auto le = PcapReader::open(blob);
+  auto be = PcapReader::open(swapped);
+  ASSERT_TRUE(le);
+  ASSERT_TRUE(be);
+  EXPECT_TRUE(be->info().swapped);
+  for (;;) {
+    const auto a = le->next();
+    const auto b = be->next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    EXPECT_EQ(a->timestamp_us, b->timestamp_us);
+    EXPECT_EQ(a->orig_len, b->orig_len);
+    EXPECT_TRUE(std::equal(a->bytes.begin(), a->bytes.end(),
+                           b->bytes.begin(), b->bytes.end()));
+  }
+  EXPECT_FALSE(be->error()) << be->error_message();
+}
+
+TEST(PcapEngine, NanosecondMagicTruncatesToMicroseconds) {
+  Bytes blob = sample_blob(LinkType::Raw);
+  wr32le(blob, 0, 0xa1b23c4d);
+  // Rewrite the first record's fraction field as nanoseconds.
+  wr32le(blob, 24 + 4, 123'456'789);
+  auto reader = PcapReader::open(blob);
+  ASSERT_TRUE(reader);
+  EXPECT_TRUE(reader->info().nanos);
+  const auto f = reader->next();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->timestamp_us % 1'000'000, 123'456u);
+}
+
+TEST(PcapEngine, WriterTruncatesToSnaplenAndKeepsOrigLen) {
+  PcapWriter writer(LinkType::Raw, /*snaplen=*/8);
+  Bytes big(100, 0x42);
+  big[0] = 0x45;
+  writer.add(7, big);
+  const Bytes blob = std::move(writer).take();
+  auto reader = PcapReader::open(blob);
+  ASSERT_TRUE(reader);
+  const auto f = reader->next();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->bytes.size(), 8u);
+  EXPECT_EQ(f->orig_len, 100u);
+  EXPECT_FALSE(reader->next());
+  EXPECT_FALSE(reader->error());
+}
+
+TEST(PcapEngine, RejectsStructuralCorruption) {
+  const Bytes good = sample_blob(LinkType::Raw);
+
+  {  // unknown magic
+    Bytes blob = good;
+    wr32le(blob, 0, 0xdeadbeef);
+    EXPECT_FALSE(PcapReader::open(blob));
+  }
+  {  // version major != 2
+    Bytes blob = good;
+    blob[4] = 3;
+    EXPECT_FALSE(PcapReader::open(blob));
+  }
+  {  // unsupported linktype (LINKTYPE_LINUX_SLL)
+    Bytes blob = good;
+    wr32le(blob, 20, 113);
+    EXPECT_FALSE(PcapReader::open(blob));
+  }
+  {  // caplen past the remaining bytes — the allocation-bomb shape
+    Bytes blob = good;
+    wr32le(blob, 24 + 8, 0xffffffff);
+    auto reader = PcapReader::open(blob);
+    ASSERT_TRUE(reader);
+    EXPECT_FALSE(reader->next());
+    EXPECT_TRUE(reader->error());
+  }
+  {  // caplen > orig_len: physically impossible
+    Bytes blob = good;
+    wr32le(blob, 24 + 12, 1);
+    auto reader = PcapReader::open(blob);
+    ASSERT_TRUE(reader);
+    EXPECT_FALSE(reader->next());
+    EXPECT_TRUE(reader->error());
+  }
+  {  // timestamp fraction past one second
+    Bytes blob = good;
+    wr32le(blob, 24 + 4, 1'000'000);
+    auto reader = PcapReader::open(blob);
+    ASSERT_TRUE(reader);
+    EXPECT_FALSE(reader->next());
+    EXPECT_TRUE(reader->error());
+  }
+  {  // record header truncated mid-field
+    Bytes blob = good;
+    blob.resize(24 + 10);
+    auto reader = PcapReader::open(blob);
+    ASSERT_TRUE(reader);
+    EXPECT_FALSE(reader->next());
+    EXPECT_TRUE(reader->error());
+  }
+}
+
+TEST(PcapEngine, DistinguishesCleanEofFromTruncation) {
+  const Bytes good = sample_blob(LinkType::Raw);
+  {  // exactly the header: zero frames, no error
+    Bytes blob(good.begin(), good.begin() + 24);
+    auto reader = PcapReader::open(blob);
+    ASSERT_TRUE(reader);
+    EXPECT_FALSE(reader->next());
+    EXPECT_FALSE(reader->error());
+  }
+  {  // one byte into the next record header: error
+    Bytes blob = good;
+    const std::uint32_t caplen0 = rd32le(good, 24 + 8);
+    blob.resize(24 + 16 + caplen0 + 1);
+    auto reader = PcapReader::open(blob);
+    ASSERT_TRUE(reader);
+    EXPECT_TRUE(reader->next());
+    EXPECT_FALSE(reader->next());
+    EXPECT_TRUE(reader->error());
+  }
+}
+
+TEST(Ethernet, HeaderRoundTripAndSyntheticMacs) {
+  const Bytes payload = {0x45, 0x01, 0x02, 0x03};
+  net::EthernetHeader hdr;
+  hdr.dst = net::synthetic_mac(ByteView(payload).subspan(0, 2));
+  hdr.src = net::synthetic_mac(ByteView(payload).subspan(2, 2));
+  hdr.ethertype = net::kEtherTypeIpv4;
+  const Bytes frame = hdr.serialize(payload);
+  ASSERT_EQ(frame.size(), net::EthernetHeader::kSize + payload.size());
+
+  std::size_t l3 = 0;
+  const auto parsed = net::EthernetHeader::parse(frame, &l3);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(l3, net::EthernetHeader::kSize);
+  EXPECT_EQ(parsed->dst, hdr.dst);
+  EXPECT_EQ(parsed->src, hdr.src);
+  EXPECT_EQ(parsed->ethertype, net::kEtherTypeIpv4);
+  EXPECT_EQ(parsed->vlan_tags, 0);
+
+  // Locally administered (bit 1), unicast (bit 0 clear), deterministic.
+  EXPECT_EQ(hdr.dst[0] & 0x03, 0x02);
+  EXPECT_EQ(net::synthetic_mac(ByteView(payload).subspan(0, 2)), hdr.dst);
+}
+
+TEST(Ethernet, VlanTagsSkippedUpToTwoThenRejected) {
+  const Bytes payload = {0x45, 0x00};
+  net::EthernetHeader hdr;
+  hdr.ethertype = net::kEtherTypeIpv4;
+  Bytes frame = hdr.serialize(payload);
+
+  auto inject = [&](std::uint16_t tpid) {
+    const std::uint8_t tag[4] = {static_cast<std::uint8_t>(tpid >> 8),
+                                 static_cast<std::uint8_t>(tpid), 0x00, 0x2a};
+    frame.insert(frame.begin() + 12, tag, tag + 4);
+  };
+
+  inject(net::kEtherTypeVlan);
+  std::size_t l3 = 0;
+  auto parsed = net::EthernetHeader::parse(frame, &l3);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->vlan_tags, 1);
+  EXPECT_EQ(parsed->ethertype, net::kEtherTypeIpv4);
+  EXPECT_EQ(l3, net::EthernetHeader::kSize + 4);
+
+  inject(net::kEtherTypeQinQ);  // QinQ outer + 802.1Q inner: still fine
+  parsed = net::EthernetHeader::parse(frame, &l3);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->vlan_tags, 2);
+  EXPECT_EQ(l3, net::EthernetHeader::kSize + 8);
+
+  inject(net::kEtherTypeVlan);  // a third stacked tag: rejected
+  EXPECT_FALSE(net::EthernetHeader::parse(frame, &l3));
+
+  EXPECT_FALSE(net::EthernetHeader::parse(
+      ByteView(frame).subspan(0, 10), &l3));  // truncated header
+}
+
+TEST(FrameShim, EthernetStripAndRawPassthrough) {
+  const Bytes v4 = {0x45, 0x00, 0x00, 0x14, 1, 2, 3, 4, 5, 6,
+                    7,    8,    9,    10,   11, 12, 13, 14, 15, 16};
+  const Bytes frame = ethernet_frame_of(v4);
+
+  const auto raw = ip_datagram_of(v4, LinkType::Raw);
+  ASSERT_TRUE(raw);
+  EXPECT_TRUE(std::equal(raw->begin(), raw->end(), v4.begin(), v4.end()));
+
+  const auto stripped = ip_datagram_of(frame, LinkType::Ethernet);
+  ASSERT_TRUE(stripped);
+  EXPECT_TRUE(
+      std::equal(stripped->begin(), stripped->end(), v4.begin(), v4.end()));
+
+  // Non-IP ethertype (ARP) is a per-frame skip, not an error.
+  Bytes arp = frame;
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  EXPECT_FALSE(ip_datagram_of(arp, LinkType::Ethernet));
+
+  // Deterministic framing: same datagram, same frame bytes.
+  EXPECT_EQ(ethernet_frame_of(v4), frame);
+}
+
+TEST(BlockWalker, WalksKernelLayoutImage) {
+  const Bytes a = {0x45, 1, 2, 3};
+  const Bytes b = {0x60, 9, 8, 7, 6};
+  std::vector<RingFrame> frames(2);
+  frames[0].timestamp_us = 5'000'123;
+  frames[0].orig_len = 64;
+  frames[0].bytes = a;
+  frames[1].timestamp_us = 5'000'456;
+  frames[1].bytes = b;
+  const Bytes image = build_block_image(frames);
+
+  TpacketBlockWalker walker(image);
+  EXPECT_EQ(walker.num_packets(), 2u);
+  const auto f0 = walker.next();
+  ASSERT_TRUE(f0);
+  EXPECT_EQ(f0->timestamp_us, 5'000'123u);
+  EXPECT_EQ(f0->orig_len, 64u);
+  EXPECT_TRUE(std::equal(f0->bytes.begin(), f0->bytes.end(), a.begin(),
+                         a.end()));
+  const auto f1 = walker.next();
+  ASSERT_TRUE(f1);
+  EXPECT_EQ(f1->orig_len, b.size());
+  EXPECT_TRUE(std::equal(f1->bytes.begin(), f1->bytes.end(), b.begin(),
+                         b.end()));
+  EXPECT_FALSE(walker.next());
+  EXPECT_FALSE(walker.error()) << walker.error_message();
+}
+
+TEST(BlockWalker, RejectsHostileDescriptors) {
+  const Bytes a = {0x45, 1, 2, 3};
+  std::vector<RingFrame> frames(2);
+  frames[0].bytes = a;
+  frames[1].bytes = a;
+  const Bytes good = build_block_image(frames);
+
+  {  // truncated below the descriptor
+    TpacketBlockWalker walker(ByteView(good).subspan(0, 32));
+    EXPECT_TRUE(walker.error());
+    EXPECT_FALSE(walker.next());
+  }
+  {  // wrong version
+    Bytes image = good;
+    image[0] = 2;
+    TpacketBlockWalker walker(image);
+    EXPECT_TRUE(walker.error());
+  }
+  {  // offset_to_first_pkt escaping the block
+    Bytes image = good;
+    wr32le(image, 16, static_cast<std::uint32_t>(image.size()));
+    TpacketBlockWalker walker(image);
+    EXPECT_TRUE(walker.error());
+  }
+  {  // tp_next_offset loop attack: next_offset = 0 with packets remaining
+    Bytes image = good;
+    const std::uint32_t first = rd32le(image, 16);
+    wr32le(image, first, 0);
+    TpacketBlockWalker walker(image);
+    EXPECT_TRUE(walker.next());   // the first frame itself is valid
+    EXPECT_FALSE(walker.next());  // then the walk stops with an error
+    EXPECT_TRUE(walker.error());
+  }
+  {  // num_pkts inflated past the block contents
+    Bytes image = good;
+    wr32le(image, 12, 1000);
+    TpacketBlockWalker walker(image);
+    std::size_t walked = 0;
+    while (walker.next()) ++walked;
+    EXPECT_TRUE(walker.error());
+    EXPECT_LE(walked, 2u);
+  }
+}
+
+TEST(Exporter, GoldenCorpusIsDeterministicAndComplete) {
+  const auto corpus_a = build_golden_corpus(2024);
+  const auto corpus_b = build_golden_corpus(2024);
+  ASSERT_EQ(corpus_a.size(), corpus_b.size());
+  ASSERT_FALSE(corpus_a.empty());
+
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < corpus_a.size(); ++i) {
+    EXPECT_EQ(corpus_a[i].name, corpus_b[i].name);
+    EXPECT_EQ(corpus_a[i].pcap, corpus_b[i].pcap) << corpus_a[i].name;
+    EXPECT_TRUE(names.insert(corpus_a[i].name).second)
+        << "duplicate case name " << corpus_a[i].name;
+    // Every golden file must parse cleanly as Ethernet pcap.
+    auto reader = PcapReader::open(corpus_a[i].pcap);
+    ASSERT_TRUE(reader) << corpus_a[i].name;
+    EXPECT_EQ(reader->info().link_type, LinkType::Ethernet);
+    while (reader->next()) {
+    }
+    EXPECT_FALSE(reader->error()) << corpus_a[i].name;
+  }
+  // One case per platform x supported transport: TCP is universal in the
+  // Table 1 matrix, so there are at least as many cases as platforms.
+  EXPECT_GE(corpus_a.size(), fingerprint::all_platforms().size());
+
+  // Different seed, different flows (the corpus is seed-derived, not
+  // hard-coded).
+  const auto corpus_c = build_golden_corpus(2025);
+  ASSERT_EQ(corpus_c.size(), corpus_a.size());
+  EXPECT_NE(corpus_c.front().pcap, corpus_a.front().pcap);
+}
+
+TEST(Replay, CountsShimSkipsAndTruncationsAndBytes) {
+  PcapWriter writer(LinkType::Ethernet, /*snaplen=*/40);
+  const Bytes v4 = {0x45, 0, 0, 30, 1, 2, 3, 4, 5, 6, 7, 8,
+                    9,    10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20,
+                    21,   22, 23, 24, 25, 26, 27, 28, 29, 30};
+  writer.add(100, ethernet_frame_of(v4));  // 14 + 34 > 40: truncated
+  net::EthernetHeader arp;
+  arp.ethertype = 0x0806;
+  const Bytes arp_body = {1, 2, 3, 4};
+  writer.add(200, arp.serialize(arp_body));  // non-IP: skipped
+  const Bytes small = {0x45, 0, 0, 8, 9, 9, 9, 9};
+  writer.add(300, ethernet_frame_of(small));
+  const Bytes blob = std::move(writer).take();
+
+  std::vector<net::Packet> delivered;
+  ReplayDriver driver;
+  const auto stats = driver.replay(
+      blob, [&](net::Packet&& p) { delivered.push_back(std::move(p)); });
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.frames, 2u);
+  EXPECT_EQ(stats.non_ip_frames, 1u);
+  EXPECT_EQ(stats.truncated_frames, 1u);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].timestamp_us, 100u);
+  EXPECT_EQ(delivered[0].data.size(), 40u - 14u);  // snaplen-cut datagram
+  EXPECT_EQ(delivered[1].data, small);
+  EXPECT_GT(stats.wire_bytes, stats.captured_bytes);  // truncation showed up
+}
+
+TEST(Replay, PacedDeliveryPreservesPacketsExactly) {
+  // Pacing must change only wall-clock delivery, never content or order.
+  synth::FlowSynthesizer synth(Rng(7));
+  const auto flow = synth.synthesize(fingerprint::make_profile(
+      fingerprint::all_platforms().front(), fingerprint::Provider::YouTube,
+      fingerprint::Transport::Tcp));
+  const Bytes blob = export_pcap(flow.packets);
+
+  auto run = [&](double pace) {
+    std::vector<net::Packet> out;
+    ReplayDriver driver(ReplayOptions{.pace = pace});
+    const auto stats = driver.replay(
+        blob, [&](net::Packet&& p) { out.push_back(std::move(p)); });
+    EXPECT_TRUE(stats.ok) << stats.error;
+    return out;
+  };
+  const auto afap = run(0.0);
+  const auto paced = run(50'000.0);  // 50000x: fast but through the pacer
+  ASSERT_EQ(afap.size(), paced.size());
+  for (std::size_t i = 0; i < afap.size(); ++i) {
+    EXPECT_EQ(afap[i].timestamp_us, paced[i].timestamp_us);
+    EXPECT_EQ(afap[i].data, paced[i].data);
+  }
+}
+
+TEST(Replay, FlushHookFiresOnPacketTime) {
+  PcapWriter writer(LinkType::Raw);
+  const Bytes v4 = {0x45, 0, 0, 4};
+  writer.add(0, v4);
+  writer.add(2'500'000, v4);
+  writer.add(5'100'000, v4);
+  const Bytes blob = std::move(writer).take();
+
+  std::vector<std::uint64_t> flushes;
+  ReplayDriver driver(ReplayOptions{.flush_interval_us = 1'000'000});
+  driver.set_flush_hook(
+      [&](std::uint64_t now_us, std::uint64_t) { flushes.push_back(now_us); });
+  const auto stats = driver.replay(blob, [](net::Packet&&) {});
+  ASSERT_TRUE(stats.ok);
+  // Hook fires for every whole interval of packet time that elapsed.
+  EXPECT_EQ(flushes, (std::vector<std::uint64_t>{
+                         1'000'000, 2'000'000, 3'000'000, 4'000'000,
+                         5'000'000}));
+}
+
+TEST(AfPacket, ProbeFailsGracefullyWithoutPrivileges) {
+  // The runtime probe contract: open() either succeeds (Linux with
+  // CAP_NET_RAW) or returns a diagnostic — it must never crash or throw.
+  AfPacketOptions options;
+  options.interface_name = "vpscope-no-such-interface";
+  AfPacketRing ring;
+  const auto err = ring.open(options, 0);
+  EXPECT_FALSE(ring.is_open() && err.has_value());
+  if (!AfPacketRing::compiled_in()) {
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("not compiled in"), std::string::npos);
+  } else {
+    // Whatever the privilege level, a bogus interface cannot open.
+    ASSERT_TRUE(err.has_value());
+  }
+  EXPECT_FALSE(ring.is_open());
+}
+
+TEST(AfPacket, LiveLoopbackCaptureWhenPrivileged) {
+  if (!AfPacketRing::compiled_in()) GTEST_SKIP() << "no AF_PACKET support";
+  AfPacketOptions options;
+  options.interface_name = "lo";
+  options.block_size = 1 << 16;
+  options.block_count = 4;
+  options.block_timeout_ms = 20;
+  AfPacketRing ring;
+  if (const auto err = ring.open(options, 0))
+    GTEST_SKIP() << "cannot open AF_PACKET ring: " << *err;
+  // Privileged environment: drain whatever shows up (possibly nothing) and
+  // verify the walk + retire cycle and the stats call do not misbehave.
+  for (int i = 0; i < 3; ++i)
+    ring.poll_block([](const RingFrame&) {}, /*timeout_ms=*/10);
+  (void)ring.stats();
+  ring.close();
+  EXPECT_FALSE(ring.is_open());
+}
+
+}  // namespace
+}  // namespace vpscope::capture
