@@ -1,0 +1,236 @@
+// Model hot-swap overhead characterization (DESIGN.md §5j / EXPERIMENTS.md):
+// the lifecycle's promise is that zero-downtime swaps cost (almost) nothing
+// when no swap is happening — the classify hot path pays one relaxed
+// pointer load per packet to notice a pending generation. Two measurements:
+//
+//  1. Steady state: identical traffic through a bare pipeline vs a
+//     lifecycle-attached pipeline with no swap in flight, interleaved
+//     best-of-7 (acceptance target: <= 1% overhead).
+//  2. Swap latency: publish cost (swap_to itself) and swap-to-visible cost
+//     (publish + the first packet classified under the new generation),
+//     p50/p99 over 100 live swaps into an actively-fed pipeline.
+//
+// Results are written to BENCH_swap.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "pipeline/model_lifecycle.hpp"
+#include "pipeline/pipeline.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace vpscope;
+
+constexpr int kFlows = 400;
+constexpr int kRepeats = 7;
+constexpr int kSwaps = 100;
+
+std::shared_ptr<const pipeline::ClassifierBank> swap_bank(std::uint64_t seed) {
+  pipeline::BankParams params;
+  params.forest.seed = seed;
+  auto bank = std::make_shared<pipeline::ClassifierBank>();
+  bank->train(bench::lab_dataset(), params);
+  return bank;
+}
+
+const std::shared_ptr<const pipeline::ClassifierBank>& bank_a() {
+  static const auto bank = swap_bank(1);
+  return bank;
+}
+
+const std::shared_ptr<const pipeline::ClassifierBank>& bank_b() {
+  static const auto bank = swap_bank(2);
+  return bank;
+}
+
+/// Full video flows — handshake AND payload — cycled over the five
+/// scenarios, so the timed loop is the real per-packet hot path.
+const std::vector<net::Packet>& bench_packets() {
+  static const std::vector<net::Packet> packets = [] {
+    Rng rng(99);
+    synth::FlowSynthesizer synth(rng);
+    std::vector<net::Packet> out;
+    for (int i = 0; i < kFlows; ++i) {
+      const auto& c =
+          bench::scenario_cases()[static_cast<std::size_t>(i) %
+                                  bench::scenario_cases().size()];
+      const auto platforms =
+          fingerprint::platforms_for(c.provider, c.transport);
+      const auto profile = fingerprint::make_profile(
+          platforms[static_cast<std::size_t>(i) % platforms.size()],
+          c.provider, c.transport);
+      synth::FlowOptions opt;
+      opt.start_time_us = static_cast<std::uint64_t>(i) * 1000;
+      opt.payload_bytes = 200'000;
+      opt.payload_duration_us = 1'000'000;
+      const auto flow = synth.synthesize(profile, opt);
+      out.insert(out.end(), flow.packets.begin(), flow.packets.end());
+    }
+    return out;
+  }();
+  return packets;
+}
+
+/// One timed feed+flush; returns elapsed seconds. `lifecycle` non-null
+/// attaches the pipeline as reader slot 0 (no swap ever happens — this
+/// lane prices the idle probe, not a rollout).
+double run_once(pipeline::ModelLifecycle* lifecycle) {
+  const auto& traffic = bench_packets();
+  pipeline::VideoFlowPipeline pipe(lifecycle ? nullptr : bank_a().get());
+  if (lifecycle) pipe.attach_lifecycle(lifecycle, 0);
+  pipe.set_sink([](telemetry::SessionRecord) {});
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& p : traffic) pipe.on_packet(p);
+  pipe.flush_all();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+struct Percentiles {
+  double p50 = 0;
+  double p99 = 0;
+};
+
+Percentiles percentiles(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const auto at = [&](double q) {
+    return v[std::min(v.size() - 1,
+                      static_cast<std::size_t>(q * static_cast<double>(
+                                                       v.size())))];
+  };
+  return {at(0.50), at(0.99)};
+}
+
+struct SwapLatency {
+  Percentiles publish_us;
+  Percentiles visible_us;
+};
+
+/// 100 live swaps into an actively-fed single-threaded pipeline: publish =
+/// the swap_to call; visible = publish plus the first packet classified
+/// after it (the reader adopts at its next safe point, so this is the full
+/// "new model is serving" latency).
+SwapLatency measure_swaps() {
+  const auto& traffic = bench_packets();
+  pipeline::ModelLifecycle lifecycle(bank_a(), 1);
+  pipeline::VideoFlowPipeline pipe(nullptr);
+  pipe.attach_lifecycle(&lifecycle, 0);
+  pipe.set_sink([](telemetry::SessionRecord) {});
+
+  std::vector<double> publish_us, visible_us;
+  publish_us.reserve(kSwaps);
+  visible_us.reserve(kSwaps);
+  const std::size_t gap = std::max<std::size_t>(1, traffic.size() / kSwaps);
+  bool use_b = true;
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    if (i % gap == gap - 1 &&
+        publish_us.size() < static_cast<std::size_t>(kSwaps)) {
+      const auto t0 = std::chrono::steady_clock::now();
+      lifecycle.swap_to(use_b ? bank_b() : bank_a());
+      const auto t1 = std::chrono::steady_clock::now();
+      pipe.on_packet(traffic[i]);
+      const auto t2 = std::chrono::steady_clock::now();
+      use_b = !use_b;
+      publish_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+      visible_us.push_back(
+          std::chrono::duration<double, std::micro>(t2 - t0).count());
+      lifecycle.collect();
+    } else {
+      pipe.on_packet(traffic[i]);
+    }
+  }
+  pipe.flush_all();
+  return {percentiles(std::move(publish_us)),
+          percentiles(std::move(visible_us))};
+}
+
+void write_json(double baseline_us, double lifecycle_us, double overhead_pct,
+                const SwapLatency& swaps) {
+  std::ofstream json("BENCH_swap.json");
+  json << "{\n"
+       << "  \"bench\": \"swap\",\n"
+       << "  \"flows\": " << kFlows << ",\n"
+       << "  \"packets\": " << bench_packets().size() << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"target_overhead_pct\": 1.0,\n"
+       << "  \"steady_state\": {\"baseline_us_per_packet\": " << baseline_us
+       << ", \"lifecycle_us_per_packet\": " << lifecycle_us
+       << ", \"overhead_pct\": " << overhead_pct << "},\n"
+       << "  \"swap\": {\"swaps\": " << kSwaps
+       << ", \"publish_us_p50\": " << swaps.publish_us.p50
+       << ", \"publish_us_p99\": " << swaps.publish_us.p99
+       << ", \"visible_us_p50\": " << swaps.visible_us.p50
+       << ", \"visible_us_p99\": " << swaps.visible_us.p99 << "}\n"
+       << "}\n";
+}
+
+void report() {
+  std::cout << "== Model lifecycle overhead: RCU hot-swap (DESIGN.md §5j) "
+               "==\n"
+            << kFlows << " video flows (" << bench_packets().size()
+            << " packets) single-threaded, best of " << kRepeats
+            << " interleaved runs per lane.\n";
+  (void)bank_a();
+  (void)bank_b();  // train outside every timed region
+
+  pipeline::ModelLifecycle lifecycle(bank_a(), 1);
+  double baseline_s = 1e30, lifecycle_s = 1e30;
+  run_once(nullptr);  // untimed warm-up
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    baseline_s = std::min(baseline_s, run_once(nullptr));
+    lifecycle_s = std::min(lifecycle_s, run_once(&lifecycle));
+  }
+  const double n = static_cast<double>(bench_packets().size());
+  const double baseline_us = 1e6 * baseline_s / n;
+  const double lifecycle_us = 1e6 * lifecycle_s / n;
+  const double overhead_pct =
+      100.0 * (lifecycle_us - baseline_us) / baseline_us;
+
+  const SwapLatency swaps = measure_swaps();
+
+  TextTable table({"lane", "us/packet", "overhead"});
+  table.add_row({"baseline", TextTable::num(baseline_us, 4), "-"});
+  table.add_row({"lifecycle", TextTable::num(lifecycle_us, 4),
+                 TextTable::num(overhead_pct, 2) + "%"});
+  table.print(std::cout);
+  std::cout << "swap latency over " << kSwaps
+            << " live swaps: publish p50 "
+            << TextTable::num(swaps.publish_us.p50, 1) << " us, p99 "
+            << TextTable::num(swaps.publish_us.p99, 1)
+            << " us; swap-to-visible p50 "
+            << TextTable::num(swaps.visible_us.p50, 1) << " us, p99 "
+            << TextTable::num(swaps.visible_us.p99, 1) << " us.\n"
+            << "acceptance target: lifecycle lane within 1% of baseline "
+               "(negative = within run-to-run noise).\n";
+
+  write_json(baseline_us, lifecycle_us, overhead_pct, swaps);
+  std::cout << "machine-readable results: BENCH_swap.json\n";
+}
+
+// ---- microbenchmark: the per-packet probe itself ----
+
+void BM_AdoptProbeNoSwapPending(benchmark::State& state) {
+  // The steady-state cost the lifecycle adds to every packet: one relaxed
+  // peek and a pointer compare.
+  pipeline::ModelLifecycle lifecycle(bank_a(), 1);
+  pipeline::VideoFlowPipeline pipe(nullptr);
+  pipe.attach_lifecycle(&lifecycle, 0);
+  for (auto _ : state) {
+    pipe.maybe_adopt_generation();
+    benchmark::DoNotOptimize(&pipe);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdoptProbeNoSwapPending)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+VPSCOPE_BENCH_MAIN(report)

@@ -11,20 +11,30 @@
 //   live_classifier --iface <name> [--seconds <n>]
 //       tap a real interface via the TPACKETv3 ring (needs CAP_NET_RAW;
 //       try --iface lo and some local HTTPS traffic)
+//   live_classifier --model-dir <dir> [n_flows]
+//       serve from a watched model directory (DESIGN.md §5j): dir/bank.vpsb
+//       is loaded (or trained and published on first run), new *.vpsb drops
+//       are admitted through the lifecycle's canary rollout between traffic
+//       rounds, and SIGHUP forces an immediate rescan — retrain, save_bank
+//       into the directory, kill -HUP, and watch the generation move
 //
 // With a prometheus_path argument (synth mode), the observability registry
 // is written there in Prometheus text format after the run; stage latencies
 // are profiled and printed in every mode.
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <thread>
 
 #include "capture/afpacket.hpp"
 #include "capture/replay.hpp"
 #include "obs/export.hpp"
+#include "pipeline/bank_serialize.hpp"
+#include "pipeline/model_lifecycle.hpp"
 #include "pipeline/pipeline.hpp"
 #include "synth/dataset.hpp"
 
@@ -247,11 +257,121 @@ int run_synth(int n_flows, const char* prometheus_path) {
   return 0;
 }
 
+// ---- --model-dir: zero-downtime model lifecycle (DESIGN.md §5j) ----
+
+/// Async-signal-safe flag only: the handler must not touch the lifecycle.
+volatile std::sig_atomic_t g_sighup = 0;
+void on_sighup(int) { g_sighup = 1; }
+
+int run_model_dir(const char* dir, int n_flows) {
+  // Install before the (seconds-long) initial training: a HUP arriving
+  // while we bootstrap must queue a rescan, not kill the process.
+  std::signal(SIGHUP, on_sighup);
+  const std::string bank_path = std::string(dir) + "/bank.vpsb";
+  std::string why;
+  std::shared_ptr<const pipeline::ClassifierBank> initial;
+  if (auto loaded = pipeline::load_bank(bank_path, &why)) {
+    std::printf("loaded %s\n", bank_path.c_str());
+    initial = std::make_shared<const pipeline::ClassifierBank>(
+        std::move(*loaded));
+  } else {
+    std::printf("no servable bank at %s (%s)\n", bank_path.c_str(),
+                why.c_str());
+    auto trained = std::make_shared<pipeline::ClassifierBank>(train_bank());
+    if (const auto ec = pipeline::save_bank(*trained, bank_path))
+      std::printf("warning: cannot publish %s: %s\n", bank_path.c_str(),
+                  ec.message().c_str());
+    else
+      std::printf("published %s\n", bank_path.c_str());
+    initial = std::move(trained);
+  }
+
+  // Console-demo scale: route 40% of flows to an armed canary and judge it
+  // after 10 flows per route, so a rollout resolves within the few rounds
+  // the demo runs (production defaults would need thousands of flows).
+  pipeline::LifecycleOptions lifecycle_options;
+  lifecycle_options.canary_permille = 400;
+  lifecycle_options.canary_min_flows = 10;
+  lifecycle_options.stable_min_flows = 10;
+  pipeline::ModelLifecycle lifecycle(initial, 1, lifecycle_options);
+  pipeline::ModelDirWatcher watcher(&lifecycle, dir);
+  watcher.poll();  // adopt the directory's initial inventory silently
+
+  pipeline::VideoFlowPipeline pipe(nullptr);
+  pipe.attach_lifecycle(&lifecycle, 0);
+  int session_no = 0;
+  pipe.set_sink([&session_no](telemetry::SessionRecord record) {
+    print_session(++session_no, record);
+  });
+
+  constexpr int kRounds = 6;
+  const int flows_per_round = std::max(1, n_flows / kRounds);
+  Rng rng(1234);
+  synth::FlowSynthesizer synthesizer(rng.fork());
+  std::uint64_t now = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<net::Packet> stream;
+    for (int i = 0; i < flows_per_round; ++i) {
+      const auto platform = rng.pick(fingerprint::all_platforms());
+      const auto provider = fingerprint::all_providers()[rng.uniform_int(0, 3)];
+      const auto transport =
+          fingerprint::supports_quic(platform, provider) && rng.bernoulli(0.4)
+              ? Transport::Quic
+              : Transport::Tcp;
+      if (!fingerprint::supports_tcp(platform, provider) &&
+          transport == Transport::Tcp) {
+        --i;
+        continue;
+      }
+      synth::FlowOptions options;
+      options.start_time_us = now;
+      const auto flow = synthesizer.synthesize(
+          fingerprint::make_profile(platform, provider, transport), options);
+      stream.insert(stream.end(), flow.packets.begin(), flow.packets.end());
+      now += rng.uniform(50'000, 500'000);
+    }
+    std::sort(stream.begin(), stream.end(),
+              [](const net::Packet& a, const net::Packet& b) {
+                return a.timestamp_us < b.timestamp_us;
+              });
+    for (const auto& packet : stream) pipe.on_packet(packet);
+    pipe.flush_all();
+
+    // Control plane between rounds: rescan the directory (immediately on
+    // SIGHUP), feed the canary scoreboard judge.
+    if (g_sighup) {
+      g_sighup = 0;
+      std::puts("SIGHUP: rescanning model directory");
+    }
+    std::string log;
+    if (watcher.poll(&log) > 0) std::fputs(log.c_str(), stdout);
+    const auto decision = lifecycle.poll();
+    if (decision == pipeline::ModelLifecycle::Decision::Promoted)
+      std::puts("canary PROMOTED to stable");
+    else if (decision == pipeline::ModelLifecycle::Decision::RolledBack)
+      std::puts("canary ROLLED BACK (artifact quarantined)");
+    const auto status = lifecycle.status();
+    std::printf(
+        "round %d/%d: generation=%llu model_gen=%llu canary=%s "
+        "swaps=%llu rollbacks=%llu quarantined=%llu\n",
+        round + 1, kRounds, static_cast<unsigned long long>(status.generation),
+        static_cast<unsigned long long>(status.model_generation),
+        status.canary_active ? "ACTIVE" : "-",
+        static_cast<unsigned long long>(status.swaps),
+        static_cast<unsigned long long>(status.rollbacks),
+        static_cast<unsigned long long>(status.quarantined));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  print_summary(pipe);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* pcap_path = nullptr;
   const char* iface = nullptr;
+  const char* model_dir = nullptr;
   double pace = 0.0;
   int seconds = 10;
   int n_flows = 120;
@@ -267,11 +387,14 @@ int main(int argc, char** argv) {
       pace = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       seconds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--model-dir") == 0 && i + 1 < argc) {
+      model_dir = argv[++i];
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: live_classifier [n_flows] [prometheus_path]\n"
                    "       live_classifier --pcap <file> [--pace <x>]\n"
-                   "       live_classifier --iface <name> [--seconds <n>]\n");
+                   "       live_classifier --iface <name> [--seconds <n>]\n"
+                   "       live_classifier --model-dir <dir> [n_flows]\n");
       return 2;
     } else if (positional == 0) {
       n_flows = std::atoi(argv[i]);
@@ -284,5 +407,6 @@ int main(int argc, char** argv) {
 
   if (pcap_path) return run_pcap(pcap_path, pace);
   if (iface) return run_live(iface, seconds);
+  if (model_dir) return run_model_dir(model_dir, n_flows);
   return run_synth(n_flows, prometheus_path);
 }

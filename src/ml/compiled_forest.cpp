@@ -90,6 +90,11 @@ CompiledForest CompiledForest::compile(const RandomForest& forest) {
     while (!stack.empty()) {
       const std::int32_t at = stack.back();
       stack.pop_back();
+      // A node revisited during the flatten means the source has a cycle
+      // (DecisionTree::deserialize rejects those; a hand-built forest could
+      // still carry one) — fail loudly instead of growing `order` forever.
+      if (remap[static_cast<std::size_t>(at)] != -1)
+        throw std::invalid_argument("cycle in decision tree");
       remap[static_cast<std::size_t>(at)] =
           base + static_cast<std::int32_t>(order.size());
       order.push_back(at);

@@ -1,9 +1,14 @@
 #include "ml/serialize.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace vpscope::ml {
 
@@ -136,13 +141,91 @@ std::optional<RandomForest> deserialize_forest(ByteView data) {
   return std::move(bundle->forest);
 }
 
+namespace {
+
+std::error_code last_errno() {
+  return std::error_code(errno ? errno : EIO, std::generic_category());
+}
+
+/// open/write-loop/close with every return value checked. The previous
+/// ofstream writer could buffer a short write and only learn about it (or
+/// not) at destruction — a truncated model file that loads as "corrupt"
+/// much later, far from the cause.
+std::error_code write_fd_all(int fd, ByteView data) {
+  const std::uint8_t* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return last_errno();
+    }
+    if (n == 0) return std::make_error_code(std::errc::io_error);
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+std::error_code write_file_checked_impl(const std::string& path,
+                                        ByteView data, bool sync) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return last_errno();
+  std::error_code ec = write_fd_all(fd, data);
+  if (!ec && sync && ::fsync(fd) != 0) ec = last_errno();
+  if (::close(fd) != 0 && !ec) ec = last_errno();
+  return ec;
+}
+
+/// fsync the directory containing `path`, so the rename itself is durable.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fsync
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::error_code write_file_checked(const std::string& path, ByteView data) {
+  return write_file_checked_impl(path, data, /*sync=*/false);
+}
+
+std::error_code write_file_atomic_sync(const std::string& path,
+                                       ByteView data) {
+  const std::string tmp = path + ".tmp";
+  if (const std::error_code ec =
+          write_file_checked_impl(tmp, data, /*sync=*/true)) {
+    ::unlink(tmp.c_str());
+    return ec;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::error_code ec = last_errno();
+    ::unlink(tmp.c_str());
+    return ec;
+  }
+  sync_parent_dir(path);
+  return {};
+}
+
+std::error_code save_forest_atomic(const RandomForest& forest,
+                                   const std::string& path) {
+  return write_file_atomic_sync(path, serialize_forest(forest));
+}
+
+std::error_code save_bundle_atomic(const RandomForest& forest,
+                                   const core::FeatureEncoder& encoder,
+                                   const std::string& path) {
+  return write_file_atomic_sync(path, serialize_bundle(forest, encoder));
+}
+
 bool save_forest(const RandomForest& forest, const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return false;
-  const Bytes data = serialize_forest(forest);
-  file.write(reinterpret_cast<const char*>(data.data()),
-             static_cast<std::streamsize>(data.size()));
-  return static_cast<bool>(file);
+  return !write_file_checked(path, serialize_forest(forest));
 }
 
 std::optional<RandomForest> load_forest(const std::string& path) {
@@ -156,12 +239,7 @@ std::optional<RandomForest> load_forest(const std::string& path) {
 bool save_bundle(const RandomForest& forest,
                  const core::FeatureEncoder& encoder,
                  const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return false;
-  const Bytes data = serialize_bundle(forest, encoder);
-  file.write(reinterpret_cast<const char*>(data.data()),
-             static_cast<std::streamsize>(data.size()));
-  return static_cast<bool>(file);
+  return !write_file_checked(path, serialize_bundle(forest, encoder));
 }
 
 std::optional<ForestBundle> load_bundle(const std::string& path) {

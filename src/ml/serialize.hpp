@@ -17,6 +17,7 @@
 
 #include <iosfwd>
 #include <optional>
+#include <system_error>
 
 #include "core/encoder.hpp"
 #include "ml/compiled_forest.hpp"
@@ -54,6 +55,25 @@ std::optional<ForestBundle> deserialize_bundle(ByteView data);
 bool save_bundle(const RandomForest& forest,
                  const core::FeatureEncoder& encoder, const std::string& path);
 std::optional<ForestBundle> load_bundle(const std::string& path);
+
+/// Writes `data` to `path` with every write(2) return value checked: a
+/// short write, a full disk, or a failed close surfaces as the std::errc it
+/// maps to instead of a silently truncated file. {} on success.
+std::error_code write_file_checked(const std::string& path, ByteView data);
+
+/// Atomic publish protocol for model artifacts: write `path`.tmp, fsync the
+/// file (and the containing directory), then rename(2) over `path`. A
+/// concurrent reader — or a model-dir watcher — observes either the old
+/// complete file or the new complete file, never a partial one. The
+/// temporary is unlinked on any failure.
+std::error_code write_file_atomic_sync(const std::string& path, ByteView data);
+
+/// save_forest/save_bundle through the atomic publish protocol above.
+std::error_code save_forest_atomic(const RandomForest& forest,
+                                   const std::string& path);
+std::error_code save_bundle_atomic(const RandomForest& forest,
+                                   const core::FeatureEncoder& encoder,
+                                   const std::string& path);
 
 /// Deserializes a forest and lowers it directly into the inference-only
 /// compiled form — the capture-server load path: models are trained and

@@ -223,6 +223,19 @@ std::optional<DecisionTree> DecisionTree::deserialize(Reader& r) {
          node.right >= static_cast<int>(node_count)))
       return std::nullopt;
   }
+  // Shape validation: in-degree <= 1 for every node and 0 for the root.
+  // Range checks alone admit a child index pointing back at an ancestor;
+  // anything walking such a "tree" (descend, CompiledForest's preorder
+  // flatten) would loop forever (fuzz: allocation bomb from a single
+  // flipped child-index byte).
+  std::vector<std::uint8_t> in_degree(node_count, 0);
+  for (const Node& node : tree.nodes_) {
+    if (node.feature < 0) continue;
+    if (++in_degree[static_cast<std::size_t>(node.left)] > 1 ||
+        ++in_degree[static_cast<std::size_t>(node.right)] > 1)
+      return std::nullopt;
+  }
+  if (in_degree[0] != 0) return std::nullopt;
   const std::uint16_t importance_size = r.u16();
   if (!r.ok() || importance_size > r.remaining() / 8) return std::nullopt;
   tree.importances_.resize(importance_size);

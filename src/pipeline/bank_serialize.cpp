@@ -1,0 +1,266 @@
+#include "pipeline/bank_serialize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "ml/serialize.hpp"
+#include "pipeline/faultpoint.hpp"
+#include "util/crc32.hpp"
+
+namespace vpscope::pipeline {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x56505342;  // "VPSB"
+constexpr std::uint16_t kVersion = 1;
+constexpr std::uint32_t kMaxScenarios = 64;
+constexpr std::uint32_t kMaxClasses = 4096;
+
+/// Largest feature index any tree of the forest descends on; -1 for a
+/// forest of pure leaves.
+int max_feature_index(const ml::RandomForest& forest) {
+  int max_feature = -1;
+  for (const auto& tree : forest.trees())
+    for (const auto& node : tree.nodes())
+      max_feature = std::max(max_feature, node.feature);
+  return max_feature;
+}
+
+}  // namespace
+
+Bytes serialize_bank(const ClassifierBank& bank) {
+  Writer payload;
+  payload.u64(std::bit_cast<std::uint64_t>(bank.confidence_threshold()));
+  const auto keys = bank.scenario_keys();
+  payload.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const auto& [provider, transport] : keys) {
+    const ClassifierBank::Scenario* s = bank.scenario(provider, transport);
+    payload.u8(static_cast<std::uint8_t>(provider));
+    payload.u8(static_cast<std::uint8_t>(transport));
+
+    payload.u32(static_cast<std::uint32_t>(s->platform_classes.size()));
+    for (const auto& platform : s->platform_classes) {
+      payload.u8(static_cast<std::uint8_t>(platform.os));
+      payload.u8(static_cast<std::uint8_t>(platform.agent));
+    }
+    payload.u32(static_cast<std::uint32_t>(s->device_classes.size()));
+    for (const auto os : s->device_classes)
+      payload.u8(static_cast<std::uint8_t>(os));
+    payload.u32(static_cast<std::uint32_t>(s->agent_classes.size()));
+    for (const auto agent : s->agent_classes)
+      payload.u8(static_cast<std::uint8_t>(agent));
+
+    const auto blob = [&payload](const Bytes& bytes) {
+      payload.u32(static_cast<std::uint32_t>(bytes.size()));
+      payload.raw(bytes);
+    };
+    // The platform blob is a v2 ml bundle so the fitted encoder travels with
+    // the bank; the partial-objective forests share that encoder and ship v1.
+    blob(ml::serialize_bundle(s->platform_model, s->encoder));
+    blob(ml::serialize_forest(s->device_model));
+    blob(ml::serialize_forest(s->agent_model));
+  }
+
+  const Bytes body = std::move(payload).take();
+  Writer w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(crc32(body));
+  w.u64(body.size());
+  w.raw(body);
+  return std::move(w).take();
+}
+
+std::optional<ClassifierBank> deserialize_bank(ByteView data,
+                                               std::string* why) {
+  const auto fail = [why](const char* reason) {
+    if (why) *why = reason;
+    return std::nullopt;
+  };
+
+  Reader r(data);
+  if (r.u32() != kMagic || !r.ok()) return fail("bad magic");
+  if (r.u16() != kVersion || !r.ok()) return fail("unsupported version");
+  const std::uint32_t crc = r.u32();
+  const std::uint64_t payload_size = r.u64();
+  if (!r.ok()) return fail("truncated header");
+  // Exact-size framing: together with the payload-wide CRC below, any byte
+  // flipped, inserted, or removed anywhere in the artifact is rejected here
+  // — before a single structural field is trusted.
+  if (payload_size != r.remaining()) return fail("payload size mismatch");
+  const ByteView payload = r.view(payload_size);
+  if (crc32(payload) != crc) return fail("payload crc mismatch");
+
+  Reader p(payload);
+  const double threshold = std::bit_cast<double>(p.u64());
+  if (!p.ok() || !(threshold >= 0.0 && threshold <= 1.0))
+    return fail("confidence threshold out of range");
+  const std::uint32_t scenario_count = p.u32();
+  if (!p.ok() || scenario_count == 0 || scenario_count > kMaxScenarios)
+    return fail("scenario count out of range");
+
+  ClassifierBank bank;
+  bank.set_confidence_threshold(threshold);
+  std::vector<std::pair<int, int>> seen;
+
+  for (std::uint32_t i = 0; i < scenario_count; ++i) {
+    const std::uint8_t provider = p.u8();
+    const std::uint8_t transport = p.u8();
+    if (!p.ok() || provider >= fingerprint::kNumProviders || transport > 1)
+      return fail("scenario key out of range");
+    const std::pair<int, int> key{provider, transport};
+    if (std::find(seen.begin(), seen.end(), key) != seen.end())
+      return fail("duplicate scenario");
+    seen.push_back(key);
+
+    ClassifierBank::Scenario scenario;
+
+    std::uint32_t n = p.u32();
+    // Every class entry below occupies >= 1 byte; a count the remaining
+    // bytes cannot back must not reserve (fuzz: allocation bomb).
+    if (!p.ok() || n == 0 || n > kMaxClasses || n > p.remaining() / 2)
+      return fail("platform class list out of range");
+    scenario.platform_classes.reserve(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const std::uint8_t os = p.u8();
+      const std::uint8_t agent = p.u8();
+      if (!p.ok() || os > static_cast<std::uint8_t>(
+                              fingerprint::Os::PlayStation) ||
+          agent > static_cast<std::uint8_t>(fingerprint::Agent::NativeApp))
+        return fail("platform class out of range");
+      scenario.platform_classes.push_back(
+          {static_cast<fingerprint::Os>(os),
+           static_cast<fingerprint::Agent>(agent)});
+    }
+
+    n = p.u32();
+    if (!p.ok() || n == 0 || n > kMaxClasses || n > p.remaining())
+      return fail("device class list out of range");
+    scenario.device_classes.reserve(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const std::uint8_t os = p.u8();
+      if (!p.ok() ||
+          os > static_cast<std::uint8_t>(fingerprint::Os::PlayStation))
+        return fail("device class out of range");
+      scenario.device_classes.push_back(static_cast<fingerprint::Os>(os));
+    }
+
+    n = p.u32();
+    if (!p.ok() || n == 0 || n > kMaxClasses || n > p.remaining())
+      return fail("agent class list out of range");
+    scenario.agent_classes.reserve(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const std::uint8_t agent = p.u8();
+      if (!p.ok() ||
+          agent > static_cast<std::uint8_t>(fingerprint::Agent::NativeApp))
+        return fail("agent class out of range");
+      scenario.agent_classes.push_back(static_cast<fingerprint::Agent>(agent));
+    }
+
+    const auto blob = [&p](std::string* blob_why,
+                           const char* what) -> std::optional<ByteView> {
+      const std::uint32_t len = p.u32();
+      if (!p.ok() || len > p.remaining()) {
+        if (blob_why) *blob_why = what;
+        return std::nullopt;
+      }
+      return p.view(len);
+    };
+
+    const auto platform_view = blob(why, "platform model blob truncated");
+    if (!platform_view) return std::nullopt;
+    auto platform_bundle = ml::deserialize_bundle(*platform_view);
+    if (!platform_bundle) return fail("platform model blob malformed");
+    if (!platform_bundle->encoder)
+      return fail("platform model blob lacks an encoder");
+    if (platform_bundle->encoder->transport() !=
+        static_cast<fingerprint::Transport>(transport))
+      return fail("encoder transport does not match the scenario");
+    if (platform_bundle->forest.num_classes() !=
+        static_cast<int>(scenario.platform_classes.size()))
+      return fail("platform forest class count mismatch");
+
+    const auto device_view = blob(why, "device model blob truncated");
+    if (!device_view) return std::nullopt;
+    auto device_forest = ml::deserialize_forest(*device_view);
+    if (!device_forest) return fail("device model blob malformed");
+    if (device_forest->num_classes() !=
+        static_cast<int>(scenario.device_classes.size()))
+      return fail("device forest class count mismatch");
+
+    const auto agent_view = blob(why, "agent model blob truncated");
+    if (!agent_view) return std::nullopt;
+    auto agent_forest = ml::deserialize_forest(*agent_view);
+    if (!agent_forest) return fail("agent model blob malformed");
+    if (agent_forest->num_classes() !=
+        static_cast<int>(scenario.agent_classes.size()))
+      return fail("agent forest class count mismatch");
+
+    scenario.encoder = std::move(*platform_bundle->encoder);
+    scenario.platform_model = std::move(platform_bundle->forest);
+    scenario.device_model = std::move(*device_forest);
+    scenario.agent_model = std::move(*agent_forest);
+
+    // A tree that descends on a feature the encoder never produces would
+    // read past the feature vector at classify time.
+    const int dim = static_cast<int>(scenario.encoder.dimension());
+    if (max_feature_index(scenario.platform_model) >= dim ||
+        max_feature_index(scenario.device_model) >= dim ||
+        max_feature_index(scenario.agent_model) >= dim)
+      return fail("forest descends on a feature outside the encoder");
+
+    bank.install_scenario(static_cast<fingerprint::Provider>(provider),
+                          static_cast<fingerprint::Transport>(transport),
+                          std::move(scenario));
+  }
+
+  if (!p.ok() || !p.empty()) return fail("trailing bytes after last scenario");
+  return bank;
+}
+
+std::error_code save_bank(const ClassifierBank& bank,
+                          const std::string& path) {
+  const Bytes data = serialize_bank(bank);
+  const std::string tmp = path + ".tmp";
+  if (const std::error_code ec = ml::write_file_checked(tmp, data)) {
+    std::remove(tmp.c_str());
+    return ec;
+  }
+  // Durability of the temporary before the rename makes it visible.
+  if (const int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC); fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  // A crash (or injected fault) here leaves `path` untouched: the watcher
+  // skips *.tmp, so the half-published artifact is never admitted.
+  VPSCOPE_FAULTPOINT(fault::Point::LifecyclePublish);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::error_code ec(errno ? errno : EIO, std::generic_category());
+    std::remove(tmp.c_str());
+    return ec;
+  }
+  return {};
+}
+
+std::optional<ClassifierBank> load_bank(const std::string& path,
+                                        std::string* why) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    if (why) *why = "cannot open " + path;
+    return std::nullopt;
+  }
+  const Bytes data{std::istreambuf_iterator<char>(file),
+                   std::istreambuf_iterator<char>()};
+  return deserialize_bank(data, why);
+}
+
+}  // namespace vpscope::pipeline

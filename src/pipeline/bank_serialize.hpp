@@ -1,0 +1,59 @@
+// Whole-bank model artifact ("VPSB"): every trained scenario of a
+// ClassifierBank — class lists, the three forests, the fitted encoder — in
+// one integrity-checked file. This is the unit the model lifecycle
+// (DESIGN.md §5j) admits, canaries, and hot-swaps: the offline trainer
+// produces one .vpsb, the capture server validates and publishes it
+// atomically, and a crash at any byte of that hand-off leaves the previous
+// artifact serving.
+//
+// Layout (big-endian, util/bytes Writer/Reader):
+//   u32 magic "VPSB"    u16 version(1)
+//   u32 crc32(payload)  u64 payload_size   -- must equal the exact remainder
+//   payload:
+//     u64 confidence threshold (IEEE-754 bit pattern)
+//     u32 scenario count (1..64)
+//     per scenario:
+//       u8 provider  u8 transport
+//       u32 n + n × (u8 os, u8 agent)   composite class list
+//       u32 n + n × u8 os               device class list
+//       u32 n + n × u8 agent            agent class list
+//       u32 len + ml v2 bundle          platform forest + fitted encoder
+//       u32 len + ml v1 forest          device forest
+//       u32 len + ml v1 forest          agent forest
+//
+// The exact-size check plus the payload-wide CRC mean any single flipped,
+// inserted, or removed byte is rejected before parsing; the structural
+// validation behind them (enum ranges, class-count/forest agreement, every
+// tree's feature indices inside the encoder dimension) rejects artifacts
+// that are well-formed bytes but would misbehave at classify time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <system_error>
+
+#include "pipeline/classifier_bank.hpp"
+#include "util/bytes.hpp"
+
+namespace vpscope::pipeline {
+
+/// Serializes every trained scenario (bank.scenario_keys() order).
+Bytes serialize_bank(const ClassifierBank& bank);
+
+/// Parses and fully validates a VPSB artifact. nullopt on any integrity or
+/// compatibility failure; `why`, when given, receives a one-line reason.
+/// The returned bank has its forests compiled and is ready to serve.
+std::optional<ClassifierBank> deserialize_bank(ByteView data,
+                                               std::string* why = nullptr);
+
+/// Publishes `bank` at `path` via the atomic tmp + fsync + rename protocol;
+/// a crash mid-publish leaves any previous file at `path` intact (the
+/// leftover *.tmp is invisible to ModelDirWatcher). Fault point:
+/// LifecyclePublish, between the temporary write and the rename.
+std::error_code save_bank(const ClassifierBank& bank, const std::string& path);
+
+/// Reads and validates a VPSB file. nullopt + `why` on failure.
+std::optional<ClassifierBank> load_bank(const std::string& path,
+                                        std::string* why = nullptr);
+
+}  // namespace vpscope::pipeline

@@ -96,6 +96,26 @@ const ClassifierBank::Scenario* ClassifierBank::scenario(
   return it == scenarios_.end() ? nullptr : &it->second;
 }
 
+void ClassifierBank::install_scenario(Provider provider, Transport transport,
+                                      Scenario scenario) {
+  scenario.platform_compiled =
+      ml::CompiledForest::compile(scenario.platform_model);
+  scenario.device_compiled = ml::CompiledForest::compile(scenario.device_model);
+  scenario.agent_compiled = ml::CompiledForest::compile(scenario.agent_model);
+  scenarios_.insert_or_assign(scenario_key(provider, transport),
+                              std::move(scenario));
+}
+
+std::vector<std::pair<Provider, Transport>> ClassifierBank::scenario_keys()
+    const {
+  std::vector<std::pair<Provider, Transport>> keys;
+  keys.reserve(scenarios_.size());
+  for (const auto& [key, scenario] : scenarios_)
+    keys.emplace_back(static_cast<Provider>(key.first),
+                      static_cast<Transport>(key.second));
+  return keys;
+}
+
 PlatformPrediction ClassifierBank::classify(const core::FlowHandshake& handshake,
                                             Provider provider,
                                             obs::StageProfiler* profiler,

@@ -95,7 +95,21 @@ class ClassifierBank {
   const Scenario* scenario(fingerprint::Provider provider,
                            fingerprint::Transport transport) const;
 
+  /// Installs one trained scenario (the bundle load path — DESIGN.md §5j);
+  /// replaces any existing scenario for the key and (re)compiles the three
+  /// forests. Never call on a bank that is being read concurrently — build
+  /// a fresh bank and publish it through ModelLifecycle instead.
+  void install_scenario(fingerprint::Provider provider,
+                        fingerprint::Transport transport, Scenario scenario);
+
+  /// The trained (provider, transport) keys in deterministic (map) order —
+  /// the iteration order bank serialization uses.
+  std::vector<std::pair<fingerprint::Provider, fingerprint::Transport>>
+  scenario_keys() const;
+
   double confidence_threshold() const { return threshold_; }
+  /// Same concurrency caveat as install_scenario.
+  void set_confidence_threshold(double threshold) { threshold_ = threshold; }
 
   /// Deferred cross-flow classification (DESIGN.md §5g): ready flows are
   /// encoded immediately (into per-scenario row-major feature matrices —

@@ -1,89 +1,219 @@
 #include "pipeline/drift.hpp"
 
+#include <algorithm>
+#include <string>
+
 namespace vpscope::pipeline {
+
+namespace {
+
+std::pair<int, int> scenario_key(fingerprint::Provider provider,
+                                 fingerprint::Transport transport) {
+  return {static_cast<int>(provider), static_cast<int>(transport)};
+}
+
+std::string scenario_labels(fingerprint::Provider provider,
+                            fingerprint::Transport transport) {
+  std::string labels = "provider=\"";
+  labels += fingerprint::to_string(provider);
+  labels += "\",transport=\"";
+  labels += fingerprint::to_string(transport);
+  labels += "\"";
+  return labels;
+}
+
+/// Derives the rates and the calibration/drift gates from summed raw
+/// accumulators — shared by compute() (one monitor) and merge() (the
+/// accumulator sums of many shard monitors). Confidence means are over
+/// composite flows only: rejected flows contribute to the reject rate, not
+/// to the confidence signal.
+void finish(DriftMonitor::Status& status, const DriftConfig& config) {
+  status.calibrated = status.baseline_n >= config.calibration;
+  if (!status.calibrated || status.baseline_n == 0) return;
+
+  status.baseline_reject_rate =
+      1.0 - static_cast<double>(status.baseline_composite) /
+                static_cast<double>(status.baseline_n);
+  status.baseline_confidence =
+      status.baseline_composite
+          ? status.baseline_confidence_sum /
+                static_cast<double>(status.baseline_composite)
+          : 0.0;
+
+  if (status.window_n < config.window / 4)
+    return;  // not enough post-calibration traffic to judge
+
+  status.recent_reject_rate =
+      1.0 - static_cast<double>(status.window_composite) /
+                static_cast<double>(status.window_n);
+  status.recent_confidence =
+      status.window_composite
+          ? status.window_confidence_sum /
+                static_cast<double>(status.window_composite)
+          : 0.0;
+
+  status.drifting =
+      status.recent_reject_rate >
+          status.baseline_reject_rate + config.reject_margin ||
+      (status.window_composite > 0 &&
+       status.recent_confidence <
+           status.baseline_confidence - config.confidence_margin);
+}
+
+}  // namespace
 
 void DriftMonitor::record(fingerprint::Provider provider,
                           fingerprint::Transport transport,
-                          telemetry::Outcome outcome, double confidence) {
-  auto& scenario = scenarios_[{static_cast<int>(provider),
-                               static_cast<int>(transport)}];
+                          telemetry::Outcome outcome, double confidence,
+                          std::uint64_t ts_us) {
+  Scenario& scenario = scenarios_[scenario_key(provider, transport)];
   ++scenario.observed;
-  const bool composite = outcome == telemetry::Outcome::Composite;
 
+  // Clamp against non-monotonic capture clocks exactly like flush_idle's
+  // idle accounting does: a sample stamped before the newest one this
+  // scenario has seen is treated as arriving "now". It can therefore never
+  // age the window backwards, wrap the subtraction below, or mass-evict the
+  // window on a clock step.
+  const std::uint64_t ts = std::max(ts_us, scenario.last_ts_us);
+  scenario.last_ts_us = ts;
+
+  const bool composite = outcome == telemetry::Outcome::Composite;
   if (scenario.baseline_n < config_.calibration) {
     ++scenario.baseline_n;
     scenario.baseline_composite += composite;
     if (composite) scenario.baseline_confidence_sum += confidence;
-    return;  // calibration flows don't enter the sliding window
+  } else {
+    // calibration flows don't enter the sliding window
+    scenario.window.push_back({composite, confidence, ts});
+    if (scenario.window.size() > config_.window) scenario.window.pop_front();
+    if (config_.max_sample_age_us > 0) {
+      while (!scenario.window.empty() &&
+             ts - scenario.window.front().ts_us > config_.max_sample_age_us)
+        scenario.window.pop_front();
+    }
   }
 
-  scenario.window.push_back({composite, confidence});
-  if (scenario.window.size() > config_.window) scenario.window.pop_front();
+  if (registry_ && (scenario.observed & 63) == 0)
+    refresh_gauges(provider, transport, scenario);
 }
 
 const DriftMonitor::Scenario* DriftMonitor::find(
     fingerprint::Provider provider, fingerprint::Transport transport) const {
-  const auto it = scenarios_.find(
-      {static_cast<int>(provider), static_cast<int>(transport)});
+  const auto it = scenarios_.find(scenario_key(provider, transport));
   return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+DriftMonitor::Status DriftMonitor::compute(const Scenario& scenario) const {
+  Status status;
+  status.observed = scenario.observed;
+  status.baseline_n = scenario.baseline_n;
+  status.baseline_composite = scenario.baseline_composite;
+  status.baseline_confidence_sum = scenario.baseline_confidence_sum;
+  status.window_n = scenario.window.size();
+  for (const Sample& sample : scenario.window) {
+    if (sample.composite) {
+      ++status.window_composite;
+      status.window_confidence_sum += sample.confidence;
+    }
+  }
+  finish(status, config_);
+  return status;
 }
 
 DriftMonitor::Status DriftMonitor::status(
     fingerprint::Provider provider, fingerprint::Transport transport) const {
-  Status status;
   const Scenario* scenario = find(provider, transport);
-  if (!scenario) return status;
+  if (!scenario) return {};
+  return compute(*scenario);
+}
 
-  status.observed = scenario->observed;
-  status.calibrated = scenario->baseline_n >= config_.calibration;
-  if (!status.calibrated || scenario->baseline_n == 0) return status;
-
-  status.baseline_reject_rate =
-      1.0 - static_cast<double>(scenario->baseline_composite) /
-                static_cast<double>(scenario->baseline_n);
-  status.baseline_confidence =
-      scenario->baseline_composite
-          ? scenario->baseline_confidence_sum /
-                static_cast<double>(scenario->baseline_composite)
-          : 0.0;
-
-  if (scenario->window.size() < config_.window / 4)
-    return status;  // not enough post-calibration traffic to judge
-
-  std::size_t composite = 0;
-  double confidence_sum = 0.0;
-  for (const Sample& sample : scenario->window) {
-    composite += sample.composite;
-    if (sample.composite) confidence_sum += sample.confidence;
+DriftMonitor::Status DriftMonitor::merge(std::span<const Status> shards,
+                                         const DriftConfig& config) {
+  Status merged;
+  for (const Status& s : shards) {
+    merged.observed += s.observed;
+    merged.baseline_n += s.baseline_n;
+    merged.baseline_composite += s.baseline_composite;
+    merged.baseline_confidence_sum += s.baseline_confidence_sum;
+    merged.window_n += s.window_n;
+    merged.window_composite += s.window_composite;
+    merged.window_confidence_sum += s.window_confidence_sum;
   }
-  status.recent_reject_rate =
-      1.0 - static_cast<double>(composite) /
-                static_cast<double>(scenario->window.size());
-  status.recent_confidence =
-      composite ? confidence_sum / static_cast<double>(composite) : 0.0;
-
-  status.drifting =
-      status.recent_reject_rate >
-          status.baseline_reject_rate + config_.reject_margin ||
-      (composite > 0 && status.recent_confidence <
-                            status.baseline_confidence -
-                                config_.confidence_margin);
-  return status;
+  finish(merged, config);
+  return merged;
 }
 
 bool DriftMonitor::any_drifting() const {
-  for (const auto& [key, scenario] : scenarios_) {
-    const auto provider = static_cast<fingerprint::Provider>(key.first);
-    const auto transport = static_cast<fingerprint::Transport>(key.second);
-    if (status(provider, transport).drifting) return true;
-  }
+  for (const auto& [key, scenario] : scenarios_)
+    if (compute(scenario).drifting) return true;
   return false;
+}
+
+std::vector<std::pair<fingerprint::Provider, fingerprint::Transport>>
+DriftMonitor::scenario_keys() const {
+  std::vector<std::pair<fingerprint::Provider, fingerprint::Transport>> keys;
+  keys.reserve(scenarios_.size());
+  for (const auto& [key, scenario] : scenarios_)
+    keys.emplace_back(static_cast<fingerprint::Provider>(key.first),
+                      static_cast<fingerprint::Transport>(key.second));
+  return keys;
 }
 
 void DriftMonitor::recalibrate(fingerprint::Provider provider,
                                fingerprint::Transport transport) {
-  scenarios_[{static_cast<int>(provider), static_cast<int>(transport)}] =
-      Scenario{};
+  const auto it = scenarios_.find(scenario_key(provider, transport));
+  if (it == scenarios_.end()) return;
+  Scenario& scenario = it->second;
+  scenario.window.clear();
+  scenario.baseline_n = 0;
+  scenario.baseline_composite = 0;
+  scenario.baseline_confidence_sum = 0.0;
+  if (registry_) refresh_gauges(provider, transport, scenario);
+}
+
+void DriftMonitor::recalibrate_all() {
+  for (auto& [key, scenario] : scenarios_) {
+    scenario.window.clear();
+    scenario.baseline_n = 0;
+    scenario.baseline_composite = 0;
+    scenario.baseline_confidence_sum = 0.0;
+    if (registry_)
+      refresh_gauges(static_cast<fingerprint::Provider>(key.first),
+                     static_cast<fingerprint::Transport>(key.second), scenario);
+  }
+}
+
+void DriftMonitor::bind_obs(obs::Registry* registry, int slot) {
+  registry_ = registry;
+  obs_slot_ = slot;
+}
+
+void DriftMonitor::refresh_gauges(fingerprint::Provider provider,
+                                  fingerprint::Transport transport,
+                                  Scenario& scenario) {
+  if (!scenario.flagged_gauge) {
+    const std::string labels = scenario_labels(provider, transport);
+    scenario.flagged_gauge = &registry_->gauge(
+        "vpscope_drift_flagged",
+        "1 when the scenario's recent window drifts from its baseline",
+        labels);
+    scenario.reject_delta_gauge = &registry_->gauge(
+        "vpscope_drift_reject_delta_milli",
+        "Recent minus baseline non-composite rate, in 1/1000", labels);
+    scenario.confidence_delta_gauge = &registry_->gauge(
+        "vpscope_drift_confidence_delta_milli",
+        "Recent minus baseline mean composite confidence, in 1/1000", labels);
+  }
+  const Status status = compute(scenario);
+  scenario.flagged_gauge->set(obs_slot_, status.drifting ? 1 : 0);
+  scenario.reject_delta_gauge->set(
+      obs_slot_,
+      static_cast<std::int64_t>(
+          (status.recent_reject_rate - status.baseline_reject_rate) * 1000.0));
+  scenario.confidence_delta_gauge->set(
+      obs_slot_,
+      static_cast<std::int64_t>(
+          (status.recent_confidence - status.baseline_confidence) * 1000.0));
 }
 
 }  // namespace vpscope::pipeline

@@ -8,15 +8,22 @@
 // recorded right after (re)training. A scenario is flagged as drifting when
 // its rejected/partial share rises or its mean composite confidence falls
 // materially below the baseline — the operational signal to collect fresh
-// ground truth and retrain that scenario's classifiers.
+// ground truth and retrain that scenario's classifiers. The model lifecycle
+// (DESIGN.md §5j) closes that loop: promotion of a retrained bank calls
+// recalibrate_all() so the new model re-baselines instead of being judged
+// against its predecessor's calibration.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "fingerprint/platform.hpp"
+#include "obs/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vpscope::pipeline {
@@ -30,15 +37,29 @@ struct DriftConfig {
   double reject_margin = 0.10;
   /// Flag when mean composite confidence drops below baseline - this margin.
   double confidence_margin = 0.05;
+  /// Time bound on the sliding window: samples older than this (relative to
+  /// the newest timestamp the scenario has seen) leave the window even when
+  /// the count bound alone would retain them. 0 keeps the window purely
+  /// count-bounded. Timestamps are clamped against non-monotonic capture
+  /// clocks the same way flush_idle's idle_us is — a backwards-stamped
+  /// sample neither ages the window nor wraps the arithmetic.
+  std::uint64_t max_sample_age_us = 0;
 };
 
 class DriftMonitor {
  public:
   explicit DriftMonitor(DriftConfig config = {}) : config_(config) {}
 
-  /// Records one classified flow's outcome.
+  /// Records one classified flow's outcome. The timestamped overload feeds
+  /// the max_sample_age_us bound; the plain form is equivalent to ts_us = 0
+  /// (count-bounded window only).
   void record(fingerprint::Provider provider, fingerprint::Transport transport,
-              telemetry::Outcome outcome, double confidence);
+              telemetry::Outcome outcome, double confidence) {
+    record(provider, transport, outcome, confidence, 0);
+  }
+  void record(fingerprint::Provider provider, fingerprint::Transport transport,
+              telemetry::Outcome outcome, double confidence,
+              std::uint64_t ts_us);
 
   struct Status {
     bool calibrated = false;   // baseline complete
@@ -48,22 +69,55 @@ class DriftMonitor {
     double recent_reject_rate = 0.0;
     double baseline_confidence = 0.0;
     double recent_confidence = 0.0;
+    // Raw accumulators behind the rates above, exposed so per-shard
+    // statuses merge exactly (ShardedPipeline::drift_status sums these and
+    // re-derives the rates — merge()).
+    std::size_t baseline_n = 0;
+    std::size_t baseline_composite = 0;
+    double baseline_confidence_sum = 0.0;
+    std::size_t window_n = 0;
+    std::size_t window_composite = 0;
+    double window_confidence_sum = 0.0;
   };
 
   Status status(fingerprint::Provider provider,
                 fingerprint::Transport transport) const;
 
+  /// Combines per-shard statuses of ONE scenario into the status a single
+  /// monitor fed with all shards' traffic would report: raw accumulators
+  /// sum, rates re-derive, and the drift/calibration gates re-apply against
+  /// `config` (merged baseline_n vs calibration, merged window_n vs
+  /// window / 4).
+  static Status merge(std::span<const Status> shards,
+                      const DriftConfig& config);
+
   /// True if any scenario is currently flagged.
   bool any_drifting() const;
+
+  /// The (provider, transport) scenarios this monitor has seen traffic for.
+  std::vector<std::pair<fingerprint::Provider, fingerprint::Transport>>
+  scenario_keys() const;
 
   /// Resets a scenario's baseline (call after retraining its classifiers).
   void recalibrate(fingerprint::Provider provider,
                    fingerprint::Transport transport);
 
+  /// Resets every scenario's baseline — what a model-generation bump means:
+  /// the new bank must not be judged against the old bank's calibration.
+  /// Invoked automatically when a pipeline adopts a promoted generation.
+  void recalibrate_all();
+
+  /// Exports drift state as registry gauges, refreshed from record() every
+  /// few samples (amortized): vpscope_drift_flagged plus the reject-rate /
+  /// confidence deltas (milli units), one labeled series per scenario.
+  /// `registry` must outlive the monitor; call before the first record.
+  void bind_obs(obs::Registry* registry, int slot);
+
  private:
   struct Sample {
     bool composite;
     double confidence;
+    std::uint64_t ts_us;  // clamped-monotone staging time (see record)
   };
   struct Scenario {
     std::deque<Sample> window;
@@ -72,13 +126,24 @@ class DriftMonitor {
     std::size_t baseline_n = 0;
     std::size_t baseline_composite = 0;
     double baseline_confidence_sum = 0.0;
+    /// Newest (clamped) timestamp seen; monotone by construction.
+    std::uint64_t last_ts_us = 0;
+    // Lazily registered gauges (null until bind_obs + first record).
+    obs::Gauge* flagged_gauge = nullptr;
+    obs::Gauge* reject_delta_gauge = nullptr;
+    obs::Gauge* confidence_delta_gauge = nullptr;
   };
 
   const Scenario* find(fingerprint::Provider provider,
                        fingerprint::Transport transport) const;
+  Status compute(const Scenario& scenario) const;
+  void refresh_gauges(fingerprint::Provider provider,
+                      fingerprint::Transport transport, Scenario& scenario);
 
   DriftConfig config_;
   std::map<std::pair<int, int>, Scenario> scenarios_;
+  obs::Registry* registry_ = nullptr;
+  int obs_slot_ = 0;
 };
 
 }  // namespace vpscope::pipeline

@@ -40,6 +40,12 @@ namespace vpscope::pipeline::fault {
 enum class Point : int {
   WorkerItem,  // sharded worker, before processing each dequeued item
   SinkEmit,    // VideoFlowPipeline::finalize, before invoking the sink
+  // ---- model lifecycle (DESIGN.md §5j) ----
+  LifecycleLoad,      // ModelLifecycle::offer_file, each bundle read attempt
+  LifecycleValidate,  // ModelLifecycle admission, before parse/validation
+  LifecycleSwap,      // ModelLifecycle::publish, before the generation store
+  LifecycleRetire,    // ModelLifecycle::collect, before freeing a generation
+  LifecyclePublish,   // pipeline::save_bank, between tmp write and rename
   kCount,
 };
 

@@ -1,0 +1,521 @@
+#include "pipeline/model_lifecycle.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <thread>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include "core/handshake.hpp"
+#include "fingerprint/profiles.hpp"
+#include "pipeline/bank_serialize.hpp"
+#include "pipeline/faultpoint.hpp"
+#include "synth/flow_synthesizer.hpp"
+#include "util/rng.hpp"
+
+namespace vpscope::pipeline {
+
+namespace {
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+const char* to_string(AdmissionVerdict verdict) {
+  switch (verdict) {
+    case AdmissionVerdict::Armed:
+      return "Armed";
+    case AdmissionVerdict::ReadFailed:
+      return "ReadFailed";
+    case AdmissionVerdict::BadFormat:
+      return "BadFormat";
+    case AdmissionVerdict::Incompatible:
+      return "Incompatible";
+    case AdmissionVerdict::SmokeFailed:
+      return "SmokeFailed";
+    case AdmissionVerdict::Busy:
+      return "Busy";
+  }
+  return "?";
+}
+
+ModelLifecycle::ModelLifecycle(std::shared_ptr<const ClassifierBank> initial,
+                               int n_reader_slots, LifecycleOptions options)
+    : options_(options),
+      n_slots_(n_reader_slots),
+      slots_(static_cast<std::size_t>(n_reader_slots)),
+      smoke_check_([](const ClassifierBank& bank, std::string* why) {
+        return synth_smoke_check(bank, why);
+      }) {
+  auto first = std::make_unique<Generation>();
+  first->gen = ++next_gen_;
+  first->model_gen = 1;
+  first->stable = std::move(initial);
+  active_.store(first.get(), std::memory_order_seq_cst);
+  history_.push_back(std::move(first));
+}
+
+ModelLifecycle::~ModelLifecycle() = default;
+
+const ModelLifecycle::Generation* ModelLifecycle::acquire(int slot) {
+  auto& epoch = slots_[static_cast<std::size_t>(slot)].epoch;
+  // Store-then-recheck: after the epoch store, either the collector's scan
+  // observes it (and keeps this generation alive), or the recheck observes
+  // a newer active pointer and retries. Both loads and the store are
+  // seq_cst so the two orders cannot disagree (classic Dekker handshake
+  // with collect()'s slot scan).
+  for (;;) {
+    Generation* g = active_.load(std::memory_order_seq_cst);
+    epoch.store(g->gen, std::memory_order_seq_cst);
+    if (active_.load(std::memory_order_seq_cst) == g) return g;
+  }
+}
+
+void ModelLifecycle::release(int slot) {
+  slots_[static_cast<std::size_t>(slot)].epoch.store(
+      kQuiescent, std::memory_order_seq_cst);
+}
+
+void ModelLifecycle::record_outcome(int slot, bool canary_route,
+                                    telemetry::Outcome outcome,
+                                    double confidence) {
+  auto& cells =
+      slots_[static_cast<std::size_t>(slot)].cells[canary_route ? 1 : 0];
+  cells.flows.fetch_add(1, std::memory_order_relaxed);
+  if (outcome == telemetry::Outcome::Composite) {
+    cells.composite.fetch_add(1, std::memory_order_relaxed);
+    cells.confidence_milli.fetch_add(
+        static_cast<std::uint64_t>(confidence * 1000.0 + 0.5),
+        std::memory_order_relaxed);
+  }
+}
+
+void ModelLifecycle::publish(std::unique_ptr<Generation> next) {
+  next->gen = ++next_gen_;
+  // If this throws, `next` is destroyed and the previous generation keeps
+  // serving — the swap never becomes visible half-done.
+  VPSCOPE_FAULTPOINT(fault::Point::LifecycleSwap);
+  Generation* raw = next.get();
+  history_.push_back(std::move(next));
+  active_.store(raw, std::memory_order_seq_cst);
+  ++swaps_;
+}
+
+void ModelLifecycle::swap_to(std::shared_ptr<const ClassifierBank> bank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto next = std::make_unique<Generation>();
+  next->model_gen = history_.back()->model_gen + 1;
+  next->stable = std::move(bank);
+  publish(std::move(next));
+  collect_locked();
+  sync_obs_locked();
+}
+
+AdmissionVerdict ModelLifecycle::offer_bytes(ByteView data, std::string* why) {
+  // Validation runs outside the control mutex: parsing a multi-megabyte
+  // artifact must not block poll()/status() on another control thread.
+  std::optional<ClassifierBank> bank;
+  AdmissionVerdict verdict = AdmissionVerdict::Armed;
+  try {
+    VPSCOPE_FAULTPOINT(fault::Point::LifecycleValidate);
+    bank = deserialize_bank(data, why);
+    if (!bank) verdict = AdmissionVerdict::BadFormat;
+  } catch (...) {
+    if (why) *why = "validation fault";
+    verdict = AdmissionVerdict::Incompatible;
+  }
+  if (verdict == AdmissionVerdict::Armed && smoke_check_ &&
+      !smoke_check_(*bank, why))
+    verdict = AdmissionVerdict::SmokeFailed;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++offers_;
+  if (verdict != AdmissionVerdict::Armed) {
+    ++quarantined_;
+    sync_obs_locked();
+    return verdict;
+  }
+
+  if (history_.back()->canary) {
+    if (why) *why = "a canary rollout is already in flight";
+    sync_obs_locked();
+    return AdmissionVerdict::Busy;
+  }
+  auto shared = std::make_shared<const ClassifierBank>(std::move(*bank));
+  auto next = std::make_unique<Generation>();
+  const Generation& cur = *history_.back();
+  if (options_.canary_permille <= 0) {
+    // Staged rollout disabled: admitted means stable.
+    next->model_gen = cur.model_gen + 1;
+    next->stable = std::move(shared);
+    publish(std::move(next));
+    collect_locked();
+    sync_obs_locked();
+    return AdmissionVerdict::Armed;
+  }
+  // Every reader must be on the current generation before the scoreboard
+  // resets, or a straggler still serving an older bank would pollute the
+  // canary's outcome cells.
+  if (!wait_all_adopted_locked(500'000)) {
+    if (why) *why = "readers did not quiesce onto the current generation";
+    sync_obs_locked();
+    return AdmissionVerdict::Busy;
+  }
+  reset_cells();
+  next->model_gen = cur.model_gen;
+  next->stable = cur.stable;
+  next->canary = std::move(shared);
+  next->canary_permille = std::min(options_.canary_permille, 1000);
+  publish(std::move(next));
+  collect_locked();
+  sync_obs_locked();
+  return AdmissionVerdict::Armed;
+}
+
+AdmissionVerdict ModelLifecycle::offer_file(const std::string& path,
+                                            std::string* why) {
+  Bytes data;
+  bool read_ok = false;
+  const int attempts = std::max(1, options_.admission_retries);
+  for (int attempt = 0; attempt < attempts && !read_ok; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          options_.retry_backoff_us << (attempt - 1)));
+    try {
+      // A publisher mid-rename (or a flaky network filesystem) presents as
+      // a transient read failure; retry with backoff before giving up.
+      VPSCOPE_FAULTPOINT(fault::Point::LifecycleLoad);
+      std::ifstream file(path, std::ios::binary);
+      if (!file) continue;
+      data.assign(std::istreambuf_iterator<char>(file),
+                  std::istreambuf_iterator<char>());
+      if (!file.bad()) read_ok = true;
+    } catch (...) {
+    }
+  }
+  if (!read_ok) {
+    if (why) *why = "cannot read " + path;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++offers_;
+    sync_obs_locked();
+    return AdmissionVerdict::ReadFailed;
+  }
+
+  const AdmissionVerdict verdict = offer_bytes(data, why);
+  if (verdict == AdmissionVerdict::BadFormat ||
+      verdict == AdmissionVerdict::Incompatible ||
+      verdict == AdmissionVerdict::SmokeFailed) {
+    if (options_.quarantine_files) quarantine_file(path);
+  } else if (verdict == AdmissionVerdict::Armed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (history_.back()->canary) canary_source_path_ = path;
+  }
+  return verdict;
+}
+
+ModelLifecycle::Decision ModelLifecycle::poll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Decision decision = Decision::None;
+  const Generation& cur = *history_.back();
+  if (cur.canary) {
+    const RouteTotals stable = sum_route(0);
+    const RouteTotals canary = sum_route(1);
+    if (stable.flows >= options_.stable_min_flows &&
+        canary.flows >= options_.canary_min_flows) {
+      const double stable_reject =
+          1.0 - static_cast<double>(stable.composite) /
+                    static_cast<double>(stable.flows);
+      const double canary_reject =
+          1.0 - static_cast<double>(canary.composite) /
+                    static_cast<double>(canary.flows);
+      bool reject = canary_reject > stable_reject + options_.reject_margin;
+      if (!reject && canary.composite > 0 && stable.composite > 0) {
+        const double stable_conf =
+            static_cast<double>(stable.confidence_milli) / 1000.0 /
+            static_cast<double>(stable.composite);
+        const double canary_conf =
+            static_cast<double>(canary.confidence_milli) / 1000.0 /
+            static_cast<double>(canary.composite);
+        if (canary_conf < stable_conf - options_.confidence_margin)
+          reject = true;
+      }
+      auto next = std::make_unique<Generation>();
+      if (reject) {
+        next->model_gen = cur.model_gen;  // identity unchanged: same stable
+        next->stable = cur.stable;
+        ++rollbacks_;
+        ++quarantined_;
+        if (!canary_source_path_.empty() && options_.quarantine_files)
+          quarantine_file(canary_source_path_);
+        decision = Decision::RolledBack;
+      } else {
+        next->model_gen = cur.model_gen + 1;
+        next->stable = cur.canary;
+        ++promotions_;
+        decision = Decision::Promoted;
+      }
+      canary_source_path_.clear();
+      publish(std::move(next));
+    }
+  }
+  collect_locked();
+  sync_obs_locked();
+  return decision;
+}
+
+bool ModelLifecycle::wait_all_adopted(std::uint64_t timeout_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wait_all_adopted_locked(timeout_us);
+}
+
+bool ModelLifecycle::wait_all_adopted_locked(std::uint64_t timeout_us) {
+  const std::uint64_t deadline = steady_now_us() + timeout_us;
+  const std::uint64_t current = history_.back()->gen;
+  for (;;) {
+    bool all = true;
+    for (const ReaderSlot& slot : slots_) {
+      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e != kQuiescent && e != current) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    if (steady_now_us() >= deadline) return false;
+    std::this_thread::yield();
+  }
+}
+
+std::size_t ModelLifecycle::collect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t freed = collect_locked();
+  sync_obs_locked();
+  return freed;
+}
+
+std::size_t ModelLifecycle::collect_locked() {
+  std::size_t freed = 0;
+  while (history_.size() > 1) {
+    const Generation* front = history_.front().get();
+    bool retirable = true;
+    for (const ReaderSlot& slot : slots_) {
+      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e != kQuiescent && e <= front->gen) {
+        retirable = false;
+        break;
+      }
+    }
+    if (!retirable) break;
+    VPSCOPE_FAULTPOINT(fault::Point::LifecycleRetire);
+    history_.erase(history_.begin());
+    ++freed;
+  }
+  return freed;
+}
+
+ModelLifecycle::RouteTotals ModelLifecycle::sum_route(int route) const {
+  RouteTotals totals;
+  for (const ReaderSlot& slot : slots_) {
+    const auto& cells = slot.cells[route];
+    totals.flows += cells.flows.load(std::memory_order_relaxed);
+    totals.composite += cells.composite.load(std::memory_order_relaxed);
+    totals.confidence_milli +=
+        cells.confidence_milli.load(std::memory_order_relaxed);
+  }
+  return totals;
+}
+
+void ModelLifecycle::reset_cells() {
+  for (ReaderSlot& slot : slots_)
+    for (auto& cells : slot.cells) {
+      cells.flows.store(0, std::memory_order_relaxed);
+      cells.composite.store(0, std::memory_order_relaxed);
+      cells.confidence_milli.store(0, std::memory_order_relaxed);
+    }
+}
+
+void ModelLifecycle::quarantine_file(const std::string& path) {
+  const std::string qdir = dirname_of(path) + "/quarantine";
+  ::mkdir(qdir.c_str(), 0755);  // EEXIST is fine
+  const std::string target = qdir + "/" + basename_of(path);
+  std::rename(path.c_str(), target.c_str());  // best effort
+}
+
+ModelLifecycle::Status ModelLifecycle::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Generation& cur = *history_.back();
+  Status s;
+  s.generation = cur.gen;
+  s.model_generation = cur.model_gen;
+  s.canary_active = cur.canary != nullptr;
+  s.canary_permille = cur.canary_permille;
+  s.generations_retained = history_.size();
+  s.swaps = swaps_;
+  s.promotions = promotions_;
+  s.rollbacks = rollbacks_;
+  s.offers = offers_;
+  s.quarantined = quarantined_;
+  s.stable_flows = sum_route(0).flows;
+  s.canary_flows = sum_route(1).flows;
+  return s;
+}
+
+void ModelLifecycle::set_smoke_check(SmokeCheck check) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  smoke_check_ = std::move(check);
+}
+
+bool ModelLifecycle::synth_smoke_check(const ClassifierBank& bank,
+                                       std::string* why) {
+  Rng rng(777);
+  synth::FlowSynthesizer synthesizer(rng);
+  for (const auto& [provider, transport] : bank.scenario_keys()) {
+    const auto platforms = fingerprint::platforms_for(provider, transport);
+    if (platforms.empty()) continue;  // nothing synthesizable to probe with
+    for (int i = 0; i < 3; ++i) {
+      const auto& platform = platforms[static_cast<std::size_t>(i) %
+                                       platforms.size()];
+      const auto profile =
+          fingerprint::make_profile(platform, provider, transport);
+      const auto flow = synthesizer.synthesize(
+          profile, {.start_time_us = 1'000'000 * (static_cast<std::uint64_t>(
+                                                     i) +
+                                                 1)});
+      const auto handshake = core::extract_handshake(flow.packets);
+      if (!handshake) {
+        if (why) *why = "smoke flow did not yield a handshake";
+        return false;
+      }
+      const PlatformPrediction prediction = bank.classify(*handshake, provider);
+      // Structural sanity only: no crash above, confidences in range. Label
+      // quality is the canary's to judge against live traffic.
+      const auto in_range = [](double c) { return c >= 0.0 && c <= 1.0; };
+      if (!in_range(prediction.platform_confidence) ||
+          !in_range(prediction.device_confidence) ||
+          !in_range(prediction.agent_confidence)) {
+        if (why) *why = "smoke classification confidence out of range";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ModelLifecycle::bind_obs(obs::Registry* registry, int slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry_ = registry;
+  obs_slot_ = slot;
+  generation_gauge_ = &registry->gauge("vpscope_model_generation",
+                                       "Active model generation (epoch)");
+  canary_gauge_ = &registry->gauge("vpscope_model_canary_active",
+                                   "1 while a canary rollout is in flight");
+  retained_gauge_ =
+      &registry->gauge("vpscope_model_generations_retained",
+                       "Generations alive (active + awaiting reclamation)");
+  swaps_counter_ = &registry->counter("vpscope_model_swaps_total",
+                                      "Generation publishes (any cause)");
+  promotions_counter_ = &registry->counter(
+      "vpscope_model_promotions_total", "Canaries promoted to stable");
+  rollbacks_counter_ = &registry->counter(
+      "vpscope_model_rollbacks_total", "Canaries rolled back by poll()");
+  offers_counter_ = &registry->counter("vpscope_bundle_offers_total",
+                                       "Model artifacts offered for admission");
+  quarantined_counter_ =
+      &registry->counter("vpscope_bundle_quarantined",
+                         "Model artifacts rejected at admission or rollback");
+  sync_obs_locked();
+}
+
+void ModelLifecycle::sync_obs_locked() {
+  if (!registry_) return;
+  generation_gauge_->set(obs_slot_,
+                         static_cast<std::int64_t>(history_.back()->gen));
+  canary_gauge_->set(obs_slot_, history_.back()->canary ? 1 : 0);
+  retained_gauge_->set(obs_slot_,
+                       static_cast<std::int64_t>(history_.size()));
+  const auto mirror = [this](obs::Counter* counter, std::uint64_t current,
+                             std::uint64_t& mirrored) {
+    if (current > mirrored) counter->add(obs_slot_, current - mirrored);
+    mirrored = current;
+  };
+  mirror(swaps_counter_, swaps_, swaps_mirrored_);
+  mirror(promotions_counter_, promotions_, promotions_mirrored_);
+  mirror(rollbacks_counter_, rollbacks_, rollbacks_mirrored_);
+  mirror(offers_counter_, offers_, offers_mirrored_);
+  mirror(quarantined_counter_, quarantined_, quarantined_mirrored_);
+}
+
+int ModelDirWatcher::poll(std::string* log) {
+  DIR* dir = ::opendir(dir_.c_str());
+  if (!dir) return 0;
+  int offered = 0;
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    // Skip dotfiles, the quarantine subdirectory, and in-flight atomic
+    // publishes (*.tmp) — only completed *.vpsb artifacts are candidates.
+    if (name.empty() || name[0] == '.') continue;
+    if (!ends_with(name, ".vpsb")) continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());  // deterministic offer order
+
+  for (const std::string& name : names) {
+    const std::string path = dir_ + "/" + name;
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    FileSig sig;
+    sig.mtime = static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+                st.st_mtim.tv_nsec;
+    sig.size = static_cast<std::uint64_t>(st.st_size);
+    const auto it = seen_.find(path);
+    if (it != seen_.end() && it->second == sig) continue;
+
+    std::string why;
+    const AdmissionVerdict verdict = lifecycle_->offer_file(path, &why);
+    ++offered;
+    if (log) {
+      *log += name;
+      *log += ": ";
+      *log += to_string(verdict);
+      if (!why.empty()) {
+        *log += " (";
+        *log += why;
+        *log += ")";
+      }
+      *log += "\n";
+    }
+    // Busy is retried next poll; every other verdict is final for this
+    // (path, mtime, size) — quarantined files also moved out of the dir.
+    if (verdict != AdmissionVerdict::Busy) seen_[path] = sig;
+  }
+  return offered;
+}
+
+}  // namespace vpscope::pipeline

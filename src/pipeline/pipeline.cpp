@@ -86,6 +86,51 @@ VideoFlowPipeline::VideoFlowPipeline(const ClassifierBank* bank,
   if (options_.classify_batch > 1 && bank_) batch_.emplace(bank_);
 }
 
+VideoFlowPipeline::~VideoFlowPipeline() {
+  if (lifecycle_) lifecycle_->release(reader_slot_);
+}
+
+void VideoFlowPipeline::attach_lifecycle(ModelLifecycle* lifecycle,
+                                         int reader_slot) {
+  classify_pending_flush();
+  lifecycle_ = lifecycle;
+  reader_slot_ = reader_slot;
+  apply_generation(lifecycle_->acquire(reader_slot_));
+}
+
+void VideoFlowPipeline::maybe_adopt_generation() {
+  // Steady state: one relaxed load and a pointer compare.
+  if (!lifecycle_ || lifecycle_->peek() == generation_) return;
+  // Safe point: staged flows were encoded against the current banks'
+  // Scenario tables (ClassifyBatch caches Scenario pointers); resolve them
+  // before the banks change underneath.
+  classify_pending_flush();
+  apply_generation(lifecycle_->acquire(reader_slot_));
+}
+
+void VideoFlowPipeline::apply_generation(
+    const ModelLifecycle::Generation* generation) {
+  // Do NOT read through the old generation_ pointer here: our epoch slot
+  // already points at the new generation, so the collector may free the
+  // old object concurrently. adopted_model_gen_ carries what we need.
+  const std::uint64_t previous_model_gen = adopted_model_gen_;
+  generation_ = generation;
+  adopted_model_gen_ = generation->model_gen;
+  bank_ = generation->stable.get();
+  batch_.reset();
+  canary_batch_.reset();
+  if (options_.classify_batch > 1) {
+    if (bank_) batch_.emplace(bank_);
+    if (generation->canary) canary_batch_.emplace(generation->canary.get());
+  }
+  // A model_gen bump means the stable bank itself changed (promotion or
+  // direct swap): the drift baselines calibrated against the old model are
+  // meaningless for the new one.
+  if (drift_ && previous_model_gen != 0 &&
+      generation->model_gen != previous_model_gen)
+    drift_->recalibrate_all();
+}
+
 void VideoFlowPipeline::bind_obs(obs::PipelineObs* obs, int slot) {
   obs_ = obs;
   slot_ = slot;
@@ -130,6 +175,7 @@ void VideoFlowPipeline::trace_push(obs::TraceEventKind kind,
 }
 
 void VideoFlowPipeline::on_packet(const net::Packet& packet) {
+  maybe_adopt_generation();
   obs_->packets_total.add(slot_);
   std::optional<net::DecodedPacket> decoded;
   {
@@ -250,8 +296,27 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
   obs_->video_flows.add(slot_);
   state.video_counted = true;
   const auto& handshake = *state.extractor.handshake();
-  if (batch_ && batch_->add(handshake, *state.provider, pending_.size(),
-                            &obs_->profiler, slot_)) {
+
+  // Canary routing (DESIGN.md §5j): while a rollout is active, a
+  // deterministic FlowKeyHash fraction of flows classifies against the
+  // candidate bank instead of the stable one. Hash-based, so the same flow
+  // always lands on the same route regardless of shard or replay order.
+  const ClassifierBank* route_bank = bank_;
+  ClassifierBank::ClassifyBatch* route_batch =
+      batch_ ? &*batch_ : nullptr;
+  if (generation_ && generation_->canary) {
+    const std::uint64_t flow_hash =
+        ring_ ? state.flow_hash : net::FlowKeyHash{}(key);
+    if (generation_->routes_to_canary(flow_hash)) {
+      state.canary_routed = true;
+      route_bank = generation_->canary.get();
+      route_batch = canary_batch_ ? &*canary_batch_ : nullptr;
+    }
+  }
+
+  if (route_batch &&
+      route_batch->add(handshake, *state.provider, pending_.size(),
+                       &obs_->profiler, slot_)) {
     // Deferred: the flow is encoded, its descent runs with the batch. An
     // untrained scenario stages nothing (add returns false) and falls
     // through to the inline path, which reports it Unknown immediately.
@@ -261,9 +326,9 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
     return;
   }
   const PlatformPrediction prediction =
-      bank_ ? bank_->classify(handshake, *state.provider, &obs_->profiler,
-                              slot_)
-            : PlatformPrediction{};
+      route_bank ? route_bank->classify(handshake, *state.provider,
+                                        &obs_->profiler, slot_)
+                 : PlatformPrediction{};
   apply_prediction(state, prediction, decoded.timestamp_us);
 }
 
@@ -296,26 +361,37 @@ void VideoFlowPipeline::apply_prediction(FlowState& state,
     event.confidence = static_cast<float>(prediction.platform_confidence);
     ring_->push(event);
   }
-  if (drift_ && state.provider)
+  // Canary-routed flows stay out of the drift monitor — the stable model's
+  // baselines must not be judged on a candidate's outputs — and both routes
+  // feed the lifecycle scoreboard that decides promote vs rollback.
+  if (drift_ && state.provider && !state.canary_routed)
     drift_->record(*state.provider, state.transport, prediction.outcome,
-                   prediction.platform_confidence);
+                   prediction.platform_confidence, ts_us);
+  if (lifecycle_)
+    lifecycle_->record_outcome(reader_slot_, state.canary_routed,
+                               prediction.outcome,
+                               prediction.platform_confidence);
   state.prediction = prediction;
 }
 
 void VideoFlowPipeline::classify_pending_flush() {
-  if (!batch_ || batch_->empty()) return;
+  const bool stable_staged = batch_ && !batch_->empty();
+  const bool canary_staged = canary_batch_ && !canary_batch_->empty();
+  if (!stable_staged && !canary_staged) return;
   // One Classify stage sample covers the whole batch: the histogram then
   // shows the amortized cost directly (batch latency / flows-per-batch is
   // what the bench tables report).
   obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Classify, slot_);
-  batch_->classify(
+  const std::function<void(std::uint64_t, const PlatformPrediction&)> emit =
       [this](std::uint64_t cookie, const PlatformPrediction& prediction) {
         const PendingFlow& pending = pending_[cookie];
         const auto it = flows_.find(pending.key);
         if (it == flows_.end()) return;  // unreachable: flush precedes erase
         it->second.classify_pending = false;
         apply_prediction(it->second, prediction, pending.ts_us);
-      });
+      };
+  if (stable_staged) batch_->classify(emit);
+  if (canary_staged) canary_batch_->classify(emit);
   pending_.clear();
 }
 

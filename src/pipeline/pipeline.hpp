@@ -24,6 +24,7 @@
 #include "obs/pipeline_obs.hpp"
 #include "pipeline/classifier_bank.hpp"
 #include "pipeline/drift.hpp"
+#include "pipeline/model_lifecycle.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vpscope::pipeline {
@@ -106,6 +107,8 @@ class VideoFlowPipeline {
   explicit VideoFlowPipeline(const ClassifierBank* bank,
                              PipelineOptions options = {},
                              obs::ObsConfig obs_config = {});
+  /// Releases the lifecycle reader slot, if one is attached.
+  ~VideoFlowPipeline();
 
   /// Called for every finished video session (flow idle-timeout or flush).
   void set_sink(std::function<void(telemetry::SessionRecord)> sink) {
@@ -115,6 +118,20 @@ class VideoFlowPipeline {
   /// Optional concept-drift monitor (paper §5.3), fed at classification
   /// time. Must outlive the pipeline.
   void set_drift_monitor(DriftMonitor* monitor) { drift_ = monitor; }
+
+  /// Attaches this pipeline as reader `reader_slot` of a ModelLifecycle
+  /// (DESIGN.md §5j): the lifecycle's generations supersede the constructor
+  /// bank, hot swaps are adopted at safe points (maybe_adopt_generation),
+  /// canary-fraction flows route to the candidate bank, and outcomes feed
+  /// the canary scoreboard. The lifecycle must outlive the pipeline; each
+  /// reader slot belongs to exactly one pipeline.
+  void attach_lifecycle(ModelLifecycle* lifecycle, int reader_slot);
+
+  /// Adopts a newly published model generation, if any: one relaxed load
+  /// when nothing changed. Safe point — staged classifications resolve
+  /// against the banks that encoded them first. on_packet calls this;
+  /// sharded workers call it at batch boundaries and while parked.
+  void maybe_adopt_generation();
 
   /// Feeds one captured packet. The rvalue form exists so generic
   /// front-ends (capture::replay_into) can move-ingest into either pipeline;
@@ -181,6 +198,8 @@ class VideoFlowPipeline {
     std::optional<PlatformPrediction> prediction;
     /// Staged in the deferred-classification batch, descent not yet run.
     bool classify_pending = false;
+    /// This flow's classification was served by the canary bank.
+    bool canary_routed = false;
     fingerprint::Transport transport = fingerprint::Transport::Tcp;
     std::string sni;
     bool video_counted = false;
@@ -213,11 +232,29 @@ class VideoFlowPipeline {
                            static_cast<std::int64_t>(flows_.size()));
   }
 
+  /// Installs `generation` as the serving model state: re-points bank_,
+  /// rebuilds the batch stagers, and recalibrates drift baselines when the
+  /// stable model identity changed.
+  void apply_generation(const ModelLifecycle::Generation* generation);
+
   const ClassifierBank* bank_;
   PipelineOptions options_;
   /// Engaged when options_.classify_batch > 1 and a bank exists; cookies
   /// handed to it are indices into pending_.
   std::optional<ClassifierBank::ClassifyBatch> batch_;
+  /// Stager for canary-routed flows while a rollout is active (the two
+  /// banks have distinct Scenario tables; a ClassifyBatch caches Scenario
+  /// pointers, so each bank needs its own). Shares pending_ cookies.
+  std::optional<ClassifierBank::ClassifyBatch> canary_batch_;
+  ModelLifecycle* lifecycle_ = nullptr;
+  int reader_slot_ = 0;
+  /// The adopted generation (pinned via reader_slot_); null when detached.
+  const ModelLifecycle::Generation* generation_ = nullptr;
+  /// Cached copy of generation_->model_gen. The moment acquire() advances
+  /// this reader's epoch, the *previous* generation becomes reclaimable, so
+  /// apply_generation must not dereference the old pointer to ask what
+  /// model it carried — it compares against this plain member instead.
+  std::uint64_t adopted_model_gen_ = 0;
   struct PendingFlow {
     net::FlowKey key;
     std::uint64_t ts_us = 0;  // staging time, stamps the trace event

@@ -1,8 +1,10 @@
 #include "pipeline/sharded_pipeline.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "pipeline/faultpoint.hpp"
 
@@ -108,8 +110,20 @@ ShardedPipeline::ShardedPipeline(const ClassifierBank* bank,
       const std::lock_guard<std::mutex> lock(sink_mutex_);
       if (sink_) sink_(std::move(record));
     });
+    // Per-shard drift monitor: worker-thread-owned, never obs-bound (the
+    // merged view at the dispatcher slot is the only gauge writer — summing
+    // per-shard gauges at exposition would double-count baselines).
+    if (options_.drift) {
+      shard->drift = std::make_unique<DriftMonitor>(*options_.drift);
+      shard->pipe.set_drift_monitor(shard->drift.get());
+    }
+    // Attach before the worker starts: the thread launch below is the
+    // happens-before edge that publishes the adopted generation.
+    if (options_.lifecycle) shard->pipe.attach_lifecycle(options_.lifecycle, i);
     shards_.push_back(std::move(shard));
   }
+  if (options_.lifecycle)
+    options_.lifecycle->bind_obs(&obs_->registry(), obs_->dispatcher_slot());
   for (auto& shard : shards_)
     shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
 }
@@ -414,6 +428,7 @@ void ShardedPipeline::on_packet(net::Packet&& packet) {
   if (!item.decoded) {
     obs_->packets_non_ip.add(dslot);  // rejected at decode = handled
     maybe_export();
+    maybe_poll_lifecycle();
     return;
   }
   // Stage for the next bulk handover. The admission class is NOT computed
@@ -428,6 +443,7 @@ void ShardedPipeline::on_packet(net::Packet&& packet) {
   obs_->packets_staged.add(dslot, 1, std::memory_order_release);
   if (shard.staged.size() >= options_.batch_size) flush_shard(shard);
   maybe_export();
+  maybe_poll_lifecycle();
 }
 
 void ShardedPipeline::on_volume_sample(const net::FlowKey& key,
@@ -591,6 +607,98 @@ int ShardedPipeline::bypassed_shards() const {
   return n;
 }
 
+void ShardedPipeline::maybe_poll_lifecycle() {
+  // Amortized like maybe_export: canary judgement + retired-generation
+  // reclamation once per 2048 dispatcher packets, not per packet.
+  if (!options_.lifecycle) return;
+  if ((++packets_since_lifecycle_poll_ & 2047) != 0) return;
+  options_.lifecycle->poll();
+}
+
+std::vector<std::pair<std::pair<fingerprint::Provider, fingerprint::Transport>,
+                      DriftMonitor::Status>>
+ShardedPipeline::merged_drift_statuses() const {
+  std::vector<std::pair<
+      std::pair<fingerprint::Provider, fingerprint::Transport>,
+      DriftMonitor::Status>>
+      out;
+  if (!options_.drift) return out;
+  // Union of scenario keys: shards see disjoint flow slices, so a scenario
+  // may exist on some shards only.
+  std::vector<std::pair<fingerprint::Provider, fingerprint::Transport>> keys;
+  for (const auto& shard : shards_) {
+    if (!shard->drift) continue;
+    for (const auto& key : shard->drift->scenario_keys())
+      if (std::find(keys.begin(), keys.end(), key) == keys.end())
+        keys.push_back(key);
+  }
+  std::vector<DriftMonitor::Status> parts;
+  for (const auto& key : keys) {
+    parts.clear();
+    for (const auto& shard : shards_)
+      if (shard->drift)
+        parts.push_back(shard->drift->status(key.first, key.second));
+    out.emplace_back(key, DriftMonitor::merge(parts, *options_.drift));
+  }
+  return out;
+}
+
+DriftMonitor::Status ShardedPipeline::drift_status(
+    fingerprint::Provider provider, fingerprint::Transport transport) {
+  check_dispatcher_thread();
+  drain();  // acquire on processed: worker-side monitor state is visible
+  if (!options_.drift) return {};
+  std::vector<DriftMonitor::Status> parts;
+  for (const auto& shard : shards_)
+    if (shard->drift) parts.push_back(shard->drift->status(provider, transport));
+  return DriftMonitor::merge(parts, *options_.drift);
+}
+
+bool ShardedPipeline::any_drifting() {
+  check_dispatcher_thread();
+  drain();
+  for (const auto& [key, status] : merged_drift_statuses())
+    if (status.drifting) return true;
+  return false;
+}
+
+void ShardedPipeline::refresh_drift_gauges() {
+  check_dispatcher_thread();
+  drain();
+  obs::Registry& registry = obs_->registry();
+  const int dslot = obs_->dispatcher_slot();
+  for (const auto& [key, status] : merged_drift_statuses()) {
+    // Same series a standalone DriftMonitor::bind_obs would write (the
+    // registry is idempotent on name+labels); shard monitors never bind, so
+    // the merged view is the sole writer.
+    std::string labels = "provider=\"";
+    labels += fingerprint::to_string(key.first);
+    labels += "\",transport=\"";
+    labels += fingerprint::to_string(key.second);
+    labels += '"';
+    registry
+        .gauge("vpscope_drift_flagged",
+               "1 when the scenario's recent window drifts from its baseline",
+               labels)
+        .set(dslot, status.drifting ? 1 : 0);
+    registry
+        .gauge("vpscope_drift_reject_delta_milli",
+               "Recent minus baseline non-composite rate, in 1/1000", labels)
+        .set(dslot,
+             static_cast<std::int64_t>((status.recent_reject_rate -
+                                        status.baseline_reject_rate) *
+                                       1000.0));
+    registry
+        .gauge("vpscope_drift_confidence_delta_milli",
+               "Recent minus baseline mean composite confidence, in 1/1000",
+               labels)
+        .set(dslot,
+             static_cast<std::int64_t>((status.recent_confidence -
+                                        status.baseline_confidence) *
+                                       1000.0));
+  }
+}
+
 void ShardedPipeline::worker_loop(Shard& shard) {
   // Bulk drain (DESIGN.md §5g): up to batch_size items per pop — one
   // acquire/release pair on the ring and one completed-counter RMW per
@@ -598,12 +706,19 @@ void ShardedPipeline::worker_loop(Shard& shard) {
   std::vector<Item> batch(options_.batch_size);
   std::size_t got = 0;
   for (;;) {
+    // Batch boundary = model-swap safe point. One relaxed load when nothing
+    // changed; adoption also keeps the epoch slot advancing so the
+    // lifecycle collector can retire superseded generations.
+    shard.pipe.maybe_adopt_generation();
     got = shard.queue.try_pop_bulk(batch.data(), batch.size());
     if (got == 0) {
       // About to park: resolve any deferred classifications first, so a
       // partial classify batch never waits on traffic that may not come.
       shard.pipe.classify_pending_flush();
       spin_until([&] {
+        // Adopt while parked too — an idle shard pinning an old epoch
+        // would otherwise stall generation reclamation indefinitely.
+        shard.pipe.maybe_adopt_generation();
         return (got = shard.queue.try_pop_bulk(batch.data(), batch.size())) !=
                0;
       });

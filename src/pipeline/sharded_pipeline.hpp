@@ -130,6 +130,20 @@ struct ShardedPipelineOptions {
   /// the shared registry all shards write to. Metrics themselves are
   /// always on — they ARE the pipeline's accounting.
   obs::ObsConfig obs = {};
+
+  /// Model lifecycle (DESIGN.md §5j): when set, shard i attaches as reader
+  /// slot i — workers adopt newly published generations at batch boundaries
+  /// and while parked, and the dispatcher drives canary judgement through
+  /// an amortized lifecycle poll. Must outlive the pipeline and be
+  /// constructed with >= n_shards reader slots. The constructor `bank`
+  /// argument is ignored once a shard adopts its first generation.
+  ModelLifecycle* lifecycle = nullptr;
+
+  /// Per-shard concept-drift monitoring: each shard gets a private
+  /// DriftMonitor with this config, fed from its own worker thread with no
+  /// synchronization. Read the merged view through drift_status /
+  /// any_drifting / refresh_drift_gauges (dispatcher-thread-only).
+  std::optional<DriftConfig> drift;
 };
 
 class ShardedPipeline {
@@ -245,6 +259,25 @@ class ShardedPipeline {
   int shard_count() const { return static_cast<int>(shards_.size()); }
   std::size_t shard_of(const net::FlowKey& key) const;
 
+  /// Merged drift status of one scenario across every shard's monitor —
+  /// exactly what a single monitor fed all shards' traffic would report
+  /// (DriftMonitor::merge over the per-shard raw accumulators). Drains
+  /// first, so worker-side monitor state is visible (happens-before via the
+  /// processed counter). Dispatcher-thread-only. Zero Status when drift
+  /// monitoring is not configured.
+  DriftMonitor::Status drift_status(fingerprint::Provider provider,
+                                    fingerprint::Transport transport);
+
+  /// True when any scenario's merged status is drifting. Drains;
+  /// dispatcher-thread-only.
+  bool any_drifting();
+
+  /// Writes the merged per-scenario drift gauges (vpscope_drift_flagged,
+  /// reject/confidence deltas) at the dispatcher slot. Merged-only by
+  /// design: per-shard gauge writes would sum wrongly at exposition.
+  /// Drains; dispatcher-thread-only.
+  void refresh_drift_gauges();
+
  private:
   struct Item {
     enum class Kind : std::uint8_t {
@@ -280,6 +313,9 @@ class ShardedPipeline {
     std::atomic<bool> bypassed{false};
     std::thread worker;
     int index = 0;
+    /// Worker-thread-owned drift monitor (ShardedPipelineOptions::drift);
+    /// the dispatcher reads it only behind drain().
+    std::unique_ptr<DriftMonitor> drift;
     // ---- dispatcher-thread-only bookkeeping ----
     std::uint64_t watchdog_last_processed = 0;
     std::uint64_t watchdog_stall_started_us = 0;  // 0 = not currently stalled
@@ -318,6 +354,14 @@ class ShardedPipeline {
   void check_dispatcher_thread();
   /// Amortized exporter tick from the dispatcher packet path.
   void maybe_export();
+  /// Amortized lifecycle poll (canary judgement + generation reclamation)
+  /// from the dispatcher packet path.
+  void maybe_poll_lifecycle();
+  /// Union of scenario keys over all shard drift monitors, merged status
+  /// per key. Requires a prior drain().
+  std::vector<std::pair<std::pair<fingerprint::Provider, fingerprint::Transport>,
+                        DriftMonitor::Status>>
+  merged_drift_statuses() const;
 
   ShardedPipelineOptions options_;
   /// Shared registry bundle; slots [0, n_shards) are the workers, slot
@@ -329,6 +373,7 @@ class ShardedPipeline {
   std::function<void(int, std::string)> stuck_dump_sink_;
   std::unique_ptr<obs::PeriodicExporter> exporter_;
   std::uint64_t packets_since_export_check_ = 0;
+  std::uint64_t packets_since_lifecycle_poll_ = 0;
   /// Dispatcher-thread-only; see admission_class_evaluations().
   std::uint64_t admission_class_evals_ = 0;
   std::mutex sink_mutex_;

@@ -19,9 +19,17 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "campus/overload.hpp"
 #include "obs/export.hpp"
+#include "pipeline/bank_serialize.hpp"
 #include "pipeline/faultpoint.hpp"
+#include "pipeline/model_lifecycle.hpp"
 #include "pipeline/sharded_pipeline.hpp"
 #include "synth/dataset.hpp"
 #include "telemetry/telemetry.hpp"
@@ -119,6 +127,9 @@ std::vector<net::Packet> interleaved_mix(int flows) {
 }
 
 class FaultInjectionTest : public ::testing::Test {
+ public:
+  static ClassifierBank* bank() { return bank_; }
+
  protected:
   static void SetUpTestSuite() {
     lab_ = new synth::Dataset(synth::generate_lab_dataset(42, 0.35));
@@ -534,6 +545,142 @@ TEST_F(FaultInjectionTest, OffThreadProducerCallIsCountedAsViolation) {
   // The pinned dispatcher thread is still compliant.
   sharded.flush_all();
   EXPECT_EQ(sharded.dispatcher_contract_violations(), violations);
+}
+
+// ---- model lifecycle faults (DESIGN.md §5j) ----
+
+/// Non-owning view of the suite's trained bank for lifecycle tests: the
+/// lifecycle only needs shared ownership semantics, not a copy.
+std::shared_ptr<const ClassifierBank> suite_bank() {
+  return {FaultInjectionTest::bank(), [](const ClassifierBank*) {}};
+}
+
+TEST_F(FaultInjectionTest, LifecycleSwapFaultLeavesIncumbentServing) {
+  const auto incumbent = suite_bank();
+  ModelLifecycle lifecycle(incumbent, 1);
+  VideoFlowPipeline pipe(nullptr);
+  pipe.attach_lifecycle(&lifecycle, 0);
+  std::uint64_t records = 0;
+  pipe.set_sink([&](telemetry::SessionRecord) { ++records; });
+
+  const auto before = lifecycle.status();
+  {
+    fault::Scoped scoped(fault::Point::LifecycleSwap,
+                         {.action = fault::Plan::Action::Throw,
+                          .start = 0,
+                          .period = 1,
+                          .limit = 1});
+    EXPECT_THROW(lifecycle.swap_to(incumbent), fault::InjectedFault);
+  }
+  // The publish never became visible half-done: no swap, no new generation,
+  // nothing retained beyond the incumbent.
+  const auto after = lifecycle.status();
+  EXPECT_EQ(after.swaps, before.swaps);
+  EXPECT_EQ(after.generation, before.generation);
+  EXPECT_EQ(after.generations_retained, 1u);
+
+  // ...and the incumbent keeps classifying.
+  for (const auto& p : interleaved_mix(10)) pipe.on_packet(p);
+  pipe.flush_all();
+  EXPECT_EQ(records, 10u);
+  expect_identity(pipe.stats(), "post swap-fault feed");
+
+  // The fault was transient: the next swap goes through.
+  lifecycle.swap_to(incumbent);
+  EXPECT_EQ(lifecycle.status().swaps, before.swaps + 1);
+}
+
+TEST_F(FaultInjectionTest, PublishCrashLeavesWatcherBlind) {
+  // Pid-suffixed: the binary runs concurrently with its own lane duplicates
+  // under `ctest -j`; a shared directory would leak .tmp files across runs.
+  const std::string dir = ::testing::TempDir() + "fault_publish_dir-" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string path = dir + "/bank.vpsb";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  {
+    fault::Scoped scoped(fault::Point::LifecyclePublish,
+                         {.action = fault::Plan::Action::Throw,
+                          .start = 0,
+                          .period = 1,
+                          .limit = 1});
+    EXPECT_THROW(save_bank(*FaultInjectionTest::bank(), path),
+                 fault::InjectedFault);
+  }
+  // The crash hit between the temporary write and the rename: the published
+  // path never appeared...
+  EXPECT_FALSE(std::ifstream(path).good());
+  // ...and the stranded *.tmp is invisible to the watcher, so a restarted
+  // server cannot admit the half-published artifact.
+  ModelLifecycle lifecycle(suite_bank(), 1, {.canary_permille = 0});
+  ModelDirWatcher watcher(&lifecycle, dir);
+  std::string log;
+  EXPECT_EQ(watcher.poll(&log), 0) << log;
+  EXPECT_EQ(lifecycle.status().offers, 0u);
+
+  // Re-publishing with the fault cleared succeeds end to end.
+  ASSERT_FALSE(save_bank(*FaultInjectionTest::bank(), path));
+  EXPECT_EQ(watcher.poll(&log), 1) << log;
+  EXPECT_EQ(lifecycle.status().model_generation, 2u);
+  std::remove((path + ".tmp").c_str());
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, TransientReadFaultsRetryUntilAdmission) {
+  const std::string dir =
+      ::testing::TempDir() + "fault_read_dir-" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string path = dir + "/retrain.vpsb";
+  ASSERT_FALSE(save_bank(*FaultInjectionTest::bank(), path));
+
+  ModelLifecycle lifecycle(suite_bank(), 1,
+                           {.canary_permille = 0,
+                            .admission_retries = 3,
+                            .retry_backoff_us = 100});
+  // The first two read attempts fault (a publisher mid-rename on a network
+  // filesystem); the third succeeds, so admission proceeds normally.
+  fault::Scoped scoped(fault::Point::LifecycleLoad,
+                       {.action = fault::Plan::Action::Throw,
+                        .start = 0,
+                        .period = 1,
+                        .limit = 2});
+  std::string why;
+  EXPECT_EQ(lifecycle.offer_file(path, &why), AdmissionVerdict::Armed) << why;
+  EXPECT_EQ(fault::Registry::instance().fires(fault::Point::LifecycleLoad),
+            2u);
+  const auto status = lifecycle.status();
+  EXPECT_EQ(status.model_generation, 2u);
+  EXPECT_EQ(status.quarantined, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, ValidationFaultQuarantinesWithoutDisruption) {
+  ModelLifecycle lifecycle(suite_bank(), 1,
+                           {.canary_permille = 0, .quarantine_files = false});
+  const Bytes artifact = serialize_bank(*FaultInjectionTest::bank());
+  std::string why;
+  {
+    fault::Scoped scoped(fault::Point::LifecycleValidate,
+                         {.action = fault::Plan::Action::Throw,
+                          .start = 0,
+                          .period = 1,
+                          .limit = 1});
+    EXPECT_EQ(lifecycle.offer_bytes(artifact, &why),
+              AdmissionVerdict::Incompatible);
+  }
+  EXPECT_EQ(why, "validation fault");
+  auto status = lifecycle.status();
+  EXPECT_EQ(status.offers, 1u);
+  EXPECT_EQ(status.quarantined, 1u);
+  EXPECT_EQ(status.model_generation, 1u);
+  EXPECT_EQ(status.swaps, 0u);
+
+  // Identical bytes with the fault cleared: admitted. The rejection was the
+  // injected validation fault, not the artifact.
+  EXPECT_EQ(lifecycle.offer_bytes(artifact), AdmissionVerdict::Armed);
+  EXPECT_EQ(lifecycle.status().model_generation, 2u);
 }
 
 }  // namespace
