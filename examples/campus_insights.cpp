@@ -4,11 +4,14 @@
 // watch time per provider and device type, the most popular software
 // agents, bandwidth medians, and peak hours.
 //
-// Usage: campus_insights [days] [sessions_per_day] [obs_export_path]
-//        campus_insights --users N [days] [obs_export_path]
+// Usage: campus_insights [--http-port P] [days] [sessions_per_day]
+//                        [obs_export_path]
+//        campus_insights [--http-port P] --users N [days] [obs_export_path]
 // (default 2 x 4000; when obs_export_path is given, the observability
 // registry is dumped there in Prometheus text format every simulated hour,
-// and per-stage pipeline latencies are printed after the run)
+// and per-stage pipeline latencies are printed after the run; --http-port
+// serves /metrics /healthz /snapshot /trace on 127.0.0.1:P live during the
+// run — DESIGN.md §5k)
 //
 // With --users the simulator switches to the hierarchical event-driven mode
 // (DESIGN.md §5h): session batches are drawn per (day, hour, provider,
@@ -32,12 +35,16 @@ using fingerprint::Provider;
 int main(int argc, char** argv) {
   campus::CampusConfig config;
   int arg = 1;
-  if (argc > 2 && std::strcmp(argv[1], "--users") == 0) {
+  if (argc > arg + 1 && std::strcmp(argv[arg], "--http-port") == 0) {
+    config.http_port = std::atoi(argv[arg + 1]);
+    arg += 2;
+  }
+  if (argc > arg + 1 && std::strcmp(argv[arg], "--users") == 0) {
     config.mode = campus::CampusConfig::Mode::EventDriven;
-    config.users = std::atoll(argv[2]);
+    config.users = std::atoll(argv[arg + 1]);
     config.store.max_resident_segments = 8;  // spill: RSS stays O(segments)
     config.store.spill_dir = "campus-insights-spill";
-    arg = 3;
+    arg += 2;
   }
   config.days = argc > arg ? std::atoi(argv[arg]) : 2;
   ++arg;

@@ -21,6 +21,15 @@
 // With a prometheus_path argument (synth mode), the observability registry
 // is written there in Prometheus text format after the run; stage latencies
 // are profiled and printed in every mode.
+//
+// Introspection plane (DESIGN.md §5k), available in every mode:
+//   --http-port <p>   serve /metrics /healthz /snapshot /trace on
+//                     127.0.0.1:<p> while the run is live (curl it)
+//   --trace-out <f>   trace every flow's causal spans and write Chrome
+//                     trace_event JSON to <f> at the end (load the file in
+//                     chrome://tracing or Perfetto)
+// A crash flight recorder is always armed: a fatal signal, canary rollback
+// or artifact quarantine dumps a vpscope-postmortem-*.json black box.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -33,6 +42,8 @@
 #include "capture/afpacket.hpp"
 #include "capture/replay.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/http_server.hpp"
 #include "pipeline/bank_serialize.hpp"
 #include "pipeline/model_lifecycle.hpp"
 #include "pipeline/pipeline.hpp"
@@ -43,6 +54,55 @@ using fingerprint::Provider;
 using fingerprint::Transport;
 
 namespace {
+
+// ---- introspection plane (DESIGN.md §5k), shared by every mode ----
+
+int g_http_port = 0;            // 0 = no embedded scrape server
+const char* g_trace_out = nullptr;  // null = no span tracing
+
+/// Applies the global introspection flags to a mode's obs config.
+void apply_introspection_config(obs::ObsConfig& config) {
+  if (g_trace_out) {
+    config.span_sample_n = 1;  // console tool: span every flow
+    // Every packet of a spanned flow records a span; keep enough buffer
+    // that a demo run's handshake spans survive the payload-packet flood.
+    config.span_ring_capacity = std::size_t{1} << 16;
+  }
+}
+
+/// Starts the embedded scrape server when --http-port was given.
+std::unique_ptr<obs::HttpServer> start_http(
+    const obs::PipelineObs& o, std::function<std::string()> app_status = {}) {
+  if (g_http_port == 0) return nullptr;
+  obs::HttpServer::Options options;
+  options.port = static_cast<std::uint16_t>(g_http_port);
+  auto server = std::make_unique<obs::HttpServer>(options);
+  obs::IntrospectionOptions introspection;
+  introspection.app_status = std::move(app_status);
+  obs::install_introspection(*server, o, std::move(introspection));
+  std::string error;
+  if (!server->start(&error)) {
+    std::fprintf(stderr, "introspection server: %s\n", error.c_str());
+    return nullptr;
+  }
+  std::printf(
+      "introspection: http://127.0.0.1:%u/metrics  (also /healthz "
+      "/snapshot /trace?n=K)\n",
+      static_cast<unsigned>(server->port()));
+  return server;
+}
+
+/// Writes the Chrome trace when --trace-out was given.
+void write_trace(const obs::PipelineObs& o) {
+  if (!g_trace_out) return;
+  if (obs::write_file_atomic(g_trace_out,
+                             obs::chrome_trace_json(o.recent_spans())))
+    std::printf("chrome trace written to %s (open in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                g_trace_out);
+  else
+    std::printf("FAILED to write %s\n", g_trace_out);
+}
 
 void print_session(int session_no, const telemetry::SessionRecord& record) {
   const char* outcome =
@@ -98,7 +158,11 @@ int run_pcap(const char* path, double pace) {
   const auto bank = train_bank();
   obs::ObsConfig obs_config;
   obs_config.profile_stages = true;
+  apply_introspection_config(obs_config);
   pipeline::VideoFlowPipeline pipe(&bank, {}, obs_config);
+  const auto http = start_http(pipe.observability());
+  obs::FlightRecorder recorder(&pipe.observability());
+  recorder.install_crash_handler();
   int session_no = 0;
   pipe.set_sink([&session_no](telemetry::SessionRecord record) {
     print_session(++session_no, record);
@@ -129,6 +193,7 @@ int run_pcap(const char* path, double pace) {
       static_cast<unsigned long long>(stats.truncated_frames), stats.mpps(),
       stats.gbps());
   print_summary(pipe);
+  write_trace(pipe.observability());
   return 0;
 }
 
@@ -139,7 +204,12 @@ int run_live(const char* iface, int seconds) {
     return 1;
   }
   const auto bank = train_bank();
-  pipeline::VideoFlowPipeline pipe(&bank);
+  obs::ObsConfig obs_config;
+  apply_introspection_config(obs_config);
+  pipeline::VideoFlowPipeline pipe(&bank, {}, obs_config);
+  const auto http = start_http(pipe.observability());
+  obs::FlightRecorder recorder(&pipe.observability());
+  recorder.install_crash_handler();
   int session_no = 0;
   pipe.set_sink([&session_no](telemetry::SessionRecord record) {
     print_session(++session_no, record);
@@ -175,6 +245,7 @@ int run_live(const char* iface, int seconds) {
               static_cast<unsigned long long>(capture.non_ip_frames()),
               static_cast<unsigned long long>(capture.kernel_drops()));
   print_summary(pipe);
+  write_trace(pipe.observability());
   return 0;
 }
 
@@ -183,7 +254,11 @@ int run_synth(int n_flows, const char* prometheus_path) {
   obs::ObsConfig obs_config;
   obs_config.profile_stages = true;
   obs_config.trace_sample_n = 1;  // console tool: trace every flow
+  apply_introspection_config(obs_config);
   pipeline::VideoFlowPipeline pipe(&bank, {}, obs_config);
+  const auto http = start_http(pipe.observability());
+  obs::FlightRecorder recorder(&pipe.observability());
+  recorder.install_crash_handler();
   int session_no = 0;
   pipe.set_sink([&session_no](telemetry::SessionRecord record) {
     print_session(++session_no, record);
@@ -254,6 +329,7 @@ int run_synth(int n_flows, const char* prometheus_path) {
     else
       std::printf("FAILED to write %s\n", prometheus_path);
   }
+  write_trace(pipe.observability());
   return 0;
 }
 
@@ -297,8 +373,30 @@ int run_model_dir(const char* dir, int n_flows) {
   pipeline::ModelDirWatcher watcher(&lifecycle, dir);
   watcher.poll();  // adopt the directory's initial inventory silently
 
-  pipeline::VideoFlowPipeline pipe(nullptr);
+  obs::ObsConfig obs_config;
+  apply_introspection_config(obs_config);
+  pipeline::VideoFlowPipeline pipe(nullptr, {}, obs_config);
   pipe.attach_lifecycle(&lifecycle, 0);
+  // Lifecycle state rides along in /healthz ("app") and in every
+  // flight-recorder postmortem ("context").
+  const auto lifecycle_json = [&lifecycle] {
+    const auto status = lifecycle.status();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"generation\":%llu,\"model_gen\":%llu,\"canary\":%s,"
+                  "\"swaps\":%llu,\"rollbacks\":%llu,\"quarantined\":%llu}",
+                  static_cast<unsigned long long>(status.generation),
+                  static_cast<unsigned long long>(status.model_generation),
+                  status.canary_active ? "true" : "false",
+                  static_cast<unsigned long long>(status.swaps),
+                  static_cast<unsigned long long>(status.rollbacks),
+                  static_cast<unsigned long long>(status.quarantined));
+    return std::string(buf);
+  };
+  const auto http = start_http(pipe.observability(), lifecycle_json);
+  obs::FlightRecorder recorder(&pipe.observability());
+  recorder.set_context_provider(lifecycle_json);
+  recorder.install_crash_handler();
   int session_no = 0;
   pipe.set_sink([&session_no](telemetry::SessionRecord record) {
     print_session(++session_no, record);
@@ -344,6 +442,7 @@ int run_model_dir(const char* dir, int n_flows) {
       std::puts("SIGHUP: rescanning model directory");
     }
     std::string log;
+    const std::uint64_t quarantined_before = lifecycle.status().quarantined;
     if (watcher.poll(&log) > 0) std::fputs(log.c_str(), stdout);
     const auto decision = lifecycle.poll();
     if (decision == pipeline::ModelLifecycle::Decision::Promoted)
@@ -351,6 +450,12 @@ int run_model_dir(const char* dir, int n_flows) {
     else if (decision == pipeline::ModelLifecycle::Decision::RolledBack)
       std::puts("canary ROLLED BACK (artifact quarantined)");
     const auto status = lifecycle.status();
+    // Black-box the incident paths (DESIGN.md §5k): the spans/metrics that
+    // led to the judgement survive the rollout's undo.
+    if (decision == pipeline::ModelLifecycle::Decision::RolledBack)
+      recorder.dump("canary_rollback");
+    else if (status.quarantined > quarantined_before)
+      recorder.dump("artifact_quarantine");
     std::printf(
         "round %d/%d: generation=%llu model_gen=%llu canary=%s "
         "swaps=%llu rollbacks=%llu quarantined=%llu\n",
@@ -363,6 +468,7 @@ int run_model_dir(const char* dir, int n_flows) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
   print_summary(pipe);
+  write_trace(pipe.observability());
   return 0;
 }
 
@@ -389,12 +495,17 @@ int main(int argc, char** argv) {
       seconds = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--model-dir") == 0 && i + 1 < argc) {
       model_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--http-port") == 0 && i + 1 < argc) {
+      g_http_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      g_trace_out = argv[++i];
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: live_classifier [n_flows] [prometheus_path]\n"
                    "       live_classifier --pcap <file> [--pace <x>]\n"
                    "       live_classifier --iface <name> [--seconds <n>]\n"
-                   "       live_classifier --model-dir <dir> [n_flows]\n");
+                   "       live_classifier --model-dir <dir> [n_flows]\n"
+                   "any mode: [--http-port <p>] [--trace-out <file>]\n");
       return 2;
     } else if (positional == 0) {
       n_flows = std::atoi(argv[i]);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <memory>
+
+#include "obs/http_server.hpp"
 
 namespace vpscope::campus {
 
@@ -260,6 +263,7 @@ void CampusSimulator::run(
     const std::function<void(telemetry::SessionRecord)>& sink) {
   pipeline::VideoFlowPipeline pipe(&bank, {}, config_.obs);
   last_obs_ = pipe.shared_observability();
+  last_http_port_ = 0;
   pipe.set_sink(sink);
 
   // vpscope_obs_export: periodic registry dumps driven by SIMULATED time,
@@ -274,6 +278,22 @@ void CampusSimulator::run(
         last_obs_->registry_ptr(), std::move(export_options));
   }
 
+  // Embedded introspection endpoint (DESIGN.md §5k): scrape a campus run
+  // live instead of waiting for the post-run report. Loopback-only.
+  std::unique_ptr<obs::HttpServer> http;
+  if (config_.http_port != 0) {
+    obs::HttpServer::Options http_options;
+    http_options.port = config_.http_port > 0
+                            ? static_cast<std::uint16_t>(config_.http_port)
+                            : 0;
+    http = std::make_unique<obs::HttpServer>(http_options);
+    obs::install_introspection(*http, *last_obs_);
+    if (http->start())
+      last_http_port_ = http->port();
+    else
+      http.reset();  // bind failure is not fatal to the simulation
+  }
+
   if (config_.mode == CampusConfig::Mode::EventDriven)
     run_event_driven(pipe, exporter.get());
   else
@@ -281,6 +301,7 @@ void CampusSimulator::run(
 
   pipe.flush_all();
   if (exporter) exporter->export_now();
+  if (http) http->stop();
 }
 
 void CampusSimulator::run_per_session(pipeline::VideoFlowPipeline& pipe,

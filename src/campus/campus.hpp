@@ -79,6 +79,11 @@ struct CampusConfig {
   obs::ExportOptions::Format obs_export_format =
       obs::ExportOptions::Format::Prometheus;
   std::uint64_t obs_export_interval_us = 3600ULL * 1000000ULL;  // 1 sim hour
+  /// When > 0, run() serves the embedded introspection endpoint
+  /// (/metrics, /healthz, /snapshot, /trace — DESIGN.md §5k) on
+  /// 127.0.0.1:http_port for the duration of the run. -1 binds an
+  /// ephemeral port (tests). 0 disables.
+  int http_port = 0;
 };
 
 /// Per-session behavioural draw (exposed for tests).
@@ -116,6 +121,10 @@ class CampusSimulator {
   /// rings, every pipeline counter); null before the first run.
   const obs::PipelineObs* observability() const { return last_obs_.get(); }
 
+  /// Port the embedded introspection server bound during the most recent
+  /// run() (resolves http_port = -1's ephemeral bind); 0 when disabled.
+  std::uint16_t last_http_port() const { return last_http_port_; }
+
   // ---- behavioural model tables (exposed for tests and benches) ----
   /// Watch-time weight of a platform within a provider (sums to ~1).
   static double platform_weight(fingerprint::Provider provider,
@@ -142,6 +151,7 @@ class CampusSimulator {
   Rng rng_;
   /// Keeps the last run's registry alive past the pipeline's lifetime.
   std::shared_ptr<obs::PipelineObs> last_obs_;
+  std::uint16_t last_http_port_ = 0;
 };
 
 }  // namespace vpscope::campus

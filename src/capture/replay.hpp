@@ -92,8 +92,17 @@ ReplayStats replay_into(ByteView pcap_image, Pipeline& pipe,
   driver.set_flush_hook([&pipe](std::uint64_t now_us, std::uint64_t idle_us) {
     pipe.flush_idle(now_us, idle_us);
   });
-  ReplayStats stats = driver.replay(
-      pcap_image, [&pipe](net::Packet&& p) { pipe.on_packet(std::move(p)); });
+  // Front-ends that trace causal spans (ShardedPipeline) take a capture
+  // mark after each delivery: the mark-to-dispatch gap — frame read plus
+  // pacing of the NEXT packet — exports as that packet's Capture span. The
+  // single-threaded pipeline has no such hook and skips all of it.
+  constexpr bool kMarksCapture = requires { pipe.mark_capture_start(); };
+  if constexpr (kMarksCapture) pipe.mark_capture_start();
+  ReplayStats stats =
+      driver.replay(pcap_image, [&pipe](net::Packet&& p) {
+        pipe.on_packet(std::move(p));
+        if constexpr (kMarksCapture) pipe.mark_capture_start();
+      });
   pipe.flush_all();
   return stats;
 }

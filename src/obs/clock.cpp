@@ -1,0 +1,46 @@
+#include "obs/clock.hpp"
+
+namespace vpscope::obs {
+namespace detail {
+
+namespace {
+
+TickCalibration calibrate() {
+  TickCalibration c;
+  c.base_tick = raw_tick();
+  c.base_ns = steady_ns();
+  if (kTickIsSteadyNs) {
+    c.ns_per_tick = 1.0;
+    return c;
+  }
+  // Spin ~2 ms re-reading both clocks, then fit the rate over the window.
+  // 2 ms >> the read cost of either clock, so the pairing error is < 0.1%.
+  std::uint64_t end_tick = c.base_tick;
+  std::uint64_t end_ns = c.base_ns;
+  do {
+    end_tick = raw_tick();
+    end_ns = steady_ns();
+  } while (end_ns - c.base_ns < 2'000'000);
+  const std::uint64_t dticks = end_tick - c.base_tick;
+  c.ns_per_tick = dticks != 0 ? static_cast<double>(end_ns - c.base_ns) /
+                                    static_cast<double>(dticks)
+                              : 1.0;
+  if (c.ns_per_tick <= 0.0) c.ns_per_tick = 1.0;
+  c.ns_per_tick_q32 = static_cast<std::uint64_t>(
+      c.ns_per_tick * 4294967296.0 + 0.5);  // * 2^32, rounded
+  if (c.ns_per_tick_q32 == 0) c.ns_per_tick_q32 = 1;
+  return c;
+}
+
+}  // namespace
+
+const TickCalibration& tick_calibration() {
+  static const TickCalibration calibration = calibrate();
+  return calibration;
+}
+
+}  // namespace detail
+
+void calibrate_tick_clock() { (void)detail::tick_calibration(); }
+
+}  // namespace vpscope::obs

@@ -8,22 +8,6 @@ namespace vpscope::obs {
 
 namespace {
 
-/// Lowers `target` to `value` if smaller (relaxed CAS loop; contention is
-/// one writer per slot, so this almost always succeeds first try).
-void atomic_min(std::atomic<std::uint64_t>& target, std::uint64_t value) {
-  std::uint64_t cur = target.load(std::memory_order_relaxed);
-  while (value < cur &&
-         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
-  }
-}
-
-void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
-  std::uint64_t cur = target.load(std::memory_order_relaxed);
-  while (value > cur &&
-         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
-  }
-}
-
 /// Shared by Histogram and HistogramSnapshot so both report identical
 /// bounds. Inclusive upper bound of log-linear bucket `index`.
 std::uint64_t log_linear_upper(int index, int sub_bits) {
@@ -65,29 +49,8 @@ Histogram::Histogram(std::string name, std::string help, std::string labels,
   }
 }
 
-int Histogram::bucket_index(std::uint64_t value) const {
-  const std::uint64_t sub = 1ULL << options_.sub_bits;
-  if (value < sub) return static_cast<int>(value);
-  const int msb = 63 - std::countl_zero(value);
-  if (msb >= options_.max_value_bits) return n_buckets_ - 1;  // clamp
-  const int block = msb - options_.sub_bits + 1;
-  const std::uint64_t sub_index =
-      (value >> (msb - options_.sub_bits)) - sub;
-  return (block << options_.sub_bits) + static_cast<int>(sub_index);
-}
-
 std::uint64_t Histogram::bucket_upper(int index) const {
   return log_linear_upper(index, options_.sub_bits);
-}
-
-void Histogram::record(int slot, std::uint64_t value, std::uint64_t n) {
-  Slot& s = slots_[static_cast<std::size_t>(slot)];
-  s.buckets[static_cast<std::size_t>(bucket_index(value))].fetch_add(
-      n, std::memory_order_relaxed);
-  s.count.fetch_add(n, std::memory_order_relaxed);
-  s.sum.fetch_add(value * n, std::memory_order_relaxed);
-  atomic_min(s.min, value);
-  atomic_max(s.max, value);
 }
 
 void Histogram::accumulate(HistogramSnapshot& out, const Slot& slot) const {

@@ -1,0 +1,225 @@
+#include "obs/perf_counters.hpp"
+
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define VPSCOPE_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define VPSCOPE_HAVE_PERF 0
+#endif
+
+namespace vpscope::obs {
+
+namespace {
+
+std::uint64_t round_up_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+PerfStageCounters::PerfStageCounters(Registry& registry, int n_slots,
+                                     int sample_period)
+    : n_slots_(n_slots),
+      sample_period_(static_cast<int>(
+          round_up_pow2(static_cast<std::uint64_t>(
+              sample_period > 0 ? sample_period : 1)))),
+      sample_mask_(static_cast<std::uint64_t>(sample_period_) - 1),
+      slots_(std::make_unique<SlotState[]>(
+          static_cast<std::size_t>(n_slots))),
+      accum_(std::make_unique<SlotAccum[]>(
+          static_cast<std::size_t>(n_slots))) {
+  register_gauges(registry);
+}
+
+PerfStageCounters::~PerfStageCounters() {
+#if VPSCOPE_HAVE_PERF
+  for (int i = 0; i < n_slots_; ++i) {
+    if (slots_[i].fd < 0) continue;
+    for (int fd : slots_[i].member_fds)
+      if (fd >= 0) ::close(fd);
+    ::close(slots_[i].fd);
+  }
+#endif
+}
+
+bool PerfStageCounters::compiled_in() { return VPSCOPE_HAVE_PERF != 0; }
+
+void PerfStageCounters::register_gauges(Registry& registry) {
+  for (int s = 0; s < static_cast<int>(Stage::kCount); ++s) {
+    const auto idx = static_cast<std::size_t>(s);
+    const std::string labels = std::string("stage=\"") +
+                               std::string(stage_name(static_cast<Stage>(s))) +
+                               "\"";
+    ipc_milli_[idx] = &registry.gauge(
+        "vpscope_stage_ipc_milli",
+        "Instructions per cycle x1000 over sampled stage invocations",
+        labels);
+    cache_per_kinstr_[idx] = &registry.gauge(
+        "vpscope_stage_cache_misses_per_kinstr",
+        "Cache misses per 1000 instructions over sampled stage invocations",
+        labels);
+    branch_per_kinstr_[idx] = &registry.gauge(
+        "vpscope_stage_branch_misses_per_kinstr",
+        "Branch misses per 1000 instructions over sampled stage invocations",
+        labels);
+    hw_samples_[idx] = &registry.gauge(
+        "vpscope_stage_hw_samples",
+        "Stage invocations bracketed by a perf counter-group read", labels);
+  }
+  registry.add_collect_hook([this] {
+    for (int s = 0; s < static_cast<int>(Stage::kCount); ++s) {
+      const Stage stage = static_cast<Stage>(s);
+      const auto idx = static_cast<std::size_t>(s);
+      const StageHwTotals t = stage_totals(stage);
+      // Merged values at slot 0 only: gauges sum slots at exposition, so a
+      // per-slot write of a ratio would sum into nonsense.
+      ipc_milli_[idx]->set(
+          0, t.cycles != 0
+                 ? static_cast<std::int64_t>(t.instructions * 1000 / t.cycles)
+                 : 0);
+      cache_per_kinstr_[idx]->set(
+          0, t.instructions != 0
+                 ? static_cast<std::int64_t>(t.cache_misses * 1000 /
+                                             t.instructions)
+                 : 0);
+      branch_per_kinstr_[idx]->set(
+          0, t.instructions != 0
+                 ? static_cast<std::int64_t>(t.branch_misses * 1000 /
+                                             t.instructions)
+                 : 0);
+      hw_samples_[idx]->set(0, static_cast<std::int64_t>(t.samples));
+    }
+  });
+}
+
+#if VPSCOPE_HAVE_PERF
+
+namespace {
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // leader starts the group
+  attr.exclude_kernel = 1;  // user-space only: works at perf_event_paranoid 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(::syscall(SYS_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+
+}  // namespace
+
+void PerfStageCounters::open_slot(SlotState& state) {
+  // Lazy, on the owning thread: perf fds with pid=0 count the calling
+  // thread, which is exactly the slot <-> thread mapping we want.
+  state.fd = -1;  // pessimistic; one attempt only
+  const int leader =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader < 0) return;
+  const int instr =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, leader);
+  const int cache =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, leader);
+  const int branch =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, leader);
+  if (instr < 0 || cache < 0 || branch < 0) {
+    if (instr >= 0) ::close(instr);
+    if (cache >= 0) ::close(cache);
+    if (branch >= 0) ::close(branch);
+    ::close(leader);
+    return;
+  }
+  // Member fds stay open for the life of the group; only the leader is
+  // needed for group reads, but all four are closed at teardown.
+  if (::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+      ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    ::close(instr);
+    ::close(cache);
+    ::close(branch);
+    ::close(leader);
+    return;
+  }
+  state.member_fds[0] = instr;
+  state.member_fds[1] = cache;
+  state.member_fds[2] = branch;
+  state.fd = leader;
+  opened_ok_.store(true, std::memory_order_relaxed);
+}
+
+bool PerfStageCounters::read_group(int fd, std::uint64_t out[kEvents]) const {
+  // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; } in open order.
+  std::uint64_t buf[1 + kEvents];
+  const ssize_t n = ::read(fd, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(sizeof(buf)) || buf[0] != kEvents) return false;
+  for (int i = 0; i < kEvents; ++i) out[i] = buf[1 + i];
+  return true;
+}
+
+#else  // !VPSCOPE_HAVE_PERF
+
+void PerfStageCounters::open_slot(SlotState& state) { state.fd = -1; }
+
+bool PerfStageCounters::read_group(int, std::uint64_t[kEvents]) const {
+  return false;
+}
+
+#endif
+
+int PerfStageCounters::begin(int slot) {
+  SlotState& state = slots_[static_cast<std::size_t>(slot)];
+  if ((++state.invocations & sample_mask_) != 0) return -1;
+  if (state.fd == -2) open_slot(state);
+  if (state.fd < 0) return -1;
+  if (!read_group(state.fd, state.begin_vals)) return -1;
+  return 1;
+}
+
+void PerfStageCounters::end(Stage stage, int slot, int token) {
+  if (token < 0) return;
+  SlotState& state = slots_[static_cast<std::size_t>(slot)];
+  std::uint64_t end_vals[kEvents];
+  if (!read_group(state.fd, end_vals)) return;
+  SlotAccum& acc = accum_[static_cast<std::size_t>(slot)];
+  const auto sidx = static_cast<std::size_t>(stage);
+  for (int i = 0; i < kEvents; ++i) {
+    const std::uint64_t d = end_vals[i] >= state.begin_vals[i]
+                                ? end_vals[i] - state.begin_vals[i]
+                                : 0;
+    acc.vals[sidx][static_cast<std::size_t>(i)].fetch_add(
+        d, std::memory_order_relaxed);
+  }
+  acc.samples[sidx].fetch_add(1, std::memory_order_relaxed);
+}
+
+StageHwTotals PerfStageCounters::stage_totals(Stage stage) const {
+  StageHwTotals t;
+  const auto sidx = static_cast<std::size_t>(stage);
+  for (int slot = 0; slot < n_slots_; ++slot) {
+    const SlotAccum& acc = accum_[static_cast<std::size_t>(slot)];
+    t.cycles += acc.vals[sidx][0].load(std::memory_order_relaxed);
+    t.instructions += acc.vals[sidx][1].load(std::memory_order_relaxed);
+    t.cache_misses += acc.vals[sidx][2].load(std::memory_order_relaxed);
+    t.branch_misses += acc.vals[sidx][3].load(std::memory_order_relaxed);
+    t.samples += acc.samples[sidx].load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+// Out-of-line StageProfiler hw bracket (declared in timer.hpp): keeps the
+// PerfStageCounters dependency out of every ScopedTimer include site.
+int StageProfiler::hw_begin(int slot) { return hw_->begin(slot); }
+void StageProfiler::hw_end(Stage stage, int slot, int token) {
+  hw_->end(stage, slot, token);
+}
+
+}  // namespace vpscope::obs

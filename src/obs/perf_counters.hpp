@@ -1,0 +1,116 @@
+// Hardware stage profiles (DESIGN.md §5k): a perf_event_open counter group
+// — cycles (leader), instructions, cache-misses, branch-misses — read at
+// stage boundaries, giving per-stage IPC and cache behavior: the hardware
+// evidence behind the §5g batching/SIMD claims.
+//
+// Cost containment: group reads are one read() syscall (~1 us), far too
+// much per stage invocation, so only 1-in-`sample_period` invocations per
+// slot are bracketed (the deltas are unbiased samples of the stage mix).
+// Each slot opens its own per-thread group lazily, on the owning thread's
+// first sampled invocation — perf fds count the calling thread only, so no
+// cross-thread attribution and no inherited counting.
+//
+// Fallback: on non-Linux builds, or when perf_event_open is denied
+// (perf_event_paranoid, seccomp, missing CAP_PERFMON) or absent, the slot
+// marks itself unavailable after one failed open and every later begin() is
+// a branch — timing keeps working, the hardware gauges just stay at zero.
+// available() reports whether any slot has a live group.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace vpscope::obs {
+
+/// Per-(stage) accumulated hardware deltas, merged across slots.
+struct StageHwTotals {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t samples = 0;  // bracketed invocations
+};
+
+class PerfStageCounters {
+ public:
+  /// Registers the derived per-stage gauges on `registry` (refreshed by a
+  /// collect hook): vpscope_stage_ipc_milli, vpscope_stage_cache_misses_per_kinstr,
+  /// vpscope_stage_branch_misses_per_kinstr, vpscope_stage_hw_samples.
+  /// `sample_period` is rounded up to a power of two.
+  PerfStageCounters(Registry& registry, int n_slots, int sample_period = 64);
+  ~PerfStageCounters();
+
+  /// True on a Linux build where perf_event_open exists at compile time
+  /// (says nothing about runtime permissions).
+  static bool compiled_in();
+
+  /// True once any slot has successfully opened its group. False before the
+  /// first sampled invocation and permanently false when the kernel denies
+  /// the events (the graceful-fallback case the tests pin down).
+  bool available() const {
+    return opened_ok_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts a sampled bracket on `slot`; returns a token >= 0 when this
+  /// invocation is bracketed, -1 otherwise. Caller-thread = slot owner.
+  int begin(int slot);
+  /// Completes the bracket begin() opened.
+  void end(Stage stage, int slot, int token);
+
+  /// Merged accumulated deltas for one stage (scrape-time view).
+  StageHwTotals stage_totals(Stage stage) const;
+
+  int sample_period() const { return sample_period_; }
+
+  PerfStageCounters(const PerfStageCounters&) = delete;
+  PerfStageCounters& operator=(const PerfStageCounters&) = delete;
+
+ private:
+  static constexpr int kEvents = 4;  // cycles, instr, cache-miss, branch-miss
+
+  /// Slot-private state, owned by that slot's thread; cacheline-aligned so
+  /// slots never false-share.
+  struct alignas(64) SlotState {
+    /// -2 = not yet attempted, -1 = open failed (do not retry), >= 0 = fd
+    /// of the group leader.
+    int fd = -2;
+    int member_fds[3] = {-1, -1, -1};
+    std::uint64_t invocations = 0;
+    std::uint64_t begin_vals[kEvents] = {0, 0, 0, 0};
+  };
+
+  /// (slot, stage, event) accumulators; written relaxed by the owning slot
+  /// thread, summed at scrape time.
+  struct alignas(64) SlotAccum {
+    std::array<std::array<std::atomic<std::uint64_t>, kEvents>,
+               static_cast<std::size_t>(Stage::kCount)>
+        vals{};
+    std::array<std::atomic<std::uint64_t>,
+               static_cast<std::size_t>(Stage::kCount)>
+        samples{};
+  };
+
+  void open_slot(SlotState& state);
+  bool read_group(int fd, std::uint64_t out[kEvents]) const;
+  void register_gauges(Registry& registry);
+
+  int n_slots_;
+  int sample_period_;
+  std::uint64_t sample_mask_;
+  std::atomic<bool> opened_ok_{false};
+  std::unique_ptr<SlotState[]> slots_;
+  std::unique_ptr<SlotAccum[]> accum_;
+
+  // Derived gauges (merged values written at slot 0 by the collect hook).
+  Gauge* ipc_milli_[static_cast<std::size_t>(Stage::kCount)] = {};
+  Gauge* cache_per_kinstr_[static_cast<std::size_t>(Stage::kCount)] = {};
+  Gauge* branch_per_kinstr_[static_cast<std::size_t>(Stage::kCount)] = {};
+  Gauge* hw_samples_[static_cast<std::size_t>(Stage::kCount)] = {};
+};
+
+}  // namespace vpscope::obs

@@ -3,8 +3,12 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include <algorithm>
+
 #include "fingerprint/platform.hpp"
+#include "obs/clock.hpp"
 #include "obs/export.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace vpscope::obs {
 
@@ -79,11 +83,27 @@ PipelineObs::PipelineObs(int n_shards, ObsConfig config)
           "Decoded packets staged in the dispatcher batch, not yet enqueued")),
       profiler(*registry_) {
   profiler.set_enabled(config_.profile_stages);
+  profiler.set_packet_sample_n(config_.profile_packet_sample_n);
+  // Pay the one-time ~2 ms tick calibration here, at construction, so the
+  // first timed stage / first span never absorbs it.
+  if (config_.profile_stages || config_.span_sample_n != 0)
+    calibrate_tick_clock();
+  if (config_.profile_stages && config_.profile_hw) {
+    perf_ = std::make_unique<PerfStageCounters>(*registry_, n_shards_ + 1,
+                                                config_.hw_sample_period);
+    profiler.set_hw(perf_.get());
+  }
   if (config_.trace_sample_n != 0 && config_.trace_ring_capacity != 0) {
     rings_.reserve(static_cast<std::size_t>(n_shards_));
     for (int i = 0; i < n_shards_; ++i)
       rings_.push_back(std::make_unique<TraceRing>(config_.trace_ring_capacity,
                                                    config_.trace_sample_n));
+  }
+  if (config_.span_sample_n != 0 && config_.span_ring_capacity != 0) {
+    span_rings_.reserve(static_cast<std::size_t>(n_shards_) + 1);
+    for (int i = 0; i <= n_shards_; ++i)  // workers + the dispatcher
+      span_rings_.push_back(std::make_unique<SpanRing>(
+          config_.span_ring_capacity, config_.span_sample_n, i));
   }
   // Derived stranded gauge: per shard, the packets the dispatcher handed
   // over that the worker has not yet finished. Exact once the dispatcher
@@ -103,6 +123,23 @@ PipelineObs::PipelineObs(int n_shards, ObsConfig config)
         packets_staged.value(dispatcher_slot(), std::memory_order_acquire);
     packets_stranded.set(dispatcher_slot(), staged > 0 ? staged : 0);
   });
+}
+
+PipelineObs::~PipelineObs() = default;
+
+std::vector<Span> PipelineObs::recent_spans(std::size_t max) const {
+  std::vector<Span> all;
+  for (const auto& ring : span_rings_) {
+    std::vector<Span> part = ring->drain_copy();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.span_id < b.span_id;
+  });
+  if (max != 0 && all.size() > max)
+    all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(max));
+  return all;
 }
 
 namespace {

@@ -26,25 +26,51 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
 namespace vpscope::obs {
 
+class PerfStageCounters;
+
 struct ObsConfig {
   /// Per-stage latency histograms (parse/extract/encode/classify/sink).
   /// Off by default: timers then cost two branches and no clock read.
   bool profile_stages = false;
+  /// 1-in-N deterministic sampling of the per-packet stages (Parse,
+  /// Extract) when profiling is on. The per-flow stages (Encode, Classify,
+  /// Sink) are always timed — their rate is flow-bounded, so their cost is
+  /// already amortized and their sample counts stay meaningful on short
+  /// runs. Two ~18 ns TSC reads on every packet is what kept the profiling
+  /// lane above its 5% overhead budget on virtualized hosts; at the default
+  /// 1-in-4 the histograms still see tens of thousands of packet-stage
+  /// samples per second of traffic. 1 (or 0) = time every invocation.
+  std::uint32_t profile_packet_sample_n = 4;
+  /// Hardware stage profiles (DESIGN.md §5k): perf_event_open group reads
+  /// (cycles/instructions/cache-misses/branch-misses) bracketing a sampled
+  /// subset of stage invocations. Requires profile_stages; falls back to
+  /// pure timing when the kernel denies the events or off-Linux.
+  bool profile_hw = false;
+  /// 1-in-N stage invocations bracketed by a perf group read per slot.
+  int hw_sample_period = 64;
   /// Flow-lifecycle tracing: deterministic 1-in-N sampling by flow-key
   /// hash. 0 disables tracing (no rings allocated), 1 traces every flow.
   std::uint64_t trace_sample_n = 0;
   /// Bounded per-shard trace ring capacity (oldest events overwritten).
   std::size_t trace_ring_capacity = 1024;
+  /// Causal span tracing (DESIGN.md §5k): deterministic 1-in-N by flow-key
+  /// hash, same rule as trace_sample_n but for the cross-thread span
+  /// timeline. 0 disables (no span rings, zero hot-path cost).
+  std::uint64_t span_sample_n = 0;
+  /// Bounded per-slot span ring capacity (oldest spans overwritten).
+  std::size_t span_ring_capacity = 4096;
 };
 
 class PipelineObs {
  public:
   explicit PipelineObs(int n_shards, ObsConfig config = {});
+  ~PipelineObs();  // out-of-line: PerfStageCounters is fwd-declared here
 
   int n_shards() const { return n_shards_; }
   /// The slot the dispatching / front-end thread writes at.
@@ -63,6 +89,34 @@ class PipelineObs {
   const TraceRing* ring(int shard) const {
     return rings_.empty() ? nullptr : rings_[static_cast<std::size_t>(shard)].get();
   }
+
+  /// Slot's span ring (slots [0, n_shards] — the dispatcher has one too);
+  /// nullptr when span tracing is disabled.
+  SpanRing* span_ring(int slot) {
+    return span_rings_.empty()
+               ? nullptr
+               : span_rings_[static_cast<std::size_t>(slot)].get();
+  }
+  const SpanRing* span_ring(int slot) const {
+    return span_rings_.empty()
+               ? nullptr
+               : span_rings_[static_cast<std::size_t>(slot)].get();
+  }
+  bool spans_enabled() const { return !span_rings_.empty(); }
+  /// Deterministic span-sampling decision for a flow-key hash.
+  bool span_sampled(std::uint64_t flow_hash) const {
+    return !span_rings_.empty() &&
+           flow_hash % config_.span_sample_n == 0;
+  }
+
+  /// The most recent `max` spans across every slot ring, merged and ordered
+  /// by start time (0 = everything buffered). Safe concurrently with
+  /// recording.
+  std::vector<Span> recent_spans(std::size_t max = 0) const;
+
+  /// Hardware stage counters; null unless profile_hw && profile_stages.
+  PerfStageCounters* perf_counters() { return perf_.get(); }
+  const PerfStageCounters* perf_counters() const { return perf_.get(); }
 
   /// Post-mortem JSON for one shard: its trace ring (platform enum values
   /// rendered to names) plus a full registry snapshot. Parseable by
@@ -121,6 +175,8 @@ class PipelineObs {
 
  private:
   std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::vector<std::unique_ptr<SpanRing>> span_rings_;
+  std::unique_ptr<PerfStageCounters> perf_;
 };
 
 }  // namespace vpscope::obs

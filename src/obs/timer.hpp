@@ -7,19 +7,35 @@
 // two predictable branches and no clock read — cheap enough to leave
 // compiled around the hot path permanently. Defining VPSCOPE_OBS_NO_TIMERS
 // additionally compiles the body out entirely for builds that want literal
-// zero cost. When enabled, each timed stage costs two steady_clock reads
-// plus one wait-free histogram record on the caller's own slot.
+// zero cost. When enabled, a timed stage costs two raw_tick() reads
+// (RDTSC / CNTVCT, calibrated to ns — see obs/clock.hpp) plus one
+// single-writer histogram record on the caller's own slot; the per-packet
+// stages (Parse, Extract) additionally gate on 1-in-N deterministic
+// sampling (ObsConfig::profile_packet_sample_n), because on virtualized
+// hosts two TSC reads per packet alone exceed the lane's 5% overhead
+// budget. steady_clock's vDSO call is off the path entirely. Together the
+// TSC switch and packet-stage sampling brought the profiling lane from ~9%
+// to well within its 5% budget.
+//
+// Hardware stage profiles (DESIGN.md §5k): when a PerfStageCounters is
+// attached, an enabled ScopedTimer additionally brackets a sampled subset
+// of invocations with perf_event_open group reads (cycles, instructions,
+// cache-misses, branch-misses) — per-stage IPC and cache behavior with a
+// bounded syscall budget. Detached (the default) it costs one extra branch.
 #pragma once
 
 #include <array>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
+#include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 
 namespace vpscope::obs {
+
+class PerfStageCounters;
 
 /// The pipeline stages of the paper's Fig. 4, in flow order.
 enum class Stage : int {
@@ -43,19 +59,16 @@ constexpr std::string_view stage_name(Stage stage) {
   return "?";
 }
 
-inline std::uint64_t monotonic_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+inline std::uint64_t monotonic_ns() { return steady_ns(); }
 
 /// One latency histogram per stage, registered as
 /// `<metric>{stage="..."}`; runtime-toggled, off by default.
 class StageProfiler {
  public:
   explicit StageProfiler(Registry& registry,
-                         std::string_view metric = "vpscope_stage_latency_ns") {
+                         std::string_view metric = "vpscope_stage_latency_ns")
+      : n_slots_(static_cast<std::size_t>(registry.n_slots())),
+        sample_clock_(2 * static_cast<std::size_t>(registry.n_slots())) {
     for (int s = 0; s < static_cast<int>(Stage::kCount); ++s) {
       const Stage stage = static_cast<Stage>(s);
       histograms_[static_cast<std::size_t>(s)] = &registry.histogram(
@@ -67,6 +80,29 @@ class StageProfiler {
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// 1-in-N deterministic sampling of the per-packet stages (Parse,
+  /// Extract); the per-flow stages are always timed. 0/1 = every
+  /// invocation. See ObsConfig::profile_packet_sample_n for the rationale.
+  void set_packet_sample_n(std::uint32_t n) {
+    packet_sample_n_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+
+  /// Sampling gate, called by ScopedTimer before any clock read. The
+  /// per-(stage, slot) invocation clocks are single-writer (the slot's own
+  /// worker), so advancing one is a plain relaxed load + store.
+  bool admit(Stage stage, int slot) {
+    if (static_cast<int>(stage) > static_cast<int>(Stage::Extract))
+      return true;
+    const std::uint32_t n =
+        packet_sample_n_.load(std::memory_order_relaxed);
+    if (n <= 1) return true;
+    auto& cell = sample_clock_[static_cast<std::size_t>(stage) * n_slots_ +
+                               static_cast<std::size_t>(slot)];
+    const std::uint64_t tick = cell.v.load(std::memory_order_relaxed) + 1;
+    cell.v.store(tick, std::memory_order_relaxed);
+    return tick % n == 0;
+  }
+
   void record(Stage stage, int slot, std::uint64_t ns) {
     histograms_[static_cast<std::size_t>(stage)]->record(slot, ns);
   }
@@ -75,11 +111,27 @@ class StageProfiler {
     return *histograms_[static_cast<std::size_t>(stage)];
   }
 
+  /// Attaches hardware stage counters (set once, before worker threads
+  /// start; must outlive the profiler). Null detaches.
+  void set_hw(PerfStageCounters* hw) { hw_ = hw; }
+  bool hw_attached() const { return hw_ != nullptr; }
+
+  /// Sampled perf-group bracket around one stage invocation; defined in
+  /// perf_counters.cpp. begin returns a token (< 0 = not sampled this time).
+  int hw_begin(int slot);
+  void hw_end(Stage stage, int slot, int token);
+
   StageProfiler(const StageProfiler&) = delete;
   StageProfiler& operator=(const StageProfiler&) = delete;
 
  private:
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> packet_sample_n_{1};
+  PerfStageCounters* hw_ = nullptr;
+  std::size_t n_slots_ = 1;
+  /// Invocation counters for the sampled stages (Parse, Extract), indexed
+  /// [stage * n_slots + slot]; cache-line padded like every hot-path cell.
+  std::vector<Cell> sample_clock_;
   std::array<Histogram*, static_cast<std::size_t>(Stage::kCount)> histograms_{};
 };
 
@@ -88,11 +140,12 @@ class ScopedTimer {
  public:
   ScopedTimer(StageProfiler* profiler, Stage stage, int slot) {
 #if !defined(VPSCOPE_OBS_NO_TIMERS)
-    if (profiler && profiler->enabled()) {
+    if (profiler && profiler->enabled() && profiler->admit(stage, slot)) {
       profiler_ = profiler;
       stage_ = stage;
       slot_ = slot;
-      start_ns_ = monotonic_ns();
+      if (profiler->hw_attached()) hw_token_ = profiler->hw_begin(slot);
+      start_tick_ = raw_tick();
     }
 #else
     (void)profiler;
@@ -103,7 +156,9 @@ class ScopedTimer {
 
   ~ScopedTimer() {
 #if !defined(VPSCOPE_OBS_NO_TIMERS)
-    if (profiler_) profiler_->record(stage_, slot_, monotonic_ns() - start_ns_);
+    if (!profiler_) return;
+    profiler_->record(stage_, slot_, tick_to_dur_ns(raw_tick() - start_tick_));
+    if (hw_token_ >= 0) profiler_->hw_end(stage_, slot_, hw_token_);
 #endif
   }
 
@@ -115,7 +170,8 @@ class ScopedTimer {
   StageProfiler* profiler_ = nullptr;
   Stage stage_ = Stage::Parse;
   int slot_ = 0;
-  std::uint64_t start_ns_ = 0;
+  int hw_token_ = -1;
+  std::uint64_t start_tick_ = 0;
 #endif
 };
 

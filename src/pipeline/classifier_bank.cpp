@@ -119,7 +119,8 @@ std::vector<std::pair<Provider, Transport>> ClassifierBank::scenario_keys()
 PlatformPrediction ClassifierBank::classify(const core::FlowHandshake& handshake,
                                             Provider provider,
                                             obs::StageProfiler* profiler,
-                                            int slot) const {
+                                            int slot,
+                                            obs::SpanScratch* spans) const {
   PlatformPrediction out;
   const Scenario* s = scenario(provider, handshake.transport);
   if (!s) return out;  // untrained scenario: Unknown
@@ -140,12 +141,14 @@ PlatformPrediction ClassifierBank::classify(const core::FlowHandshake& handshake
   scratch.features.resize(s->encoder.dimension());
   {
     obs::ScopedTimer timer(profiler, obs::Stage::Encode, slot);
+    obs::SpanScope span(spans, obs::SpanKind::Encode);
     s->encoder.transform_into(handshake, scratch.raw, scratch.features);
   }
   const std::span<const double> features(scratch.features);
 
   // Covers the forest descents and confidence logic through every return.
   obs::ScopedTimer classify_timer(profiler, obs::Stage::Classify, slot);
+  obs::SpanScope classify_span(spans, obs::SpanKind::Classify);
   const auto [platform_cls, platform_conf] =
       s->platform_compiled.predict_with_confidence(features, scratch.forest);
   out.platform_confidence = platform_conf;
@@ -200,7 +203,8 @@ bool ClassifierBank::ClassifyBatch::add(const core::FlowHandshake& handshake,
                                         fingerprint::Provider provider,
                                         std::uint64_t cookie,
                                         obs::StageProfiler* profiler,
-                                        int slot) {
+                                        int slot,
+                                        obs::SpanScratch* spans) {
   const Scenario* s = bank_->scenario(provider, handshake.transport);
   if (!s) return false;  // untrained: the caller's inline path says Unknown
   Bucket& bucket = bucket_for(s);
@@ -209,6 +213,7 @@ bool ClassifierBank::ClassifyBatch::add(const core::FlowHandshake& handshake,
   bucket.matrix.resize(row_start + dim);
   {
     obs::ScopedTimer timer(profiler, obs::Stage::Encode, slot);
+    obs::SpanScope span(spans, obs::SpanKind::Encode);
     s->encoder.transform_into(
         handshake, raw_,
         std::span<double>(bucket.matrix).subspan(row_start, dim));

@@ -19,6 +19,7 @@
 #include "core/encoder.hpp"
 #include "ml/compiled_forest.hpp"
 #include "ml/forest.hpp"
+#include "obs/span.hpp"
 #include "obs/timer.hpp"
 #include "synth/dataset.hpp"
 #include "telemetry/telemetry.hpp"
@@ -68,11 +69,14 @@ class ClassifierBank {
   /// Full Fig. 4 logic: composite prediction, fallback to per-objective
   /// predictions under the confidence threshold, Unknown rejection.
   /// `profiler`/`slot` optionally record the Encode and Classify stage
-  /// latencies (obs::StageProfiler); null costs nothing.
+  /// latencies (obs::StageProfiler); null costs nothing. `spans` optionally
+  /// records causal Encode/Classify spans for a sampled flow (DESIGN.md
+  /// §5k); null costs one branch per stage.
   PlatformPrediction classify(const core::FlowHandshake& handshake,
                               fingerprint::Provider provider,
                               obs::StageProfiler* profiler = nullptr,
-                              int slot = 0) const;
+                              int slot = 0,
+                              obs::SpanScratch* spans = nullptr) const;
 
   /// Raw access to one scenario's forest + encoder (evaluation harness use).
   struct Scenario {
@@ -125,10 +129,13 @@ class ClassifierBank {
     /// Encodes and stages one completed handshake under an opaque `cookie`
     /// the caller uses to route the result. Returns false (stages nothing)
     /// for an untrained scenario — the caller falls back to the inline
-    /// path. `profiler`/`slot` time the Encode stage like classify() does.
+    /// path. `profiler`/`slot` time the Encode stage like classify() does;
+    /// `spans` records the flow's Encode span (its Classify span is
+    /// recorded by the caller when the batch resolves).
     bool add(const core::FlowHandshake& handshake,
              fingerprint::Provider provider, std::uint64_t cookie,
-             obs::StageProfiler* profiler = nullptr, int slot = 0);
+             obs::StageProfiler* profiler = nullptr, int slot = 0,
+             obs::SpanScratch* spans = nullptr);
 
     /// Resolves every staged flow, invoking `emit(cookie, prediction)` in
     /// staging order per scenario, then clears the staging (buckets keep

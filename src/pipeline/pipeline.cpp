@@ -83,6 +83,7 @@ VideoFlowPipeline::VideoFlowPipeline(const ClassifierBank* bank,
   owned_obs_ = std::make_shared<obs::PipelineObs>(1, obs_config);
   obs_ = owned_obs_.get();
   ring_ = obs_->ring(0);
+  span_ring_ = obs_->span_ring(0);
   if (options_.classify_batch > 1 && bank_) batch_.emplace(bank_);
 }
 
@@ -135,6 +136,7 @@ void VideoFlowPipeline::bind_obs(obs::PipelineObs* obs, int slot) {
   obs_ = obs;
   slot_ = slot;
   ring_ = obs->ring(slot);
+  span_ring_ = obs->span_ring(slot);
   owned_obs_.reset();
 }
 
@@ -177,6 +179,10 @@ void VideoFlowPipeline::trace_push(obs::TraceEventKind kind,
 void VideoFlowPipeline::on_packet(const net::Packet& packet) {
   maybe_adopt_generation();
   obs_->packets_total.add(slot_);
+  // Span timeline starts at decode in the single-threaded front-end (no
+  // dispatcher): the Parse span is the root of this packet's chain.
+  std::uint64_t t_parse = 0;
+  if (span_ring_) t_parse = obs::tick_now_ns();
   std::optional<net::DecodedPacket> decoded;
   {
     obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Parse, slot_);
@@ -185,6 +191,13 @@ void VideoFlowPipeline::on_packet(const net::Packet& packet) {
   if (!decoded) {
     obs_->packets_non_ip.add(slot_);  // rejected at decode = fully handled
     return;
+  }
+  if (span_ring_) {
+    const std::uint64_t hash = net::FlowKeyHash{}(decoded->flow_key());
+    if (span_ring_->sampled(hash))
+      packet_span_parent_ =
+          span_ring_->record(obs::SpanKind::Parse, hash, 0, t_parse,
+                             obs::tick_now_ns(), adopted_model_gen_);
   }
   obs_->packets_completed.add(slot_);
   on_decoded(*decoded);
@@ -254,9 +267,10 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
     }
     state.transport =
         decoded.udp ? Transport::Quic : Transport::Tcp;
-    if (ring_) {
+    if (ring_ || span_ring_) {
       state.flow_hash = net::FlowKeyHash{}(key);
-      state.traced = ring_->sampled(state.flow_hash);
+      if (ring_) state.traced = ring_->sampled(state.flow_hash);
+      if (span_ring_) state.span_traced = span_ring_->sampled(state.flow_hash);
     }
   }
   if (!admit_flow(it, inserted, decoded.timestamp_us)) {
@@ -279,13 +293,34 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
   else
     state.counters.add_down(decoded.timestamp_us, decoded.ip_packet_size);
 
+  // Causal span context for this packet: chain onto the cross-thread
+  // Queue/Parse span the front-end recorded (packet_span_parent_), or onto
+  // the flow's last recorded span when the packet itself was unsampled
+  // upstream (spans sample by flow, so the chain stays within one flow).
+  obs::SpanScratch* spans = nullptr;
+  if (span_ring_ && state.span_traced) {
+    const std::uint64_t pkt_parent = packet_span_parent_;
+    packet_span_parent_ = 0;
+    span_scratch_.ring = span_ring_;
+    span_scratch_.flow_hash = state.flow_hash;
+    span_scratch_.parent = pkt_parent != 0 ? pkt_parent : state.span_last;
+    span_scratch_.model_gen = adopted_model_gen_;
+    span_scratch_.last_id = 0;
+    spans = &span_scratch_;
+  }
+
   // Handshake path: feed until complete, then detect provider + classify.
-  if (state.prediction || state.classify_pending) return;
+  if (state.prediction || state.classify_pending) {
+    if (spans) state.span_last = span_scratch_.parent;
+    return;
+  }
   bool fed;
   {
     obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Extract, slot_);
+    obs::SpanScope span(spans, obs::SpanKind::Extract);
     fed = state.extractor.feed(decoded);
   }
+  if (spans) state.span_last = span_scratch_.parent;
   if (!fed) return;
   if (!state.extractor.complete()) return;
 
@@ -316,19 +351,22 @@ void VideoFlowPipeline::on_decoded(const net::DecodedPacket& decoded) {
 
   if (route_batch &&
       route_batch->add(handshake, *state.provider, pending_.size(),
-                       &obs_->profiler, slot_)) {
+                       &obs_->profiler, slot_, spans)) {
     // Deferred: the flow is encoded, its descent runs with the batch. An
     // untrained scenario stages nothing (add returns false) and falls
     // through to the inline path, which reports it Unknown immediately.
     state.classify_pending = true;
-    pending_.push_back({key, decoded.timestamp_us});
+    const std::uint64_t span_parent = spans ? span_scratch_.parent : 0;
+    if (spans) state.span_last = span_parent;
+    pending_.push_back({key, decoded.timestamp_us, span_parent});
     if (pending_.size() >= options_.classify_batch) classify_pending_flush();
     return;
   }
   const PlatformPrediction prediction =
       route_bank ? route_bank->classify(handshake, *state.provider,
-                                        &obs_->profiler, slot_)
+                                        &obs_->profiler, slot_, spans)
                  : PlatformPrediction{};
+  if (spans) state.span_last = span_scratch_.parent;
   apply_prediction(state, prediction, decoded.timestamp_us);
 }
 
@@ -382,13 +420,23 @@ void VideoFlowPipeline::classify_pending_flush() {
   // shows the amortized cost directly (batch latency / flows-per-batch is
   // what the bench tables report).
   obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Classify, slot_);
+  // Span-sampled flows each get a Classify span covering the shared batch
+  // descent up to their emit, parented on their own Encode span.
+  const std::uint64_t batch_start_ns =
+      span_ring_ ? obs::tick_now_ns() : 0;
   const std::function<void(std::uint64_t, const PlatformPrediction&)> emit =
-      [this](std::uint64_t cookie, const PlatformPrediction& prediction) {
+      [this, batch_start_ns](std::uint64_t cookie,
+                             const PlatformPrediction& prediction) {
         const PendingFlow& pending = pending_[cookie];
         const auto it = flows_.find(pending.key);
         if (it == flows_.end()) return;  // unreachable: flush precedes erase
-        it->second.classify_pending = false;
-        apply_prediction(it->second, prediction, pending.ts_us);
+        FlowState& state = it->second;
+        state.classify_pending = false;
+        if (span_ring_ && state.span_traced)
+          state.span_last = span_ring_->record(
+              obs::SpanKind::Classify, state.flow_hash, pending.span_parent,
+              batch_start_ns, obs::tick_now_ns(), adopted_model_gen_);
+        apply_prediction(state, prediction, pending.ts_us);
       };
   if (stable_staged) batch_->classify(emit);
   if (canary_staged) canary_batch_->classify(emit);
@@ -428,6 +476,8 @@ void VideoFlowPipeline::finalize(const net::FlowKey& key, FlowState& state) {
     // front-end it would escape a worker thread and std::terminate the
     // process); the record is lost, the error is counted, the flow table
     // stays consistent.
+    const bool span = span_ring_ && state.span_traced;
+    const std::uint64_t t_sink = span ? obs::tick_now_ns() : 0;
     try {
       VPSCOPE_FAULTPOINT(fault::Point::SinkEmit);
       obs::ScopedTimer timer(&obs_->profiler, obs::Stage::Sink, slot_);
@@ -435,6 +485,10 @@ void VideoFlowPipeline::finalize(const net::FlowKey& key, FlowState& state) {
     } catch (...) {
       obs_->sink_errors.add(slot_);
     }
+    if (span)
+      state.span_last = span_ring_->record(
+          obs::SpanKind::Sink, state.flow_hash, state.span_last, t_sink,
+          obs::tick_now_ns(), adopted_model_gen_);
   }
 }
 

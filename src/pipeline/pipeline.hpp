@@ -165,6 +165,15 @@ class VideoFlowPipeline {
   /// flush_all / capacity eviction call it implicitly.
   void classify_pending_flush();
 
+  /// Causal parent for the NEXT packet's span chain: the sharded worker
+  /// records the Queue span for a sampled packet and hands its id here
+  /// before on_decoded, so the flow's Extract/Encode/Classify spans parent
+  /// onto the cross-thread dispatch chain. Consumed (reset to 0) by the
+  /// next on_decoded.
+  void set_packet_span_parent(std::uint64_t span_id) {
+    packet_span_parent_ = span_id;
+  }
+
   /// Re-points this pipeline's metrics at a shared PipelineObs, writing at
   /// `slot` (the sharded front-end binds each shard's pipeline to one
   /// registry, slot = shard index). Call before the first packet; `obs`
@@ -209,6 +218,12 @@ class VideoFlowPipeline {
     std::uint64_t flow_hash = 0;
     /// Deterministic 1-in-N sampling decision for this flow.
     bool traced = false;
+    /// Causal span sampling decision (DESIGN.md §5k); independent of the
+    /// flow-event trace above.
+    bool span_traced = false;
+    /// Most recent span recorded for this flow — the parent the next stage
+    /// (or the final Sink span) chains from.
+    std::uint64_t span_last = 0;
   };
 
   using FlowMap = std::unordered_map<net::FlowKey, FlowState, net::FlowKeyHash>;
@@ -258,6 +273,8 @@ class VideoFlowPipeline {
   struct PendingFlow {
     net::FlowKey key;
     std::uint64_t ts_us = 0;  // staging time, stamps the trace event
+    /// Parent for the flow's deferred Classify span (its Encode span id).
+    std::uint64_t span_parent = 0;
   };
   std::vector<PendingFlow> pending_;
   DriftMonitor* drift_ = nullptr;
@@ -269,7 +286,13 @@ class VideoFlowPipeline {
   /// re-points obs_ at its shared bundle via bind_obs().
   std::shared_ptr<obs::PipelineObs> owned_obs_;
   obs::PipelineObs* obs_ = nullptr;
-  obs::TraceRing* ring_ = nullptr;  // cached obs_->ring(slot_)
+  obs::TraceRing* ring_ = nullptr;      // cached obs_->ring(slot_)
+  obs::SpanRing* span_ring_ = nullptr;  // cached obs_->span_ring(slot_)
+  /// Reused per-packet span context for sampled flows (one flow is
+  /// processed at a time on this pipeline's thread).
+  obs::SpanScratch span_scratch_;
+  /// See set_packet_span_parent.
+  std::uint64_t packet_span_parent_ = 0;
   int slot_ = 0;
 };
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
+#include "obs/clock.hpp"
+#include "obs/flight_recorder.hpp"
 #include "pipeline/faultpoint.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -171,6 +174,14 @@ void ShardedPipeline::set_stuck_dump_sink(
   stuck_dump_sink_ = std::move(sink);
 }
 
+void ShardedPipeline::set_flight_recorder(obs::FlightRecorder* recorder) {
+  flight_recorder_ = recorder;
+}
+
+void ShardedPipeline::mark_capture_start() {
+  if (obs_->spans_enabled()) capture_mark_ns_ = obs::tick_now_ns();
+}
+
 void ShardedPipeline::set_exporter(obs::ExportOptions options) {
   exporter_ = std::make_unique<obs::PeriodicExporter>(obs_->registry_ptr(),
                                                       std::move(options));
@@ -241,6 +252,11 @@ bool ShardedPipeline::watchdog_check(Shard& shard) {
   // the flip (the callback may mutate the world).
   if (stuck_dump_sink_)
     stuck_dump_sink_(shard.index, obs_->dump_shard(shard.index));
+  if (flight_recorder_) {
+    char detail[32];
+    std::snprintf(detail, sizeof(detail), "shard_%d", shard.index);
+    flight_recorder_->dump("watchdog_stuck_shard", detail);
+  }
   if (stuck_callback_) stuck_callback_(shard.index);
   return true;
 }
@@ -418,6 +434,13 @@ void ShardedPipeline::on_packet(net::Packet&& packet) {
   check_dispatcher_thread();
   const int dslot = obs_->dispatcher_slot();
   obs_->packets_total.add(dslot);
+  // Span timeline (DESIGN.md §5k): clock reads are deferred until the flow
+  // hash is known, so the 63-in-64 unsampled packets pay one branch and
+  // zero reads. The cost is span fidelity on sampled flows: decode time
+  // lands inside the Capture span (mark_capture_start to post-decode)
+  // rather than the Dispatch span — per-stage timing belongs to the
+  // profiler's histograms, spans carry causality and queueing.
+  const bool spanning = obs_->spans_enabled();
   Item item;
   item.kind = Item::Kind::Packet;
   item.packet = std::move(packet);
@@ -427,6 +450,7 @@ void ShardedPipeline::on_packet(net::Packet&& packet) {
   }
   if (!item.decoded) {
     obs_->packets_non_ip.add(dslot);  // rejected at decode = handled
+    capture_mark_ns_ = 0;
     maybe_export();
     maybe_poll_lifecycle();
     return;
@@ -436,6 +460,21 @@ void ShardedPipeline::on_packet(net::Packet&& packet) {
   // paths evaluate it lazily at drop time (shed_staged / the grace wait).
   const std::uint64_t hash = net::FlowKeyHash{}(item.decoded->flow_key());
   Shard& shard = *shards_[hash % shards_.size()];
+  if (spanning) {
+    if (obs_->span_sampled(hash)) {
+      obs::SpanRing& dring = *obs_->span_ring(dslot);
+      std::uint64_t parent = 0;
+      const std::uint64_t t_entry = obs::tick_now_ns();
+      if (capture_mark_ns_ != 0 && capture_mark_ns_ <= t_entry)
+        parent = dring.record(obs::SpanKind::Capture, hash, 0,
+                              capture_mark_ns_, t_entry, 0);
+      const std::uint64_t now = obs::tick_now_ns();
+      item.span_parent = dring.record(obs::SpanKind::Dispatch, hash, parent,
+                                      t_entry, now, 0);
+      item.enqueue_ns = now;
+    }
+    capture_mark_ns_ = 0;
+  }
   shard.staged.push_back(std::move(item));
   // Release pairs with snapshot()'s acquire gauge read: a snapshot that
   // sees the staged packet is guaranteed to see its packets_total
@@ -612,7 +651,11 @@ void ShardedPipeline::maybe_poll_lifecycle() {
   // reclamation once per 2048 dispatcher packets, not per packet.
   if (!options_.lifecycle) return;
   if ((++packets_since_lifecycle_poll_ & 2047) != 0) return;
-  options_.lifecycle->poll();
+  const ModelLifecycle::Decision decision = options_.lifecycle->poll();
+  // A rollback is an incident, not routine churn: black-box it so the spans
+  // and scoreboard that led to the judgement survive the rollout's undo.
+  if (decision == ModelLifecycle::Decision::RolledBack && flight_recorder_)
+    flight_recorder_->dump("canary_rollback");
 }
 
 std::vector<std::pair<std::pair<fingerprint::Provider, fingerprint::Transport>,
@@ -737,6 +780,19 @@ void ShardedPipeline::worker_loop(Shard& shard) {
         switch (kind) {
           case Item::Kind::Packet:
             VPSCOPE_FAULTPOINT(fault::Point::WorkerItem);
+            // Span-sampled packet (one branch otherwise): the Queue span is
+            // the staging + ring residency — Dispatch handover to worker
+            // pop — recorded in THIS shard's ring, parented on the
+            // dispatcher's Dispatch span; the pipeline chains the flow's
+            // Extract/Encode/Classify spans onto it.
+            if (item.span_parent != 0) {
+              if (obs::SpanRing* sring = obs_->span_ring(shard.index))
+                shard.pipe.set_packet_span_parent(sring->record(
+                    obs::SpanKind::Queue,
+                    net::FlowKeyHash{}(item.decoded->flow_key()),
+                    item.span_parent, item.enqueue_ns, obs::tick_now_ns(),
+                    0));
+            }
             shard.pipe.on_decoded(*item.decoded);
             // Release the packet buffer before signalling completion so
             // drain() observers never race the deallocation.

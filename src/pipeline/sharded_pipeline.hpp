@@ -72,6 +72,10 @@
 #include "pipeline/pipeline.hpp"
 #include "util/spsc_ring.hpp"
 
+namespace vpscope::obs {
+class FlightRecorder;
+}
+
 namespace vpscope::pipeline {
 
 /// Packet classes for admission priority under overload.
@@ -180,6 +184,18 @@ class ShardedPipeline {
   /// snapshot (obs::PipelineObs::dump_shard). Called on the dispatcher
   /// thread, before the stuck callback. Set before the first packet.
   void set_stuck_dump_sink(std::function<void(int shard, std::string dump)> sink);
+
+  /// Attaches the crash flight recorder (DESIGN.md §5k): a watchdog trip
+  /// dumps a whole-process postmortem ("watchdog_stuck_shard") after the
+  /// per-shard dump sink runs, and a lifecycle canary rollback observed by
+  /// the dispatcher's amortized poll dumps "canary_rollback". The recorder
+  /// must outlive the pipeline. Set before the first packet.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
+  /// Marks the moment the capture front-end picked up the NEXT packet fed
+  /// to on_packet: the gap to dispatch becomes the packet's Capture span.
+  /// No-op (one branch) when span tracing is off. Dispatcher-thread-only.
+  void mark_capture_start();
 
   /// Enables the vpscope_obs_export hook: the registry is rendered and
   /// atomically rewritten to `options.path` roughly every
@@ -297,6 +313,11 @@ class ShardedPipeline {
     // arg0/arg1.
     net::FlowKey key;
     std::uint64_t arg0 = 0, arg1 = 0, arg2 = 0;
+    // Kind::Packet, span-sampled flows only: the Dispatch span id the
+    // worker's Queue span parents onto, and the handover time that starts
+    // it. 0 = unsampled (workers skip all span work on one branch).
+    std::uint64_t span_parent = 0;
+    std::uint64_t enqueue_ns = 0;
   };
 
   struct Shard {
@@ -371,6 +392,10 @@ class ShardedPipeline {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::function<void(int)> stuck_callback_;
   std::function<void(int, std::string)> stuck_dump_sink_;
+  obs::FlightRecorder* flight_recorder_ = nullptr;
+  /// tick_now_ns() of the last mark_capture_start(); 0 = none pending.
+  /// Dispatcher-thread-only.
+  std::uint64_t capture_mark_ns_ = 0;
   std::unique_ptr<obs::PeriodicExporter> exporter_;
   std::uint64_t packets_since_export_check_ = 0;
   std::uint64_t packets_since_lifecycle_poll_ = 0;

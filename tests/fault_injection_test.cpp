@@ -27,6 +27,7 @@
 
 #include "campus/overload.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "pipeline/bank_serialize.hpp"
 #include "pipeline/faultpoint.hpp"
 #include "pipeline/model_lifecycle.hpp"
@@ -407,6 +408,104 @@ TEST_F(FaultInjectionTest, WatchdogDumpFiresAndIsParseable) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   sharded.flush_all();
   expect_identity(sharded.stats(), "after dump + recovery");
+}
+
+// The flight recorder as the watchdog's black box (DESIGN.md §5k): a
+// stuck-shard trip must atomically write a timestamped postmortem whose
+// JSON parses and whose embedded registry snapshot carries the
+// drop-accounting identity — mid-bypass the accounted packets never exceed
+// the total, and a quiescent follow-up dump balances exactly.
+TEST_F(FaultInjectionTest, WatchdogTripWritesFlightRecorderPostmortem) {
+  const auto packets = interleaved_mix(40);
+  fault::Scoped scoped(fault::Point::WorkerItem,
+                       {.action = fault::Plan::Action::Stall,
+                        .start = 0,
+                        .period = 0,
+                        .limit = 1,
+                        .stall_ms = 800});
+  ShardedPipelineOptions opt;
+  opt.n_shards = 2;
+  opt.queue_capacity = 8;
+  opt.stuck_timeout_us = 20'000;
+  opt.obs.trace_sample_n = 1;
+  opt.obs.span_sample_n = 1;  // the postmortem carries causal spans too
+  ShardedPipeline sharded(bank_, opt);
+  sharded.set_sink([](telemetry::SessionRecord) {});
+
+  const std::string dir =
+      ::testing::TempDir() + "flight-recorder-" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  obs::FlightRecorderOptions recorder_options;
+  recorder_options.dir = dir;
+  obs::FlightRecorder recorder(&sharded.observability(), recorder_options);
+  sharded.set_flight_recorder(&recorder);
+
+  for (const auto& p : packets) sharded.on_packet(p);
+
+  // The trip dumped exactly once, to a parseable timestamped file.
+  ASSERT_EQ(recorder.dumps_written(), 1u);
+  const std::string path = recorder.last_path();
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+  EXPECT_TRUE(obs::json_valid(doc));
+  EXPECT_NE(doc.find("\"reason\":\"watchdog_stuck_shard\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"detail\":\"shard_"), std::string::npos);
+  EXPECT_NE(doc.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"shards\":["), std::string::npos);
+
+  // Parse-and-identity on the embedded registry snapshot. Mid-bypass the
+  // dispatcher holds an in-flight packet, so accounted <= total (never >).
+  const auto total_of = [](const std::string& document,
+                           const std::string& series) {
+    const std::string needle = "\"" + series + "\":{\"total\":";
+    const std::size_t pos = document.find(needle);
+    EXPECT_NE(pos, std::string::npos) << series;
+    return pos == std::string::npos
+               ? std::uint64_t{0}
+               : std::strtoull(document.c_str() + pos + needle.size(),
+                               nullptr, 10);
+  };
+  const auto accounted_of = [&total_of](const std::string& document) {
+    return total_of(document, "vpscope_packets_completed_total") +
+           total_of(document, "vpscope_packets_non_ip_total") +
+           total_of(document,
+                    "vpscope_packets_dropped_total{class=\\\"payload\\\"}") +
+           total_of(document,
+                    "vpscope_packets_dropped_total{class=\\\"handshake\\\"}") +
+           total_of(document, "vpscope_packets_stranded");
+  };
+  const std::uint64_t trip_total = total_of(doc, "vpscope_packets_total");
+  EXPECT_GT(trip_total, 0u);
+  EXPECT_LE(accounted_of(doc), trip_total);
+  std::remove(path.c_str());
+
+  // Recover, drain, and take a quiescent dump: the identity balances
+  // exactly and agrees with the programmatic stats path.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (sharded.reactivate_recovered_shards() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sharded.flush_all();
+  const std::string quiescent_path = recorder.dump("manual_quiescent");
+  ASSERT_FALSE(quiescent_path.empty());
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+  std::ifstream in2(quiescent_path);
+  std::stringstream buffer2;
+  buffer2 << in2.rdbuf();
+  const std::string doc2 = buffer2.str();
+  EXPECT_TRUE(obs::json_valid(doc2));
+  const std::uint64_t total = total_of(doc2, "vpscope_packets_total");
+  EXPECT_EQ(total, packets.size());
+  EXPECT_EQ(total, accounted_of(doc2));
+  expect_identity(sharded.stats(), "after postmortem + recovery");
+  std::remove(quiescent_path.c_str());
+  ::rmdir(dir.c_str());
 }
 
 // ---- differential runs under stream mangling ----
